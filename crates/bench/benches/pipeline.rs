@@ -1,0 +1,141 @@
+//! Criterion benches for the performance-sensitive components and the
+//! scaled-down experiment drivers. One bench per reproduced artefact:
+//!
+//! * `extraction`           — Algorithm 2 over the synthetic corpus
+//! * `opt_pipeline`         — the InstCombine fixpoint on a hot function
+//! * `translation_validate` — the Alive2-substitute refinement check
+//! * `rq1_detection`        — one Table 2 cell (one case, one model, one round)
+//! * `souper_enum1`         — one Table 4 cell (Souper, Enum=1, one case)
+//! * `spec_speedup`         — the Figure 5 cycle-estimation inner loop
+//! * `ablation_feedback`    — LPO vs LPO⁻ on the Figure 1 clamp (Table 2 ablation)
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lpo::prelude::*;
+use lpo_extract::{ExtractConfig, Extractor};
+use lpo_ir::parser::parse_function;
+use lpo_llm::prelude::*;
+use lpo_mca::{CostModel, Target};
+use lpo_opt::pipeline::{OptLevel, Pipeline};
+use lpo_souper::{superoptimize, SouperConfig};
+use lpo_tv::refine::verify_refinement;
+
+const CLAMP: &str = "define i8 @src(i32 %0) {\n\
+    %2 = icmp slt i32 %0, 0\n\
+    %3 = call i32 @llvm.umin.i32(i32 %0, i32 255)\n\
+    %4 = trunc nuw i32 %3 to i8\n\
+    %5 = select i1 %2, i8 0, i8 %4\n\
+    ret i8 %5\n}";
+
+const CLAMP_OPT: &str = "define i8 @tgt(i32 %0) {\n\
+    %2 = call i32 @llvm.smax.i32(i32 %0, i32 0)\n\
+    %3 = call i32 @llvm.umin.i32(i32 %2, i32 255)\n\
+    %4 = trunc nuw i32 %3 to i8\n\
+    ret i8 %4\n}";
+
+fn bench_extraction(c: &mut Criterion) {
+    let corpus = lpo_corpus::generate_corpus(&lpo_corpus::CorpusConfig {
+        modules_per_project: 1,
+        functions_per_module: 3,
+        ..Default::default()
+    });
+    c.bench_function("extraction", |b| {
+        b.iter(|| {
+            let mut extractor = Extractor::new(ExtractConfig::default());
+            let modules = corpus.iter().flat_map(|p| &p.modules);
+            std::hint::black_box(extractor.extract_corpus(modules).len())
+        })
+    });
+}
+
+fn bench_opt_pipeline(c: &mut Criterion) {
+    let src = parse_function(
+        "define i32 @f(i32 %x) {\n\
+         %a = add i32 %x, 0\n %b = mul i32 %a, 4\n %c = sub i32 %b, %b\n\
+         %d = or i32 %b, %c\n %e = add i32 %d, 5\n %f = add i32 %e, 7\n ret i32 %f\n}",
+    )
+    .unwrap();
+    let pipeline = Pipeline::new(OptLevel::O2);
+    c.bench_function("opt_pipeline", |b| {
+        b.iter(|| {
+            let mut f = src.clone();
+            std::hint::black_box(pipeline.run(&mut f).total_hits())
+        })
+    });
+}
+
+fn bench_translation_validate(c: &mut Criterion) {
+    let src = parse_function(CLAMP).unwrap();
+    let tgt = parse_function(CLAMP_OPT).unwrap();
+    c.bench_function("translation_validate", |b| {
+        b.iter(|| std::hint::black_box(verify_refinement(&src, &tgt).is_correct()))
+    });
+}
+
+fn bench_rq1_detection(c: &mut Criterion) {
+    let case = lpo_corpus::rq1_suite().into_iter().next().unwrap();
+    let lpo = Lpo::new(LpoConfig::default());
+    c.bench_function("rq1_detection", |b| {
+        let mut round = 0u64;
+        b.iter(|| {
+            round += 1;
+            let mut model = SimulatedModel::new(gemini2_0t(), 42);
+            model.reset(round);
+            std::hint::black_box(lpo.optimize_sequence(&mut model, &case.function).outcome.is_found())
+        })
+    });
+}
+
+fn bench_souper_enum1(c: &mut Criterion) {
+    let case = parse_function("define i1 @f(i8 %x) {\n %a = xor i8 %x, 12\n %c = icmp eq i8 %a, 5\n ret i1 %c\n}").unwrap();
+    let mut config = SouperConfig::with_enum(1);
+    config.candidate_budget = 600;
+    c.bench_function("souper_enum1", |b| {
+        b.iter(|| std::hint::black_box(superoptimize(&case, &config).found()))
+    });
+}
+
+fn bench_spec_speedup(c: &mut Criterion) {
+    let benches = lpo_corpus::spec_benchmarks(1);
+    let cost = CostModel::new(Target::Btver2Like);
+    c.bench_function("spec_speedup", |b| {
+        b.iter(|| {
+            let total: f64 = benches
+                .iter()
+                .flat_map(|(_, m)| m.functions.iter())
+                .map(|f| cost.estimate(f).total_cycles)
+                .sum();
+            std::hint::black_box(total)
+        })
+    });
+}
+
+fn bench_ablation_feedback(c: &mut Criterion) {
+    let src = parse_function(CLAMP).unwrap();
+    let with = Lpo::new(LpoConfig::default());
+    let without = Lpo::new(LpoConfig::without_feedback());
+    c.bench_function("ablation_feedback_lpo", |b| {
+        let mut round = 0u64;
+        b.iter(|| {
+            round += 1;
+            let mut model = SimulatedModel::new(o4_mini(), 7);
+            model.reset(round);
+            std::hint::black_box(with.optimize_sequence(&mut model, &src).outcome.is_found())
+        })
+    });
+    c.bench_function("ablation_feedback_lpo_minus", |b| {
+        let mut round = 0u64;
+        b.iter(|| {
+            round += 1;
+            let mut model = SimulatedModel::new(o4_mini(), 7);
+            model.reset(round);
+            std::hint::black_box(without.optimize_sequence(&mut model, &src).outcome.is_found())
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(300));
+    targets = bench_extraction, bench_opt_pipeline, bench_translation_validate, bench_rq1_detection, bench_souper_enum1, bench_spec_speedup, bench_ablation_feedback
+}
+criterion_main!(benches);

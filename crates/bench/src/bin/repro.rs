@@ -1,0 +1,58 @@
+//! Regenerates the paper's tables and figures.
+//!
+//! ```text
+//! cargo run -p lpo-bench --release --bin repro -- all
+//! cargo run -p lpo-bench --release --bin repro -- table2 --rounds 5
+//! cargo run -p lpo-bench --release --bin repro -- table4 --samples 500
+//! ```
+
+use lpo_bench as harness;
+use lpo_llm::prelude::rq1_models;
+
+fn arg_value(args: &[String], name: &str, default: u64) -> u64 {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let what = args.first().map(String::as_str).unwrap_or("all");
+    let rounds = arg_value(&args, "--rounds", 2);
+    let samples = arg_value(&args, "--samples", 60) as usize;
+    let quick_models = || {
+        if args.iter().any(|a| a == "--all-models") {
+            rq1_models()
+        } else {
+            vec![
+                lpo_llm::prelude::gemma3(),
+                lpo_llm::prelude::llama3_3(),
+                lpo_llm::prelude::gemini2_0t(),
+                lpo_llm::prelude::o4_mini(),
+            ]
+        }
+    };
+
+    match what {
+        "table1" => println!("{}", harness::table1()),
+        "table2" => println!("{}", harness::table2(rounds, &quick_models())),
+        "table3" => println!("{}", harness::table3()),
+        "table4" => println!("{}", harness::table4(samples)),
+        "table5" => println!("{}", harness::table5()),
+        "figure5" => println!("{}", harness::figure5()),
+        "all" => {
+            println!("{}", harness::table1());
+            println!("{}", harness::table2(rounds, &quick_models()));
+            println!("{}", harness::table3());
+            println!("{}", harness::table4(samples));
+            println!("{}", harness::table5());
+            println!("{}", harness::figure5());
+        }
+        other => {
+            eprintln!("unknown experiment '{other}'; expected table1..table5, figure5 or all");
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,543 @@
+//! # lpo-bench
+//!
+//! The benchmark harness: every table and figure of the paper's evaluation can
+//! be regenerated with the `repro` binary in this crate
+//! (`cargo run -p lpo-bench --release --bin repro -- <table1|table2|table3|table4|table5|figure5|all>`),
+//! and the Criterion benches exercise the performance-sensitive components.
+//!
+//! The experiment drivers are library functions so that integration tests and
+//! benches can call them with scaled-down parameters.
+
+use lpo::prelude::*;
+use lpo_corpus::{rq1_suite, rq2_suite, IssueCase, Status};
+use lpo_llm::prelude::*;
+use lpo_mca::{CostModel, Target};
+use lpo_opt::patches::all_patches;
+use lpo_opt::pipeline::{OptLevel, Pipeline};
+use lpo_souper::{superoptimize as souper_run, SouperConfig};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::time::Duration;
+
+/// Renders Table 1: the selected LLMs.
+pub fn table1() -> String {
+    let mut out = String::from("Table 1: Selected LLMs\n");
+    let _ = writeln!(out, "{:<12} {:<40} {:<10} {:<10}", "Model", "Version", "Reasoning", "Cut-off");
+    for m in all_models() {
+        let _ = writeln!(
+            out,
+            "{:<12} {:<40} {:<10} {:<10}",
+            m.name,
+            m.version,
+            if m.reasoning { "Yes" } else { "No" },
+            m.cutoff
+        );
+    }
+    out
+}
+
+/// One Table 2 row: per-model detection counts for a single issue.
+#[derive(Clone, Debug, Default)]
+pub struct Rq1Row {
+    /// The issue id.
+    pub issue: u32,
+    /// `(model name, LPO- detections, LPO detections)` out of `rounds`.
+    pub per_model: Vec<(String, usize, usize)>,
+    /// Whether Souper-Default / Souper-Enum / Minotaur detect it.
+    pub souper_default: bool,
+    pub souper_enum: bool,
+    pub minotaur: bool,
+}
+
+/// The RQ1 experiment result (Table 2).
+#[derive(Clone, Debug, Default)]
+pub struct Rq1Result {
+    /// Rows per issue.
+    pub rows: Vec<Rq1Row>,
+    /// Rounds per model.
+    pub rounds: u64,
+    /// Model names, in table order.
+    pub models: Vec<String>,
+}
+
+impl Rq1Result {
+    /// Number of issues detected at least once by LPO with the given model.
+    pub fn total_detected(&self, model: &str) -> usize {
+        self.rows
+            .iter()
+            .filter(|r| r.per_model.iter().any(|(m, _, lpo)| m == model && *lpo > 0))
+            .count()
+    }
+
+    /// Average per-round detections for LPO with the given model.
+    pub fn average_detected(&self, model: &str) -> f64 {
+        let total: usize = self
+            .rows
+            .iter()
+            .flat_map(|r| r.per_model.iter())
+            .filter(|(m, _, _)| m == model)
+            .map(|(_, _, lpo)| *lpo)
+            .sum();
+        total as f64 / self.rounds as f64
+    }
+
+    /// Number of issues detected at least once by LPO⁻ with the given model.
+    pub fn total_detected_minus(&self, model: &str) -> usize {
+        self.rows
+            .iter()
+            .filter(|r| r.per_model.iter().any(|(m, minus, _)| m == model && *minus > 0))
+            .count()
+    }
+
+    /// Issues found by Souper (either configuration) / Minotaur.
+    pub fn souper_total(&self) -> usize {
+        self.rows.iter().filter(|r| r.souper_default || r.souper_enum).count()
+    }
+
+    /// Issues found by Minotaur.
+    pub fn minotaur_total(&self) -> usize {
+        self.rows.iter().filter(|r| r.minotaur).count()
+    }
+}
+
+fn detect_with_lpo(case: &IssueCase, profile: &ModelProfile, feedback: bool, rounds: u64, seed: u64) -> usize {
+    let config = if feedback { LpoConfig::default() } else { LpoConfig::without_feedback() };
+    let lpo = Lpo::new(config);
+    let mut found = 0;
+    for round in 0..rounds {
+        let mut model = SimulatedModel::new(profile.clone(), seed);
+        model.reset(round);
+        if lpo.optimize_sequence(&mut model, &case.function).outcome.is_found() {
+            found += 1;
+        }
+    }
+    found
+}
+
+fn souper_detects(case: &IssueCase, enum_depth: u32) -> bool {
+    let mut config = SouperConfig::with_enum(enum_depth);
+    config.candidate_budget = 1500;
+    souper_run(&case.function, &config).found()
+}
+
+fn minotaur_detects(case: &IssueCase) -> bool {
+    lpo_minotaur::superoptimize(&case.function).found()
+}
+
+/// Runs the RQ1 detection experiment (Table 2) with the given number of rounds
+/// per model (the paper uses 5) over the selected model profiles.
+pub fn rq1_experiment(rounds: u64, models: &[ModelProfile]) -> Rq1Result {
+    let suite = rq1_suite();
+    let mut result = Rq1Result {
+        rows: Vec::new(),
+        rounds,
+        models: models.iter().map(|m| m.name.to_string()).collect(),
+    };
+    for case in &suite {
+        let mut row = Rq1Row {
+            issue: case.issue_id,
+            souper_default: souper_detects(case, 0),
+            souper_enum: (1..=2).any(|d| souper_detects(case, d)),
+            minotaur: minotaur_detects(case),
+            ..Default::default()
+        };
+        for profile in models {
+            let minus = detect_with_lpo(case, profile, false, rounds, case.issue_id as u64);
+            let plus = detect_with_lpo(case, profile, true, rounds, case.issue_id as u64);
+            row.per_model.push((profile.name.to_string(), minus, plus));
+        }
+        result.rows.push(row);
+    }
+    result
+}
+
+/// Renders Table 2.
+pub fn table2(rounds: u64, models: &[ModelProfile]) -> String {
+    let result = rq1_experiment(rounds, models);
+    let mut out = format!("Table 2: RQ1 detection of 25 previously reported missed optimizations ({rounds} rounds)\n");
+    let _ = write!(out, "{:<10}", "Issue");
+    for m in &result.models {
+        let _ = write!(out, " {:>6}- {:>6}", m.chars().take(6).collect::<String>(), m.chars().take(6).collect::<String>());
+    }
+    let _ = writeln!(out, " {:>8} {:>8} {:>8}", "SouperD", "SouperE", "Minotaur");
+    for row in &result.rows {
+        let _ = write!(out, "{:<10}", row.issue);
+        for (_, minus, plus) in &row.per_model {
+            let _ = write!(out, " {minus:>7} {plus:>6}");
+        }
+        let _ = writeln!(
+            out,
+            " {:>8} {:>8} {:>8}",
+            if row.souper_default { "x" } else { "" },
+            if row.souper_enum { "x" } else { "" },
+            if row.minotaur { "x" } else { "" }
+        );
+    }
+    let _ = writeln!(out, "\nTotals (detected at least once):");
+    for m in &result.models {
+        let _ = writeln!(
+            out,
+            "  {:<12} LPO-: {:>2}   LPO: {:>2}   avg/round: {:.1}",
+            m,
+            result.total_detected_minus(m),
+            result.total_detected(m),
+            result.average_detected(m)
+        );
+    }
+    let _ = writeln!(out, "  Souper (any Enum): {}", result.souper_total());
+    let _ = writeln!(out, "  Minotaur:          {}", result.minotaur_total());
+    out
+}
+
+/// The RQ2 result (Table 3).
+#[derive(Clone, Debug, Default)]
+pub struct Rq2Result {
+    /// `(issue, status, souper_default, souper_enum, minotaur)` per case.
+    pub rows: Vec<(u32, Status, bool, bool, bool)>,
+}
+
+impl Rq2Result {
+    /// Status histogram.
+    pub fn status_counts(&self) -> BTreeMap<&'static str, usize> {
+        let mut map = BTreeMap::new();
+        for (_, status, _, _, _) in &self.rows {
+            *map.entry(status.label()).or_insert(0) += 1;
+        }
+        map
+    }
+
+    /// How many cases each baseline detects.
+    pub fn baseline_counts(&self) -> (usize, usize, usize) {
+        let d = self.rows.iter().filter(|r| r.2).count();
+        let e = self.rows.iter().filter(|r| r.3).count();
+        let m = self.rows.iter().filter(|r| r.4).count();
+        (d, e, m)
+    }
+}
+
+/// Runs the RQ2 baseline-comparison experiment over the 62 found optimizations.
+pub fn rq2_experiment() -> Rq2Result {
+    let mut result = Rq2Result::default();
+    for case in rq2_suite() {
+        let souper_default = souper_detects(&case, 0);
+        let souper_enum = souper_default || (1..=2).any(|d| souper_detects(&case, d));
+        let minotaur = minotaur_detects(&case);
+        result.rows.push((case.issue_id, case.status, souper_default, souper_enum, minotaur));
+    }
+    result
+}
+
+/// Renders Table 3.
+pub fn table3() -> String {
+    let result = rq2_experiment();
+    let mut out = String::from("Table 3: the 62 missed optimizations found by LPO\n");
+    let _ = writeln!(out, "{:<10} {:<14} {:>8} {:>8} {:>9}", "Issue", "Status", "SouperD", "SouperE", "Minotaur");
+    for (issue, status, d, e, m) in &result.rows {
+        let _ = writeln!(
+            out,
+            "{:<10} {:<14} {:>8} {:>8} {:>9}",
+            issue,
+            status.label(),
+            if *d { "x" } else { "" },
+            if *e { "x" } else { "" },
+            if *m { "x" } else { "" }
+        );
+    }
+    let _ = writeln!(out, "\nStatus counts: {:?}", result.status_counts());
+    let (d, e, m) = result.baseline_counts();
+    let _ = writeln!(out, "Detected by Souper-Default: {d}, Souper-Enum: {e}, Minotaur: {m} (out of 62)");
+    out
+}
+
+/// One Table 4 row.
+#[derive(Clone, Debug)]
+pub struct ThroughputRow {
+    /// Tool / configuration name.
+    pub tool: String,
+    /// Average modelled seconds per case.
+    pub seconds_per_case: f64,
+    /// Number of (modelled) timeouts.
+    pub timeouts: usize,
+    /// Total modelled cost in USD (API models only).
+    pub total_cost_usd: f64,
+}
+
+/// Runs the RQ3 throughput experiment on `samples` sequences drawn from the
+/// synthetic corpus (the paper uses 5,000; the default harness uses fewer to
+/// stay laptop-friendly — the per-case averages are what matter).
+pub fn rq3_experiment(samples: usize) -> Vec<ThroughputRow> {
+    use lpo_extract::{ExtractConfig, Extractor};
+    let corpus = lpo_corpus::generate_corpus(&lpo_corpus::CorpusConfig {
+        modules_per_project: 4,
+        functions_per_module: 4,
+        ..Default::default()
+    });
+    let mut extractor = Extractor::new(ExtractConfig { min_instructions: 2, ..Default::default() });
+    let mut sequences = Vec::new();
+    'outer: for project in &corpus {
+        for module in &project.modules {
+            for seq in extractor.extract_module(module) {
+                sequences.push(seq.function);
+                if sequences.len() >= samples {
+                    break 'outer;
+                }
+            }
+        }
+    }
+
+    let mut rows = Vec::new();
+    for profile in [llama3_3(), gemini2_5()] {
+        let lpo = Lpo::new(LpoConfig::default());
+        let mut model = SimulatedModel::new(profile.clone(), 0xbeef);
+        let (_, summary) = lpo.run_sequences(&mut model, &sequences);
+        rows.push(ThroughputRow {
+            tool: format!("LPO ({})", profile.name),
+            seconds_per_case: summary.seconds_per_case(),
+            timeouts: 0,
+            total_cost_usd: summary.total_cost_usd,
+        });
+    }
+    for enum_depth in 0..=3u32 {
+        let mut config = SouperConfig::with_enum(enum_depth);
+        config.candidate_budget = 1200;
+        let mut total = Duration::ZERO;
+        let mut timeouts = 0;
+        for f in &sequences {
+            let r = souper_run(f, &config);
+            total += r.modeled;
+            if matches!(r.outcome, lpo_souper::Outcome::Timeout) {
+                timeouts += 1;
+            }
+        }
+        let name = if enum_depth == 0 {
+            "Souper (Default)".to_string()
+        } else {
+            format!("Souper (Enum={enum_depth})")
+        };
+        rows.push(ThroughputRow {
+            tool: name,
+            seconds_per_case: total.as_secs_f64() / sequences.len().max(1) as f64,
+            timeouts,
+            total_cost_usd: 0.0,
+        });
+    }
+    rows
+}
+
+/// Renders Table 4.
+pub fn table4(samples: usize) -> String {
+    let rows = rq3_experiment(samples);
+    let mut out = format!("Table 4: throughput and cost over {samples} sampled instruction sequences\n");
+    let _ = writeln!(out, "{:<20} {:>14} {:>10} {:>12}", "Tool", "Time/case (s)", "Timeouts", "Cost (USD)");
+    for row in &rows {
+        let _ = writeln!(
+            out,
+            "{:<20} {:>14.1} {:>10} {:>12.4}",
+            row.tool, row.seconds_per_case, row.timeouts, row.total_cost_usd
+        );
+    }
+    out
+}
+
+/// One Table 5 row: prevalence and compile-time impact of an accepted patch.
+#[derive(Clone, Debug)]
+pub struct PatchImpactRow {
+    /// Patch id (issue number, possibly with a `(n)` suffix).
+    pub id: String,
+    /// IR files (modules) in which the patch fired.
+    pub impacted_files: usize,
+    /// Projects in which the patch fired.
+    pub impacted_projects: usize,
+    /// Relative compile-time (optimizer wall-clock) change, in percent.
+    pub compile_time_delta_pct: f64,
+}
+
+/// Runs the Table 5 prevalence / compile-time experiment over the synthetic corpus.
+pub fn table5_experiment() -> Vec<PatchImpactRow> {
+    let corpus = lpo_corpus::generate_corpus(&lpo_corpus::CorpusConfig {
+        modules_per_project: 8,
+        functions_per_module: 4,
+        pattern_rate: 0.8,
+        ..Default::default()
+    });
+    let mut rows = Vec::new();
+    for patch in all_patches() {
+        let base = Pipeline::new(OptLevel::O2);
+        let patched = Pipeline::new(OptLevel::O2).with_patches(vec![patch]);
+        let mut impacted_files = 0;
+        let mut impacted_projects = 0;
+        let mut base_time = Duration::ZERO;
+        let mut patched_time = Duration::ZERO;
+        for project in &corpus {
+            let mut project_hit = false;
+            for module in &project.modules {
+                let mut m1 = module.clone();
+                let t0 = std::time::Instant::now();
+                base.run_module(&mut m1);
+                base_time += t0.elapsed();
+
+                let mut m2 = module.clone();
+                let t1 = std::time::Instant::now();
+                let stats = patched.run_module(&mut m2);
+                patched_time += t1.elapsed();
+                if stats.rule_hits.iter().any(|(name, _)| name == patch.rule.name) {
+                    impacted_files += 1;
+                    project_hit = true;
+                }
+            }
+            if project_hit {
+                impacted_projects += 1;
+            }
+        }
+        let delta = if base_time.as_secs_f64() > 0.0 {
+            (patched_time.as_secs_f64() - base_time.as_secs_f64()) / base_time.as_secs_f64() * 100.0
+        } else {
+            0.0
+        };
+        rows.push(PatchImpactRow {
+            id: patch.id.to_string(),
+            impacted_files,
+            impacted_projects,
+            compile_time_delta_pct: delta,
+        });
+    }
+    rows
+}
+
+/// Renders Table 5.
+pub fn table5() -> String {
+    let rows = table5_experiment();
+    let mut out = String::from("Table 5: prevalence and compile-time impact of the accepted patches\n");
+    let _ = writeln!(out, "{:<14} {:>9} {:>10} {:>20}", "Patch", "#IR files", "#Projects", "d Compile time (%)");
+    for row in &rows {
+        let _ = writeln!(
+            out,
+            "{:<14} {:>9} {:>10} {:>+19.2}%",
+            row.id, row.impacted_files, row.impacted_projects, row.compile_time_delta_pct
+        );
+    }
+    out
+}
+
+/// One Figure 5 data point.
+#[derive(Clone, Debug)]
+pub struct SpeedupPoint {
+    /// The patch id (or "Yearly" for the version-to-version comparison).
+    pub label: String,
+    /// Geometric-mean speedup over the SPEC-like suite (1.0 = no change).
+    pub speedup: f64,
+}
+
+/// Runs the Figure 5 experiment: estimated-cycle speedups of each accepted
+/// patch on the SPEC-like module set, plus a "yearly" comparison that enables
+/// every patch at once.
+pub fn figure5_experiment() -> Vec<SpeedupPoint> {
+    let benches = lpo_corpus::spec_benchmarks(20251201);
+    let cost = CostModel::new(Target::Btver2Like);
+    let figure_ids = ["128134", "142674", "143211", "143636", "157315", "157370", "157524", "163108 (1)", "163108 (2)"];
+    let base = Pipeline::new(OptLevel::O2);
+    let baseline_cycles: Vec<f64> = benches
+        .iter()
+        .map(|(_, m)| {
+            let mut m = m.clone();
+            base.run_module(&mut m);
+            m.functions.iter().map(|f| cost.estimate(f).total_cycles).sum::<f64>()
+        })
+        .collect();
+    let mut points = Vec::new();
+    let mut eval = |label: &str, patches: Vec<lpo_opt::patches::Patch>| {
+        let pipeline = Pipeline::new(OptLevel::O2).with_patches(patches);
+        let mut ratios = Vec::new();
+        for ((_, module), base_cycles) in benches.iter().zip(&baseline_cycles) {
+            let mut m = module.clone();
+            pipeline.run_module(&mut m);
+            let cycles: f64 = m.functions.iter().map(|f| cost.estimate(f).total_cycles).sum();
+            if cycles > 0.0 {
+                ratios.push(base_cycles / cycles);
+            }
+        }
+        let geo: f64 = ratios.iter().map(|r| r.ln()).sum::<f64>() / ratios.len().max(1) as f64;
+        points.push(SpeedupPoint { label: label.to_string(), speedup: geo.exp() });
+    };
+    for id in figure_ids {
+        let patches: Vec<_> = all_patches().into_iter().filter(|p| p.id == id).collect();
+        eval(id, patches);
+    }
+    eval("Yearly", all_patches());
+    points
+}
+
+/// Renders Figure 5 as text.
+pub fn figure5() -> String {
+    let points = figure5_experiment();
+    let mut out = String::from("Figure 5: geometric-mean speedup on the SPEC-like suite (1.00x = baseline)\n");
+    for p in &points {
+        let bar = "#".repeat(((p.speedup - 0.90).max(0.0) * 200.0) as usize);
+        let _ = writeln!(out, "{:<14} {:>6.3}x {}", p.label, p.speedup, bar);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_lists_all_seven_models() {
+        let t = table1();
+        for name in ["Gemma3", "Llama3.3", "Gemini2.0", "Gemini2.0T", "GPT-4.1", "o4-mini", "Gemini2.5"] {
+            assert!(t.contains(name), "missing {name}:\n{t}");
+        }
+    }
+
+    #[test]
+    fn rq1_shape_matches_the_paper() {
+        // A scaled-down RQ1: 2 rounds, strongest vs weakest model. The *shape*
+        // must hold: the reasoning model detects far more than Gemma3, Souper
+        // lands in between, Minotaur detects only a few.
+        let result = rq1_experiment(2, &[gemma3(), gemini2_0t()]);
+        assert_eq!(result.rows.len(), 25);
+        let weak = result.total_detected("Gemma3");
+        let strong = result.total_detected("Gemini2.0T");
+        let souper = result.souper_total();
+        let minotaur = result.minotaur_total();
+        assert!(strong > souper, "LPO with a reasoning model ({strong}) must beat Souper ({souper})");
+        assert!(souper > minotaur, "Souper ({souper}) must beat Minotaur ({minotaur})");
+        assert!(weak < strong, "Gemma3 ({weak}) must find fewer than Gemini2.0T ({strong})");
+        assert!(strong >= 14, "the strong model should find most cases, found {strong}");
+        assert!(weak <= 8, "Gemma3 should find only a handful, found {weak}");
+        assert!(minotaur >= 2 && minotaur <= 6, "Minotaur found {minotaur}");
+        assert!((10..=20).contains(&souper), "Souper found {souper}");
+        // LPO- is never better than LPO for the same model.
+        assert!(result.total_detected_minus("Gemini2.0T") <= strong);
+    }
+
+    #[test]
+    fn rq2_baselines_miss_most_found_optimizations() {
+        let result = rq2_experiment();
+        assert_eq!(result.rows.len(), 62);
+        let (d, e, m) = result.baseline_counts();
+        assert!(d < e, "Souper-Default ({d}) must find fewer than Souper-Enum ({e})");
+        assert!(e < 31, "Souper-Enum must miss at least half of the 62 ({e})");
+        assert!(m < 20, "Minotaur must miss most of the 62 ({m})");
+        assert!(d <= 10);
+        let counts = result.status_counts();
+        assert_eq!(counts["Confirmed"], 28);
+        assert_eq!(counts["Fixed"], 13);
+    }
+
+    #[test]
+    fn figure5_speedups_are_within_noise() {
+        let points = figure5_experiment();
+        assert_eq!(points.len(), 10);
+        for p in &points {
+            assert!(
+                p.speedup > 0.97 && p.speedup < 1.10,
+                "{} speedup {:.3} outside the paper's ±few-percent band",
+                p.label,
+                p.speedup
+            );
+            assert!(p.speedup >= 0.999, "patches must never slow the estimate down: {} {:.3}", p.label, p.speedup);
+        }
+    }
+}

@@ -1,0 +1,116 @@
+//! The interestingness check (§3.3 of the paper).
+//!
+//! A candidate is *interesting* when it potentially manifests a beneficial
+//! optimization: fewer instructions, or fewer statically-estimated cycles on
+//! the configured target, or — at equal cost — a syntactically different form
+//! (which may enable further optimizations downstream). The check runs before
+//! the (more expensive) correctness check, exactly as in the paper.
+
+use lpo_ir::function::Function;
+use lpo_ir::hash::hash_function;
+use lpo_mca::{CostModel, Target};
+
+/// Why a candidate was or was not considered interesting.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum InterestVerdict {
+    /// Fewer non-terminator instructions than the original.
+    FewerInstructions,
+    /// Same or more instructions but fewer estimated cycles.
+    FewerCycles,
+    /// Same instruction count and cycles, but a syntactically different form.
+    DifferentForm,
+    /// Identical to the original (the most common uninteresting case).
+    Identical,
+    /// Strictly worse in both metrics.
+    Worse,
+}
+
+impl InterestVerdict {
+    /// Returns `true` if the candidate passes the interestingness check.
+    pub fn is_interesting(self) -> bool {
+        matches!(
+            self,
+            InterestVerdict::FewerInstructions | InterestVerdict::FewerCycles | InterestVerdict::DifferentForm
+        )
+    }
+}
+
+/// Classifies a candidate against the original on the given target.
+pub fn classify(original: &Function, candidate: &Function, target: Target) -> InterestVerdict {
+    let model = CostModel::new(target);
+    let before = model.estimate(original);
+    let after = model.estimate(candidate);
+    if after.instructions < before.instructions {
+        return InterestVerdict::FewerInstructions;
+    }
+    if after.total_cycles < before.total_cycles {
+        return InterestVerdict::FewerCycles;
+    }
+    if after.instructions == before.instructions && after.total_cycles == before.total_cycles {
+        if hash_function(original) == hash_function(candidate) {
+            InterestVerdict::Identical
+        } else {
+            InterestVerdict::DifferentForm
+        }
+    } else {
+        InterestVerdict::Worse
+    }
+}
+
+/// Convenience wrapper: `true` iff the candidate passes the check.
+pub fn is_interesting(original: &Function, candidate: &Function, target: Target) -> bool {
+    classify(original, candidate, target).is_interesting()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lpo_ir::parser::parse_function;
+
+    const SRC: &str = "define i8 @src(i32 %0) {\n\
+        %2 = icmp slt i32 %0, 0\n\
+        %3 = call i32 @llvm.umin.i32(i32 %0, i32 255)\n\
+        %4 = trunc nuw i32 %3 to i8\n\
+        %5 = select i1 %2, i8 0, i8 %4\n\
+        ret i8 %5\n}";
+    const TGT: &str = "define i8 @tgt(i32 %0) {\n\
+        %2 = call i32 @llvm.smax.i32(i32 %0, i32 0)\n\
+        %3 = call i32 @llvm.umin.i32(i32 %2, i32 255)\n\
+        %4 = trunc nuw i32 %3 to i8\n\
+        ret i8 %4\n}";
+
+    #[test]
+    fn shorter_candidates_are_interesting() {
+        let src = parse_function(SRC).unwrap();
+        let tgt = parse_function(TGT).unwrap();
+        assert_eq!(classify(&src, &tgt, Target::Btver2Like), InterestVerdict::FewerInstructions);
+        assert!(is_interesting(&src, &tgt, Target::Btver2Like));
+        // The reverse direction is worse.
+        assert_eq!(classify(&tgt, &src, Target::Btver2Like), InterestVerdict::Worse);
+        assert!(!is_interesting(&tgt, &src, Target::Btver2Like));
+    }
+
+    #[test]
+    fn identical_candidates_are_not_interesting() {
+        let src = parse_function(SRC).unwrap();
+        // Same structure, different value names: still "identical" for the check.
+        let renamed = parse_function(&SRC.replace("%2", "%c").replace("%3", "%m")).unwrap();
+        assert_eq!(classify(&src, &renamed, Target::Btver2Like), InterestVerdict::Identical);
+        assert!(!is_interesting(&src, &src.clone(), Target::Btver2Like));
+    }
+
+    #[test]
+    fn cheaper_but_equal_length_counts_as_fewer_cycles() {
+        // Replacing a division with a shift keeps one instruction but is much cheaper.
+        let slow = parse_function("define i32 @f(i32 %x) {\n %r = udiv i32 %x, 8\n ret i32 %r\n}").unwrap();
+        let fast = parse_function("define i32 @f(i32 %x) {\n %r = lshr i32 %x, 3\n ret i32 %r\n}").unwrap();
+        assert_eq!(classify(&slow, &fast, Target::Btver2Like), InterestVerdict::FewerCycles);
+    }
+
+    #[test]
+    fn different_form_at_equal_cost_is_interesting() {
+        let a = parse_function("define i32 @f(i32 %x, i32 %y) {\n %r = add i32 %x, %y\n ret i32 %r\n}").unwrap();
+        let b = parse_function("define i32 @f(i32 %x, i32 %y) {\n %r = add i32 %y, %x\n ret i32 %r\n}").unwrap();
+        assert_eq!(classify(&a, &b, Target::Btver2Like), InterestVerdict::DifferentForm);
+    }
+}

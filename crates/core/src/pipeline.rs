@@ -1,0 +1,289 @@
+//! Algorithm 1: the closed-loop optimize–verify–feedback workflow.
+
+use crate::interestingness::is_interesting;
+use crate::report::{CaseOutcome, CaseReport, RunSummary};
+use lpo_extract::{ExtractConfig, ExtractedSequence, Extractor};
+use lpo_ir::function::Function;
+use lpo_ir::module::Module;
+use lpo_ir::printer::print_function;
+use lpo_llm::model::{LanguageModel, Prompt};
+use lpo_mca::Target;
+use lpo_opt::pipeline::{optimize_text, OptLevel, Pipeline};
+use lpo_tv::refine::{verify_refinement_with, TvConfig, Verdict};
+use std::time::{Duration, Instant};
+
+/// Configuration of the LPO pipeline.
+#[derive(Clone, Debug)]
+pub struct LpoConfig {
+    /// Maximum LLM attempts per instruction sequence (the paper uses 2).
+    pub attempt_limit: usize,
+    /// Whether verifier output is fed back for another attempt. Disabling this
+    /// yields the LPO⁻ ablation of the paper.
+    pub feedback: bool,
+    /// Optimization level used for the `opt` preprocessing step.
+    pub opt_level: OptLevel,
+    /// The target for the interestingness cost comparison.
+    pub target: Target,
+    /// Translation-validation configuration.
+    pub tv: TvConfig,
+    /// Fixed per-case verification overhead added to the modelled time
+    /// (running `opt`, `llvm-mca` and Alive2 in the paper's setup).
+    pub verification_overhead: Duration,
+}
+
+impl Default for LpoConfig {
+    fn default() -> Self {
+        Self {
+            attempt_limit: 2,
+            feedback: true,
+            opt_level: OptLevel::O2,
+            target: Target::Btver2Like,
+            tv: TvConfig::default(),
+            verification_overhead: Duration::from_millis(900),
+        }
+    }
+}
+
+impl LpoConfig {
+    /// The LPO⁻ ablation: no feedback-driven retries.
+    pub fn without_feedback() -> Self {
+        Self { feedback: false, ..Self::default() }
+    }
+}
+
+/// The LPO pipeline.
+#[derive(Clone, Debug)]
+pub struct Lpo {
+    config: LpoConfig,
+    opt: Pipeline,
+}
+
+impl Default for Lpo {
+    fn default() -> Self {
+        Self::new(LpoConfig::default())
+    }
+}
+
+impl Lpo {
+    /// Creates a pipeline with the given configuration.
+    pub fn new(config: LpoConfig) -> Self {
+        let opt = Pipeline::new(config.opt_level);
+        Self { config, opt }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &LpoConfig {
+        &self.config
+    }
+
+    /// Runs Algorithm 1's inner loop on one wrapped instruction sequence.
+    pub fn optimize_sequence(&self, model: &mut dyn LanguageModel, source: &Function) -> CaseReport {
+        let start = Instant::now();
+        let source_text = print_function(source);
+        let mut prompt = Prompt::initial(source_text);
+        let mut modeled = Duration::ZERO;
+        let mut cost = 0.0;
+        let mut attempts = 0;
+        let mut last_outcome = CaseOutcome::NotInteresting;
+
+        while attempts < self.config.attempt_limit {
+            attempts += 1;
+            let completion = model.propose(&prompt);
+            modeled += completion.latency + self.config.verification_overhead;
+            cost += completion.cost_usd;
+
+            // Step ③: the `opt` preprocessing — syntax check + canonicalization.
+            let candidate = match optimize_text(&completion.text, &self.opt) {
+                Err(error_message) => {
+                    last_outcome = CaseOutcome::SyntaxError;
+                    if self.config.feedback && attempts < self.config.attempt_limit {
+                        prompt = prompt.with_feedback(error_message);
+                        continue;
+                    }
+                    break;
+                }
+                Ok(result) => result.function,
+            };
+
+            // Step ④: interestingness. An uninteresting candidate abandons the
+            // sequence (no retry), as in Algorithm 1 line 16.
+            if !is_interesting(source, &candidate, self.config.target) {
+                last_outcome = CaseOutcome::NotInteresting;
+                break;
+            }
+
+            // Step ⑤: correctness via translation validation.
+            match verify_refinement_with(source, &candidate, &self.config.tv) {
+                Verdict::Correct { .. } => {
+                    last_outcome = CaseOutcome::Found { candidate };
+                    break;
+                }
+                Verdict::Incorrect(cex) => {
+                    last_outcome = CaseOutcome::Rejected;
+                    if self.config.feedback && attempts < self.config.attempt_limit {
+                        prompt = prompt.with_feedback(cex.to_string());
+                        continue;
+                    }
+                    break;
+                }
+                Verdict::Error(message) => {
+                    last_outcome = CaseOutcome::Rejected;
+                    if self.config.feedback && attempts < self.config.attempt_limit {
+                        prompt = prompt.with_feedback(message);
+                        continue;
+                    }
+                    break;
+                }
+            }
+        }
+
+        CaseReport {
+            outcome: last_outcome,
+            attempts,
+            wall_time: start.elapsed(),
+            modeled_time: modeled,
+            cost_usd: cost,
+        }
+    }
+
+    /// Runs the pipeline over a batch of already-extracted sequences.
+    pub fn run_sequences(
+        &self,
+        model: &mut dyn LanguageModel,
+        sequences: &[Function],
+    ) -> (Vec<CaseReport>, RunSummary) {
+        let reports: Vec<CaseReport> =
+            sequences.iter().map(|f| self.optimize_sequence(model, f)).collect();
+        let summary = RunSummary::from_reports(&reports);
+        (reports, summary)
+    }
+
+    /// The full workflow of Figure 2: extract sequences from a corpus of
+    /// modules, then run the optimize–verify loop on each unique sequence.
+    pub fn run_corpus<'m>(
+        &self,
+        model: &mut dyn LanguageModel,
+        modules: impl IntoIterator<Item = &'m Module>,
+        extract: ExtractConfig,
+    ) -> (Vec<(ExtractedSequence, CaseReport)>, RunSummary) {
+        let mut extractor = Extractor::new(extract);
+        let sequences = extractor.extract_corpus(modules);
+        let mut out = Vec::with_capacity(sequences.len());
+        let mut summary = RunSummary::default();
+        for seq in sequences {
+            let report = self.optimize_sequence(model, &seq.function);
+            summary.add(&report);
+            out.push((seq, report));
+        }
+        (out, summary)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lpo_ir::parser::{parse_function, parse_module};
+    use lpo_llm::prelude::{gemini2_0t, gemma3, SimulatedModel};
+
+    const CLAMP: &str = "define i8 @src(i32 %0) {\n\
+        %2 = icmp slt i32 %0, 0\n\
+        %3 = call i32 @llvm.umin.i32(i32 %0, i32 255)\n\
+        %4 = trunc nuw i32 %3 to i8\n\
+        %5 = select i1 %2, i8 0, i8 %4\n\
+        ret i8 %5\n}";
+
+    fn count_found(config: LpoConfig, profile: lpo_llm::profiles::ModelProfile, rounds: u64) -> usize {
+        let lpo = Lpo::new(config);
+        let src = parse_function(CLAMP).unwrap();
+        let mut found = 0;
+        for round in 0..rounds {
+            let mut model = SimulatedModel::new(profile.clone(), 99);
+            model.reset(round);
+            if lpo.optimize_sequence(&mut model, &src).outcome.is_found() {
+                found += 1;
+            }
+        }
+        found
+    }
+
+    #[test]
+    fn finds_the_figure_1_missed_optimization_with_a_strong_model() {
+        let found = count_found(LpoConfig::default(), gemini2_0t(), 10);
+        assert!(found >= 6, "found only {found}/10");
+    }
+
+    #[test]
+    fn weak_models_find_less_and_feedback_helps() {
+        let with_feedback = count_found(LpoConfig::default(), gemini2_0t(), 24);
+        let without_feedback = count_found(LpoConfig::without_feedback(), gemini2_0t(), 24);
+        assert!(
+            with_feedback >= without_feedback,
+            "LPO ({with_feedback}) must not be worse than LPO- ({without_feedback})"
+        );
+        let weak = count_found(LpoConfig::default(), gemma3(), 10);
+        let strong = count_found(LpoConfig::default(), gemini2_0t(), 10);
+        assert!(weak <= strong);
+    }
+
+    #[test]
+    fn found_candidates_are_verified_and_cheaper() {
+        let lpo = Lpo::new(LpoConfig::default());
+        let src = parse_function(CLAMP).unwrap();
+        let mut model = SimulatedModel::new(gemini2_0t(), 7);
+        for round in 0..20 {
+            model.reset(round);
+            let report = lpo.optimize_sequence(&mut model, &src);
+            if let CaseOutcome::Found { candidate } = report.outcome {
+                assert!(candidate.instruction_count() < src.instruction_count());
+                assert!(lpo_tv::refine::verify_refinement(&src, &candidate).is_correct());
+                assert!(report.modeled_time > Duration::from_millis(500));
+                return;
+            }
+        }
+        panic!("the strong model never produced a verified candidate in 20 rounds");
+    }
+
+    #[test]
+    fn uninteresting_sequences_are_abandoned_quickly() {
+        let lpo = Lpo::new(LpoConfig::default());
+        let src = parse_function(
+            "define i32 @f(i32 %x, i32 %y) {\n %a = mul i32 %x, %y\n %b = add i32 %a, %y\n ret i32 %b\n}",
+        )
+        .unwrap();
+        let mut model = SimulatedModel::new(gemini2_0t(), 3);
+        let report = lpo.optimize_sequence(&mut model, &src);
+        assert_eq!(report.outcome, CaseOutcome::NotInteresting);
+        assert_eq!(report.attempts, 1);
+    }
+
+    #[test]
+    fn full_corpus_workflow_runs_end_to_end() {
+        let module = parse_module(
+            "define i8 @hot(i32 %x) {\n\
+             %c = icmp slt i32 %x, 0\n\
+             %m = call i32 @llvm.umin.i32(i32 %x, i32 255)\n\
+             %t = trunc nuw i32 %m to i8\n\
+             %s = select i1 %c, i8 0, i8 %t\n\
+             ret i8 %s\n}\n\
+             define i32 @cold(i32 %x, i32 %y) {\n\
+             %a = mul i32 %x, %y\n\
+             %b = add i32 %a, %y\n\
+             ret i32 %b\n}",
+        )
+        .unwrap();
+        let lpo = Lpo::new(LpoConfig::default());
+        let mut model = SimulatedModel::new(gemini2_0t(), 5);
+        let (results, summary) = lpo.run_corpus(&mut model, [&module], ExtractConfig::default());
+        assert_eq!(results.len(), summary.cases);
+        assert!(summary.cases >= 2);
+        assert!(summary.total_modeled_time > Duration::ZERO);
+    }
+
+    #[test]
+    fn config_accessors() {
+        let lpo = Lpo::default();
+        assert_eq!(lpo.config().attempt_limit, 2);
+        assert!(lpo.config().feedback);
+        assert!(!LpoConfig::without_feedback().feedback);
+    }
+}

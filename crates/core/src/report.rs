@@ -1,0 +1,142 @@
+//! Result types for pipeline runs.
+
+use lpo_ir::function::Function;
+use std::time::Duration;
+
+/// What happened to one extracted instruction sequence.
+#[derive(Clone, Debug, PartialEq)]
+pub enum CaseOutcome {
+    /// A verified, interesting candidate was found (a potential missed optimization).
+    Found {
+        /// The candidate after `opt` canonicalization.
+        candidate: Function,
+    },
+    /// The model's candidate was not interesting (usually: identical to the input).
+    NotInteresting,
+    /// Every attempt failed the correctness check.
+    Rejected,
+    /// Every attempt failed to parse / verify syntactically.
+    SyntaxError,
+}
+
+impl CaseOutcome {
+    /// Returns `true` when a potential missed optimization was recorded.
+    pub fn is_found(&self) -> bool {
+        matches!(self, CaseOutcome::Found { .. })
+    }
+}
+
+/// The per-sequence report produced by [`Lpo::optimize_sequence`](crate::Lpo::optimize_sequence).
+#[derive(Clone, Debug)]
+pub struct CaseReport {
+    /// The outcome.
+    pub outcome: CaseOutcome,
+    /// How many LLM attempts were made (1..=ATTEMPT_LIMIT).
+    pub attempts: usize,
+    /// Real wall-clock time spent by this reproduction on the case.
+    pub wall_time: Duration,
+    /// Modelled end-to-end time (LLM inference latency + verification), the
+    /// quantity Table 4 reports.
+    pub modeled_time: Duration,
+    /// Modelled API cost in USD for this case (zero for local models).
+    pub cost_usd: f64,
+}
+
+/// Aggregate statistics over a run of many sequences.
+#[derive(Clone, Debug, Default)]
+pub struct RunSummary {
+    /// Number of sequences processed.
+    pub cases: usize,
+    /// Number of potential missed optimizations found.
+    pub found: usize,
+    /// Number of uninteresting candidates.
+    pub not_interesting: usize,
+    /// Number rejected by the correctness check on every attempt.
+    pub rejected: usize,
+    /// Number that never parsed.
+    pub syntax_errors: usize,
+    /// Sum of modelled per-case times.
+    pub total_modeled_time: Duration,
+    /// Sum of modelled per-case costs.
+    pub total_cost_usd: f64,
+}
+
+impl RunSummary {
+    /// Folds a case report into the summary.
+    pub fn add(&mut self, report: &CaseReport) {
+        self.cases += 1;
+        match report.outcome {
+            CaseOutcome::Found { .. } => self.found += 1,
+            CaseOutcome::NotInteresting => self.not_interesting += 1,
+            CaseOutcome::Rejected => self.rejected += 1,
+            CaseOutcome::SyntaxError => self.syntax_errors += 1,
+        }
+        self.total_modeled_time += report.modeled_time;
+        self.total_cost_usd += report.cost_usd;
+    }
+
+    /// Builds a summary from a slice of reports.
+    pub fn from_reports(reports: &[CaseReport]) -> Self {
+        let mut s = Self::default();
+        for r in reports {
+            s.add(r);
+        }
+        s
+    }
+
+    /// Average modelled seconds per case.
+    pub fn seconds_per_case(&self) -> f64 {
+        if self.cases == 0 {
+            0.0
+        } else {
+            self.total_modeled_time.as_secs_f64() / self.cases as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(outcome: CaseOutcome, secs: f64) -> CaseReport {
+        CaseReport {
+            outcome,
+            attempts: 1,
+            wall_time: Duration::from_millis(1),
+            modeled_time: Duration::from_secs_f64(secs),
+            cost_usd: 0.001,
+        }
+    }
+
+    #[test]
+    fn summary_aggregation() {
+        let reports = vec![
+            report(CaseOutcome::NotInteresting, 5.0),
+            report(CaseOutcome::Rejected, 10.0),
+            report(CaseOutcome::SyntaxError, 3.0),
+            report(
+                CaseOutcome::Found {
+                    candidate: lpo_ir::function::Function::new("c", lpo_ir::types::Type::Void),
+                },
+                6.0,
+            ),
+        ];
+        let s = RunSummary::from_reports(&reports);
+        assert_eq!(s.cases, 4);
+        assert_eq!(s.found, 1);
+        assert_eq!(s.not_interesting, 1);
+        assert_eq!(s.rejected, 1);
+        assert_eq!(s.syntax_errors, 1);
+        assert!((s.seconds_per_case() - 6.0).abs() < 1e-9);
+        assert!((s.total_cost_usd - 0.004).abs() < 1e-9);
+        assert!(reports[3].outcome.is_found());
+        assert!(!reports[0].outcome.is_found());
+    }
+
+    #[test]
+    fn empty_summary() {
+        let s = RunSummary::default();
+        assert_eq!(s.seconds_per_case(), 0.0);
+        assert_eq!(s.cases, 0);
+    }
+}

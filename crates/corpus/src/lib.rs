@@ -1,0 +1,15 @@
+//! # lpo-corpus
+//!
+//! Benchmark data for the LPO reproduction: the curated RQ1 (25 cases) and
+//! RQ2 (62 cases) issue suites keyed by the paper's LLVM issue numbers, and a
+//! synthetic stand-in for the LLVM Opt Benchmark corpus (14 projects) plus the
+//! SPEC-like module set used by the Figure 5 experiment.
+
+pub mod cases;
+pub mod synth;
+
+pub use cases::{family_source, rq1_suite, rq2_suite, strategy_for_family, IssueCase, Status};
+pub use synth::{
+    generate_corpus, generate_project, spec_benchmarks, CorpusConfig, Project, PROJECT_NAMES,
+    SPEC_BENCHMARKS,
+};

@@ -1,0 +1,198 @@
+//! Synthetic corpus and benchmark-module generation.
+//!
+//! The paper's RQ2 corpus is the *LLVM Opt Benchmark* (optimized IR from 240
+//! real projects); the paper selects 14 popular projects from it. This module
+//! generates a stand-in: per-project modules with a realistic mix of
+//! straight-line integer/FP/vector/memory code, into which suboptimal patterns
+//! from the RQ2 families are seeded at controlled rates. The SPEC-like module
+//! set used by Figure 5 is generated the same way with a heavier arithmetic
+//! mix.
+
+use crate::cases::family_source;
+use lpo_ir::module::Module;
+use lpo_ir::parser::parse_function;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The fourteen projects the paper selects from the LLVM Opt Benchmark.
+pub const PROJECT_NAMES: [&str; 14] = [
+    "cpython", "ffmpeg", "linux", "openssl", "redis", "node", "protobuf", "opencv", "z3",
+    "pingora", "ripgrep", "typst", "uv", "zed",
+];
+
+/// The C/C++ SPEC CPU2017 integer benchmarks evaluated in Figure 5.
+pub const SPEC_BENCHMARKS: [&str; 8] = [
+    "perlbench", "gcc", "mcf", "omnetpp", "xalancbmk", "x264", "deepsjeng", "leela",
+];
+
+/// Families that the generator may embed into project code (the RQ2 families).
+const EMBEDDABLE_FAMILIES: [&str; 12] = [
+    "patch-143636",
+    "patch-142711",
+    "patch-143211",
+    "patch-157315",
+    "patch-157370",
+    "patch-157524",
+    "patch-163108-2",
+    "patch-166973",
+    "narrow-sign-check",
+    "neg-via-not",
+    "vector-clamp",
+    "patch-154238",
+];
+
+/// Configuration for corpus generation.
+#[derive(Clone, Debug)]
+pub struct CorpusConfig {
+    /// RNG seed.
+    pub seed: u64,
+    /// Modules ("IR files") generated per project.
+    pub modules_per_project: usize,
+    /// Filler functions per module.
+    pub functions_per_module: usize,
+    /// Probability that a module receives one embedded suboptimal pattern.
+    pub pattern_rate: f64,
+}
+
+impl Default for CorpusConfig {
+    fn default() -> Self {
+        Self { seed: 0xC0&0xFF | 0xC0DE, modules_per_project: 6, functions_per_module: 5, pattern_rate: 0.6 }
+    }
+}
+
+/// One generated project: a name plus its modules.
+#[derive(Clone, Debug)]
+pub struct Project {
+    /// The project name (one of [`PROJECT_NAMES`]).
+    pub name: String,
+    /// The generated modules ("IR files").
+    pub modules: Vec<Module>,
+}
+
+/// Generates the full 14-project corpus.
+pub fn generate_corpus(config: &CorpusConfig) -> Vec<Project> {
+    PROJECT_NAMES
+        .iter()
+        .enumerate()
+        .map(|(i, name)| generate_project(name, config, config.seed.wrapping_add(i as u64 * 7919)))
+        .collect()
+}
+
+/// Generates one project.
+pub fn generate_project(name: &str, config: &CorpusConfig, seed: u64) -> Project {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut modules = Vec::new();
+    for m in 0..config.modules_per_project {
+        let mut module = Module::new(format!("{name}/file{m}.ll"));
+        for f in 0..config.functions_per_module {
+            let text = filler_function(&format!("{name}_{m}_{f}"), &mut rng);
+            module.add_function(parse_function(&text).expect("generated filler parses"));
+        }
+        if rng.gen::<f64>() < config.pattern_rate {
+            let family = EMBEDDABLE_FAMILIES[rng.gen_range(0..EMBEDDABLE_FAMILIES.len())];
+            let variation = rng.gen_range(0..3);
+            let text = family_source(family, variation)
+                .replacen("@src", &format!("@{name}_seeded_{m}"), 1);
+            module.add_function(parse_function(&text).expect("seeded pattern parses"));
+        }
+        modules.push(module);
+    }
+    Project { name: name.to_string(), modules }
+}
+
+/// Generates the SPEC-like benchmark modules used by the Figure 5 experiment.
+pub fn spec_benchmarks(seed: u64) -> Vec<(String, Module)> {
+    let mut out = Vec::new();
+    for (i, name) in SPEC_BENCHMARKS.iter().enumerate() {
+        let mut rng = StdRng::seed_from_u64(seed.wrapping_add(i as u64 * 104729));
+        let mut module = Module::new(format!("{name}.ll"));
+        for f in 0..24 {
+            let text = filler_function(&format!("{name}_{f}"), &mut rng);
+            module.add_function(parse_function(&text).expect("generated filler parses"));
+        }
+        // A small fraction of hot code contains the suboptimal patterns.
+        for (p, family) in EMBEDDABLE_FAMILIES.iter().enumerate().take(4) {
+            if rng.gen::<f64>() < 0.5 {
+                let text = family_source(family, (p % 3) as u32)
+                    .replacen("@src", &format!("@{name}_hot_{p}"), 1);
+                module.add_function(parse_function(&text).expect("seeded pattern parses"));
+            }
+        }
+        out.push((name.to_string(), module));
+    }
+    out
+}
+
+/// A random straight-line integer function in already-canonical form (the
+/// corpus models *optimized* IR, so the filler avoids trivially-foldable code).
+fn filler_function(name: &str, rng: &mut StdRng) -> String {
+    let width = [32u32, 64, 16, 8][rng.gen_range(0..4)];
+    let ops = ["add", "xor", "and", "or", "mul", "lshr", "shl"];
+    let n = rng.gen_range(3..9);
+    let mut body = String::new();
+    let mut values = vec!["%x".to_string(), "%y".to_string()];
+    for i in 0..n {
+        let op = ops[rng.gen_range(0..ops.len())];
+        let a = values[rng.gen_range(0..values.len())].clone();
+        let b = if rng.gen_bool(0.5) {
+            values[rng.gen_range(0..values.len())].clone()
+        } else {
+            let c: u32 = rng.gen_range(2..200);
+            // Shift amounts must stay in range; other constants avoid identities.
+            if op == "lshr" || op == "shl" { (1 + c % (width - 1)).to_string() } else { c.to_string() }
+        };
+        let v = format!("%v{i}");
+        body.push_str(&format!(" {v} = {op} i{width} {a}, {b}\n"));
+        values.push(v);
+    }
+    let last = values.last().cloned().unwrap_or_else(|| "%x".into());
+    format!(
+        "define i{width} @{name}(i{width} %x, i{width} %y) {{\n{body} ret i{width} {last}\n}}"
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lpo_ir::verifier::verify_module;
+
+    #[test]
+    fn corpus_has_fourteen_projects_and_verifies() {
+        let config = CorpusConfig { modules_per_project: 2, functions_per_module: 3, ..Default::default() };
+        let corpus = generate_corpus(&config);
+        assert_eq!(corpus.len(), 14);
+        for project in &corpus {
+            assert_eq!(project.modules.len(), 2);
+            for module in &project.modules {
+                verify_module(module).expect("generated module verifies");
+                assert!(module.functions.len() >= 3);
+            }
+        }
+        // Determinism for a fixed seed.
+        let again = generate_corpus(&config);
+        assert_eq!(corpus[0].modules[0], again[0].modules[0]);
+    }
+
+    #[test]
+    fn some_modules_contain_seeded_patterns() {
+        let config = CorpusConfig { modules_per_project: 8, functions_per_module: 2, pattern_rate: 0.9, ..Default::default() };
+        let corpus = generate_corpus(&config);
+        let seeded = corpus
+            .iter()
+            .flat_map(|p| &p.modules)
+            .filter(|m| m.functions.iter().any(|f| f.name.contains("seeded")))
+            .count();
+        assert!(seeded > 20, "expected many seeded modules, got {seeded}");
+    }
+
+    #[test]
+    fn spec_benchmarks_generate_and_verify() {
+        let benches = spec_benchmarks(7);
+        assert_eq!(benches.len(), 8);
+        for (name, module) in &benches {
+            assert!(SPEC_BENCHMARKS.contains(&name.as_str()));
+            verify_module(module).expect("spec module verifies");
+            assert!(module.instruction_count() > 50);
+        }
+    }
+}

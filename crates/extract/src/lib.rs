@@ -1,0 +1,449 @@
+//! # lpo-extract
+//!
+//! The instruction-sequence extractor — Algorithm 2 of the LPO paper.
+//!
+//! Given an optimized module, the extractor walks every basic block in every
+//! function **in reverse order**, grows all *dependent instruction sequences*
+//! (an instruction joins every sequence that already uses its result, and
+//! otherwise starts a new sequence), wraps each sequence as a standalone
+//! function, filters out sequences the optimizer can still improve in
+//! isolation, and deduplicates by structural hash.
+//!
+//! ```
+//! use lpo_extract::{Extractor, ExtractConfig};
+//! use lpo_ir::parser::parse_module;
+//!
+//! let module = parse_module(
+//!     "define i8 @f(i32 %x) {\n\
+//!        %c = icmp slt i32 %x, 0\n\
+//!        %m = call i32 @llvm.umin.i32(i32 %x, i32 255)\n\
+//!        %t = trunc nuw i32 %m to i8\n\
+//!        %s = select i1 %c, i8 0, i8 %t\n\
+//!        ret i8 %s\n}",
+//! )?;
+//! let mut extractor = Extractor::new(ExtractConfig::default());
+//! let sequences = extractor.extract_module(&module);
+//! assert!(!sequences.is_empty());
+//! # Ok::<(), lpo_ir::parser::ParseError>(())
+//! ```
+
+use lpo_ir::function::{Function, Param};
+use lpo_ir::hash::{hash_function, Digest};
+use lpo_ir::instruction::{BlockId, InstId, InstKind, Instruction, Value};
+use lpo_ir::module::Module;
+use lpo_ir::types::Type;
+use lpo_opt::pipeline::{OptLevel, Pipeline};
+use std::collections::{HashMap, HashSet};
+
+/// Configuration of the extractor.
+#[derive(Clone, Debug)]
+pub struct ExtractConfig {
+    /// Sequences with fewer non-terminator instructions than this are dropped
+    /// (single instructions rarely expose interesting peepholes).
+    pub min_instructions: usize,
+    /// Sequences with more instructions than this are dropped to keep the LLM
+    /// prompt and the verification tractable.
+    pub max_instructions: usize,
+    /// Whether to discard sequences the optimizer can still improve when
+    /// isolated (line 7 of Algorithm 2).
+    pub filter_already_optimizable: bool,
+    /// The optimization level used for that filter.
+    pub opt_level: OptLevel,
+}
+
+impl Default for ExtractConfig {
+    fn default() -> Self {
+        Self {
+            min_instructions: 2,
+            max_instructions: 24,
+            filter_already_optimizable: true,
+            opt_level: OptLevel::O2,
+        }
+    }
+}
+
+/// One extracted sequence, wrapped as a standalone function.
+#[derive(Clone, Debug)]
+pub struct ExtractedSequence {
+    /// The wrapped function (`@src`), with undefined operands turned into parameters.
+    pub function: Function,
+    /// The structural hash used for deduplication.
+    pub digest: Digest,
+    /// Name of the function the sequence came from.
+    pub source_function: String,
+    /// Label of the basic block the sequence came from.
+    pub source_block: String,
+    /// The name of the module the sequence came from.
+    pub source_module: String,
+}
+
+/// Statistics accumulated while extracting a corpus.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ExtractStats {
+    /// Sequences produced before any filtering.
+    pub raw_sequences: usize,
+    /// Sequences dropped because the optimizer could still improve them.
+    pub filtered_optimizable: usize,
+    /// Sequences dropped because they were outside the size bounds.
+    pub filtered_size: usize,
+    /// Sequences dropped as duplicates of previously seen sequences.
+    pub duplicates: usize,
+    /// Unique sequences kept.
+    pub unique: usize,
+}
+
+/// The extractor. Keeps the cross-module deduplication set (`dedup_set` in
+/// Algorithm 2), so extracting a whole corpus module-by-module deduplicates
+/// globally.
+#[derive(Debug)]
+pub struct Extractor {
+    config: ExtractConfig,
+    dedup_set: HashSet<Digest>,
+    stats: ExtractStats,
+    pipeline: Pipeline,
+}
+
+impl Extractor {
+    /// Creates an extractor with the given configuration.
+    pub fn new(config: ExtractConfig) -> Self {
+        let pipeline = Pipeline::new(config.opt_level);
+        Self { config, dedup_set: HashSet::new(), stats: ExtractStats::default(), pipeline }
+    }
+
+    /// The statistics accumulated so far.
+    pub fn stats(&self) -> ExtractStats {
+        self.stats
+    }
+
+    /// Number of distinct sequence digests seen so far.
+    pub fn seen(&self) -> usize {
+        self.dedup_set.len()
+    }
+
+    /// Extracts all unique dependent instruction sequences from a module
+    /// (the `Extract` function of Algorithm 2).
+    pub fn extract_module(&mut self, module: &Module) -> Vec<ExtractedSequence> {
+        let mut result = Vec::new();
+        for func in &module.functions {
+            for (block_id, block) in func.iter_blocks() {
+                let sequences = extract_sequences_from_block(func, block_id);
+                for seq in sequences {
+                    self.stats.raw_sequences += 1;
+                    let Some(wrapped) = wrap_as_function(func, &seq) else {
+                        self.stats.filtered_size += 1;
+                        continue;
+                    };
+                    let count = wrapped.instruction_count();
+                    if count < self.config.min_instructions || count > self.config.max_instructions {
+                        self.stats.filtered_size += 1;
+                        continue;
+                    }
+                    if self.config.filter_already_optimizable {
+                        let mut probe = wrapped.clone();
+                        if self.pipeline.run(&mut probe).changed {
+                            self.stats.filtered_optimizable += 1;
+                            continue;
+                        }
+                    }
+                    let digest = hash_function(&wrapped);
+                    if !self.dedup_set.insert(digest) {
+                        self.stats.duplicates += 1;
+                        continue;
+                    }
+                    self.stats.unique += 1;
+                    result.push(ExtractedSequence {
+                        function: wrapped,
+                        digest,
+                        source_function: func.name.clone(),
+                        source_block: block.name.clone(),
+                        source_module: module.name.clone(),
+                    });
+                }
+            }
+        }
+        result
+    }
+
+    /// Extracts from every module of a corpus, preserving global deduplication.
+    pub fn extract_corpus<'m>(
+        &mut self,
+        modules: impl IntoIterator<Item = &'m Module>,
+    ) -> Vec<ExtractedSequence> {
+        modules.into_iter().flat_map(|m| self.extract_module(m)).collect()
+    }
+}
+
+/// `ExtractSeqsFromBB` of Algorithm 2: walks the block's instructions in
+/// reverse order and grows every dependent sequence.
+pub fn extract_sequences_from_block(func: &Function, block: BlockId) -> Vec<Vec<InstId>> {
+    let mut seq_set: Vec<Vec<InstId>> = Vec::new();
+    for &inst_id in func.block(block).insts.iter().rev() {
+        let inst = func.inst(inst_id);
+        if inst.is_terminator() {
+            continue;
+        }
+        let mut added = false;
+        let mut new_set: Vec<Vec<InstId>> = Vec::with_capacity(seq_set.len());
+        for seq in &seq_set {
+            let depends = seq.iter().any(|&member| {
+                func.inst(member)
+                    .kind
+                    .operands()
+                    .iter()
+                    .any(|op| matches!(op, Value::Inst(dep) if *dep == inst_id))
+            });
+            if depends {
+                let mut extended = Vec::with_capacity(seq.len() + 1);
+                extended.push(inst_id);
+                extended.extend_from_slice(seq);
+                new_set.push(extended);
+                added = true;
+            } else {
+                new_set.push(seq.clone());
+            }
+        }
+        if !added {
+            new_set.push(vec![inst_id]);
+        }
+        seq_set = new_set;
+    }
+    seq_set
+}
+
+/// `WrapAsFunc` of Algorithm 2: turns an instruction sequence into a
+/// standalone function. Operands defined outside the sequence become function
+/// parameters; a `ret` of the last instruction's value is appended.
+///
+/// Returns `None` when the sequence cannot be wrapped (e.g. it contains a
+/// `phi`, which needs control flow we do not extract, or it fails the IR
+/// verifier after wrapping).
+pub fn wrap_as_function(func: &Function, sequence: &[InstId]) -> Option<Function> {
+    if sequence.is_empty() {
+        return None;
+    }
+    let members: HashSet<InstId> = sequence.iter().copied().collect();
+    // Phi nodes reference control flow that the wrapped function does not have.
+    if sequence.iter().any(|id| matches!(func.inst(*id).kind, InstKind::Phi { .. })) {
+        return None;
+    }
+
+    let mut wrapped = Function::new("src", Type::Void);
+    let entry = wrapped.entry();
+    let mut param_map: HashMap<String, Value> = HashMap::new();
+    let mut value_map: HashMap<InstId, Value> = HashMap::new();
+    let mut param_count = 0usize;
+
+    for &inst_id in sequence {
+        let inst = func.inst(inst_id);
+        let mut new_kind = inst.kind.clone();
+        for op in new_kind.operands_mut() {
+            let mapped = match &*op {
+                Value::Inst(dep) if members.contains(dep) => {
+                    value_map.get(dep).cloned().expect("sequence is in dependency order")
+                }
+                Value::Const(_) => op.clone(),
+                other => {
+                    let key = func.describe_value(other);
+                    if let Some(v) = param_map.get(&key) {
+                        v.clone()
+                    } else {
+                        let ty = func.value_type(other);
+                        wrapped.params.push(Param { name: format!("a{param_count}"), ty });
+                        param_count += 1;
+                        let v = Value::Arg(wrapped.params.len() - 1);
+                        param_map.insert(key, v.clone());
+                        v
+                    }
+                }
+            };
+            *op = mapped;
+        }
+        let new_id = wrapped.append_inst(
+            entry,
+            Instruction::new(new_kind, inst.ty.clone(), format!("v{}", value_map.len())),
+        );
+        value_map.insert(inst_id, Value::Inst(new_id));
+    }
+
+    // Return the value produced by the last value-producing instruction.
+    let last_value = sequence
+        .iter()
+        .rev()
+        .find(|id| func.inst(**id).produces_value())
+        .and_then(|id| value_map.get(id).cloned());
+    match last_value {
+        Some(v) => {
+            let ret_ty = wrapped.value_type(&v);
+            wrapped.ret_ty = ret_ty;
+            wrapped.append_inst(entry, Instruction::new(InstKind::Ret { value: Some(v) }, Type::Void, ""));
+        }
+        None => {
+            // A sequence of only stores: return void.
+            wrapped.ret_ty = Type::Void;
+            wrapped.append_inst(entry, Instruction::new(InstKind::Ret { value: None }, Type::Void, ""));
+        }
+    }
+    lpo_ir::verifier::verify_function(&wrapped).ok()?;
+    Some(wrapped)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lpo_ir::parser::parse_module;
+    use lpo_ir::printer::print_function;
+
+    fn module(text: &str) -> Module {
+        parse_module(text).unwrap()
+    }
+
+    #[test]
+    fn reverse_walk_builds_dependent_sequences() {
+        let m = module(
+            "define i32 @f(i32 %x, i32 %y) {\n\
+             %a = add i32 %x, 1\n\
+             %b = mul i32 %a, 2\n\
+             %c = xor i32 %y, 7\n\
+             %d = add i32 %b, %c\n\
+             ret i32 %d\n}",
+        );
+        let f = &m.functions[0];
+        let seqs = extract_sequences_from_block(f, f.entry());
+        // All four instructions feed %d, so the reverse walk grows one maximal
+        // dependent sequence containing everything.
+        assert_eq!(seqs.len(), 1);
+        assert_eq!(seqs[0].len(), 4);
+        // Sequences come out in forward (dependency) order.
+        let names: Vec<_> = seqs[0].iter().map(|id| f.inst(*id).name.clone()).collect();
+        assert_eq!(names, vec!["a", "b", "c", "d"]);
+    }
+
+    #[test]
+    fn independent_chains_become_separate_sequences() {
+        let m = module(
+            "define void @f(ptr %p, ptr %q, i32 %x) {\n\
+             %a = add i32 %x, 1\n\
+             store i32 %a, ptr %p, align 4\n\
+             %b = mul i32 %x, 3\n\
+             store i32 %b, ptr %q, align 4\n\
+             ret void\n}",
+        );
+        let f = &m.functions[0];
+        let seqs = extract_sequences_from_block(f, f.entry());
+        assert_eq!(seqs.len(), 2);
+        assert!(seqs.iter().all(|s| s.len() == 2));
+    }
+
+    #[test]
+    fn wrapping_turns_free_values_into_parameters() {
+        let m = module(
+            "define i8 @f(i32 %x) {\n\
+             %c = icmp slt i32 %x, 0\n\
+             %m = call i32 @llvm.umin.i32(i32 %x, i32 255)\n\
+             %t = trunc nuw i32 %m to i8\n\
+             %s = select i1 %c, i8 0, i8 %t\n\
+             ret i8 %s\n}",
+        );
+        let f = &m.functions[0];
+        let seqs = extract_sequences_from_block(f, f.entry());
+        let longest = seqs.iter().max_by_key(|s| s.len()).unwrap();
+        let wrapped = wrap_as_function(f, longest).unwrap();
+        assert_eq!(wrapped.name, "src");
+        assert_eq!(wrapped.params.len(), 1);
+        assert_eq!(wrapped.ret_ty, Type::i8());
+        assert_eq!(wrapped.instruction_count(), 4);
+        let text = print_function(&wrapped);
+        assert!(text.contains("select"));
+        assert!(text.contains("ret i8"));
+    }
+
+    #[test]
+    fn wrapping_memory_sequences_keeps_loads_and_geps() {
+        let m = module(
+            "define i32 @f(ptr %p, i64 %i) {\n\
+             %g = getelementptr inbounds nuw i32, ptr %p, i64 %i\n\
+             %v = load i32, ptr %g, align 4\n\
+             %w = mul i32 %v, 3\n\
+             ret i32 %w\n}",
+        );
+        let f = &m.functions[0];
+        let seqs = extract_sequences_from_block(f, f.entry());
+        let wrapped = wrap_as_function(f, &seqs[0]).unwrap();
+        assert_eq!(wrapped.params.len(), 2);
+        assert!(wrapped.params.iter().any(|p| p.ty == Type::Ptr));
+        assert!(wrapped.params.iter().any(|p| p.ty == Type::i64()));
+        assert!(print_function(&wrapped).contains("getelementptr"));
+    }
+
+    #[test]
+    fn extractor_deduplicates_and_filters() {
+        let m = module(
+            "define i8 @a(i32 %x) {\n\
+             %c = icmp slt i32 %x, 0\n\
+             %m = call i32 @llvm.umin.i32(i32 %x, i32 255)\n\
+             %t = trunc nuw i32 %m to i8\n\
+             %s = select i1 %c, i8 0, i8 %t\n\
+             ret i8 %s\n}\n\
+             define i8 @b(i32 %y) {\n\
+             %c2 = icmp slt i32 %y, 0\n\
+             %m2 = call i32 @llvm.umin.i32(i32 %y, i32 255)\n\
+             %t2 = trunc nuw i32 %m2 to i8\n\
+             %s2 = select i1 %c2, i8 0, i8 %t2\n\
+             ret i8 %s2\n}\n\
+             define i32 @c(i32 %z) {\n\
+             %u = add i32 %z, 0\n\
+             %v = mul i32 %u, 1\n\
+             ret i32 %v\n}",
+        );
+        let mut ex = Extractor::new(ExtractConfig::default());
+        let seqs = ex.extract_module(&m);
+        let stats = ex.stats();
+        assert!(stats.duplicates > 0, "identical bodies must deduplicate: {stats:?}");
+        assert!(stats.filtered_optimizable > 0, "trivially optimizable bodies must be filtered: {stats:?}");
+        assert_eq!(stats.unique, seqs.len());
+        assert!(seqs.iter().any(|s| print_function(&s.function).contains("umin")));
+    }
+
+    #[test]
+    fn phi_sequences_are_skipped_and_terminators_ignored() {
+        let m = module(
+            "define i32 @loop(i32 %n) {\n\
+             entry:\n  br label %h\n\
+             h:\n\
+              %i = phi i32 [ 0, %entry ], [ %n2, %h ]\n\
+              %n2 = add i32 %i, 1\n\
+              %c = icmp slt i32 %n2, %n\n\
+              br i1 %c, label %h, label %x\n\
+             x:\n  ret i32 %n2\n}",
+        );
+        let mut ex = Extractor::new(ExtractConfig { min_instructions: 1, ..Default::default() });
+        let seqs = ex.extract_module(&m);
+        for s in &seqs {
+            assert!(!print_function(&s.function).contains("phi"));
+        }
+    }
+
+    #[test]
+    fn corpus_extraction_tracks_global_stats() {
+        let m1 = module("define i32 @f(i32 %x) {\n %a = mul i32 %x, 7\n %b = add i32 %a, %x\n ret i32 %b\n}");
+        let m2 = module("define i32 @g(i32 %y) {\n %a = mul i32 %y, 7\n %b = add i32 %a, %y\n ret i32 %b\n}");
+        let mut ex = Extractor::new(ExtractConfig::default());
+        let all = ex.extract_corpus([&m1, &m2]);
+        assert_eq!(ex.stats().duplicates, 1);
+        assert_eq!(all.len(), ex.stats().unique);
+        assert!(ex.seen() >= all.len());
+        assert_eq!(all[0].source_function, "f");
+        assert_eq!(all[0].source_block, "entry");
+    }
+
+    #[test]
+    fn size_bounds_are_respected() {
+        let m = module(
+            "define i32 @f(i32 %x) {\n %a = mul i32 %x, 7\n %b = add i32 %a, %x\n %c = xor i32 %b, 3\n ret i32 %c\n}",
+        );
+        let mut ex = Extractor::new(ExtractConfig { max_instructions: 2, ..Default::default() });
+        let seqs = ex.extract_module(&m);
+        assert!(seqs.iter().all(|s| s.function.instruction_count() <= 2));
+        assert!(ex.stats().filtered_size > 0);
+    }
+}

@@ -1,0 +1,30 @@
+//! # lpo-interp
+//!
+//! Concrete evaluation of `lpo-ir` functions with LLVM's poison/undef
+//! semantics and a bounds-checked byte memory. This is the semantic ground
+//! truth the translation validator (`lpo-tv`) compares source and target
+//! functions against.
+//!
+//! ```
+//! use lpo_interp::prelude::*;
+//! use lpo_ir::parser::parse_function;
+//!
+//! let f = parse_function("define i8 @f(i8 %x) {\n %r = add i8 %x, 1\n ret i8 %r\n}")?;
+//! let out = evaluate_default(&f, &[EvalValue::int(8, 41)], Memory::new()).unwrap();
+//! assert_eq!(out.result, Some(EvalValue::int(8, 42)));
+//! # Ok::<(), lpo_ir::parser::ParseError>(())
+//! ```
+
+pub mod eval;
+pub mod memory;
+pub mod value;
+
+/// Commonly used items, re-exported for convenience.
+pub mod prelude {
+    pub use crate::eval::{
+        evaluate, evaluate_default, fold_instruction, to_constant, EvalOutcome, Ub,
+        DEFAULT_STEP_LIMIT,
+    };
+    pub use crate::memory::{Allocation, MemError, Memory, DEFAULT_ALLOC_SIZE};
+    pub use crate::value::{EvalValue, PtrValue};
+}

@@ -1,0 +1,327 @@
+//! A simple byte-addressed memory model for concrete evaluation.
+//!
+//! Every pointer argument of a function under test is bound to its own
+//! [`Allocation`] of a fixed size. Loads and stores check bounds: any access
+//! outside an allocation is immediate undefined behaviour, which is how the
+//! refinement checker learns that a candidate dereferences memory the original
+//! did not.
+//!
+//! Values are stored as little-endian bytes with a per-byte poison shadow, so
+//! a poisoned store poisons exactly the bytes it touches.
+
+use crate::value::{EvalValue, PtrValue};
+use lpo_ir::apint::ApInt;
+use lpo_ir::types::{FloatKind, Type};
+
+/// The default size of the allocation backing each pointer argument.
+pub const DEFAULT_ALLOC_SIZE: usize = 64;
+
+/// One contiguous allocation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Allocation {
+    bytes: Vec<u8>,
+    poison: Vec<bool>,
+}
+
+impl Allocation {
+    /// Creates an allocation of `size` zeroed bytes.
+    pub fn new(size: usize) -> Self {
+        Self { bytes: vec![0; size], poison: vec![false; size] }
+    }
+
+    /// Creates an allocation with the given contents.
+    pub fn with_bytes(bytes: Vec<u8>) -> Self {
+        let len = bytes.len();
+        Self { bytes, poison: vec![false; len] }
+    }
+
+    /// The allocation size in bytes.
+    pub fn size(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// Read-only view of the raw bytes.
+    pub fn bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+
+    /// Read-only view of the per-byte poison shadow (`true` = poisoned).
+    pub fn poison_mask(&self) -> &[bool] {
+        &self.poison
+    }
+}
+
+/// The evaluation memory: a set of allocations.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Memory {
+    allocations: Vec<Allocation>,
+}
+
+/// An out-of-bounds or null-pointer access.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MemError {
+    /// Description of the invalid access.
+    pub message: String,
+}
+
+impl Memory {
+    /// Creates an empty memory.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds an allocation and returns its id.
+    pub fn allocate(&mut self, alloc: Allocation) -> usize {
+        self.allocations.push(alloc);
+        self.allocations.len() - 1
+    }
+
+    /// Adds a zero-initialised allocation of `size` bytes and returns its id.
+    pub fn allocate_zeroed(&mut self, size: usize) -> usize {
+        self.allocate(Allocation::new(size))
+    }
+
+    /// The number of allocations.
+    pub fn allocation_count(&self) -> usize {
+        self.allocations.len()
+    }
+
+    /// Access an allocation by id.
+    pub fn allocation(&self, id: usize) -> Option<&Allocation> {
+        self.allocations.get(id)
+    }
+
+    fn check_range(&self, ptr: PtrValue, size: usize) -> Result<(usize, usize), MemError> {
+        if ptr.alloc == usize::MAX {
+            return Err(MemError { message: "dereference of a null pointer".into() });
+        }
+        let alloc = self.allocations.get(ptr.alloc).ok_or_else(|| MemError {
+            message: format!("dereference of invalid allocation #{}", ptr.alloc),
+        })?;
+        if ptr.offset < 0 {
+            return Err(MemError {
+                message: format!("access at negative offset {}", ptr.offset),
+            });
+        }
+        let start = ptr.offset as usize;
+        let end = start.checked_add(size).ok_or_else(|| MemError {
+            message: "access size overflows the address space".into(),
+        })?;
+        if end > alloc.size() {
+            return Err(MemError {
+                message: format!(
+                    "out-of-bounds access of {size} bytes at offset {start} in a {}-byte allocation",
+                    alloc.size()
+                ),
+            });
+        }
+        Ok((ptr.alloc, start))
+    }
+
+    /// Loads a value of type `ty` from `ptr`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`MemError`] for null or out-of-bounds accesses.
+    pub fn load(&self, ptr: PtrValue, ty: &Type) -> Result<EvalValue, MemError> {
+        match ty {
+            Type::Vector(n, elem) => {
+                let elem_size = elem.size_in_bytes() as i64;
+                let mut lanes = Vec::with_capacity(*n as usize);
+                for i in 0..*n {
+                    let lane_ptr = PtrValue { alloc: ptr.alloc, offset: ptr.offset + i as i64 * elem_size };
+                    lanes.push(self.load(lane_ptr, elem)?);
+                }
+                Ok(EvalValue::Vector(lanes))
+            }
+            _ => {
+                let size = ty.size_in_bytes() as usize;
+                let (aid, start) = self.check_range(ptr, size)?;
+                let alloc = &self.allocations[aid];
+                if alloc.poison[start..start + size].iter().any(|p| *p) {
+                    return Ok(EvalValue::Poison);
+                }
+                let mut raw: u128 = 0;
+                for (i, &b) in alloc.bytes[start..start + size].iter().enumerate() {
+                    raw |= (b as u128) << (8 * i);
+                }
+                Ok(match ty {
+                    Type::Int(w) => EvalValue::Int(ApInt::new(*w, raw)),
+                    Type::Float(FloatKind::Float) => {
+                        EvalValue::Float(FloatKind::Float, f32::from_bits(raw as u32) as f64)
+                    }
+                    Type::Float(k) => EvalValue::Float(*k, f64::from_bits(raw as u64)),
+                    Type::Ptr => EvalValue::Ptr(PtrValue {
+                        alloc: (raw >> 32) as usize,
+                        offset: (raw as u32) as i64,
+                    }),
+                    _ => unreachable!("scalar load"),
+                })
+            }
+        }
+    }
+
+    /// Stores `value` of type `ty` to `ptr`.
+    ///
+    /// Storing poison poisons the destination bytes; storing undef stores an
+    /// arbitrary (zero) pattern.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`MemError`] for null or out-of-bounds accesses.
+    pub fn store(&mut self, ptr: PtrValue, value: &EvalValue, ty: &Type) -> Result<(), MemError> {
+        match (ty, value) {
+            (Type::Vector(n, elem), EvalValue::Vector(lanes)) => {
+                let elem_size = elem.size_in_bytes() as i64;
+                for i in 0..*n as usize {
+                    let lane_ptr = PtrValue { alloc: ptr.alloc, offset: ptr.offset + i as i64 * elem_size };
+                    let lane = lanes.get(i).cloned().unwrap_or(EvalValue::Poison);
+                    self.store(lane_ptr, &lane, elem)?;
+                }
+                Ok(())
+            }
+            (Type::Vector(n, elem), EvalValue::Poison | EvalValue::Undef) => {
+                let elem_size = elem.size_in_bytes() as i64;
+                for i in 0..*n as usize {
+                    let lane_ptr = PtrValue { alloc: ptr.alloc, offset: ptr.offset + i as i64 * elem_size };
+                    self.store(lane_ptr, value, elem)?;
+                }
+                Ok(())
+            }
+            _ => {
+                let size = ty.size_in_bytes() as usize;
+                let (aid, start) = self.check_range(ptr, size)?;
+                let alloc = &mut self.allocations[aid];
+                let raw: u128 = match value {
+                    EvalValue::Int(v) => v.zext_value(),
+                    EvalValue::Float(FloatKind::Float, v) => (*v as f32).to_bits() as u128,
+                    EvalValue::Float(_, v) => v.to_bits() as u128,
+                    EvalValue::Ptr(p) => ((p.alloc as u128) << 32) | (p.offset as u32 as u128),
+                    EvalValue::Undef => 0,
+                    EvalValue::Poison => {
+                        for p in &mut alloc.poison[start..start + size] {
+                            *p = true;
+                        }
+                        return Ok(());
+                    }
+                    EvalValue::Vector(_) => {
+                        return Err(MemError { message: "vector stored through a scalar type".into() })
+                    }
+                };
+                for i in 0..size {
+                    alloc.bytes[start + i] = (raw >> (8 * i)) as u8;
+                    alloc.poison[start + i] = false;
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Compares the observable contents of two memories: same allocation
+    /// count, sizes, bytes and poison shadows.
+    pub fn observably_equal(&self, other: &Memory) -> bool {
+        self == other
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_ints() {
+        let mut m = Memory::new();
+        let a = m.allocate_zeroed(16);
+        let p = PtrValue { alloc: a, offset: 4 };
+        m.store(p, &EvalValue::int(32, 0xdead_beef), &Type::i32()).unwrap();
+        assert_eq!(m.load(p, &Type::i32()).unwrap(), EvalValue::int(32, 0xdead_beef));
+        // Little-endian layout: two i16 loads see the halves.
+        assert_eq!(m.load(p, &Type::i16()).unwrap(), EvalValue::int(16, 0xbeef));
+        let hi = PtrValue { alloc: a, offset: 6 };
+        assert_eq!(m.load(hi, &Type::i16()).unwrap(), EvalValue::int(16, 0xdead));
+    }
+
+    #[test]
+    fn round_trip_floats_and_vectors() {
+        let mut m = Memory::new();
+        let a = m.allocate_zeroed(64);
+        let p = PtrValue { alloc: a, offset: 0 };
+        m.store(p, &EvalValue::Float(FloatKind::Double, 1.5), &Type::double()).unwrap();
+        assert_eq!(m.load(p, &Type::double()).unwrap(), EvalValue::Float(FloatKind::Double, 1.5));
+
+        let v = EvalValue::Vector(vec![
+            EvalValue::int(32, 1),
+            EvalValue::int(32, 2),
+            EvalValue::int(32, 3),
+            EvalValue::int(32, 4),
+        ]);
+        let vt = Type::vector(4, Type::i32());
+        m.store(p, &v, &vt).unwrap();
+        assert_eq!(m.load(p, &vt).unwrap(), v);
+        // Element 2 readable as scalar.
+        let p2 = PtrValue { alloc: a, offset: 8 };
+        assert_eq!(m.load(p2, &Type::i32()).unwrap(), EvalValue::int(32, 3));
+    }
+
+    #[test]
+    fn bounds_are_enforced() {
+        let mut m = Memory::new();
+        let a = m.allocate_zeroed(8);
+        let inside = PtrValue { alloc: a, offset: 4 };
+        let outside = PtrValue { alloc: a, offset: 6 };
+        assert!(m.load(inside, &Type::i32()).is_ok());
+        assert!(m.load(outside, &Type::i32()).is_err());
+        assert!(m.store(outside, &EvalValue::int(32, 0), &Type::i32()).is_err());
+        let negative = PtrValue { alloc: a, offset: -1 };
+        assert!(m.load(negative, &Type::i8()).is_err());
+        let null = PtrValue { alloc: usize::MAX, offset: 0 };
+        assert!(m.load(null, &Type::i8()).is_err());
+        let bogus = PtrValue { alloc: 99, offset: 0 };
+        assert!(m.load(bogus, &Type::i8()).is_err());
+    }
+
+    #[test]
+    fn poison_shadow() {
+        let mut m = Memory::new();
+        let a = m.allocate_zeroed(8);
+        let p = PtrValue { alloc: a, offset: 0 };
+        m.store(p, &EvalValue::Poison, &Type::i32()).unwrap();
+        assert!(m.load(p, &Type::i32()).unwrap().is_poison());
+        // Overwriting clears the poison.
+        m.store(p, &EvalValue::int(32, 5), &Type::i32()).unwrap();
+        assert_eq!(m.load(p, &Type::i32()).unwrap(), EvalValue::int(32, 5));
+        // Partial overlap with poison still reads poison.
+        m.store(PtrValue { alloc: a, offset: 2 }, &EvalValue::Poison, &Type::i8()).unwrap();
+        assert!(m.load(p, &Type::i32()).unwrap().is_poison());
+        assert_eq!(m.load(p, &Type::i16()).unwrap(), EvalValue::int(16, 5));
+    }
+
+    #[test]
+    fn observational_equality() {
+        let mut a = Memory::new();
+        let mut b = Memory::new();
+        let ia = a.allocate_zeroed(8);
+        let ib = b.allocate_zeroed(8);
+        assert!(a.observably_equal(&b));
+        a.store(PtrValue { alloc: ia, offset: 0 }, &EvalValue::int(8, 1), &Type::i8()).unwrap();
+        assert!(!a.observably_equal(&b));
+        b.store(PtrValue { alloc: ib, offset: 0 }, &EvalValue::int(8, 1), &Type::i8()).unwrap();
+        assert!(a.observably_equal(&b));
+    }
+
+    #[test]
+    fn allocation_from_bytes() {
+        let alloc = Allocation::with_bytes(vec![1, 2, 3, 4]);
+        assert_eq!(alloc.size(), 4);
+        assert_eq!(alloc.bytes(), &[1, 2, 3, 4]);
+        let mut m = Memory::new();
+        let id = m.allocate(alloc);
+        assert_eq!(m.allocation_count(), 1);
+        assert_eq!(
+            m.load(PtrValue { alloc: id, offset: 0 }, &Type::i32()).unwrap(),
+            EvalValue::int(32, 0x04030201)
+        );
+        assert!(m.allocation(id).is_some());
+        assert!(m.allocation(5).is_none());
+    }
+}

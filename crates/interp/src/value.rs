@@ -1,0 +1,280 @@
+//! Runtime values produced by concrete evaluation.
+//!
+//! [`EvalValue`] mirrors LLVM's dynamic semantics: an integer, float, pointer
+//! or vector, plus the two "deferred error" values `poison` and `undef`.
+//! Immediate undefined behaviour (division by zero, out-of-bounds stores, …)
+//! is *not* a value — the evaluator reports it through
+//! [`Ub`](crate::eval::Ub) instead.
+
+use lpo_ir::apint::ApInt;
+use lpo_ir::constant::Constant;
+use lpo_ir::types::{FloatKind, Type};
+use std::fmt;
+
+/// A pointer value: an allocation id plus a byte offset into it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct PtrValue {
+    /// Which allocation this pointer refers to (index into the [`Memory`](crate::memory::Memory)).
+    pub alloc: usize,
+    /// Byte offset from the allocation base. May be negative or out of bounds;
+    /// bounds are only checked when the pointer is dereferenced.
+    pub offset: i64,
+}
+
+/// A concrete runtime value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum EvalValue {
+    /// An integer of a specific bit width.
+    Int(ApInt),
+    /// A floating-point value.
+    Float(FloatKind, f64),
+    /// A pointer into the evaluation memory.
+    Ptr(PtrValue),
+    /// A fixed-length vector of scalar values (lanes may individually be poison).
+    Vector(Vec<EvalValue>),
+    /// The poison value: the result of a violated instruction assumption.
+    Poison,
+    /// The undef value: an unspecified but fixed bit pattern.
+    Undef,
+}
+
+impl EvalValue {
+    /// Creates an integer value.
+    pub fn int(width: u32, value: u128) -> EvalValue {
+        EvalValue::Int(ApInt::new(width, value))
+    }
+
+    /// Creates an integer value from a signed integer.
+    pub fn int_signed(width: u32, value: i128) -> EvalValue {
+        EvalValue::Int(ApInt::from_i128(width, value))
+    }
+
+    /// Creates a boolean (`i1`) value.
+    pub fn bool(value: bool) -> EvalValue {
+        EvalValue::Int(ApInt::bool(value))
+    }
+
+    /// Converts an IR constant into a runtime value.
+    pub fn from_constant(c: &Constant) -> EvalValue {
+        match c {
+            Constant::Int(v) => EvalValue::Int(*v),
+            Constant::Float(k, v) => EvalValue::Float(*k, *v),
+            Constant::NullPtr => EvalValue::Ptr(PtrValue { alloc: usize::MAX, offset: 0 }),
+            Constant::Undef(_) => EvalValue::Undef,
+            Constant::Poison(_) => EvalValue::Poison,
+            Constant::Vector(elems) => {
+                EvalValue::Vector(elems.iter().map(EvalValue::from_constant).collect())
+            }
+        }
+    }
+
+    /// Returns `true` if the value is poison, or a vector with any poison lane.
+    pub fn is_poison(&self) -> bool {
+        match self {
+            EvalValue::Poison => true,
+            EvalValue::Vector(lanes) => lanes.iter().any(EvalValue::is_poison),
+            _ => false,
+        }
+    }
+
+    /// Returns `true` if the value is undef, or a vector with any undef lane.
+    pub fn is_undef(&self) -> bool {
+        match self {
+            EvalValue::Undef => true,
+            EvalValue::Vector(lanes) => lanes.iter().any(EvalValue::is_undef),
+            _ => false,
+        }
+    }
+
+    /// Returns the integer if this is an integer value.
+    pub fn as_int(&self) -> Option<&ApInt> {
+        match self {
+            EvalValue::Int(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Returns the float if this is a floating-point value.
+    pub fn as_float(&self) -> Option<f64> {
+        match self {
+            EvalValue::Float(_, v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Returns the pointer if this is a pointer value.
+    pub fn as_ptr(&self) -> Option<PtrValue> {
+        match self {
+            EvalValue::Ptr(p) => Some(*p),
+            _ => None,
+        }
+    }
+
+    /// Returns the lanes if this is a vector value.
+    pub fn lanes(&self) -> Option<&[EvalValue]> {
+        match self {
+            EvalValue::Vector(lanes) => Some(lanes),
+            _ => None,
+        }
+    }
+
+    /// Interprets the value as a boolean.
+    ///
+    /// Returns `None` for poison/undef or non-`i1` values.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            EvalValue::Int(v) if v.width() == 1 => Some(v.as_bool()),
+            _ => None,
+        }
+    }
+
+    /// Resolves `undef` (including undef vector lanes) to a concrete value of
+    /// the given type using the supplied chooser bits, leaving everything else
+    /// unchanged. The same chooser value always resolves to the same concrete
+    /// value, which is what the refinement checker needs when it enumerates
+    /// undef choices.
+    pub fn resolve_undef(&self, ty: &Type, choice: u64) -> EvalValue {
+        match self {
+            EvalValue::Undef => match ty.scalar_type() {
+                Type::Int(w) => EvalValue::Int(ApInt::new(*w, choice as u128)),
+                Type::Float(k) => EvalValue::Float(*k, choice as f64),
+                Type::Ptr => EvalValue::Ptr(PtrValue { alloc: usize::MAX, offset: 0 }),
+                _ => EvalValue::Undef,
+            },
+            EvalValue::Vector(lanes) => EvalValue::Vector(
+                lanes
+                    .iter()
+                    .enumerate()
+                    .map(|(i, l)| l.resolve_undef(ty.scalar_type(), choice.wrapping_add(i as u64)))
+                    .collect(),
+            ),
+            other => other.clone(),
+        }
+    }
+
+    /// Structural equality that treats NaN floats as equal to each other,
+    /// which is what "same observable behaviour" means for our refinement
+    /// checker (LLVM NaN payloads are not observable at this level).
+    pub fn same_as(&self, other: &EvalValue) -> bool {
+        match (self, other) {
+            (EvalValue::Float(_, a), EvalValue::Float(_, b)) => {
+                (a.is_nan() && b.is_nan()) || a == b || (*a == 0.0 && *b == 0.0)
+            }
+            (EvalValue::Vector(a), EvalValue::Vector(b)) => {
+                a.len() == b.len() && a.iter().zip(b).all(|(x, y)| x.same_as(y))
+            }
+            (a, b) => a == b,
+        }
+    }
+}
+
+impl fmt::Display for EvalValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EvalValue::Int(v) => write!(f, "{}", v.sext_value()),
+            EvalValue::Float(_, v) => write!(f, "{v}"),
+            EvalValue::Ptr(p) => {
+                if p.alloc == usize::MAX {
+                    write!(f, "null")
+                } else {
+                    write!(f, "&alloc{}+{}", p.alloc, p.offset)
+                }
+            }
+            EvalValue::Vector(lanes) => {
+                write!(f, "<")?;
+                for (i, l) in lanes.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{l}")?;
+                }
+                write!(f, ">")
+            }
+            EvalValue::Poison => write!(f, "poison"),
+            EvalValue::Undef => write!(f, "undef"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_conversion() {
+        assert_eq!(
+            EvalValue::from_constant(&Constant::int(8, 7)),
+            EvalValue::int(8, 7)
+        );
+        assert_eq!(
+            EvalValue::from_constant(&Constant::double(2.5)),
+            EvalValue::Float(FloatKind::Double, 2.5)
+        );
+        assert!(EvalValue::from_constant(&Constant::Poison(Type::i8())).is_poison());
+        assert!(EvalValue::from_constant(&Constant::Undef(Type::i8())).is_undef());
+        let v = EvalValue::from_constant(&Constant::splat(4, Constant::int(32, 1)));
+        assert_eq!(v.lanes().unwrap().len(), 4);
+    }
+
+    #[test]
+    fn poison_and_undef_in_vectors() {
+        let v = EvalValue::Vector(vec![EvalValue::int(8, 1), EvalValue::Poison]);
+        assert!(v.is_poison());
+        assert!(!v.is_undef());
+        let u = EvalValue::Vector(vec![EvalValue::Undef, EvalValue::int(8, 1)]);
+        assert!(u.is_undef());
+    }
+
+    #[test]
+    fn bool_accessor() {
+        assert_eq!(EvalValue::bool(true).as_bool(), Some(true));
+        assert_eq!(EvalValue::int(8, 1).as_bool(), None);
+        assert_eq!(EvalValue::Poison.as_bool(), None);
+    }
+
+    #[test]
+    fn undef_resolution_is_deterministic() {
+        let ty = Type::i32();
+        let a = EvalValue::Undef.resolve_undef(&ty, 42);
+        let b = EvalValue::Undef.resolve_undef(&ty, 42);
+        assert_eq!(a, b);
+        assert_eq!(a, EvalValue::int(32, 42));
+        let vec_ty = Type::vector(2, Type::i8());
+        let v = EvalValue::Vector(vec![EvalValue::Undef, EvalValue::int(8, 3)]);
+        let resolved = v.resolve_undef(&vec_ty, 5);
+        assert_eq!(
+            resolved,
+            EvalValue::Vector(vec![EvalValue::int(8, 5), EvalValue::int(8, 3)])
+        );
+    }
+
+    #[test]
+    fn nan_aware_equality() {
+        let a = EvalValue::Float(FloatKind::Double, f64::NAN);
+        let b = EvalValue::Float(FloatKind::Double, f64::NAN);
+        assert!(a.same_as(&b));
+        assert!(!a.same_as(&EvalValue::Float(FloatKind::Double, 1.0)));
+        let z1 = EvalValue::Float(FloatKind::Double, 0.0);
+        let z2 = EvalValue::Float(FloatKind::Double, -0.0);
+        assert!(z1.same_as(&z2));
+        assert!(EvalValue::int(8, 3).same_as(&EvalValue::int(8, 3)));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(EvalValue::int_signed(8, -1).to_string(), "-1");
+        assert_eq!(EvalValue::Poison.to_string(), "poison");
+        assert_eq!(
+            EvalValue::Vector(vec![EvalValue::int(8, 1), EvalValue::int(8, 2)]).to_string(),
+            "<1, 2>"
+        );
+        assert_eq!(
+            EvalValue::Ptr(PtrValue { alloc: usize::MAX, offset: 0 }).to_string(),
+            "null"
+        );
+        assert_eq!(
+            EvalValue::Ptr(PtrValue { alloc: 1, offset: 8 }).to_string(),
+            "&alloc1+8"
+        );
+    }
+}

@@ -1,0 +1,698 @@
+//! Arbitrary-width (1–128 bit) two's-complement integers.
+//!
+//! LLVM IR integers carry an explicit bit width (`i1`, `i8`, `i32`, …).  This
+//! module provides [`ApInt`], a small value type that mirrors the semantics of
+//! LLVM's `APInt` for the widths the LPO reproduction needs (up to 128 bits).
+//! All arithmetic wraps modulo `2^width`; helpers are provided to detect
+//! signed/unsigned overflow so that `nuw`/`nsw` poison semantics can be
+//! implemented on top.
+//!
+//! # Examples
+//!
+//! ```
+//! use lpo_ir::apint::ApInt;
+//!
+//! let a = ApInt::new(8, 200);
+//! let b = ApInt::new(8, 100);
+//! let (sum, carried) = a.uadd_overflow(&b);
+//! assert_eq!(sum.zext_value(), 44); // 300 mod 256
+//! assert!(carried);
+//! ```
+
+use std::fmt;
+
+/// A fixed-width two's-complement integer value with 1 to 128 bits.
+///
+/// The value is stored zero-extended in a `u128`; bits above `width` are
+/// always zero (a canonical representation maintained by every operation).
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ApInt {
+    width: u32,
+    bits: u128,
+}
+
+impl ApInt {
+    /// Maximum supported bit width.
+    pub const MAX_WIDTH: u32 = 128;
+
+    /// Creates a new value of the given width, truncating `value` to fit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is zero or greater than [`ApInt::MAX_WIDTH`].
+    pub fn new(width: u32, value: u128) -> Self {
+        assert!(width >= 1 && width <= Self::MAX_WIDTH, "invalid integer width {width}");
+        Self { width, bits: value & Self::mask(width) }
+    }
+
+    /// Creates a value from a signed integer, truncating to `width` bits.
+    pub fn from_i128(width: u32, value: i128) -> Self {
+        Self::new(width, value as u128)
+    }
+
+    /// Creates the boolean value `true` (`i1 1`) or `false` (`i1 0`).
+    pub fn bool(value: bool) -> Self {
+        Self::new(1, value as u128)
+    }
+
+    /// The all-zeros value of the given width.
+    pub fn zero(width: u32) -> Self {
+        Self::new(width, 0)
+    }
+
+    /// The value one of the given width.
+    pub fn one(width: u32) -> Self {
+        Self::new(width, 1)
+    }
+
+    /// The all-ones value (`-1` / `UMAX`) of the given width.
+    pub fn all_ones(width: u32) -> Self {
+        Self::new(width, u128::MAX)
+    }
+
+    /// The largest signed value of the given width (`0111…1`).
+    pub fn signed_max(width: u32) -> Self {
+        Self::new(width, (Self::mask(width)) >> 1)
+    }
+
+    /// The smallest signed value of the given width (`1000…0`).
+    pub fn signed_min(width: u32) -> Self {
+        Self::new(width, 1u128 << (width - 1).min(127))
+    }
+
+    fn mask(width: u32) -> u128 {
+        if width >= 128 { u128::MAX } else { (1u128 << width) - 1 }
+    }
+
+    /// The bit width of this value.
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// The raw, zero-extended value.
+    pub fn zext_value(&self) -> u128 {
+        self.bits
+    }
+
+    /// The value interpreted as a signed (sign-extended) integer.
+    pub fn sext_value(&self) -> i128 {
+        if self.width >= 128 {
+            self.bits as i128
+        } else if self.bits >> (self.width - 1) & 1 == 1 {
+            (self.bits | !Self::mask(self.width)) as i128
+        } else {
+            self.bits as i128
+        }
+    }
+
+    /// Returns `true` if the value is zero.
+    pub fn is_zero(&self) -> bool {
+        self.bits == 0
+    }
+
+    /// Returns `true` if the value is one.
+    pub fn is_one(&self) -> bool {
+        self.bits == 1
+    }
+
+    /// Returns `true` if every bit is set (i.e. the value is `-1`).
+    pub fn is_all_ones(&self) -> bool {
+        self.bits == Self::mask(self.width)
+    }
+
+    /// Returns `true` if the sign bit is set.
+    pub fn is_negative(&self) -> bool {
+        self.sext_value() < 0
+    }
+
+    /// Returns `true` if the value is a power of two (and non-zero).
+    pub fn is_power_of_two(&self) -> bool {
+        self.bits != 0 && self.bits & (self.bits - 1) == 0
+    }
+
+    /// Interprets an `i1` as a Rust `bool`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the width is not 1.
+    pub fn as_bool(&self) -> bool {
+        assert_eq!(self.width, 1, "as_bool on non-i1 value");
+        self.bits == 1
+    }
+
+    // --- wrapping arithmetic -------------------------------------------------
+
+    /// Wrapping addition modulo `2^width`.
+    pub fn add(&self, rhs: &Self) -> Self {
+        Self::new(self.width, self.bits.wrapping_add(rhs.bits))
+    }
+
+    /// Wrapping subtraction modulo `2^width`.
+    pub fn sub(&self, rhs: &Self) -> Self {
+        Self::new(self.width, self.bits.wrapping_sub(rhs.bits))
+    }
+
+    /// Wrapping multiplication modulo `2^width`.
+    pub fn mul(&self, rhs: &Self) -> Self {
+        Self::new(self.width, self.bits.wrapping_mul(rhs.bits))
+    }
+
+    /// Two's-complement negation.
+    pub fn neg(&self) -> Self {
+        Self::new(self.width, self.bits.wrapping_neg())
+    }
+
+    /// Bitwise complement.
+    pub fn not(&self) -> Self {
+        Self::new(self.width, !self.bits)
+    }
+
+    /// Unsigned division. Returns `None` when dividing by zero.
+    pub fn udiv(&self, rhs: &Self) -> Option<Self> {
+        if rhs.is_zero() { None } else { Some(Self::new(self.width, self.bits / rhs.bits)) }
+    }
+
+    /// Unsigned remainder. Returns `None` when dividing by zero.
+    pub fn urem(&self, rhs: &Self) -> Option<Self> {
+        if rhs.is_zero() { None } else { Some(Self::new(self.width, self.bits % rhs.bits)) }
+    }
+
+    /// Signed division. Returns `None` on division by zero or `INT_MIN / -1` overflow.
+    pub fn sdiv(&self, rhs: &Self) -> Option<Self> {
+        if rhs.is_zero() {
+            return None;
+        }
+        let (a, b) = (self.sext_value(), rhs.sext_value());
+        if a == Self::signed_min(self.width).sext_value() && b == -1 {
+            return None;
+        }
+        Some(Self::from_i128(self.width, a.wrapping_div(b)))
+    }
+
+    /// Signed remainder. Returns `None` on division by zero or `INT_MIN % -1` overflow.
+    pub fn srem(&self, rhs: &Self) -> Option<Self> {
+        if rhs.is_zero() {
+            return None;
+        }
+        let (a, b) = (self.sext_value(), rhs.sext_value());
+        if a == Self::signed_min(self.width).sext_value() && b == -1 {
+            return None;
+        }
+        Some(Self::from_i128(self.width, a.wrapping_rem(b)))
+    }
+
+    // --- overflow-aware arithmetic ------------------------------------------
+
+    /// Addition with unsigned-overflow detection.
+    pub fn uadd_overflow(&self, rhs: &Self) -> (Self, bool) {
+        let wide = self.bits as u128;
+        let result = self.add(rhs);
+        let overflow = if self.width == 128 {
+            wide.checked_add(rhs.bits).is_none()
+        } else {
+            self.bits + rhs.bits > Self::mask(self.width)
+        };
+        (result, overflow)
+    }
+
+    /// Addition with signed-overflow detection.
+    pub fn sadd_overflow(&self, rhs: &Self) -> (Self, bool) {
+        let result = self.add(rhs);
+        let exact = self.sext_value().checked_add(rhs.sext_value());
+        let overflow = match exact {
+            Some(v) => v != result.sext_value(),
+            None => true,
+        };
+        (result, overflow)
+    }
+
+    /// Subtraction with unsigned-overflow (borrow) detection.
+    pub fn usub_overflow(&self, rhs: &Self) -> (Self, bool) {
+        (self.sub(rhs), self.bits < rhs.bits)
+    }
+
+    /// Subtraction with signed-overflow detection.
+    pub fn ssub_overflow(&self, rhs: &Self) -> (Self, bool) {
+        let result = self.sub(rhs);
+        let exact = self.sext_value().checked_sub(rhs.sext_value());
+        let overflow = match exact {
+            Some(v) => v != result.sext_value(),
+            None => true,
+        };
+        (result, overflow)
+    }
+
+    /// Multiplication with unsigned-overflow detection.
+    pub fn umul_overflow(&self, rhs: &Self) -> (Self, bool) {
+        let result = self.mul(rhs);
+        let overflow = match self.bits.checked_mul(rhs.bits) {
+            Some(v) => v > Self::mask(self.width),
+            None => true,
+        };
+        (result, overflow)
+    }
+
+    /// Multiplication with signed-overflow detection.
+    pub fn smul_overflow(&self, rhs: &Self) -> (Self, bool) {
+        let result = self.mul(rhs);
+        let overflow = match self.sext_value().checked_mul(rhs.sext_value()) {
+            Some(v) => v != result.sext_value(),
+            None => true,
+        };
+        (result, overflow)
+    }
+
+    // --- shifts --------------------------------------------------------------
+
+    /// Logical left shift. Returns `None` when the shift amount is `>= width`
+    /// (poison in LLVM semantics).
+    pub fn shl(&self, amount: &Self) -> Option<Self> {
+        let amt = amount.zext_value();
+        if amt >= self.width as u128 {
+            None
+        } else {
+            Some(Self::new(self.width, self.bits << amt))
+        }
+    }
+
+    /// Logical right shift. Returns `None` when the shift amount is `>= width`.
+    pub fn lshr(&self, amount: &Self) -> Option<Self> {
+        let amt = amount.zext_value();
+        if amt >= self.width as u128 {
+            None
+        } else {
+            Some(Self::new(self.width, self.bits >> amt))
+        }
+    }
+
+    /// Arithmetic right shift. Returns `None` when the shift amount is `>= width`.
+    pub fn ashr(&self, amount: &Self) -> Option<Self> {
+        let amt = amount.zext_value();
+        if amt >= self.width as u128 {
+            None
+        } else {
+            Some(Self::from_i128(self.width, self.sext_value() >> amt))
+        }
+    }
+
+    // --- bitwise -------------------------------------------------------------
+
+    /// Bitwise AND.
+    pub fn and(&self, rhs: &Self) -> Self {
+        Self::new(self.width, self.bits & rhs.bits)
+    }
+
+    /// Bitwise OR.
+    pub fn or(&self, rhs: &Self) -> Self {
+        Self::new(self.width, self.bits | rhs.bits)
+    }
+
+    /// Bitwise XOR.
+    pub fn xor(&self, rhs: &Self) -> Self {
+        Self::new(self.width, self.bits ^ rhs.bits)
+    }
+
+    // --- width changes -------------------------------------------------------
+
+    /// Zero-extends to `new_width`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `new_width < width`.
+    pub fn zext(&self, new_width: u32) -> Self {
+        assert!(new_width >= self.width, "zext to a narrower width");
+        Self::new(new_width, self.bits)
+    }
+
+    /// Sign-extends to `new_width`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `new_width < width`.
+    pub fn sext(&self, new_width: u32) -> Self {
+        assert!(new_width >= self.width, "sext to a narrower width");
+        Self::from_i128(new_width, self.sext_value())
+    }
+
+    /// Truncates to `new_width`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `new_width > width`.
+    pub fn trunc(&self, new_width: u32) -> Self {
+        assert!(new_width <= self.width, "trunc to a wider width");
+        Self::new(new_width, self.bits)
+    }
+
+    /// Returns `true` if truncating to `new_width` and zero-extending back is lossless.
+    pub fn trunc_is_nuw(&self, new_width: u32) -> bool {
+        self.trunc(new_width).zext(self.width) == *self
+    }
+
+    /// Returns `true` if truncating to `new_width` and sign-extending back is lossless.
+    pub fn trunc_is_nsw(&self, new_width: u32) -> bool {
+        self.trunc(new_width).sext(self.width) == *self
+    }
+
+    // --- comparisons ---------------------------------------------------------
+
+    /// Unsigned less-than.
+    pub fn ult(&self, rhs: &Self) -> bool {
+        self.bits < rhs.bits
+    }
+
+    /// Unsigned less-or-equal.
+    pub fn ule(&self, rhs: &Self) -> bool {
+        self.bits <= rhs.bits
+    }
+
+    /// Signed less-than.
+    pub fn slt(&self, rhs: &Self) -> bool {
+        self.sext_value() < rhs.sext_value()
+    }
+
+    /// Signed less-or-equal.
+    pub fn sle(&self, rhs: &Self) -> bool {
+        self.sext_value() <= rhs.sext_value()
+    }
+
+    // --- bit counting & manipulation -----------------------------------------
+
+    /// Number of set bits.
+    pub fn count_ones(&self) -> u32 {
+        self.bits.count_ones()
+    }
+
+    /// Number of leading zero bits within `width`.
+    pub fn leading_zeros(&self) -> u32 {
+        if self.bits == 0 {
+            self.width
+        } else {
+            self.width - (128 - self.bits.leading_zeros())
+        }
+    }
+
+    /// Number of trailing zero bits within `width`.
+    pub fn trailing_zeros(&self) -> u32 {
+        if self.bits == 0 { self.width } else { self.bits.trailing_zeros() }
+    }
+
+    /// Byte-swaps the value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the width is not a multiple of 8.
+    pub fn bswap(&self) -> Self {
+        assert!(self.width % 8 == 0, "bswap requires a byte-multiple width");
+        let bytes = (self.width / 8) as usize;
+        let mut out: u128 = 0;
+        for i in 0..bytes {
+            let byte = (self.bits >> (8 * i)) & 0xff;
+            out |= byte << (8 * (bytes - 1 - i));
+        }
+        Self::new(self.width, out)
+    }
+
+    /// Reverses the bits of the value.
+    pub fn bitreverse(&self) -> Self {
+        let mut out = 0u128;
+        for i in 0..self.width {
+            if (self.bits >> i) & 1 == 1 {
+                out |= 1u128 << (self.width - 1 - i);
+            }
+        }
+        Self::new(self.width, out)
+    }
+
+    /// Funnel shift left: concatenates `self` (high) with `low` and shifts left.
+    pub fn fshl(&self, low: &Self, amount: &Self) -> Self {
+        let w = self.width as u128;
+        let amt = (amount.zext_value() % w) as u32;
+        if amt == 0 {
+            return *self;
+        }
+        let high_part = self.bits << amt;
+        let low_part = low.bits >> (self.width - amt);
+        Self::new(self.width, high_part | low_part)
+    }
+
+    /// Funnel shift right: concatenates `high` with `self` (low) and shifts right.
+    pub fn fshr(&self, high: &Self, amount: &Self) -> Self {
+        let w = self.width as u128;
+        let amt = (amount.zext_value() % w) as u32;
+        if amt == 0 {
+            return *self;
+        }
+        let low_part = self.bits >> amt;
+        let high_part = high.bits << (self.width - amt);
+        Self::new(self.width, high_part | low_part)
+    }
+
+    // --- min/max/abs & saturating -------------------------------------------
+
+    /// Unsigned minimum.
+    pub fn umin(&self, rhs: &Self) -> Self {
+        if self.ult(rhs) { *self } else { *rhs }
+    }
+
+    /// Unsigned maximum.
+    pub fn umax(&self, rhs: &Self) -> Self {
+        if self.ult(rhs) { *rhs } else { *self }
+    }
+
+    /// Signed minimum.
+    pub fn smin(&self, rhs: &Self) -> Self {
+        if self.slt(rhs) { *self } else { *rhs }
+    }
+
+    /// Signed maximum.
+    pub fn smax(&self, rhs: &Self) -> Self {
+        if self.slt(rhs) { *rhs } else { *self }
+    }
+
+    /// Absolute value. Overflows (returns `INT_MIN`) when the input is `INT_MIN`.
+    pub fn abs(&self) -> Self {
+        if self.is_negative() { self.neg() } else { *self }
+    }
+
+    /// Saturating unsigned addition.
+    pub fn uadd_sat(&self, rhs: &Self) -> Self {
+        let (v, o) = self.uadd_overflow(rhs);
+        if o { Self::all_ones(self.width) } else { v }
+    }
+
+    /// Saturating signed addition.
+    pub fn sadd_sat(&self, rhs: &Self) -> Self {
+        let (v, o) = self.sadd_overflow(rhs);
+        if !o {
+            v
+        } else if rhs.is_negative() {
+            Self::signed_min(self.width)
+        } else {
+            Self::signed_max(self.width)
+        }
+    }
+
+    /// Saturating unsigned subtraction.
+    pub fn usub_sat(&self, rhs: &Self) -> Self {
+        let (v, o) = self.usub_overflow(rhs);
+        if o { Self::zero(self.width) } else { v }
+    }
+
+    /// Saturating signed subtraction.
+    pub fn ssub_sat(&self, rhs: &Self) -> Self {
+        let (v, o) = self.ssub_overflow(rhs);
+        if !o {
+            v
+        } else if rhs.is_negative() {
+            Self::signed_max(self.width)
+        } else {
+            Self::signed_min(self.width)
+        }
+    }
+}
+
+impl fmt::Debug for ApInt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "i{} {}", self.width, self.sext_value())
+    }
+}
+
+impl fmt::Display for ApInt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.sext_value())
+    }
+}
+
+impl fmt::LowerHex for ApInt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::LowerHex::fmt(&self.bits, f)
+    }
+}
+
+impl fmt::Binary for ApInt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Binary::fmt(&self.bits, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_masks_to_width() {
+        assert_eq!(ApInt::new(8, 0x1ff).zext_value(), 0xff);
+        assert_eq!(ApInt::new(1, 3).zext_value(), 1);
+        assert_eq!(ApInt::new(128, u128::MAX).zext_value(), u128::MAX);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid integer width")]
+    fn zero_width_panics() {
+        let _ = ApInt::new(0, 0);
+    }
+
+    #[test]
+    fn signed_interpretation() {
+        assert_eq!(ApInt::new(8, 0xff).sext_value(), -1);
+        assert_eq!(ApInt::new(8, 0x80).sext_value(), -128);
+        assert_eq!(ApInt::new(8, 0x7f).sext_value(), 127);
+        assert_eq!(ApInt::from_i128(16, -2).zext_value(), 0xfffe);
+    }
+
+    #[test]
+    fn wrapping_arithmetic() {
+        let a = ApInt::new(8, 250);
+        let b = ApInt::new(8, 10);
+        assert_eq!(a.add(&b).zext_value(), 4);
+        assert_eq!(b.sub(&a).sext_value(), 16);
+        assert_eq!(a.mul(&b).zext_value(), 196); // 2500 mod 256
+        assert_eq!(ApInt::new(8, 0).neg().zext_value(), 0);
+        assert_eq!(ApInt::new(8, 1).neg().zext_value(), 255);
+    }
+
+    #[test]
+    fn division_edge_cases() {
+        let min = ApInt::signed_min(8);
+        let neg1 = ApInt::all_ones(8);
+        assert!(min.sdiv(&neg1).is_none());
+        assert!(min.srem(&neg1).is_none());
+        assert!(min.sdiv(&ApInt::zero(8)).is_none());
+        assert_eq!(ApInt::new(8, 7).sdiv(&ApInt::from_i128(8, -2)).unwrap().sext_value(), -3);
+        assert_eq!(ApInt::new(8, 7).srem(&ApInt::from_i128(8, -2)).unwrap().sext_value(), 1);
+        assert_eq!(ApInt::new(8, 200).udiv(&ApInt::new(8, 3)).unwrap().zext_value(), 66);
+    }
+
+    #[test]
+    fn overflow_detection() {
+        let (v, o) = ApInt::new(8, 200).uadd_overflow(&ApInt::new(8, 100));
+        assert_eq!(v.zext_value(), 44);
+        assert!(o);
+        let (_, o) = ApInt::new(8, 100).sadd_overflow(&ApInt::new(8, 100));
+        assert!(o);
+        let (_, o) = ApInt::new(8, 100).sadd_overflow(&ApInt::from_i128(8, -100));
+        assert!(!o);
+        let (_, o) = ApInt::new(8, 3).usub_overflow(&ApInt::new(8, 5));
+        assert!(o);
+        let (_, o) = ApInt::new(8, 16).umul_overflow(&ApInt::new(8, 16));
+        assert!(o);
+        let (_, o) = ApInt::from_i128(8, -128).smul_overflow(&ApInt::from_i128(8, -1));
+        assert!(o);
+    }
+
+    #[test]
+    fn shifts_out_of_range_are_poison() {
+        let x = ApInt::new(8, 0b1011_0001);
+        assert_eq!(x.shl(&ApInt::new(8, 1)).unwrap().zext_value(), 0b0110_0010);
+        assert_eq!(x.lshr(&ApInt::new(8, 4)).unwrap().zext_value(), 0b1011);
+        assert_eq!(x.ashr(&ApInt::new(8, 4)).unwrap().zext_value(), 0b1111_1011);
+        assert!(x.shl(&ApInt::new(8, 8)).is_none());
+        assert!(x.lshr(&ApInt::new(8, 9)).is_none());
+        assert!(x.ashr(&ApInt::new(8, 200)).is_none());
+    }
+
+    #[test]
+    fn width_changes() {
+        let x = ApInt::new(8, 0xf0);
+        assert_eq!(x.zext(16).zext_value(), 0x00f0);
+        assert_eq!(x.sext(16).zext_value(), 0xfff0);
+        assert_eq!(ApInt::new(16, 0x1234).trunc(8).zext_value(), 0x34);
+        assert!(ApInt::new(16, 0x00ff).trunc_is_nuw(8));
+        assert!(!ApInt::new(16, 0x01ff).trunc_is_nuw(8));
+        assert!(ApInt::from_i128(16, -1).trunc_is_nsw(8));
+        assert!(!ApInt::new(16, 0x00ff).trunc_is_nsw(8));
+    }
+
+    #[test]
+    fn comparisons() {
+        let a = ApInt::new(8, 0xff); // -1 signed, 255 unsigned
+        let b = ApInt::new(8, 1);
+        assert!(b.ult(&a));
+        assert!(a.slt(&b));
+        assert!(a.sle(&a));
+        assert!(a.ule(&a));
+    }
+
+    #[test]
+    fn bit_counting() {
+        let x = ApInt::new(16, 0b0000_1100_0000_0000);
+        assert_eq!(x.count_ones(), 2);
+        assert_eq!(x.leading_zeros(), 4);
+        assert_eq!(x.trailing_zeros(), 10);
+        assert_eq!(ApInt::zero(32).leading_zeros(), 32);
+        assert_eq!(ApInt::zero(32).trailing_zeros(), 32);
+    }
+
+    #[test]
+    fn byte_and_bit_reversal() {
+        assert_eq!(ApInt::new(32, 0x1234_5678).bswap().zext_value(), 0x7856_3412);
+        assert_eq!(ApInt::new(16, 0xabcd).bswap().zext_value(), 0xcdab);
+        assert_eq!(ApInt::new(8, 0b1000_0001).bitreverse().zext_value(), 0b1000_0001);
+        assert_eq!(ApInt::new(8, 0b1100_0000).bitreverse().zext_value(), 0b0000_0011);
+    }
+
+    #[test]
+    fn funnel_shifts() {
+        let hi = ApInt::new(8, 0b1000_0000);
+        let lo = ApInt::new(8, 0b0000_0001);
+        // fshl(hi, lo, 1) = (hi:lo) << 1 taking high 8 bits = 0b0000_0000
+        assert_eq!(hi.fshl(&lo, &ApInt::new(8, 1)).zext_value(), 0b0000_0000);
+        assert_eq!(hi.fshl(&lo, &ApInt::new(8, 8)).zext_value(), hi.zext_value());
+        // fshr(lo, hi, 1): (hi:lo) >> 1 taking low 8 bits = 0b0000_0000
+        assert_eq!(lo.fshr(&hi, &ApInt::new(8, 1)).zext_value(), 0b0000_0000);
+        let a = ApInt::new(8, 0b1010_1010);
+        assert_eq!(a.fshl(&a, &ApInt::new(8, 4)).zext_value(), 0b1010_1010);
+    }
+
+    #[test]
+    fn min_max_abs() {
+        let a = ApInt::from_i128(8, -3);
+        let b = ApInt::new(8, 5);
+        assert_eq!(a.smin(&b), a);
+        assert_eq!(a.smax(&b), b);
+        assert_eq!(a.umin(&b), b); // -3 is 253 unsigned
+        assert_eq!(a.umax(&b), a);
+        assert_eq!(a.abs().zext_value(), 3);
+        assert_eq!(ApInt::signed_min(8).abs(), ApInt::signed_min(8));
+    }
+
+    #[test]
+    fn saturating_arithmetic() {
+        assert_eq!(ApInt::new(8, 200).uadd_sat(&ApInt::new(8, 100)).zext_value(), 255);
+        assert_eq!(ApInt::new(8, 100).sadd_sat(&ApInt::new(8, 100)).sext_value(), 127);
+        assert_eq!(ApInt::from_i128(8, -100).sadd_sat(&ApInt::from_i128(8, -100)).sext_value(), -128);
+        assert_eq!(ApInt::new(8, 3).usub_sat(&ApInt::new(8, 5)).zext_value(), 0);
+        assert_eq!(ApInt::from_i128(8, -100).ssub_sat(&ApInt::new(8, 100)).sext_value(), -128);
+        assert_eq!(ApInt::new(8, 100).ssub_sat(&ApInt::from_i128(8, -100)).sext_value(), 127);
+    }
+
+    #[test]
+    fn display_formats() {
+        let x = ApInt::from_i128(8, -1);
+        assert_eq!(format!("{x}"), "-1");
+        assert_eq!(format!("{x:x}"), "ff");
+        assert_eq!(format!("{x:b}"), "11111111");
+        assert_eq!(format!("{x:?}"), "i8 -1");
+    }
+}

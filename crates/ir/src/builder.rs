@@ -1,0 +1,465 @@
+//! A convenience builder for constructing IR functions programmatically.
+//!
+//! The builder keeps a current insertion block and auto-names results `t0`,
+//! `t1`, … so callers can assemble functions without worrying about ids.
+//!
+//! # Examples
+//!
+//! ```
+//! use lpo_ir::builder::FunctionBuilder;
+//! use lpo_ir::types::Type;
+//! use lpo_ir::instruction::{ICmpPred, Value};
+//!
+//! // i8 @clamp_hi(i32 %x): return x < 0 ? 0 : min(x, 255) truncated to i8
+//! let mut b = FunctionBuilder::new("src", Type::i8());
+//! let x = b.add_param("x", Type::i32());
+//! let is_neg = b.icmp(ICmpPred::Slt, x.clone(), Value::int(32, 0));
+//! let clamped = b.umin(x, Value::int(32, 255));
+//! let narrow = b.trunc(clamped, Type::i8());
+//! let result = b.select(is_neg, Value::int(8, 0), narrow);
+//! b.ret(Some(result));
+//! let func = b.build();
+//! assert_eq!(func.instruction_count(), 4);
+//! ```
+
+use crate::constant::Constant;
+use crate::flags::{FastMathFlags, IntFlags};
+use crate::function::{Function, Param};
+use crate::instruction::{
+    BinOp, BlockId, CastOp, FBinOp, FCmpPred, ICmpPred, InstKind, Instruction, Intrinsic, Value,
+};
+use crate::types::Type;
+
+/// Builds a [`Function`] incrementally.
+#[derive(Debug)]
+pub struct FunctionBuilder {
+    func: Function,
+    current: BlockId,
+    next_temp: usize,
+}
+
+impl FunctionBuilder {
+    /// Creates a builder for a function with the given name and return type.
+    /// The insertion point starts in a fresh `entry` block.
+    pub fn new(name: impl Into<String>, ret_ty: Type) -> Self {
+        let func = Function::new(name, ret_ty);
+        let current = func.entry();
+        Self { func, current, next_temp: 0 }
+    }
+
+    /// Adds a parameter and returns a [`Value`] referring to it.
+    pub fn add_param(&mut self, name: impl Into<String>, ty: Type) -> Value {
+        self.func.params.push(Param { name: name.into(), ty });
+        Value::Arg(self.func.params.len() - 1)
+    }
+
+    /// Creates a new basic block and returns its id (does not move the insertion point).
+    pub fn add_block(&mut self, name: impl Into<String>) -> BlockId {
+        self.func.add_block(name)
+    }
+
+    /// Moves the insertion point to the end of `block`.
+    pub fn switch_to(&mut self, block: BlockId) {
+        self.current = block;
+    }
+
+    /// The block currently being appended to.
+    pub fn current_block(&self) -> BlockId {
+        self.current
+    }
+
+    /// Finishes and returns the constructed function.
+    pub fn build(self) -> Function {
+        self.func
+    }
+
+    /// Read-only access to the function under construction.
+    pub fn function(&self) -> &Function {
+        &self.func
+    }
+
+    fn fresh_name(&mut self) -> String {
+        let name = format!("t{}", self.next_temp);
+        self.next_temp += 1;
+        name
+    }
+
+    /// Appends an arbitrary value-producing instruction and returns its result.
+    pub fn push(&mut self, kind: InstKind, ty: Type) -> Value {
+        let name = if ty == Type::Void { String::new() } else { self.fresh_name() };
+        let id = self.func.append_inst(self.current, Instruction::new(kind, ty, name));
+        Value::Inst(id)
+    }
+
+    /// Appends a void instruction (store, branch, …).
+    pub fn push_void(&mut self, kind: InstKind) {
+        self.func.append_inst(self.current, Instruction::new(kind, Type::Void, ""));
+    }
+
+    fn value_ty(&self, v: &Value) -> Type {
+        self.func.value_type(v)
+    }
+
+    // --- integer arithmetic ----------------------------------------------------
+
+    /// Appends an integer binary operation with explicit flags.
+    pub fn binary_flagged(&mut self, op: BinOp, lhs: Value, rhs: Value, flags: IntFlags) -> Value {
+        let ty = self.value_ty(&lhs);
+        self.push(InstKind::Binary { op, lhs, rhs, flags }, ty)
+    }
+
+    /// Appends an integer binary operation without flags.
+    pub fn binary(&mut self, op: BinOp, lhs: Value, rhs: Value) -> Value {
+        self.binary_flagged(op, lhs, rhs, IntFlags::none())
+    }
+
+    /// Appends an `add`.
+    pub fn add(&mut self, lhs: Value, rhs: Value) -> Value {
+        self.binary(BinOp::Add, lhs, rhs)
+    }
+
+    /// Appends a `sub`.
+    pub fn sub(&mut self, lhs: Value, rhs: Value) -> Value {
+        self.binary(BinOp::Sub, lhs, rhs)
+    }
+
+    /// Appends a `mul`.
+    pub fn mul(&mut self, lhs: Value, rhs: Value) -> Value {
+        self.binary(BinOp::Mul, lhs, rhs)
+    }
+
+    /// Appends an `and`.
+    pub fn and(&mut self, lhs: Value, rhs: Value) -> Value {
+        self.binary(BinOp::And, lhs, rhs)
+    }
+
+    /// Appends an `or`.
+    pub fn or(&mut self, lhs: Value, rhs: Value) -> Value {
+        self.binary(BinOp::Or, lhs, rhs)
+    }
+
+    /// Appends an `or disjoint`.
+    pub fn or_disjoint(&mut self, lhs: Value, rhs: Value) -> Value {
+        self.binary_flagged(BinOp::Or, lhs, rhs, IntFlags::disjoint())
+    }
+
+    /// Appends an `xor`.
+    pub fn xor(&mut self, lhs: Value, rhs: Value) -> Value {
+        self.binary(BinOp::Xor, lhs, rhs)
+    }
+
+    /// Appends a `shl`.
+    pub fn shl(&mut self, lhs: Value, rhs: Value) -> Value {
+        self.binary(BinOp::Shl, lhs, rhs)
+    }
+
+    /// Appends a `shl nuw`.
+    pub fn shl_nuw(&mut self, lhs: Value, rhs: Value) -> Value {
+        self.binary_flagged(BinOp::Shl, lhs, rhs, IntFlags::nuw())
+    }
+
+    /// Appends a `lshr`.
+    pub fn lshr(&mut self, lhs: Value, rhs: Value) -> Value {
+        self.binary(BinOp::LShr, lhs, rhs)
+    }
+
+    /// Appends an `ashr`.
+    pub fn ashr(&mut self, lhs: Value, rhs: Value) -> Value {
+        self.binary(BinOp::AShr, lhs, rhs)
+    }
+
+    /// Appends a `udiv`.
+    pub fn udiv(&mut self, lhs: Value, rhs: Value) -> Value {
+        self.binary(BinOp::UDiv, lhs, rhs)
+    }
+
+    /// Appends an `sdiv`.
+    pub fn sdiv(&mut self, lhs: Value, rhs: Value) -> Value {
+        self.binary(BinOp::SDiv, lhs, rhs)
+    }
+
+    /// Appends a `urem`.
+    pub fn urem(&mut self, lhs: Value, rhs: Value) -> Value {
+        self.binary(BinOp::URem, lhs, rhs)
+    }
+
+    /// Appends an `srem`.
+    pub fn srem(&mut self, lhs: Value, rhs: Value) -> Value {
+        self.binary(BinOp::SRem, lhs, rhs)
+    }
+
+    // --- floating point ---------------------------------------------------------
+
+    /// Appends a floating-point binary operation.
+    pub fn fbinary(&mut self, op: FBinOp, lhs: Value, rhs: Value, fmf: FastMathFlags) -> Value {
+        let ty = self.value_ty(&lhs);
+        self.push(InstKind::FBinary { op, lhs, rhs, fmf }, ty)
+    }
+
+    /// Appends an `fadd` with no fast-math flags.
+    pub fn fadd(&mut self, lhs: Value, rhs: Value) -> Value {
+        self.fbinary(FBinOp::FAdd, lhs, rhs, FastMathFlags::none())
+    }
+
+    /// Appends an `fmul` with no fast-math flags.
+    pub fn fmul(&mut self, lhs: Value, rhs: Value) -> Value {
+        self.fbinary(FBinOp::FMul, lhs, rhs, FastMathFlags::none())
+    }
+
+    // --- comparisons and select ---------------------------------------------------
+
+    /// Appends an `icmp`.
+    pub fn icmp(&mut self, pred: ICmpPred, lhs: Value, rhs: Value) -> Value {
+        let ty = self.value_ty(&lhs).with_scalar(Type::i1());
+        self.push(InstKind::ICmp { pred, lhs, rhs }, ty)
+    }
+
+    /// Appends an `fcmp`.
+    pub fn fcmp(&mut self, pred: FCmpPred, lhs: Value, rhs: Value) -> Value {
+        let ty = self.value_ty(&lhs).with_scalar(Type::i1());
+        self.push(InstKind::FCmp { pred, lhs, rhs }, ty)
+    }
+
+    /// Appends a `select`.
+    pub fn select(&mut self, cond: Value, on_true: Value, on_false: Value) -> Value {
+        let ty = self.value_ty(&on_true);
+        self.push(InstKind::Select { cond, on_true, on_false }, ty)
+    }
+
+    // --- casts -------------------------------------------------------------------
+
+    /// Appends a cast with explicit flags.
+    pub fn cast_flagged(&mut self, op: CastOp, value: Value, to: Type, flags: IntFlags) -> Value {
+        self.push(InstKind::Cast { op, value, flags }, to)
+    }
+
+    /// Appends a cast.
+    pub fn cast(&mut self, op: CastOp, value: Value, to: Type) -> Value {
+        self.cast_flagged(op, value, to, IntFlags::none())
+    }
+
+    /// Appends a `trunc`.
+    pub fn trunc(&mut self, value: Value, to: Type) -> Value {
+        self.cast(CastOp::Trunc, value, to)
+    }
+
+    /// Appends a `trunc nuw`.
+    pub fn trunc_nuw(&mut self, value: Value, to: Type) -> Value {
+        self.cast_flagged(CastOp::Trunc, value, to, IntFlags::nuw())
+    }
+
+    /// Appends a `zext`.
+    pub fn zext(&mut self, value: Value, to: Type) -> Value {
+        self.cast(CastOp::ZExt, value, to)
+    }
+
+    /// Appends a `sext`.
+    pub fn sext(&mut self, value: Value, to: Type) -> Value {
+        self.cast(CastOp::SExt, value, to)
+    }
+
+    // --- intrinsic calls -----------------------------------------------------------
+
+    /// Appends an intrinsic call. The result type matches the first argument
+    /// except for comparisons against documented exceptions (`ctpop` etc. keep
+    /// their operand type as well, so this covers every supported intrinsic).
+    pub fn call(&mut self, intrinsic: Intrinsic, args: Vec<Value>) -> Value {
+        let ty = self.value_ty(&args[0]);
+        self.push(InstKind::Call { intrinsic, args, fmf: FastMathFlags::none() }, ty)
+    }
+
+    /// Appends `llvm.umin`.
+    pub fn umin(&mut self, a: Value, b: Value) -> Value {
+        self.call(Intrinsic::Umin, vec![a, b])
+    }
+
+    /// Appends `llvm.umax`.
+    pub fn umax(&mut self, a: Value, b: Value) -> Value {
+        self.call(Intrinsic::Umax, vec![a, b])
+    }
+
+    /// Appends `llvm.smin`.
+    pub fn smin(&mut self, a: Value, b: Value) -> Value {
+        self.call(Intrinsic::Smin, vec![a, b])
+    }
+
+    /// Appends `llvm.smax`.
+    pub fn smax(&mut self, a: Value, b: Value) -> Value {
+        self.call(Intrinsic::Smax, vec![a, b])
+    }
+
+    /// Appends `llvm.abs` with `is_int_min_poison = false`.
+    pub fn abs(&mut self, value: Value) -> Value {
+        self.call(Intrinsic::Abs, vec![value, Value::bool(false)])
+    }
+
+    // --- memory ---------------------------------------------------------------------
+
+    /// Appends a `load`.
+    pub fn load(&mut self, ty: Type, ptr: Value, align: u32) -> Value {
+        self.push(InstKind::Load { ptr, align }, ty)
+    }
+
+    /// Appends a `store`.
+    pub fn store(&mut self, value: Value, ptr: Value, align: u32) {
+        self.push_void(InstKind::Store { value, ptr, align });
+    }
+
+    /// Appends a `getelementptr`.
+    pub fn gep(&mut self, elem_ty: Type, base: Value, index: Value, inbounds: bool, nuw: bool) -> Value {
+        self.push(InstKind::Gep { elem_ty, base, index, inbounds, nuw }, Type::Ptr)
+    }
+
+    /// Appends an `alloca`.
+    pub fn alloca(&mut self, ty: Type) -> Value {
+        self.push(InstKind::Alloca { ty }, Type::Ptr)
+    }
+
+    // --- vectors ---------------------------------------------------------------------
+
+    /// Appends an `extractelement`.
+    pub fn extract_element(&mut self, vector: Value, index: Value) -> Value {
+        let ty = self.value_ty(&vector).scalar_type().clone();
+        self.push(InstKind::ExtractElement { vector, index }, ty)
+    }
+
+    /// Appends an `insertelement`.
+    pub fn insert_element(&mut self, vector: Value, element: Value, index: Value) -> Value {
+        let ty = self.value_ty(&vector);
+        self.push(InstKind::InsertElement { vector, element, index }, ty)
+    }
+
+    /// Appends a `shufflevector` with a constant mask.
+    pub fn shuffle(&mut self, a: Value, b: Value, mask: Vec<i32>) -> Value {
+        let elem = self.value_ty(&a).scalar_type().clone();
+        let ty = Type::vector(mask.len() as u32, elem);
+        self.push(InstKind::ShuffleVector { a, b, mask }, ty)
+    }
+
+    // --- misc --------------------------------------------------------------------------
+
+    /// Appends a `freeze`.
+    pub fn freeze(&mut self, value: Value) -> Value {
+        let ty = self.value_ty(&value);
+        self.push(InstKind::Freeze { value }, ty)
+    }
+
+    /// Appends a `phi` node.
+    pub fn phi(&mut self, ty: Type, incoming: Vec<(Value, BlockId)>) -> Value {
+        self.push(InstKind::Phi { incoming }, ty)
+    }
+
+    /// Appends a `ret`.
+    pub fn ret(&mut self, value: Option<Value>) {
+        self.push_void(InstKind::Ret { value });
+    }
+
+    /// Appends an unconditional branch.
+    pub fn br(&mut self, target: BlockId) {
+        self.push_void(InstKind::Br { cond: None, then_block: target, else_block: None });
+    }
+
+    /// Appends a conditional branch.
+    pub fn cond_br(&mut self, cond: Value, then_block: BlockId, else_block: BlockId) {
+        self.push_void(InstKind::Br { cond: Some(cond), then_block, else_block: Some(else_block) });
+    }
+
+    /// Appends an `unreachable` terminator.
+    pub fn unreachable(&mut self) {
+        self.push_void(InstKind::Unreachable);
+    }
+
+    /// Convenience: a constant of the function's integer width splatted over a
+    /// vector type when `ty` is a vector, or the scalar constant otherwise.
+    pub fn const_of(&self, ty: &Type, value: i128) -> Value {
+        let scalar = match ty.scalar_type() {
+            Type::Int(w) => Constant::int_signed(*w, value),
+            other => panic!("const_of only supports integer types, got {other}"),
+        };
+        match ty.lanes() {
+            Some(n) => Value::Const(Constant::splat(n, scalar)),
+            None => Value::Const(scalar),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_scalar_function() {
+        let mut b = FunctionBuilder::new("f", Type::i32());
+        let x = b.add_param("x", Type::i32());
+        let y = b.add_param("y", Type::i32());
+        let s = b.add(x.clone(), y.clone());
+        let d = b.mul(s.clone(), Value::int(32, 2));
+        let c = b.icmp(ICmpPred::Sgt, d.clone(), Value::int(32, 0));
+        let r = b.select(c, d, Value::int(32, 0));
+        b.ret(Some(r));
+        let f = b.build();
+        assert_eq!(f.instruction_count(), 4);
+        assert_eq!(f.ret_ty, Type::i32());
+        assert_eq!(f.params.len(), 2);
+    }
+
+    #[test]
+    fn builds_vector_and_memory_function() {
+        let v4i32 = Type::vector(4, Type::i32());
+        let mut b = FunctionBuilder::new("v", Type::vector(4, Type::i8()));
+        let idx = b.add_param("a0", Type::i64());
+        let base = b.add_param("a1", Type::Ptr);
+        let addr = b.gep(Type::i32(), base, idx, true, true);
+        let wide = b.load(v4i32.clone(), addr, 4);
+        let clamped = b.umin(wide.clone(), b.const_of(&v4i32, 255));
+        let narrow = b.trunc_nuw(clamped, Type::vector(4, Type::i8()));
+        b.ret(Some(narrow));
+        let f = b.build();
+        assert_eq!(f.instruction_count(), 4);
+        assert_eq!(f.value_type(&Value::Inst(f.block(f.entry()).insts[1])), v4i32);
+    }
+
+    #[test]
+    fn multi_block_control_flow() {
+        let mut b = FunctionBuilder::new("g", Type::i32());
+        let x = b.add_param("x", Type::i32());
+        let then_bb = b.add_block("then");
+        let else_bb = b.add_block("else");
+        let cond = b.icmp(ICmpPred::Eq, x.clone(), Value::int(32, 0));
+        b.cond_br(cond, then_bb, else_bb);
+        b.switch_to(then_bb);
+        b.ret(Some(Value::int(32, 1)));
+        b.switch_to(else_bb);
+        b.ret(Some(x));
+        let f = b.build();
+        assert_eq!(f.blocks().len(), 3);
+        assert_eq!(f.total_instruction_count(), 4);
+    }
+
+    #[test]
+    fn icmp_on_vectors_produces_bool_vector() {
+        let v4i32 = Type::vector(4, Type::i32());
+        let mut b = FunctionBuilder::new("c", Type::vector(4, Type::i1()));
+        let x = b.add_param("x", v4i32.clone());
+        let cmp = b.icmp(ICmpPred::Slt, x, b.const_of(&v4i32, 0));
+        let ty = b.function().value_type(&cmp);
+        assert_eq!(ty, Type::vector(4, Type::i1()));
+        b.ret(Some(cmp));
+    }
+
+    #[test]
+    fn const_of_scalar_and_vector() {
+        let b = FunctionBuilder::new("x", Type::Void);
+        let c = b.const_of(&Type::i8(), -1);
+        assert_eq!(c.as_const().unwrap().as_int().unwrap().zext_value(), 0xff);
+        let v = b.const_of(&Type::vector(4, Type::i32()), 255);
+        assert!(v.as_const().unwrap().is_splat());
+    }
+
+    #[test]
+    #[should_panic(expected = "only supports integer types")]
+    fn const_of_float_panics() {
+        let b = FunctionBuilder::new("x", Type::Void);
+        let _ = b.const_of(&Type::double(), 1);
+    }
+}

@@ -1,0 +1,327 @@
+//! IR constants, including `undef` and `poison`.
+//!
+//! Constants appear as instruction operands. Vector constants are stored as a
+//! list of scalar constants; the common LLVM shorthands `zeroinitializer` and
+//! `splat (…)` are provided as constructors and recognised by the printer.
+//!
+//! # Examples
+//!
+//! ```
+//! use lpo_ir::constant::Constant;
+//! use lpo_ir::types::Type;
+//!
+//! let splat = Constant::splat(4, Constant::int(32, 255));
+//! assert_eq!(splat.ty(), Type::vector(4, Type::i32()));
+//! assert!(splat.is_splat());
+//! ```
+
+use crate::apint::ApInt;
+use crate::types::{FloatKind, Type};
+use std::fmt;
+
+/// A compile-time constant value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Constant {
+    /// An integer constant of a specific width.
+    Int(ApInt),
+    /// A floating-point constant. The value is stored as an `f64` regardless of
+    /// kind; `half`/`float` constants are rounded on evaluation.
+    Float(FloatKind, f64),
+    /// The null pointer.
+    NullPtr,
+    /// An `undef` value of the given type: an arbitrary but fixed bit pattern.
+    Undef(Type),
+    /// A `poison` value of the given type: the result of violated assumptions.
+    Poison(Type),
+    /// A vector constant with one entry per lane.
+    Vector(Vec<Constant>),
+}
+
+impl Constant {
+    /// Creates an integer constant with the given width and value.
+    pub fn int(width: u32, value: u128) -> Constant {
+        Constant::Int(ApInt::new(width, value))
+    }
+
+    /// Creates an integer constant from a signed value.
+    pub fn int_signed(width: u32, value: i128) -> Constant {
+        Constant::Int(ApInt::from_i128(width, value))
+    }
+
+    /// Creates the boolean constant `true` or `false`.
+    pub fn bool(value: bool) -> Constant {
+        Constant::Int(ApInt::bool(value))
+    }
+
+    /// Creates a double-precision floating point constant.
+    pub fn double(value: f64) -> Constant {
+        Constant::Float(FloatKind::Double, value)
+    }
+
+    /// Creates a single-precision floating point constant.
+    pub fn float(value: f32) -> Constant {
+        Constant::Float(FloatKind::Float, value as f64)
+    }
+
+    /// Creates the all-zeros constant of the given type (LLVM `zeroinitializer`
+    /// for vectors, `0`/`0.0`/`null` for scalars).
+    ///
+    /// # Panics
+    ///
+    /// Panics for `void`.
+    pub fn zero(ty: &Type) -> Constant {
+        match ty {
+            Type::Void => panic!("no zero constant for void"),
+            Type::Int(w) => Constant::Int(ApInt::zero(*w)),
+            Type::Float(k) => Constant::Float(*k, 0.0),
+            Type::Ptr => Constant::NullPtr,
+            Type::Vector(n, elem) => {
+                Constant::Vector(vec![Constant::zero(elem); *n as usize])
+            }
+        }
+    }
+
+    /// Creates a vector constant with every lane equal to `elem`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lanes` is zero or `elem` is itself a vector.
+    pub fn splat(lanes: u32, elem: Constant) -> Constant {
+        assert!(lanes > 0, "splat needs at least one lane");
+        assert!(!matches!(elem, Constant::Vector(_)), "cannot splat a vector");
+        Constant::Vector(vec![elem; lanes as usize])
+    }
+
+    /// The type of this constant.
+    pub fn ty(&self) -> Type {
+        match self {
+            Constant::Int(v) => Type::Int(v.width()),
+            Constant::Float(k, _) => Type::Float(*k),
+            Constant::NullPtr => Type::Ptr,
+            Constant::Undef(t) | Constant::Poison(t) => t.clone(),
+            Constant::Vector(elems) => {
+                Type::vector(elems.len() as u32, elems[0].ty())
+            }
+        }
+    }
+
+    /// Returns the integer value if this is a scalar integer constant.
+    pub fn as_int(&self) -> Option<&ApInt> {
+        match self {
+            Constant::Int(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Returns the float value if this is a scalar float constant.
+    pub fn as_float(&self) -> Option<f64> {
+        match self {
+            Constant::Float(_, v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Returns `true` if this constant is `poison` (or a vector with any poison lane).
+    pub fn is_poison(&self) -> bool {
+        match self {
+            Constant::Poison(_) => true,
+            Constant::Vector(elems) => elems.iter().any(Constant::is_poison),
+            _ => false,
+        }
+    }
+
+    /// Returns `true` if this constant is `undef` (or a vector with any undef lane).
+    pub fn is_undef(&self) -> bool {
+        match self {
+            Constant::Undef(_) => true,
+            Constant::Vector(elems) => elems.iter().any(Constant::is_undef),
+            _ => false,
+        }
+    }
+
+    /// Returns `true` if this is the all-zeros constant of its type.
+    pub fn is_zero(&self) -> bool {
+        match self {
+            Constant::Int(v) => v.is_zero(),
+            Constant::Float(_, v) => *v == 0.0,
+            Constant::NullPtr => true,
+            Constant::Vector(elems) => elems.iter().all(Constant::is_zero),
+            _ => false,
+        }
+    }
+
+    /// Returns `true` if this is an all-ones integer constant (scalar or vector).
+    pub fn is_all_ones(&self) -> bool {
+        match self {
+            Constant::Int(v) => v.is_all_ones(),
+            Constant::Vector(elems) => elems.iter().all(Constant::is_all_ones),
+            _ => false,
+        }
+    }
+
+    /// Returns `true` if this is the integer constant one (scalar or splat vector).
+    pub fn is_one(&self) -> bool {
+        match self {
+            Constant::Int(v) => v.is_one(),
+            Constant::Vector(elems) => elems.iter().all(Constant::is_one),
+            _ => false,
+        }
+    }
+
+    /// Returns `true` for vector constants whose lanes are all identical.
+    pub fn is_splat(&self) -> bool {
+        match self {
+            Constant::Vector(elems) => elems.windows(2).all(|w| w[0] == w[1]),
+            _ => false,
+        }
+    }
+
+    /// For vectors, returns the splatted scalar if all lanes are identical.
+    /// For scalars, returns the constant itself.
+    pub fn splat_value(&self) -> Option<&Constant> {
+        match self {
+            Constant::Vector(elems) if self.is_splat() => elems.first(),
+            Constant::Vector(_) => None,
+            other => Some(other),
+        }
+    }
+
+    /// If this constant is an integer scalar, or a splat vector of integers,
+    /// returns the scalar integer value.
+    pub fn splat_int(&self) -> Option<&ApInt> {
+        self.splat_value().and_then(Constant::as_int)
+    }
+
+    /// The vector lanes, or a single-element slice view is not possible for
+    /// scalars, so returns `None` for non-vector constants.
+    pub fn lanes(&self) -> Option<&[Constant]> {
+        match self {
+            Constant::Vector(elems) => Some(elems),
+            _ => None,
+        }
+    }
+}
+
+fn format_float(kind: FloatKind, value: f64) -> String {
+    // LLVM prints simple decimal forms like 0.000000e+00; we follow that style
+    // for finite values and use hex-ish spellings for specials.
+    if value.is_nan() {
+        "nan".to_string()
+    } else if value == f64::INFINITY {
+        "inf".to_string()
+    } else if value == f64::NEG_INFINITY {
+        "-inf".to_string()
+    } else {
+        let _ = kind;
+        format!("{value:e}")
+    }
+}
+
+impl fmt::Display for Constant {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Constant::Int(v) if v.width() == 1 => {
+                write!(f, "{}", if v.is_one() { "true" } else { "false" })
+            }
+            Constant::Int(v) => write!(f, "{}", v.sext_value()),
+            Constant::Float(k, v) => write!(f, "{}", format_float(*k, *v)),
+            Constant::NullPtr => write!(f, "null"),
+            Constant::Undef(_) => write!(f, "undef"),
+            Constant::Poison(_) => write!(f, "poison"),
+            Constant::Vector(elems) => {
+                if self.is_zero() {
+                    return write!(f, "zeroinitializer");
+                }
+                if self.is_splat() {
+                    let elem = &elems[0];
+                    return write!(f, "splat ({} {})", elem.ty(), elem);
+                }
+                write!(f, "<")?;
+                for (i, e) in elems.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{} {}", e.ty(), e)?;
+                }
+                write!(f, ">")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_and_types() {
+        assert_eq!(Constant::int(32, 5).ty(), Type::i32());
+        assert_eq!(Constant::bool(true).ty(), Type::i1());
+        assert_eq!(Constant::double(1.5).ty(), Type::double());
+        assert_eq!(Constant::NullPtr.ty(), Type::Ptr);
+        assert_eq!(Constant::Undef(Type::i8()).ty(), Type::i8());
+        assert_eq!(
+            Constant::splat(4, Constant::int(32, 255)).ty(),
+            Type::vector(4, Type::i32())
+        );
+    }
+
+    #[test]
+    fn zero_constants() {
+        assert!(Constant::zero(&Type::i32()).is_zero());
+        assert!(Constant::zero(&Type::double()).is_zero());
+        assert!(Constant::zero(&Type::Ptr).is_zero());
+        assert!(Constant::zero(&Type::vector(4, Type::i8())).is_zero());
+        assert!(!Constant::int(8, 1).is_zero());
+    }
+
+    #[test]
+    fn predicate_helpers() {
+        assert!(Constant::int_signed(8, -1).is_all_ones());
+        assert!(Constant::splat(2, Constant::int_signed(16, -1)).is_all_ones());
+        assert!(Constant::int(8, 1).is_one());
+        assert!(Constant::Poison(Type::i8()).is_poison());
+        assert!(Constant::Undef(Type::i8()).is_undef());
+        let mixed = Constant::Vector(vec![Constant::int(8, 1), Constant::Poison(Type::i8())]);
+        assert!(mixed.is_poison());
+        assert!(!mixed.is_splat());
+    }
+
+    #[test]
+    fn splat_helpers() {
+        let splat = Constant::splat(4, Constant::int(32, 7));
+        assert!(splat.is_splat());
+        assert_eq!(splat.splat_int().unwrap().zext_value(), 7);
+        assert_eq!(Constant::int(32, 7).splat_int().unwrap().zext_value(), 7);
+        let non_splat = Constant::Vector(vec![Constant::int(8, 1), Constant::int(8, 2)]);
+        assert!(non_splat.splat_value().is_none());
+        assert_eq!(non_splat.lanes().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Constant::int_signed(8, -2).to_string(), "-2");
+        assert_eq!(Constant::NullPtr.to_string(), "null");
+        assert_eq!(Constant::Poison(Type::i8()).to_string(), "poison");
+        assert_eq!(Constant::Undef(Type::i8()).to_string(), "undef");
+        assert_eq!(
+            Constant::zero(&Type::vector(4, Type::i32())).to_string(),
+            "zeroinitializer"
+        );
+        assert_eq!(
+            Constant::splat(4, Constant::int(32, 255)).to_string(),
+            "splat (i32 255)"
+        );
+        let mixed = Constant::Vector(vec![Constant::int(8, 1), Constant::int(8, 2)]);
+        assert_eq!(mixed.to_string(), "<i8 1, i8 2>");
+        assert_eq!(Constant::double(f64::NAN).to_string(), "nan");
+        assert_eq!(Constant::double(f64::INFINITY).to_string(), "inf");
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot splat a vector")]
+    fn splat_of_vector_rejected() {
+        let inner = Constant::splat(2, Constant::int(8, 0));
+        let _ = Constant::splat(2, inner);
+    }
+}

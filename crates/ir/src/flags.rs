@@ -1,0 +1,214 @@
+//! Instruction flags: integer wrap/exactness flags and fast-math flags.
+//!
+//! Flags refine the semantics of an instruction. Violating a flag (e.g. an
+//! `add nuw` that overflows) yields `poison` rather than undefined behaviour,
+//! exactly as in LLVM. The translation validator in `lpo-tv` relies on these
+//! semantics to accept refinements that drop flags and reject those that add
+//! unjustified ones.
+
+use std::fmt;
+
+/// Integer instruction flags (`nuw`, `nsw`, `exact`, `disjoint`, `nneg`).
+///
+/// Only the subset meaningful for a given opcode is ever set; the IR verifier
+/// rejects flags on opcodes that do not accept them.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub struct IntFlags {
+    /// "No unsigned wrap": unsigned overflow yields poison.
+    pub nuw: bool,
+    /// "No signed wrap": signed overflow yields poison.
+    pub nsw: bool,
+    /// Division/shift is exact: any remainder / shifted-out one bit yields poison.
+    pub exact: bool,
+    /// `or disjoint`: operands share no set bits, otherwise poison.
+    pub disjoint: bool,
+    /// `zext nneg` / `uitofp nneg`: a negative input yields poison.
+    pub nneg: bool,
+}
+
+impl IntFlags {
+    /// No flags set.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Only `nuw`.
+    pub fn nuw() -> Self {
+        Self { nuw: true, ..Self::default() }
+    }
+
+    /// Only `nsw`.
+    pub fn nsw() -> Self {
+        Self { nsw: true, ..Self::default() }
+    }
+
+    /// Both `nuw` and `nsw`.
+    pub fn nuw_nsw() -> Self {
+        Self { nuw: true, nsw: true, ..Self::default() }
+    }
+
+    /// Only `exact`.
+    pub fn exact() -> Self {
+        Self { exact: true, ..Self::default() }
+    }
+
+    /// Only `disjoint`.
+    pub fn disjoint() -> Self {
+        Self { disjoint: true, ..Self::default() }
+    }
+
+    /// Only `nneg`.
+    pub fn nneg() -> Self {
+        Self { nneg: true, ..Self::default() }
+    }
+
+    /// Returns `true` if no flag is set.
+    pub fn is_empty(&self) -> bool {
+        *self == Self::default()
+    }
+
+    /// Returns a copy with every flag cleared that is not also set in `allowed`.
+    pub fn intersect(&self, allowed: &IntFlags) -> IntFlags {
+        IntFlags {
+            nuw: self.nuw && allowed.nuw,
+            nsw: self.nsw && allowed.nsw,
+            exact: self.exact && allowed.exact,
+            disjoint: self.disjoint && allowed.disjoint,
+            nneg: self.nneg && allowed.nneg,
+        }
+    }
+
+    /// Returns `true` if every flag set in `self` is also set in `other`.
+    /// Dropping flags is always a valid refinement; adding them is not.
+    pub fn is_subset_of(&self, other: &IntFlags) -> bool {
+        (!self.nuw || other.nuw)
+            && (!self.nsw || other.nsw)
+            && (!self.exact || other.exact)
+            && (!self.disjoint || other.disjoint)
+            && (!self.nneg || other.nneg)
+    }
+}
+
+impl fmt::Display for IntFlags {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut parts = Vec::new();
+        if self.disjoint {
+            parts.push("disjoint");
+        }
+        if self.nuw {
+            parts.push("nuw");
+        }
+        if self.nsw {
+            parts.push("nsw");
+        }
+        if self.exact {
+            parts.push("exact");
+        }
+        if self.nneg {
+            parts.push("nneg");
+        }
+        write!(f, "{}", parts.join(" "))
+    }
+}
+
+/// Floating-point fast-math flags (a practical subset).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub struct FastMathFlags {
+    /// No NaNs: a NaN operand or result yields poison.
+    pub nnan: bool,
+    /// No infinities: an infinite operand or result yields poison.
+    pub ninf: bool,
+    /// No signed zeros: the sign of a zero result is unspecified.
+    pub nsz: bool,
+    /// Allow reassociation and other value-changing transforms.
+    pub reassoc: bool,
+}
+
+impl FastMathFlags {
+    /// No fast-math flags.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// All fast-math flags (`fast`).
+    pub fn fast() -> Self {
+        Self { nnan: true, ninf: true, nsz: true, reassoc: true }
+    }
+
+    /// Returns `true` if no flag is set.
+    pub fn is_empty(&self) -> bool {
+        *self == Self::default()
+    }
+
+    /// Returns `true` if every flag set in `self` is also set in `other`.
+    pub fn is_subset_of(&self, other: &FastMathFlags) -> bool {
+        (!self.nnan || other.nnan)
+            && (!self.ninf || other.ninf)
+            && (!self.nsz || other.nsz)
+            && (!self.reassoc || other.reassoc)
+    }
+}
+
+impl fmt::Display for FastMathFlags {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self == &Self::fast() {
+            return write!(f, "fast");
+        }
+        let mut parts = Vec::new();
+        if self.nnan {
+            parts.push("nnan");
+        }
+        if self.ninf {
+            parts.push("ninf");
+        }
+        if self.nsz {
+            parts.push("nsz");
+        }
+        if self.reassoc {
+            parts.push("reassoc");
+        }
+        write!(f, "{}", parts.join(" "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn int_flag_constructors() {
+        assert!(IntFlags::none().is_empty());
+        assert!(IntFlags::nuw().nuw);
+        assert!(IntFlags::nsw().nsw);
+        assert!(IntFlags::nuw_nsw().nuw && IntFlags::nuw_nsw().nsw);
+        assert!(IntFlags::exact().exact);
+        assert!(IntFlags::disjoint().disjoint);
+        assert!(IntFlags::nneg().nneg);
+    }
+
+    #[test]
+    fn int_flag_display_order() {
+        assert_eq!(IntFlags::nuw_nsw().to_string(), "nuw nsw");
+        assert_eq!(IntFlags::disjoint().to_string(), "disjoint");
+        assert_eq!(IntFlags::none().to_string(), "");
+    }
+
+    #[test]
+    fn subset_semantics() {
+        assert!(IntFlags::none().is_subset_of(&IntFlags::nuw_nsw()));
+        assert!(IntFlags::nuw().is_subset_of(&IntFlags::nuw_nsw()));
+        assert!(!IntFlags::nuw_nsw().is_subset_of(&IntFlags::nuw()));
+        let both = IntFlags::nuw_nsw();
+        assert_eq!(both.intersect(&IntFlags::nsw()), IntFlags::nsw());
+    }
+
+    #[test]
+    fn fast_math_flags() {
+        assert!(FastMathFlags::none().is_empty());
+        assert_eq!(FastMathFlags::fast().to_string(), "fast");
+        let nnan = FastMathFlags { nnan: true, ..Default::default() };
+        assert_eq!(nnan.to_string(), "nnan");
+        assert!(nnan.is_subset_of(&FastMathFlags::fast()));
+        assert!(!FastMathFlags::fast().is_subset_of(&nnan));
+    }
+}

@@ -1,0 +1,411 @@
+//! Functions, basic blocks and the instruction arena.
+//!
+//! A [`Function`] owns an arena of [`Instruction`]s; each [`BasicBlock`] holds
+//! an ordered list of [`InstId`]s into that arena. This representation makes
+//! the transformations the optimizer needs — replace-all-uses, erase, insert
+//! before — cheap and simple while keeping the IR a plain owned value that can
+//! be cloned, hashed and compared.
+//!
+//! # Examples
+//!
+//! ```
+//! use lpo_ir::builder::FunctionBuilder;
+//! use lpo_ir::types::Type;
+//! use lpo_ir::instruction::{BinOp, Value};
+//!
+//! let mut b = FunctionBuilder::new("src", Type::i32());
+//! let x = b.add_param("x", Type::i32());
+//! let one = b.add(x.clone(), Value::int(32, 1));
+//! b.ret(Some(one));
+//! let f = b.build();
+//! assert_eq!(f.instruction_count(), 1); // ret is a terminator, add is counted
+//! ```
+
+use crate::instruction::{BlockId, InstId, InstKind, Instruction, Value};
+use crate::types::Type;
+use std::collections::HashMap;
+use std::fmt;
+
+/// A function parameter.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Param {
+    /// The parameter name without the leading `%`.
+    pub name: String,
+    /// The parameter type.
+    pub ty: Type,
+}
+
+/// A basic block: a label plus an ordered list of instructions ending in a terminator.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BasicBlock {
+    /// The block label (without the trailing `:`).
+    pub name: String,
+    /// Instruction ids in execution order.
+    pub insts: Vec<InstId>,
+}
+
+impl BasicBlock {
+    /// Creates an empty basic block with the given label.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self { name: name.into(), insts: Vec::new() }
+    }
+}
+
+/// An IR function.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Function {
+    /// The function name without the leading `@`.
+    pub name: String,
+    /// The declared parameters.
+    pub params: Vec<Param>,
+    /// The return type.
+    pub ret_ty: Type,
+    blocks: Vec<BasicBlock>,
+    insts: Vec<Instruction>,
+}
+
+impl Function {
+    /// Creates a function with a single empty `entry` block.
+    pub fn new(name: impl Into<String>, ret_ty: Type) -> Self {
+        Self {
+            name: name.into(),
+            params: Vec::new(),
+            ret_ty,
+            blocks: vec![BasicBlock::new("entry")],
+            insts: Vec::new(),
+        }
+    }
+
+    /// Creates a function with no blocks at all (the parser uses this).
+    pub fn empty(name: impl Into<String>, ret_ty: Type) -> Self {
+        Self { name: name.into(), params: Vec::new(), ret_ty, blocks: Vec::new(), insts: Vec::new() }
+    }
+
+    // --- structural access ----------------------------------------------------
+
+    /// The basic blocks in layout order.
+    pub fn blocks(&self) -> &[BasicBlock] {
+        &self.blocks
+    }
+
+    /// The id of the entry block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the function has no blocks.
+    pub fn entry(&self) -> BlockId {
+        assert!(!self.blocks.is_empty(), "function has no blocks");
+        BlockId(0)
+    }
+
+    /// Looks up a block by id.
+    pub fn block(&self, id: BlockId) -> &BasicBlock {
+        &self.blocks[id.0 as usize]
+    }
+
+    /// Looks up a block mutably by id.
+    pub fn block_mut(&mut self, id: BlockId) -> &mut BasicBlock {
+        &mut self.blocks[id.0 as usize]
+    }
+
+    /// Finds a block id by label.
+    pub fn block_by_name(&self, name: &str) -> Option<BlockId> {
+        self.blocks.iter().position(|b| b.name == name).map(|i| BlockId(i as u32))
+    }
+
+    /// Appends a new empty block and returns its id.
+    pub fn add_block(&mut self, name: impl Into<String>) -> BlockId {
+        self.blocks.push(BasicBlock::new(name));
+        BlockId(self.blocks.len() as u32 - 1)
+    }
+
+    /// Iterates over `(BlockId, &BasicBlock)` pairs.
+    pub fn iter_blocks(&self) -> impl Iterator<Item = (BlockId, &BasicBlock)> {
+        self.blocks.iter().enumerate().map(|(i, b)| (BlockId(i as u32), b))
+    }
+
+    /// Looks up an instruction by id.
+    pub fn inst(&self, id: InstId) -> &Instruction {
+        &self.insts[id.0 as usize]
+    }
+
+    /// Looks up an instruction mutably by id.
+    pub fn inst_mut(&mut self, id: InstId) -> &mut Instruction {
+        &mut self.insts[id.0 as usize]
+    }
+
+    /// The result type of a value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an argument index is out of range.
+    pub fn value_type(&self, value: &Value) -> Type {
+        match value {
+            Value::Arg(i) => self.params[*i].ty.clone(),
+            Value::Inst(id) => self.inst(*id).ty.clone(),
+            Value::Const(c) => c.ty(),
+        }
+    }
+
+    /// Adds an instruction to the arena (not yet placed in any block).
+    pub fn alloc_inst(&mut self, inst: Instruction) -> InstId {
+        self.insts.push(inst);
+        InstId(self.insts.len() as u32 - 1)
+    }
+
+    /// Appends an instruction to the end of a block and returns its id.
+    pub fn append_inst(&mut self, block: BlockId, inst: Instruction) -> InstId {
+        let id = self.alloc_inst(inst);
+        self.block_mut(block).insts.push(id);
+        id
+    }
+
+    /// Inserts an instruction into `block` immediately before the instruction
+    /// at `position` (an index into the block's instruction list).
+    pub fn insert_inst(&mut self, block: BlockId, position: usize, inst: Instruction) -> InstId {
+        let id = self.alloc_inst(inst);
+        self.block_mut(block).insts.insert(position, id);
+        id
+    }
+
+    /// Iterates over every instruction id currently placed in a block, in
+    /// block layout order.
+    pub fn iter_inst_ids(&self) -> impl Iterator<Item = InstId> + '_ {
+        self.blocks.iter().flat_map(|b| b.insts.iter().copied())
+    }
+
+    /// Iterates over every placed instruction, in block layout order.
+    pub fn iter_insts(&self) -> impl Iterator<Item = (InstId, &Instruction)> {
+        self.iter_inst_ids().map(move |id| (id, self.inst(id)))
+    }
+
+    /// The number of non-terminator instructions currently placed in blocks.
+    ///
+    /// This matches the metric LPO's interestingness check uses: terminators
+    /// (`ret`, `br`, `unreachable`) are control flow, not work.
+    pub fn instruction_count(&self) -> usize {
+        self.iter_insts().filter(|(_, i)| !i.is_terminator()).count()
+    }
+
+    /// The total number of placed instructions including terminators.
+    pub fn total_instruction_count(&self) -> usize {
+        self.iter_inst_ids().count()
+    }
+
+    // --- use-def manipulation --------------------------------------------------
+
+    /// Replaces every use of `from` (an instruction result) with `to`.
+    pub fn replace_all_uses(&mut self, from: InstId, to: &Value) {
+        for inst in &mut self.insts {
+            for op in inst.kind.operands_mut() {
+                if matches!(op, Value::Inst(id) if *id == from) {
+                    *op = to.clone();
+                }
+            }
+        }
+    }
+
+    /// Removes an instruction from its block (the arena slot becomes dead).
+    ///
+    /// Uses of the instruction are left dangling; callers should
+    /// [`replace_all_uses`](Self::replace_all_uses) first.
+    pub fn erase_inst(&mut self, id: InstId) {
+        for block in &mut self.blocks {
+            block.insts.retain(|i| *i != id);
+        }
+    }
+
+    /// Returns the ids of placed instructions that use the result of `id`.
+    pub fn users_of(&self, id: InstId) -> Vec<InstId> {
+        self.iter_insts()
+            .filter(|(_, inst)| {
+                inst.kind.operands().iter().any(|op| matches!(op, Value::Inst(i) if *i == id))
+            })
+            .map(|(uid, _)| uid)
+            .collect()
+    }
+
+    /// Returns how many placed instructions use the result of `id`.
+    pub fn num_users(&self, id: InstId) -> usize {
+        self.users_of(id).len()
+    }
+
+    /// Returns `true` if the result of `id` has no users among placed instructions.
+    pub fn is_unused(&self, id: InstId) -> bool {
+        self.num_users(id) == 0
+    }
+
+    /// Rebuilds the arena, dropping unplaced instructions and renumbering ids.
+    ///
+    /// Returns the mapping from old ids to new ids.
+    pub fn compact(&mut self) -> HashMap<InstId, InstId> {
+        let mut mapping = HashMap::new();
+        let mut new_insts = Vec::new();
+        for block in &self.blocks {
+            for &old_id in &block.insts {
+                let new_id = InstId(new_insts.len() as u32);
+                new_insts.push(self.insts[old_id.0 as usize].clone());
+                mapping.insert(old_id, new_id);
+            }
+        }
+        for inst in &mut new_insts {
+            for op in inst.kind.operands_mut() {
+                if let Value::Inst(id) = op {
+                    *id = mapping[id];
+                }
+            }
+        }
+        for block in &mut self.blocks {
+            for id in &mut block.insts {
+                *id = mapping[id];
+            }
+        }
+        self.insts = new_insts;
+        mapping
+    }
+
+    /// Finds a placed instruction by result name.
+    pub fn inst_by_name(&self, name: &str) -> Option<InstId> {
+        self.iter_insts().find(|(_, i)| i.name == name).map(|(id, _)| id)
+    }
+
+    /// Finds a parameter index by name.
+    pub fn param_by_name(&self, name: &str) -> Option<usize> {
+        self.params.iter().position(|p| p.name == name)
+    }
+
+    /// A short human-readable description of a value, used in diagnostics.
+    pub fn describe_value(&self, value: &Value) -> String {
+        match value {
+            Value::Arg(i) => format!("%{}", self.params[*i].name),
+            Value::Inst(id) => format!("%{}", self.inst(*id).name),
+            Value::Const(c) => c.to_string(),
+        }
+    }
+
+    /// Returns the value returned by the (single) `ret` instruction, if any.
+    pub fn return_value(&self) -> Option<&Value> {
+        self.iter_insts().find_map(|(_, inst)| match &inst.kind {
+            InstKind::Ret { value } => value.as_ref(),
+            _ => None,
+        })
+    }
+}
+
+impl fmt::Display for Function {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", crate::printer::print_function(self))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::constant::Constant;
+    use crate::instruction::BinOp;
+
+    fn sample() -> Function {
+        let mut b = FunctionBuilder::new("f", Type::i32());
+        let x = b.add_param("x", Type::i32());
+        let y = b.add_param("y", Type::i32());
+        let sum = b.add(x.clone(), y.clone());
+        let doubled = b.add(sum.clone(), sum.clone());
+        b.ret(Some(doubled));
+        b.build()
+    }
+
+    #[test]
+    fn structural_queries() {
+        let f = sample();
+        assert_eq!(f.blocks().len(), 1);
+        assert_eq!(f.entry(), BlockId(0));
+        assert_eq!(f.instruction_count(), 2);
+        assert_eq!(f.total_instruction_count(), 3);
+        assert_eq!(f.params.len(), 2);
+        assert_eq!(f.value_type(&Value::Arg(0)), Type::i32());
+        assert!(f.block_by_name("entry").is_some());
+        assert!(f.block_by_name("missing").is_none());
+    }
+
+    #[test]
+    fn users_and_rauw() {
+        let mut f = sample();
+        let first = f.block(BlockId(0)).insts[0];
+        let second = f.block(BlockId(0)).insts[1];
+        assert_eq!(f.users_of(first), vec![second]);
+        assert_eq!(f.num_users(second), 1); // used by ret
+        assert!(!f.is_unused(first));
+
+        // Replace the first add with the constant 7 everywhere.
+        f.replace_all_uses(first, &Value::Const(Constant::int(32, 7)));
+        assert!(f.is_unused(first));
+        f.erase_inst(first);
+        assert_eq!(f.instruction_count(), 1);
+        match &f.inst(second).kind {
+            InstKind::Binary { op: BinOp::Add, lhs, rhs, .. } => {
+                assert!(lhs.is_const());
+                assert!(rhs.is_const());
+            }
+            other => panic!("unexpected kind {other:?}"),
+        }
+    }
+
+    #[test]
+    fn compact_renumbers_and_drops_dead_slots() {
+        let mut f = sample();
+        let first = f.block(BlockId(0)).insts[0];
+        f.replace_all_uses(first, &Value::Const(Constant::int(32, 7)));
+        f.erase_inst(first);
+        let before_count = f.instruction_count();
+        let mapping = f.compact();
+        assert_eq!(f.instruction_count(), before_count);
+        assert!(!mapping.contains_key(&first));
+        // All operand references must point at live arena slots.
+        for (_, inst) in f.iter_insts() {
+            for op in inst.kind.operands() {
+                if let Value::Inst(id) = op {
+                    assert!((id.0 as usize) < f.total_instruction_count());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn insert_before_position() {
+        let mut f = sample();
+        let entry = f.entry();
+        let new_inst = Instruction::new(
+            InstKind::Binary {
+                op: BinOp::Mul,
+                lhs: Value::Arg(0),
+                rhs: Value::int(32, 3),
+                flags: Default::default(),
+            },
+            Type::i32(),
+            "m",
+        );
+        f.insert_inst(entry, 0, new_inst);
+        let first = f.block(entry).insts[0];
+        assert_eq!(f.inst(first).name, "m");
+        assert_eq!(f.instruction_count(), 3);
+    }
+
+    #[test]
+    fn lookup_by_name_and_return_value() {
+        let f = sample();
+        assert!(f.inst_by_name("t0").is_some());
+        assert!(f.inst_by_name("nope").is_none());
+        assert_eq!(f.param_by_name("y"), Some(1));
+        assert!(f.return_value().is_some());
+        assert_eq!(f.describe_value(&Value::Arg(0)), "%x");
+        assert_eq!(f.describe_value(&Value::int(32, 5)), "5");
+    }
+
+    #[test]
+    #[should_panic(expected = "function has no blocks")]
+    fn entry_of_empty_function_panics() {
+        let f = Function::empty("f", Type::Void);
+        let _ = f.entry();
+    }
+}

@@ -1,0 +1,914 @@
+//! Instruction opcodes, operands, and the [`Instruction`] container.
+//!
+//! Instructions reference their operands through [`Value`]s: either a function
+//! argument, the result of another instruction (by [`InstId`]), or an inline
+//! [`Constant`]. Instructions live in an arena owned by the enclosing
+//! [`Function`](crate::function::Function); basic blocks hold ordered lists of
+//! [`InstId`]s.
+
+use crate::constant::Constant;
+use crate::flags::{FastMathFlags, IntFlags};
+use crate::types::Type;
+use std::fmt;
+
+/// Identifier of an instruction inside its function's arena.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct InstId(pub u32);
+
+/// Identifier of a basic block inside its function.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BlockId(pub u32);
+
+/// An operand: a function argument, another instruction's result, or a constant.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// The `index`-th function parameter.
+    Arg(usize),
+    /// The result of the instruction with the given id.
+    Inst(InstId),
+    /// An inline constant.
+    Const(Constant),
+}
+
+impl Value {
+    /// Convenience constructor for an integer constant operand.
+    pub fn int(width: u32, value: u128) -> Value {
+        Value::Const(Constant::int(width, value))
+    }
+
+    /// Convenience constructor for a signed integer constant operand.
+    pub fn int_signed(width: u32, value: i128) -> Value {
+        Value::Const(Constant::int_signed(width, value))
+    }
+
+    /// Convenience constructor for a boolean constant operand.
+    pub fn bool(value: bool) -> Value {
+        Value::Const(Constant::bool(value))
+    }
+
+    /// Returns the constant if this operand is a constant.
+    pub fn as_const(&self) -> Option<&Constant> {
+        match self {
+            Value::Const(c) => Some(c),
+            _ => None,
+        }
+    }
+
+    /// Returns the instruction id if this operand is an instruction result.
+    pub fn as_inst(&self) -> Option<InstId> {
+        match self {
+            Value::Inst(id) => Some(*id),
+            _ => None,
+        }
+    }
+
+    /// Returns `true` if this operand is a constant.
+    pub fn is_const(&self) -> bool {
+        matches!(self, Value::Const(_))
+    }
+}
+
+impl From<Constant> for Value {
+    fn from(c: Constant) -> Value {
+        Value::Const(c)
+    }
+}
+
+impl From<InstId> for Value {
+    fn from(id: InstId) -> Value {
+        Value::Inst(id)
+    }
+}
+
+/// Integer binary opcodes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    /// Integer addition.
+    Add,
+    /// Integer subtraction.
+    Sub,
+    /// Integer multiplication.
+    Mul,
+    /// Unsigned division.
+    UDiv,
+    /// Signed division.
+    SDiv,
+    /// Unsigned remainder.
+    URem,
+    /// Signed remainder.
+    SRem,
+    /// Logical shift left.
+    Shl,
+    /// Logical shift right.
+    LShr,
+    /// Arithmetic shift right.
+    AShr,
+    /// Bitwise AND.
+    And,
+    /// Bitwise OR.
+    Or,
+    /// Bitwise XOR.
+    Xor,
+}
+
+impl BinOp {
+    /// All integer binary opcodes, useful for enumeration-based synthesis.
+    pub const ALL: [BinOp; 13] = [
+        BinOp::Add,
+        BinOp::Sub,
+        BinOp::Mul,
+        BinOp::UDiv,
+        BinOp::SDiv,
+        BinOp::URem,
+        BinOp::SRem,
+        BinOp::Shl,
+        BinOp::LShr,
+        BinOp::AShr,
+        BinOp::And,
+        BinOp::Or,
+        BinOp::Xor,
+    ];
+
+    /// The LLVM mnemonic for this opcode.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            BinOp::Add => "add",
+            BinOp::Sub => "sub",
+            BinOp::Mul => "mul",
+            BinOp::UDiv => "udiv",
+            BinOp::SDiv => "sdiv",
+            BinOp::URem => "urem",
+            BinOp::SRem => "srem",
+            BinOp::Shl => "shl",
+            BinOp::LShr => "lshr",
+            BinOp::AShr => "ashr",
+            BinOp::And => "and",
+            BinOp::Or => "or",
+            BinOp::Xor => "xor",
+        }
+    }
+
+    /// Returns `true` for commutative opcodes.
+    pub fn is_commutative(self) -> bool {
+        matches!(self, BinOp::Add | BinOp::Mul | BinOp::And | BinOp::Or | BinOp::Xor)
+    }
+
+    /// Returns `true` for division/remainder opcodes whose right operand being
+    /// zero is immediate undefined behaviour.
+    pub fn is_division(self) -> bool {
+        matches!(self, BinOp::UDiv | BinOp::SDiv | BinOp::URem | BinOp::SRem)
+    }
+
+    /// Returns `true` for shift opcodes.
+    pub fn is_shift(self) -> bool {
+        matches!(self, BinOp::Shl | BinOp::LShr | BinOp::AShr)
+    }
+
+    /// Returns `true` for bitwise opcodes.
+    pub fn is_bitwise(self) -> bool {
+        matches!(self, BinOp::And | BinOp::Or | BinOp::Xor)
+    }
+
+    /// Which flags this opcode may legally carry.
+    pub fn allowed_flags(self) -> IntFlags {
+        match self {
+            BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Shl => IntFlags::nuw_nsw(),
+            BinOp::UDiv | BinOp::SDiv | BinOp::LShr | BinOp::AShr => IntFlags::exact(),
+            BinOp::Or => IntFlags::disjoint(),
+            _ => IntFlags::none(),
+        }
+    }
+}
+
+/// Floating-point binary opcodes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum FBinOp {
+    /// Floating-point addition.
+    FAdd,
+    /// Floating-point subtraction.
+    FSub,
+    /// Floating-point multiplication.
+    FMul,
+    /// Floating-point division.
+    FDiv,
+    /// Floating-point remainder.
+    FRem,
+}
+
+impl FBinOp {
+    /// All floating-point binary opcodes.
+    pub const ALL: [FBinOp; 5] = [FBinOp::FAdd, FBinOp::FSub, FBinOp::FMul, FBinOp::FDiv, FBinOp::FRem];
+
+    /// The LLVM mnemonic for this opcode.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            FBinOp::FAdd => "fadd",
+            FBinOp::FSub => "fsub",
+            FBinOp::FMul => "fmul",
+            FBinOp::FDiv => "fdiv",
+            FBinOp::FRem => "frem",
+        }
+    }
+
+    /// Returns `true` for commutative opcodes.
+    pub fn is_commutative(self) -> bool {
+        matches!(self, FBinOp::FAdd | FBinOp::FMul)
+    }
+}
+
+/// Integer comparison predicates.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ICmpPred {
+    /// Equal.
+    Eq,
+    /// Not equal.
+    Ne,
+    /// Unsigned greater than.
+    Ugt,
+    /// Unsigned greater or equal.
+    Uge,
+    /// Unsigned less than.
+    Ult,
+    /// Unsigned less or equal.
+    Ule,
+    /// Signed greater than.
+    Sgt,
+    /// Signed greater or equal.
+    Sge,
+    /// Signed less than.
+    Slt,
+    /// Signed less or equal.
+    Sle,
+}
+
+impl ICmpPred {
+    /// All integer predicates.
+    pub const ALL: [ICmpPred; 10] = [
+        ICmpPred::Eq,
+        ICmpPred::Ne,
+        ICmpPred::Ugt,
+        ICmpPred::Uge,
+        ICmpPred::Ult,
+        ICmpPred::Ule,
+        ICmpPred::Sgt,
+        ICmpPred::Sge,
+        ICmpPred::Slt,
+        ICmpPred::Sle,
+    ];
+
+    /// The LLVM spelling of this predicate.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            ICmpPred::Eq => "eq",
+            ICmpPred::Ne => "ne",
+            ICmpPred::Ugt => "ugt",
+            ICmpPred::Uge => "uge",
+            ICmpPred::Ult => "ult",
+            ICmpPred::Ule => "ule",
+            ICmpPred::Sgt => "sgt",
+            ICmpPred::Sge => "sge",
+            ICmpPred::Slt => "slt",
+            ICmpPred::Sle => "sle",
+        }
+    }
+
+    /// The predicate with operands swapped (`a < b` ⇔ `b > a`).
+    pub fn swapped(self) -> ICmpPred {
+        match self {
+            ICmpPred::Eq => ICmpPred::Eq,
+            ICmpPred::Ne => ICmpPred::Ne,
+            ICmpPred::Ugt => ICmpPred::Ult,
+            ICmpPred::Uge => ICmpPred::Ule,
+            ICmpPred::Ult => ICmpPred::Ugt,
+            ICmpPred::Ule => ICmpPred::Uge,
+            ICmpPred::Sgt => ICmpPred::Slt,
+            ICmpPred::Sge => ICmpPred::Sle,
+            ICmpPred::Slt => ICmpPred::Sgt,
+            ICmpPred::Sle => ICmpPred::Sge,
+        }
+    }
+
+    /// The logical negation of this predicate.
+    pub fn inverted(self) -> ICmpPred {
+        match self {
+            ICmpPred::Eq => ICmpPred::Ne,
+            ICmpPred::Ne => ICmpPred::Eq,
+            ICmpPred::Ugt => ICmpPred::Ule,
+            ICmpPred::Uge => ICmpPred::Ult,
+            ICmpPred::Ult => ICmpPred::Uge,
+            ICmpPred::Ule => ICmpPred::Ugt,
+            ICmpPred::Sgt => ICmpPred::Sle,
+            ICmpPred::Sge => ICmpPred::Slt,
+            ICmpPred::Slt => ICmpPred::Sge,
+            ICmpPred::Sle => ICmpPred::Sgt,
+        }
+    }
+
+    /// Returns `true` for the signed predicates.
+    pub fn is_signed(self) -> bool {
+        matches!(self, ICmpPred::Sgt | ICmpPred::Sge | ICmpPred::Slt | ICmpPred::Sle)
+    }
+
+    /// Returns `true` for `eq`/`ne`.
+    pub fn is_equality(self) -> bool {
+        matches!(self, ICmpPred::Eq | ICmpPred::Ne)
+    }
+}
+
+/// Floating-point comparison predicates.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum FCmpPred {
+    /// Always false.
+    False,
+    /// Ordered and equal.
+    Oeq,
+    /// Ordered and greater than.
+    Ogt,
+    /// Ordered and greater or equal.
+    Oge,
+    /// Ordered and less than.
+    Olt,
+    /// Ordered and less or equal.
+    Ole,
+    /// Ordered and not equal.
+    One,
+    /// Ordered (no NaNs).
+    Ord,
+    /// Unordered or equal.
+    Ueq,
+    /// Unordered or greater than.
+    Ugt,
+    /// Unordered or greater or equal.
+    Uge,
+    /// Unordered or less than.
+    Ult,
+    /// Unordered or less or equal.
+    Ule,
+    /// Unordered or not equal.
+    Une,
+    /// Unordered (either operand NaN).
+    Uno,
+    /// Always true.
+    True,
+}
+
+impl FCmpPred {
+    /// All floating-point predicates.
+    pub const ALL: [FCmpPred; 16] = [
+        FCmpPred::False,
+        FCmpPred::Oeq,
+        FCmpPred::Ogt,
+        FCmpPred::Oge,
+        FCmpPred::Olt,
+        FCmpPred::Ole,
+        FCmpPred::One,
+        FCmpPred::Ord,
+        FCmpPred::Ueq,
+        FCmpPred::Ugt,
+        FCmpPred::Uge,
+        FCmpPred::Ult,
+        FCmpPred::Ule,
+        FCmpPred::Une,
+        FCmpPred::Uno,
+        FCmpPred::True,
+    ];
+
+    /// The LLVM spelling of this predicate.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            FCmpPred::False => "false",
+            FCmpPred::Oeq => "oeq",
+            FCmpPred::Ogt => "ogt",
+            FCmpPred::Oge => "oge",
+            FCmpPred::Olt => "olt",
+            FCmpPred::Ole => "ole",
+            FCmpPred::One => "one",
+            FCmpPred::Ord => "ord",
+            FCmpPred::Ueq => "ueq",
+            FCmpPred::Ugt => "ugt",
+            FCmpPred::Uge => "uge",
+            FCmpPred::Ult => "ult",
+            FCmpPred::Ule => "ule",
+            FCmpPred::Une => "une",
+            FCmpPred::Uno => "uno",
+            FCmpPred::True => "true",
+        }
+    }
+
+    /// Returns `true` for ordered predicates (false when either operand is NaN).
+    pub fn is_ordered(self) -> bool {
+        matches!(
+            self,
+            FCmpPred::Oeq | FCmpPred::Ogt | FCmpPred::Oge | FCmpPred::Olt | FCmpPred::Ole | FCmpPred::One | FCmpPred::Ord
+        )
+    }
+}
+
+/// Cast opcodes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum CastOp {
+    /// Integer truncation.
+    Trunc,
+    /// Zero extension.
+    ZExt,
+    /// Sign extension.
+    SExt,
+    /// Floating-point truncation (e.g. `double` → `float`).
+    FpTrunc,
+    /// Floating-point extension.
+    FpExt,
+    /// Floating point to unsigned integer.
+    FpToUi,
+    /// Floating point to signed integer.
+    FpToSi,
+    /// Unsigned integer to floating point.
+    UiToFp,
+    /// Signed integer to floating point.
+    SiToFp,
+    /// Pointer to integer.
+    PtrToInt,
+    /// Integer to pointer.
+    IntToPtr,
+    /// Reinterpret the bits as another same-sized type.
+    Bitcast,
+}
+
+impl CastOp {
+    /// The LLVM mnemonic for this cast.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            CastOp::Trunc => "trunc",
+            CastOp::ZExt => "zext",
+            CastOp::SExt => "sext",
+            CastOp::FpTrunc => "fptrunc",
+            CastOp::FpExt => "fpext",
+            CastOp::FpToUi => "fptoui",
+            CastOp::FpToSi => "fptosi",
+            CastOp::UiToFp => "uitofp",
+            CastOp::SiToFp => "sitofp",
+            CastOp::PtrToInt => "ptrtoint",
+            CastOp::IntToPtr => "inttoptr",
+            CastOp::Bitcast => "bitcast",
+        }
+    }
+
+    /// Which flags this cast may legally carry.
+    pub fn allowed_flags(self) -> IntFlags {
+        match self {
+            CastOp::Trunc => IntFlags::nuw_nsw(),
+            CastOp::ZExt | CastOp::UiToFp => IntFlags::nneg(),
+            _ => IntFlags::none(),
+        }
+    }
+}
+
+/// The supported intrinsic functions (a practical subset of `llvm.*`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Intrinsic {
+    /// `llvm.umin.*` — unsigned minimum.
+    Umin,
+    /// `llvm.umax.*` — unsigned maximum.
+    Umax,
+    /// `llvm.smin.*` — signed minimum.
+    Smin,
+    /// `llvm.smax.*` — signed maximum.
+    Smax,
+    /// `llvm.abs.*` — absolute value; second operand is `i1 is_int_min_poison`.
+    Abs,
+    /// `llvm.ctpop.*` — population count.
+    Ctpop,
+    /// `llvm.ctlz.*` — count leading zeros; second operand is `i1 is_zero_poison`.
+    Ctlz,
+    /// `llvm.cttz.*` — count trailing zeros; second operand is `i1 is_zero_poison`.
+    Cttz,
+    /// `llvm.bswap.*` — byte swap.
+    Bswap,
+    /// `llvm.bitreverse.*` — bit reversal.
+    Bitreverse,
+    /// `llvm.fshl.*` — funnel shift left.
+    Fshl,
+    /// `llvm.fshr.*` — funnel shift right.
+    Fshr,
+    /// `llvm.uadd.sat.*` — saturating unsigned addition.
+    UaddSat,
+    /// `llvm.sadd.sat.*` — saturating signed addition.
+    SaddSat,
+    /// `llvm.usub.sat.*` — saturating unsigned subtraction.
+    UsubSat,
+    /// `llvm.ssub.sat.*` — saturating signed subtraction.
+    SsubSat,
+    /// `llvm.fabs.*` — floating point absolute value.
+    Fabs,
+    /// `llvm.sqrt.*` — floating point square root.
+    Sqrt,
+    /// `llvm.minnum.*` — floating point minimum (NaN-ignoring).
+    Minnum,
+    /// `llvm.maxnum.*` — floating point maximum (NaN-ignoring).
+    Maxnum,
+    /// `llvm.copysign.*` — copy the sign of the second operand onto the first.
+    Copysign,
+    /// `llvm.fma.*` — fused multiply-add.
+    Fma,
+}
+
+impl Intrinsic {
+    /// All supported intrinsics.
+    pub const ALL: [Intrinsic; 22] = [
+        Intrinsic::Umin,
+        Intrinsic::Umax,
+        Intrinsic::Smin,
+        Intrinsic::Smax,
+        Intrinsic::Abs,
+        Intrinsic::Ctpop,
+        Intrinsic::Ctlz,
+        Intrinsic::Cttz,
+        Intrinsic::Bswap,
+        Intrinsic::Bitreverse,
+        Intrinsic::Fshl,
+        Intrinsic::Fshr,
+        Intrinsic::UaddSat,
+        Intrinsic::SaddSat,
+        Intrinsic::UsubSat,
+        Intrinsic::SsubSat,
+        Intrinsic::Fabs,
+        Intrinsic::Sqrt,
+        Intrinsic::Minnum,
+        Intrinsic::Maxnum,
+        Intrinsic::Copysign,
+        Intrinsic::Fma,
+    ];
+
+    /// The short name used inside `llvm.<name>.<type>` spellings.
+    pub fn short_name(self) -> &'static str {
+        match self {
+            Intrinsic::Umin => "umin",
+            Intrinsic::Umax => "umax",
+            Intrinsic::Smin => "smin",
+            Intrinsic::Smax => "smax",
+            Intrinsic::Abs => "abs",
+            Intrinsic::Ctpop => "ctpop",
+            Intrinsic::Ctlz => "ctlz",
+            Intrinsic::Cttz => "cttz",
+            Intrinsic::Bswap => "bswap",
+            Intrinsic::Bitreverse => "bitreverse",
+            Intrinsic::Fshl => "fshl",
+            Intrinsic::Fshr => "fshr",
+            Intrinsic::UaddSat => "uadd.sat",
+            Intrinsic::SaddSat => "sadd.sat",
+            Intrinsic::UsubSat => "usub.sat",
+            Intrinsic::SsubSat => "ssub.sat",
+            Intrinsic::Fabs => "fabs",
+            Intrinsic::Sqrt => "sqrt",
+            Intrinsic::Minnum => "minnum",
+            Intrinsic::Maxnum => "maxnum",
+            Intrinsic::Copysign => "copysign",
+            Intrinsic::Fma => "fma",
+        }
+    }
+
+    /// Parses a short intrinsic name (the part between `llvm.` and the type suffix).
+    pub fn from_short_name(name: &str) -> Option<Intrinsic> {
+        Intrinsic::ALL.iter().copied().find(|i| i.short_name() == name)
+    }
+
+    /// The number of value arguments the intrinsic expects.
+    pub fn arity(self) -> usize {
+        match self {
+            Intrinsic::Ctpop
+            | Intrinsic::Bswap
+            | Intrinsic::Bitreverse
+            | Intrinsic::Fabs
+            | Intrinsic::Sqrt => 1,
+            Intrinsic::Abs | Intrinsic::Ctlz | Intrinsic::Cttz => 2,
+            Intrinsic::Fshl | Intrinsic::Fshr | Intrinsic::Fma => 3,
+            _ => 2,
+        }
+    }
+
+    /// Returns `true` for integer (or integer-vector) intrinsics.
+    pub fn is_integer(self) -> bool {
+        !matches!(
+            self,
+            Intrinsic::Fabs
+                | Intrinsic::Sqrt
+                | Intrinsic::Minnum
+                | Intrinsic::Maxnum
+                | Intrinsic::Copysign
+                | Intrinsic::Fma
+        )
+    }
+
+    /// Returns `true` for the min/max family.
+    pub fn is_min_max(self) -> bool {
+        matches!(self, Intrinsic::Umin | Intrinsic::Umax | Intrinsic::Smin | Intrinsic::Smax)
+    }
+
+    /// Returns `true` for commutative intrinsics.
+    pub fn is_commutative(self) -> bool {
+        matches!(
+            self,
+            Intrinsic::Umin
+                | Intrinsic::Umax
+                | Intrinsic::Smin
+                | Intrinsic::Smax
+                | Intrinsic::Minnum
+                | Intrinsic::Maxnum
+        )
+    }
+
+    /// The full LLVM-style name, e.g. `llvm.umin.i32` or `llvm.smax.v4i32`.
+    pub fn full_name(self, ty: &Type) -> String {
+        let suffix = match ty {
+            Type::Vector(n, elem) => format!("v{n}{elem}"),
+            other => other.to_string(),
+        };
+        format!("llvm.{}.{}", self.short_name(), suffix)
+    }
+}
+
+impl fmt::Display for Intrinsic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "llvm.{}", self.short_name())
+    }
+}
+
+/// The operation performed by an instruction, with its operands.
+#[derive(Clone, Debug, PartialEq)]
+pub enum InstKind {
+    /// Integer binary operation.
+    Binary { op: BinOp, lhs: Value, rhs: Value, flags: IntFlags },
+    /// Floating-point binary operation.
+    FBinary { op: FBinOp, lhs: Value, rhs: Value, fmf: FastMathFlags },
+    /// Integer comparison producing `i1` (or a vector of `i1`).
+    ICmp { pred: ICmpPred, lhs: Value, rhs: Value },
+    /// Floating-point comparison producing `i1` (or a vector of `i1`).
+    FCmp { pred: FCmpPred, lhs: Value, rhs: Value },
+    /// Conditional select.
+    Select { cond: Value, on_true: Value, on_false: Value },
+    /// Type cast.
+    Cast { op: CastOp, value: Value, flags: IntFlags },
+    /// Intrinsic call.
+    Call { intrinsic: Intrinsic, args: Vec<Value>, fmf: FastMathFlags },
+    /// Memory load through a pointer.
+    Load { ptr: Value, align: u32 },
+    /// Memory store through a pointer (void result).
+    Store { value: Value, ptr: Value, align: u32 },
+    /// Address computation: `getelementptr [inbounds] [nuw] elem_ty, ptr base, i64 index`.
+    Gep { elem_ty: Type, base: Value, index: Value, inbounds: bool, nuw: bool },
+    /// Stack allocation of a single element of `ty`.
+    Alloca { ty: Type },
+    /// Extract one lane from a vector.
+    ExtractElement { vector: Value, index: Value },
+    /// Insert a scalar into one lane of a vector.
+    InsertElement { vector: Value, element: Value, index: Value },
+    /// Lane shuffle of two vectors with a constant mask (`-1` means undef lane).
+    ShuffleVector { a: Value, b: Value, mask: Vec<i32> },
+    /// SSA phi node with `(value, predecessor)` pairs.
+    Phi { incoming: Vec<(Value, BlockId)> },
+    /// Stop poison/undef propagation.
+    Freeze { value: Value },
+    /// Return from the function.
+    Ret { value: Option<Value> },
+    /// Conditional or unconditional branch.
+    Br { cond: Option<Value>, then_block: BlockId, else_block: Option<BlockId> },
+    /// Unreachable terminator.
+    Unreachable,
+}
+
+impl InstKind {
+    /// Returns `true` for block terminators.
+    pub fn is_terminator(&self) -> bool {
+        matches!(self, InstKind::Ret { .. } | InstKind::Br { .. } | InstKind::Unreachable)
+    }
+
+    /// Returns `true` if the instruction reads or writes memory.
+    pub fn touches_memory(&self) -> bool {
+        matches!(self, InstKind::Load { .. } | InstKind::Store { .. } | InstKind::Alloca { .. })
+    }
+
+    /// Returns `true` if removing this instruction (when unused) changes behaviour.
+    ///
+    /// Stores, terminators and instructions that may trap (division) have side
+    /// effects; everything else is freely removable when dead.
+    pub fn has_side_effects(&self) -> bool {
+        match self {
+            InstKind::Store { .. } => true,
+            InstKind::Binary { op, .. } if op.is_division() => true,
+            k if k.is_terminator() => true,
+            _ => false,
+        }
+    }
+
+    /// The operand values of this instruction, in order.
+    pub fn operands(&self) -> Vec<&Value> {
+        match self {
+            InstKind::Binary { lhs, rhs, .. }
+            | InstKind::FBinary { lhs, rhs, .. }
+            | InstKind::ICmp { lhs, rhs, .. }
+            | InstKind::FCmp { lhs, rhs, .. } => vec![lhs, rhs],
+            InstKind::Select { cond, on_true, on_false } => vec![cond, on_true, on_false],
+            InstKind::Cast { value, .. } | InstKind::Freeze { value } => vec![value],
+            InstKind::Call { args, .. } => args.iter().collect(),
+            InstKind::Load { ptr, .. } => vec![ptr],
+            InstKind::Store { value, ptr, .. } => vec![value, ptr],
+            InstKind::Gep { base, index, .. } => vec![base, index],
+            InstKind::Alloca { .. } | InstKind::Unreachable => vec![],
+            InstKind::ExtractElement { vector, index } => vec![vector, index],
+            InstKind::InsertElement { vector, element, index } => vec![vector, element, index],
+            InstKind::ShuffleVector { a, b, .. } => vec![a, b],
+            InstKind::Phi { incoming } => incoming.iter().map(|(v, _)| v).collect(),
+            InstKind::Ret { value } => value.iter().collect(),
+            InstKind::Br { cond, .. } => cond.iter().collect(),
+        }
+    }
+
+    /// Mutable references to the operand values of this instruction, in order.
+    pub fn operands_mut(&mut self) -> Vec<&mut Value> {
+        match self {
+            InstKind::Binary { lhs, rhs, .. }
+            | InstKind::FBinary { lhs, rhs, .. }
+            | InstKind::ICmp { lhs, rhs, .. }
+            | InstKind::FCmp { lhs, rhs, .. } => vec![lhs, rhs],
+            InstKind::Select { cond, on_true, on_false } => vec![cond, on_true, on_false],
+            InstKind::Cast { value, .. } | InstKind::Freeze { value } => vec![value],
+            InstKind::Call { args, .. } => args.iter_mut().collect(),
+            InstKind::Load { ptr, .. } => vec![ptr],
+            InstKind::Store { value, ptr, .. } => vec![value, ptr],
+            InstKind::Gep { base, index, .. } => vec![base, index],
+            InstKind::Alloca { .. } | InstKind::Unreachable => vec![],
+            InstKind::ExtractElement { vector, index } => vec![vector, index],
+            InstKind::InsertElement { vector, element, index } => vec![vector, element, index],
+            InstKind::ShuffleVector { a, b, .. } => vec![a, b],
+            InstKind::Phi { incoming } => incoming.iter_mut().map(|(v, _)| v).collect(),
+            InstKind::Ret { value } => value.iter_mut().collect(),
+            InstKind::Br { cond, .. } => cond.iter_mut().collect(),
+        }
+    }
+
+    /// A short mnemonic identifying the opcode (used by hashing and costs).
+    pub fn opcode_name(&self) -> String {
+        match self {
+            InstKind::Binary { op, .. } => op.mnemonic().to_string(),
+            InstKind::FBinary { op, .. } => op.mnemonic().to_string(),
+            InstKind::ICmp { .. } => "icmp".to_string(),
+            InstKind::FCmp { .. } => "fcmp".to_string(),
+            InstKind::Select { .. } => "select".to_string(),
+            InstKind::Cast { op, .. } => op.mnemonic().to_string(),
+            InstKind::Call { intrinsic, .. } => format!("call.{}", intrinsic.short_name()),
+            InstKind::Load { .. } => "load".to_string(),
+            InstKind::Store { .. } => "store".to_string(),
+            InstKind::Gep { .. } => "getelementptr".to_string(),
+            InstKind::Alloca { .. } => "alloca".to_string(),
+            InstKind::ExtractElement { .. } => "extractelement".to_string(),
+            InstKind::InsertElement { .. } => "insertelement".to_string(),
+            InstKind::ShuffleVector { .. } => "shufflevector".to_string(),
+            InstKind::Phi { .. } => "phi".to_string(),
+            InstKind::Freeze { .. } => "freeze".to_string(),
+            InstKind::Ret { .. } => "ret".to_string(),
+            InstKind::Br { .. } => "br".to_string(),
+            InstKind::Unreachable => "unreachable".to_string(),
+        }
+    }
+}
+
+/// An instruction: an operation, its result type, and its result name.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Instruction {
+    /// The operation and operands.
+    pub kind: InstKind,
+    /// The result type (`void` for stores, branches, etc.).
+    pub ty: Type,
+    /// The result name, without the leading `%` (empty for void results).
+    pub name: String,
+}
+
+impl Instruction {
+    /// Creates an instruction.
+    pub fn new(kind: InstKind, ty: Type, name: impl Into<String>) -> Self {
+        Self { kind, ty, name: name.into() }
+    }
+
+    /// Returns `true` if the instruction produces a value.
+    pub fn produces_value(&self) -> bool {
+        self.ty != Type::Void
+    }
+
+    /// Returns `true` for block terminators.
+    pub fn is_terminator(&self) -> bool {
+        self.kind.is_terminator()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn binop_properties() {
+        assert!(BinOp::Add.is_commutative());
+        assert!(!BinOp::Sub.is_commutative());
+        assert!(BinOp::UDiv.is_division());
+        assert!(BinOp::Shl.is_shift());
+        assert!(BinOp::Xor.is_bitwise());
+        assert_eq!(BinOp::Add.allowed_flags(), IntFlags::nuw_nsw());
+        assert_eq!(BinOp::LShr.allowed_flags(), IntFlags::exact());
+        assert_eq!(BinOp::Or.allowed_flags(), IntFlags::disjoint());
+        assert_eq!(BinOp::And.allowed_flags(), IntFlags::none());
+        assert_eq!(BinOp::ALL.len(), 13);
+    }
+
+    #[test]
+    fn icmp_predicate_algebra() {
+        assert_eq!(ICmpPred::Slt.swapped(), ICmpPred::Sgt);
+        assert_eq!(ICmpPred::Eq.swapped(), ICmpPred::Eq);
+        assert_eq!(ICmpPred::Ult.inverted(), ICmpPred::Uge);
+        assert_eq!(ICmpPred::Ne.inverted(), ICmpPred::Eq);
+        assert!(ICmpPred::Slt.is_signed());
+        assert!(!ICmpPred::Ult.is_signed());
+        assert!(ICmpPred::Eq.is_equality());
+        for p in ICmpPred::ALL {
+            assert_eq!(p.inverted().inverted(), p);
+            assert_eq!(p.swapped().swapped(), p);
+        }
+    }
+
+    #[test]
+    fn fcmp_predicates() {
+        assert!(FCmpPred::Oeq.is_ordered());
+        assert!(!FCmpPred::Ueq.is_ordered());
+        assert_eq!(FCmpPred::ALL.len(), 16);
+        assert_eq!(FCmpPred::Uno.mnemonic(), "uno");
+    }
+
+    #[test]
+    fn intrinsic_names_and_arity() {
+        assert_eq!(Intrinsic::Umin.full_name(&Type::i32()), "llvm.umin.i32");
+        assert_eq!(
+            Intrinsic::Smax.full_name(&Type::vector(4, Type::i32())),
+            "llvm.smax.v4i32"
+        );
+        assert_eq!(Intrinsic::UaddSat.full_name(&Type::i8()), "llvm.uadd.sat.i8");
+        assert_eq!(Intrinsic::from_short_name("umin"), Some(Intrinsic::Umin));
+        assert_eq!(Intrinsic::from_short_name("uadd.sat"), Some(Intrinsic::UaddSat));
+        assert_eq!(Intrinsic::from_short_name("nonsense"), None);
+        assert_eq!(Intrinsic::Abs.arity(), 2);
+        assert_eq!(Intrinsic::Ctpop.arity(), 1);
+        assert_eq!(Intrinsic::Fshl.arity(), 3);
+        assert!(Intrinsic::Umin.is_min_max());
+        assert!(Intrinsic::Umin.is_integer());
+        assert!(!Intrinsic::Sqrt.is_integer());
+    }
+
+    #[test]
+    fn instkind_operand_access() {
+        let add = InstKind::Binary {
+            op: BinOp::Add,
+            lhs: Value::Arg(0),
+            rhs: Value::int(32, 1),
+            flags: IntFlags::none(),
+        };
+        assert_eq!(add.operands().len(), 2);
+        assert_eq!(add.opcode_name(), "add");
+        assert!(!add.is_terminator());
+        assert!(!add.has_side_effects());
+
+        let ret = InstKind::Ret { value: Some(Value::Arg(0)) };
+        assert!(ret.is_terminator());
+        assert_eq!(ret.operands().len(), 1);
+
+        let store = InstKind::Store { value: Value::Arg(0), ptr: Value::Arg(1), align: 4 };
+        assert!(store.has_side_effects());
+        assert!(store.touches_memory());
+
+        let div = InstKind::Binary {
+            op: BinOp::UDiv,
+            lhs: Value::Arg(0),
+            rhs: Value::Arg(1),
+            flags: IntFlags::none(),
+        };
+        assert!(div.has_side_effects());
+    }
+
+    #[test]
+    fn operand_mutation() {
+        let mut sel = InstKind::Select {
+            cond: Value::Arg(0),
+            on_true: Value::Arg(1),
+            on_false: Value::Arg(2),
+        };
+        for op in sel.operands_mut() {
+            *op = Value::int(32, 0);
+        }
+        assert!(sel.operands().iter().all(|v| v.is_const()));
+    }
+
+    #[test]
+    fn value_conversions() {
+        let v: Value = Constant::int(32, 3).into();
+        assert!(v.is_const());
+        assert_eq!(v.as_const().unwrap().as_int().unwrap().zext_value(), 3);
+        let v: Value = InstId(7).into();
+        assert_eq!(v.as_inst(), Some(InstId(7)));
+        assert_eq!(Value::Arg(0).as_inst(), None);
+    }
+}

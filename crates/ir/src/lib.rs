@@ -1,0 +1,68 @@
+//! # lpo-ir
+//!
+//! An SSA, typed, LLVM-flavoured intermediate representation used by the LPO
+//! reproduction: the value types, instructions, functions and modules that the
+//! extractor, optimizer, translation validator, cost model, and (simulated)
+//! LLM all exchange.
+//!
+//! The crate is self-contained and has no dependencies. Its textual syntax is
+//! a faithful subset of LLVM IR — every example in the LPO paper (the clamp
+//! function of Figure 1, the extracted window of Figure 3, the three case
+//! studies of Figure 4) parses and prints with this crate.
+//!
+//! ## Quick tour
+//!
+//! ```
+//! use lpo_ir::prelude::*;
+//!
+//! // Build IR programmatically…
+//! let mut b = FunctionBuilder::new("src", Type::i8());
+//! let x = b.add_param("x", Type::i32());
+//! let neg = b.icmp(ICmpPred::Slt, x.clone(), Value::int(32, 0));
+//! let lo = b.umin(x, Value::int(32, 255));
+//! let t = b.trunc_nuw(lo, Type::i8());
+//! let sel = b.select(neg, Value::int(8, 0), t);
+//! b.ret(Some(sel));
+//! let func = b.build();
+//!
+//! // …print it as text…
+//! let text = lpo_ir::printer::print_function(&func);
+//! assert!(text.contains("llvm.umin.i32"));
+//!
+//! // …and parse it back.
+//! let reparsed = lpo_ir::parser::parse_function(&text)?;
+//! assert_eq!(lpo_ir::hash::hash_function(&func), lpo_ir::hash::hash_function(&reparsed));
+//! # Ok::<(), lpo_ir::parser::ParseError>(())
+//! ```
+
+pub mod apint;
+pub mod builder;
+pub mod constant;
+pub mod flags;
+pub mod function;
+pub mod hash;
+pub mod instruction;
+pub mod module;
+pub mod parser;
+pub mod printer;
+pub mod types;
+pub mod verifier;
+
+/// Commonly used items, re-exported for convenience.
+pub mod prelude {
+    pub use crate::apint::ApInt;
+    pub use crate::builder::FunctionBuilder;
+    pub use crate::constant::Constant;
+    pub use crate::flags::{FastMathFlags, IntFlags};
+    pub use crate::function::{BasicBlock, Function, Param};
+    pub use crate::hash::{hash_function, Digest};
+    pub use crate::instruction::{
+        BinOp, BlockId, CastOp, FBinOp, FCmpPred, ICmpPred, InstId, InstKind, Instruction,
+        Intrinsic, Value,
+    };
+    pub use crate::module::Module;
+    pub use crate::parser::{parse_function, parse_module, ParseError};
+    pub use crate::printer::{print_function, print_module};
+    pub use crate::types::{FloatKind, Type};
+    pub use crate::verifier::{verify_function, verify_module, VerifyError};
+}

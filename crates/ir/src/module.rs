@@ -1,0 +1,92 @@
+//! IR modules: named containers of functions.
+//!
+//! A module corresponds to one translation unit of a compiled program and is
+//! the unit the LPO extractor walks (Algorithm 2 in the paper).
+
+use crate::function::Function;
+use std::fmt;
+
+/// A compilation unit containing zero or more functions.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Module {
+    /// The module identifier (e.g. a source file name).
+    pub name: String,
+    /// The functions defined in this module.
+    pub functions: Vec<Function>,
+}
+
+impl Module {
+    /// Creates an empty module with the given name.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self { name: name.into(), functions: Vec::new() }
+    }
+
+    /// Adds a function and returns a reference to it.
+    pub fn add_function(&mut self, func: Function) -> &Function {
+        self.functions.push(func);
+        self.functions.last().expect("just pushed")
+    }
+
+    /// Finds a function by name.
+    pub fn function(&self, name: &str) -> Option<&Function> {
+        self.functions.iter().find(|f| f.name == name)
+    }
+
+    /// Finds a function mutably by name.
+    pub fn function_mut(&mut self, name: &str) -> Option<&mut Function> {
+        self.functions.iter_mut().find(|f| f.name == name)
+    }
+
+    /// Total number of non-terminator instructions across all functions.
+    pub fn instruction_count(&self) -> usize {
+        self.functions.iter().map(Function::instruction_count).sum()
+    }
+
+    /// Total number of basic blocks across all functions.
+    pub fn block_count(&self) -> usize {
+        self.functions.iter().map(|f| f.blocks().len()).sum()
+    }
+}
+
+impl fmt::Display for Module {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", crate::printer::print_module(self))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::instruction::Value;
+    use crate::types::Type;
+
+    fn tiny(name: &str) -> Function {
+        let mut b = FunctionBuilder::new(name, Type::i32());
+        let x = b.add_param("x", Type::i32());
+        let y = b.add(x, Value::int(32, 1));
+        b.ret(Some(y));
+        b.build()
+    }
+
+    #[test]
+    fn add_and_lookup() {
+        let mut m = Module::new("demo.ll");
+        m.add_function(tiny("a"));
+        m.add_function(tiny("b"));
+        assert!(m.function("a").is_some());
+        assert!(m.function("c").is_none());
+        assert_eq!(m.functions.len(), 2);
+        assert_eq!(m.instruction_count(), 2);
+        assert_eq!(m.block_count(), 2);
+        m.function_mut("a").unwrap().name = "renamed".to_string();
+        assert!(m.function("renamed").is_some());
+    }
+
+    #[test]
+    fn default_is_empty() {
+        let m = Module::default();
+        assert!(m.functions.is_empty());
+        assert_eq!(m.instruction_count(), 0);
+    }
+}

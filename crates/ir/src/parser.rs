@@ -1,0 +1,1323 @@
+//! Parsing of the textual IR syntax produced by [`crate::printer`].
+//!
+//! The parser doubles as the "syntax check" stage of the LPO pipeline: when
+//! the (simulated) LLM proposes a candidate as text, the pipeline parses it
+//! here, and on failure the [`ParseError`] — formatted like an `opt` error
+//! message, pointing at the offending token — is fed back to the model
+//! (step ⑥ in Figure 2 of the paper).
+//!
+//! # Examples
+//!
+//! ```
+//! use lpo_ir::parser::parse_function;
+//!
+//! let f = parse_function(
+//!     "define i8 @tgt(i32 %0) {\n\
+//!        %2 = call i32 @llvm.smax.i32(i32 %0, i32 0)\n\
+//!        %3 = call i32 @llvm.umin.i32(i32 %2, i32 255)\n\
+//!        %4 = trunc nuw i32 %3 to i8\n\
+//!        ret i8 %4\n\
+//!      }",
+//! ).unwrap();
+//! assert_eq!(f.instruction_count(), 3);
+//! ```
+
+use crate::apint::ApInt;
+use crate::constant::Constant;
+use crate::flags::{FastMathFlags, IntFlags};
+use crate::function::{Function, Param};
+use crate::instruction::{
+    BinOp, BlockId, CastOp, FBinOp, FCmpPred, ICmpPred, InstKind, Instruction, Intrinsic, Value,
+};
+use crate::module::Module;
+use crate::types::{FloatKind, Type};
+use std::collections::HashMap;
+use std::fmt;
+
+/// A parse failure, formatted like an `opt` diagnostic.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseError {
+    /// Human readable description, e.g. `expected instruction opcode`.
+    pub message: String,
+    /// 1-based line number of the offending token.
+    pub line: usize,
+    /// 1-based column of the offending token.
+    pub column: usize,
+    /// The text of the offending line.
+    pub line_text: String,
+}
+
+impl ParseError {
+    fn new(message: impl Into<String>, line: usize, column: usize, line_text: &str) -> Self {
+        Self { message: message.into(), line, column, line_text: line_text.to_string() }
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "error: {}", self.message)?;
+        writeln!(f, "{}", self.line_text)?;
+        let caret_pos = self.column.saturating_sub(1);
+        write!(f, "{}^", " ".repeat(caret_pos))
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+// ---------------------------------------------------------------------------
+// Lexer
+// ---------------------------------------------------------------------------
+
+#[derive(Clone, Debug, PartialEq)]
+enum Tok {
+    /// Bare identifier / keyword (`add`, `i32`, `label`, `x86`, …).
+    Word(String),
+    /// Local value or label reference, without the `%`.
+    Local(String),
+    /// Global reference, without the `@`.
+    Global(String),
+    /// Integer literal (may be negative).
+    Int(i128),
+    /// Floating point literal.
+    Float(f64),
+    /// Punctuation: one of `( ) { } [ ] < > , = :`.
+    Punct(char),
+}
+
+#[derive(Clone, Debug)]
+struct SpannedTok {
+    tok: Tok,
+    line: usize,
+    column: usize,
+}
+
+struct Lexer<'a> {
+    src: &'a str,
+    lines: Vec<&'a str>,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Self {
+        Self { src, lines: src.lines().collect() }
+    }
+
+    fn line_text(&self, line: usize) -> &str {
+        self.lines.get(line.saturating_sub(1)).copied().unwrap_or("")
+    }
+
+    fn tokenize(&self) -> Result<Vec<SpannedTok>, ParseError> {
+        let mut toks = Vec::new();
+        for (line_idx, line) in self.src.lines().enumerate() {
+            let line_no = line_idx + 1;
+            let bytes = line.as_bytes();
+            let mut i = 0;
+            while i < bytes.len() {
+                let c = bytes[i] as char;
+                let column = i + 1;
+                if c.is_whitespace() {
+                    i += 1;
+                    continue;
+                }
+                if c == ';' {
+                    break; // comment to end of line
+                }
+                match c {
+                    '(' | ')' | '{' | '}' | '[' | ']' | '<' | '>' | ',' | '=' | ':' | '*' => {
+                        toks.push(SpannedTok { tok: Tok::Punct(c), line: line_no, column });
+                        i += 1;
+                    }
+                    '%' | '@' => {
+                        let start = i + 1;
+                        let mut j = start;
+                        if j < bytes.len() && bytes[j] as char == '"' {
+                            // quoted name
+                            j += 1;
+                            while j < bytes.len() && bytes[j] as char != '"' {
+                                j += 1;
+                            }
+                            let name = line[start + 1..j].to_string();
+                            j += 1;
+                            let tok = if c == '%' { Tok::Local(name) } else { Tok::Global(name) };
+                            toks.push(SpannedTok { tok, line: line_no, column });
+                            i = j;
+                            continue;
+                        }
+                        while j < bytes.len() {
+                            let cj = bytes[j] as char;
+                            if cj.is_alphanumeric() || cj == '_' || cj == '.' || cj == '-' {
+                                j += 1;
+                            } else {
+                                break;
+                            }
+                        }
+                        if j == start {
+                            return Err(ParseError::new(
+                                "expected a name after sigil",
+                                line_no,
+                                column,
+                                line,
+                            ));
+                        }
+                        let name = line[start..j].to_string();
+                        let tok = if c == '%' { Tok::Local(name) } else { Tok::Global(name) };
+                        toks.push(SpannedTok { tok, line: line_no, column });
+                        i = j;
+                    }
+                    '-' | '+' | '0'..='9' => {
+                        let start = i;
+                        let mut j = i;
+                        if c == '-' || c == '+' {
+                            j += 1;
+                        }
+                        let mut is_float = false;
+                        let mut is_hex = false;
+                        if j + 1 < bytes.len() && bytes[j] as char == '0' && (bytes[j + 1] as char == 'x' || bytes[j + 1] as char == 'X') {
+                            is_hex = true;
+                            j += 2;
+                            while j < bytes.len() && (bytes[j] as char).is_ascii_hexdigit() {
+                                j += 1;
+                            }
+                        } else {
+                            while j < bytes.len() {
+                                let cj = bytes[j] as char;
+                                if cj.is_ascii_digit() {
+                                    j += 1;
+                                } else if cj == '.' && !is_float {
+                                    // A '.' must be followed by a digit to be part of a number
+                                    if j + 1 < bytes.len() && (bytes[j + 1] as char).is_ascii_digit() {
+                                        is_float = true;
+                                        j += 1;
+                                    } else {
+                                        break;
+                                    }
+                                } else if (cj == 'e' || cj == 'E')
+                                    && j + 1 < bytes.len()
+                                    && ((bytes[j + 1] as char).is_ascii_digit()
+                                        || bytes[j + 1] as char == '+'
+                                        || bytes[j + 1] as char == '-')
+                                {
+                                    is_float = true;
+                                    j += 2;
+                                } else {
+                                    break;
+                                }
+                            }
+                        }
+                        let text = &line[start..j];
+                        let tok = if is_hex {
+                            // LLVM prints double constants as 0x<16 hex digits> (IEEE bits).
+                            let digits = &text[text.find('x').unwrap_or(1) + 1..];
+                            match u64::from_str_radix(digits, 16) {
+                                Ok(bits) if digits.len() > 8 => Tok::Float(f64::from_bits(bits)),
+                                Ok(bits) => Tok::Int(bits as i128),
+                                Err(_) => {
+                                    return Err(ParseError::new(
+                                        format!("invalid hexadecimal literal '{text}'"),
+                                        line_no,
+                                        column,
+                                        line,
+                                    ))
+                                }
+                            }
+                        } else if is_float {
+                            match text.parse::<f64>() {
+                                Ok(v) => Tok::Float(v),
+                                Err(_) => {
+                                    return Err(ParseError::new(
+                                        format!("invalid floating point literal '{text}'"),
+                                        line_no,
+                                        column,
+                                        line,
+                                    ))
+                                }
+                            }
+                        } else {
+                            match text.parse::<i128>() {
+                                Ok(v) => Tok::Int(v),
+                                Err(_) => {
+                                    return Err(ParseError::new(
+                                        format!("invalid integer literal '{text}'"),
+                                        line_no,
+                                        column,
+                                        line,
+                                    ))
+                                }
+                            }
+                        };
+                        toks.push(SpannedTok { tok, line: line_no, column });
+                        i = j;
+                    }
+                    _ if c.is_alphabetic() || c == '_' => {
+                        let start = i;
+                        let mut j = i;
+                        while j < bytes.len() {
+                            let cj = bytes[j] as char;
+                            if cj.is_alphanumeric() || cj == '_' || cj == '.' {
+                                j += 1;
+                            } else {
+                                break;
+                            }
+                        }
+                        toks.push(SpannedTok {
+                            tok: Tok::Word(line[start..j].to_string()),
+                            line: line_no,
+                            column,
+                        });
+                        i = j;
+                    }
+                    _ => {
+                        return Err(ParseError::new(
+                            format!("unexpected character '{c}'"),
+                            line_no,
+                            column,
+                            line,
+                        ))
+                    }
+                }
+            }
+        }
+        Ok(toks)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+
+struct Parser<'a> {
+    toks: Vec<SpannedTok>,
+    pos: usize,
+    lexer: Lexer<'a>,
+}
+
+type PResult<T> = Result<T, ParseError>;
+
+impl<'a> Parser<'a> {
+    fn new(src: &'a str) -> PResult<Self> {
+        let lexer = Lexer::new(src);
+        let toks = lexer.tokenize()?;
+        Ok(Self { toks, pos: 0, lexer })
+    }
+
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos).map(|t| &t.tok)
+    }
+
+    fn peek_at(&self, offset: usize) -> Option<&Tok> {
+        self.toks.get(self.pos + offset).map(|t| &t.tok)
+    }
+
+    fn span(&self) -> (usize, usize) {
+        match self.toks.get(self.pos).or_else(|| self.toks.last()) {
+            Some(t) => (t.line, t.column),
+            None => (1, 1),
+        }
+    }
+
+    fn error_here(&self, message: impl Into<String>) -> ParseError {
+        let (line, column) = self.span();
+        ParseError::new(message, line, column, self.lexer.line_text(line))
+    }
+
+    fn bump(&mut self) -> Option<Tok> {
+        let t = self.toks.get(self.pos).map(|t| t.tok.clone());
+        self.pos += 1;
+        t
+    }
+
+    fn eat_punct(&mut self, c: char) -> bool {
+        if self.peek() == Some(&Tok::Punct(c)) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_punct(&mut self, c: char) -> PResult<()> {
+        if self.eat_punct(c) {
+            Ok(())
+        } else {
+            Err(self.error_here(format!("expected '{c}'")))
+        }
+    }
+
+    fn eat_word(&mut self, word: &str) -> bool {
+        if matches!(self.peek(), Some(Tok::Word(w)) if w == word) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_word(&mut self, word: &str) -> PResult<()> {
+        if self.eat_word(word) {
+            Ok(())
+        } else {
+            Err(self.error_here(format!("expected '{word}'")))
+        }
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.toks.len()
+    }
+
+    // --- types ---------------------------------------------------------------
+
+    fn parse_type(&mut self) -> PResult<Type> {
+        if self.eat_punct('<') {
+            let lanes = match self.bump() {
+                Some(Tok::Int(n)) if n > 0 => n as u32,
+                _ => return Err(self.error_here("expected vector lane count")),
+            };
+            self.expect_word("x")?;
+            let elem = self.parse_type()?;
+            self.expect_punct('>')?;
+            if !elem.is_scalar() {
+                return Err(self.error_here("vector element must be a scalar type"));
+            }
+            return Ok(Type::vector(lanes, elem));
+        }
+        match self.peek().cloned() {
+            Some(Tok::Word(w)) => {
+                let ty = if w == "void" {
+                    Type::Void
+                } else if w == "ptr" {
+                    Type::Ptr
+                } else if w == "half" {
+                    Type::Float(FloatKind::Half)
+                } else if w == "float" {
+                    Type::Float(FloatKind::Float)
+                } else if w == "double" {
+                    Type::Float(FloatKind::Double)
+                } else if let Some(width) = w.strip_prefix('i').and_then(|n| n.parse::<u32>().ok()) {
+                    if width == 0 || width > ApInt::MAX_WIDTH {
+                        return Err(self.error_here(format!("unsupported integer width 'i{width}'")));
+                    }
+                    Type::Int(width)
+                } else {
+                    return Err(self.error_here(format!("expected type, found '{w}'")));
+                };
+                self.pos += 1;
+                Ok(ty)
+            }
+            _ => Err(self.error_here("expected type")),
+        }
+    }
+
+    // --- constants -------------------------------------------------------------
+
+    fn parse_constant(&mut self, ty: &Type) -> PResult<Constant> {
+        match self.peek().cloned() {
+            Some(Tok::Word(w)) if w == "undef" => {
+                self.pos += 1;
+                Ok(Constant::Undef(ty.clone()))
+            }
+            Some(Tok::Word(w)) if w == "poison" => {
+                self.pos += 1;
+                Ok(Constant::Poison(ty.clone()))
+            }
+            Some(Tok::Word(w)) if w == "zeroinitializer" => {
+                self.pos += 1;
+                Ok(Constant::zero(ty))
+            }
+            Some(Tok::Word(w)) if w == "null" && ty.is_ptr() => {
+                self.pos += 1;
+                Ok(Constant::NullPtr)
+            }
+            Some(Tok::Word(w)) if w == "true" || w == "false" => {
+                self.pos += 1;
+                Ok(Constant::bool(w == "true"))
+            }
+            Some(Tok::Word(w)) if w == "splat" => {
+                self.pos += 1;
+                self.expect_punct('(')?;
+                let elem_ty = self.parse_type()?;
+                let elem = self.parse_constant(&elem_ty)?;
+                self.expect_punct(')')?;
+                let lanes = ty
+                    .lanes()
+                    .ok_or_else(|| self.error_here("splat constant requires a vector type"))?;
+                Ok(Constant::splat(lanes, elem))
+            }
+            Some(Tok::Word(w)) if w == "nan" => {
+                self.pos += 1;
+                Ok(self.float_constant(ty, f64::NAN)?)
+            }
+            Some(Tok::Word(w)) if w == "inf" => {
+                self.pos += 1;
+                Ok(self.float_constant(ty, f64::INFINITY)?)
+            }
+            Some(Tok::Int(v)) => {
+                self.pos += 1;
+                match ty.scalar_type() {
+                    Type::Int(w) => Ok(Constant::Int(ApInt::from_i128(*w, v))),
+                    Type::Float(k) => Ok(Constant::Float(*k, v as f64)),
+                    _ => Err(self.error_here(format!("integer constant is not valid for type '{ty}'"))),
+                }
+            }
+            Some(Tok::Float(v)) => {
+                self.pos += 1;
+                self.float_constant(ty, v)
+            }
+            Some(Tok::Punct('<')) => {
+                self.pos += 1;
+                let mut elems = Vec::new();
+                loop {
+                    let elem_ty = self.parse_type()?;
+                    let c = self.parse_constant(&elem_ty)?;
+                    elems.push(c);
+                    if !self.eat_punct(',') {
+                        break;
+                    }
+                }
+                self.expect_punct('>')?;
+                Ok(Constant::Vector(elems))
+            }
+            _ => Err(self.error_here("expected constant value")),
+        }
+    }
+
+    fn float_constant(&self, ty: &Type, v: f64) -> PResult<Constant> {
+        match ty.scalar_type() {
+            Type::Float(k) => Ok(Constant::Float(*k, v)),
+            _ => Err(self.error_here(format!("floating point constant is not valid for type '{ty}'"))),
+        }
+    }
+
+    // --- flag helpers -------------------------------------------------------------
+
+    fn parse_int_flags(&mut self) -> IntFlags {
+        let mut flags = IntFlags::none();
+        loop {
+            if self.eat_word("nuw") {
+                flags.nuw = true;
+            } else if self.eat_word("nsw") {
+                flags.nsw = true;
+            } else if self.eat_word("exact") {
+                flags.exact = true;
+            } else if self.eat_word("disjoint") {
+                flags.disjoint = true;
+            } else if self.eat_word("nneg") {
+                flags.nneg = true;
+            } else {
+                break;
+            }
+        }
+        flags
+    }
+
+    fn parse_fast_math_flags(&mut self) -> FastMathFlags {
+        let mut fmf = FastMathFlags::none();
+        loop {
+            if self.eat_word("fast") {
+                fmf = FastMathFlags::fast();
+            } else if self.eat_word("nnan") {
+                fmf.nnan = true;
+            } else if self.eat_word("ninf") {
+                fmf.ninf = true;
+            } else if self.eat_word("nsz") {
+                fmf.nsz = true;
+            } else if self.eat_word("reassoc") {
+                fmf.reassoc = true;
+            } else if self.eat_word("arcp") || self.eat_word("contract") || self.eat_word("afn") {
+                // accepted and ignored (not modelled)
+            } else {
+                break;
+            }
+        }
+        fmf
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Function-level parsing
+// ---------------------------------------------------------------------------
+
+struct FunctionParser<'a, 'b> {
+    p: &'b mut Parser<'a>,
+    func: Function,
+    /// Values already defined: name → value.
+    defs: HashMap<String, Value>,
+    /// Block label → id (labels are pre-registered to allow forward branches).
+    blocks: HashMap<String, BlockId>,
+    /// Phi operands that referenced values not yet defined: (inst, operand index, name).
+    pending_phi_values: Vec<(crate::instruction::InstId, usize, String, usize, usize)>,
+}
+
+impl<'a, 'b> FunctionParser<'a, 'b> {
+    fn parse(p: &'b mut Parser<'a>) -> PResult<Function> {
+        p.expect_word("define")?;
+        let ret_ty = p.parse_type()?;
+        let name = match p.bump() {
+            Some(Tok::Global(g)) => g,
+            _ => return Err(p.error_here("expected function name")),
+        };
+        p.expect_punct('(')?;
+        let mut func = Function::empty(name, ret_ty);
+        if !p.eat_punct(')') {
+            loop {
+                let ty = p.parse_type()?;
+                let pname = match p.bump() {
+                    Some(Tok::Local(l)) => l,
+                    _ => return Err(p.error_here("expected parameter name")),
+                };
+                func.params.push(Param { name: pname, ty });
+                if !p.eat_punct(',') {
+                    break;
+                }
+            }
+            p.expect_punct(')')?;
+        }
+        p.expect_punct('{')?;
+
+        let mut this = FunctionParser {
+            p,
+            func,
+            defs: HashMap::new(),
+            blocks: HashMap::new(),
+            pending_phi_values: Vec::new(),
+        };
+        for (i, param) in this.func.params.iter().enumerate() {
+            this.defs.insert(param.name.clone(), Value::Arg(i));
+        }
+        this.parse_body()?;
+        this.resolve_pending_phis()?;
+        Ok(this.func)
+    }
+
+    fn current_or_new_block(&mut self, label: Option<String>) -> BlockId {
+        match label {
+            Some(name) => self.lookup_block(&name),
+            None => {
+                if self.func.blocks().is_empty() {
+                    let id = self.func.add_block("entry");
+                    self.blocks.insert("entry".to_string(), id);
+                    id
+                } else {
+                    BlockId(self.func.blocks().len() as u32 - 1)
+                }
+            }
+        }
+    }
+
+    fn lookup_block(&mut self, name: &str) -> BlockId {
+        if let Some(id) = self.blocks.get(name) {
+            return *id;
+        }
+        let id = self.func.add_block(name);
+        self.blocks.insert(name.to_string(), id);
+        id
+    }
+
+    fn parse_body(&mut self) -> PResult<()> {
+        let mut current = self.current_or_new_block(None);
+        loop {
+            if self.p.eat_punct('}') {
+                break;
+            }
+            if self.p.at_end() {
+                return Err(self.p.error_here("expected '}' to close function body"));
+            }
+            // A block label: `word ':'` or `%N ':'` at statement start.
+            if let (Some(tok), Some(Tok::Punct(':'))) = (self.p.peek().cloned(), self.p.peek_at(1)) {
+                let label = match tok {
+                    Tok::Word(w) => Some(w),
+                    Tok::Local(l) => Some(l),
+                    Tok::Int(n) => Some(n.to_string()),
+                    _ => None,
+                };
+                if let Some(label) = label {
+                    self.p.pos += 2;
+                    current = self.lookup_block(&label);
+                    continue;
+                }
+            }
+            self.parse_instruction(current)?;
+        }
+        Ok(())
+    }
+
+    fn define(&mut self, name: &str, value: Value) {
+        self.defs.insert(name.to_string(), value);
+    }
+
+    fn lookup_value(&self, name: &str) -> PResult<Value> {
+        self.defs
+            .get(name)
+            .cloned()
+            .ok_or_else(|| self.p.error_here(format!("use of undefined value '%{name}'")))
+    }
+
+    /// Parses an operand of a known type: a local reference or a constant.
+    fn parse_operand(&mut self, ty: &Type) -> PResult<Value> {
+        match self.p.peek().cloned() {
+            Some(Tok::Local(name)) => {
+                self.p.pos += 1;
+                self.lookup_value(&name)
+            }
+            _ => Ok(Value::Const(self.p.parse_constant(ty)?)),
+        }
+    }
+
+    /// Parses `<type> <operand>`.
+    fn parse_typed_operand(&mut self) -> PResult<(Type, Value)> {
+        let ty = self.p.parse_type()?;
+        let v = self.parse_operand(&ty)?;
+        Ok((ty, v))
+    }
+
+    fn eat_align(&mut self) -> u32 {
+        if self.p.eat_punct(',') {
+            if self.p.eat_word("align") {
+                if let Some(Tok::Int(n)) = self.p.peek().cloned() {
+                    self.p.pos += 1;
+                    return n as u32;
+                }
+            }
+        }
+        1
+    }
+
+    fn parse_instruction(&mut self, block: BlockId) -> PResult<()> {
+        // Optional result: `%name =`
+        let mut result_name = None;
+        if let (Some(Tok::Local(name)), Some(Tok::Punct('='))) = (self.p.peek().cloned(), self.p.peek_at(1)) {
+            result_name = Some(name);
+            self.p.pos += 2;
+        }
+
+        // `tail call` → skip the `tail` marker.
+        if matches!(self.p.peek(), Some(Tok::Word(w)) if w == "tail")
+            && matches!(self.p.peek_at(1), Some(Tok::Word(w)) if w == "call")
+        {
+            self.p.pos += 1;
+        }
+
+        let opcode = match self.p.peek().cloned() {
+            Some(Tok::Word(w)) => w,
+            _ => return Err(self.p.error_here("expected instruction opcode")),
+        };
+
+        let (kind, ty) = self.parse_opcode_body(&opcode, block)?;
+        let name = match (&result_name, ty != Type::Void) {
+            (Some(n), true) => n.clone(),
+            (None, true) => format!("v{}", self.func.total_instruction_count()),
+            _ => String::new(),
+        };
+        let id = self.func.append_inst(block, Instruction::new(kind, ty.clone(), name.clone()));
+        if ty != Type::Void {
+            self.define(&name, Value::Inst(id));
+            if let Some(orig) = result_name {
+                if orig != name {
+                    self.define(&orig, Value::Inst(id));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn parse_opcode_body(&mut self, opcode: &str, _block: BlockId) -> PResult<(InstKind, Type)> {
+        // Integer binary ops
+        if let Some(op) = BinOp::ALL.iter().copied().find(|o| o.mnemonic() == opcode) {
+            self.p.pos += 1;
+            let flags = self.p.parse_int_flags();
+            let ty = self.p.parse_type()?;
+            let lhs = self.parse_operand(&ty)?;
+            self.p.expect_punct(',')?;
+            let rhs = self.parse_operand(&ty)?;
+            return Ok((InstKind::Binary { op, lhs, rhs, flags }, ty));
+        }
+        // Float binary ops
+        if let Some(op) = FBinOp::ALL.iter().copied().find(|o| o.mnemonic() == opcode) {
+            self.p.pos += 1;
+            let fmf = self.p.parse_fast_math_flags();
+            let ty = self.p.parse_type()?;
+            let lhs = self.parse_operand(&ty)?;
+            self.p.expect_punct(',')?;
+            let rhs = self.parse_operand(&ty)?;
+            return Ok((InstKind::FBinary { op, lhs, rhs, fmf }, ty));
+        }
+        match opcode {
+            "icmp" => {
+                self.p.pos += 1;
+                let pred_word = match self.p.bump() {
+                    Some(Tok::Word(w)) => w,
+                    _ => return Err(self.p.error_here("expected icmp predicate")),
+                };
+                let pred = ICmpPred::ALL
+                    .iter()
+                    .copied()
+                    .find(|p| p.mnemonic() == pred_word)
+                    .ok_or_else(|| self.p.error_here(format!("invalid icmp predicate '{pred_word}'")))?;
+                let ty = self.p.parse_type()?;
+                let lhs = self.parse_operand(&ty)?;
+                self.p.expect_punct(',')?;
+                let rhs = self.parse_operand(&ty)?;
+                Ok((InstKind::ICmp { pred, lhs, rhs }, ty.with_scalar(Type::i1())))
+            }
+            "fcmp" => {
+                self.p.pos += 1;
+                let _fmf = self.p.parse_fast_math_flags();
+                let pred_word = match self.p.bump() {
+                    Some(Tok::Word(w)) => w,
+                    _ => return Err(self.p.error_here("expected fcmp predicate")),
+                };
+                let pred = FCmpPred::ALL
+                    .iter()
+                    .copied()
+                    .find(|p| p.mnemonic() == pred_word)
+                    .ok_or_else(|| self.p.error_here(format!("invalid fcmp predicate '{pred_word}'")))?;
+                let ty = self.p.parse_type()?;
+                let lhs = self.parse_operand(&ty)?;
+                self.p.expect_punct(',')?;
+                let rhs = self.parse_operand(&ty)?;
+                Ok((InstKind::FCmp { pred, lhs, rhs }, ty.with_scalar(Type::i1())))
+            }
+            "select" => {
+                self.p.pos += 1;
+                let (_, cond) = self.parse_typed_operand()?;
+                self.p.expect_punct(',')?;
+                let (true_ty, on_true) = self.parse_typed_operand()?;
+                self.p.expect_punct(',')?;
+                let (_, on_false) = self.parse_typed_operand()?;
+                Ok((InstKind::Select { cond, on_true, on_false }, true_ty))
+            }
+            "trunc" | "zext" | "sext" | "fptrunc" | "fpext" | "fptoui" | "fptosi" | "uitofp"
+            | "sitofp" | "ptrtoint" | "inttoptr" | "bitcast" => {
+                self.p.pos += 1;
+                let op = match opcode {
+                    "trunc" => CastOp::Trunc,
+                    "zext" => CastOp::ZExt,
+                    "sext" => CastOp::SExt,
+                    "fptrunc" => CastOp::FpTrunc,
+                    "fpext" => CastOp::FpExt,
+                    "fptoui" => CastOp::FpToUi,
+                    "fptosi" => CastOp::FpToSi,
+                    "uitofp" => CastOp::UiToFp,
+                    "sitofp" => CastOp::SiToFp,
+                    "ptrtoint" => CastOp::PtrToInt,
+                    "inttoptr" => CastOp::IntToPtr,
+                    _ => CastOp::Bitcast,
+                };
+                let flags = self.p.parse_int_flags();
+                let (_, value) = self.parse_typed_operand()?;
+                self.p.expect_word("to")?;
+                let to_ty = self.p.parse_type()?;
+                Ok((InstKind::Cast { op, value, flags }, to_ty))
+            }
+            "call" => {
+                self.p.pos += 1;
+                let fmf = self.p.parse_fast_math_flags();
+                let ret_ty = self.p.parse_type()?;
+                let callee = match self.p.bump() {
+                    Some(Tok::Global(g)) => g,
+                    _ => return Err(self.p.error_here("expected callee")),
+                };
+                let short = callee
+                    .strip_prefix("llvm.")
+                    .map(|rest| {
+                        // strip the trailing type suffix, e.g. `umin.i32` → `umin`,
+                        // `uadd.sat.v4i8` → `uadd.sat`
+                        let parts: Vec<&str> = rest.split('.').collect();
+                        let last = parts.last().copied().unwrap_or("");
+                        let is_type_suffix = last.starts_with('i')
+                            || last.starts_with('v')
+                            || last == "f32"
+                            || last == "f64"
+                            || last == "half"
+                            || last == "float"
+                            || last == "double";
+                        if parts.len() > 1 && is_type_suffix {
+                            parts[..parts.len() - 1].join(".")
+                        } else {
+                            rest.to_string()
+                        }
+                    })
+                    .unwrap_or_else(|| callee.clone());
+                let intrinsic = Intrinsic::from_short_name(&short).ok_or_else(|| {
+                    self.p.error_here(format!("call to unknown function '@{callee}'"))
+                })?;
+                self.p.expect_punct('(')?;
+                let mut args = Vec::new();
+                if !self.p.eat_punct(')') {
+                    loop {
+                        let (_, v) = self.parse_typed_operand()?;
+                        args.push(v);
+                        if !self.p.eat_punct(',') {
+                            break;
+                        }
+                    }
+                    self.p.expect_punct(')')?;
+                }
+                if args.len() != intrinsic.arity() {
+                    // Tolerate the optional-flag forms (e.g. abs with one arg).
+                    if intrinsic == Intrinsic::Abs && args.len() == 1 {
+                        args.push(Value::bool(false));
+                    } else if matches!(intrinsic, Intrinsic::Ctlz | Intrinsic::Cttz) && args.len() == 1 {
+                        args.push(Value::bool(false));
+                    } else {
+                        return Err(self.p.error_here(format!(
+                            "intrinsic '{intrinsic}' expects {} arguments, found {}",
+                            intrinsic.arity(),
+                            args.len()
+                        )));
+                    }
+                }
+                Ok((InstKind::Call { intrinsic, args, fmf }, ret_ty))
+            }
+            "load" => {
+                self.p.pos += 1;
+                let ty = self.p.parse_type()?;
+                self.p.expect_punct(',')?;
+                let (_, ptr) = self.parse_typed_operand()?;
+                let align = self.eat_align();
+                Ok((InstKind::Load { ptr, align }, ty))
+            }
+            "store" => {
+                self.p.pos += 1;
+                let (_, value) = self.parse_typed_operand()?;
+                self.p.expect_punct(',')?;
+                let (_, ptr) = self.parse_typed_operand()?;
+                let align = self.eat_align();
+                Ok((InstKind::Store { value, ptr, align }, Type::Void))
+            }
+            "getelementptr" => {
+                self.p.pos += 1;
+                let mut inbounds = false;
+                let mut nuw = false;
+                loop {
+                    if self.p.eat_word("inbounds") {
+                        inbounds = true;
+                    } else if self.p.eat_word("nuw") {
+                        nuw = true;
+                    } else if self.p.eat_word("nusw") {
+                        // accepted, treated as inbounds-lite; not separately modelled
+                    } else {
+                        break;
+                    }
+                }
+                let elem_ty = self.p.parse_type()?;
+                self.p.expect_punct(',')?;
+                let (_, base) = self.parse_typed_operand()?;
+                self.p.expect_punct(',')?;
+                let (_, index) = self.parse_typed_operand()?;
+                Ok((InstKind::Gep { elem_ty, base, index, inbounds, nuw }, Type::Ptr))
+            }
+            "alloca" => {
+                self.p.pos += 1;
+                let ty = self.p.parse_type()?;
+                let _ = self.eat_align();
+                Ok((InstKind::Alloca { ty }, Type::Ptr))
+            }
+            "extractelement" => {
+                self.p.pos += 1;
+                let (vty, vector) = self.parse_typed_operand()?;
+                self.p.expect_punct(',')?;
+                let (_, index) = self.parse_typed_operand()?;
+                Ok((InstKind::ExtractElement { vector, index }, vty.scalar_type().clone()))
+            }
+            "insertelement" => {
+                self.p.pos += 1;
+                let (vty, vector) = self.parse_typed_operand()?;
+                self.p.expect_punct(',')?;
+                let (_, element) = self.parse_typed_operand()?;
+                self.p.expect_punct(',')?;
+                let (_, index) = self.parse_typed_operand()?;
+                Ok((InstKind::InsertElement { vector, element, index }, vty))
+            }
+            "shufflevector" => {
+                self.p.pos += 1;
+                let (aty, a) = self.parse_typed_operand()?;
+                self.p.expect_punct(',')?;
+                let (_, b) = self.parse_typed_operand()?;
+                self.p.expect_punct(',')?;
+                let mask_ty = self.p.parse_type()?;
+                let mask_const = self.p.parse_constant(&mask_ty)?;
+                let mut mask = Vec::new();
+                match &mask_const {
+                    Constant::Vector(elems) => {
+                        for e in elems {
+                            match e {
+                                Constant::Int(v) => mask.push(v.sext_value() as i32),
+                                Constant::Poison(_) | Constant::Undef(_) => mask.push(-1),
+                                _ => return Err(self.p.error_here("invalid shuffle mask element")),
+                            }
+                        }
+                    }
+                    _ => return Err(self.p.error_here("expected shuffle mask vector")),
+                }
+                let out_ty = Type::vector(mask.len() as u32, aty.scalar_type().clone());
+                Ok((InstKind::ShuffleVector { a, b, mask }, out_ty))
+            }
+            "phi" => {
+                self.p.pos += 1;
+                let ty = self.p.parse_type()?;
+                let mut incoming = Vec::new();
+                loop {
+                    self.p.expect_punct('[')?;
+                    // Value may be a forward reference; remember by name if unknown.
+                    let value = match self.p.peek().cloned() {
+                        Some(Tok::Local(name)) => {
+                            self.p.pos += 1;
+                            match self.defs.get(&name) {
+                                Some(v) => v.clone(),
+                                None => {
+                                    // placeholder: poison; fixed up in resolve_pending_phis
+                                    let (line, column) = self.p.span();
+                                    self.pending_phi_values.push((
+                                        crate::instruction::InstId(u32::MAX),
+                                        incoming.len(),
+                                        name,
+                                        line,
+                                        column,
+                                    ));
+                                    Value::Const(Constant::Poison(ty.clone()))
+                                }
+                            }
+                        }
+                        _ => Value::Const(self.p.parse_constant(&ty)?),
+                    };
+                    self.p.expect_punct(',')?;
+                    let label = match self.p.bump() {
+                        Some(Tok::Local(l)) => l,
+                        Some(Tok::Word(w)) => w,
+                        _ => return Err(self.p.error_here("expected predecessor label")),
+                    };
+                    let bb = self.lookup_block(&label);
+                    incoming.push((value, bb));
+                    self.p.expect_punct(']')?;
+                    if !self.p.eat_punct(',') {
+                        break;
+                    }
+                }
+                // Patch instruction id for pending entries added in this phi.
+                let next_id = crate::instruction::InstId(self.func.total_instruction_count() as u32);
+                for entry in &mut self.pending_phi_values {
+                    if entry.0 == crate::instruction::InstId(u32::MAX) {
+                        entry.0 = next_id;
+                    }
+                }
+                Ok((InstKind::Phi { incoming }, ty))
+            }
+            "freeze" => {
+                self.p.pos += 1;
+                let (ty, value) = self.parse_typed_operand()?;
+                Ok((InstKind::Freeze { value }, ty))
+            }
+            "ret" => {
+                self.p.pos += 1;
+                if self.p.eat_word("void") {
+                    Ok((InstKind::Ret { value: None }, Type::Void))
+                } else {
+                    let (_, value) = self.parse_typed_operand()?;
+                    Ok((InstKind::Ret { value: Some(value) }, Type::Void))
+                }
+            }
+            "br" => {
+                self.p.pos += 1;
+                if self.p.eat_word("label") {
+                    let label = match self.p.bump() {
+                        Some(Tok::Local(l)) => l,
+                        _ => return Err(self.p.error_here("expected branch target label")),
+                    };
+                    let bb = self.lookup_block(&label);
+                    Ok((InstKind::Br { cond: None, then_block: bb, else_block: None }, Type::Void))
+                } else {
+                    let (_, cond) = self.parse_typed_operand()?;
+                    self.p.expect_punct(',')?;
+                    self.p.expect_word("label")?;
+                    let then_label = match self.p.bump() {
+                        Some(Tok::Local(l)) => l,
+                        _ => return Err(self.p.error_here("expected branch target label")),
+                    };
+                    self.p.expect_punct(',')?;
+                    self.p.expect_word("label")?;
+                    let else_label = match self.p.bump() {
+                        Some(Tok::Local(l)) => l,
+                        _ => return Err(self.p.error_here("expected branch target label")),
+                    };
+                    let t = self.lookup_block(&then_label);
+                    let e = self.lookup_block(&else_label);
+                    Ok((
+                        InstKind::Br { cond: Some(cond), then_block: t, else_block: Some(e) },
+                        Type::Void,
+                    ))
+                }
+            }
+            "unreachable" => {
+                self.p.pos += 1;
+                Ok((InstKind::Unreachable, Type::Void))
+            }
+            _ => Err(self.p.error_here("expected instruction opcode")),
+        }
+    }
+
+    fn resolve_pending_phis(&mut self) -> PResult<()> {
+        let pending = std::mem::take(&mut self.pending_phi_values);
+        for (inst_id, operand_idx, name, line, column) in pending {
+            let value = self.defs.get(&name).cloned().ok_or_else(|| {
+                ParseError::new(
+                    format!("use of undefined value '%{name}'"),
+                    line,
+                    column,
+                    self.p.lexer.line_text(line),
+                )
+            })?;
+            if let InstKind::Phi { incoming } = &mut self.func.inst_mut(inst_id).kind {
+                if let Some(entry) = incoming.get_mut(operand_idx) {
+                    entry.0 = value;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Parses a single function definition from `source`.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] describing the first syntax problem, formatted the
+/// way LLVM's `opt` reports errors (message, offending line, caret).
+pub fn parse_function(source: &str) -> Result<Function, ParseError> {
+    let mut parser = Parser::new(source)?;
+    let func = FunctionParser::parse(&mut parser)?;
+    Ok(func)
+}
+
+/// Parses a whole module: any number of function definitions, plus optional
+/// `; ModuleID = '…'` comments (which set the module name).
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] on the first syntax problem.
+pub fn parse_module(source: &str) -> Result<Module, ParseError> {
+    let mut module = Module::new("");
+    for line in source.lines() {
+        if let Some(rest) = line.trim().strip_prefix("; ModuleID = '") {
+            if let Some(name) = rest.strip_suffix('\'') {
+                module.name = name.to_string();
+            }
+        }
+    }
+    let mut parser = Parser::new(source)?;
+    while !parser.at_end() {
+        let func = FunctionParser::parse(&mut parser)?;
+        module.functions.push(func);
+    }
+    Ok(module)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::printer::print_function;
+
+    #[test]
+    fn parses_paper_figure_1b() {
+        let text = "define i8 @src(i32 %0) {\n\
+            %2 = icmp slt i32 %0, 0\n\
+            %3 = tail call i32 @llvm.umin.i32(i32 %0, i32 255)\n\
+            %4 = trunc nuw i32 %3 to i8\n\
+            %5 = select i1 %2, i8 0, i8 %4\n\
+            ret i8 %5\n\
+            }";
+        let f = parse_function(text).unwrap();
+        assert_eq!(f.name, "src");
+        assert_eq!(f.ret_ty, Type::i8());
+        assert_eq!(f.instruction_count(), 4);
+        assert_eq!(f.params.len(), 1);
+    }
+
+    #[test]
+    fn parses_paper_figure_3a_vector_sequence() {
+        let text = "define <4 x i8> @src(i64 %a0, ptr %a1) {\n\
+            entry:\n\
+            %0 = getelementptr inbounds nuw i32, ptr %a1, i64 %a0\n\
+            %wide.load = load <4 x i32>, ptr %0, align 4\n\
+            %3 = icmp slt <4 x i32> %wide.load, zeroinitializer\n\
+            %5 = tail call <4 x i32> @llvm.umin.v4i32(<4 x i32> %wide.load, <4 x i32> splat (i32 255))\n\
+            %7 = trunc nuw <4 x i32> %5 to <4 x i8>\n\
+            %9 = select <4 x i1> %3, <4 x i8> zeroinitializer, <4 x i8> %7\n\
+            ret <4 x i8> %9\n\
+            }";
+        let f = parse_function(text).unwrap();
+        assert_eq!(f.instruction_count(), 6);
+        assert_eq!(f.ret_ty, Type::vector(4, Type::i8()));
+        // Round-trips through the printer.
+        let printed = print_function(&f);
+        let reparsed = parse_function(&printed).unwrap();
+        assert_eq!(reparsed.instruction_count(), f.instruction_count());
+    }
+
+    #[test]
+    fn reports_unknown_opcode_like_opt() {
+        // Figure 3b/3c of the paper: `smax` used as a bare opcode.
+        let text = "define <4 x i8> @src(i64 %a0, ptr %a1) {\n\
+            %0 = getelementptr inbounds nuw i32, ptr %a1, i64 %a0\n\
+            %wide.load = load <4 x i32>, ptr %0, align 4\n\
+            %smax_0 = smax <4 x i32> %wide.load, zeroinitializer\n\
+            ret <4 x i8> zeroinitializer\n\
+            }";
+        let err = parse_function(text).unwrap_err();
+        assert_eq!(err.message, "expected instruction opcode");
+        assert!(err.line_text.contains("smax"));
+        let rendered = err.to_string();
+        assert!(rendered.starts_with("error: expected instruction opcode"));
+        assert!(rendered.contains('^'));
+    }
+
+    #[test]
+    fn reports_undefined_values_and_unknown_callees() {
+        let err = parse_function(
+            "define i32 @f(i32 %x) {\n  %r = add i32 %x, %missing\n  ret i32 %r\n}",
+        )
+        .unwrap_err();
+        assert!(err.message.contains("use of undefined value '%missing'"));
+
+        let err = parse_function(
+            "define i32 @f(i32 %x) {\n  %r = call i32 @unknown(i32 %x)\n  ret i32 %r\n}",
+        )
+        .unwrap_err();
+        assert!(err.message.contains("unknown function"));
+    }
+
+    #[test]
+    fn parses_case_study_1_loads(){
+        let text = "define i32 @src(ptr %0) {\n\
+            %2 = load i16, ptr %0, align 2\n\
+            %3 = getelementptr i8, ptr %0, i64 2\n\
+            %4 = load i16, ptr %3, align 1\n\
+            %5 = zext i16 %4 to i32\n\
+            %6 = shl nuw i32 %5, 16\n\
+            %7 = zext i16 %2 to i32\n\
+            %8 = or disjoint i32 %6, %7\n\
+            ret i32 %8\n\
+            }";
+        let f = parse_function(text).unwrap();
+        assert_eq!(f.instruction_count(), 7);
+        match &f.inst(f.inst_by_name("8").unwrap()).kind {
+            InstKind::Binary { op: BinOp::Or, flags, .. } => assert!(flags.disjoint),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_case_study_3_floats() {
+        let text = "define i1 @src(double %0) {\n\
+            %2 = fcmp ord double %0, 0.000000e+00\n\
+            %3 = select i1 %2, double %0, double 0.000000e+00\n\
+            %4 = fcmp oeq double %3, 1.000000e+00\n\
+            ret i1 %4\n\
+            }";
+        let f = parse_function(text).unwrap();
+        assert_eq!(f.instruction_count(), 3);
+        let printed = print_function(&f);
+        assert!(parse_function(&printed).is_ok());
+    }
+
+    #[test]
+    fn parses_control_flow_and_phi() {
+        let text = "define i32 @loop(i32 %n) {\n\
+            entry:\n\
+              br label %header\n\
+            header:\n\
+              %i = phi i32 [ 0, %entry ], [ %i.next, %body ]\n\
+              %cmp = icmp slt i32 %i, %n\n\
+              br i1 %cmp, label %body, label %exit\n\
+            body:\n\
+              %i.next = add nuw nsw i32 %i, 1\n\
+              br label %header\n\
+            exit:\n\
+              ret i32 %i\n\
+            }";
+        let f = parse_function(text).unwrap();
+        assert_eq!(f.blocks().len(), 4);
+        let phi_id = f.inst_by_name("i").unwrap();
+        match &f.inst(phi_id).kind {
+            InstKind::Phi { incoming } => {
+                assert_eq!(incoming.len(), 2);
+                // The forward reference to %i.next must have been resolved.
+                assert!(matches!(incoming[1].0, Value::Inst(_)));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_module_with_multiple_functions() {
+        let text = "; ModuleID = 'two.ll'\n\
+            define i32 @a(i32 %x) {\n  ret i32 %x\n}\n\
+            define i32 @b(i32 %x) {\n  %y = mul i32 %x, 3\n  ret i32 %y\n}\n";
+        let m = parse_module(text).unwrap();
+        assert_eq!(m.name, "two.ll");
+        assert_eq!(m.functions.len(), 2);
+        assert_eq!(m.instruction_count(), 1);
+    }
+
+    #[test]
+    fn parses_misc_instructions() {
+        let text = "define i32 @misc(<4 x i32> %v, i32 %x, ptr %p) {\n\
+            %a = extractelement <4 x i32> %v, i64 0\n\
+            %b = insertelement <4 x i32> %v, i32 %x, i64 1\n\
+            %c = shufflevector <4 x i32> %v, <4 x i32> %b, <4 x i32> <i32 0, i32 1, i32 4, i32 5>\n\
+            %d = freeze i32 %x\n\
+            %e = alloca i64\n\
+            store i32 %d, ptr %e, align 4\n\
+            %f = call i32 @llvm.abs.i32(i32 %x, i1 false)\n\
+            %g = call i32 @llvm.ctpop.i32(i32 %x)\n\
+            %h = add i32 %a, %f\n\
+            %i = add i32 %g, %h\n\
+            ret i32 %i\n\
+            }";
+        let f = parse_function(text).unwrap();
+        assert_eq!(f.instruction_count(), 10);
+        let printed = print_function(&f);
+        assert!(parse_function(&printed).is_ok(), "round trip failed:\n{printed}");
+    }
+
+    #[test]
+    fn parses_saturating_intrinsics_with_dotted_names() {
+        let text = "define i8 @s(i8 %x, i8 %y) {\n\
+            %a = call i8 @llvm.uadd.sat.i8(i8 %x, i8 %y)\n\
+            %b = call i8 @llvm.usub.sat.i8(i8 %a, i8 %y)\n\
+            ret i8 %b\n\
+            }";
+        let f = parse_function(text).unwrap();
+        assert_eq!(f.instruction_count(), 2);
+    }
+
+    #[test]
+    fn rejects_bad_types_and_widths() {
+        assert!(parse_function("define i999 @f() {\n ret i999 0\n}").is_err());
+        assert!(parse_function("define banana @f() {\n ret void\n}").is_err());
+        let err = parse_function("define i32 @f(i32 %x) {\n  %y = add i32 %x 1\n  ret i32 %y\n}")
+            .unwrap_err();
+        assert!(err.message.contains("expected ','"));
+    }
+
+    #[test]
+    fn parses_numeric_block_labels_and_unnamed_results() {
+        let text = "define i32 @f(i1 %c, i32 %x) {\n\
+            br i1 %c, label %1, label %2\n\
+            1:\n\
+              ret i32 %x\n\
+            2:\n\
+              ret i32 0\n\
+            }";
+        let f = parse_function(text).unwrap();
+        assert_eq!(f.blocks().len(), 3);
+    }
+
+    #[test]
+    fn error_display_matches_opt_shape() {
+        let err = ParseError::new("expected instruction opcode", 3, 14, "  %smax_0 = smax <4 x i32> %w, zeroinitializer");
+        let shown = err.to_string();
+        let lines: Vec<&str> = shown.lines().collect();
+        assert_eq!(lines[0], "error: expected instruction opcode");
+        assert_eq!(lines[1], "  %smax_0 = smax <4 x i32> %w, zeroinitializer");
+        assert_eq!(lines[2].trim_end(), format!("{}^", " ".repeat(13)));
+    }
+}

@@ -1,0 +1,344 @@
+//! Textual printing of IR in an LLVM-flavoured syntax.
+//!
+//! The printer and the [parser](crate::parser) are round-trip compatible: any
+//! printed function can be parsed back into a structurally equal function.
+//! This property is exercised by property-based tests and is what allows the
+//! simulated LLM in `lpo-llm` to exchange *text* with the pipeline, exactly as
+//! the paper's LLMs do.
+
+use crate::constant::Constant;
+use crate::function::Function;
+use crate::instruction::{InstKind, Instruction, Value};
+use crate::module::Module;
+use std::fmt::Write;
+
+/// Prints a full module.
+pub fn print_module(module: &Module) -> String {
+    let mut out = String::new();
+    if !module.name.is_empty() {
+        let _ = writeln!(out, "; ModuleID = '{}'", module.name);
+    }
+    for (i, func) in module.functions.iter().enumerate() {
+        if i > 0 {
+            out.push('\n');
+        }
+        out.push_str(&print_function(func));
+    }
+    out
+}
+
+/// Prints a single function definition.
+pub fn print_function(func: &Function) -> String {
+    let mut out = String::new();
+    let params: Vec<String> = func
+        .params
+        .iter()
+        .map(|p| format!("{} %{}", p.ty, p.name))
+        .collect();
+    let _ = writeln!(out, "define {} @{}({}) {{", func.ret_ty, func.name, params.join(", "));
+    let multi_block = func.blocks().len() > 1;
+    for (idx, block) in func.blocks().iter().enumerate() {
+        if multi_block || idx > 0 || block.name != "entry" {
+            let _ = writeln!(out, "{}:", block.name);
+        }
+        for &inst_id in &block.insts {
+            let _ = writeln!(out, "  {}", print_instruction(func, func.inst(inst_id)));
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Prints an operand with its type prefix, e.g. `i32 %x` or `<4 x i32> splat (i32 255)`.
+pub fn typed_operand(func: &Function, value: &Value) -> String {
+    format!("{} {}", func.value_type(value), operand(func, value))
+}
+
+/// Prints an operand without a type prefix, e.g. `%x`, `255`, `zeroinitializer`.
+pub fn operand(func: &Function, value: &Value) -> String {
+    match value {
+        Value::Arg(i) => format!("%{}", func.params[*i].name),
+        Value::Inst(id) => format!("%{}", func.inst(*id).name),
+        Value::Const(c) => c.to_string(),
+    }
+}
+
+fn flags_prefix(flags: &crate::flags::IntFlags) -> String {
+    if flags.is_empty() {
+        String::new()
+    } else {
+        format!("{flags} ")
+    }
+}
+
+fn fmf_prefix(fmf: &crate::flags::FastMathFlags) -> String {
+    if fmf.is_empty() {
+        String::new()
+    } else {
+        format!("{fmf} ")
+    }
+}
+
+/// Prints one instruction (without leading indentation).
+pub fn print_instruction(func: &Function, inst: &Instruction) -> String {
+    let lhs = if inst.produces_value() {
+        format!("%{} = ", inst.name)
+    } else {
+        String::new()
+    };
+    let body = match &inst.kind {
+        InstKind::Binary { op, lhs: a, rhs: b, flags } => format!(
+            "{} {}{} {}, {}",
+            op.mnemonic(),
+            flags_prefix(flags),
+            func.value_type(a),
+            operand(func, a),
+            operand(func, b)
+        ),
+        InstKind::FBinary { op, lhs: a, rhs: b, fmf } => format!(
+            "{} {}{} {}, {}",
+            op.mnemonic(),
+            fmf_prefix(fmf),
+            func.value_type(a),
+            operand(func, a),
+            operand(func, b)
+        ),
+        InstKind::ICmp { pred, lhs: a, rhs: b } => format!(
+            "icmp {} {} {}, {}",
+            pred.mnemonic(),
+            func.value_type(a),
+            operand(func, a),
+            operand(func, b)
+        ),
+        InstKind::FCmp { pred, lhs: a, rhs: b } => format!(
+            "fcmp {} {} {}, {}",
+            pred.mnemonic(),
+            func.value_type(a),
+            operand(func, a),
+            operand(func, b)
+        ),
+        InstKind::Select { cond, on_true, on_false } => format!(
+            "select {}, {}, {}",
+            typed_operand(func, cond),
+            typed_operand(func, on_true),
+            typed_operand(func, on_false)
+        ),
+        InstKind::Cast { op, value, flags } => format!(
+            "{} {}{} to {}",
+            op.mnemonic(),
+            flags_prefix(flags),
+            typed_operand(func, value),
+            inst.ty
+        ),
+        InstKind::Call { intrinsic, args, fmf } => {
+            let arg_list: Vec<String> = args.iter().map(|a| typed_operand(func, a)).collect();
+            format!(
+                "call {}{} @{}({})",
+                fmf_prefix(fmf),
+                inst.ty,
+                intrinsic.full_name(&inst.ty),
+                arg_list.join(", ")
+            )
+        }
+        InstKind::Load { ptr, align } => format!(
+            "load {}, {}, align {}",
+            inst.ty,
+            typed_operand(func, ptr),
+            align
+        ),
+        InstKind::Store { value, ptr, align } => format!(
+            "store {}, {}, align {}",
+            typed_operand(func, value),
+            typed_operand(func, ptr),
+            align
+        ),
+        InstKind::Gep { elem_ty, base, index, inbounds, nuw } => {
+            let mut attrs = String::new();
+            if *inbounds {
+                attrs.push_str("inbounds ");
+            }
+            if *nuw {
+                attrs.push_str("nuw ");
+            }
+            format!(
+                "getelementptr {}{}, {}, {}",
+                attrs,
+                elem_ty,
+                typed_operand(func, base),
+                typed_operand(func, index)
+            )
+        }
+        InstKind::Alloca { ty } => format!("alloca {ty}"),
+        InstKind::ExtractElement { vector, index } => format!(
+            "extractelement {}, {}",
+            typed_operand(func, vector),
+            typed_operand(func, index)
+        ),
+        InstKind::InsertElement { vector, element, index } => format!(
+            "insertelement {}, {}, {}",
+            typed_operand(func, vector),
+            typed_operand(func, element),
+            typed_operand(func, index)
+        ),
+        InstKind::ShuffleVector { a, b, mask } => {
+            let mask_str: Vec<String> = mask
+                .iter()
+                .map(|m| if *m < 0 { "i32 poison".to_string() } else { format!("i32 {m}") })
+                .collect();
+            format!(
+                "shufflevector {}, {}, <{} x i32> <{}>",
+                typed_operand(func, a),
+                typed_operand(func, b),
+                mask.len(),
+                mask_str.join(", ")
+            )
+        }
+        InstKind::Phi { incoming } => {
+            let ty = &inst.ty;
+            let entries: Vec<String> = incoming
+                .iter()
+                .map(|(v, bb)| format!("[ {}, %{} ]", operand(func, v), func.block(*bb).name))
+                .collect();
+            format!("phi {} {}", ty, entries.join(", "))
+        }
+        InstKind::Freeze { value } => format!("freeze {}", typed_operand(func, value)),
+        InstKind::Ret { value } => match value {
+            Some(v) => format!("ret {}", typed_operand(func, v)),
+            None => "ret void".to_string(),
+        },
+        InstKind::Br { cond, then_block, else_block } => match (cond, else_block) {
+            (Some(c), Some(e)) => format!(
+                "br {}, label %{}, label %{}",
+                typed_operand(func, c),
+                func.block(*then_block).name,
+                func.block(*e).name
+            ),
+            _ => format!("br label %{}", func.block(*then_block).name),
+        },
+        InstKind::Unreachable => "unreachable".to_string(),
+    };
+    format!("{lhs}{body}")
+}
+
+/// Prints a constant with its type prefix, as it would appear as an operand.
+pub fn typed_constant(constant: &Constant) -> String {
+    format!("{} {}", constant.ty(), constant)
+}
+
+/// Returns the header line of a function definition (used in diagnostics).
+pub fn signature(func: &Function) -> String {
+    let params: Vec<String> = func.params.iter().map(|p| format!("{} %{}", p.ty, p.name)).collect();
+    format!("define {} @{}({})", func.ret_ty, func.name, params.join(", "))
+}
+
+/// Pretty-prints the type of each named value; useful in error messages.
+pub fn describe_types(func: &Function) -> String {
+    let mut out = String::new();
+    for p in &func.params {
+        let _ = writeln!(out, "%{}: {}", p.name, p.ty);
+    }
+    for (_, inst) in func.iter_insts() {
+        if inst.produces_value() {
+            let _ = writeln!(out, "%{}: {}", inst.name, inst.ty);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::instruction::{ICmpPred, Value};
+    use crate::types::Type;
+
+    #[test]
+    fn prints_clamp_like_function() {
+        // Mirrors Figure 1b of the paper.
+        let mut b = FunctionBuilder::new("src", Type::i8());
+        let x = b.add_param("0", Type::i32());
+        let c = b.icmp(ICmpPred::Slt, x.clone(), Value::int(32, 0));
+        let m = b.umin(x, Value::int(32, 255));
+        let t = b.trunc_nuw(m, Type::i8());
+        let s = b.select(c, Value::int(8, 0), t);
+        b.ret(Some(s));
+        let f = b.build();
+        let text = print_function(&f);
+        assert!(text.contains("define i8 @src(i32 %0)"));
+        assert!(text.contains("icmp slt i32 %0, 0"));
+        assert!(text.contains("call i32 @llvm.umin.i32(i32 %0, i32 255)"));
+        assert!(text.contains("trunc nuw i32"));
+        assert!(text.contains("select i1"));
+        assert!(text.contains("ret i8"));
+        // Single-block functions omit the entry label, like LLVM output.
+        assert!(!text.contains("entry:"));
+    }
+
+    #[test]
+    fn prints_memory_and_vector_ops() {
+        let v4i32 = Type::vector(4, Type::i32());
+        let mut b = FunctionBuilder::new("v", Type::vector(4, Type::i8()));
+        let a0 = b.add_param("a0", Type::i64());
+        let a1 = b.add_param("a1", Type::Ptr);
+        let p = b.gep(Type::i32(), a1.clone(), a0, true, true);
+        let load = b.load(v4i32.clone(), p.clone(), 4);
+        let zero = b.const_of(&v4i32, 0);
+        let cmp = b.icmp(ICmpPred::Slt, load.clone(), zero);
+        let umin = b.umin(load.clone(), b.const_of(&v4i32, 255));
+        let tr = b.trunc_nuw(umin, Type::vector(4, Type::i8()));
+        let zero8 = b.const_of(&Type::vector(4, Type::i8()), 0);
+        let sel = b.select(cmp, zero8, tr);
+        b.store(sel.clone(), p, 1);
+        b.ret(Some(sel));
+        let f = b.build();
+        let text = print_function(&f);
+        assert!(text.contains("getelementptr inbounds nuw i32, ptr %a1, i64 %a0"));
+        assert!(text.contains("load <4 x i32>, ptr %t0, align 4"));
+        assert!(text.contains("icmp slt <4 x i32> %t1, zeroinitializer"));
+        assert!(text.contains("call <4 x i32> @llvm.umin.v4i32(<4 x i32> %t1, <4 x i32> splat (i32 255))"));
+        assert!(text.contains("store <4 x i8> %t5, ptr %t0, align 1"));
+    }
+
+    #[test]
+    fn prints_control_flow() {
+        let mut b = FunctionBuilder::new("g", Type::i32());
+        let x = b.add_param("x", Type::i32());
+        let t = b.add_block("then");
+        let e = b.add_block("exit");
+        let c = b.icmp(ICmpPred::Eq, x.clone(), Value::int(32, 0));
+        b.cond_br(c, t, e);
+        b.switch_to(t);
+        b.br(e);
+        b.switch_to(e);
+        b.ret(Some(x));
+        let f = b.build();
+        let text = print_function(&f);
+        assert!(text.contains("entry:"));
+        assert!(text.contains("br i1 %t0, label %then, label %exit"));
+        assert!(text.contains("br label %exit"));
+        assert!(text.contains("then:"));
+        assert!(text.contains("exit:"));
+    }
+
+    #[test]
+    fn signature_and_type_dump() {
+        let mut b = FunctionBuilder::new("sig", Type::Void);
+        let _ = b.add_param("p", Type::Ptr);
+        b.ret(None);
+        let f = b.build();
+        assert_eq!(signature(&f), "define void @sig(ptr %p)");
+        assert!(describe_types(&f).contains("%p: ptr"));
+        assert!(print_function(&f).contains("ret void"));
+    }
+
+    #[test]
+    fn module_header() {
+        let m = Module {
+            name: "demo.ll".into(),
+            functions: vec![],
+        };
+        assert!(print_module(&m).contains("; ModuleID = 'demo.ll'"));
+    }
+
+    use crate::module::Module;
+}

@@ -1,0 +1,302 @@
+//! The IR type system.
+//!
+//! Mirrors the subset of LLVM's first-class types that the LPO pipeline
+//! manipulates: arbitrary-width integers, three floating-point widths, opaque
+//! pointers, fixed-length vectors, and `void` (for functions without a return
+//! value).
+//!
+//! # Examples
+//!
+//! ```
+//! use lpo_ir::types::Type;
+//!
+//! let v4i32 = Type::vector(4, Type::i32());
+//! assert_eq!(v4i32.to_string(), "<4 x i32>");
+//! assert_eq!(v4i32.scalar_type(), &Type::i32());
+//! assert_eq!(v4i32.size_in_bits(), 128);
+//! ```
+
+use std::fmt;
+
+/// Floating-point kinds supported by the IR.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum FloatKind {
+    /// 16-bit IEEE-754 half precision.
+    Half,
+    /// 32-bit IEEE-754 single precision.
+    Float,
+    /// 64-bit IEEE-754 double precision.
+    Double,
+}
+
+impl FloatKind {
+    /// Size of the format in bits.
+    pub fn bits(self) -> u32 {
+        match self {
+            FloatKind::Half => 16,
+            FloatKind::Float => 32,
+            FloatKind::Double => 64,
+        }
+    }
+}
+
+impl fmt::Display for FloatKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FloatKind::Half => write!(f, "half"),
+            FloatKind::Float => write!(f, "float"),
+            FloatKind::Double => write!(f, "double"),
+        }
+    }
+}
+
+/// A first-class IR type.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum Type {
+    /// The `void` type (function results only).
+    Void,
+    /// An integer type with the given bit width (`i1` … `i128`).
+    Int(u32),
+    /// A floating-point type.
+    Float(FloatKind),
+    /// An opaque pointer (`ptr`).
+    Ptr,
+    /// A fixed-length vector `<N x elem>`. The element must be a scalar type.
+    Vector(u32, Box<Type>),
+}
+
+impl Type {
+    /// The boolean type `i1`.
+    pub fn i1() -> Type {
+        Type::Int(1)
+    }
+
+    /// The 8-bit integer type.
+    pub fn i8() -> Type {
+        Type::Int(8)
+    }
+
+    /// The 16-bit integer type.
+    pub fn i16() -> Type {
+        Type::Int(16)
+    }
+
+    /// The 32-bit integer type.
+    pub fn i32() -> Type {
+        Type::Int(32)
+    }
+
+    /// The 64-bit integer type.
+    pub fn i64() -> Type {
+        Type::Int(64)
+    }
+
+    /// The single-precision floating point type.
+    pub fn float() -> Type {
+        Type::Float(FloatKind::Float)
+    }
+
+    /// The double-precision floating point type.
+    pub fn double() -> Type {
+        Type::Float(FloatKind::Double)
+    }
+
+    /// Builds a vector type `<lanes x elem>`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lanes` is zero or `elem` is not a scalar (int, float or ptr).
+    pub fn vector(lanes: u32, elem: Type) -> Type {
+        assert!(lanes > 0, "vector must have at least one lane");
+        assert!(elem.is_scalar(), "vector element must be a scalar type");
+        Type::Vector(lanes, Box::new(elem))
+    }
+
+    /// Returns `true` for integer, floating-point or pointer types.
+    pub fn is_scalar(&self) -> bool {
+        matches!(self, Type::Int(_) | Type::Float(_) | Type::Ptr)
+    }
+
+    /// Returns `true` for integer types (scalar only).
+    pub fn is_int(&self) -> bool {
+        matches!(self, Type::Int(_))
+    }
+
+    /// Returns `true` for `i1`.
+    pub fn is_bool(&self) -> bool {
+        matches!(self, Type::Int(1))
+    }
+
+    /// Returns `true` for floating-point types (scalar only).
+    pub fn is_float(&self) -> bool {
+        matches!(self, Type::Float(_))
+    }
+
+    /// Returns `true` for the pointer type.
+    pub fn is_ptr(&self) -> bool {
+        matches!(self, Type::Ptr)
+    }
+
+    /// Returns `true` for vector types.
+    pub fn is_vector(&self) -> bool {
+        matches!(self, Type::Vector(..))
+    }
+
+    /// Returns `true` if the type is an integer or a vector of integers.
+    pub fn is_int_or_int_vector(&self) -> bool {
+        self.scalar_type().is_int()
+    }
+
+    /// Returns `true` if the type is a float or a vector of floats.
+    pub fn is_float_or_float_vector(&self) -> bool {
+        self.scalar_type().is_float()
+    }
+
+    /// Returns `true` if the type is `i1` or a vector of `i1`.
+    pub fn is_bool_or_bool_vector(&self) -> bool {
+        self.scalar_type().is_bool()
+    }
+
+    /// The element type for vectors, or the type itself for scalars.
+    pub fn scalar_type(&self) -> &Type {
+        match self {
+            Type::Vector(_, elem) => elem,
+            other => other,
+        }
+    }
+
+    /// The number of vector lanes, or `None` for non-vector types.
+    pub fn lanes(&self) -> Option<u32> {
+        match self {
+            Type::Vector(n, _) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The integer bit width of the scalar type, or `None` for non-integers.
+    pub fn int_width(&self) -> Option<u32> {
+        match self.scalar_type() {
+            Type::Int(w) => Some(*w),
+            _ => None,
+        }
+    }
+
+    /// Total size of a value of this type in bits (pointers count as 64 bits).
+    ///
+    /// # Panics
+    ///
+    /// Panics for `void`, which has no size.
+    pub fn size_in_bits(&self) -> u32 {
+        match self {
+            Type::Void => panic!("void has no size"),
+            Type::Int(w) => *w,
+            Type::Float(k) => k.bits(),
+            Type::Ptr => 64,
+            Type::Vector(n, elem) => n * elem.size_in_bits(),
+        }
+    }
+
+    /// Total size in bytes, rounding sub-byte types up to one byte.
+    pub fn size_in_bytes(&self) -> u32 {
+        self.size_in_bits().div_ceil(8)
+    }
+
+    /// Builds a type with the same "shape" (scalar vs. vector with identical
+    /// lane count) but a different scalar type. Used by casts and comparisons.
+    pub fn with_scalar(&self, scalar: Type) -> Type {
+        match self {
+            Type::Vector(n, _) => Type::vector(*n, scalar),
+            _ => scalar,
+        }
+    }
+
+    /// Returns `true` if two types have the same vector shape (both scalars, or
+    /// vectors with identical lane counts).
+    pub fn same_shape(&self, other: &Type) -> bool {
+        self.lanes() == other.lanes()
+    }
+}
+
+impl fmt::Display for Type {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Type::Void => write!(f, "void"),
+            Type::Int(w) => write!(f, "i{w}"),
+            Type::Float(k) => write!(f, "{k}"),
+            Type::Ptr => write!(f, "ptr"),
+            Type::Vector(n, elem) => write!(f, "<{n} x {elem}>"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_matches_llvm_syntax() {
+        assert_eq!(Type::i1().to_string(), "i1");
+        assert_eq!(Type::Int(33).to_string(), "i33");
+        assert_eq!(Type::double().to_string(), "double");
+        assert_eq!(Type::Float(FloatKind::Half).to_string(), "half");
+        assert_eq!(Type::Ptr.to_string(), "ptr");
+        assert_eq!(Type::vector(4, Type::i8()).to_string(), "<4 x i8>");
+        assert_eq!(Type::Void.to_string(), "void");
+    }
+
+    #[test]
+    fn predicates() {
+        assert!(Type::i32().is_int());
+        assert!(Type::i1().is_bool());
+        assert!(!Type::i8().is_bool());
+        assert!(Type::float().is_float());
+        assert!(Type::Ptr.is_ptr());
+        assert!(Type::vector(2, Type::i32()).is_vector());
+        assert!(Type::vector(2, Type::i32()).is_int_or_int_vector());
+        assert!(Type::vector(2, Type::double()).is_float_or_float_vector());
+        assert!(Type::vector(8, Type::i1()).is_bool_or_bool_vector());
+        assert!(!Type::Ptr.is_int_or_int_vector());
+    }
+
+    #[test]
+    fn scalar_and_lanes() {
+        let v = Type::vector(4, Type::i32());
+        assert_eq!(v.scalar_type(), &Type::i32());
+        assert_eq!(v.lanes(), Some(4));
+        assert_eq!(Type::i32().lanes(), None);
+        assert_eq!(v.int_width(), Some(32));
+        assert_eq!(Type::double().int_width(), None);
+    }
+
+    #[test]
+    fn sizes() {
+        assert_eq!(Type::i1().size_in_bits(), 1);
+        assert_eq!(Type::i1().size_in_bytes(), 1);
+        assert_eq!(Type::i64().size_in_bytes(), 8);
+        assert_eq!(Type::Ptr.size_in_bits(), 64);
+        assert_eq!(Type::vector(4, Type::i32()).size_in_bytes(), 16);
+        assert_eq!(Type::Float(FloatKind::Half).size_in_bits(), 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "void has no size")]
+    fn void_has_no_size() {
+        let _ = Type::Void.size_in_bits();
+    }
+
+    #[test]
+    #[should_panic(expected = "vector element must be a scalar")]
+    fn nested_vectors_rejected() {
+        let _ = Type::vector(2, Type::vector(2, Type::i8()));
+    }
+
+    #[test]
+    fn shape_helpers() {
+        let v = Type::vector(4, Type::i32());
+        assert_eq!(v.with_scalar(Type::i1()), Type::vector(4, Type::i1()));
+        assert_eq!(Type::i32().with_scalar(Type::i1()), Type::i1());
+        assert!(v.same_shape(&Type::vector(4, Type::i8())));
+        assert!(!v.same_shape(&Type::vector(2, Type::i32())));
+        assert!(Type::i32().same_shape(&Type::i64()));
+    }
+}

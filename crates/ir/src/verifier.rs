@@ -1,0 +1,567 @@
+//! Structural and type verification of IR functions.
+//!
+//! The verifier catches malformed IR early: operand type mismatches, flags on
+//! opcodes that do not accept them, missing terminators, and uses of values
+//! that are never defined. The LPO pipeline runs it right after parsing an
+//! LLM-proposed candidate; its diagnostics join the parser's as feedback.
+
+use crate::function::Function;
+use crate::instruction::{BinOp, CastOp, InstKind, Intrinsic, Value};
+use crate::module::Module;
+use crate::types::Type;
+use std::fmt;
+
+/// A verification failure.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct VerifyError {
+    /// The function in which the problem was found.
+    pub function: String,
+    /// Description of the problem.
+    pub message: String,
+}
+
+impl fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "error: in function '@{}': {}", self.function, self.message)
+    }
+}
+
+impl std::error::Error for VerifyError {}
+
+/// Verifies every function in a module.
+///
+/// # Errors
+///
+/// Returns the first [`VerifyError`] found.
+pub fn verify_module(module: &Module) -> Result<(), VerifyError> {
+    for func in &module.functions {
+        verify_function(func)?;
+    }
+    Ok(())
+}
+
+/// Verifies a single function.
+///
+/// # Errors
+///
+/// Returns the first [`VerifyError`] found. Checks performed:
+///
+/// * every block ends with exactly one terminator, which is its last instruction;
+/// * operand types are consistent with each opcode's typing rules;
+/// * flags only appear on opcodes that allow them;
+/// * every instruction operand refers to a placed instruction or a valid argument;
+/// * the returned value matches the declared return type.
+pub fn verify_function(func: &Function) -> Result<(), VerifyError> {
+    let err = |message: String| VerifyError { function: func.name.clone(), message };
+
+    if func.blocks().is_empty() {
+        return Err(err("function has no basic blocks".into()));
+    }
+
+    // Collect placed instruction ids for def checking.
+    let placed: std::collections::HashSet<_> = func.iter_inst_ids().collect();
+
+    for (block_id, block) in func.iter_blocks() {
+        if block.insts.is_empty() {
+            return Err(err(format!("basic block '{}' is empty", block.name)));
+        }
+        let last = *block.insts.last().expect("non-empty");
+        if !func.inst(last).is_terminator() {
+            return Err(err(format!("basic block '{}' does not end with a terminator", block.name)));
+        }
+        for (idx, &inst_id) in block.insts.iter().enumerate() {
+            let inst = func.inst(inst_id);
+            if inst.is_terminator() && idx + 1 != block.insts.len() {
+                return Err(err(format!(
+                    "terminator '{}' is not the last instruction of block '{}'",
+                    inst.kind.opcode_name(),
+                    block.name
+                )));
+            }
+            // Operand validity.
+            for op in inst.kind.operands() {
+                match op {
+                    Value::Arg(i) => {
+                        if *i >= func.params.len() {
+                            return Err(err(format!(
+                                "instruction '%{}' references argument #{i} but the function has {} parameters",
+                                inst.name,
+                                func.params.len()
+                            )));
+                        }
+                    }
+                    Value::Inst(id) => {
+                        if !placed.contains(id) {
+                            return Err(err(format!(
+                                "instruction '%{}' uses a value that is not placed in any block",
+                                inst.name
+                            )));
+                        }
+                    }
+                    Value::Const(_) => {}
+                }
+            }
+            verify_inst_types(func, inst_id, block_id.0).map_err(err)?;
+        }
+    }
+    Ok(())
+}
+
+fn type_of(func: &Function, v: &Value) -> Type {
+    func.value_type(v)
+}
+
+fn verify_inst_types(func: &Function, inst_id: crate::instruction::InstId, _block: u32) -> Result<(), String> {
+    let inst = func.inst(inst_id);
+    let name = &inst.name;
+    match &inst.kind {
+        InstKind::Binary { op, lhs, rhs, flags } => {
+            let lt = type_of(func, lhs);
+            let rt = type_of(func, rhs);
+            if lt != rt {
+                return Err(format!("'%{name}': operands of '{}' have mismatched types ({lt} vs {rt})", op.mnemonic()));
+            }
+            if !lt.is_int_or_int_vector() {
+                return Err(format!("'%{name}': '{}' requires integer operands, got {lt}", op.mnemonic()));
+            }
+            if lt != inst.ty {
+                return Err(format!("'%{name}': result type {} does not match operand type {lt}", inst.ty));
+            }
+            if !flags.is_subset_of(&op.allowed_flags()) {
+                return Err(format!("'%{name}': flags '{flags}' are not valid on '{}'", op.mnemonic()));
+            }
+            // Shift amount / division semantics are value-level; nothing further here.
+            let _ = BinOp::ALL;
+            Ok(())
+        }
+        InstKind::FBinary { op, lhs, rhs, .. } => {
+            let lt = type_of(func, lhs);
+            let rt = type_of(func, rhs);
+            if lt != rt || !lt.is_float_or_float_vector() {
+                return Err(format!("'%{name}': '{}' requires matching floating-point operands", op.mnemonic()));
+            }
+            if lt != inst.ty {
+                return Err(format!("'%{name}': result type {} does not match operand type {lt}", inst.ty));
+            }
+            Ok(())
+        }
+        InstKind::ICmp { lhs, rhs, .. } => {
+            let lt = type_of(func, lhs);
+            let rt = type_of(func, rhs);
+            if lt != rt {
+                return Err(format!("'%{name}': icmp operands have mismatched types ({lt} vs {rt})"));
+            }
+            if !(lt.is_int_or_int_vector() || lt.is_ptr()) {
+                return Err(format!("'%{name}': icmp requires integer or pointer operands, got {lt}"));
+            }
+            if inst.ty != lt.with_scalar(Type::i1()) {
+                return Err(format!("'%{name}': icmp must produce i1 (or a vector of i1)"));
+            }
+            Ok(())
+        }
+        InstKind::FCmp { lhs, rhs, .. } => {
+            let lt = type_of(func, lhs);
+            let rt = type_of(func, rhs);
+            if lt != rt || !lt.is_float_or_float_vector() {
+                return Err(format!("'%{name}': fcmp requires matching floating-point operands"));
+            }
+            if inst.ty != lt.with_scalar(Type::i1()) {
+                return Err(format!("'%{name}': fcmp must produce i1 (or a vector of i1)"));
+            }
+            Ok(())
+        }
+        InstKind::Select { cond, on_true, on_false } => {
+            let ct = type_of(func, cond);
+            let tt = type_of(func, on_true);
+            let ft = type_of(func, on_false);
+            if !ct.is_bool_or_bool_vector() {
+                return Err(format!("'%{name}': select condition must be i1 or a vector of i1, got {ct}"));
+            }
+            if tt != ft {
+                return Err(format!("'%{name}': select arms have mismatched types ({tt} vs {ft})"));
+            }
+            if ct.is_vector() && ct.lanes() != tt.lanes() {
+                return Err(format!("'%{name}': select condition lanes do not match value lanes"));
+            }
+            if inst.ty != tt {
+                return Err(format!("'%{name}': select result type must match its arms"));
+            }
+            Ok(())
+        }
+        InstKind::Cast { op, value, flags } => {
+            let vt = type_of(func, value);
+            if !flags.is_subset_of(&op.allowed_flags()) {
+                return Err(format!("'%{name}': flags '{flags}' are not valid on '{}'", op.mnemonic()));
+            }
+            if !vt.same_shape(&inst.ty) {
+                return Err(format!("'%{name}': cast cannot change vector shape ({vt} to {})", inst.ty));
+            }
+            let from = vt.scalar_type();
+            let to = inst.ty.scalar_type();
+            let ok = match op {
+                CastOp::Trunc => from.is_int() && to.is_int() && from.int_width() > to.int_width(),
+                CastOp::ZExt | CastOp::SExt => from.is_int() && to.is_int() && from.int_width() < to.int_width(),
+                CastOp::FpTrunc => from.is_float() && to.is_float() && from.size_in_bits() > to.size_in_bits(),
+                CastOp::FpExt => from.is_float() && to.is_float() && from.size_in_bits() < to.size_in_bits(),
+                CastOp::FpToUi | CastOp::FpToSi => from.is_float() && to.is_int(),
+                CastOp::UiToFp | CastOp::SiToFp => from.is_int() && to.is_float(),
+                CastOp::PtrToInt => from.is_ptr() && to.is_int(),
+                CastOp::IntToPtr => from.is_int() && to.is_ptr(),
+                CastOp::Bitcast => {
+                    from != &Type::Ptr && to != &Type::Ptr && vt.size_in_bits() == inst.ty.size_in_bits()
+                }
+            };
+            if !ok {
+                return Err(format!("'%{name}': invalid '{}' from {vt} to {}", op.mnemonic(), inst.ty));
+            }
+            Ok(())
+        }
+        InstKind::Call { intrinsic, args, .. } => {
+            if args.len() != intrinsic.arity() {
+                return Err(format!(
+                    "'%{name}': intrinsic '{intrinsic}' expects {} arguments, found {}",
+                    intrinsic.arity(),
+                    args.len()
+                ));
+            }
+            let a0 = type_of(func, &args[0]);
+            if intrinsic.is_integer() && !a0.is_int_or_int_vector() {
+                return Err(format!("'%{name}': intrinsic '{intrinsic}' requires integer operands"));
+            }
+            if !intrinsic.is_integer() && !a0.is_float_or_float_vector() {
+                return Err(format!("'%{name}': intrinsic '{intrinsic}' requires floating-point operands"));
+            }
+            if inst.ty != a0 {
+                return Err(format!("'%{name}': intrinsic result type must match its first operand"));
+            }
+            match intrinsic {
+                Intrinsic::Abs | Intrinsic::Ctlz | Intrinsic::Cttz => {
+                    let flag_ty = type_of(func, &args[1]);
+                    if flag_ty != Type::i1() {
+                        return Err(format!("'%{name}': the second operand of '{intrinsic}' must be i1"));
+                    }
+                }
+                Intrinsic::Bswap => {
+                    if a0.scalar_type().int_width().map_or(true, |w| w % 16 != 0) {
+                        return Err(format!("'%{name}': bswap requires a width that is a multiple of 16"));
+                    }
+                }
+                _ => {
+                    for arg in &args[1..] {
+                        let at = type_of(func, arg);
+                        if at != a0 {
+                            return Err(format!("'%{name}': intrinsic operands must share one type"));
+                        }
+                    }
+                }
+            }
+            Ok(())
+        }
+        InstKind::Load { ptr, .. } => {
+            if !type_of(func, ptr).is_ptr() {
+                return Err(format!("'%{name}': load requires a pointer operand"));
+            }
+            if inst.ty == Type::Void {
+                return Err(format!("'%{name}': load cannot produce void"));
+            }
+            Ok(())
+        }
+        InstKind::Store { ptr, .. } => {
+            if !type_of(func, ptr).is_ptr() {
+                return Err("store requires a pointer operand".to_string());
+            }
+            Ok(())
+        }
+        InstKind::Gep { base, index, .. } => {
+            if !type_of(func, base).is_ptr() {
+                return Err(format!("'%{name}': getelementptr base must be a pointer"));
+            }
+            if !type_of(func, index).is_int() {
+                return Err(format!("'%{name}': getelementptr index must be an integer"));
+            }
+            if inst.ty != Type::Ptr {
+                return Err(format!("'%{name}': getelementptr must produce ptr"));
+            }
+            Ok(())
+        }
+        InstKind::Alloca { .. } => {
+            if inst.ty != Type::Ptr {
+                return Err(format!("'%{name}': alloca must produce ptr"));
+            }
+            Ok(())
+        }
+        InstKind::ExtractElement { vector, index } => {
+            let vt = type_of(func, vector);
+            if !vt.is_vector() {
+                return Err(format!("'%{name}': extractelement requires a vector operand"));
+            }
+            if !type_of(func, index).is_int() {
+                return Err(format!("'%{name}': extractelement index must be an integer"));
+            }
+            if &inst.ty != vt.scalar_type() {
+                return Err(format!("'%{name}': extractelement result must be the element type"));
+            }
+            Ok(())
+        }
+        InstKind::InsertElement { vector, element, index } => {
+            let vt = type_of(func, vector);
+            if !vt.is_vector() {
+                return Err(format!("'%{name}': insertelement requires a vector operand"));
+            }
+            if type_of(func, element) != *vt.scalar_type() {
+                return Err(format!("'%{name}': insertelement element type must match the vector"));
+            }
+            if !type_of(func, index).is_int() {
+                return Err(format!("'%{name}': insertelement index must be an integer"));
+            }
+            if inst.ty != vt {
+                return Err(format!("'%{name}': insertelement result must match the vector type"));
+            }
+            Ok(())
+        }
+        InstKind::ShuffleVector { a, b, mask } => {
+            let at = type_of(func, a);
+            let bt = type_of(func, b);
+            if !at.is_vector() || at != bt {
+                return Err(format!("'%{name}': shufflevector requires two vectors of the same type"));
+            }
+            let input_lanes = at.lanes().unwrap_or(0) * 2;
+            for &m in mask {
+                if m >= 0 && m as u32 >= input_lanes {
+                    return Err(format!("'%{name}': shuffle mask index {m} is out of range"));
+                }
+            }
+            if inst.ty != Type::vector(mask.len() as u32, at.scalar_type().clone()) {
+                return Err(format!("'%{name}': shufflevector result type does not match its mask"));
+            }
+            Ok(())
+        }
+        InstKind::Phi { incoming } => {
+            if incoming.is_empty() {
+                return Err(format!("'%{name}': phi has no incoming values"));
+            }
+            for (v, bb) in incoming {
+                if type_of(func, v) != inst.ty {
+                    return Err(format!("'%{name}': phi incoming value type does not match"));
+                }
+                if bb.0 as usize >= func.blocks().len() {
+                    return Err(format!("'%{name}': phi references a non-existent block"));
+                }
+            }
+            Ok(())
+        }
+        InstKind::Freeze { value } => {
+            if type_of(func, value) != inst.ty {
+                return Err(format!("'%{name}': freeze result type must match its operand"));
+            }
+            Ok(())
+        }
+        InstKind::Ret { value } => {
+            match value {
+                Some(v) => {
+                    let vt = type_of(func, v);
+                    if vt != func.ret_ty {
+                        return Err(format!(
+                            "returned value type {vt} does not match function return type {}",
+                            func.ret_ty
+                        ));
+                    }
+                }
+                None => {
+                    if func.ret_ty != Type::Void {
+                        return Err(format!("'ret void' in a function returning {}", func.ret_ty));
+                    }
+                }
+            }
+            Ok(())
+        }
+        InstKind::Br { cond, then_block, else_block } => {
+            if let Some(c) = cond {
+                if type_of(func, c) != Type::i1() {
+                    return Err("conditional branch condition must be i1".to_string());
+                }
+                if else_block.is_none() {
+                    return Err("conditional branch requires two targets".to_string());
+                }
+            }
+            if then_block.0 as usize >= func.blocks().len()
+                || else_block.map_or(false, |e| e.0 as usize >= func.blocks().len())
+            {
+                return Err("branch target does not exist".to_string());
+            }
+            Ok(())
+        }
+        InstKind::Unreachable => Ok(()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::instruction::{ICmpPred, InstKind, Intrinsic, Value};
+    use crate::module::Module;
+    use crate::parser::parse_function;
+    use crate::types::Type;
+
+    fn assert_valid(text: &str) {
+        let f = parse_function(text).unwrap();
+        verify_function(&f).unwrap();
+    }
+
+    #[test]
+    fn accepts_well_formed_functions() {
+        assert_valid(
+            "define i8 @src(i32 %0) {\n\
+             %2 = icmp slt i32 %0, 0\n\
+             %3 = call i32 @llvm.umin.i32(i32 %0, i32 255)\n\
+             %4 = trunc nuw i32 %3 to i8\n\
+             %5 = select i1 %2, i8 0, i8 %4\n\
+             ret i8 %5\n}",
+        );
+        assert_valid(
+            "define i32 @mem(ptr %p, i64 %i) {\n\
+             %a = getelementptr inbounds i32, ptr %p, i64 %i\n\
+             %v = load i32, ptr %a, align 4\n\
+             store i32 %v, ptr %p, align 4\n\
+             ret i32 %v\n}",
+        );
+    }
+
+    #[test]
+    fn rejects_missing_terminator() {
+        let mut b = FunctionBuilder::new("f", Type::i32());
+        let x = b.add_param("x", Type::i32());
+        let _ = b.add(x, Value::int(32, 1));
+        let f = b.build(); // no ret
+        let err = verify_function(&f).unwrap_err();
+        assert!(err.message.contains("does not end with a terminator"));
+        assert!(err.to_string().contains("@f"));
+    }
+
+    #[test]
+    fn rejects_type_mismatches() {
+        let mut b = FunctionBuilder::new("f", Type::i32());
+        let x = b.add_param("x", Type::i32());
+        // i32 + i8 constant: mismatched operands
+        let bad = b.binary(crate::instruction::BinOp::Add, x, Value::int(8, 1));
+        b.ret(Some(bad));
+        let err = verify_function(&b.build()).unwrap_err();
+        assert!(err.message.contains("mismatched types"));
+    }
+
+    #[test]
+    fn rejects_invalid_flags() {
+        let mut b = FunctionBuilder::new("f", Type::i32());
+        let x = b.add_param("x", Type::i32());
+        let bad = b.binary_flagged(
+            crate::instruction::BinOp::And,
+            x,
+            Value::int(32, 1),
+            crate::flags::IntFlags::nuw(),
+        );
+        b.ret(Some(bad));
+        let err = verify_function(&b.build()).unwrap_err();
+        assert!(err.message.contains("not valid on 'and'"));
+    }
+
+    #[test]
+    fn rejects_bad_casts_and_selects() {
+        let mut b = FunctionBuilder::new("f", Type::i8());
+        let x = b.add_param("x", Type::i8());
+        // zext to a *narrower* width is invalid
+        let bad = b.zext(x.clone(), Type::i8());
+        b.ret(Some(bad));
+        let err = verify_function(&b.build()).unwrap_err();
+        assert!(err.message.contains("invalid 'zext'"));
+
+        let mut b = FunctionBuilder::new("g", Type::i32());
+        let x = b.add_param("x", Type::i32());
+        let c = b.icmp(ICmpPred::Eq, x.clone(), Value::int(32, 0));
+        // arms with mismatched types
+        let sel = b.push(
+            InstKind::Select { cond: c, on_true: x.clone(), on_false: Value::int(8, 0) },
+            Type::i32(),
+        );
+        b.ret(Some(sel));
+        let err = verify_function(&b.build()).unwrap_err();
+        assert!(err.message.contains("mismatched types"));
+    }
+
+    #[test]
+    fn rejects_return_type_mismatch() {
+        let mut b = FunctionBuilder::new("f", Type::i64());
+        let x = b.add_param("x", Type::i32());
+        b.ret(Some(x));
+        let err = verify_function(&b.build()).unwrap_err();
+        assert!(err.message.contains("does not match function return type"));
+    }
+
+    #[test]
+    fn rejects_use_of_unplaced_instruction() {
+        let mut b = FunctionBuilder::new("f", Type::i32());
+        let x = b.add_param("x", Type::i32());
+        let v = b.add(x.clone(), Value::int(32, 1));
+        b.ret(Some(v.clone()));
+        let mut f = b.build();
+        // Erase the add but keep the ret using it.
+        if let Value::Inst(id) = v {
+            f.erase_inst(id);
+        }
+        let err = verify_function(&f).unwrap_err();
+        assert!(err.message.contains("not placed in any block"));
+    }
+
+    #[test]
+    fn rejects_terminator_in_middle() {
+        let mut b = FunctionBuilder::new("f", Type::i32());
+        let x = b.add_param("x", Type::i32());
+        b.ret(Some(x.clone()));
+        b.ret(Some(x));
+        let err = verify_function(&b.build()).unwrap_err();
+        assert!(err.message.contains("not the last instruction"));
+    }
+
+    #[test]
+    fn rejects_intrinsic_misuse() {
+        let mut b = FunctionBuilder::new("f", Type::double());
+        let x = b.add_param("x", Type::double());
+        // umin on doubles
+        let bad = b.push(
+            InstKind::Call {
+                intrinsic: Intrinsic::Umin,
+                args: vec![x.clone(), x.clone()],
+                fmf: Default::default(),
+            },
+            Type::double(),
+        );
+        b.ret(Some(bad));
+        let err = verify_function(&b.build()).unwrap_err();
+        assert!(err.message.contains("requires integer operands"));
+    }
+
+    #[test]
+    fn verify_module_reports_function_name() {
+        let mut m = Module::new("m");
+        let mut b = FunctionBuilder::new("broken", Type::i32());
+        let x = b.add_param("x", Type::i32());
+        let _ = b.add(x, Value::int(32, 1));
+        m.add_function(b.build());
+        let err = verify_module(&m).unwrap_err();
+        assert_eq!(err.function, "broken");
+    }
+
+    #[test]
+    fn bad_phi_and_branch_targets() {
+        let mut b = FunctionBuilder::new("f", Type::i32());
+        let x = b.add_param("x", Type::i32());
+        let phi = b.push(
+            InstKind::Phi { incoming: vec![(x.clone(), crate::instruction::BlockId(9))] },
+            Type::i32(),
+        );
+        b.ret(Some(phi));
+        let err = verify_function(&b.build()).unwrap_err();
+        assert!(err.message.contains("non-existent block"));
+    }
+
+}

@@ -1,0 +1,239 @@
+//! Hallucination models: the ways a simulated LLM's candidate can be wrong.
+//!
+//! The paper's feedback loop exists because LLM output is unreliable in two
+//! distinct ways: it may be *syntactically* invalid (caught by `opt`) or
+//! *semantically* wrong (caught by Alive2). Both are reproduced here as
+//! deterministic corruptions of an otherwise-correct candidate, chosen by the
+//! simulated model's seeded RNG.
+
+use lpo_ir::constant::Constant;
+use lpo_ir::function::Function;
+use lpo_ir::instruction::{BinOp, ICmpPred, InstKind, Value};
+use lpo_ir::printer::print_function;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// The kinds of syntax mistakes the simulated models make.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SyntaxCorruption {
+    /// Spell an intrinsic as a bare opcode, e.g. `%r = smax <4 x i32> %a, %b`
+    /// (the exact mistake of Figure 3b in the paper).
+    BareIntrinsicOpcode,
+    /// Misspell an opcode (`addd`, `mull`, …).
+    MisspelledOpcode,
+    /// Drop the type from one operand list.
+    MissingType,
+}
+
+/// Applies a syntax corruption to candidate text, returning the broken text.
+/// If the requested corruption has nothing to attach to (e.g. no intrinsic
+/// call for [`SyntaxCorruption::BareIntrinsicOpcode`]), it falls back to
+/// misspelling an opcode so the result is always invalid.
+pub fn corrupt_syntax(text: &str, kind: SyntaxCorruption, rng: &mut StdRng) -> String {
+    match kind {
+        SyntaxCorruption::BareIntrinsicOpcode => {
+            if let Some(broken) = bare_intrinsic(text) {
+                return broken;
+            }
+            corrupt_syntax(text, SyntaxCorruption::MisspelledOpcode, rng)
+        }
+        SyntaxCorruption::MisspelledOpcode => {
+            for opcode in ["add ", "mul ", "select ", "icmp ", "trunc ", "call ", "load ", "xor "] {
+                if text.contains(opcode) {
+                    let broken = opcode.trim_end().to_string() + "q ";
+                    return text.replacen(opcode, &broken, 1);
+                }
+            }
+            text.replacen("ret ", "retq ", 1)
+        }
+        SyntaxCorruption::MissingType => {
+            for ty in [" i32 ", " i64 ", " i8 ", " i16 ", " double ", " float "] {
+                if let Some(pos) = text.find(&format!("={}", "")) {
+                    let _ = pos;
+                }
+                // Remove the first occurrence of the type after an '=' sign.
+                if let Some(eq) = text.find("= ") {
+                    let tail = &text[eq..];
+                    if tail.contains(ty) {
+                        let mut out = String::with_capacity(text.len());
+                        out.push_str(&text[..eq]);
+                        out.push_str(&tail.replacen(ty, " ", 1));
+                        return out;
+                    }
+                }
+            }
+            corrupt_syntax(text, SyntaxCorruption::MisspelledOpcode, rng)
+        }
+    }
+}
+
+/// Rewrites the first intrinsic call into a bare (invalid) opcode, mirroring
+/// the Gemini2.0T mistake shown in Figure 3b of the paper.
+fn bare_intrinsic(text: &str) -> Option<String> {
+    let mut out = Vec::new();
+    let mut done = false;
+    for line in text.lines() {
+        if !done {
+            if let Some(call_pos) = line.find("call ") {
+                if let Some(at) = line.find("@llvm.") {
+                    // `%r = call <ty> @llvm.smax.v4i32(<args>)` → `%r = smax <args>`
+                    let short = line[at + 6..]
+                        .split(['.', '('])
+                        .next()
+                        .unwrap_or("smax")
+                        .to_string();
+                    let args = line[line.find('(').unwrap_or(line.len() - 1) + 1..]
+                        .trim_end()
+                        .trim_end_matches(')');
+                    let prefix = &line[..call_pos];
+                    out.push(format!("{prefix}{short} {args}"));
+                    done = true;
+                    continue;
+                }
+            }
+        }
+        out.push(line.to_string());
+    }
+    if done {
+        Some(out.join("\n"))
+    } else {
+        None
+    }
+}
+
+/// Applies a semantic corruption: the function still parses but computes the
+/// wrong thing (or is more poisonous), so the translation validator rejects it
+/// with a counterexample. Returns `None` if no corruption site was found.
+pub fn corrupt_semantics(func: &Function, rng: &mut StdRng) -> Option<String> {
+    let mut broken = func.clone();
+    let ids: Vec<_> = broken.iter_inst_ids().collect();
+    // Try a few times to find a corruptible instruction.
+    for _ in 0..8 {
+        if ids.is_empty() {
+            return None;
+        }
+        let id = ids[rng.gen_range(0..ids.len())];
+        let inst = broken.inst_mut(id);
+        match &mut inst.kind {
+            InstKind::Binary { op, rhs, flags, .. } => {
+                match rng.gen_range(0..3) {
+                    0 => {
+                        // Perturb a constant operand.
+                        if let Value::Const(Constant::Int(v)) = rhs {
+                            *v = v.add(&lpo_ir::apint::ApInt::one(v.width()));
+                            return Some(print_function(&broken));
+                        }
+                    }
+                    1 => {
+                        // Claim a wrap flag that is not justified.
+                        if matches!(op, BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Shl)
+                            && !flags.nuw
+                        {
+                            flags.nuw = true;
+                            return Some(print_function(&broken));
+                        }
+                    }
+                    _ => {
+                        // Change the opcode to a near miss.
+                        let new_op = match *op {
+                            BinOp::Add => BinOp::Sub,
+                            BinOp::Sub => BinOp::Add,
+                            BinOp::And => BinOp::Or,
+                            BinOp::Or => BinOp::Xor,
+                            BinOp::Shl => BinOp::LShr,
+                            other => other,
+                        };
+                        if new_op != *op {
+                            *op = new_op;
+                            return Some(print_function(&broken));
+                        }
+                    }
+                }
+            }
+            InstKind::ICmp { pred, .. } => {
+                *pred = if *pred == ICmpPred::Slt { ICmpPred::Sle } else { pred.inverted() };
+                return Some(print_function(&broken));
+            }
+            InstKind::Select { on_true, on_false, .. } => {
+                std::mem::swap(on_true, on_false);
+                return Some(print_function(&broken));
+            }
+            InstKind::Call { args, .. } if args.len() >= 2 => {
+                if let Value::Const(Constant::Int(v)) = &mut args[1] {
+                    if v.width() > 1 {
+                        *v = v.sub(&lpo_ir::apint::ApInt::one(v.width()));
+                        return Some(print_function(&broken));
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lpo_ir::parser::parse_function;
+    use lpo_tv::refine::verify_refinement;
+    use rand::SeedableRng;
+
+    const CANDIDATE: &str = "define <4 x i8> @src(i64 %a0, ptr %a1) {\n\
+        %0 = getelementptr inbounds nuw i32, ptr %a1, i64 %a0\n\
+        %wide.load = load <4 x i32>, ptr %0, align 4\n\
+        %smax = call <4 x i32> @llvm.smax.v4i32(<4 x i32> %wide.load, <4 x i32> zeroinitializer)\n\
+        %smin = call <4 x i32> @llvm.umin.v4i32(<4 x i32> %smax, <4 x i32> splat (i32 255))\n\
+        %r = trunc nuw <4 x i32> %smin to <4 x i8>\n\
+        ret <4 x i8> %r\n}";
+
+    #[test]
+    fn bare_intrinsic_reproduces_figure_3b() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let broken = corrupt_syntax(CANDIDATE, SyntaxCorruption::BareIntrinsicOpcode, &mut rng);
+        assert!(broken.contains("%smax = smax <4 x i32>"));
+        let err = parse_function(&broken).unwrap_err();
+        assert_eq!(err.message, "expected instruction opcode");
+    }
+
+    #[test]
+    fn other_syntax_corruptions_fail_to_parse() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for kind in [SyntaxCorruption::MisspelledOpcode, SyntaxCorruption::MissingType] {
+            let broken = corrupt_syntax(CANDIDATE, kind, &mut rng);
+            assert!(parse_function(&broken).is_err(), "{kind:?} should not parse:\n{broken}");
+        }
+    }
+
+    #[test]
+    fn syntax_corruption_falls_back_when_no_intrinsic_exists() {
+        let simple = "define i32 @f(i32 %x) {\n %r = add i32 %x, 1\n ret i32 %r\n}";
+        let mut rng = StdRng::seed_from_u64(3);
+        let broken = corrupt_syntax(simple, SyntaxCorruption::BareIntrinsicOpcode, &mut rng);
+        assert!(parse_function(&broken).is_err());
+    }
+
+    #[test]
+    fn semantic_corruption_parses_but_fails_verification() {
+        let src = parse_function(
+            "define i8 @src(i32 %0) {\n\
+             %2 = call i32 @llvm.smax.i32(i32 %0, i32 0)\n\
+             %3 = call i32 @llvm.umin.i32(i32 %2, i32 255)\n\
+             %4 = trunc nuw i32 %3 to i8\n\
+             ret i8 %4\n}",
+        )
+        .unwrap();
+        let mut seen_rejection = false;
+        for seed in 0..12 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            if let Some(text) = corrupt_semantics(&src, &mut rng) {
+                let candidate = parse_function(&text).expect("semantic corruption still parses");
+                if !verify_refinement(&src, &candidate).is_correct() {
+                    seen_rejection = true;
+                    break;
+                }
+            }
+        }
+        assert!(seen_rejection, "at least one semantic corruption must be rejected by the validator");
+    }
+}

@@ -1,0 +1,43 @@
+//! # lpo-llm
+//!
+//! The "LLM-based optimizer" component of the LPO pipeline, reproduced without
+//! network access: a [`model::LanguageModel`] trait the pipeline talks to, the
+//! capability [`profiles`] of the seven models the paper evaluates (Table 1),
+//! a [`strategies`] library encoding the optimization knowledge those models
+//! exhibit, the [`corruption`] models for the hallucinations the verification
+//! loop exists to catch, and the [`simulated::SimulatedModel`] that ties them
+//! together.
+//!
+//! ```
+//! use lpo_llm::prelude::*;
+//!
+//! let mut model = SimulatedModel::new(gemini2_0t(), 42);
+//! let prompt = Prompt::initial(
+//!     "define i8 @src(i32 %0) {\n\
+//!      %2 = icmp slt i32 %0, 0\n\
+//!      %3 = call i32 @llvm.umin.i32(i32 %0, i32 255)\n\
+//!      %4 = trunc nuw i32 %3 to i8\n\
+//!      %5 = select i1 %2, i8 0, i8 %4\n\
+//!      ret i8 %5\n}",
+//! );
+//! let completion = model.propose(&prompt);
+//! assert!(!completion.text.is_empty());
+//! ```
+
+pub mod corruption;
+pub mod model;
+pub mod profiles;
+pub mod simulated;
+pub mod strategies;
+
+/// Commonly used items, re-exported for convenience.
+pub mod prelude {
+    pub use crate::corruption::{corrupt_semantics, corrupt_syntax, SyntaxCorruption};
+    pub use crate::model::{Completion, LanguageModel, Prompt, TokenUsage, SYSTEM_PROMPT};
+    pub use crate::profiles::{
+        all_models, by_name, gemini2_0, gemini2_0t, gemini2_5, gemma3, gpt4_1, llama3_3, o4_mini,
+        rq1_models, Deployment, ModelProfile,
+    };
+    pub use crate::simulated::SimulatedModel;
+    pub use crate::strategies::{applicable, apply_strategy, first_applicable, library, Strategy};
+}

@@ -1,0 +1,130 @@
+//! The language-model interface the LPO pipeline talks to.
+//!
+//! The pipeline is model-agnostic: it builds a [`Prompt`] (system instructions
+//! + the wrapped instruction sequence + optional feedback from the verifier)
+//! and receives a [`Completion`] (candidate IR text plus token/latency
+//! accounting). The paper drives commercial and open-source LLMs through this
+//! interface; this reproduction drives [`SimulatedModel`](crate::simulated::SimulatedModel)s.
+
+use std::time::Duration;
+
+/// The system prompt used by LPO (paraphrasing Figure 2 of the paper).
+pub const SYSTEM_PROMPT: &str = "If the provided instruction sequence is suboptimal, output the \
+optimal and correct implementation. If the result is incorrect, revise it based on the provided \
+feedback.";
+
+/// One request to the model.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Prompt {
+    /// The system instructions.
+    pub system: String,
+    /// The wrapped instruction sequence, printed as textual IR.
+    pub source_text: String,
+    /// Feedback from a previous failed attempt (an `opt` error message or an
+    /// Alive2-style counterexample), if any.
+    pub feedback: Option<String>,
+    /// 0-based attempt number for this instruction sequence.
+    pub attempt: usize,
+}
+
+impl Prompt {
+    /// Builds the first-attempt prompt for an instruction sequence.
+    pub fn initial(source_text: impl Into<String>) -> Self {
+        Self {
+            system: SYSTEM_PROMPT.to_string(),
+            source_text: source_text.into(),
+            feedback: None,
+            attempt: 0,
+        }
+    }
+
+    /// Builds a follow-up prompt carrying verifier feedback.
+    pub fn with_feedback(&self, feedback: impl Into<String>) -> Self {
+        Self {
+            system: self.system.clone(),
+            source_text: self.source_text.clone(),
+            feedback: Some(feedback.into()),
+            attempt: self.attempt + 1,
+        }
+    }
+
+    /// A rough token count for the full prompt (4 characters ≈ 1 token, the
+    /// usual budgeting rule of thumb).
+    pub fn input_tokens(&self) -> usize {
+        let chars = self.system.len()
+            + self.source_text.len()
+            + self.feedback.as_deref().map(str::len).unwrap_or(0);
+        chars.div_ceil(4)
+    }
+}
+
+/// Token usage of one completion.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TokenUsage {
+    /// Prompt tokens consumed.
+    pub input: usize,
+    /// Visible output tokens produced.
+    pub output: usize,
+    /// Hidden reasoning tokens produced (reasoning models only).
+    pub reasoning: usize,
+}
+
+impl TokenUsage {
+    /// Total billable tokens.
+    pub fn total(&self) -> usize {
+        self.input + self.output + self.reasoning
+    }
+}
+
+/// One model response.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Completion {
+    /// The candidate function, as textual IR (possibly malformed — that is the
+    /// point of the verification loop).
+    pub text: String,
+    /// Token accounting for this call.
+    pub usage: TokenUsage,
+    /// Modelled wall-clock latency of the call.
+    pub latency: Duration,
+    /// The monetary cost of the call in USD (zero for locally deployed models).
+    pub cost_usd: f64,
+}
+
+/// Anything that can act as LPO's optimizer model.
+pub trait LanguageModel {
+    /// A short display name, e.g. `Gemini2.0T`.
+    fn name(&self) -> &str;
+
+    /// Proposes a candidate for the prompt.
+    fn propose(&mut self, prompt: &Prompt) -> Completion;
+
+    /// Resets per-experiment state (e.g. reseeds the simulation for a new round).
+    fn reset(&mut self, round: u64) {
+        let _ = round;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prompt_construction_and_feedback() {
+        let p = Prompt::initial("define i8 @src(i8 %x) { ret i8 %x }");
+        assert_eq!(p.attempt, 0);
+        assert!(p.feedback.is_none());
+        assert!(p.system.contains("suboptimal"));
+        let q = p.with_feedback("error: expected instruction opcode");
+        assert_eq!(q.attempt, 1);
+        assert!(q.feedback.as_deref().unwrap().contains("opcode"));
+        assert!(q.input_tokens() > p.input_tokens());
+        assert!(p.input_tokens() > 10);
+    }
+
+    #[test]
+    fn token_usage_totals() {
+        let u = TokenUsage { input: 100, output: 50, reasoning: 200 };
+        assert_eq!(u.total(), 350);
+        assert_eq!(TokenUsage::default().total(), 0);
+    }
+}

@@ -1,0 +1,272 @@
+//! Capability profiles of the models the paper evaluates (Table 1).
+//!
+//! A profile captures everything the reproduction needs to *simulate* a model:
+//! how good it is at spotting rewrites (`skill`), how often it hallucinates
+//! syntax or semantics, how well it exploits verifier feedback, how fast it
+//! decodes, and what it costs. The values are calibrated so that the RQ1/RQ3
+//! experiments reproduce the ordering and rough magnitudes reported in the
+//! paper — see `EXPERIMENTS.md` for the calibration notes.
+
+/// How a model is deployed, which determines latency/cost accounting (RQ3).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Deployment {
+    /// Locally served open-source model (no monetary cost, slower decode).
+    Local,
+    /// Commercial API model (per-token cost, faster decode).
+    Api,
+}
+
+/// The capability/latency/cost profile of one model.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ModelProfile {
+    /// Display name used in the tables, e.g. `Gemini2.0T`.
+    pub name: &'static str,
+    /// The full version string (Table 1).
+    pub version: &'static str,
+    /// Whether this is a reasoning model.
+    pub reasoning: bool,
+    /// Knowledge cut-off date (Table 1).
+    pub cutoff: &'static str,
+    /// How the model is served.
+    pub deployment: Deployment,
+    /// Rewrite-finding ability in [0, 1]; compared against strategy difficulty.
+    pub skill: f64,
+    /// Probability that a proposed candidate contains a syntax error.
+    pub syntax_error_rate: f64,
+    /// Probability that a proposed candidate is a semantically wrong rewrite.
+    pub wrong_rewrite_rate: f64,
+    /// Probability that, given verifier feedback, the next attempt fixes the mistake.
+    pub feedback_fix_rate: f64,
+    /// Extra skill granted on a retry with feedback (reasoning models think harder).
+    pub feedback_skill_bonus: f64,
+    /// Decode speed in output tokens per second.
+    pub decode_tokens_per_s: f64,
+    /// Prefill speed in input tokens per second.
+    pub prefill_tokens_per_s: f64,
+    /// Reasoning tokens emitted per call (0 for non-reasoning models).
+    pub reasoning_tokens: usize,
+    /// USD per million input tokens (0 for local deployments).
+    pub usd_per_m_input: f64,
+    /// USD per million output tokens (0 for local deployments).
+    pub usd_per_m_output: f64,
+}
+
+impl ModelProfile {
+    /// The per-call USD cost for the given token counts.
+    pub fn cost_usd(&self, input: usize, output_plus_reasoning: usize) -> f64 {
+        if self.deployment == Deployment::Local {
+            return 0.0;
+        }
+        input as f64 * self.usd_per_m_input / 1e6
+            + output_plus_reasoning as f64 * self.usd_per_m_output / 1e6
+    }
+
+    /// The modelled call latency in seconds for the given token counts.
+    pub fn latency_seconds(&self, input: usize, output_plus_reasoning: usize) -> f64 {
+        0.25 + input as f64 / self.prefill_tokens_per_s
+            + output_plus_reasoning as f64 / self.decode_tokens_per_s
+    }
+}
+
+/// `gemma3:27b` — the smallest, weakest model in the study.
+pub fn gemma3() -> ModelProfile {
+    ModelProfile {
+        name: "Gemma3",
+        version: "gemma3:27b",
+        reasoning: false,
+        cutoff: "08/2024",
+        deployment: Deployment::Local,
+        skill: 0.22,
+        syntax_error_rate: 0.35,
+        wrong_rewrite_rate: 0.40,
+        feedback_fix_rate: 0.15,
+        feedback_skill_bonus: 0.02,
+        decode_tokens_per_s: 35.0,
+        prefill_tokens_per_s: 900.0,
+        reasoning_tokens: 0,
+        usd_per_m_input: 0.0,
+        usd_per_m_output: 0.0,
+    }
+}
+
+/// `llama3.3:70b` — the larger locally deployed open-source model.
+pub fn llama3_3() -> ModelProfile {
+    ModelProfile {
+        name: "Llama3.3",
+        version: "llama3.3:70b",
+        reasoning: false,
+        cutoff: "12/2023",
+        deployment: Deployment::Local,
+        skill: 0.48,
+        syntax_error_rate: 0.22,
+        wrong_rewrite_rate: 0.28,
+        feedback_fix_rate: 0.35,
+        feedback_skill_bonus: 0.04,
+        decode_tokens_per_s: 14.0,
+        prefill_tokens_per_s: 700.0,
+        reasoning_tokens: 0,
+        usd_per_m_input: 0.0,
+        usd_per_m_output: 0.0,
+    }
+}
+
+/// `gemini-2.0-flash` — commercial base model.
+pub fn gemini2_0() -> ModelProfile {
+    ModelProfile {
+        name: "Gemini2.0",
+        version: "gemini-2.0-flash",
+        reasoning: false,
+        cutoff: "08/2024",
+        deployment: Deployment::Api,
+        skill: 0.55,
+        syntax_error_rate: 0.15,
+        wrong_rewrite_rate: 0.25,
+        feedback_fix_rate: 0.45,
+        feedback_skill_bonus: 0.05,
+        decode_tokens_per_s: 150.0,
+        prefill_tokens_per_s: 4000.0,
+        reasoning_tokens: 0,
+        usd_per_m_input: 0.10,
+        usd_per_m_output: 0.40,
+    }
+}
+
+/// `gemini-2.0-flash-thinking-exp-01-21` — the strongest reasoning model in RQ1.
+pub fn gemini2_0t() -> ModelProfile {
+    ModelProfile {
+        name: "Gemini2.0T",
+        version: "gemini-2.0-flash-thinking-exp-01-21",
+        reasoning: true,
+        cutoff: "08/2024",
+        deployment: Deployment::Api,
+        skill: 0.80,
+        syntax_error_rate: 0.10,
+        wrong_rewrite_rate: 0.15,
+        feedback_fix_rate: 0.80,
+        feedback_skill_bonus: 0.12,
+        decode_tokens_per_s: 120.0,
+        prefill_tokens_per_s: 4000.0,
+        reasoning_tokens: 1024,
+        usd_per_m_input: 0.10,
+        usd_per_m_output: 0.40,
+    }
+}
+
+/// `gpt-4.1-2025-04-14` — commercial base model.
+pub fn gpt4_1() -> ModelProfile {
+    ModelProfile {
+        name: "GPT-4.1",
+        version: "gpt-4.1-2025-04-14",
+        reasoning: false,
+        cutoff: "06/2024",
+        deployment: Deployment::Api,
+        skill: 0.58,
+        syntax_error_rate: 0.12,
+        wrong_rewrite_rate: 0.35,
+        feedback_fix_rate: 0.60,
+        feedback_skill_bonus: 0.06,
+        decode_tokens_per_s: 90.0,
+        prefill_tokens_per_s: 3000.0,
+        reasoning_tokens: 0,
+        usd_per_m_input: 2.0,
+        usd_per_m_output: 8.0,
+    }
+}
+
+/// `o4-mini-2025-04-16` — commercial reasoning model.
+pub fn o4_mini() -> ModelProfile {
+    ModelProfile {
+        name: "o4-mini",
+        version: "o4-mini-2025-04-16",
+        reasoning: true,
+        cutoff: "06/2024",
+        deployment: Deployment::Api,
+        skill: 0.76,
+        syntax_error_rate: 0.08,
+        wrong_rewrite_rate: 0.18,
+        feedback_fix_rate: 0.75,
+        feedback_skill_bonus: 0.10,
+        decode_tokens_per_s: 110.0,
+        prefill_tokens_per_s: 3000.0,
+        reasoning_tokens: 900,
+        usd_per_m_input: 1.1,
+        usd_per_m_output: 4.4,
+    }
+}
+
+/// `gemini-2.5-flash-lite` — the high-throughput model used in RQ3
+/// (excluded from RQ1 to avoid data leakage).
+pub fn gemini2_5() -> ModelProfile {
+    ModelProfile {
+        name: "Gemini2.5",
+        version: "gemini-2.5-flash-lite",
+        reasoning: true,
+        cutoff: "01/2025",
+        deployment: Deployment::Api,
+        skill: 0.66,
+        syntax_error_rate: 0.10,
+        wrong_rewrite_rate: 0.20,
+        feedback_fix_rate: 0.65,
+        feedback_skill_bonus: 0.08,
+        decode_tokens_per_s: 220.0,
+        prefill_tokens_per_s: 6000.0,
+        reasoning_tokens: 256,
+        usd_per_m_input: 0.30,
+        usd_per_m_output: 2.40,
+    }
+}
+
+/// The six models used in RQ1, in the order Table 2 lists them.
+pub fn rq1_models() -> Vec<ModelProfile> {
+    vec![gemma3(), llama3_3(), gemini2_0(), gemini2_0t(), gpt4_1(), o4_mini()]
+}
+
+/// All seven models of Table 1.
+pub fn all_models() -> Vec<ModelProfile> {
+    let mut m = rq1_models();
+    m.push(gemini2_5());
+    m
+}
+
+/// Looks a profile up by display name.
+pub fn by_name(name: &str) -> Option<ModelProfile> {
+    all_models().into_iter().find(|m| m.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_1_inventory() {
+        let models = all_models();
+        assert_eq!(models.len(), 7);
+        assert_eq!(rq1_models().len(), 6);
+        assert!(rq1_models().iter().all(|m| m.name != "Gemini2.5"));
+        assert_eq!(models.iter().filter(|m| m.reasoning).count(), 3);
+        assert!(by_name("Gemini2.0T").unwrap().reasoning);
+        assert!(by_name("nonexistent").is_none());
+    }
+
+    #[test]
+    fn capability_ordering_matches_the_paper() {
+        // Reasoning models are stronger than base models; Gemma3 is weakest.
+        assert!(gemini2_0t().skill > gpt4_1().skill);
+        assert!(o4_mini().skill > gemini2_0().skill);
+        assert!(gemma3().skill < llama3_3().skill);
+        // Reasoning models exploit feedback better.
+        assert!(gemini2_0t().feedback_fix_rate > llama3_3().feedback_fix_rate);
+    }
+
+    #[test]
+    fn cost_and_latency_models() {
+        // Local models are free and slow; API models cost money and are faster.
+        assert_eq!(llama3_3().cost_usd(1000, 400), 0.0);
+        let api_cost = gemini2_5().cost_usd(900, 350);
+        assert!(api_cost > 0.0005 && api_cost < 0.002, "cost {api_cost}");
+        assert!(llama3_3().latency_seconds(800, 300) > gemini2_5().latency_seconds(800, 300));
+        // A Llama3.3 call with a few hundred output tokens takes tens of seconds.
+        let local = llama3_3().latency_seconds(800, 320);
+        assert!(local > 15.0 && local < 40.0, "latency {local}");
+    }
+}

@@ -1,0 +1,32 @@
+//! # lpo-mca
+//!
+//! A static, table-driven cost model in the spirit of `llvm-mca`: it estimates
+//! how many cycles a straight-line instruction sequence takes on a concrete
+//! (synthetic) micro-architecture. The LPO interestingness check compares the
+//! original and candidate functions with these estimates (plus instruction
+//! count), exactly as the paper does with `llvm-mca` on the `btver2` CPU.
+//!
+//! Two pieces make up the estimate:
+//!
+//! * **throughput**: total micro-ops divided by the issue width;
+//! * **latency**: the critical path through the data-flow graph using
+//!   per-opcode latencies.
+//!
+//! The reported `total_cycles` is the maximum of the two, which mirrors how a
+//! simple in-order bound behaves and is monotone in both "fewer instructions"
+//! and "shorter dependence chains".
+//!
+//! ```
+//! use lpo_mca::{CostModel, Target};
+//! use lpo_ir::parser::parse_function;
+//!
+//! let f = parse_function("define i32 @f(i32 %x) {\n %a = mul i32 %x, 3\n %b = add i32 %a, 1\n ret i32 %b\n}")?;
+//! let cost = CostModel::new(Target::Btver2Like).estimate(&f);
+//! assert_eq!(cost.instructions, 2);
+//! assert!(cost.total_cycles >= 4.0); // mul(3) + add(1) on the critical path
+//! # Ok::<(), lpo_ir::parser::ParseError>(())
+//! ```
+
+pub mod model;
+
+pub use model::{CostEstimate, CostModel, Target};

@@ -1,0 +1,286 @@
+//! The cost tables and estimator.
+
+use lpo_ir::function::Function;
+use lpo_ir::instruction::{BinOp, CastOp, FBinOp, InstId, InstKind, Intrinsic, Value};
+use std::collections::HashMap;
+
+/// The micro-architectures the cost model knows about.
+///
+/// `Btver2Like` mirrors the AMD Jaguar-class core the paper uses with
+/// `llvm-mca` (2-wide issue, slow division); `GenericModern` is a wider core
+/// used by the ablation benches to show the interestingness verdicts are not
+/// an artefact of one latency table.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default)]
+pub enum Target {
+    /// A 2-wide, in-order-ish small core (AMD btver2 flavour).
+    #[default]
+    Btver2Like,
+    /// A 4-wide big core with faster multiplication and division.
+    GenericModern,
+}
+
+impl Target {
+    /// Instructions issued per cycle.
+    pub fn issue_width(self) -> f64 {
+        match self {
+            Target::Btver2Like => 2.0,
+            Target::GenericModern => 4.0,
+        }
+    }
+
+    fn latency(self, kind: &InstKind) -> f64 {
+        let slow = self == Target::Btver2Like;
+        match kind {
+            InstKind::Binary { op, .. } => match op {
+                BinOp::Add | BinOp::Sub | BinOp::And | BinOp::Or | BinOp::Xor => 1.0,
+                BinOp::Shl | BinOp::LShr | BinOp::AShr => 1.0,
+                BinOp::Mul => {
+                    if slow {
+                        3.0
+                    } else {
+                        3.0
+                    }
+                }
+                BinOp::UDiv | BinOp::SDiv | BinOp::URem | BinOp::SRem => {
+                    if slow {
+                        25.0
+                    } else {
+                        14.0
+                    }
+                }
+            },
+            InstKind::FBinary { op, .. } => match op {
+                FBinOp::FAdd | FBinOp::FSub => 3.0,
+                FBinOp::FMul => if slow { 4.0 } else { 3.0 },
+                FBinOp::FDiv | FBinOp::FRem => if slow { 19.0 } else { 11.0 },
+            },
+            InstKind::ICmp { .. } => 1.0,
+            InstKind::FCmp { .. } => 2.0,
+            InstKind::Select { .. } => 1.0,
+            InstKind::Cast { op, .. } => match op {
+                CastOp::Trunc | CastOp::ZExt | CastOp::SExt | CastOp::Bitcast => 1.0,
+                CastOp::PtrToInt | CastOp::IntToPtr => 1.0,
+                _ => 3.0, // int<->fp conversions
+            },
+            InstKind::Call { intrinsic, .. } => match intrinsic {
+                Intrinsic::Umin | Intrinsic::Umax | Intrinsic::Smin | Intrinsic::Smax => 1.0,
+                Intrinsic::Abs | Intrinsic::Ctpop => if slow { 2.0 } else { 1.0 },
+                Intrinsic::Ctlz | Intrinsic::Cttz | Intrinsic::Bswap => 1.0,
+                Intrinsic::Bitreverse => if slow { 6.0 } else { 3.0 },
+                Intrinsic::Fshl | Intrinsic::Fshr => if slow { 3.0 } else { 1.0 },
+                Intrinsic::UaddSat | Intrinsic::SaddSat | Intrinsic::UsubSat | Intrinsic::SsubSat => 2.0,
+                Intrinsic::Fabs | Intrinsic::Copysign => 1.0,
+                Intrinsic::Minnum | Intrinsic::Maxnum => 2.0,
+                Intrinsic::Sqrt => if slow { 21.0 } else { 12.0 },
+                Intrinsic::Fma => if slow { 5.0 } else { 4.0 },
+            },
+            InstKind::Load { .. } => if slow { 4.0 } else { 3.0 },
+            InstKind::Store { .. } => 1.0,
+            InstKind::Gep { .. } => 1.0,
+            InstKind::Alloca { .. } => 1.0,
+            InstKind::ExtractElement { .. } | InstKind::InsertElement { .. } => if slow { 2.0 } else { 1.0 },
+            InstKind::ShuffleVector { .. } => if slow { 2.0 } else { 1.0 },
+            InstKind::Phi { .. } | InstKind::Freeze { .. } => 0.0,
+            InstKind::Ret { .. } | InstKind::Br { .. } | InstKind::Unreachable => 0.0,
+        }
+    }
+
+    fn micro_ops(self, kind: &InstKind, is_vector: bool) -> f64 {
+        let base: f64 = match kind {
+            InstKind::Binary { op, .. } if op.is_division() => 4.0,
+            InstKind::Call { intrinsic, .. } => match intrinsic {
+                Intrinsic::Sqrt | Intrinsic::Fma => 2.0,
+                Intrinsic::UaddSat | Intrinsic::SaddSat | Intrinsic::UsubSat | Intrinsic::SsubSat => 2.0,
+                _ => 1.0,
+            },
+            InstKind::Phi { .. } | InstKind::Ret { .. } | InstKind::Br { .. } | InstKind::Unreachable => 0.0,
+            InstKind::Freeze { .. } => 0.0,
+            _ => 1.0,
+        };
+        // On the small core, 128-bit vector operations crack into two µops.
+        if is_vector && self == Target::Btver2Like {
+            base * 2.0
+        } else {
+            base
+        }
+    }
+}
+
+/// The estimate for one function.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CostEstimate {
+    /// Number of non-terminator instructions.
+    pub instructions: usize,
+    /// Total micro-ops.
+    pub micro_ops: f64,
+    /// Length (in cycles) of the longest data-dependence chain.
+    pub critical_path: f64,
+    /// The reported cycle estimate: `max(micro_ops / issue_width, critical_path)`.
+    pub total_cycles: f64,
+}
+
+impl CostEstimate {
+    /// Returns `true` if `self` is strictly cheaper than `other` in either
+    /// metric the interestingness check uses (instruction count or cycles).
+    pub fn is_better_than(&self, other: &CostEstimate) -> bool {
+        self.instructions < other.instructions || self.total_cycles < other.total_cycles
+    }
+
+    /// Returns `true` if `self` is no worse than `other` in both metrics.
+    pub fn is_no_worse_than(&self, other: &CostEstimate) -> bool {
+        self.instructions <= other.instructions && self.total_cycles <= other.total_cycles
+    }
+}
+
+/// The static performance estimator.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct CostModel {
+    target: Target,
+}
+
+impl CostModel {
+    /// Creates a cost model for the given target.
+    pub fn new(target: Target) -> Self {
+        Self { target }
+    }
+
+    /// The target this model describes.
+    pub fn target(&self) -> Target {
+        self.target
+    }
+
+    /// Estimates the cost of a function (all blocks, straight-line assumption).
+    pub fn estimate(&self, func: &Function) -> CostEstimate {
+        let mut micro_ops = 0.0;
+        let mut finish_time: HashMap<InstId, f64> = HashMap::new();
+        let mut critical_path: f64 = 0.0;
+
+        for (id, inst) in func.iter_insts() {
+            let is_vector = inst.ty.is_vector()
+                || inst
+                    .kind
+                    .operands()
+                    .iter()
+                    .any(|op| func.value_type(op).is_vector());
+            micro_ops += self.target.micro_ops(&inst.kind, is_vector);
+            let ready: f64 = inst
+                .kind
+                .operands()
+                .iter()
+                .filter_map(|op| match op {
+                    Value::Inst(dep) => finish_time.get(dep).copied(),
+                    _ => None,
+                })
+                .fold(0.0, f64::max);
+            let done = ready + self.target.latency(&inst.kind);
+            finish_time.insert(id, done);
+            critical_path = critical_path.max(done);
+        }
+
+        let throughput_bound = micro_ops / self.target.issue_width();
+        CostEstimate {
+            instructions: func.instruction_count(),
+            micro_ops,
+            critical_path,
+            total_cycles: throughput_bound.max(critical_path),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lpo_ir::parser::parse_function;
+
+    fn cost(text: &str) -> CostEstimate {
+        CostModel::new(Target::Btver2Like).estimate(&parse_function(text).unwrap())
+    }
+
+    #[test]
+    fn counts_instructions_and_cycles() {
+        let c = cost("define i32 @f(i32 %x) {\n %a = mul i32 %x, 3\n %b = add i32 %a, 1\n ret i32 %b\n}");
+        assert_eq!(c.instructions, 2);
+        assert_eq!(c.critical_path, 4.0);
+        assert!(c.total_cycles >= 4.0);
+    }
+
+    #[test]
+    fn independent_chains_do_not_serialize() {
+        // Two independent adds: critical path 1 + final add = 2.
+        let c = cost(
+            "define i32 @f(i32 %x, i32 %y) {\n %a = add i32 %x, 1\n %b = add i32 %y, 2\n %c = add i32 %a, %b\n ret i32 %c\n}",
+        );
+        assert_eq!(c.critical_path, 2.0);
+        assert_eq!(c.instructions, 3);
+    }
+
+    #[test]
+    fn the_paper_clamp_candidate_is_cheaper() {
+        // Figure 1b (4 instructions) vs Figure 1c (3 instructions).
+        let src = cost(
+            "define i8 @src(i32 %0) {\n\
+             %2 = icmp slt i32 %0, 0\n\
+             %3 = call i32 @llvm.umin.i32(i32 %0, i32 255)\n\
+             %4 = trunc nuw i32 %3 to i8\n\
+             %5 = select i1 %2, i8 0, i8 %4\n\
+             ret i8 %5\n}",
+        );
+        let tgt = cost(
+            "define i8 @tgt(i32 %0) {\n\
+             %2 = call i32 @llvm.smax.i32(i32 %0, i32 0)\n\
+             %3 = call i32 @llvm.umin.i32(i32 %2, i32 255)\n\
+             %4 = trunc nuw i32 %3 to i8\n\
+             ret i8 %4\n}",
+        );
+        assert!(tgt.is_better_than(&src));
+        assert!(tgt.instructions < src.instructions);
+    }
+
+    #[test]
+    fn division_dominates_cost() {
+        let div = cost("define i32 @f(i32 %x, i32 %y) {\n %r = udiv i32 %x, %y\n ret i32 %r\n}");
+        let shift = cost("define i32 @g(i32 %x) {\n %r = lshr i32 %x, 3\n ret i32 %r\n}");
+        assert!(div.total_cycles > 10.0 * shift.total_cycles);
+    }
+
+    #[test]
+    fn vector_ops_cost_more_on_the_small_core() {
+        let text = "define <4 x i32> @f(<4 x i32> %x) {\n %r = add <4 x i32> %x, splat (i32 1)\n ret <4 x i32> %r\n}";
+        let small = CostModel::new(Target::Btver2Like).estimate(&parse_function(text).unwrap());
+        let big = CostModel::new(Target::GenericModern).estimate(&parse_function(text).unwrap());
+        assert!(small.micro_ops > big.micro_ops);
+    }
+
+    #[test]
+    fn comparisons_between_estimates() {
+        let a = CostEstimate { instructions: 3, micro_ops: 3.0, critical_path: 3.0, total_cycles: 3.0 };
+        let b = CostEstimate { instructions: 4, micro_ops: 4.0, critical_path: 3.0, total_cycles: 3.0 };
+        assert!(a.is_better_than(&b));
+        assert!(a.is_no_worse_than(&b));
+        assert!(!b.is_no_worse_than(&a));
+        let c = CostEstimate { instructions: 3, micro_ops: 3.0, critical_path: 5.0, total_cycles: 5.0 };
+        assert!(!c.is_better_than(&a));
+        assert!(a.is_better_than(&c));
+    }
+
+    #[test]
+    fn throughput_bound_applies_to_wide_flat_code() {
+        // Eight independent adds on a 2-wide machine need at least 4 cycles
+        // even though the critical path is 1.
+        let mut text = String::from("define i32 @f(i32 %x) {\n");
+        for i in 0..8 {
+            text.push_str(&format!(" %a{i} = add i32 %x, {i}\n"));
+        }
+        text.push_str(" ret i32 %a0\n}");
+        let c = cost(&text);
+        assert_eq!(c.critical_path, 1.0);
+        assert!(c.total_cycles >= 4.0);
+    }
+
+    #[test]
+    fn terminators_and_phis_are_free() {
+        let c = cost("define void @f() {\n ret void\n}");
+        assert_eq!(c.instructions, 0);
+        assert_eq!(c.total_cycles, 0.0);
+    }
+}

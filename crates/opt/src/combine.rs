@@ -1,0 +1,532 @@
+//! InstCombine-style rules: canonicalizations and multi-instruction combines
+//! that rewrite an instruction in place (possibly referencing operands of its
+//! operands), leaving dead inner instructions for DCE to clean up.
+//!
+//! The rule set is intentionally a *subset* of LLVM's InstCombine: the
+//! patterns it does **not** know (combining a `select` with a `umin` into
+//! `smax`+`umin`, merging adjacent loads, removing a clamp made redundant by a
+//! later clamp, dropping an `fcmp ord` guard, …) are exactly the missed
+//! optimizations the LPO pipeline is built to discover. See
+//! `lpo-opt::patches` for the versions of those rules that "landed upstream"
+//! after being reported.
+
+use crate::rewrite::{as_const_int, const_apint_of, defining_inst, is_all_ones, mutate, replace_with, NamedRule};
+use lpo_ir::apint::ApInt;
+use lpo_ir::flags::IntFlags;
+use lpo_ir::function::Function;
+use lpo_ir::instruction::{BinOp, BlockId, CastOp, ICmpPred, InstId, InstKind, Intrinsic};
+
+/// Moves constants to the right-hand side of commutative operations and
+/// canonicalizes `icmp <const>, %x` by swapping the predicate.
+pub fn canonicalize_commutative(func: &mut Function, id: InstId, _b: BlockId, _p: usize) -> bool {
+    let inst = func.inst(id);
+    let ty = inst.ty.clone();
+    match inst.kind.clone() {
+        InstKind::Binary { op, lhs, rhs, flags } if op.is_commutative() => {
+            if lhs.is_const() && !rhs.is_const() {
+                return mutate(func, id, InstKind::Binary { op, lhs: rhs, rhs: lhs, flags }, ty);
+            }
+            false
+        }
+        InstKind::ICmp { pred, lhs, rhs } => {
+            if lhs.is_const() && !rhs.is_const() {
+                return mutate(
+                    func,
+                    id,
+                    InstKind::ICmp { pred: pred.swapped(), lhs: rhs, rhs: lhs },
+                    ty,
+                );
+            }
+            false
+        }
+        InstKind::Call { intrinsic, args, fmf } if intrinsic.is_commutative() && args.len() == 2 => {
+            if args[0].is_const() && !args[1].is_const() {
+                return mutate(
+                    func,
+                    id,
+                    InstKind::Call { intrinsic, args: vec![args[1].clone(), args[0].clone()], fmf },
+                    ty,
+                );
+            }
+            false
+        }
+        _ => false,
+    }
+}
+
+/// `sub %x, C` → `add %x, -C` (the LLVM canonical form). Flags are dropped.
+pub fn sub_to_add(func: &mut Function, id: InstId, _b: BlockId, _p: usize) -> bool {
+    let inst = func.inst(id);
+    let ty = inst.ty.clone();
+    let InstKind::Binary { op: BinOp::Sub, lhs, rhs, .. } = inst.kind.clone() else {
+        return false;
+    };
+    let Some(c) = as_const_int(&rhs) else {
+        return false;
+    };
+    if c.is_zero() {
+        return false; // handled by simplify
+    }
+    mutate(
+        func,
+        id,
+        InstKind::Binary {
+            op: BinOp::Add,
+            lhs,
+            rhs: const_apint_of(&ty, c.neg()),
+            flags: IntFlags::none(),
+        },
+        ty,
+    )
+}
+
+/// `add %x, %x` → `shl %x, 1` and `mul %x, 2^k` → `shl %x, k`.
+pub fn strength_reduce_to_shift(func: &mut Function, id: InstId, _b: BlockId, _p: usize) -> bool {
+    let inst = func.inst(id);
+    let ty = inst.ty.clone();
+    let InstKind::Binary { op, lhs, rhs, flags } = inst.kind.clone() else {
+        return false;
+    };
+    match op {
+        BinOp::Add if lhs == rhs && !lhs.is_const() => mutate(
+            func,
+            id,
+            InstKind::Binary { op: BinOp::Shl, lhs, rhs: crate::rewrite::const_int_of(&ty, 1), flags },
+            ty,
+        ),
+        BinOp::Mul => {
+            let Some(c) = as_const_int(&rhs) else {
+                return false;
+            };
+            if !c.is_power_of_two() || c.is_one() {
+                return false;
+            }
+            let shift = c.trailing_zeros();
+            mutate(
+                func,
+                id,
+                InstKind::Binary {
+                    op: BinOp::Shl,
+                    lhs,
+                    rhs: crate::rewrite::const_int_of(&ty, shift as i128),
+                    flags,
+                },
+                ty,
+            )
+        }
+        _ => false,
+    }
+}
+
+/// Reassociates `(x op C1) op C2` → `x op (C1 op C2)` for associative
+/// bitwise/additive operators (flags dropped; the inner instruction dies via DCE).
+pub fn reassociate_constants(func: &mut Function, id: InstId, _b: BlockId, _p: usize) -> bool {
+    let inst = func.inst(id);
+    let ty = inst.ty.clone();
+    let InstKind::Binary { op, lhs, rhs, .. } = inst.kind.clone() else {
+        return false;
+    };
+    if !matches!(op, BinOp::Add | BinOp::Mul | BinOp::And | BinOp::Or | BinOp::Xor) {
+        return false;
+    }
+    let Some(c2) = as_const_int(&rhs) else {
+        return false;
+    };
+    let Some((_, inner_kind)) = defining_inst(func, &lhs) else {
+        return false;
+    };
+    let InstKind::Binary { op: inner_op, lhs: x, rhs: inner_rhs, .. } = inner_kind.clone() else {
+        return false;
+    };
+    if inner_op != op {
+        return false;
+    }
+    let Some(c1) = as_const_int(&inner_rhs) else {
+        return false;
+    };
+    let folded = match op {
+        BinOp::Add => c1.add(&c2),
+        BinOp::Mul => c1.mul(&c2),
+        BinOp::And => c1.and(&c2),
+        BinOp::Or => c1.or(&c2),
+        BinOp::Xor => c1.xor(&c2),
+        _ => unreachable!(),
+    };
+    mutate(
+        func,
+        id,
+        InstKind::Binary { op, lhs: x, rhs: const_apint_of(&ty, folded), flags: IntFlags::none() },
+        ty,
+    )
+}
+
+/// Composes chained casts: `zext(zext x)`, `sext(sext x)`, `trunc(trunc x)`,
+/// and cancels `trunc(zext/sext x)` back to the original width.
+pub fn compose_casts(func: &mut Function, id: InstId, _b: BlockId, _p: usize) -> bool {
+    let inst = func.inst(id);
+    let ty = inst.ty.clone();
+    let InstKind::Cast { op, value, .. } = inst.kind.clone() else {
+        return false;
+    };
+    let Some((_, inner_kind)) = defining_inst(func, &value) else {
+        return false;
+    };
+    let InstKind::Cast { op: inner_op, value: original, .. } = inner_kind.clone() else {
+        return false;
+    };
+    let original_ty = func.value_type(&original);
+    match (inner_op, op) {
+        (CastOp::ZExt, CastOp::ZExt) | (CastOp::SExt, CastOp::SExt) | (CastOp::Trunc, CastOp::Trunc) => {
+            mutate(func, id, InstKind::Cast { op, value: original, flags: IntFlags::none() }, ty)
+        }
+        (CastOp::ZExt, CastOp::Trunc) | (CastOp::SExt, CastOp::Trunc) => {
+            let orig_w = original_ty.scalar_type().int_width().unwrap_or(0);
+            let to_w = ty.scalar_type().int_width().unwrap_or(0);
+            if to_w == orig_w {
+                replace_with(func, id, original)
+            } else if to_w < orig_w {
+                mutate(
+                    func,
+                    id,
+                    InstKind::Cast { op: CastOp::Trunc, value: original, flags: IntFlags::none() },
+                    ty,
+                )
+            } else {
+                mutate(func, id, InstKind::Cast { op: inner_op, value: original, flags: IntFlags::none() }, ty)
+            }
+        }
+        _ => false,
+    }
+}
+
+/// `xor(xor x, -1), -1` → x  and  `select %c, false, true` → `xor %c, true`.
+pub fn not_and_boolean_combines(func: &mut Function, id: InstId, _b: BlockId, _p: usize) -> bool {
+    let inst = func.inst(id);
+    let ty = inst.ty.clone();
+    match inst.kind.clone() {
+        InstKind::Binary { op: BinOp::Xor, lhs, rhs, .. } if is_all_ones(&rhs) => {
+            if let Some((_, InstKind::Binary { op: BinOp::Xor, lhs: x, rhs: inner_rhs, .. })) =
+                defining_inst(func, &lhs).map(|(i, k)| (i, k.clone()))
+            {
+                if is_all_ones(&inner_rhs) {
+                    return replace_with(func, id, x);
+                }
+            }
+            false
+        }
+        InstKind::Select { cond, on_true, on_false }
+            if ty.is_bool_or_bool_vector()
+                && crate::rewrite::is_zero(&on_true)
+                && crate::rewrite::is_one(&on_false)
+                && func.value_type(&cond) == ty =>
+        {
+            mutate(
+                func,
+                id,
+                InstKind::Binary {
+                    op: BinOp::Xor,
+                    lhs: cond,
+                    rhs: crate::rewrite::const_bool_of(&ty, true),
+                    flags: IntFlags::none(),
+                },
+                ty,
+            )
+        }
+        _ => false,
+    }
+}
+
+/// Canonicalizes `select (icmp pred %x, %y), %x, %y` (and the swapped-arm
+/// form) into the matching min/max intrinsic. This is LLVM's canonical form;
+/// note it only fires when both select arms are exactly the compared values,
+/// so it does *not* subsume the clamp patterns the paper reports as missed.
+pub fn select_to_min_max(func: &mut Function, id: InstId, _b: BlockId, _p: usize) -> bool {
+    let inst = func.inst(id);
+    let ty = inst.ty.clone();
+    if !ty.is_int_or_int_vector() {
+        return false;
+    }
+    let InstKind::Select { cond, on_true, on_false } = inst.kind.clone() else {
+        return false;
+    };
+    let Some((cmp_id, InstKind::ICmp { pred, lhs, rhs })) =
+        defining_inst(func, &cond).map(|(i, k)| (i, k.clone()))
+    else {
+        return false;
+    };
+    let _ = cmp_id;
+    // select (x pred y), x, y
+    let direct = on_true == lhs && on_false == rhs;
+    // select (x pred y), y, x
+    let swapped = on_true == rhs && on_false == lhs;
+    if !direct && !swapped {
+        return false;
+    }
+    // Effective predicate for "the value returned when the comparison is true".
+    let effective = if direct { pred } else { pred.inverted() };
+    let intrinsic = match effective {
+        ICmpPred::Ult | ICmpPred::Ule => Intrinsic::Umin,
+        ICmpPred::Ugt | ICmpPred::Uge => Intrinsic::Umax,
+        ICmpPred::Slt | ICmpPred::Sle => Intrinsic::Smin,
+        ICmpPred::Sgt | ICmpPred::Sge => Intrinsic::Smax,
+        _ => return false,
+    };
+    let (a, b) = if direct { (lhs, rhs) } else { (rhs, lhs) };
+    mutate(
+        func,
+        id,
+        InstKind::Call { intrinsic, args: vec![a, b], fmf: Default::default() },
+        ty,
+    )
+}
+
+/// Folds a min/max whose operand is the same min/max with a constant:
+/// `umin(umin(x, C1), C2)` → `umin(x, min(C1, C2))`.
+pub fn nested_min_max(func: &mut Function, id: InstId, _b: BlockId, _p: usize) -> bool {
+    let inst = func.inst(id);
+    let ty = inst.ty.clone();
+    let InstKind::Call { intrinsic, args, fmf } = inst.kind.clone() else {
+        return false;
+    };
+    if !intrinsic.is_min_max() || args.len() != 2 {
+        return false;
+    }
+    let Some(c2) = as_const_int(&args[1]) else {
+        return false;
+    };
+    let Some((_, InstKind::Call { intrinsic: inner, args: inner_args, .. })) =
+        defining_inst(func, &args[0]).map(|(i, k)| (i, k.clone()))
+    else {
+        return false;
+    };
+    if inner != intrinsic || inner_args.len() != 2 {
+        return false;
+    }
+    let Some(c1) = as_const_int(&inner_args[1]) else {
+        return false;
+    };
+    let folded = match intrinsic {
+        Intrinsic::Umin => c1.umin(&c2),
+        Intrinsic::Umax => c1.umax(&c2),
+        Intrinsic::Smin => c1.smin(&c2),
+        Intrinsic::Smax => c1.smax(&c2),
+        _ => return false,
+    };
+    mutate(
+        func,
+        id,
+        InstKind::Call {
+            intrinsic,
+            args: vec![inner_args[0].clone(), const_apint_of(&ty, folded)],
+            fmf,
+        },
+        ty,
+    )
+}
+
+/// Combines `shl(shl x, C1), C2` → `shl x, C1+C2` (and the same for `lshr`),
+/// when the combined amount stays in range.
+pub fn combine_shifts(func: &mut Function, id: InstId, _b: BlockId, _p: usize) -> bool {
+    let inst = func.inst(id);
+    let ty = inst.ty.clone();
+    let InstKind::Binary { op, lhs, rhs, .. } = inst.kind.clone() else {
+        return false;
+    };
+    if !matches!(op, BinOp::Shl | BinOp::LShr) {
+        return false;
+    }
+    let Some(c2) = as_const_int(&rhs) else {
+        return false;
+    };
+    let Some((_, InstKind::Binary { op: inner_op, lhs: x, rhs: inner_rhs, .. })) =
+        defining_inst(func, &lhs).map(|(i, k)| (i, k.clone()))
+    else {
+        return false;
+    };
+    if inner_op != op {
+        return false;
+    }
+    let Some(c1) = as_const_int(&inner_rhs) else {
+        return false;
+    };
+    let width = ty.scalar_type().int_width().unwrap_or(0) as u128;
+    let total = c1.zext_value() + c2.zext_value();
+    if total >= width {
+        return false;
+    }
+    mutate(
+        func,
+        id,
+        InstKind::Binary {
+            op,
+            lhs: x,
+            rhs: const_apint_of(&ty, ApInt::new(width as u32, total)),
+            flags: IntFlags::none(),
+        },
+        ty,
+    )
+}
+
+/// All InstCombine rules in application order.
+pub fn all_rules() -> Vec<NamedRule> {
+    vec![
+        NamedRule { name: "canonicalize-commutative", rule: canonicalize_commutative },
+        NamedRule { name: "sub-to-add", rule: sub_to_add },
+        NamedRule { name: "strength-reduce-shift", rule: strength_reduce_to_shift },
+        NamedRule { name: "reassociate-constants", rule: reassociate_constants },
+        NamedRule { name: "compose-casts", rule: compose_casts },
+        NamedRule { name: "not-and-boolean", rule: not_and_boolean_combines },
+        NamedRule { name: "select-to-min-max", rule: select_to_min_max },
+        NamedRule { name: "nested-min-max", rule: nested_min_max },
+        NamedRule { name: "combine-shifts", rule: combine_shifts },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dce::eliminate_dead_code;
+    use lpo_ir::parser::parse_function;
+    use lpo_ir::printer::print_function;
+
+    fn apply_all(text: &str) -> String {
+        let mut f = parse_function(text).unwrap();
+        for _ in 0..4 {
+            let ids: Vec<_> = f.iter_inst_ids().collect();
+            for id in ids {
+                if !f.iter_inst_ids().any(|i| i == id) {
+                    continue;
+                }
+                for rule in all_rules() {
+                    if !f.iter_inst_ids().any(|i| i == id) {
+                        break;
+                    }
+                    let entry = f.entry();
+                    (rule.rule)(&mut f, id, entry, 0);
+                }
+            }
+            eliminate_dead_code(&mut f);
+        }
+        print_function(&f)
+    }
+
+    #[test]
+    fn constants_move_to_the_right() {
+        let out = apply_all("define i32 @f(i32 %x) {\n %a = add i32 7, %x\n ret i32 %a\n}");
+        assert!(out.contains("add i32 %x, 7"));
+        let out = apply_all("define i1 @f(i32 %x) {\n %c = icmp sgt i32 10, %x\n ret i1 %c\n}");
+        assert!(out.contains("icmp slt i32 %x, 10"));
+        let out = apply_all("define i32 @f(i32 %x) {\n %m = call i32 @llvm.umin.i32(i32 3, i32 %x)\n ret i32 %m\n}");
+        assert!(out.contains("@llvm.umin.i32(i32 %x, i32 3)"));
+    }
+
+    #[test]
+    fn sub_becomes_add_of_negative() {
+        let out = apply_all("define i32 @f(i32 %x) {\n %a = sub i32 %x, 5\n ret i32 %a\n}");
+        assert!(out.contains("add i32 %x, -5"));
+    }
+
+    #[test]
+    fn strength_reduction() {
+        let out = apply_all("define i32 @f(i32 %x) {\n %a = mul i32 %x, 8\n ret i32 %a\n}");
+        assert!(out.contains("shl i32 %x, 3"));
+        let out = apply_all("define i32 @f(i32 %x) {\n %a = add i32 %x, %x\n ret i32 %a\n}");
+        assert!(out.contains("shl i32 %x, 1"));
+        // mul by a non-power-of-two is left alone.
+        let out = apply_all("define i32 @f(i32 %x) {\n %a = mul i32 %x, 6\n ret i32 %a\n}");
+        assert!(out.contains("mul i32 %x, 6"));
+    }
+
+    #[test]
+    fn constant_reassociation() {
+        let out = apply_all(
+            "define i32 @f(i32 %x) {\n %a = add i32 %x, 3\n %b = add i32 %a, 4\n ret i32 %b\n}",
+        );
+        assert!(out.contains("add i32 %x, 7"));
+        assert_eq!(out.matches("add").count(), 1);
+        let out = apply_all(
+            "define i8 @f(i8 %x) {\n %a = xor i8 %x, 15\n %b = xor i8 %a, 240\n ret i8 %b\n}",
+        );
+        assert!(out.contains("xor i8 %x, -1"));
+    }
+
+    #[test]
+    fn cast_composition() {
+        let out = apply_all(
+            "define i64 @f(i8 %x) {\n %a = zext i8 %x to i16\n %b = zext i16 %a to i64\n ret i64 %b\n}",
+        );
+        assert!(out.contains("zext i8 %x to i64"));
+        assert_eq!(out.matches("zext").count(), 1);
+        let out = apply_all(
+            "define i16 @f(i16 %x) {\n %a = zext i16 %x to i32\n %b = trunc i32 %a to i16\n ret i16 %b\n}",
+        );
+        assert!(out.contains("ret i16 %x"));
+        let out = apply_all(
+            "define i8 @f(i16 %x) {\n %a = sext i16 %x to i64\n %b = trunc i64 %a to i8\n ret i8 %b\n}",
+        );
+        assert!(out.contains("trunc i16 %x to i8"));
+    }
+
+    #[test]
+    fn double_negation_and_boolean_select() {
+        let out = apply_all(
+            "define i32 @f(i32 %x) {\n %a = xor i32 %x, -1\n %b = xor i32 %a, -1\n ret i32 %b\n}",
+        );
+        // Constant reassociation wins the race over the double-negation rule;
+        // either way the two xors collapse (the full pipeline then folds the
+        // remaining `xor %x, 0` to `%x` via InstSimplify).
+        assert!(out.contains("ret i32 %x") || out.contains("xor i32 %x, 0"));
+        let out = apply_all(
+            "define i1 @f(i1 %c) {\n %s = select i1 %c, i1 false, i1 true\n ret i1 %s\n}",
+        );
+        assert!(out.contains("xor i1 %c, true"));
+    }
+
+    #[test]
+    fn select_canonicalizes_to_min_max() {
+        let out = apply_all(
+            "define i32 @f(i32 %x, i32 %y) {\n %c = icmp slt i32 %x, %y\n %s = select i1 %c, i32 %x, i32 %y\n ret i32 %s\n}",
+        );
+        assert!(out.contains("@llvm.smin.i32(i32 %x, i32 %y)"));
+        let out = apply_all(
+            "define i32 @f(i32 %x, i32 %y) {\n %c = icmp ult i32 %x, %y\n %s = select i1 %c, i32 %y, i32 %x\n ret i32 %s\n}",
+        );
+        assert!(out.contains("@llvm.umax.i32"));
+        // The Figure 1 clamp pattern is NOT caught: the false arm is a umin,
+        // not the compared value.
+        let out = apply_all(
+            "define i8 @src(i32 %0) {\n\
+             %2 = icmp slt i32 %0, 0\n\
+             %3 = call i32 @llvm.umin.i32(i32 %0, i32 255)\n\
+             %4 = trunc nuw i32 %3 to i8\n\
+             %5 = select i1 %2, i8 0, i8 %4\n\
+             ret i8 %5\n}",
+        );
+        assert!(out.contains("select"));
+    }
+
+    #[test]
+    fn nested_min_max_with_constants() {
+        let out = apply_all(
+            "define i32 @f(i32 %x) {\n\
+             %a = call i32 @llvm.umin.i32(i32 %x, i32 100)\n\
+             %b = call i32 @llvm.umin.i32(i32 %a, i32 255)\n\
+             ret i32 %b\n}",
+        );
+        assert!(out.contains("@llvm.umin.i32(i32 %x, i32 100)"));
+        assert_eq!(out.matches("umin").count(), 1);
+    }
+
+    #[test]
+    fn shift_combination() {
+        let out = apply_all(
+            "define i32 @f(i32 %x) {\n %a = shl i32 %x, 3\n %b = shl i32 %a, 4\n ret i32 %b\n}",
+        );
+        assert!(out.contains("shl i32 %x, 7"));
+        // Out-of-range totals are left alone.
+        let out = apply_all(
+            "define i8 @f(i8 %x) {\n %a = shl i8 %x, 5\n %b = shl i8 %a, 5\n ret i8 %b\n}",
+        );
+        assert!(out.contains("shl i8 %a, 5") || out.contains("shl i8 %x, 5"));
+    }
+}

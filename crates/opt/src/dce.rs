@@ -1,0 +1,74 @@
+//! Dead code elimination: removes side-effect-free instructions whose results
+//! are never used, iterating until no more can be removed.
+
+use lpo_ir::function::Function;
+
+/// Removes dead instructions. Returns `true` if anything was removed.
+pub fn eliminate_dead_code(func: &mut Function) -> bool {
+    let mut changed = false;
+    loop {
+        let dead: Vec<_> = func
+            .iter_insts()
+            .filter(|(id, inst)| {
+                inst.produces_value() && !inst.kind.has_side_effects() && func.is_unused(*id)
+            })
+            .map(|(id, _)| id)
+            .collect();
+        if dead.is_empty() {
+            return changed;
+        }
+        for id in dead {
+            func.erase_inst(id);
+        }
+        changed = true;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lpo_ir::parser::parse_function;
+
+    #[test]
+    fn removes_unused_chains() {
+        let mut f = parse_function(
+            "define i32 @f(i32 %x) {\n\
+             %dead1 = add i32 %x, 1\n\
+             %dead2 = mul i32 %dead1, 2\n\
+             %live = sub i32 %x, 3\n\
+             ret i32 %live\n}",
+        )
+        .unwrap();
+        assert!(eliminate_dead_code(&mut f));
+        assert_eq!(f.instruction_count(), 1);
+        assert!(f.inst_by_name("live").is_some());
+        assert!(!eliminate_dead_code(&mut f));
+    }
+
+    #[test]
+    fn keeps_side_effects() {
+        let mut f = parse_function(
+            "define void @f(ptr %p, i32 %x, i32 %y) {\n\
+             store i32 %x, ptr %p, align 4\n\
+             %div = udiv i32 %x, %y\n\
+             ret void\n}",
+        )
+        .unwrap();
+        // The store stays; the division may trap so it stays too.
+        eliminate_dead_code(&mut f);
+        assert_eq!(f.total_instruction_count(), 3);
+    }
+
+    #[test]
+    fn removes_unused_loads_but_not_stores() {
+        let mut f = parse_function(
+            "define void @f(ptr %p) {\n\
+             %v = load i32, ptr %p, align 4\n\
+             store i32 7, ptr %p, align 4\n\
+             ret void\n}",
+        )
+        .unwrap();
+        assert!(eliminate_dead_code(&mut f));
+        assert_eq!(f.total_instruction_count(), 2);
+    }
+}

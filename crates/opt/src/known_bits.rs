@@ -1,0 +1,340 @@
+//! A small known-bits analysis used by InstCombine rules.
+//!
+//! For every integer-typed value the analysis computes which bits are known to
+//! be zero and which are known to be one, walking the use-def chain. It is a
+//! conservative forward analysis: bits it cannot prove are reported unknown.
+
+use lpo_ir::apint::ApInt;
+use lpo_ir::constant::Constant;
+use lpo_ir::function::Function;
+use lpo_ir::instruction::{BinOp, CastOp, InstKind, Intrinsic, Value};
+
+/// Known-zero / known-one bit masks for one integer value.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct KnownBits {
+    /// Bits known to be zero.
+    pub zeros: u128,
+    /// Bits known to be one.
+    pub ones: u128,
+    /// The value's bit width.
+    pub width: u32,
+}
+
+impl KnownBits {
+    /// Nothing known for a value of the given width.
+    pub fn unknown(width: u32) -> Self {
+        Self { zeros: 0, ones: 0, width }
+    }
+
+    /// Everything known: the value is exactly `v`.
+    pub fn constant(v: &ApInt) -> Self {
+        let mask = mask_of(v.width());
+        Self { zeros: !v.zext_value() & mask, ones: v.zext_value(), width: v.width() }
+    }
+
+    /// Returns the exact value if every bit is known.
+    pub fn as_constant(&self) -> Option<ApInt> {
+        if self.zeros | self.ones == mask_of(self.width) {
+            Some(ApInt::new(self.width, self.ones))
+        } else {
+            None
+        }
+    }
+
+    /// Returns `true` if the sign bit is known to be zero (value is non-negative).
+    pub fn is_non_negative(&self) -> bool {
+        self.zeros >> (self.width - 1) & 1 == 1
+    }
+
+    /// Returns `true` if the sign bit is known to be one (value is negative).
+    pub fn is_negative(&self) -> bool {
+        self.ones >> (self.width - 1) & 1 == 1
+    }
+
+    /// The maximum value the bits allow, interpreted unsigned.
+    pub fn umax(&self) -> u128 {
+        (!self.zeros) & mask_of(self.width)
+    }
+
+    /// The minimum value the bits allow, interpreted unsigned.
+    pub fn umin(&self) -> u128 {
+        self.ones
+    }
+
+    /// Number of consecutive known-zero bits counted from the top.
+    pub fn leading_zeros(&self) -> u32 {
+        let mut count = 0;
+        for i in (0..self.width).rev() {
+            if self.zeros >> i & 1 == 1 {
+                count += 1;
+            } else {
+                break;
+            }
+        }
+        count
+    }
+}
+
+fn mask_of(width: u32) -> u128 {
+    if width >= 128 { u128::MAX } else { (1u128 << width) - 1 }
+}
+
+/// Computes known bits for `value` inside `func`, recursing up to `depth`
+/// levels through instruction operands.
+pub fn known_bits(func: &Function, value: &Value, depth: u32) -> KnownBits {
+    let ty = func.value_type(value);
+    let width = match ty.int_width() {
+        Some(w) if !ty.is_vector() => w,
+        _ => return KnownBits::unknown(ty.int_width().unwrap_or(1)),
+    };
+    if depth == 0 {
+        return KnownBits::unknown(width);
+    }
+    match value {
+        Value::Const(Constant::Int(v)) => KnownBits::constant(v),
+        Value::Const(_) | Value::Arg(_) => KnownBits::unknown(width),
+        Value::Inst(id) => {
+            let inst = func.inst(*id);
+            let mask = mask_of(width);
+            match &inst.kind {
+                InstKind::Binary { op, lhs, rhs, .. } => {
+                    let l = known_bits(func, lhs, depth - 1);
+                    let r = known_bits(func, rhs, depth - 1);
+                    match op {
+                        BinOp::And => KnownBits {
+                            zeros: (l.zeros | r.zeros) & mask,
+                            ones: l.ones & r.ones,
+                            width,
+                        },
+                        BinOp::Or => KnownBits {
+                            zeros: l.zeros & r.zeros,
+                            ones: (l.ones | r.ones) & mask,
+                            width,
+                        },
+                        BinOp::Xor => {
+                            let known = (l.zeros | l.ones) & (r.zeros | r.ones);
+                            let value = (l.ones ^ r.ones) & known;
+                            KnownBits { zeros: known & !value & mask, ones: value, width }
+                        }
+                        BinOp::Shl => {
+                            if let Some(amt) = const_shift_amount(rhs, width) {
+                                KnownBits {
+                                    zeros: ((l.zeros << amt) | (mask_of(amt.min(width))) ) & mask,
+                                    ones: (l.ones << amt) & mask,
+                                    width,
+                                }
+                            } else {
+                                KnownBits::unknown(width)
+                            }
+                        }
+                        BinOp::LShr => {
+                            if let Some(amt) = const_shift_amount(rhs, width) {
+                                let high_zeros = if amt == 0 {
+                                    0
+                                } else {
+                                    (mask_of(amt) << (width - amt)) & mask
+                                };
+                                KnownBits {
+                                    zeros: ((l.zeros >> amt) | high_zeros) & mask,
+                                    ones: l.ones >> amt,
+                                    width,
+                                }
+                            } else {
+                                KnownBits::unknown(width)
+                            }
+                        }
+                        BinOp::URem => {
+                            if let Some(c) = constant_of(rhs) {
+                                if c.is_power_of_two() {
+                                    let bits = c.zext_value() - 1;
+                                    return KnownBits { zeros: !bits & mask, ones: 0, width };
+                                }
+                            }
+                            KnownBits::unknown(width)
+                        }
+                        _ => KnownBits::unknown(width),
+                    }
+                }
+                InstKind::Cast { op: CastOp::ZExt, value, .. } => {
+                    let inner = known_bits(func, value, depth - 1);
+                    let inner_mask = mask_of(inner.width);
+                    KnownBits {
+                        zeros: (inner.zeros & inner_mask) | (mask & !inner_mask),
+                        ones: inner.ones,
+                        width,
+                    }
+                }
+                InstKind::Cast { op: CastOp::Trunc, value, .. } => {
+                    let inner = known_bits(func, value, depth - 1);
+                    KnownBits { zeros: inner.zeros & mask, ones: inner.ones & mask, width }
+                }
+                InstKind::Call { intrinsic, args, .. } => match intrinsic {
+                    Intrinsic::Umin => {
+                        let l = known_bits(func, &args[0], depth - 1);
+                        let r = known_bits(func, &args[1], depth - 1);
+                        // The result is no larger than either bound, so every
+                        // bit above the bound's highest possible set bit is zero.
+                        let bound = l.umax().min(r.umax());
+                        let significant = 128 - bound.leading_zeros();
+                        let zeros = if significant >= width {
+                            0
+                        } else {
+                            (mask << significant) & mask
+                        };
+                        KnownBits { zeros, ones: 0, width }
+                    }
+                    Intrinsic::Smax => {
+                        let l = known_bits(func, &args[0], depth - 1);
+                        let r = known_bits(func, &args[1], depth - 1);
+                        if l.is_non_negative() || r.is_non_negative() {
+                            KnownBits { zeros: 1 << (width - 1), ones: 0, width }
+                        } else {
+                            KnownBits::unknown(width)
+                        }
+                    }
+                    _ => KnownBits::unknown(width),
+                },
+                InstKind::ICmp { .. } => KnownBits::unknown(width),
+                InstKind::Select { on_true, on_false, .. } => {
+                    let t = known_bits(func, on_true, depth - 1);
+                    let f = known_bits(func, on_false, depth - 1);
+                    KnownBits { zeros: t.zeros & f.zeros, ones: t.ones & f.ones, width }
+                }
+                _ => KnownBits::unknown(width),
+            }
+        }
+    }
+}
+
+fn constant_of(value: &Value) -> Option<ApInt> {
+    match value {
+        Value::Const(Constant::Int(v)) => Some(*v),
+        Value::Const(c) => c.splat_int().copied(),
+        _ => None,
+    }
+}
+
+fn const_shift_amount(value: &Value, width: u32) -> Option<u32> {
+    let c = constant_of(value)?;
+    let amt = c.zext_value();
+    if amt < width as u128 {
+        Some(amt as u32)
+    } else {
+        None
+    }
+}
+
+/// Default recursion depth used by the InstCombine rules.
+pub const DEFAULT_DEPTH: u32 = 6;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lpo_ir::parser::parse_function;
+
+    fn bits_of(text: &str, name: &str) -> KnownBits {
+        let f = parse_function(text).unwrap();
+        let id = f.inst_by_name(name).unwrap();
+        known_bits(&f, &Value::Inst(id), DEFAULT_DEPTH)
+    }
+
+    #[test]
+    fn constants_are_fully_known() {
+        let k = KnownBits::constant(&ApInt::new(8, 0b1010_0001));
+        assert_eq!(k.ones, 0b1010_0001);
+        assert_eq!(k.zeros, 0b0101_1110);
+        assert_eq!(k.as_constant().unwrap().zext_value(), 0b1010_0001);
+        assert!(k.is_negative());
+    }
+
+    #[test]
+    fn and_with_mask_clears_bits() {
+        let k = bits_of(
+            "define i8 @f(i8 %x) {\n %r = and i8 %x, 15\n ret i8 %r\n}",
+            "r",
+        );
+        assert_eq!(k.zeros & 0xf0, 0xf0);
+        assert!(k.is_non_negative());
+        assert_eq!(k.umax(), 15);
+        assert_eq!(k.leading_zeros(), 4);
+    }
+
+    #[test]
+    fn or_sets_bits() {
+        let k = bits_of(
+            "define i8 @f(i8 %x) {\n %r = or i8 %x, 128\n ret i8 %r\n}",
+            "r",
+        );
+        assert_eq!(k.ones & 0x80, 0x80);
+        assert!(k.is_negative());
+    }
+
+    #[test]
+    fn zext_makes_high_bits_zero() {
+        let k = bits_of(
+            "define i32 @f(i16 %x) {\n %r = zext i16 %x to i32\n ret i32 %r\n}",
+            "r",
+        );
+        assert_eq!(k.zeros & 0xffff_0000, 0xffff_0000);
+        assert!(k.is_non_negative());
+    }
+
+    #[test]
+    fn shifts_track_zero_bits() {
+        let k = bits_of(
+            "define i8 @f(i8 %x) {\n %r = shl i8 %x, 4\n ret i8 %r\n}",
+            "r",
+        );
+        assert_eq!(k.zeros & 0x0f, 0x0f);
+        let k = bits_of(
+            "define i8 @f(i8 %x) {\n %r = lshr i8 %x, 4\n ret i8 %r\n}",
+            "r",
+        );
+        assert_eq!(k.zeros & 0xf0, 0xf0);
+    }
+
+    #[test]
+    fn urem_by_power_of_two() {
+        let k = bits_of(
+            "define i32 @f(i32 %x) {\n %r = urem i32 %x, 8\n ret i32 %r\n}",
+            "r",
+        );
+        assert_eq!(k.umax(), 7);
+    }
+
+    #[test]
+    fn select_joins_both_arms() {
+        let k = bits_of(
+            "define i8 @f(i1 %c, i8 %x) {\n\
+             %a = and i8 %x, 3\n\
+             %b = and i8 %x, 12\n\
+             %r = select i1 %c, i8 %a, i8 %b\n ret i8 %r\n}",
+            "r",
+        );
+        assert_eq!(k.zeros & 0xf0, 0xf0);
+        assert_eq!(k.umax(), 15);
+    }
+
+    #[test]
+    fn depth_zero_and_arguments_are_unknown() {
+        let f = parse_function("define i8 @f(i8 %x) {\n ret i8 %x\n}").unwrap();
+        let k = known_bits(&f, &Value::Arg(0), DEFAULT_DEPTH);
+        assert_eq!(k, KnownBits::unknown(8));
+        let g = parse_function("define i8 @g(i8 %x) {\n %r = and i8 %x, 1\n ret i8 %r\n}").unwrap();
+        let id = g.inst_by_name("r").unwrap();
+        assert_eq!(known_bits(&g, &Value::Inst(id), 0), KnownBits::unknown(8));
+    }
+
+    #[test]
+    fn xor_combines_known_bits() {
+        let k = bits_of(
+            "define i8 @f(i8 %x) {\n\
+             %a = and i8 %x, 15\n\
+             %r = xor i8 %a, 5\n ret i8 %r\n}",
+            "r",
+        );
+        // High nibble known zero from the and, low nibble unknown except where
+        // both sides were known.
+        assert_eq!(k.zeros & 0xf0, 0xf0);
+    }
+}

@@ -1,0 +1,40 @@
+//! # lpo-opt
+//!
+//! The reproduction's `opt`: an InstCombine/InstSimplify-style peephole
+//! optimizer over `lpo-ir`, with constant folding, a known-bits analysis,
+//! dead-code elimination and a pass pipeline.
+//!
+//! The rule set is intentionally a **subset** of LLVM's: the missed
+//! optimizations the paper's pipeline discovers are exactly the patterns this
+//! optimizer does not know. The [`patches`] module contains the rules that
+//! "landed upstream" after being reported, used by the Table 5 / Figure 5
+//! experiments.
+//!
+//! ```
+//! use lpo_opt::prelude::*;
+//! use lpo_ir::parser::parse_function;
+//!
+//! let mut f = parse_function("define i32 @f(i32 %x) {\n %a = add i32 %x, 0\n %b = mul i32 %a, 8\n ret i32 %b\n}")?;
+//! let stats = Pipeline::new(OptLevel::O2).run(&mut f);
+//! assert!(stats.changed);
+//! assert_eq!(f.instruction_count(), 1); // shl %x, 3
+//! # Ok::<(), lpo_ir::parser::ParseError>(())
+//! ```
+
+pub mod combine;
+pub mod dce;
+pub mod fold;
+pub mod known_bits;
+pub mod patches;
+pub mod pipeline;
+pub mod rewrite;
+pub mod simplify;
+
+/// Commonly used items, re-exported for convenience.
+pub mod prelude {
+    pub use crate::dce::eliminate_dead_code;
+    pub use crate::known_bits::{known_bits, KnownBits};
+    pub use crate::patches::{all_patches, patches_for_issue, Patch};
+    pub use crate::pipeline::{optimize_text, OptLevel, OptStats, Pipeline, TextOptResult};
+    pub use crate::rewrite::NamedRule;
+}

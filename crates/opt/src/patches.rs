@@ -1,0 +1,822 @@
+//! "Upstreamed" peephole rules corresponding to the missed optimizations the
+//! paper reports as **fixed** in LLVM (Table 3 / Table 5 / Figure 5).
+//!
+//! The base optimizer (`lpo-opt`'s simplify/combine rule sets) deliberately
+//! does not know these patterns — that is what makes them *missed*
+//! optimizations for the pipeline to discover. Each entry here is the rule a
+//! maintainer would have written after the corresponding LPO report, keyed by
+//! the LLVM issue number from the paper. The Table 5 / Figure 5 experiments
+//! re-run the optimizer with individual patches enabled and measure their
+//! prevalence, compile-time and estimated-runtime impact.
+
+use crate::rewrite::{
+    as_const_int, const_apint_of, const_bool_of, const_int_of, defining_inst, insert_before,
+    is_zero, mutate, replace_with, NamedRule,
+};
+use lpo_ir::apint::ApInt;
+use lpo_ir::flags::IntFlags;
+use lpo_ir::function::Function;
+use lpo_ir::instruction::{BinOp, BlockId, CastOp, ICmpPred, InstId, InstKind, Intrinsic, Value};
+use lpo_ir::types::Type;
+
+/// One accepted patch: the LLVM issue it fixes and the rewrite rule.
+#[derive(Clone, Copy, Debug)]
+pub struct Patch {
+    /// Identifier as used in the paper's tables, e.g. `"163108 (1)"`.
+    pub id: &'static str,
+    /// The LLVM issue number.
+    pub issue: u32,
+    /// One-line description of the added peephole.
+    pub description: &'static str,
+    /// The InstCombine rule the patch adds.
+    pub rule: NamedRule,
+}
+
+/// All accepted patches, in the order Table 5 lists them.
+pub fn all_patches() -> Vec<Patch> {
+    vec![
+        Patch {
+            id: "128134",
+            issue: 128134,
+            description: "merge two adjacent i16 loads combined with zext/shl/or into one i32 load",
+            rule: NamedRule { name: "patch-128134", rule: patch_merge_adjacent_loads },
+        },
+        Patch {
+            id: "133367",
+            issue: 133367,
+            description: "drop an fcmp ord guard whose select feeds an ordered compare against a non-zero constant",
+            rule: NamedRule { name: "patch-133367", rule: patch_fcmp_ord_select },
+        },
+        Patch {
+            id: "142674",
+            issue: 142674,
+            description: "remove a umax clamp subsumed by a later, larger umax after shl nuw",
+            rule: NamedRule { name: "patch-142674", rule: patch_redundant_umax_before_shift },
+        },
+        Patch {
+            id: "142711",
+            issue: 142711,
+            description: "fold icmp eq/ne (xor X, C1), C2 into icmp eq/ne X, C1^C2",
+            rule: NamedRule { name: "patch-142711", rule: patch_icmp_of_xor },
+        },
+        Patch {
+            id: "143211",
+            issue: 143211,
+            description: "fold icmp eq/ne (sub 0, X), 0 into icmp eq/ne X, 0",
+            rule: NamedRule { name: "patch-143211", rule: patch_icmp_of_neg },
+        },
+        Patch {
+            id: "143636",
+            issue: 143636,
+            description: "rewrite select(x < 0, 0, umin(x, C)) into umin(smax(x, 0), C)",
+            rule: NamedRule { name: "patch-143636", rule: patch_clamp_select_to_minmax },
+        },
+        Patch {
+            id: "154238",
+            issue: 154238,
+            description: "remove umin(zext X, C) when C covers the whole range of X",
+            rule: NamedRule { name: "patch-154238", rule: patch_umin_of_zext },
+        },
+        Patch {
+            id: "157315",
+            issue: 157315,
+            description: "fold icmp ne (and X, 1), 0 into trunc X to i1",
+            rule: NamedRule { name: "patch-157315", rule: patch_low_bit_test },
+        },
+        Patch {
+            id: "157370",
+            issue: 157370,
+            description: "fold xor(icmp, true) into the inverted predicate",
+            rule: NamedRule { name: "patch-157370", rule: patch_not_of_icmp },
+        },
+        Patch {
+            id: "157371 (1)",
+            issue: 157371,
+            description: "fold icmp eq (usub.sat X, C), 0 into icmp ule X, C",
+            rule: NamedRule { name: "patch-157371-1", rule: patch_usub_sat_eq_zero },
+        },
+        Patch {
+            id: "157371 (2)",
+            issue: 157371,
+            description: "fold icmp eq (umin X, C), C into icmp uge X, C",
+            rule: NamedRule { name: "patch-157371-2", rule: patch_umin_eq_bound },
+        },
+        Patch {
+            id: "157524",
+            issue: 157524,
+            description: "fold lshr(shl X, C), C into and X, mask",
+            rule: NamedRule { name: "patch-157524", rule: patch_shl_lshr_to_mask },
+        },
+        Patch {
+            id: "163108 (1)",
+            issue: 163108,
+            description: "fold mul(udiv exact X, C), C back into X",
+            rule: NamedRule { name: "patch-163108-1", rule: patch_exact_div_mul },
+        },
+        Patch {
+            id: "163108 (2)",
+            issue: 163108,
+            description: "fold or(and X, C), (and X, ~C) into X",
+            rule: NamedRule { name: "patch-163108-2", rule: patch_or_of_complementary_masks },
+        },
+        Patch {
+            id: "166973",
+            issue: 166973,
+            description: "remove select(x == 0, 0, x) which is always x",
+            rule: NamedRule { name: "patch-166973", rule: patch_redundant_zero_select },
+        },
+    ]
+}
+
+/// Looks up the patches belonging to one LLVM issue (some issues landed as two
+/// commits, matching Table 5's `(1)`/`(2)` rows).
+pub fn patches_for_issue(issue: u32) -> Vec<Patch> {
+    all_patches().into_iter().filter(|p| p.issue == issue).collect()
+}
+
+// ---------------------------------------------------------------------------
+// Individual patch rules
+// ---------------------------------------------------------------------------
+
+/// Issue 128134 / case study 1: `or disjoint (shl nuw (zext (load i16 p+2)), 16), (zext (load i16 p))`
+/// becomes a single `load i32 p` (little-endian layout).
+fn patch_merge_adjacent_loads(func: &mut Function, id: InstId, _b: BlockId, _p: usize) -> bool {
+    let inst = func.inst(id);
+    if inst.ty != Type::i32() {
+        return false;
+    }
+    let InstKind::Binary { op: BinOp::Or, lhs, rhs, .. } = inst.kind.clone() else {
+        return false;
+    };
+    // One side: shl (zext (load i16 HI)), 16; other side: zext (load i16 LO).
+    let match_high = |func: &Function, v: &Value| -> Option<Value> {
+        let (_, shl) = defining_inst(func, v)?;
+        let InstKind::Binary { op: BinOp::Shl, lhs, rhs, .. } = shl.clone() else {
+            return None;
+        };
+        if as_const_int(&rhs)?.zext_value() != 16 {
+            return None;
+        }
+        let (_, zext) = defining_inst(func, &lhs)?;
+        let InstKind::Cast { op: CastOp::ZExt, value, .. } = zext.clone() else {
+            return None;
+        };
+        let (_, load) = defining_inst(func, &value)?;
+        let InstKind::Load { ptr, .. } = load.clone() else {
+            return None;
+        };
+        if func.value_type(&value) != Type::i16() {
+            return None;
+        }
+        Some(ptr)
+    };
+    let match_low = |func: &Function, v: &Value| -> Option<(Value, u32)> {
+        let (_, zext) = defining_inst(func, v)?;
+        let InstKind::Cast { op: CastOp::ZExt, value, .. } = zext.clone() else {
+            return None;
+        };
+        let (_, load) = defining_inst(func, &value)?;
+        let InstKind::Load { ptr, align } = load.clone() else {
+            return None;
+        };
+        if func.value_type(&value) != Type::i16() {
+            return None;
+        }
+        Some((ptr, align))
+    };
+    for (hi, lo) in [(&lhs, &rhs), (&rhs, &lhs)] {
+        let Some(hi_ptr) = match_high(func, hi) else { continue };
+        let Some((lo_ptr, align)) = match_low(func, lo) else { continue };
+        // The high pointer must be `getelementptr i8, lo_ptr, 2` (or i16 index 1).
+        let Some((_, gep)) = defining_inst(func, &hi_ptr) else { continue };
+        let InstKind::Gep { elem_ty, base, index, .. } = gep.clone() else { continue };
+        if base != lo_ptr {
+            continue;
+        }
+        let Some(idx) = as_const_int(&index) else { continue };
+        let byte_offset = idx.zext_value() * elem_ty.size_in_bytes() as u128;
+        if byte_offset != 2 {
+            continue;
+        }
+        return mutate(func, id, InstKind::Load { ptr: lo_ptr, align }, Type::i32());
+    }
+    false
+}
+
+/// Issue 133367 / case study 3: `fcmp oeq (select (fcmp ord x, 0.0), x, 0.0), C`
+/// with `C != 0.0` is just `fcmp oeq x, C`.
+fn patch_fcmp_ord_select(func: &mut Function, id: InstId, _b: BlockId, _p: usize) -> bool {
+    let inst = func.inst(id);
+    let ty = inst.ty.clone();
+    let InstKind::FCmp { pred, lhs, rhs } = inst.kind.clone() else {
+        return false;
+    };
+    // Only `oeq` is safe here: for a NaN input the source compares 0.0 against
+    // the constant, which an inequality predicate could answer differently.
+    if pred != lpo_ir::instruction::FCmpPred::Oeq {
+        return false;
+    }
+    let Some(c) = rhs.as_const().and_then(|c| c.as_float()) else {
+        return false;
+    };
+    if c == 0.0 {
+        return false;
+    }
+    let Some((_, InstKind::Select { cond, on_true, on_false })) =
+        defining_inst(func, &lhs).map(|(i, k)| (i, k.clone()))
+    else {
+        return false;
+    };
+    // on_false must be +0.0 and the condition `fcmp ord on_true, 0.0`.
+    if on_false.as_const().and_then(|c| c.as_float()) != Some(0.0) {
+        return false;
+    }
+    let Some((_, InstKind::FCmp { pred: lpo_ir::instruction::FCmpPred::Ord, lhs: ord_lhs, .. })) =
+        defining_inst(func, &cond).map(|(i, k)| (i, k.clone()))
+    else {
+        return false;
+    };
+    if ord_lhs != on_true {
+        return false;
+    }
+    mutate(func, id, InstKind::FCmp { pred, lhs: on_true, rhs }, ty)
+}
+
+/// Issue 142674 / case study 2: `umax(shl nuw (umax(x, C1)), S), C3` with
+/// `C1 << S <= C3` does not need the inner clamp.
+fn patch_redundant_umax_before_shift(func: &mut Function, id: InstId, block: BlockId, pos: usize) -> bool {
+    let inst = func.inst(id);
+    let ty = inst.ty.clone();
+    let InstKind::Call { intrinsic: Intrinsic::Umax, args, fmf } = inst.kind.clone() else {
+        return false;
+    };
+    let Some(c3) = as_const_int(&args[1]) else {
+        return false;
+    };
+    let Some((_, InstKind::Binary { op: BinOp::Shl, lhs, rhs, flags })) =
+        defining_inst(func, &args[0]).map(|(i, k)| (i, k.clone()))
+    else {
+        return false;
+    };
+    if !flags.nuw {
+        return false;
+    }
+    let Some(shift) = as_const_int(&rhs) else {
+        return false;
+    };
+    let Some((_, InstKind::Call { intrinsic: Intrinsic::Umax, args: inner_args, .. })) =
+        defining_inst(func, &lhs).map(|(i, k)| (i, k.clone()))
+    else {
+        return false;
+    };
+    let Some(c1) = as_const_int(&inner_args[1]) else {
+        return false;
+    };
+    let Some(shifted) = c1.shl(&shift) else {
+        return false;
+    };
+    if c3.ult(&shifted) {
+        return false;
+    }
+    // Build `shl nuw x, S` on the unclamped value and feed it to this umax.
+    let new_shl = insert_before(
+        func,
+        block,
+        pos,
+        InstKind::Binary { op: BinOp::Shl, lhs: inner_args[0].clone(), rhs, flags },
+        ty.clone(),
+        "shl",
+    );
+    mutate(
+        func,
+        id,
+        InstKind::Call { intrinsic: Intrinsic::Umax, args: vec![new_shl, args[1].clone()], fmf },
+        ty,
+    )
+}
+
+/// Issue 142711: `icmp eq/ne (xor X, C1), C2` → `icmp eq/ne X, C1 ^ C2`.
+fn patch_icmp_of_xor(func: &mut Function, id: InstId, _b: BlockId, _p: usize) -> bool {
+    let inst = func.inst(id);
+    let ty = inst.ty.clone();
+    let InstKind::ICmp { pred, lhs, rhs } = inst.kind.clone() else {
+        return false;
+    };
+    if !pred.is_equality() {
+        return false;
+    }
+    let Some(c2) = as_const_int(&rhs) else {
+        return false;
+    };
+    let Some((_, InstKind::Binary { op: BinOp::Xor, lhs: x, rhs: c1_val, .. })) =
+        defining_inst(func, &lhs).map(|(i, k)| (i, k.clone()))
+    else {
+        return false;
+    };
+    let Some(c1) = as_const_int(&c1_val) else {
+        return false;
+    };
+    let operand_ty = func.value_type(&x);
+    mutate(
+        func,
+        id,
+        InstKind::ICmp { pred, lhs: x, rhs: const_apint_of(&operand_ty, c1.xor(&c2)) },
+        ty,
+    )
+}
+
+/// Issue 143211: `icmp eq/ne (sub 0, X), 0` → `icmp eq/ne X, 0`.
+fn patch_icmp_of_neg(func: &mut Function, id: InstId, _b: BlockId, _p: usize) -> bool {
+    let inst = func.inst(id);
+    let ty = inst.ty.clone();
+    let InstKind::ICmp { pred, lhs, rhs } = inst.kind.clone() else {
+        return false;
+    };
+    if !pred.is_equality() || !is_zero(&rhs) {
+        return false;
+    }
+    let Some((_, InstKind::Binary { op: BinOp::Sub, lhs: zero, rhs: x, .. })) =
+        defining_inst(func, &lhs).map(|(i, k)| (i, k.clone()))
+    else {
+        return false;
+    };
+    if !is_zero(&zero) {
+        return false;
+    }
+    mutate(func, id, InstKind::ICmp { pred, lhs: x, rhs }, ty)
+}
+
+/// Issue 143636 / Figure 1: `select (icmp slt x, 0), 0, umin(x, C)` — possibly
+/// with a `trunc` between the `umin` and the select — becomes
+/// `umin(smax(x, 0), C)` (plus the trunc). Works on scalars and vectors.
+fn patch_clamp_select_to_minmax(func: &mut Function, id: InstId, block: BlockId, pos: usize) -> bool {
+    let inst = func.inst(id);
+    let sel_ty = inst.ty.clone();
+    let InstKind::Select { cond, on_true, on_false } = inst.kind.clone() else {
+        return false;
+    };
+    if !is_zero(&on_true) {
+        return false;
+    }
+    // Condition: icmp slt x, 0.
+    let Some((_, InstKind::ICmp { pred: ICmpPred::Slt, lhs: x, rhs: cmp_zero })) =
+        defining_inst(func, &cond).map(|(i, k)| (i, k.clone()))
+    else {
+        return false;
+    };
+    if !is_zero(&cmp_zero) {
+        return false;
+    }
+    // False arm: umin(x, C), optionally behind a trunc.
+    let mut trunc_flags: Option<IntFlags> = None;
+    let mut umin_value = on_false.clone();
+    if let Some((_, InstKind::Cast { op: CastOp::Trunc, value, flags })) =
+        defining_inst(func, &on_false).map(|(i, k)| (i, k.clone()))
+    {
+        trunc_flags = Some(flags);
+        umin_value = value;
+    }
+    let Some((_, InstKind::Call { intrinsic: Intrinsic::Umin, args, fmf })) =
+        defining_inst(func, &umin_value).map(|(i, k)| (i, k.clone()))
+    else {
+        return false;
+    };
+    if args[0] != x {
+        return false;
+    }
+    let bound = args[1].clone();
+    let wide_ty = func.value_type(&x);
+
+    let smax = insert_before(
+        func,
+        block,
+        pos,
+        InstKind::Call {
+            intrinsic: Intrinsic::Smax,
+            args: vec![x, const_int_of(&wide_ty, 0)],
+            fmf,
+        },
+        wide_ty.clone(),
+        "smax",
+    );
+    let umin = insert_before(
+        func,
+        block,
+        pos + 1,
+        InstKind::Call { intrinsic: Intrinsic::Umin, args: vec![smax, bound], fmf },
+        wide_ty.clone(),
+        "umin",
+    );
+    match trunc_flags {
+        Some(flags) => mutate(func, id, InstKind::Cast { op: CastOp::Trunc, value: umin, flags }, sel_ty),
+        None => {
+            replace_with(func, id, umin);
+            true
+        }
+    }
+}
+
+/// Issue 154238: `umin(zext X to iN, C)` is just `zext X` when `C` is at least
+/// the maximum value of `X`'s source type.
+fn patch_umin_of_zext(func: &mut Function, id: InstId, _b: BlockId, _p: usize) -> bool {
+    let inst = func.inst(id);
+    let InstKind::Call { intrinsic: Intrinsic::Umin, args, .. } = inst.kind.clone() else {
+        return false;
+    };
+    let Some(c) = as_const_int(&args[1]) else {
+        return false;
+    };
+    let Some((_, InstKind::Cast { op: CastOp::ZExt, value, .. })) =
+        defining_inst(func, &args[0]).map(|(i, k)| (i, k.clone()))
+    else {
+        return false;
+    };
+    let Some(src_width) = func.value_type(&value).scalar_type().int_width() else {
+        return false;
+    };
+    let src_max = ApInt::all_ones(src_width).zext(c.width());
+    if c.ult(&src_max) {
+        return false;
+    }
+    replace_with(func, id, args[0].clone())
+}
+
+/// Issue 157315: `icmp ne (and X, 1), 0` → `trunc X to i1`.
+fn patch_low_bit_test(func: &mut Function, id: InstId, _b: BlockId, _p: usize) -> bool {
+    let inst = func.inst(id);
+    let ty = inst.ty.clone();
+    if ty != Type::i1() {
+        return false;
+    }
+    let InstKind::ICmp { pred: ICmpPred::Ne, lhs, rhs } = inst.kind.clone() else {
+        return false;
+    };
+    if !is_zero(&rhs) {
+        return false;
+    }
+    let Some((_, InstKind::Binary { op: BinOp::And, lhs: x, rhs: one, .. })) =
+        defining_inst(func, &lhs).map(|(i, k)| (i, k.clone()))
+    else {
+        return false;
+    };
+    if as_const_int(&one).map(|c| c.is_one()) != Some(true) {
+        return false;
+    }
+    mutate(func, id, InstKind::Cast { op: CastOp::Trunc, value: x, flags: IntFlags::none() }, ty)
+}
+
+/// Issue 157370: `xor (icmp pred a, b), true` → `icmp pred' a, b` with the
+/// inverted predicate (when the compare has no other users it then dies).
+fn patch_not_of_icmp(func: &mut Function, id: InstId, _b: BlockId, _p: usize) -> bool {
+    let inst = func.inst(id);
+    let ty = inst.ty.clone();
+    if ty != Type::i1() {
+        return false;
+    }
+    let InstKind::Binary { op: BinOp::Xor, lhs, rhs, .. } = inst.kind.clone() else {
+        return false;
+    };
+    if as_const_int(&rhs).map(|c| c.is_one()) != Some(true) {
+        return false;
+    }
+    let Some((_, InstKind::ICmp { pred, lhs: a, rhs: b })) =
+        defining_inst(func, &lhs).map(|(i, k)| (i, k.clone()))
+    else {
+        return false;
+    };
+    mutate(func, id, InstKind::ICmp { pred: pred.inverted(), lhs: a, rhs: b }, ty)
+}
+
+/// Issue 157371 (1): `icmp eq (usub.sat X, C), 0` → `icmp ule X, C`.
+fn patch_usub_sat_eq_zero(func: &mut Function, id: InstId, _b: BlockId, _p: usize) -> bool {
+    let inst = func.inst(id);
+    let ty = inst.ty.clone();
+    let InstKind::ICmp { pred, lhs, rhs } = inst.kind.clone() else {
+        return false;
+    };
+    if !pred.is_equality() || !is_zero(&rhs) {
+        return false;
+    }
+    let Some((_, InstKind::Call { intrinsic: Intrinsic::UsubSat, args, .. })) =
+        defining_inst(func, &lhs).map(|(i, k)| (i, k.clone()))
+    else {
+        return false;
+    };
+    let new_pred = if pred == ICmpPred::Eq { ICmpPred::Ule } else { ICmpPred::Ugt };
+    mutate(func, id, InstKind::ICmp { pred: new_pred, lhs: args[0].clone(), rhs: args[1].clone() }, ty)
+}
+
+/// Issue 157371 (2): `icmp eq (umin X, C), C` → `icmp uge X, C`.
+fn patch_umin_eq_bound(func: &mut Function, id: InstId, _b: BlockId, _p: usize) -> bool {
+    let inst = func.inst(id);
+    let ty = inst.ty.clone();
+    let InstKind::ICmp { pred, lhs, rhs } = inst.kind.clone() else {
+        return false;
+    };
+    if !pred.is_equality() {
+        return false;
+    }
+    let Some(c) = as_const_int(&rhs) else {
+        return false;
+    };
+    let Some((_, InstKind::Call { intrinsic: Intrinsic::Umin, args, .. })) =
+        defining_inst(func, &lhs).map(|(i, k)| (i, k.clone()))
+    else {
+        return false;
+    };
+    if as_const_int(&args[1]) != Some(c) {
+        return false;
+    }
+    let new_pred = if pred == ICmpPred::Eq { ICmpPred::Uge } else { ICmpPred::Ult };
+    mutate(func, id, InstKind::ICmp { pred: new_pred, lhs: args[0].clone(), rhs }, ty)
+}
+
+/// Issue 157524: `lshr (shl X, C), C` → `and X, (2^(w-C) - 1)`.
+fn patch_shl_lshr_to_mask(func: &mut Function, id: InstId, _b: BlockId, _p: usize) -> bool {
+    let inst = func.inst(id);
+    let ty = inst.ty.clone();
+    let InstKind::Binary { op: BinOp::LShr, lhs, rhs, .. } = inst.kind.clone() else {
+        return false;
+    };
+    let Some(c) = as_const_int(&rhs) else {
+        return false;
+    };
+    let Some((_, InstKind::Binary { op: BinOp::Shl, lhs: x, rhs: inner_c, flags })) =
+        defining_inst(func, &lhs).map(|(i, k)| (i, k.clone()))
+    else {
+        return false;
+    };
+    if flags.nuw || flags.nsw {
+        return false; // flagged shifts have extra poison the mask form would drop uses of
+    }
+    if as_const_int(&inner_c) != Some(c) {
+        return false;
+    }
+    let Some(width) = ty.scalar_type().int_width() else {
+        return false;
+    };
+    let amount = c.zext_value() as u32;
+    if amount == 0 || amount >= width {
+        return false;
+    }
+    let mask = ApInt::all_ones(width - amount).zext(width);
+    mutate(
+        func,
+        id,
+        InstKind::Binary { op: BinOp::And, lhs: x, rhs: const_apint_of(&ty, mask), flags: IntFlags::none() },
+        ty,
+    )
+}
+
+/// Issue 163108 (1): `mul (udiv exact X, C), C` → `X`.
+fn patch_exact_div_mul(func: &mut Function, id: InstId, _b: BlockId, _p: usize) -> bool {
+    let inst = func.inst(id);
+    let InstKind::Binary { op: BinOp::Mul, lhs, rhs, .. } = inst.kind.clone() else {
+        return false;
+    };
+    let Some(c) = as_const_int(&rhs) else {
+        return false;
+    };
+    let Some((_, InstKind::Binary { op: BinOp::UDiv, lhs: x, rhs: divisor, flags })) =
+        defining_inst(func, &lhs).map(|(i, k)| (i, k.clone()))
+    else {
+        return false;
+    };
+    if !flags.exact || as_const_int(&divisor) != Some(c) || c.is_zero() {
+        return false;
+    }
+    replace_with(func, id, x)
+}
+
+/// Issue 163108 (2): `or (and X, C), (and X, ~C)` → `X`.
+fn patch_or_of_complementary_masks(func: &mut Function, id: InstId, _b: BlockId, _p: usize) -> bool {
+    let inst = func.inst(id);
+    let InstKind::Binary { op: BinOp::Or, lhs, rhs, .. } = inst.kind.clone() else {
+        return false;
+    };
+    let get_and = |func: &Function, v: &Value| -> Option<(Value, ApInt)> {
+        let (_, k) = defining_inst(func, v)?;
+        let InstKind::Binary { op: BinOp::And, lhs, rhs, .. } = k.clone() else {
+            return None;
+        };
+        Some((lhs, as_const_int(&rhs)?))
+    };
+    let Some((x1, c1)) = get_and(func, &lhs) else {
+        return false;
+    };
+    let Some((x2, c2)) = get_and(func, &rhs) else {
+        return false;
+    };
+    if x1 != x2 || !c1.xor(&c2).is_all_ones() {
+        return false;
+    }
+    replace_with(func, id, x1)
+}
+
+/// Issue 166973: `select (icmp eq X, 0), 0, X` → `X`.
+fn patch_redundant_zero_select(func: &mut Function, id: InstId, _b: BlockId, _p: usize) -> bool {
+    let inst = func.inst(id);
+    let InstKind::Select { cond, on_true, on_false } = inst.kind.clone() else {
+        return false;
+    };
+    if !is_zero(&on_true) {
+        return false;
+    }
+    let Some((_, InstKind::ICmp { pred: ICmpPred::Eq, lhs, rhs })) =
+        defining_inst(func, &cond).map(|(i, k)| (i, k.clone()))
+    else {
+        return false;
+    };
+    if !is_zero(&rhs) || lhs != on_false {
+        return false;
+    }
+    replace_with(func, id, on_false)
+}
+
+/// A no-op helper keeping `const_bool_of` linked for rules that need it later.
+#[allow(dead_code)]
+fn _keep(ty: &Type) -> Value {
+    const_bool_of(ty, true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::{OptLevel, Pipeline};
+    use lpo_ir::parser::parse_function;
+    use lpo_ir::printer::print_function;
+    use lpo_tv::refine::verify_refinement;
+
+    /// Runs the full O2 pipeline with every patch enabled and checks the
+    /// result is (a) what we expect and (b) a verified refinement.
+    fn optimize_with_patches(text: &str) -> String {
+        let original = parse_function(text).unwrap();
+        let mut f = original.clone();
+        let pipeline = Pipeline::new(OptLevel::O2).with_patches(all_patches());
+        pipeline.run(&mut f);
+        let verdict = verify_refinement(&original, &f);
+        assert!(verdict.is_correct(), "patched optimization is not a refinement: {verdict:?}\n{}", print_function(&f));
+        print_function(&f)
+    }
+
+    #[test]
+    fn patch_inventory_matches_table_5() {
+        let patches = all_patches();
+        assert_eq!(patches.len(), 15);
+        assert_eq!(patches_for_issue(157371).len(), 2);
+        assert_eq!(patches_for_issue(163108).len(), 2);
+        assert_eq!(patches_for_issue(128134).len(), 1);
+        assert!(patches_for_issue(999999).is_empty());
+    }
+
+    #[test]
+    fn merges_adjacent_loads_case_study_1() {
+        let out = optimize_with_patches(
+            "define i32 @src(ptr %0) {\n\
+             %2 = load i16, ptr %0, align 2\n\
+             %3 = getelementptr i8, ptr %0, i64 2\n\
+             %4 = load i16, ptr %3, align 1\n\
+             %5 = zext i16 %4 to i32\n\
+             %6 = shl nuw i32 %5, 16\n\
+             %7 = zext i16 %2 to i32\n\
+             %8 = or disjoint i32 %6, %7\n\
+             ret i32 %8\n}",
+        );
+        assert!(out.contains("load i32, ptr %0"));
+        assert!(!out.contains("shl"));
+    }
+
+    #[test]
+    fn clamp_select_becomes_minmax_figure_1() {
+        let out = optimize_with_patches(
+            "define i8 @src(i32 %0) {\n\
+             %2 = icmp slt i32 %0, 0\n\
+             %3 = call i32 @llvm.umin.i32(i32 %0, i32 255)\n\
+             %4 = trunc nuw i32 %3 to i8\n\
+             %5 = select i1 %2, i8 0, i8 %4\n\
+             ret i8 %5\n}",
+        );
+        assert!(out.contains("llvm.smax.i32"));
+        assert!(out.contains("llvm.umin.i32"));
+        assert!(!out.contains("select"));
+    }
+
+    #[test]
+    fn redundant_umax_removed_case_study_2() {
+        let out = optimize_with_patches(
+            "define i8 @src(i8 %0) {\n\
+             %2 = call i8 @llvm.umax.i8(i8 %0, i8 1)\n\
+             %3 = shl nuw i8 %2, 1\n\
+             %4 = call i8 @llvm.umax.i8(i8 %3, i8 16)\n\
+             ret i8 %4\n}",
+        );
+        assert_eq!(out.matches("umax").count(), 1);
+    }
+
+    #[test]
+    fn fcmp_ord_select_dropped_case_study_3() {
+        let out = optimize_with_patches(
+            "define i1 @src(double %0) {\n\
+             %2 = fcmp ord double %0, 0.000000e+00\n\
+             %3 = select i1 %2, double %0, double 0.000000e+00\n\
+             %4 = fcmp oeq double %3, 1.000000e+00\n\
+             ret i1 %4\n}",
+        );
+        assert!(!out.contains("select"));
+        assert!(!out.contains("ord"));
+        assert!(out.contains("fcmp oeq double %0, 1"));
+    }
+
+    #[test]
+    fn icmp_of_xor_and_neg() {
+        let out = optimize_with_patches(
+            "define i1 @f(i32 %x) {\n %a = xor i32 %x, 12\n %c = icmp eq i32 %a, 5\n ret i1 %c\n}",
+        );
+        assert!(out.contains("icmp eq i32 %x, 9"));
+        let out = optimize_with_patches(
+            "define i1 @f(i32 %x) {\n %n = sub i32 0, %x\n %c = icmp ne i32 %n, 0\n ret i1 %c\n}",
+        );
+        assert!(out.contains("icmp ne i32 %x, 0"));
+    }
+
+    #[test]
+    fn umin_of_zext_and_low_bit_test() {
+        let out = optimize_with_patches(
+            "define i32 @f(i16 %x) {\n %z = zext i16 %x to i32\n %m = call i32 @llvm.umin.i32(i32 %z, i32 70000)\n ret i32 %m\n}",
+        );
+        assert!(!out.contains("umin"));
+        let out = optimize_with_patches(
+            "define i1 @f(i32 %x) {\n %a = and i32 %x, 1\n %c = icmp ne i32 %a, 0\n ret i1 %c\n}",
+        );
+        assert!(out.contains("trunc i32 %x to i1"));
+    }
+
+    #[test]
+    fn not_of_icmp_and_sat_compare() {
+        let out = optimize_with_patches(
+            "define i1 @f(i32 %x, i32 %y) {\n %c = icmp ult i32 %x, %y\n %n = xor i1 %c, true\n ret i1 %n\n}",
+        );
+        assert!(out.contains("icmp uge i32 %x, %y"));
+        let out = optimize_with_patches(
+            "define i1 @f(i8 %x) {\n %s = call i8 @llvm.usub.sat.i8(i8 %x, i8 10)\n %c = icmp eq i8 %s, 0\n ret i1 %c\n}",
+        );
+        assert!(out.contains("icmp ule i8 %x, 10"));
+        let out = optimize_with_patches(
+            "define i1 @f(i8 %x) {\n %m = call i8 @llvm.umin.i8(i8 %x, i8 10)\n %c = icmp eq i8 %m, 10\n ret i1 %c\n}",
+        );
+        assert!(out.contains("icmp uge i8 %x, 10"));
+    }
+
+    #[test]
+    fn mask_division_and_complementary_or() {
+        let out = optimize_with_patches(
+            "define i32 @f(i32 %x) {\n %a = shl i32 %x, 8\n %b = lshr i32 %a, 8\n ret i32 %b\n}",
+        );
+        assert!(out.contains("and i32 %x, 16777215"));
+        let out = optimize_with_patches(
+            "define i32 @f(i32 %x) {\n %d = udiv exact i32 %x, 6\n %m = mul i32 %d, 6\n ret i32 %m\n}",
+        );
+        assert!(out.contains("ret i32 %x"));
+        let out = optimize_with_patches(
+            "define i8 @f(i8 %x) {\n %a = and i8 %x, 15\n %b = and i8 %x, -16\n %o = or i8 %a, %b\n ret i8 %o\n}",
+        );
+        assert!(out.contains("ret i8 %x"));
+    }
+
+    #[test]
+    fn redundant_zero_select() {
+        let out = optimize_with_patches(
+            "define i32 @f(i32 %x) {\n %c = icmp eq i32 %x, 0\n %s = select i1 %c, i32 0, i32 %x\n ret i32 %s\n}",
+        );
+        assert!(out.contains("ret i32 %x"));
+    }
+
+    #[test]
+    fn base_pipeline_misses_all_of_these() {
+        // Without the patches, the pipeline must leave the key shape intact —
+        // these are the *missed* optimizations of the paper.
+        let base = Pipeline::new(OptLevel::O2);
+        let keep_select = "define i8 @src(i32 %0) {\n\
+             %2 = icmp slt i32 %0, 0\n\
+             %3 = call i32 @llvm.umin.i32(i32 %0, i32 255)\n\
+             %4 = trunc nuw i32 %3 to i8\n\
+             %5 = select i1 %2, i8 0, i8 %4\n\
+             ret i8 %5\n}";
+        let mut f = parse_function(keep_select).unwrap();
+        base.run(&mut f);
+        assert!(print_function(&f).contains("select"));
+
+        let keep_loads = "define i32 @src(ptr %0) {\n\
+             %2 = load i16, ptr %0, align 2\n\
+             %3 = getelementptr i8, ptr %0, i64 2\n\
+             %4 = load i16, ptr %3, align 1\n\
+             %5 = zext i16 %4 to i32\n\
+             %6 = shl nuw i32 %5, 16\n\
+             %7 = zext i16 %2 to i32\n\
+             %8 = or disjoint i32 %6, %7\n\
+             ret i32 %8\n}";
+        let mut f = parse_function(keep_loads).unwrap();
+        base.run(&mut f);
+        assert_eq!(print_function(&f).matches("load").count(), 2);
+    }
+}

@@ -1,0 +1,335 @@
+//! The pass pipeline: this reproduction's `opt`.
+//!
+//! A [`Pipeline`] runs constant folding, InstSimplify, InstCombine and DCE to
+//! a (bounded) fixpoint. [`optimize_text`] is the textual front end the LPO
+//! pipeline calls on LLM candidates — it parses, verifies, optimizes and
+//! re-prints, returning `opt`-style error text on failure, exactly the role
+//! `opt -O3` plays in step ③ of the paper's Figure 2.
+
+use crate::dce::eliminate_dead_code;
+use crate::fold::constant_fold;
+use crate::patches::Patch;
+use crate::rewrite::NamedRule;
+use crate::{combine, simplify};
+use lpo_ir::function::Function;
+use lpo_ir::module::Module;
+use lpo_ir::parser::parse_function;
+use lpo_ir::printer::print_function;
+use lpo_ir::verifier::verify_function;
+
+/// Optimization level presets.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum OptLevel {
+    /// No transformations (parse/verify/print only).
+    O0,
+    /// Constant folding, simplification and DCE, single iteration.
+    O1,
+    /// The full rule set to a fixpoint (the default, comparable to `-O3` for
+    /// the peephole-only scope this reproduction covers).
+    #[default]
+    O2,
+}
+
+/// Statistics from one pipeline run.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct OptStats {
+    /// Whether anything changed at all.
+    pub changed: bool,
+    /// Number of fixpoint iterations executed.
+    pub iterations: usize,
+    /// How many times each named rule fired.
+    pub rule_hits: Vec<(String, usize)>,
+}
+
+impl OptStats {
+    fn record(&mut self, name: &str) {
+        if let Some(entry) = self.rule_hits.iter_mut().find(|(n, _)| n == name) {
+            entry.1 += 1;
+        } else {
+            self.rule_hits.push((name.to_string(), 1));
+        }
+    }
+
+    /// Total number of rule applications.
+    pub fn total_hits(&self) -> usize {
+        self.rule_hits.iter().map(|(_, c)| c).sum()
+    }
+}
+
+/// The optimizer pipeline.
+#[derive(Clone, Debug)]
+pub struct Pipeline {
+    level: OptLevel,
+    rules: Vec<NamedRule>,
+    max_iterations: usize,
+}
+
+impl Default for Pipeline {
+    fn default() -> Self {
+        Self::new(OptLevel::O2)
+    }
+}
+
+impl Pipeline {
+    /// Creates a pipeline for the given optimization level with the standard
+    /// rule set (and no patches).
+    pub fn new(level: OptLevel) -> Self {
+        let mut rules = Vec::new();
+        if level != OptLevel::O0 {
+            rules.push(NamedRule { name: "constant-fold", rule: constant_fold });
+            rules.extend(simplify::all_rules());
+            rules.extend(combine::all_rules());
+        }
+        let max_iterations = match level {
+            OptLevel::O0 => 0,
+            OptLevel::O1 => 1,
+            OptLevel::O2 => 16,
+        };
+        Self { level, rules, max_iterations }
+    }
+
+    /// The configured optimization level.
+    pub fn level(&self) -> OptLevel {
+        self.level
+    }
+
+    /// Adds the rules of the given accepted patches (Table 5 experiments).
+    pub fn with_patches(mut self, patches: Vec<Patch>) -> Self {
+        for p in patches {
+            self.rules.push(p.rule);
+        }
+        self
+    }
+
+    /// Adds a single extra rule.
+    pub fn with_rule(mut self, rule: NamedRule) -> Self {
+        self.rules.push(rule);
+        self
+    }
+
+    /// Number of rules installed (useful for ablation reporting).
+    pub fn rule_count(&self) -> usize {
+        self.rules.len()
+    }
+
+    /// Optimizes a function in place and reports what happened.
+    pub fn run(&self, func: &mut Function) -> OptStats {
+        let mut stats = OptStats::default();
+        for iteration in 0..self.max_iterations {
+            let mut changed_this_round = false;
+            // Scan blocks positionally so rules always see a fresh (block, pos).
+            let block_count = func.blocks().len();
+            for block_idx in 0..block_count {
+                let block = lpo_ir::instruction::BlockId(block_idx as u32);
+                let mut pos = 0;
+                while pos < func.block(block).insts.len() {
+                    let inst_id = func.block(block).insts[pos];
+                    let mut fired = false;
+                    for rule in &self.rules {
+                        if (rule.rule)(func, inst_id, block, pos) {
+                            stats.record(rule.name);
+                            changed_this_round = true;
+                            fired = true;
+                            break;
+                        }
+                    }
+                    if !fired {
+                        pos += 1;
+                    } else {
+                        // The instruction may have been erased or replaced;
+                        // re-examine the same position.
+                        pos = pos.min(func.block(block).insts.len());
+                    }
+                }
+            }
+            if self.level != OptLevel::O0 && eliminate_dead_code(func) {
+                changed_this_round = true;
+            }
+            stats.iterations = iteration + 1;
+            if !changed_this_round {
+                break;
+            }
+            stats.changed = true;
+        }
+        if stats.changed {
+            func.compact();
+        }
+        stats
+    }
+
+    /// Optimizes every function of a module in place.
+    pub fn run_module(&self, module: &mut Module) -> OptStats {
+        let mut total = OptStats::default();
+        for func in &mut module.functions {
+            let stats = self.run(func);
+            total.changed |= stats.changed;
+            total.iterations = total.iterations.max(stats.iterations);
+            for (name, count) in stats.rule_hits {
+                for _ in 0..count {
+                    total.record(&name);
+                }
+            }
+        }
+        total
+    }
+}
+
+/// The result of running [`optimize_text`] on a candidate.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TextOptResult {
+    /// The optimized function, re-printed.
+    pub text: String,
+    /// The optimized function itself.
+    pub function: Function,
+    /// Whether the optimizer changed anything.
+    pub changed: bool,
+}
+
+/// Parses, verifies, optimizes and re-prints a textual function — the role
+/// `opt -O3` plays on LLM candidates in the LPO workflow.
+///
+/// # Errors
+///
+/// Returns the diagnostic text (parser or verifier error, formatted like an
+/// `opt` message) to be used as feedback for the LLM.
+pub fn optimize_text(source: &str, pipeline: &Pipeline) -> Result<TextOptResult, String> {
+    let mut func = parse_function(source).map_err(|e| e.to_string())?;
+    verify_function(&func).map_err(|e| e.to_string())?;
+    let stats = pipeline.run(&mut func);
+    Ok(TextOptResult { text: print_function(&func), function: func, changed: stats.changed })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lpo_ir::parser::parse_function;
+    use lpo_tv::refine::verify_refinement;
+
+    fn optimize(text: &str) -> (Function, OptStats) {
+        let mut f = parse_function(text).unwrap();
+        let stats = Pipeline::new(OptLevel::O2).run(&mut f);
+        (f, stats)
+    }
+
+    #[test]
+    fn folds_a_whole_constant_function() {
+        let (f, stats) = optimize(
+            "define i32 @f() {\n\
+             %a = add i32 2, 3\n\
+             %b = mul i32 %a, %a\n\
+             %c = call i32 @llvm.umin.i32(i32 %b, i32 20)\n\
+             ret i32 %c\n}",
+        );
+        assert_eq!(f.instruction_count(), 0);
+        assert!(stats.changed);
+        assert!(stats.total_hits() >= 3);
+        assert!(print_function(&f).contains("ret i32 20"));
+    }
+
+    #[test]
+    fn cleans_up_redundant_code_and_is_a_refinement() {
+        let src = "define i32 @f(i32 %x) {\n\
+             %a = add i32 %x, 0\n\
+             %b = mul i32 %a, 4\n\
+             %c = sub i32 %b, %b\n\
+             %d = or i32 %b, %c\n\
+             %e = add i32 %d, 5\n\
+             %f = add i32 %e, 7\n\
+             ret i32 %f\n}";
+        let original = parse_function(src).unwrap();
+        let (f, _) = optimize(src);
+        assert!(f.instruction_count() <= 3);
+        assert!(verify_refinement(&original, &f).is_correct());
+        let text = print_function(&f);
+        assert!(text.contains("shl i32 %x, 2"));
+        assert!(text.contains(", 12"));
+    }
+
+    #[test]
+    fn optimization_levels_differ() {
+        let src = "define i32 @f(i32 %x) {\n\
+             %a = add i32 %x, 3\n\
+             %b = add i32 %a, 4\n\
+             %c = add i32 %b, 0\n\
+             ret i32 %c\n}";
+        let mut f0 = parse_function(src).unwrap();
+        assert!(!Pipeline::new(OptLevel::O0).run(&mut f0).changed);
+        assert_eq!(f0.instruction_count(), 3);
+
+        let mut f2 = parse_function(src).unwrap();
+        Pipeline::new(OptLevel::O2).run(&mut f2);
+        assert_eq!(f2.instruction_count(), 1);
+    }
+
+    #[test]
+    fn leaves_already_optimal_candidates_unchanged() {
+        // The optimal clamp form from Figure 1c is a fixpoint of the pipeline.
+        let src = "define i8 @tgt(i32 %0) {\n\
+             %2 = call i32 @llvm.smax.i32(i32 %0, i32 0)\n\
+             %3 = call i32 @llvm.umin.i32(i32 %2, i32 255)\n\
+             %4 = trunc nuw i32 %3 to i8\n\
+             ret i8 %4\n}";
+        let (f, stats) = optimize(src);
+        assert!(!stats.changed);
+        assert_eq!(f.instruction_count(), 3);
+    }
+
+    #[test]
+    fn optimize_text_round_trips_and_reports_errors() {
+        let pipeline = Pipeline::default();
+        let ok = optimize_text(
+            "define i32 @f(i32 %x) {\n %a = add i32 %x, 0\n ret i32 %a\n}",
+            &pipeline,
+        )
+        .unwrap();
+        assert!(ok.changed);
+        assert!(ok.text.contains("ret i32 %x"));
+
+        let err = optimize_text(
+            "define i32 @f(i32 %x) {\n %a = smax i32 %x, 0\n ret i32 %a\n}",
+            &pipeline,
+        )
+        .unwrap_err();
+        assert!(err.contains("expected instruction opcode"));
+
+        let err = optimize_text(
+            "define i32 @f(i32 %x) {\n %a = add i32 %x, 0\n ret i8 0\n}",
+            &pipeline,
+        )
+        .unwrap_err();
+        assert!(err.contains("does not match function return type"));
+    }
+
+    #[test]
+    fn run_module_aggregates_stats() {
+        let mut module = lpo_ir::module::Module::new("m");
+        module.add_function(parse_function("define i32 @a(i32 %x) {\n %r = add i32 %x, 0\n ret i32 %r\n}").unwrap());
+        module.add_function(parse_function("define i32 @b(i32 %x) {\n %r = mul i32 %x, 1\n ret i32 %r\n}").unwrap());
+        let stats = Pipeline::default().run_module(&mut module);
+        assert!(stats.changed);
+        assert_eq!(module.instruction_count(), 0);
+        assert!(stats.total_hits() >= 2);
+    }
+
+    #[test]
+    fn pipeline_terminates_on_pathological_input() {
+        // A chain of 60 alternating operations must still settle quickly.
+        let mut text = String::from("define i32 @f(i32 %x) {\n %v0 = add i32 %x, 1\n");
+        for i in 1..60 {
+            let op = if i % 2 == 0 { "add" } else { "xor" };
+            text.push_str(&format!(" %v{i} = {op} i32 %v{}, {i}\n", i - 1));
+        }
+        text.push_str(" ret i32 %v59\n}");
+        let (_, stats) = optimize(&text);
+        assert!(stats.iterations <= 16);
+    }
+
+    #[test]
+    fn rule_hit_reporting() {
+        let (_, stats) = optimize("define i32 @f(i32 %x) {\n %a = add i32 %x, 0\n ret i32 %a\n}");
+        assert!(stats.rule_hits.iter().any(|(n, _)| n == "binary-identities"));
+        let pipeline = Pipeline::new(OptLevel::O2);
+        assert!(pipeline.rule_count() >= 15);
+        assert_eq!(pipeline.level(), OptLevel::O2);
+    }
+}

@@ -1,0 +1,466 @@
+//! InstSimplify-style rules: rewrites that replace an instruction with an
+//! existing value or a constant, without creating new instructions.
+
+use crate::known_bits::{known_bits, DEFAULT_DEPTH};
+use crate::rewrite::{
+    as_const_int, const_apint_of, const_bool_of, const_int_of, is_all_ones, is_one, is_zero,
+    replace_with, same_value,
+};
+use lpo_ir::apint::ApInt;
+use lpo_ir::function::Function;
+use lpo_ir::instruction::{BinOp, BlockId, ICmpPred, InstId, InstKind, Intrinsic};
+
+/// `x + 0`, `x * 1`, `x & x`, `x ^ x`, shifts by zero, … — the classic
+/// algebraic identities over integer binary operators.
+pub fn binary_identities(func: &mut Function, id: InstId, _b: BlockId, _p: usize) -> bool {
+    let inst = func.inst(id);
+    let ty = inst.ty.clone();
+    let InstKind::Binary { op, lhs, rhs, .. } = inst.kind.clone() else {
+        return false;
+    };
+    let zero = || const_int_of(&ty, 0);
+    match op {
+        BinOp::Add => {
+            if is_zero(&rhs) {
+                return replace_with(func, id, lhs);
+            }
+            if is_zero(&lhs) {
+                return replace_with(func, id, rhs);
+            }
+        }
+        BinOp::Sub => {
+            if is_zero(&rhs) {
+                return replace_with(func, id, lhs);
+            }
+            if same_value(&lhs, &rhs) {
+                return replace_with(func, id, zero());
+            }
+        }
+        BinOp::Mul => {
+            if is_one(&rhs) {
+                return replace_with(func, id, lhs);
+            }
+            if is_one(&lhs) {
+                return replace_with(func, id, rhs);
+            }
+            if is_zero(&rhs) || is_zero(&lhs) {
+                return replace_with(func, id, zero());
+            }
+        }
+        BinOp::And => {
+            if is_all_ones(&rhs) {
+                return replace_with(func, id, lhs);
+            }
+            if is_all_ones(&lhs) {
+                return replace_with(func, id, rhs);
+            }
+            if is_zero(&rhs) || is_zero(&lhs) {
+                return replace_with(func, id, zero());
+            }
+            if same_value(&lhs, &rhs) {
+                return replace_with(func, id, lhs);
+            }
+        }
+        BinOp::Or => {
+            if is_zero(&rhs) {
+                return replace_with(func, id, lhs);
+            }
+            if is_zero(&lhs) {
+                return replace_with(func, id, rhs);
+            }
+            if is_all_ones(&rhs) || is_all_ones(&lhs) {
+                return replace_with(func, id, const_int_of(&ty, -1));
+            }
+            if same_value(&lhs, &rhs) {
+                return replace_with(func, id, lhs);
+            }
+        }
+        BinOp::Xor => {
+            if is_zero(&rhs) {
+                return replace_with(func, id, lhs);
+            }
+            if is_zero(&lhs) {
+                return replace_with(func, id, rhs);
+            }
+            if same_value(&lhs, &rhs) {
+                return replace_with(func, id, zero());
+            }
+        }
+        BinOp::UDiv | BinOp::SDiv => {
+            if is_one(&rhs) {
+                return replace_with(func, id, lhs);
+            }
+        }
+        BinOp::URem | BinOp::SRem => {
+            if is_one(&rhs) {
+                return replace_with(func, id, zero());
+            }
+        }
+        BinOp::Shl | BinOp::LShr | BinOp::AShr => {
+            if is_zero(&rhs) {
+                return replace_with(func, id, lhs);
+            }
+            if is_zero(&lhs) {
+                return replace_with(func, id, zero());
+            }
+        }
+    }
+    false
+}
+
+/// `select` simplifications that do not create instructions.
+pub fn select_simplify(func: &mut Function, id: InstId, _b: BlockId, _p: usize) -> bool {
+    let inst = func.inst(id);
+    let InstKind::Select { cond, on_true, on_false } = inst.kind.clone() else {
+        return false;
+    };
+    if same_value(&on_true, &on_false) {
+        return replace_with(func, id, on_true);
+    }
+    if let Some(c) = as_const_int(&cond) {
+        if c.width() == 1 {
+            let chosen = if c.is_one() { on_true } else { on_false };
+            return replace_with(func, id, chosen);
+        }
+    }
+    // select %c, true, false → %c (only for scalar i1 results).
+    if inst.ty == lpo_ir::types::Type::i1() && is_one(&on_true) && is_zero(&on_false) {
+        return replace_with(func, id, cond);
+    }
+    false
+}
+
+/// Comparison simplifications: `x == x`, comparisons against type bounds, and
+/// range facts derived from known bits.
+pub fn icmp_simplify(func: &mut Function, id: InstId, _b: BlockId, _p: usize) -> bool {
+    let inst = func.inst(id);
+    let result_ty = inst.ty.clone();
+    let InstKind::ICmp { pred, lhs, rhs } = inst.kind.clone() else {
+        return false;
+    };
+    let answer = |func: &mut Function, v: bool| replace_with(func, id, const_bool_of(&result_ty, v));
+
+    if same_value(&lhs, &rhs) {
+        let v = matches!(
+            pred,
+            ICmpPred::Eq | ICmpPred::Uge | ICmpPred::Ule | ICmpPred::Sge | ICmpPred::Sle
+        );
+        return answer(func, v);
+    }
+    let operand_ty = func.value_type(&lhs);
+    let Some(width) = operand_ty.scalar_type().int_width() else {
+        return false;
+    };
+    if let Some(c) = as_const_int(&rhs) {
+        // Comparisons that are tautologically true/false at the type bounds.
+        match pred {
+            ICmpPred::Ult if c.is_zero() => return answer(func, false),
+            ICmpPred::Uge if c.is_zero() => return answer(func, true),
+            ICmpPred::Ugt if c.is_all_ones() => return answer(func, false),
+            ICmpPred::Ule if c.is_all_ones() => return answer(func, true),
+            ICmpPred::Sgt if c == ApInt::signed_max(width) => return answer(func, false),
+            ICmpPred::Sle if c == ApInt::signed_max(width) => return answer(func, true),
+            ICmpPred::Slt if c == ApInt::signed_min(width) => return answer(func, false),
+            ICmpPred::Sge if c == ApInt::signed_min(width) => return answer(func, true),
+            _ => {}
+        }
+        // Known-bits ranges (scalar only).
+        if !operand_ty.is_vector() {
+            let kb = known_bits(func, &lhs, DEFAULT_DEPTH);
+            let umax = kb.umax();
+            let umin = kb.umin();
+            match pred {
+                ICmpPred::Ult if umax < c.zext_value() => return answer(func, true),
+                ICmpPred::Ult if umin >= c.zext_value() => return answer(func, false),
+                ICmpPred::Ule if umax <= c.zext_value() => return answer(func, true),
+                ICmpPred::Ugt if umin > c.zext_value() => return answer(func, true),
+                ICmpPred::Ugt if umax <= c.zext_value() => return answer(func, false),
+                ICmpPred::Uge if umin >= c.zext_value() => return answer(func, true),
+                ICmpPred::Eq if umax < c.zext_value() || umin > c.zext_value() => {
+                    return answer(func, false)
+                }
+                ICmpPred::Ne if umax < c.zext_value() || umin > c.zext_value() => {
+                    return answer(func, true)
+                }
+                // A value with its sign bit known zero is never negative.
+                ICmpPred::Slt if c.is_zero() && kb.is_non_negative() => return answer(func, false),
+                ICmpPred::Sge if c.is_zero() && kb.is_non_negative() => return answer(func, true),
+                _ => {}
+            }
+        }
+    }
+    false
+}
+
+/// Min/max intrinsic simplifications (`umin(x, x)`, clamps at type bounds, …).
+pub fn minmax_simplify(func: &mut Function, id: InstId, _b: BlockId, _p: usize) -> bool {
+    let inst = func.inst(id);
+    let ty = inst.ty.clone();
+    let InstKind::Call { intrinsic, args, .. } = inst.kind.clone() else {
+        return false;
+    };
+    if !intrinsic.is_min_max() || args.len() != 2 {
+        return false;
+    }
+    let (a, b) = (args[0].clone(), args[1].clone());
+    if same_value(&a, &b) {
+        return replace_with(func, id, a);
+    }
+    let Some(width) = ty.scalar_type().int_width() else {
+        return false;
+    };
+    let umax_const = ApInt::all_ones(width);
+    let smin_const = ApInt::signed_min(width);
+    let smax_const = ApInt::signed_max(width);
+    for (x, c_operand) in [(&a, &b), (&b, &a)] {
+        let Some(c) = as_const_int(c_operand) else { continue };
+        match intrinsic {
+            Intrinsic::Umin => {
+                if c.is_zero() {
+                    return replace_with(func, id, const_int_of(&ty, 0));
+                }
+                if c == umax_const {
+                    return replace_with(func, id, x.clone());
+                }
+            }
+            Intrinsic::Umax => {
+                if c.is_zero() {
+                    return replace_with(func, id, x.clone());
+                }
+                if c == umax_const {
+                    return replace_with(func, id, const_apint_of(&ty, umax_const));
+                }
+            }
+            Intrinsic::Smin => {
+                if c == smin_const {
+                    return replace_with(func, id, const_apint_of(&ty, smin_const));
+                }
+                if c == smax_const {
+                    return replace_with(func, id, x.clone());
+                }
+            }
+            Intrinsic::Smax => {
+                if c == smax_const {
+                    return replace_with(func, id, const_apint_of(&ty, smax_const));
+                }
+                if c == smin_const {
+                    return replace_with(func, id, x.clone());
+                }
+            }
+            _ => {}
+        }
+    }
+    false
+}
+
+/// Known-bits driven simplifications for `and`/`or`.
+pub fn known_bits_simplify(func: &mut Function, id: InstId, _b: BlockId, _p: usize) -> bool {
+    let inst = func.inst(id);
+    let ty = inst.ty.clone();
+    if ty.is_vector() {
+        return false;
+    }
+    let InstKind::Binary { op, lhs, rhs, .. } = inst.kind.clone() else {
+        return false;
+    };
+    let Some(c) = as_const_int(&rhs) else {
+        return false;
+    };
+    let kb = known_bits(func, &lhs, DEFAULT_DEPTH);
+    match op {
+        BinOp::And => {
+            // Every bit that can possibly be set in lhs is kept by the mask.
+            if kb.umax() & !c.zext_value() == 0 {
+                return replace_with(func, id, lhs);
+            }
+            // The mask and the value share no bits.
+            if kb.umax() & c.zext_value() == 0 {
+                return replace_with(func, id, const_int_of(&ty, 0));
+            }
+        }
+        BinOp::Or => {
+            // Or-ing in bits that are already known set changes nothing.
+            if c.zext_value() & !kb.ones == 0 {
+                return replace_with(func, id, lhs);
+            }
+        }
+        _ => {}
+    }
+    false
+}
+
+/// GEP with a zero index is the base pointer.
+pub fn gep_simplify(func: &mut Function, id: InstId, _b: BlockId, _p: usize) -> bool {
+    let inst = func.inst(id);
+    let InstKind::Gep { base, index, .. } = inst.kind.clone() else {
+        return false;
+    };
+    if is_zero(&index) {
+        return replace_with(func, id, base);
+    }
+    false
+}
+
+/// All InstSimplify rules in the order the pipeline applies them.
+pub fn all_rules() -> Vec<crate::rewrite::NamedRule> {
+    vec![
+        crate::rewrite::NamedRule { name: "binary-identities", rule: binary_identities },
+        crate::rewrite::NamedRule { name: "select-simplify", rule: select_simplify },
+        crate::rewrite::NamedRule { name: "icmp-simplify", rule: icmp_simplify },
+        crate::rewrite::NamedRule { name: "minmax-simplify", rule: minmax_simplify },
+        crate::rewrite::NamedRule { name: "known-bits-simplify", rule: known_bits_simplify },
+        crate::rewrite::NamedRule { name: "gep-simplify", rule: gep_simplify },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lpo_ir::parser::parse_function;
+    use lpo_ir::printer::print_function;
+
+    fn apply_all(text: &str) -> String {
+        let mut f = parse_function(text).unwrap();
+        for _ in 0..4 {
+            let ids: Vec<_> = f.iter_inst_ids().collect();
+            for id in ids {
+                if !f.iter_inst_ids().any(|i| i == id) {
+                    continue;
+                }
+                for rule in all_rules() {
+                    if !f.iter_inst_ids().any(|i| i == id) {
+                        break;
+                    }
+                    let entry = f.entry();
+                    (rule.rule)(&mut f, id, entry, 0);
+                }
+            }
+        }
+        print_function(&f)
+    }
+
+    #[test]
+    fn add_and_mul_identities() {
+        let out = apply_all("define i32 @f(i32 %x) {\n %a = add i32 %x, 0\n %b = mul i32 %a, 1\n ret i32 %b\n}");
+        assert!(out.contains("ret i32 %x"));
+        let out = apply_all("define i32 @f(i32 %x) {\n %a = sub i32 %x, %x\n ret i32 %a\n}");
+        assert!(out.contains("ret i32 0"));
+        let out = apply_all("define i32 @f(i32 %x) {\n %a = mul i32 %x, 0\n ret i32 %a\n}");
+        assert!(out.contains("ret i32 0"));
+    }
+
+    #[test]
+    fn bitwise_identities() {
+        assert!(apply_all("define i8 @f(i8 %x) {\n %a = and i8 %x, -1\n ret i8 %a\n}").contains("ret i8 %x"));
+        assert!(apply_all("define i8 @f(i8 %x) {\n %a = and i8 %x, 0\n ret i8 %a\n}").contains("ret i8 0"));
+        assert!(apply_all("define i8 @f(i8 %x) {\n %a = or i8 %x, 0\n ret i8 %a\n}").contains("ret i8 %x"));
+        assert!(apply_all("define i8 @f(i8 %x) {\n %a = or i8 %x, -1\n ret i8 %a\n}").contains("ret i8 -1"));
+        assert!(apply_all("define i8 @f(i8 %x) {\n %a = xor i8 %x, %x\n ret i8 %a\n}").contains("ret i8 0"));
+        assert!(apply_all("define i8 @f(i8 %x) {\n %a = xor i8 %x, 0\n ret i8 %a\n}").contains("ret i8 %x"));
+    }
+
+    #[test]
+    fn division_and_shift_identities() {
+        assert!(apply_all("define i32 @f(i32 %x) {\n %a = udiv i32 %x, 1\n ret i32 %a\n}").contains("ret i32 %x"));
+        assert!(apply_all("define i32 @f(i32 %x) {\n %a = urem i32 %x, 1\n ret i32 %a\n}").contains("ret i32 0"));
+        assert!(apply_all("define i32 @f(i32 %x) {\n %a = shl i32 %x, 0\n ret i32 %a\n}").contains("ret i32 %x"));
+        assert!(apply_all("define i32 @f(i32 %x) {\n %a = lshr i32 0, %x\n ret i32 %a\n}").contains("ret i32 0"));
+    }
+
+    #[test]
+    fn vector_identities_via_splats() {
+        let out = apply_all(
+            "define <4 x i32> @f(<4 x i32> %x) {\n %a = add <4 x i32> %x, zeroinitializer\n ret <4 x i32> %a\n}",
+        );
+        assert!(out.contains("ret <4 x i32> %x"));
+        let out = apply_all(
+            "define <4 x i32> @f(<4 x i32> %x) {\n %a = mul <4 x i32> %x, splat (i32 1)\n ret <4 x i32> %a\n}",
+        );
+        assert!(out.contains("ret <4 x i32> %x"));
+    }
+
+    #[test]
+    fn select_rules() {
+        assert!(apply_all("define i32 @f(i1 %c, i32 %x) {\n %s = select i1 %c, i32 %x, i32 %x\n ret i32 %s\n}")
+            .contains("ret i32 %x"));
+        assert!(apply_all("define i32 @f(i32 %x, i32 %y) {\n %s = select i1 true, i32 %x, i32 %y\n ret i32 %s\n}")
+            .contains("ret i32 %x"));
+        assert!(apply_all("define i1 @f(i1 %c) {\n %s = select i1 %c, i1 true, i1 false\n ret i1 %s\n}")
+            .contains("ret i1 %c"));
+    }
+
+    #[test]
+    fn icmp_rules() {
+        assert!(apply_all("define i1 @f(i32 %x) {\n %c = icmp eq i32 %x, %x\n ret i1 %c\n}").contains("ret i1 true"));
+        assert!(apply_all("define i1 @f(i32 %x) {\n %c = icmp ult i32 %x, 0\n ret i1 %c\n}").contains("ret i1 false"));
+        assert!(apply_all("define i1 @f(i32 %x) {\n %c = icmp uge i32 %x, 0\n ret i1 %c\n}").contains("ret i1 true"));
+        assert!(apply_all("define i1 @f(i8 %x) {\n %c = icmp sgt i8 %x, 127\n ret i1 %c\n}").contains("ret i1 false"));
+        // Known-bits range: (x & 15) is always < 100.
+        let out = apply_all(
+            "define i1 @f(i32 %x) {\n %m = and i32 %x, 15\n %c = icmp ult i32 %m, 100\n ret i1 %c\n}",
+        );
+        assert!(out.contains("ret i1 true"));
+        // zext result is never negative.
+        let out = apply_all(
+            "define i1 @f(i16 %x) {\n %z = zext i16 %x to i32\n %c = icmp slt i32 %z, 0\n ret i1 %c\n}",
+        );
+        assert!(out.contains("ret i1 false"));
+    }
+
+    #[test]
+    fn minmax_rules() {
+        assert!(apply_all("define i32 @f(i32 %x) {\n %m = call i32 @llvm.umin.i32(i32 %x, i32 %x)\n ret i32 %m\n}")
+            .contains("ret i32 %x"));
+        assert!(apply_all("define i32 @f(i32 %x) {\n %m = call i32 @llvm.umin.i32(i32 %x, i32 0)\n ret i32 %m\n}")
+            .contains("ret i32 0"));
+        assert!(apply_all("define i32 @f(i32 %x) {\n %m = call i32 @llvm.umax.i32(i32 %x, i32 0)\n ret i32 %m\n}")
+            .contains("ret i32 %x"));
+        assert!(apply_all("define i32 @f(i32 %x) {\n %m = call i32 @llvm.umin.i32(i32 %x, i32 -1)\n ret i32 %m\n}")
+            .contains("ret i32 %x"));
+        assert!(apply_all("define i8 @f(i8 %x) {\n %m = call i8 @llvm.smax.i8(i8 %x, i8 -128)\n ret i8 %m\n}")
+            .contains("ret i8 %x"));
+        assert!(apply_all("define i8 @f(i8 %x) {\n %m = call i8 @llvm.smin.i8(i8 %x, i8 127)\n ret i8 %m\n}")
+            .contains("ret i8 %x"));
+    }
+
+    #[test]
+    fn known_bits_and_or() {
+        let out = apply_all(
+            "define i32 @f(i32 %x) {\n %m = and i32 %x, 15\n %a = and i32 %m, 255\n ret i32 %a\n}",
+        );
+        assert!(out.contains("ret i32 %m"));
+        let out = apply_all(
+            "define i32 @f(i32 %x) {\n %m = and i32 %x, 240\n %a = and i32 %m, 15\n ret i32 %a\n}",
+        );
+        assert!(out.contains("ret i32 0"));
+        let out = apply_all(
+            "define i32 @f(i32 %x) {\n %m = or i32 %x, 8\n %a = or i32 %m, 8\n ret i32 %a\n}",
+        );
+        assert!(out.contains("ret i32 %m"));
+    }
+
+    #[test]
+    fn gep_zero_index() {
+        let out = apply_all(
+            "define ptr @f(ptr %p) {\n %g = getelementptr i32, ptr %p, i64 0\n ret ptr %g\n}",
+        );
+        assert!(out.contains("ret ptr %p"));
+    }
+
+    #[test]
+    fn does_not_touch_the_missed_optimizations() {
+        // The Figure 1 pattern must stay untouched: none of the simplify rules
+        // may fold the select with the umin — that is exactly the optimization
+        // LLVM misses and the LLM is supposed to find.
+        let src = "define i8 @src(i32 %0) {\n\
+             %2 = icmp slt i32 %0, 0\n\
+             %3 = call i32 @llvm.umin.i32(i32 %0, i32 255)\n\
+             %4 = trunc nuw i32 %3 to i8\n\
+             %5 = select i1 %2, i8 0, i8 %4\n\
+             ret i8 %5\n}";
+        let out = apply_all(src);
+        assert!(out.contains("select"));
+        assert!(out.contains("icmp slt"));
+        assert!(out.contains("llvm.umin"));
+    }
+}

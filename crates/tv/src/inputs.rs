@@ -1,0 +1,290 @@
+//! Test-input generation for refinement checking.
+//!
+//! The checker evaluates the source and target functions on a set of concrete
+//! inputs. For small integer signatures the set is *exhaustive* (every
+//! possible argument combination), which makes the check a proof over that
+//! domain; for larger signatures it combines corner values with seeded random
+//! samples — the same engineering trade-off bounded translation validators
+//! make, scaled to the tiny functions the LPO pipeline works with.
+
+use lpo_interp::memory::{Allocation, Memory};
+use lpo_interp::value::{EvalValue, PtrValue};
+use lpo_ir::apint::ApInt;
+use lpo_ir::function::Function;
+use lpo_ir::types::Type;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Size of the allocation bound to each pointer argument.
+pub const PTR_ALLOC_SIZE: usize = 64;
+
+/// One concrete input: argument values plus the initial memory they refer to.
+#[derive(Clone, Debug)]
+pub struct TestInput {
+    /// One value per function parameter.
+    pub args: Vec<EvalValue>,
+    /// The initial memory (holds the allocations pointer arguments point into).
+    pub memory: Memory,
+}
+
+/// Configuration of the input generator.
+#[derive(Clone, Debug)]
+pub struct InputConfig {
+    /// If the total number of integer input bits is at most this, enumerate
+    /// the entire input space.
+    pub exhaustive_bits: u32,
+    /// Number of random samples when the space is too large to enumerate.
+    pub random_samples: usize,
+    /// RNG seed, so verification verdicts are reproducible.
+    pub seed: u64,
+}
+
+impl Default for InputConfig {
+    fn default() -> Self {
+        Self { exhaustive_bits: 16, random_samples: 192, seed: 0x1b0_5eed }
+    }
+}
+
+/// Generates the test inputs for a function signature.
+///
+/// Pointer parameters are each bound to a fresh [`PTR_ALLOC_SIZE`]-byte
+/// allocation whose contents vary across inputs.
+pub fn generate_inputs(func: &Function, config: &InputConfig) -> Vec<TestInput> {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    if let Some(inputs) = try_exhaustive(func, config) {
+        return inputs;
+    }
+    let mut inputs = Vec::new();
+    // Corner-value cross products are capped to avoid explosion: we take the
+    // "diagonal plus corners-of-first-two-args" pattern.
+    let corner_sets: Vec<Vec<EvalValue>> =
+        func.params.iter().map(|p| corner_values(&p.ty)).collect();
+    let max_corners = corner_sets.iter().map(Vec::len).max().unwrap_or(0);
+    for i in 0..max_corners {
+        let args: Vec<EvalValue> = corner_sets
+            .iter()
+            .map(|set| set[i % set.len()].clone())
+            .collect();
+        inputs.push(bind_memory(func, args, &mut rng, i as u64));
+    }
+    if corner_sets.len() >= 2 {
+        for i in 0..corner_sets[0].len().min(6) {
+            for j in 0..corner_sets[1].len().min(6) {
+                let mut args = vec![corner_sets[0][i].clone(), corner_sets[1][j].clone()];
+                for set in &corner_sets[2..] {
+                    args.push(set[(i + j) % set.len()].clone());
+                }
+                inputs.push(bind_memory(func, args, &mut rng, (i * 31 + j) as u64));
+            }
+        }
+    }
+    for k in 0..config.random_samples {
+        let args: Vec<EvalValue> =
+            func.params.iter().map(|p| random_value(&p.ty, &mut rng)).collect();
+        inputs.push(bind_memory(func, args, &mut rng, k as u64));
+    }
+    inputs
+}
+
+fn try_exhaustive(func: &Function, config: &InputConfig) -> Option<Vec<TestInput>> {
+    let mut total_bits: u32 = 0;
+    for p in &func.params {
+        match &p.ty {
+            Type::Int(w) => total_bits += w,
+            Type::Vector(n, elem) => match elem.as_ref() {
+                Type::Int(w) => total_bits += n * w,
+                _ => return None,
+            },
+            _ => return None,
+        }
+        if total_bits > config.exhaustive_bits {
+            return None;
+        }
+    }
+    let count: u128 = 1u128 << total_bits;
+    let mut inputs = Vec::with_capacity(count as usize);
+    for pattern in 0..count {
+        let mut remaining = pattern;
+        let mut args = Vec::with_capacity(func.params.len());
+        for p in &func.params {
+            let (value, rest) = decode_arg(&p.ty, remaining);
+            remaining = rest;
+            args.push(value);
+        }
+        inputs.push(TestInput { args, memory: Memory::new() });
+    }
+    Some(inputs)
+}
+
+fn decode_arg(ty: &Type, bits: u128) -> (EvalValue, u128) {
+    match ty {
+        Type::Int(w) => (EvalValue::Int(ApInt::new(*w, bits)), bits >> w),
+        Type::Vector(n, elem) => {
+            let w = elem.int_width().expect("checked in try_exhaustive");
+            let mut rest = bits;
+            let mut lanes = Vec::with_capacity(*n as usize);
+            for _ in 0..*n {
+                lanes.push(EvalValue::Int(ApInt::new(w, rest)));
+                rest >>= w;
+            }
+            (EvalValue::Vector(lanes), rest)
+        }
+        _ => unreachable!("non-integer argument in exhaustive mode"),
+    }
+}
+
+/// The corner values we always test for a given scalar/vector type.
+pub fn corner_values(ty: &Type) -> Vec<EvalValue> {
+    match ty {
+        Type::Int(w) => {
+            let mut vals = vec![
+                ApInt::zero(*w),
+                ApInt::one(*w),
+                ApInt::all_ones(*w),
+                ApInt::signed_min(*w),
+                ApInt::signed_max(*w),
+                ApInt::new(*w, 2),
+                ApInt::from_i128(*w, -2),
+            ];
+            if *w >= 8 {
+                vals.push(ApInt::new(*w, 16));
+                vals.push(ApInt::new(*w, 255));
+                vals.push(ApInt::new(*w, 0xaa));
+            }
+            vals.dedup();
+            vals.into_iter().map(EvalValue::Int).collect()
+        }
+        Type::Float(k) => [0.0, -0.0, 1.0, -1.0, 0.5, 2.0, f64::NAN, f64::INFINITY, f64::NEG_INFINITY, 255.5]
+            .iter()
+            .map(|v| EvalValue::Float(*k, *v))
+            .collect(),
+        Type::Ptr => vec![EvalValue::Ptr(PtrValue { alloc: usize::MAX, offset: 0 })],
+        Type::Vector(n, elem) => {
+            let scalars = corner_values(elem);
+            let mut out = Vec::new();
+            for (i, _) in scalars.iter().enumerate() {
+                let lanes: Vec<EvalValue> = (0..*n as usize)
+                    .map(|lane| scalars[(i + lane) % scalars.len()].clone())
+                    .collect();
+                out.push(EvalValue::Vector(lanes));
+            }
+            out
+        }
+        Type::Void => vec![],
+    }
+}
+
+/// A seeded random value of the given type.
+pub fn random_value(ty: &Type, rng: &mut StdRng) -> EvalValue {
+    match ty {
+        Type::Int(w) => {
+            let raw: u128 = ((rng.gen::<u64>() as u128) << 64) | rng.gen::<u64>() as u128;
+            EvalValue::Int(ApInt::new(*w, raw))
+        }
+        Type::Float(k) => {
+            let choice: u8 = rng.gen_range(0..10);
+            let v = match choice {
+                0 => f64::NAN,
+                1 => f64::INFINITY,
+                2 => 0.0,
+                _ => (rng.gen::<f64>() - 0.5) * 1000.0,
+            };
+            EvalValue::Float(*k, v)
+        }
+        Type::Ptr => EvalValue::Ptr(PtrValue { alloc: usize::MAX, offset: 0 }),
+        Type::Vector(n, elem) => {
+            EvalValue::Vector((0..*n).map(|_| random_value(elem, rng)).collect())
+        }
+        Type::Void => EvalValue::Undef,
+    }
+}
+
+/// Binds every pointer argument to a fresh allocation with varied contents.
+fn bind_memory(func: &Function, mut args: Vec<EvalValue>, rng: &mut StdRng, salt: u64) -> TestInput {
+    let mut memory = Memory::new();
+    for (i, p) in func.params.iter().enumerate() {
+        if p.ty.is_ptr() {
+            let mut bytes = vec![0u8; PTR_ALLOC_SIZE];
+            match salt % 4 {
+                0 => {}
+                1 => bytes.iter_mut().for_each(|b| *b = 0xff),
+                2 => bytes.iter_mut().enumerate().for_each(|(j, b)| *b = j as u8),
+                _ => bytes.iter_mut().for_each(|b| *b = rng.gen()),
+            }
+            let alloc = memory.allocate(Allocation::with_bytes(bytes));
+            args[i] = EvalValue::Ptr(PtrValue { alloc, offset: 0 });
+        }
+    }
+    TestInput { args, memory }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lpo_ir::parser::parse_function;
+
+    #[test]
+    fn small_signatures_are_exhaustive() {
+        let f = parse_function("define i8 @f(i8 %x) {\n ret i8 %x\n}").unwrap();
+        let inputs = generate_inputs(&f, &InputConfig::default());
+        assert_eq!(inputs.len(), 256);
+        let f2 = parse_function("define i8 @f(i8 %x, i8 %y) {\n ret i8 %x\n}").unwrap();
+        let inputs2 = generate_inputs(&f2, &InputConfig::default());
+        assert_eq!(inputs2.len(), 65536);
+    }
+
+    #[test]
+    fn large_signatures_are_sampled() {
+        let f = parse_function("define i32 @f(i32 %x, i32 %y) {\n ret i32 %x\n}").unwrap();
+        let config = InputConfig::default();
+        let inputs = generate_inputs(&f, &config);
+        assert!(inputs.len() > config.random_samples);
+        assert!(inputs.len() < 5000);
+        // Corner values are present: find x == INT_MIN.
+        assert!(inputs.iter().any(|i| {
+            matches!(&i.args[0], EvalValue::Int(v) if *v == ApInt::signed_min(32))
+        }));
+    }
+
+    #[test]
+    fn pointer_args_get_allocations() {
+        let f = parse_function("define i32 @f(ptr %p) {\n %v = load i32, ptr %p, align 4\n ret i32 %v\n}").unwrap();
+        let inputs = generate_inputs(&f, &InputConfig::default());
+        assert!(!inputs.is_empty());
+        for input in &inputs {
+            let ptr = input.args[0].as_ptr().expect("pointer arg");
+            assert_eq!(input.memory.allocation(ptr.alloc).unwrap().size(), PTR_ALLOC_SIZE);
+        }
+        // Contents vary across inputs.
+        let first = inputs[0].memory.allocation(0).unwrap().bytes().to_vec();
+        assert!(inputs.iter().any(|i| i.memory.allocation(0).unwrap().bytes() != &first[..]));
+    }
+
+    #[test]
+    fn deterministic_given_same_seed() {
+        let f = parse_function("define i32 @f(i32 %x) {\n ret i32 %x\n}").unwrap();
+        let a = generate_inputs(&f, &InputConfig::default());
+        let b = generate_inputs(&f, &InputConfig::default());
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.args, y.args);
+        }
+    }
+
+    #[test]
+    fn vector_exhaustive_when_small() {
+        let f = parse_function("define <4 x i2> @f(<4 x i2> %x) {\n ret <4 x i2> %x\n}").unwrap();
+        let inputs = generate_inputs(&f, &InputConfig::default());
+        assert_eq!(inputs.len(), 256); // 4 lanes × 2 bits = 8 bits
+    }
+
+    #[test]
+    fn corner_values_cover_float_specials() {
+        let corners = corner_values(&Type::double());
+        assert!(corners.iter().any(|v| matches!(v, EvalValue::Float(_, x) if x.is_nan())));
+        assert!(corners.iter().any(|v| matches!(v, EvalValue::Float(_, x) if x.is_infinite())));
+        let int_corners = corner_values(&Type::i8());
+        assert!(int_corners.contains(&EvalValue::int(8, 0x80)));
+        assert!(int_corners.contains(&EvalValue::int(8, 0x7f)));
+    }
+}

@@ -1,0 +1,28 @@
+//! # lpo-tv
+//!
+//! Translation validation for `lpo-ir` — this reproduction's stand-in for
+//! Alive2. Given a source function and a candidate produced by the (simulated)
+//! LLM, it decides whether the transformation is a correct *refinement* and,
+//! when it is not, produces an Alive2-style counterexample that the LPO
+//! pipeline feeds back to the model.
+//!
+//! ```
+//! use lpo_tv::prelude::*;
+//! use lpo_ir::parser::parse_function;
+//!
+//! let src = parse_function("define i8 @src(i8 %x) {\n %r = mul i8 %x, 2\n ret i8 %r\n}")?;
+//! let tgt = parse_function("define i8 @tgt(i8 %x) {\n %r = shl i8 %x, 1\n ret i8 %r\n}")?;
+//! assert!(verify_refinement(&src, &tgt).is_correct());
+//! # Ok::<(), lpo_ir::parser::ParseError>(())
+//! ```
+
+pub mod inputs;
+pub mod refine;
+
+/// Commonly used items, re-exported for convenience.
+pub mod prelude {
+    pub use crate::inputs::{corner_values, generate_inputs, InputConfig, TestInput};
+    pub use crate::refine::{
+        verify_refinement, verify_refinement_with, Counterexample, TvConfig, Validator, Verdict,
+    };
+}

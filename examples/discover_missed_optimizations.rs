@@ -1,0 +1,47 @@
+//! Discover missed optimizations in a synthetic project corpus, end to end:
+//! extraction (Algorithm 2) → LLM proposals → verification (Algorithm 1).
+//!
+//! ```text
+//! cargo run --release --example discover_missed_optimizations
+//! ```
+
+use lpo::prelude::*;
+use lpo_corpus::{generate_corpus, CorpusConfig};
+use lpo_extract::ExtractConfig;
+use lpo_llm::prelude::{o4_mini, LanguageModel, SimulatedModel};
+
+fn main() {
+    let corpus = generate_corpus(&CorpusConfig {
+        modules_per_project: 2,
+        functions_per_module: 3,
+        pattern_rate: 0.7,
+        ..Default::default()
+    });
+    println!("generated {} projects", corpus.len());
+
+    let lpo = Lpo::new(LpoConfig::default());
+    let mut model = SimulatedModel::new(o4_mini(), 7);
+    let mut found = 0usize;
+    let mut processed = 0usize;
+
+    for project in &corpus {
+        let (results, summary) =
+            lpo.run_corpus(&mut model, project.modules.iter(), ExtractConfig::default());
+        processed += summary.cases;
+        for (seq, report) in results {
+            if let CaseOutcome::Found { candidate } = report.outcome {
+                found += 1;
+                println!(
+                    "[{}] {}::{} — {} instructions -> {}",
+                    project.name,
+                    seq.source_module,
+                    seq.source_function,
+                    seq.function.instruction_count(),
+                    candidate.instruction_count()
+                );
+            }
+        }
+    }
+    println!("\nprocessed {processed} unique sequences, found {found} potential missed optimizations");
+    println!("total modeled LLM cost so far: ${:.4}", model.total_cost_usd());
+}

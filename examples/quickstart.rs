@@ -1,0 +1,47 @@
+//! Quickstart: run the LPO loop on the paper's Figure 1 clamp function.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use lpo::prelude::*;
+use lpo_ir::parser::parse_function;
+use lpo_ir::printer::print_function;
+use lpo_llm::prelude::{gemini2_0t, LanguageModel, SimulatedModel};
+
+fn main() {
+    // The suboptimal instruction sequence of Figure 1b: x < 0 ? 0 : umin(x, 255).
+    let source = parse_function(
+        "define i8 @src(i32 %0) {\n\
+         %2 = icmp slt i32 %0, 0\n\
+         %3 = call i32 @llvm.umin.i32(i32 %0, i32 255)\n\
+         %4 = trunc nuw i32 %3 to i8\n\
+         %5 = select i1 %2, i8 0, i8 %4\n\
+         ret i8 %5\n}",
+    )
+    .expect("the example parses");
+
+    println!("== original ==\n{}", print_function(&source));
+
+    let lpo = Lpo::new(LpoConfig::default());
+    // A simulated stand-in for gemini-2.0-flash-thinking (see DESIGN.md).
+    let mut model = SimulatedModel::new(gemini2_0t(), 2024);
+
+    for round in 0..5 {
+        model.reset(round);
+        let report = lpo.optimize_sequence(&mut model, &source);
+        match report.outcome {
+            CaseOutcome::Found { candidate } => {
+                println!(
+                    "round {round}: found a verified missed optimization after {} attempt(s):\n{}",
+                    report.attempts,
+                    print_function(&candidate)
+                );
+                println!("model: {}, modeled time {:.1}s", model.name(), report.modeled_time.as_secs_f64());
+                return;
+            }
+            other => println!("round {round}: {other:?}"),
+        }
+    }
+    println!("the model did not find the rewrite in 5 rounds — try another seed");
+}

@@ -1,0 +1,35 @@
+//! Compare LPO with the Souper and Minotaur baselines on a few benchmark
+//! cases, mirroring the RQ1 comparison of the paper.
+//!
+//! ```text
+//! cargo run --release --example superoptimizer_comparison
+//! ```
+
+use lpo::prelude::*;
+use lpo_corpus::rq1_suite;
+use lpo_llm::prelude::{gemini2_0t, LanguageModel, SimulatedModel};
+use lpo_souper::{superoptimize, SouperConfig};
+
+fn main() {
+    let lpo = Lpo::new(LpoConfig::default());
+    println!("{:<10} {:<22} {:>6} {:>8} {:>9}", "Issue", "Family", "LPO", "Souper", "Minotaur");
+    for case in rq1_suite().iter().take(10) {
+        let mut model = SimulatedModel::new(gemini2_0t(), 11);
+        let lpo_found = (0..3).any(|round| {
+            model.reset(round);
+            lpo.optimize_sequence(&mut model, &case.function).outcome.is_found()
+        });
+        let mut config = SouperConfig::with_enum(2);
+        config.candidate_budget = 1200;
+        let souper_found = superoptimize(&case.function, &config).found();
+        let minotaur_found = lpo_minotaur::superoptimize(&case.function).found();
+        println!(
+            "{:<10} {:<22} {:>6} {:>8} {:>9}",
+            case.issue_id,
+            case.family,
+            if lpo_found { "yes" } else { "-" },
+            if souper_found { "yes" } else { "-" },
+            if minotaur_found { "yes" } else { "-" },
+        );
+    }
+}

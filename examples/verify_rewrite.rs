@@ -1,0 +1,49 @@
+//! Use the translation validator directly, the way Alive2 is used in §2.4:
+//! prove the Figure 1 transformation correct and show the counterexample the
+//! verifier produces for a wrong variant.
+//!
+//! ```text
+//! cargo run --example verify_rewrite
+//! ```
+
+use lpo_ir::parser::parse_function;
+use lpo_tv::prelude::*;
+
+fn main() {
+    let src = parse_function(
+        "define i8 @src(i32 %0) {\n\
+         %2 = icmp slt i32 %0, 0\n\
+         %3 = call i32 @llvm.umin.i32(i32 %0, i32 255)\n\
+         %4 = trunc nuw i32 %3 to i8\n\
+         %5 = select i1 %2, i8 0, i8 %4\n\
+         ret i8 %5\n}",
+    )
+    .unwrap();
+    let good = parse_function(
+        "define i8 @tgt(i32 %0) {\n\
+         %2 = call i32 @llvm.smax.i32(i32 %0, i32 0)\n\
+         %3 = call i32 @llvm.umin.i32(i32 %2, i32 255)\n\
+         %4 = trunc nuw i32 %3 to i8\n\
+         ret i8 %4\n}",
+    )
+    .unwrap();
+    let bad = parse_function(
+        "define i8 @tgt(i32 %0) {\n\
+         %3 = call i32 @llvm.umin.i32(i32 %0, i32 255)\n\
+         %4 = trunc i32 %3 to i8\n\
+         ret i8 %4\n}",
+    )
+    .unwrap();
+
+    match verify_refinement(&src, &good) {
+        Verdict::Correct { inputs_checked, exhaustive } => println!(
+            "smax/umin candidate verified on {inputs_checked} inputs (exhaustive: {exhaustive})"
+        ),
+        other => println!("unexpected verdict: {other:?}"),
+    }
+
+    match verify_refinement(&src, &bad) {
+        Verdict::Incorrect(cex) => println!("\nwrong candidate rejected:\n{cex}"),
+        other => println!("unexpected verdict: {other:?}"),
+    }
+}

@@ -1,0 +1,1 @@
+//! Umbrella package holding workspace-level examples and integration tests.

@@ -1,0 +1,74 @@
+//! Cross-crate integration tests: the complete workflow of Figure 2 from a
+//! module, through extraction, the simulated LLM, `opt`, the interestingness
+//! check, and the translation validator.
+
+use lpo::prelude::*;
+use lpo_extract::ExtractConfig;
+use lpo_ir::parser::parse_module;
+use lpo_llm::prelude::{gemini2_0t, gemma3, LanguageModel, SimulatedModel};
+use lpo_mca::Target;
+
+const MODULE: &str = "define i8 @clamp_like(i32 %x) {\n\
+    %c = icmp slt i32 %x, 0\n\
+    %m = call i32 @llvm.umin.i32(i32 %x, i32 255)\n\
+    %t = trunc nuw i32 %m to i8\n\
+    %s = select i1 %c, i8 0, i8 %t\n\
+    ret i8 %s\n}\n\
+    define i32 @boring(i32 %x, i32 %y) {\n\
+    %a = mul i32 %x, %y\n\
+    %b = add i32 %a, %y\n\
+    ret i32 %b\n}";
+
+#[test]
+fn figure_2_workflow_end_to_end() {
+    let module = parse_module(MODULE).unwrap();
+    let lpo = Lpo::new(LpoConfig::default());
+    let mut model = SimulatedModel::new(gemini2_0t(), 3);
+
+    let mut found_any = false;
+    for round in 0..8 {
+        model.reset(round);
+        let (results, summary) = lpo.run_corpus(&mut model, [&module], ExtractConfig::default());
+        assert_eq!(results.len(), summary.cases);
+        for (seq, report) in &results {
+            if let CaseOutcome::Found { candidate } = &report.outcome {
+                found_any = true;
+                // Every reported find must be interesting and verified.
+                assert!(is_interesting(&seq.function, candidate, Target::Btver2Like));
+                assert!(lpo_tv::refine::verify_refinement(&seq.function, candidate).is_correct());
+            }
+        }
+        if found_any {
+            break;
+        }
+    }
+    assert!(found_any, "the reasoning model should discover the clamp rewrite within a few rounds");
+}
+
+#[test]
+fn weaker_models_find_no_more_than_stronger_ones() {
+    let module = parse_module(MODULE).unwrap();
+    let lpo = Lpo::new(LpoConfig::default());
+    let mut weak_total = 0;
+    let mut strong_total = 0;
+    for round in 0..6 {
+        let mut weak = SimulatedModel::new(gemma3(), 5);
+        let mut strong = SimulatedModel::new(gemini2_0t(), 5);
+        weak.reset(round);
+        strong.reset(round);
+        let (_, w) = lpo.run_corpus(&mut weak, [&module], ExtractConfig::default());
+        let (_, s) = lpo.run_corpus(&mut strong, [&module], ExtractConfig::default());
+        weak_total += w.found;
+        strong_total += s.found;
+    }
+    assert!(weak_total <= strong_total);
+}
+
+#[test]
+fn baselines_cannot_handle_the_intrinsic_clamp() {
+    let module = parse_module(MODULE).unwrap();
+    let clamp = &module.functions[0];
+    let souper = lpo_souper::superoptimize(clamp, &lpo_souper::SouperConfig::with_enum(3));
+    assert!(matches!(souper.outcome, lpo_souper::Outcome::Unsupported(_)));
+    assert!(!lpo_minotaur::superoptimize(clamp).found());
+}
