@@ -7,6 +7,9 @@
 //!
 //! The experiment drivers are library functions so that integration tests and
 //! benches can call them with scaled-down parameters.
+//!
+//! See `ARCHITECTURE.md` at the repository root for the workspace crate
+//! graph and where this crate sits in the three-stage verification flow.
 
 use lpo::prelude::*;
 use lpo_corpus::{rq1_suite, rq2_suite, IssueCase, Status};

@@ -27,6 +27,9 @@
 //! // report records what happened.
 //! assert!(report.attempts >= 1);
 //! ```
+//!
+//! See `ARCHITECTURE.md` at the repository root for the workspace crate
+//! graph and where this crate sits in the three-stage verification flow.
 
 pub mod interestingness;
 pub mod pipeline;

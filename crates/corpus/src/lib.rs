@@ -4,6 +4,9 @@
 //! RQ2 (62 cases) issue suites keyed by the paper's LLVM issue numbers, and a
 //! synthetic stand-in for the LLVM Opt Benchmark corpus (14 projects) plus the
 //! SPEC-like module set used by the Figure 5 experiment.
+//!
+//! See `ARCHITECTURE.md` at the repository root for the workspace crate
+//! graph and where this crate sits in the three-stage verification flow.
 
 pub mod cases;
 pub mod synth;

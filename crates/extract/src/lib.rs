@@ -26,6 +26,9 @@
 //! assert!(!sequences.is_empty());
 //! # Ok::<(), lpo_ir::parser::ParseError>(())
 //! ```
+//!
+//! See `ARCHITECTURE.md` at the repository root for the workspace crate
+//! graph and where this crate sits in the three-stage verification flow.
 
 use lpo_ir::function::{Function, Param};
 use lpo_ir::hash::{hash_function, Digest};

@@ -14,6 +14,9 @@
 //! assert_eq!(out.result, Some(EvalValue::int(8, 42)));
 //! # Ok::<(), lpo_ir::parser::ParseError>(())
 //! ```
+//!
+//! See `ARCHITECTURE.md` at the repository root for the workspace crate
+//! graph and where this crate sits in the three-stage verification flow.
 
 pub mod eval;
 pub mod memory;

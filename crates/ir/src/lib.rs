@@ -34,6 +34,9 @@
 //! assert_eq!(lpo_ir::hash::hash_function(&func), lpo_ir::hash::hash_function(&reparsed));
 //! # Ok::<(), lpo_ir::parser::ParseError>(())
 //! ```
+//!
+//! See `ARCHITECTURE.md` at the repository root for the workspace crate
+//! graph and where this crate sits in the three-stage verification flow.
 
 pub mod apint;
 pub mod builder;

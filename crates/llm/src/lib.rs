@@ -23,6 +23,9 @@
 //! let completion = model.propose(&prompt);
 //! assert!(!completion.text.is_empty());
 //! ```
+//!
+//! See `ARCHITECTURE.md` at the repository root for the workspace crate
+//! graph and where this crate sits in the three-stage verification flow.
 
 pub mod corruption;
 pub mod model;

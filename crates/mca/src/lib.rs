@@ -26,6 +26,9 @@
 //! assert!(cost.total_cycles >= 4.0); // mul(3) + add(1) on the critical path
 //! # Ok::<(), lpo_ir::parser::ParseError>(())
 //! ```
+//!
+//! See `ARCHITECTURE.md` at the repository root for the workspace crate
+//! graph and where this crate sits in the three-stage verification flow.
 
 pub mod model;
 

@@ -7,6 +7,9 @@
 //! template-driven and narrow, so — as the paper reports — it detects far
 //! fewer missed optimizations than either Souper-Enum or LPO, and it crashes
 //! on some floating-point inputs.
+//!
+//! See `ARCHITECTURE.md` at the repository root for the workspace crate
+//! graph and where this crate sits in the three-stage verification flow.
 
 use lpo_ir::function::Function;
 use lpo_ir::instruction::InstKind;

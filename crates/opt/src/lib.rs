@@ -20,6 +20,9 @@
 //! assert_eq!(f.instruction_count(), 1); // shl %x, 3
 //! # Ok::<(), lpo_ir::parser::ParseError>(())
 //! ```
+//!
+//! See `ARCHITECTURE.md` at the repository root for the workspace crate
+//! graph and where this crate sits in the three-stage verification flow.
 
 pub mod combine;
 pub mod dce;

@@ -1,14 +1,39 @@
 //! Shared helpers for writing rewrite rules.
 //!
-//! A rule is a plain function over the function being optimized:
+//! A rule is a plain function over the function being optimized, with the
+//! [`RewriteRule`] signature; it returns `true` when it changed the IR. The
+//! helpers here cover the two common rewrite shapes (replace-with-value,
+//! mutate-in-place), splat-aware constant matching, and inserting helper
+//! instructions for expanding rules.
 //!
-//! ```ignore
-//! fn rule(func: &mut Function, id: InstId, block: BlockId, pos: usize) -> bool
 //! ```
+//! use lpo_ir::function::Function;
+//! use lpo_ir::instruction::{BinOp, BlockId, InstId, InstKind};
+//! use lpo_ir::parser::parse_function;
+//! use lpo_opt::rewrite::{is_zero, replace_with};
 //!
-//! It returns `true` when it changed the IR. The helpers here cover the two
-//! common rewrite shapes (replace-with-value, mutate-in-place), splat-aware
-//! constant matching, and inserting helper instructions for expanding rules.
+//! /// `add %x, 0` → `%x`, written against the rule signature.
+//! fn add_identity(func: &mut Function, id: InstId, _b: BlockId, _p: usize) -> bool {
+//!     match &func.inst(id).kind {
+//!         InstKind::Binary { op: BinOp::Add, lhs, rhs, .. } if is_zero(rhs) => {
+//!             let lhs = lhs.clone();
+//!             replace_with(func, id, lhs)
+//!         }
+//!         _ => false,
+//!     }
+//! }
+//!
+//! let mut f = parse_function(
+//!     "define i32 @f(i32 %x) {\n %a = add i32 %x, 0\n ret i32 %a\n}",
+//! )?;
+//! let block = f.entry();
+//! let target = f.block(block).insts[0];
+//! assert!(add_identity(&mut f, target, block, 0));
+//! // The add is gone and `ret` now returns the parameter directly.
+//! assert_eq!(f.instruction_count(), 0);
+//! assert_eq!(f.describe_value(f.return_value().unwrap()), "%x");
+//! # Ok::<(), lpo_ir::parser::ParseError>(())
+//! ```
 
 use lpo_ir::apint::ApInt;
 use lpo_ir::constant::Constant;

@@ -19,6 +19,9 @@
 //!   with `Enum`, so each run reports both the real elapsed time and a
 //!   *modelled* time derived from the number of candidates explored,
 //!   calibrated against Table 4 of the paper (see `EXPERIMENTS.md`).
+//!
+//! See `ARCHITECTURE.md` at the repository root for the workspace crate
+//! graph and where this crate sits in the three-stage verification flow.
 
 use lpo_ir::apint::ApInt;
 use lpo_ir::flags::IntFlags;

@@ -15,6 +15,9 @@
 //! assert!(verify_refinement(&src, &tgt).is_correct());
 //! # Ok::<(), lpo_ir::parser::ParseError>(())
 //! ```
+//!
+//! See `ARCHITECTURE.md` at the repository root for the workspace crate
+//! graph and where this crate sits in the three-stage verification flow.
 
 pub mod inputs;
 pub mod refine;

@@ -12,7 +12,7 @@
 //!   byte-for-byte under the same rules.
 //!
 //! The check evaluates both functions on the inputs produced by
-//! [`generate_inputs`](crate::inputs::generate_inputs); a failure yields a
+//! [`generate_inputs`]; a failure yields a
 //! [`Counterexample`] formatted the way Alive2 reports them, which the LPO
 //! pipeline feeds back to the LLM.
 

@@ -8,7 +8,7 @@
 use lpo::prelude::*;
 use lpo_corpus::{generate_corpus, CorpusConfig};
 use lpo_extract::ExtractConfig;
-use lpo_llm::prelude::{o4_mini, LanguageModel, SimulatedModel};
+use lpo_llm::prelude::{o4_mini, SimulatedModel};
 
 fn main() {
     let corpus = generate_corpus(&CorpusConfig {

@@ -1,0 +1,50 @@
+//! Smoke tests: every workspace example must run to completion.
+//!
+//! These shell out to `cargo run --example …` so the examples are exercised
+//! exactly the way the README tells users to run them. `--release` is used
+//! because the tier-1 flow (`cargo build --release && cargo test -q`) has the
+//! release artifacts already cached, and the heavier examples are much faster
+//! there.
+
+use std::process::Command;
+
+fn run_example(name: &str) {
+    let cargo = std::env::var("CARGO").unwrap_or_else(|_| "cargo".to_string());
+    let manifest_dir = env!("CARGO_MANIFEST_DIR");
+    let output = Command::new(cargo)
+        .args(["run", "--release", "--quiet", "--example", name])
+        .current_dir(manifest_dir)
+        .output()
+        .unwrap_or_else(|e| panic!("failed to spawn cargo for example `{name}`: {e}"));
+    assert!(
+        output.status.success(),
+        "example `{name}` exited with {:?}\n--- stdout\n{}\n--- stderr\n{}",
+        output.status.code(),
+        String::from_utf8_lossy(&output.stdout),
+        String::from_utf8_lossy(&output.stderr),
+    );
+    assert!(
+        !output.stdout.is_empty(),
+        "example `{name}` produced no output"
+    );
+}
+
+#[test]
+fn quickstart_runs_to_completion() {
+    run_example("quickstart");
+}
+
+#[test]
+fn verify_rewrite_runs_to_completion() {
+    run_example("verify_rewrite");
+}
+
+#[test]
+fn discover_missed_optimizations_runs_to_completion() {
+    run_example("discover_missed_optimizations");
+}
+
+#[test]
+fn superoptimizer_comparison_runs_to_completion() {
+    run_example("superoptimizer_comparison");
+}
