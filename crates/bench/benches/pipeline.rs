@@ -78,8 +78,7 @@ fn bench_rq1_detection(c: &mut Criterion) {
         let mut round = 0u64;
         b.iter(|| {
             round += 1;
-            let mut model = SimulatedModel::new(gemini2_0t(), 42);
-            model.reset(round);
+            let mut model = SimulatedModel::for_case(gemini2_0t(), 42, round, 0);
             std::hint::black_box(lpo.optimize_sequence(&mut model, &case.function).outcome.is_found())
         })
     });
@@ -117,8 +116,7 @@ fn bench_ablation_feedback(c: &mut Criterion) {
         let mut round = 0u64;
         b.iter(|| {
             round += 1;
-            let mut model = SimulatedModel::new(o4_mini(), 7);
-            model.reset(round);
+            let mut model = SimulatedModel::for_case(o4_mini(), 7, round, 0);
             std::hint::black_box(with.optimize_sequence(&mut model, &src).outcome.is_found())
         })
     });
@@ -126,8 +124,7 @@ fn bench_ablation_feedback(c: &mut Criterion) {
         let mut round = 0u64;
         b.iter(|| {
             round += 1;
-            let mut model = SimulatedModel::new(o4_mini(), 7);
-            model.reset(round);
+            let mut model = SimulatedModel::for_case(o4_mini(), 7, round, 0);
             std::hint::black_box(without.optimize_sequence(&mut model, &src).outcome.is_found())
         })
     });

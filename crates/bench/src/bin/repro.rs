@@ -1,13 +1,22 @@
-//! Regenerates the paper's tables and figures.
+//! Regenerates the paper's tables and figures on the parallel execution
+//! engine, and records the run's performance in `BENCH_results.json`.
 //!
 //! ```text
 //! cargo run -p lpo-bench --release --bin repro -- all
-//! cargo run -p lpo-bench --release --bin repro -- table2 --rounds 5
-//! cargo run -p lpo-bench --release --bin repro -- table4 --samples 500
+//! cargo run -p lpo-bench --release --bin repro -- table2 --rounds 5 --jobs 8
+//! cargo run -p lpo-bench --release --bin repro -- table4 --samples 500 --jobs 0
 //! ```
+//!
+//! `--jobs N` sets the worker count for every driver (`0`, the default, uses
+//! all available cores). Any value produces bit-identical results; only
+//! wall-clock measurements change (the `[engine]` footers and Table 5's
+//! measured compile-time-delta column). Each invocation writes `BENCH_results.json` (per-table
+//! wall time, cases/sec, cache hits, jobs used) to the current directory so
+//! the perf trajectory is tracked from run to run.
 
-use lpo_bench as harness;
+use lpo_bench::{self as harness, DriverStats, TableRun};
 use lpo_llm::prelude::rq1_models;
+use std::fmt::Write as _;
 
 fn arg_value(args: &[String], name: &str, default: u64) -> u64 {
     args.iter()
@@ -17,11 +26,36 @@ fn arg_value(args: &[String], name: &str, default: u64) -> u64 {
         .unwrap_or(default)
 }
 
+/// Serializes the collected per-table stats as JSON (hand-rolled — the
+/// container has no crates.io access, so no serde).
+fn render_json(jobs: usize, runs: &[(String, DriverStats)]) -> String {
+    let mut out = String::from("{\n");
+    let _ = writeln!(out, "  \"schema\": 1,");
+    let _ = writeln!(out, "  \"jobs_requested\": {jobs},");
+    let _ = writeln!(out, "  \"tables\": [");
+    for (i, (name, stats)) in runs.iter().enumerate() {
+        let comma = if i + 1 < runs.len() { "," } else { "" };
+        let _ = writeln!(
+            out,
+            "    {{\"name\": \"{name}\", \"wall_seconds\": {:.6}, \"cases\": {}, \
+             \"cases_per_second\": {:.3}, \"cache_hits\": {}, \"jobs\": {}}}{comma}",
+            stats.wall.as_secs_f64(),
+            stats.cases,
+            stats.cases_per_second(),
+            stats.cache_hits,
+            stats.jobs,
+        );
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let what = args.first().map(String::as_str).unwrap_or("all");
     let rounds = arg_value(&args, "--rounds", 2);
     let samples = arg_value(&args, "--samples", 60) as usize;
+    let jobs = arg_value(&args, "--jobs", 0) as usize;
     let quick_models = || {
         if args.iter().any(|a| a == "--all-models") {
             rq1_models()
@@ -35,24 +69,38 @@ fn main() {
         }
     };
 
+    let mut runs: Vec<(String, DriverStats)> = Vec::new();
+    let mut show = |name: &str, run: TableRun| {
+        println!("{}", run.text);
+        runs.push((name.to_string(), run.stats));
+    };
+
     match what {
         "table1" => println!("{}", harness::table1()),
-        "table2" => println!("{}", harness::table2(rounds, &quick_models())),
-        "table3" => println!("{}", harness::table3()),
-        "table4" => println!("{}", harness::table4(samples)),
-        "table5" => println!("{}", harness::table5()),
-        "figure5" => println!("{}", harness::figure5()),
+        "table2" => show("table2", harness::table2(rounds, &quick_models(), jobs)),
+        "table3" => show("table3", harness::table3(jobs)),
+        "table4" => show("table4", harness::table4(samples, jobs)),
+        "table5" => show("table5", harness::table5(jobs)),
+        "figure5" => show("figure5", harness::figure5(jobs)),
         "all" => {
             println!("{}", harness::table1());
-            println!("{}", harness::table2(rounds, &quick_models()));
-            println!("{}", harness::table3());
-            println!("{}", harness::table4(samples));
-            println!("{}", harness::table5());
-            println!("{}", harness::figure5());
+            show("table2", harness::table2(rounds, &quick_models(), jobs));
+            show("table3", harness::table3(jobs));
+            show("table4", harness::table4(samples, jobs));
+            show("table5", harness::table5(jobs));
+            show("figure5", harness::figure5(jobs));
         }
         other => {
             eprintln!("unknown experiment '{other}'; expected table1..table5, figure5 or all");
             std::process::exit(2);
+        }
+    }
+
+    if !runs.is_empty() {
+        let path = "BENCH_results.json";
+        match std::fs::write(path, render_json(jobs, &runs)) {
+            Ok(()) => eprintln!("wrote {path}"),
+            Err(e) => eprintln!("could not write {path}: {e}"),
         }
     }
 }

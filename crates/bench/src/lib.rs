@@ -2,8 +2,17 @@
 //!
 //! The benchmark harness: every table and figure of the paper's evaluation can
 //! be regenerated with the `repro` binary in this crate
-//! (`cargo run -p lpo-bench --release --bin repro -- <table1|table2|table3|table4|table5|figure5|all>`),
+//! (`cargo run -p lpo-bench --release --bin repro -- <table1|table2|table3|table4|table5|figure5|all> [--jobs N]`),
 //! and the Criterion benches exercise the performance-sensitive components.
+//!
+//! Every experiment driver runs on the parallel execution engine of
+//! `lpo-core` (see `ARCHITECTURE.md` § Execution engine): a `jobs` parameter
+//! fans the embarrassingly parallel case/patch/benchmark loops out over a
+//! worker pool, with results reassembled in input order so any worker count
+//! produces bit-identical results (wall-clock *measurements* — the `[engine]`
+//! footers and Table 5's compile-time-delta column — are the only exception). Drivers report their worker/cache/wall
+//! accounting as [`DriverStats`], which the `repro` binary also serializes to
+//! `BENCH_results.json` for tracking the perf trajectory.
 //!
 //! The experiment drivers are library functions so that integration tests and
 //! benches can call them with scaled-down parameters.
@@ -17,10 +26,71 @@ use lpo_llm::prelude::*;
 use lpo_mca::{CostModel, Target};
 use lpo_opt::patches::all_patches;
 use lpo_opt::pipeline::{OptLevel, Pipeline};
-use lpo_souper::{superoptimize as souper_run, SouperConfig};
+use lpo_souper::{superoptimize_batch as souper_batch, SouperConfig};
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
-use std::time::Duration;
+use std::time::{Duration, Instant};
+
+/// Worker/cache/wall-clock accounting for one experiment driver run — the
+/// numbers `BENCH_results.json` tracks from PR to PR.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct DriverStats {
+    /// Worker threads used for the driver's outermost parallel loop.
+    pub jobs: usize,
+    /// Work items the driver processed (cases, patches or benchmarks).
+    pub cases: usize,
+    /// Sequences replayed from the engine's structural-hash dedup cache.
+    pub cache_hits: usize,
+    /// Real wall-clock time of the whole driver.
+    pub wall: Duration,
+}
+
+impl DriverStats {
+    /// Work items per wall-clock second.
+    pub fn cases_per_second(&self) -> f64 {
+        let secs = self.wall.as_secs_f64();
+        if secs > 0.0 {
+            self.cases as f64 / secs
+        } else {
+            0.0
+        }
+    }
+
+    fn footer(&self) -> String {
+        format!(
+            "[engine] jobs: {}  cases: {}  cache hits: {}  wall: {:.2}s  cases/s: {:.1}\n",
+            self.jobs,
+            self.cases,
+            self.cache_hits,
+            self.wall.as_secs_f64(),
+            self.cases_per_second()
+        )
+    }
+}
+
+impl From<ExecStats> for DriverStats {
+    fn from(stats: ExecStats) -> Self {
+        Self {
+            jobs: stats.jobs,
+            cases: stats.cases,
+            cache_hits: stats.cache_hits,
+            wall: stats.wall_time,
+        }
+    }
+}
+
+/// A rendered table plus the execution accounting of the run that made it.
+#[derive(Clone, Debug)]
+pub struct TableRun {
+    /// The rendered table text (with an `[engine]` stats footer).
+    pub text: String,
+    /// The run's accounting.
+    pub stats: DriverStats,
+}
+
+fn resolve_jobs(jobs: usize, work: usize) -> usize {
+    ExecConfig::with_jobs(jobs).effective_jobs(work)
+}
 
 /// Renders Table 1: the selected LLMs.
 pub fn table1() -> String {
@@ -106,21 +176,23 @@ impl Rq1Result {
 fn detect_with_lpo(case: &IssueCase, profile: &ModelProfile, feedback: bool, rounds: u64, seed: u64) -> usize {
     let config = if feedback { LpoConfig::default() } else { LpoConfig::without_feedback() };
     let lpo = Lpo::new(config);
-    let mut found = 0;
-    for round in 0..rounds {
-        let mut model = SimulatedModel::new(profile.clone(), seed);
-        model.reset(round);
-        if lpo.optimize_sequence(&mut model, &case.function).outcome.is_found() {
-            found += 1;
-        }
-    }
-    found
+    // One factory per (case, model): sessions at case index 0 reproduce the
+    // historical per-issue seeding, so the calibrated Table 2 numbers hold.
+    let factory = SimulatedModelFactory::new(profile.clone(), seed);
+    let sequence = std::slice::from_ref(&case.function);
+    (0..rounds)
+        .filter(|&round| {
+            lpo.run_sequences(&factory, round, sequence, &ExecConfig::serial()).reports[0]
+                .outcome
+                .is_found()
+        })
+        .count()
 }
 
 fn souper_detects(case: &IssueCase, enum_depth: u32) -> bool {
     let mut config = SouperConfig::with_enum(enum_depth);
     config.candidate_budget = 1500;
-    souper_run(&case.function, &config).found()
+    souper_batch(std::slice::from_ref(&case.function), &config, 1)[0].found()
 }
 
 fn minotaur_detects(case: &IssueCase) -> bool {
@@ -128,15 +200,12 @@ fn minotaur_detects(case: &IssueCase) -> bool {
 }
 
 /// Runs the RQ1 detection experiment (Table 2) with the given number of rounds
-/// per model (the paper uses 5) over the selected model profiles.
-pub fn rq1_experiment(rounds: u64, models: &[ModelProfile]) -> Rq1Result {
+/// per model (the paper uses 5) over the selected model profiles, fanning the
+/// 25 issues out over `jobs` workers (`0` = available parallelism).
+pub fn rq1_experiment(rounds: u64, models: &[ModelProfile], jobs: usize) -> Rq1Result {
     let suite = rq1_suite();
-    let mut result = Rq1Result {
-        rows: Vec::new(),
-        rounds,
-        models: models.iter().map(|m| m.name.to_string()).collect(),
-    };
-    for case in &suite {
+    let jobs = resolve_jobs(jobs, suite.len());
+    let rows = parallel_map_ordered(&suite, jobs, |_, case| {
         let mut row = Rq1Row {
             issue: case.issue_id,
             souper_default: souper_detects(case, 0),
@@ -149,14 +218,15 @@ pub fn rq1_experiment(rounds: u64, models: &[ModelProfile]) -> Rq1Result {
             let plus = detect_with_lpo(case, profile, true, rounds, case.issue_id as u64);
             row.per_model.push((profile.name.to_string(), minus, plus));
         }
-        result.rows.push(row);
-    }
-    result
+        row
+    });
+    Rq1Result { rows, rounds, models: models.iter().map(|m| m.name.to_string()).collect() }
 }
 
 /// Renders Table 2.
-pub fn table2(rounds: u64, models: &[ModelProfile]) -> String {
-    let result = rq1_experiment(rounds, models);
+pub fn table2(rounds: u64, models: &[ModelProfile], jobs: usize) -> TableRun {
+    let start = Instant::now();
+    let result = rq1_experiment(rounds, models, jobs);
     let mut out = format!("Table 2: RQ1 detection of 25 previously reported missed optimizations ({rounds} rounds)\n");
     let _ = write!(out, "{:<10}", "Issue");
     for m in &result.models {
@@ -189,7 +259,14 @@ pub fn table2(rounds: u64, models: &[ModelProfile]) -> String {
     }
     let _ = writeln!(out, "  Souper (any Enum): {}", result.souper_total());
     let _ = writeln!(out, "  Minotaur:          {}", result.minotaur_total());
-    out
+    let stats = DriverStats {
+        jobs: resolve_jobs(jobs, result.rows.len()),
+        cases: result.rows.len(),
+        cache_hits: 0, // 25 structurally distinct issues — nothing to replay
+        wall: start.elapsed(),
+    };
+    out.push_str(&stats.footer());
+    TableRun { text: out, stats }
 }
 
 /// The RQ2 result (Table 3).
@@ -218,21 +295,24 @@ impl Rq2Result {
     }
 }
 
-/// Runs the RQ2 baseline-comparison experiment over the 62 found optimizations.
-pub fn rq2_experiment() -> Rq2Result {
-    let mut result = Rq2Result::default();
-    for case in rq2_suite() {
-        let souper_default = souper_detects(&case, 0);
-        let souper_enum = souper_default || (1..=2).any(|d| souper_detects(&case, d));
-        let minotaur = minotaur_detects(&case);
-        result.rows.push((case.issue_id, case.status, souper_default, souper_enum, minotaur));
-    }
-    result
+/// Runs the RQ2 baseline-comparison experiment over the 62 found
+/// optimizations, one case per work item on `jobs` workers.
+pub fn rq2_experiment(jobs: usize) -> Rq2Result {
+    let suite = rq2_suite();
+    let jobs = resolve_jobs(jobs, suite.len());
+    let rows = parallel_map_ordered(&suite, jobs, |_, case| {
+        let souper_default = souper_detects(case, 0);
+        let souper_enum = souper_default || (1..=2).any(|d| souper_detects(case, d));
+        let minotaur = minotaur_detects(case);
+        (case.issue_id, case.status, souper_default, souper_enum, minotaur)
+    });
+    Rq2Result { rows }
 }
 
 /// Renders Table 3.
-pub fn table3() -> String {
-    let result = rq2_experiment();
+pub fn table3(jobs: usize) -> TableRun {
+    let start = Instant::now();
+    let result = rq2_experiment(jobs);
     let mut out = String::from("Table 3: the 62 missed optimizations found by LPO\n");
     let _ = writeln!(out, "{:<10} {:<14} {:>8} {:>8} {:>9}", "Issue", "Status", "SouperD", "SouperE", "Minotaur");
     for (issue, status, d, e, m) in &result.rows {
@@ -249,7 +329,14 @@ pub fn table3() -> String {
     let _ = writeln!(out, "\nStatus counts: {:?}", result.status_counts());
     let (d, e, m) = result.baseline_counts();
     let _ = writeln!(out, "Detected by Souper-Default: {d}, Souper-Enum: {e}, Minotaur: {m} (out of 62)");
-    out
+    let stats = DriverStats {
+        jobs: resolve_jobs(jobs, result.rows.len()),
+        cases: result.rows.len(),
+        cache_hits: 0,
+        wall: start.elapsed(),
+    };
+    out.push_str(&stats.footer());
+    TableRun { text: out, stats }
 }
 
 /// One Table 4 row.
@@ -268,17 +355,24 @@ pub struct ThroughputRow {
 /// Runs the RQ3 throughput experiment on `samples` sequences drawn from the
 /// synthetic corpus (the paper uses 5,000; the default harness uses fewer to
 /// stay laptop-friendly — the per-case averages are what matter).
-pub fn rq3_experiment(samples: usize) -> Vec<ThroughputRow> {
+///
+/// Extraction is sharded per module (as a production deployment would shard
+/// per translation unit), so cross-module duplicate sequences reach the
+/// engine and exercise its structural-hash dedup cache; the LPO rows and the
+/// Souper baselines all fan out over `jobs` workers.
+pub fn rq3_experiment(samples: usize, jobs: usize) -> (Vec<ThroughputRow>, DriverStats) {
     use lpo_extract::{ExtractConfig, Extractor};
+    let start = Instant::now();
     let corpus = lpo_corpus::generate_corpus(&lpo_corpus::CorpusConfig {
         modules_per_project: 4,
         functions_per_module: 4,
         ..Default::default()
     });
-    let mut extractor = Extractor::new(ExtractConfig { min_instructions: 2, ..Default::default() });
     let mut sequences = Vec::new();
     'outer: for project in &corpus {
         for module in &project.modules {
+            let mut extractor =
+                Extractor::new(ExtractConfig { min_instructions: 2, ..Default::default() });
             for seq in extractor.extract_module(module) {
                 sequences.push(seq.function);
                 if sequences.len() >= samples {
@@ -288,16 +382,20 @@ pub fn rq3_experiment(samples: usize) -> Vec<ThroughputRow> {
         }
     }
 
+    let mut cache_hits = 0;
     let mut rows = Vec::new();
     for profile in [llama3_3(), gemini2_5()] {
         let lpo = Lpo::new(LpoConfig::default());
-        let mut model = SimulatedModel::new(profile.clone(), 0xbeef);
-        let (_, summary) = lpo.run_sequences(&mut model, &sequences);
+        let factory = SimulatedModelFactory::new(profile.clone(), 0xbeef);
+        let batch = lpo.run_sequences(&factory, 0, &sequences, &ExecConfig::with_jobs(jobs));
+        // Both model runs share one sequence list, so their hit counts are
+        // equal — report the per-list count, not the sum over runs.
+        cache_hits = batch.stats.cache_hits;
         rows.push(ThroughputRow {
             tool: format!("LPO ({})", profile.name),
-            seconds_per_case: summary.seconds_per_case(),
+            seconds_per_case: batch.summary.seconds_per_case(),
             timeouts: 0,
-            total_cost_usd: summary.total_cost_usd,
+            total_cost_usd: batch.summary.total_cost_usd,
         });
     }
     for enum_depth in 0..=3u32 {
@@ -305,8 +403,7 @@ pub fn rq3_experiment(samples: usize) -> Vec<ThroughputRow> {
         config.candidate_budget = 1200;
         let mut total = Duration::ZERO;
         let mut timeouts = 0;
-        for f in &sequences {
-            let r = souper_run(f, &config);
+        for r in souper_batch(&sequences, &config, jobs) {
             total += r.modeled;
             if matches!(r.outcome, lpo_souper::Outcome::Timeout) {
                 timeouts += 1;
@@ -324,13 +421,19 @@ pub fn rq3_experiment(samples: usize) -> Vec<ThroughputRow> {
             total_cost_usd: 0.0,
         });
     }
-    rows
+    let stats = DriverStats {
+        jobs: resolve_jobs(jobs, sequences.len()),
+        cases: sequences.len(),
+        cache_hits,
+        wall: start.elapsed(),
+    };
+    (rows, stats)
 }
 
 /// Renders Table 4.
-pub fn table4(samples: usize) -> String {
-    let rows = rq3_experiment(samples);
-    let mut out = format!("Table 4: throughput and cost over {samples} sampled instruction sequences\n");
+pub fn table4(samples: usize, jobs: usize) -> TableRun {
+    let (rows, stats) = rq3_experiment(samples, jobs);
+    let mut out = format!("Table 4: throughput and cost over {} sampled instruction sequences\n", stats.cases);
     let _ = writeln!(out, "{:<20} {:>14} {:>10} {:>12}", "Tool", "Time/case (s)", "Timeouts", "Cost (USD)");
     for row in &rows {
         let _ = writeln!(
@@ -339,7 +442,8 @@ pub fn table4(samples: usize) -> String {
             row.tool, row.seconds_per_case, row.timeouts, row.total_cost_usd
         );
     }
-    out
+    out.push_str(&stats.footer());
+    TableRun { text: out, stats }
 }
 
 /// One Table 5 row: prevalence and compile-time impact of an accepted patch.
@@ -355,16 +459,20 @@ pub struct PatchImpactRow {
     pub compile_time_delta_pct: f64,
 }
 
-/// Runs the Table 5 prevalence / compile-time experiment over the synthetic corpus.
-pub fn table5_experiment() -> Vec<PatchImpactRow> {
+/// Runs the Table 5 prevalence / compile-time experiment over the synthetic
+/// corpus, one patch per work item on `jobs` workers (each patch's base and
+/// patched pipelines are timed on the same worker, so the relative
+/// compile-time delta stays an apples-to-apples comparison).
+pub fn table5_experiment(jobs: usize) -> Vec<PatchImpactRow> {
     let corpus = lpo_corpus::generate_corpus(&lpo_corpus::CorpusConfig {
         modules_per_project: 8,
         functions_per_module: 4,
         pattern_rate: 0.8,
         ..Default::default()
     });
-    let mut rows = Vec::new();
-    for patch in all_patches() {
+    let patches = all_patches();
+    let jobs = resolve_jobs(jobs, patches.len());
+    parallel_map_ordered(&patches, jobs, |_, &patch| {
         let base = Pipeline::new(OptLevel::O2);
         let patched = Pipeline::new(OptLevel::O2).with_patches(vec![patch]);
         let mut impacted_files = 0;
@@ -397,19 +505,19 @@ pub fn table5_experiment() -> Vec<PatchImpactRow> {
         } else {
             0.0
         };
-        rows.push(PatchImpactRow {
+        PatchImpactRow {
             id: patch.id.to_string(),
             impacted_files,
             impacted_projects,
             compile_time_delta_pct: delta,
-        });
-    }
-    rows
+        }
+    })
 }
 
 /// Renders Table 5.
-pub fn table5() -> String {
-    let rows = table5_experiment();
+pub fn table5(jobs: usize) -> TableRun {
+    let start = Instant::now();
+    let rows = table5_experiment(jobs);
     let mut out = String::from("Table 5: prevalence and compile-time impact of the accepted patches\n");
     let _ = writeln!(out, "{:<14} {:>9} {:>10} {:>20}", "Patch", "#IR files", "#Projects", "d Compile time (%)");
     for row in &rows {
@@ -419,7 +527,14 @@ pub fn table5() -> String {
             row.id, row.impacted_files, row.impacted_projects, row.compile_time_delta_pct
         );
     }
-    out
+    let stats = DriverStats {
+        jobs: resolve_jobs(jobs, rows.len()),
+        cases: rows.len(),
+        cache_hits: 0,
+        wall: start.elapsed(),
+    };
+    out.push_str(&stats.footer());
+    TableRun { text: out, stats }
 }
 
 /// One Figure 5 data point.
@@ -433,8 +548,9 @@ pub struct SpeedupPoint {
 
 /// Runs the Figure 5 experiment: estimated-cycle speedups of each accepted
 /// patch on the SPEC-like module set, plus a "yearly" comparison that enables
-/// every patch at once.
-pub fn figure5_experiment() -> Vec<SpeedupPoint> {
+/// every patch at once. Each of the ten pipeline configurations is one work
+/// item on `jobs` workers.
+pub fn figure5_experiment(jobs: usize) -> Vec<SpeedupPoint> {
     let benches = lpo_corpus::spec_benchmarks(20251201);
     let cost = CostModel::new(Target::Btver2Like);
     let figure_ids = ["128134", "142674", "143211", "143636", "157315", "157370", "157524", "163108 (1)", "163108 (2)"];
@@ -447,9 +563,14 @@ pub fn figure5_experiment() -> Vec<SpeedupPoint> {
             m.functions.iter().map(|f| cost.estimate(f).total_cycles).sum::<f64>()
         })
         .collect();
-    let mut points = Vec::new();
-    let mut eval = |label: &str, patches: Vec<lpo_opt::patches::Patch>| {
-        let pipeline = Pipeline::new(OptLevel::O2).with_patches(patches);
+    let mut configs: Vec<(String, Vec<lpo_opt::patches::Patch>)> = figure_ids
+        .iter()
+        .map(|&id| (id.to_string(), all_patches().into_iter().filter(|p| p.id == id).collect()))
+        .collect();
+    configs.push(("Yearly".to_string(), all_patches()));
+    let jobs = resolve_jobs(jobs, configs.len());
+    parallel_map_ordered(&configs, jobs, |_, (label, patches)| {
+        let pipeline = Pipeline::new(OptLevel::O2).with_patches(patches.clone());
         let mut ratios = Vec::new();
         for ((_, module), base_cycles) in benches.iter().zip(&baseline_cycles) {
             let mut m = module.clone();
@@ -460,25 +581,27 @@ pub fn figure5_experiment() -> Vec<SpeedupPoint> {
             }
         }
         let geo: f64 = ratios.iter().map(|r| r.ln()).sum::<f64>() / ratios.len().max(1) as f64;
-        points.push(SpeedupPoint { label: label.to_string(), speedup: geo.exp() });
-    };
-    for id in figure_ids {
-        let patches: Vec<_> = all_patches().into_iter().filter(|p| p.id == id).collect();
-        eval(id, patches);
-    }
-    eval("Yearly", all_patches());
-    points
+        SpeedupPoint { label: label.clone(), speedup: geo.exp() }
+    })
 }
 
 /// Renders Figure 5 as text.
-pub fn figure5() -> String {
-    let points = figure5_experiment();
+pub fn figure5(jobs: usize) -> TableRun {
+    let start = Instant::now();
+    let points = figure5_experiment(jobs);
     let mut out = String::from("Figure 5: geometric-mean speedup on the SPEC-like suite (1.00x = baseline)\n");
     for p in &points {
         let bar = "#".repeat(((p.speedup - 0.90).max(0.0) * 200.0) as usize);
         let _ = writeln!(out, "{:<14} {:>6.3}x {}", p.label, p.speedup, bar);
     }
-    out
+    let stats = DriverStats {
+        jobs: resolve_jobs(jobs, points.len()),
+        cases: points.len(),
+        cache_hits: 0,
+        wall: start.elapsed(),
+    };
+    out.push_str(&stats.footer());
+    TableRun { text: out, stats }
 }
 
 #[cfg(test)]
@@ -498,7 +621,7 @@ mod tests {
         // A scaled-down RQ1: 2 rounds, strongest vs weakest model. The *shape*
         // must hold: the reasoning model detects far more than Gemma3, Souper
         // lands in between, Minotaur detects only a few.
-        let result = rq1_experiment(2, &[gemma3(), gemini2_0t()]);
+        let result = rq1_experiment(2, &[gemma3(), gemini2_0t()], 4);
         assert_eq!(result.rows.len(), 25);
         let weak = result.total_detected("Gemma3");
         let strong = result.total_detected("Gemini2.0T");
@@ -509,7 +632,7 @@ mod tests {
         assert!(weak < strong, "Gemma3 ({weak}) must find fewer than Gemini2.0T ({strong})");
         assert!(strong >= 14, "the strong model should find most cases, found {strong}");
         assert!(weak <= 8, "Gemma3 should find only a handful, found {weak}");
-        assert!(minotaur >= 2 && minotaur <= 6, "Minotaur found {minotaur}");
+        assert!((2..=6).contains(&minotaur), "Minotaur found {minotaur}");
         assert!((10..=20).contains(&souper), "Souper found {souper}");
         // LPO- is never better than LPO for the same model.
         assert!(result.total_detected_minus("Gemini2.0T") <= strong);
@@ -517,7 +640,7 @@ mod tests {
 
     #[test]
     fn rq2_baselines_miss_most_found_optimizations() {
-        let result = rq2_experiment();
+        let result = rq2_experiment(4);
         assert_eq!(result.rows.len(), 62);
         let (d, e, m) = result.baseline_counts();
         assert!(d < e, "Souper-Default ({d}) must find fewer than Souper-Enum ({e})");
@@ -531,7 +654,7 @@ mod tests {
 
     #[test]
     fn figure5_speedups_are_within_noise() {
-        let points = figure5_experiment();
+        let points = figure5_experiment(2);
         assert_eq!(points.len(), 10);
         for p in &points {
             assert!(

@@ -1,0 +1,401 @@
+//! The parallel execution engine behind every corpus-scale run.
+//!
+//! The paper's throughput bottleneck (Section 6) is that each extracted
+//! sequence pays an LLM round-trip plus `opt`/`llvm-mca`/Alive2 verification.
+//! These cases are embarrassingly parallel, so this module provides:
+//!
+//! * a [`std::thread::scope`]-based worker pool ([`parallel_map_ordered`])
+//!   that fans work items out over a chunked queue and reassembles results in
+//!   input order — no extra dependencies, no unsafe code;
+//! * a structural-hash dedup cache ([`DedupPlan`], keyed on
+//!   [`lpo_ir::hash::hash_function`]) so a sequence that appears several times
+//!   in a corpus is prompted and verified exactly once, with every duplicate
+//!   replayed from the cached [`CaseReport`];
+//! * the [`ExecConfig`]/[`ExecStats`] types the benchmark drivers use to
+//!   surface `--jobs`, cache-hit and wall-clock numbers.
+//!
+//! # Determinism contract
+//!
+//! Runs are bit-identical for every `--jobs` value because nothing observable
+//! depends on scheduling:
+//!
+//! 1. model sessions are spawned per case from a `Send + Sync`
+//!    [`ModelFactory`], seeded only by `(round, case_index)`;
+//! 2. each unique sequence is processed under the case index of its *first*
+//!    occurrence in input order (the dedup plan fixes this before any worker
+//!    starts), and duplicates replay that exact report;
+//! 3. results are reassembled in input order before any aggregation, so
+//!    even floating-point summaries add up in a fixed order.
+//!
+//! Only the real `wall_time` fields differ between runs; use
+//! [`CaseReport::fingerprint`](crate::report::CaseReport::fingerprint) for
+//! comparisons.
+
+use crate::pipeline::Lpo;
+use crate::report::{CaseReport, RunSummary};
+use lpo_ir::function::Function;
+use lpo_ir::hash::{hash_function, Digest};
+use lpo_llm::model::ModelFactory;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// How a batch run is executed.
+#[derive(Clone, Debug)]
+pub struct ExecConfig {
+    /// Worker threads. `0` means "use [`std::thread::available_parallelism`]".
+    pub jobs: usize,
+    /// Whether structurally identical sequences are collapsed into one
+    /// prompted/verified case plus cache replays. On by default.
+    pub dedup: bool,
+}
+
+impl Default for ExecConfig {
+    fn default() -> Self {
+        Self { jobs: 0, dedup: true }
+    }
+}
+
+impl ExecConfig {
+    /// One worker: the serial-compatible configuration.
+    pub fn serial() -> Self {
+        Self { jobs: 1, dedup: true }
+    }
+
+    /// A configuration with an explicit worker count (`0` = auto).
+    pub fn with_jobs(jobs: usize) -> Self {
+        Self { jobs, ..Self::default() }
+    }
+
+    /// Resolves `jobs` to a concrete worker count for `work` items.
+    pub fn effective_jobs(&self, work: usize) -> usize {
+        let requested = if self.jobs == 0 {
+            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+        } else {
+            self.jobs
+        };
+        requested.min(work).max(1)
+    }
+}
+
+/// What a batch run actually did, for `--jobs`/cache reporting.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ExecStats {
+    /// Worker threads used.
+    pub jobs: usize,
+    /// Total cases in the input.
+    pub cases: usize,
+    /// Cases actually prompted/verified (one per unique structural hash).
+    pub unique_cases: usize,
+    /// Cases replayed from the dedup cache (`cases - unique_cases`).
+    pub cache_hits: usize,
+    /// Real wall-clock time of the batch.
+    pub wall_time: Duration,
+}
+
+impl ExecStats {
+    /// Cases per wall-clock second (0 when the batch was instantaneous).
+    pub fn cases_per_second(&self) -> f64 {
+        let secs = self.wall_time.as_secs_f64();
+        if secs > 0.0 {
+            self.cases as f64 / secs
+        } else {
+            0.0
+        }
+    }
+}
+
+/// The dedup cache's plan for a batch: which input index is the canonical
+/// computation for each structural digest, decided *before* execution so the
+/// result does not depend on worker scheduling.
+#[derive(Clone, Debug)]
+pub struct DedupPlan {
+    /// For every input index, the input index whose report it uses.
+    representative: Vec<usize>,
+    /// The indices that are computed (first occurrence of each digest),
+    /// in input order.
+    unique: Vec<usize>,
+}
+
+impl DedupPlan {
+    /// Plans a batch. With `dedup` off, every case is its own representative.
+    pub fn new(sequences: &[Function], dedup: bool) -> Self {
+        let mut representative = Vec::with_capacity(sequences.len());
+        let mut unique = Vec::with_capacity(sequences.len());
+        if dedup {
+            let mut first_seen: HashMap<Digest, usize> = HashMap::new();
+            for (index, func) in sequences.iter().enumerate() {
+                let rep = *first_seen.entry(hash_function(func)).or_insert(index);
+                representative.push(rep);
+                if rep == index {
+                    unique.push(index);
+                }
+            }
+        } else {
+            representative.extend(0..sequences.len());
+            unique.extend(0..sequences.len());
+        }
+        Self { representative, unique }
+    }
+
+    /// The computed (first-occurrence) indices, in input order.
+    pub fn unique_indices(&self) -> &[usize] {
+        &self.unique
+    }
+
+    /// The canonical index whose report input `index` replays.
+    pub fn representative(&self, index: usize) -> usize {
+        self.representative[index]
+    }
+
+    /// Number of inputs that replay another case's report.
+    pub fn cache_hits(&self) -> usize {
+        self.representative.len() - self.unique.len()
+    }
+}
+
+/// Runs `f` over every item of `items` on a scoped worker pool and returns
+/// the results in input order.
+///
+/// `f` receives `(index, item)` and must be a pure function of them for the
+/// ordered output to be deterministic. Work is handed out in chunks from an
+/// atomic cursor; `jobs == 1` short-circuits to a plain serial map.
+pub fn parallel_map_ordered<T, R, F>(items: &[T], jobs: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let jobs = jobs.min(items.len()).max(1);
+    if jobs == 1 {
+        return items.iter().enumerate().map(|(i, item)| f(i, item)).collect();
+    }
+
+    // Hand out contiguous chunks so neighbouring (usually similar-sized)
+    // cases share a grab, amortizing the atomic and lock traffic: workers
+    // buffer a chunk's results locally and store them under one short lock.
+    let chunk = (items.len() / (jobs * 8)).max(1);
+    let cursor = AtomicUsize::new(0);
+    let slots: Mutex<Vec<Option<R>>> = Mutex::new((0..items.len()).map(|_| None).collect());
+
+    std::thread::scope(|scope| {
+        for _ in 0..jobs {
+            scope.spawn(|| loop {
+                let start = cursor.fetch_add(chunk, Ordering::Relaxed);
+                if start >= items.len() {
+                    break;
+                }
+                let end = (start + chunk).min(items.len());
+                let buffered: Vec<R> =
+                    (start..end).map(|index| f(index, &items[index])).collect();
+                let mut locked = slots.lock().expect("result store poisoned");
+                for (index, result) in (start..end).zip(buffered) {
+                    locked[index] = Some(result);
+                }
+            });
+        }
+    });
+
+    slots
+        .into_inner()
+        .expect("result store poisoned")
+        .into_iter()
+        .map(|slot| slot.expect("worker pool filled every slot"))
+        .collect()
+}
+
+/// The outcome of one engine batch: per-case reports in input order, their
+/// aggregate summary, and the execution statistics.
+#[derive(Clone, Debug)]
+pub struct BatchResult {
+    /// One report per input sequence, in input order.
+    pub reports: Vec<CaseReport>,
+    /// Aggregates folded in input order.
+    pub summary: RunSummary,
+    /// Worker/cache/wall-clock accounting.
+    pub stats: ExecStats,
+}
+
+/// Fans `Lpo::optimize_sequence` out over `sequences`: the core of
+/// [`Lpo::run_sequences`](crate::Lpo::run_sequences).
+///
+/// Each unique sequence gets a fresh session from `factory` (seeded by
+/// `(round, first_occurrence_index)`); duplicates are replayed from the dedup
+/// cache.
+pub fn run_batch(
+    lpo: &Lpo,
+    factory: &dyn ModelFactory,
+    round: u64,
+    sequences: &[Function],
+    config: &ExecConfig,
+) -> BatchResult {
+    let start = Instant::now();
+    let plan = DedupPlan::new(sequences, config.dedup);
+    let jobs = config.effective_jobs(plan.unique_indices().len());
+
+    let computed: Vec<CaseReport> =
+        parallel_map_ordered(plan.unique_indices(), jobs, |_, &case_index| {
+            let mut session = factory.session(round, case_index as u64);
+            lpo.optimize_sequence(session.as_mut(), &sequences[case_index])
+        });
+
+    // Replay: map each input index to its representative's report. The
+    // representative set is exactly `plan.unique_indices()`, in order.
+    let slot_of: HashMap<usize, usize> =
+        plan.unique_indices().iter().enumerate().map(|(slot, &index)| (index, slot)).collect();
+    let reports: Vec<CaseReport> = (0..sequences.len())
+        .map(|index| computed[slot_of[&plan.representative(index)]].clone())
+        .collect();
+
+    let summary = RunSummary::from_reports(&reports);
+    let stats = ExecStats {
+        jobs,
+        cases: sequences.len(),
+        unique_cases: plan.unique_indices().len(),
+        cache_hits: plan.cache_hits(),
+        wall_time: start.elapsed(),
+    };
+    BatchResult { reports, summary, stats }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::LpoConfig;
+    use lpo_ir::parser::parse_function;
+    use lpo_llm::model::ModelSession;
+    use lpo_llm::prelude::{gemini2_0t, SimulatedModelFactory};
+
+    const CLAMP: &str = "define i8 @src(i32 %0) {\n\
+        %2 = icmp slt i32 %0, 0\n\
+        %3 = call i32 @llvm.umin.i32(i32 %0, i32 255)\n\
+        %4 = trunc nuw i32 %3 to i8\n\
+        %5 = select i1 %2, i8 0, i8 %4\n\
+        ret i8 %5\n}";
+
+    const BORING: &str = "define i32 @f(i32 %x, i32 %y) {\n\
+        %a = mul i32 %x, %y\n\
+        %b = add i32 %a, %y\n\
+        ret i32 %b\n}";
+
+    /// A factory that counts how many sessions it spawns — used to prove the
+    /// dedup cache replays instead of recomputing.
+    struct CountingFactory {
+        inner: SimulatedModelFactory,
+        sessions: AtomicUsize,
+    }
+
+    impl CountingFactory {
+        fn new(seed: u64) -> Self {
+            Self { inner: SimulatedModelFactory::new(gemini2_0t(), seed), sessions: AtomicUsize::new(0) }
+        }
+    }
+
+    impl ModelFactory for CountingFactory {
+        fn name(&self) -> &str {
+            self.inner.name()
+        }
+
+        fn session(&self, round: u64, case_index: u64) -> Box<dyn ModelSession> {
+            self.sessions.fetch_add(1, Ordering::Relaxed);
+            self.inner.session(round, case_index)
+        }
+    }
+
+    #[test]
+    fn parallel_map_preserves_input_order() {
+        let items: Vec<usize> = (0..257).collect();
+        for jobs in [1, 3, 8] {
+            let out = parallel_map_ordered(&items, jobs, |i, &x| {
+                assert_eq!(i, x);
+                x * 2
+            });
+            assert_eq!(out, items.iter().map(|x| x * 2).collect::<Vec<_>>());
+        }
+        let empty: Vec<usize> = Vec::new();
+        assert!(parallel_map_ordered(&empty, 4, |_, &x| x).is_empty());
+    }
+
+    #[test]
+    fn dedup_plan_picks_first_occurrences() {
+        let a = parse_function(CLAMP).unwrap();
+        let b = parse_function(BORING).unwrap();
+        // Renamed duplicate of `a`: structurally identical.
+        let a2 = parse_function(&CLAMP.replace("@src", "@other")).unwrap();
+        let plan = DedupPlan::new(&[a.clone(), b.clone(), a2, a], true);
+        assert_eq!(plan.unique_indices(), &[0, 1]);
+        assert_eq!(plan.representative(2), 0);
+        assert_eq!(plan.representative(3), 0);
+        assert_eq!(plan.cache_hits(), 2);
+
+        let no_dedup = DedupPlan::new(&[b.clone(), b], false);
+        assert_eq!(no_dedup.unique_indices(), &[0, 1]);
+        assert_eq!(no_dedup.cache_hits(), 0);
+    }
+
+    #[test]
+    fn dedup_cache_replays_instead_of_recomputing() {
+        let clamp = parse_function(CLAMP).unwrap();
+        let boring = parse_function(BORING).unwrap();
+        let sequences = vec![clamp.clone(), boring, clamp.clone(), clamp];
+        let lpo = Lpo::new(LpoConfig::default());
+        let factory = CountingFactory::new(99);
+
+        let batch = run_batch(&lpo, &factory, 0, &sequences, &ExecConfig::serial());
+        // Two unique digests → exactly two sessions, two cache replays.
+        assert_eq!(factory.sessions.load(Ordering::Relaxed), 2);
+        assert_eq!(batch.stats.unique_cases, 2);
+        assert_eq!(batch.stats.cache_hits, 2);
+        assert_eq!(batch.stats.cases, 4);
+        assert_eq!(batch.summary.cases, 4);
+        // The replayed reports are byte-identical to their representative.
+        assert_eq!(batch.reports[2].fingerprint(), batch.reports[0].fingerprint());
+        assert_eq!(batch.reports[3].fingerprint(), batch.reports[0].fingerprint());
+    }
+
+    #[test]
+    fn parallel_batches_are_bit_identical_to_serial() {
+        let suite: Vec<Function> = [CLAMP, BORING]
+            .iter()
+            .cycle()
+            .take(12)
+            .map(|text| parse_function(text).unwrap())
+            .collect();
+        let lpo = Lpo::new(LpoConfig::default());
+        let factory = SimulatedModelFactory::new(gemini2_0t(), 42);
+
+        let serial = run_batch(&lpo, &factory, 1, &suite, &ExecConfig::serial());
+        let parallel = run_batch(&lpo, &factory, 1, &suite, &ExecConfig::with_jobs(4));
+        let serial_prints: Vec<String> =
+            serial.reports.iter().map(CaseReport::fingerprint).collect();
+        let parallel_prints: Vec<String> =
+            parallel.reports.iter().map(CaseReport::fingerprint).collect();
+        assert_eq!(serial_prints, parallel_prints);
+        assert_eq!(serial.summary.fingerprint(), parallel.summary.fingerprint());
+        assert_eq!(serial.stats.cache_hits, parallel.stats.cache_hits);
+        assert_eq!(parallel.stats.jobs, 4.min(parallel.stats.unique_cases).max(1));
+    }
+
+    #[test]
+    fn exec_config_resolution() {
+        assert_eq!(ExecConfig::serial().effective_jobs(100), 1);
+        assert_eq!(ExecConfig::with_jobs(8).effective_jobs(3), 3);
+        assert_eq!(ExecConfig::with_jobs(8).effective_jobs(0), 1);
+        assert!(ExecConfig::default().effective_jobs(64) >= 1);
+        let stats = ExecStats {
+            jobs: 2,
+            cases: 10,
+            unique_cases: 8,
+            cache_hits: 2,
+            wall_time: Duration::from_secs(2),
+        };
+        assert!((stats.cases_per_second() - 5.0).abs() < 1e-9);
+        assert_eq!(ExecStats::default().cases_per_second(), 0.0);
+    }
+
+    // `Function` (plain data) must stay shareable across the pool's workers.
+    fn _assert_sync(f: &Function) -> &(dyn Sync + '_) {
+        f
+    }
+}

@@ -6,9 +6,10 @@ use lpo_extract::{ExtractConfig, ExtractedSequence, Extractor};
 use lpo_ir::function::Function;
 use lpo_ir::module::Module;
 use lpo_ir::printer::print_function;
-use lpo_llm::model::{LanguageModel, Prompt};
+use lpo_llm::model::{ModelFactory, ModelSession, Prompt};
 use lpo_mca::Target;
 use lpo_opt::pipeline::{optimize_text, OptLevel, Pipeline};
+use crate::exec::{run_batch, BatchResult, ExecConfig, ExecStats};
 use lpo_tv::refine::{verify_refinement_with, TvConfig, Verdict};
 use std::time::{Duration, Instant};
 
@@ -76,8 +77,9 @@ impl Lpo {
         &self.config
     }
 
-    /// Runs Algorithm 1's inner loop on one wrapped instruction sequence.
-    pub fn optimize_sequence(&self, model: &mut dyn LanguageModel, source: &Function) -> CaseReport {
+    /// Runs Algorithm 1's inner loop on one wrapped instruction sequence,
+    /// driving one per-case model session.
+    pub fn optimize_sequence(&self, model: &mut dyn ModelSession, source: &Function) -> CaseReport {
         let start = Instant::now();
         let source_text = print_function(source);
         let mut prompt = Prompt::initial(source_text);
@@ -146,36 +148,55 @@ impl Lpo {
         }
     }
 
-    /// Runs the pipeline over a batch of already-extracted sequences.
+    /// Runs the pipeline over a batch of already-extracted sequences on the
+    /// parallel execution engine (see [`crate::exec`]).
+    ///
+    /// Each unique sequence gets its own session from `factory`, seeded by
+    /// `(round, index of its first occurrence)`; structural duplicates are
+    /// replayed from the dedup cache. Results come back in input order and
+    /// are bit-identical for every worker count.
     pub fn run_sequences(
         &self,
-        model: &mut dyn LanguageModel,
+        factory: &dyn ModelFactory,
+        round: u64,
+        sequences: &[Function],
+        exec: &ExecConfig,
+    ) -> BatchResult {
+        run_batch(self, factory, round, sequences, exec)
+    }
+
+    /// Serial-compatible wrapper: runs a batch through one shared session,
+    /// exactly like the engine with `--jobs 1` but without spawning sessions
+    /// (useful for driving a hand-constructed [`ModelSession`]).
+    pub fn run_sequences_serial(
+        &self,
+        session: &mut dyn ModelSession,
         sequences: &[Function],
     ) -> (Vec<CaseReport>, RunSummary) {
         let reports: Vec<CaseReport> =
-            sequences.iter().map(|f| self.optimize_sequence(model, f)).collect();
+            sequences.iter().map(|f| self.optimize_sequence(session, f)).collect();
         let summary = RunSummary::from_reports(&reports);
         (reports, summary)
     }
 
     /// The full workflow of Figure 2: extract sequences from a corpus of
-    /// modules, then run the optimize–verify loop on each unique sequence.
+    /// modules, then fan the optimize–verify loop over the unique sequences
+    /// on the execution engine.
     pub fn run_corpus<'m>(
         &self,
-        model: &mut dyn LanguageModel,
+        factory: &dyn ModelFactory,
+        round: u64,
         modules: impl IntoIterator<Item = &'m Module>,
         extract: ExtractConfig,
-    ) -> (Vec<(ExtractedSequence, CaseReport)>, RunSummary) {
+        exec: &ExecConfig,
+    ) -> (Vec<(ExtractedSequence, CaseReport)>, RunSummary, ExecStats) {
         let mut extractor = Extractor::new(extract);
         let sequences = extractor.extract_corpus(modules);
-        let mut out = Vec::with_capacity(sequences.len());
-        let mut summary = RunSummary::default();
-        for seq in sequences {
-            let report = self.optimize_sequence(model, &seq.function);
-            summary.add(&report);
-            out.push((seq, report));
-        }
-        (out, summary)
+        let functions: Vec<Function> = sequences.iter().map(|s| s.function.clone()).collect();
+        let batch = run_batch(self, factory, round, &functions, exec);
+        let out: Vec<(ExtractedSequence, CaseReport)> =
+            sequences.into_iter().zip(batch.reports).collect();
+        (out, batch.summary, batch.stats)
     }
 }
 
@@ -183,7 +204,7 @@ impl Lpo {
 mod tests {
     use super::*;
     use lpo_ir::parser::{parse_function, parse_module};
-    use lpo_llm::prelude::{gemini2_0t, gemma3, SimulatedModel};
+    use lpo_llm::prelude::{gemini2_0t, gemma3, SimulatedModel, SimulatedModelFactory};
 
     const CLAMP: &str = "define i8 @src(i32 %0) {\n\
         %2 = icmp slt i32 %0, 0\n\
@@ -197,8 +218,7 @@ mod tests {
         let src = parse_function(CLAMP).unwrap();
         let mut found = 0;
         for round in 0..rounds {
-            let mut model = SimulatedModel::new(profile.clone(), 99);
-            model.reset(round);
+            let mut model = SimulatedModel::for_case(profile.clone(), 99, round, 0);
             if lpo.optimize_sequence(&mut model, &src).outcome.is_found() {
                 found += 1;
             }
@@ -229,9 +249,8 @@ mod tests {
     fn found_candidates_are_verified_and_cheaper() {
         let lpo = Lpo::new(LpoConfig::default());
         let src = parse_function(CLAMP).unwrap();
-        let mut model = SimulatedModel::new(gemini2_0t(), 7);
         for round in 0..20 {
-            model.reset(round);
+            let mut model = SimulatedModel::for_case(gemini2_0t(), 7, round, 0);
             let report = lpo.optimize_sequence(&mut model, &src);
             if let CaseOutcome::Found { candidate } = report.outcome {
                 assert!(candidate.instruction_count() < src.instruction_count());
@@ -272,9 +291,11 @@ mod tests {
         )
         .unwrap();
         let lpo = Lpo::new(LpoConfig::default());
-        let mut model = SimulatedModel::new(gemini2_0t(), 5);
-        let (results, summary) = lpo.run_corpus(&mut model, [&module], ExtractConfig::default());
+        let factory = SimulatedModelFactory::new(gemini2_0t(), 5);
+        let (results, summary, stats) =
+            lpo.run_corpus(&factory, 0, [&module], ExtractConfig::default(), &ExecConfig::default());
         assert_eq!(results.len(), summary.cases);
+        assert_eq!(stats.cases, summary.cases);
         assert!(summary.cases >= 2);
         assert!(summary.total_modeled_time > Duration::ZERO);
     }

@@ -42,6 +42,32 @@ pub struct CaseReport {
     pub cost_usd: f64,
 }
 
+impl CaseReport {
+    /// A canonical text rendering of every *deterministic* field — everything
+    /// except the real `wall_time`, which varies run to run.
+    ///
+    /// Two runs of the execution engine are considered bit-identical exactly
+    /// when their report streams produce equal fingerprints; the determinism
+    /// tests compare `--jobs 1` against `--jobs N` this way. Costs are
+    /// rendered via [`f64::to_bits`] so the comparison is exact.
+    pub fn fingerprint(&self) -> String {
+        let outcome = match &self.outcome {
+            CaseOutcome::Found { candidate } => {
+                format!("found:{}", lpo_ir::printer::print_function(candidate))
+            }
+            CaseOutcome::NotInteresting => "not-interesting".to_string(),
+            CaseOutcome::Rejected => "rejected".to_string(),
+            CaseOutcome::SyntaxError => "syntax-error".to_string(),
+        };
+        format!(
+            "outcome={outcome};attempts={};modeled_ns={};cost_bits={:#018x}",
+            self.attempts,
+            self.modeled_time.as_nanos(),
+            self.cost_usd.to_bits()
+        )
+    }
+}
+
 /// Aggregate statistics over a run of many sequences.
 #[derive(Clone, Debug, Default)]
 pub struct RunSummary {
@@ -91,6 +117,21 @@ impl RunSummary {
         } else {
             self.total_modeled_time.as_secs_f64() / self.cases as f64
         }
+    }
+
+    /// A canonical text rendering of the summary, exact on floats — the
+    /// aggregate counterpart of [`CaseReport::fingerprint`].
+    pub fn fingerprint(&self) -> String {
+        format!(
+            "cases={};found={};not_interesting={};rejected={};syntax_errors={};modeled_ns={};cost_bits={:#018x}",
+            self.cases,
+            self.found,
+            self.not_interesting,
+            self.rejected,
+            self.syntax_errors,
+            self.total_modeled_time.as_nanos(),
+            self.total_cost_usd.to_bits()
+        )
     }
 }
 

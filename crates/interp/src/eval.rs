@@ -1033,7 +1033,7 @@ mod tests {
         // Bind each pointer argument to a fresh 64-byte allocation.
         let mut bound = Vec::new();
         for (i, p) in f.params.iter().enumerate() {
-            if p.ty.is_ptr() && matches!(args.get(i), None) {
+            if p.ty.is_ptr() && args.get(i).is_none() {
                 let id = memory.allocate_zeroed(64);
                 bound.push(EvalValue::Ptr(PtrValue { alloc: id, offset: 0 }));
             } else {

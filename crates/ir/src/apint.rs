@@ -41,7 +41,7 @@ impl ApInt {
     ///
     /// Panics if `width` is zero or greater than [`ApInt::MAX_WIDTH`].
     pub fn new(width: u32, value: u128) -> Self {
-        assert!(width >= 1 && width <= Self::MAX_WIDTH, "invalid integer width {width}");
+        assert!((1..=Self::MAX_WIDTH).contains(&width), "invalid integer width {width}");
         Self { width, bits: value & Self::mask(width) }
     }
 
@@ -205,7 +205,7 @@ impl ApInt {
 
     /// Addition with unsigned-overflow detection.
     pub fn uadd_overflow(&self, rhs: &Self) -> (Self, bool) {
-        let wide = self.bits as u128;
+        let wide = self.bits;
         let result = self.add(rhs);
         let overflow = if self.width == 128 {
             wide.checked_add(rhs.bits).is_none()
@@ -403,7 +403,7 @@ impl ApInt {
     ///
     /// Panics if the width is not a multiple of 8.
     pub fn bswap(&self) -> Self {
-        assert!(self.width % 8 == 0, "bswap requires a byte-multiple width");
+        assert!(self.width.is_multiple_of(8), "bswap requires a byte-multiple width");
         let bytes = (self.width / 8) as usize;
         let mut out: u128 = 0;
         for i in 0..bytes {

@@ -669,14 +669,13 @@ impl<'a, 'b> FunctionParser<'a, 'b> {
     }
 
     fn eat_align(&mut self) -> u32 {
-        if self.p.eat_punct(',') {
-            if self.p.eat_word("align") {
+        if self.p.eat_punct(',')
+            && self.p.eat_word("align") {
                 if let Some(Tok::Int(n)) = self.p.peek().cloned() {
                     self.p.pos += 1;
                     return n as u32;
                 }
             }
-        }
         1
     }
 
@@ -853,9 +852,9 @@ impl<'a, 'b> FunctionParser<'a, 'b> {
                 }
                 if args.len() != intrinsic.arity() {
                     // Tolerate the optional-flag forms (e.g. abs with one arg).
-                    if intrinsic == Intrinsic::Abs && args.len() == 1 {
-                        args.push(Value::bool(false));
-                    } else if matches!(intrinsic, Intrinsic::Ctlz | Intrinsic::Cttz) && args.len() == 1 {
+                    if matches!(intrinsic, Intrinsic::Abs | Intrinsic::Ctlz | Intrinsic::Cttz)
+                        && args.len() == 1
+                    {
                         args.push(Value::bool(false));
                     } else {
                         return Err(self.p.error_here(format!(

@@ -242,7 +242,7 @@ fn verify_inst_types(func: &Function, inst_id: crate::instruction::InstId, _bloc
                     }
                 }
                 Intrinsic::Bswap => {
-                    if a0.scalar_type().int_width().map_or(true, |w| w % 16 != 0) {
+                    if a0.scalar_type().int_width().is_none_or(|w| w % 16 != 0) {
                         return Err(format!("'%{name}': bswap requires a width that is a multiple of 16"));
                     }
                 }
@@ -385,7 +385,7 @@ fn verify_inst_types(func: &Function, inst_id: crate::instruction::InstId, _bloc
                 }
             }
             if then_block.0 as usize >= func.blocks().len()
-                || else_block.map_or(false, |e| e.0 as usize >= func.blocks().len())
+                || else_block.is_some_and(|e| e.0 as usize >= func.blocks().len())
             {
                 return Err("branch target does not exist".to_string());
             }

@@ -29,13 +29,13 @@ pub enum SyntaxCorruption {
 /// If the requested corruption has nothing to attach to (e.g. no intrinsic
 /// call for [`SyntaxCorruption::BareIntrinsicOpcode`]), it falls back to
 /// misspelling an opcode so the result is always invalid.
-pub fn corrupt_syntax(text: &str, kind: SyntaxCorruption, rng: &mut StdRng) -> String {
+pub fn corrupt_syntax(text: &str, kind: SyntaxCorruption, _rng: &mut StdRng) -> String {
     match kind {
         SyntaxCorruption::BareIntrinsicOpcode => {
             if let Some(broken) = bare_intrinsic(text) {
                 return broken;
             }
-            corrupt_syntax(text, SyntaxCorruption::MisspelledOpcode, rng)
+            corrupt_syntax(text, SyntaxCorruption::MisspelledOpcode, _rng)
         }
         SyntaxCorruption::MisspelledOpcode => {
             for opcode in ["add ", "mul ", "select ", "icmp ", "trunc ", "call ", "load ", "xor "] {
@@ -62,7 +62,7 @@ pub fn corrupt_syntax(text: &str, kind: SyntaxCorruption, rng: &mut StdRng) -> S
                     }
                 }
             }
-            corrupt_syntax(text, SyntaxCorruption::MisspelledOpcode, rng)
+            corrupt_syntax(text, SyntaxCorruption::MisspelledOpcode, _rng)
         }
     }
 }

@@ -1,17 +1,24 @@
 //! # lpo-llm
 //!
 //! The "LLM-based optimizer" component of the LPO pipeline, reproduced without
-//! network access: a [`model::LanguageModel`] trait the pipeline talks to, the
-//! capability [`profiles`] of the seven models the paper evaluates (Table 1),
-//! a [`strategies`] library encoding the optimization knowledge those models
-//! exhibit, the [`corruption`] models for the hallucinations the verification
-//! loop exists to catch, and the [`simulated::SimulatedModel`] that ties them
-//! together.
+//! network access: a [`model::ModelFactory`]/[`model::ModelSession`] pair the
+//! pipeline talks to, the capability [`profiles`] of the seven models the
+//! paper evaluates (Table 1), a [`strategies`] library encoding the
+//! optimization knowledge those models exhibit, the [`corruption`] models for
+//! the hallucinations the verification loop exists to catch, and the
+//! [`simulated::SimulatedModel`] that ties them together.
+//!
+//! A factory is `Send + Sync` and describes one model; it spawns a cheap
+//! mutable [`model::ModelSession`] per case, seeded deterministically from
+//! `(round, case_index)`, which is what lets the discovery engine in
+//! `lpo-core` fan cases out over worker threads while staying bit-identical
+//! to a serial run.
 //!
 //! ```
 //! use lpo_llm::prelude::*;
 //!
-//! let mut model = SimulatedModel::new(gemini2_0t(), 42);
+//! let factory = SimulatedModelFactory::new(gemini2_0t(), 42);
+//! let mut model = factory.session(0, 0);
 //! let prompt = Prompt::initial(
 //!     "define i8 @src(i32 %0) {\n\
 //!      %2 = icmp slt i32 %0, 0\n\
@@ -36,11 +43,11 @@ pub mod strategies;
 /// Commonly used items, re-exported for convenience.
 pub mod prelude {
     pub use crate::corruption::{corrupt_semantics, corrupt_syntax, SyntaxCorruption};
-    pub use crate::model::{Completion, LanguageModel, Prompt, TokenUsage, SYSTEM_PROMPT};
+    pub use crate::model::{Completion, ModelFactory, ModelSession, Prompt, TokenUsage, SYSTEM_PROMPT};
     pub use crate::profiles::{
         all_models, by_name, gemini2_0, gemini2_0t, gemini2_5, gemma3, gpt4_1, llama3_3, o4_mini,
         rq1_models, Deployment, ModelProfile,
     };
-    pub use crate::simulated::SimulatedModel;
+    pub use crate::simulated::{SimulatedModel, SimulatedModelFactory};
     pub use crate::strategies::{applicable, apply_strategy, first_applicable, library, Strategy};
 }

@@ -1,10 +1,22 @@
 //! The language-model interface the LPO pipeline talks to.
 //!
-//! The pipeline is model-agnostic: it builds a [`Prompt`] (system instructions
-//! + the wrapped instruction sequence + optional feedback from the verifier)
-//! and receives a [`Completion`] (candidate IR text plus token/latency
-//! accounting). The paper drives commercial and open-source LLMs through this
-//! interface; this reproduction drives [`SimulatedModel`](crate::simulated::SimulatedModel)s.
+//! The pipeline is model-agnostic: it builds a [`Prompt`] (system
+//! instructions, the wrapped instruction sequence, and optional feedback from
+//! the verifier) and receives a [`Completion`] (candidate IR text plus
+//! token/latency accounting). The paper drives commercial and open-source
+//! LLMs through this interface; this reproduction drives
+//! [`SimulatedModel`](crate::simulated::SimulatedModel)s.
+//!
+//! The interface is split in two so the discovery loop can run on many
+//! threads at once:
+//!
+//! * a [`ModelFactory`] is the shared, immutable description of a model
+//!   (name, capability profile, pricing). It is `Send + Sync` and lives for
+//!   the whole experiment;
+//! * a [`ModelSession`] is the cheap, mutable per-case conversation the
+//!   factory spawns for one instruction sequence. Sessions are seeded
+//!   deterministically from `(round, case_index)`, so a run produces
+//!   bit-identical results regardless of how many worker threads execute it.
 
 use std::time::Duration;
 
@@ -90,18 +102,42 @@ pub struct Completion {
     pub cost_usd: f64,
 }
 
-/// Anything that can act as LPO's optimizer model.
-pub trait LanguageModel {
+/// One conversation between the pipeline and a model about one instruction
+/// sequence: the initial proposal plus any feedback-driven retries.
+///
+/// Sessions carry all mutable state (RNG position, accumulated usage), so a
+/// `&mut` session never needs to be shared between cases. They are spawned by
+/// a [`ModelFactory`].
+pub trait ModelSession {
     /// A short display name, e.g. `Gemini2.0T`.
     fn name(&self) -> &str;
 
     /// Proposes a candidate for the prompt.
     fn propose(&mut self, prompt: &Prompt) -> Completion;
+}
 
-    /// Resets per-experiment state (e.g. reseeds the simulation for a new round).
-    fn reset(&mut self, round: u64) {
-        let _ = round;
+/// The shared, thread-safe description of a model: everything needed to spawn
+/// a [`ModelSession`] for one case.
+///
+/// # Determinism contract
+///
+/// `session(round, case_index)` must be a pure function of the factory state
+/// and its arguments: two sessions created with the same pair must behave
+/// identically. The executor in `lpo-core` relies on this to produce
+/// bit-identical results for any `--jobs` value.
+pub trait ModelFactory: Send + Sync {
+    /// A short display name, e.g. `Gemini2.0T`.
+    fn name(&self) -> &str;
+
+    /// The capability/pricing profile behind this factory, when one exists
+    /// (simulated models always have one; a live API client may not).
+    fn profile(&self) -> Option<&crate::profiles::ModelProfile> {
+        None
     }
+
+    /// Spawns the session for one case. `round` is the experiment round,
+    /// `case_index` the position of the sequence in the run's input order.
+    fn session(&self, round: u64, case_index: u64) -> Box<dyn ModelSession>;
 }
 
 #[cfg(test)]

@@ -17,10 +17,12 @@
 //!   benefit most) — which is exactly what makes LPO outperform LPO⁻.
 //!
 //! All decisions are functions of `(model seed, round, prompt text, attempt)`,
-//! so experiments are reproducible.
+//! so experiments are reproducible. The [`SimulatedModelFactory`] spawns one
+//! [`SimulatedModel`] session per case, deriving the session seed from the
+//! case index, so a parallel run is bit-identical to a serial one.
 
 use crate::corruption::{corrupt_semantics, corrupt_syntax, SyntaxCorruption};
-use crate::model::{Completion, LanguageModel, Prompt, TokenUsage};
+use crate::model::{Completion, ModelFactory, ModelSession, Prompt, TokenUsage};
 use crate::profiles::ModelProfile;
 use crate::strategies::{applicable, Strategy};
 use lpo_ir::function::Function;
@@ -47,13 +49,27 @@ pub struct SimulatedModel {
     calls: usize,
 }
 
+/// Mixes a case index into a base seed (the identity for index 0, so
+/// single-case runs reproduce the historical serial behaviour).
+fn mix_case_index(seed: u64, case_index: u64) -> u64 {
+    seed ^ case_index.wrapping_mul(0x9e37_79b9_7f4a_7c15)
+}
+
 impl SimulatedModel {
-    /// Creates a simulated model from a profile with the given base seed.
+    /// Creates a simulated model from a profile with the given base seed
+    /// (round 0, case index 0). Prefer [`SimulatedModelFactory`] when driving
+    /// more than one case.
     pub fn new(profile: ModelProfile, seed: u64) -> Self {
+        Self::for_case(profile, seed, 0, 0)
+    }
+
+    /// Creates the session model for one `(round, case_index)` pair — the
+    /// deterministic seeding used by [`SimulatedModelFactory::session`].
+    pub fn for_case(profile: ModelProfile, seed: u64, round: u64, case_index: u64) -> Self {
         Self {
             profile,
-            seed,
-            round: 0,
+            seed: mix_case_index(seed, case_index),
+            round,
             total_usage: TokenUsage::default(),
             total_cost_usd: 0.0,
             total_latency: Duration::ZERO,
@@ -145,13 +161,9 @@ impl SimulatedModel {
     }
 }
 
-impl LanguageModel for SimulatedModel {
+impl ModelSession for SimulatedModel {
     fn name(&self) -> &str {
         self.profile.name
-    }
-
-    fn reset(&mut self, round: u64) {
-        self.round = round;
     }
 
     fn propose(&mut self, prompt: &Prompt) -> Completion {
@@ -217,6 +229,46 @@ impl LanguageModel for SimulatedModel {
     }
 }
 
+/// The [`ModelFactory`] for simulated models: an immutable
+/// `(profile, base seed)` pair that spawns one [`SimulatedModel`] session per
+/// case.
+///
+/// The session for `(round, case_index)` carries the seed
+/// `base_seed ⊕ (case_index · φ64)`, so every case draws from an independent
+/// deterministic stream and case index 0 reproduces the historical
+/// single-model serial runs exactly.
+#[derive(Clone, Debug)]
+pub struct SimulatedModelFactory {
+    profile: ModelProfile,
+    seed: u64,
+}
+
+impl SimulatedModelFactory {
+    /// Creates a factory for the given profile and base seed.
+    pub fn new(profile: ModelProfile, seed: u64) -> Self {
+        Self { profile, seed }
+    }
+
+    /// The concrete session model (the trait method boxes this).
+    pub fn session_model(&self, round: u64, case_index: u64) -> SimulatedModel {
+        SimulatedModel::for_case(self.profile.clone(), self.seed, round, case_index)
+    }
+}
+
+impl ModelFactory for SimulatedModelFactory {
+    fn name(&self) -> &str {
+        self.profile.name
+    }
+
+    fn profile(&self) -> Option<&ModelProfile> {
+        Some(&self.profile)
+    }
+
+    fn session(&self, round: u64, case_index: u64) -> Box<dyn ModelSession> {
+        Box::new(self.session_model(round, case_index))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -238,8 +290,7 @@ mod tests {
     fn strong_models_find_the_clamp_rewrite_most_rounds() {
         let mut found = 0;
         for round in 0..20 {
-            let mut model = SimulatedModel::new(profiles::gemini2_0t(), 7);
-            model.reset(round);
+            let mut model = SimulatedModel::for_case(profiles::gemini2_0t(), 7, round, 0);
             let completion = model.propose(&Prompt::initial(CLAMP));
             if completion.text.contains("llvm.smax") {
                 found += 1;
@@ -252,8 +303,7 @@ mod tests {
     fn weak_models_rarely_find_it() {
         let mut found = 0;
         for round in 0..20 {
-            let mut model = SimulatedModel::new(profiles::gemma3(), 7);
-            model.reset(round);
+            let mut model = SimulatedModel::for_case(profiles::gemma3(), 7, round, 0);
             let completion = model.propose(&Prompt::initial(CLAMP));
             if completion.text.contains("llvm.smax") {
                 found += 1;
@@ -273,18 +323,15 @@ mod tests {
 
     #[test]
     fn determinism_per_round_and_variation_across_rounds() {
-        let mut a = SimulatedModel::new(profiles::llama3_3(), 3);
-        let mut b = SimulatedModel::new(profiles::llama3_3(), 3);
-        a.reset(1);
-        b.reset(1);
+        let mut a = SimulatedModel::for_case(profiles::llama3_3(), 3, 1, 0);
+        let mut b = SimulatedModel::for_case(profiles::llama3_3(), 3, 1, 0);
         assert_eq!(a.propose(&Prompt::initial(CLAMP)).text, b.propose(&Prompt::initial(CLAMP)).text);
 
         // Across rounds the outcome is allowed to differ (non-determinism of
         // the real models, reproduced by reseeding).
         let mut texts = std::collections::HashSet::new();
         for round in 0..8 {
-            let mut m = SimulatedModel::new(profiles::llama3_3(), 3);
-            m.reset(round);
+            let mut m = SimulatedModel::for_case(profiles::llama3_3(), 3, round, 0);
             texts.insert(m.propose(&Prompt::initial(CLAMP)).text);
         }
         assert!(texts.len() > 1, "outcomes should vary across rounds");
@@ -297,8 +344,7 @@ mod tests {
         let mut fixed = 0;
         let mut broken_rounds = 0;
         for round in 0..40 {
-            let mut model = SimulatedModel::new(profiles::gemini2_0t(), 11);
-            model.reset(round);
+            let mut model = SimulatedModel::for_case(profiles::gemini2_0t(), 11, round, 0);
             let first = model.propose(&Prompt::initial(CLAMP));
             let first_ok = lpo_ir::parser::parse_function(&first.text).is_ok()
                 && first.text.contains("llvm.smax");
@@ -315,6 +361,33 @@ mod tests {
         if broken_rounds > 0 {
             assert!(fixed > 0, "feedback never fixed any of {broken_rounds} broken attempts");
         }
+    }
+
+    #[test]
+    fn factory_sessions_are_deterministic_and_independent() {
+        let factory = SimulatedModelFactory::new(profiles::gemini2_0t(), 7);
+        assert_eq!(factory.name(), "Gemini2.0T");
+        assert!(ModelFactory::profile(&factory).is_some());
+
+        // Same (round, case_index) → byte-identical output.
+        let a = factory.session(3, 5).propose(&Prompt::initial(CLAMP)).text;
+        let b = factory.session(3, 5).propose(&Prompt::initial(CLAMP)).text;
+        assert_eq!(a, b);
+
+        // Case index 0 reproduces the historical single-model behaviour.
+        let legacy = SimulatedModel::for_case(profiles::gemini2_0t(), 7, 3, 0)
+            .propose(&Prompt::initial(CLAMP))
+            .text;
+        assert_eq!(factory.session(3, 0).propose(&Prompt::initial(CLAMP)).text, legacy);
+
+        // Different case indices draw from independent streams: over several
+        // rounds at least one (round, index) pair must diverge.
+        let diverges = (0..8).any(|round| {
+            let x = factory.session(round, 0).propose(&Prompt::initial(CLAMP)).text;
+            let y = factory.session(round, 1).propose(&Prompt::initial(CLAMP)).text;
+            x != y
+        });
+        assert!(diverges, "case-index seeding never changed an outcome");
     }
 
     #[test]

@@ -34,13 +34,7 @@ impl Target {
             InstKind::Binary { op, .. } => match op {
                 BinOp::Add | BinOp::Sub | BinOp::And | BinOp::Or | BinOp::Xor => 1.0,
                 BinOp::Shl | BinOp::LShr | BinOp::AShr => 1.0,
-                BinOp::Mul => {
-                    if slow {
-                        3.0
-                    } else {
-                        3.0
-                    }
-                }
+                BinOp::Mul => 3.0,
                 BinOp::UDiv | BinOp::SDiv | BinOp::URem | BinOp::SRem => {
                     if slow {
                         25.0

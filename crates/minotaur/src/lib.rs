@@ -80,6 +80,46 @@ fn crashes_on(func: &Function) -> Option<String> {
     }
 }
 
+/// Runs the Minotaur baseline over a batch of sequences on `jobs` worker
+/// threads (`0` = available parallelism), returning results in input order.
+///
+/// Each case is a pure function of `func`, so the output is bit-identical
+/// for every worker count — the same contract as the session engine in
+/// `lpo-core`.
+pub fn superoptimize_batch(functions: &[Function], jobs: usize) -> Vec<MinotaurResult> {
+    let jobs = if jobs == 0 {
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    } else {
+        jobs
+    }
+    .min(functions.len())
+    .max(1);
+    if jobs == 1 {
+        return functions.iter().map(superoptimize).collect();
+    }
+    let cursor = std::sync::atomic::AtomicUsize::new(0);
+    let slots: std::sync::Mutex<Vec<Option<MinotaurResult>>> =
+        std::sync::Mutex::new(vec![None; functions.len()]);
+    std::thread::scope(|scope| {
+        for _ in 0..jobs {
+            scope.spawn(|| loop {
+                let index = cursor.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if index >= functions.len() {
+                    break;
+                }
+                let result = superoptimize(&functions[index]);
+                slots.lock().expect("result store poisoned")[index] = Some(result);
+            });
+        }
+    });
+    slots
+        .into_inner()
+        .expect("result store poisoned")
+        .into_iter()
+        .map(|slot| slot.expect("worker pool filled every slot"))
+        .collect()
+}
+
 /// Runs the Minotaur baseline on one wrapped instruction sequence.
 pub fn superoptimize(func: &Function) -> MinotaurResult {
     let start = Instant::now();
@@ -117,6 +157,22 @@ pub fn superoptimize(func: &Function) -> MinotaurResult {
 mod tests {
     use super::*;
     use lpo_ir::parser::parse_function;
+
+    #[test]
+    fn batch_is_ordered_and_jobs_invariant() {
+        let texts = [
+            "define i32 @a(i32 %x) {\n %r = add i32 %x, 0\n ret i32 %r\n}",
+            "define i1 @b(i32 %x, i32 %y) {\n %a = xor i32 %x, %y\n %c = icmp eq i32 %a, 0\n ret i1 %c\n}",
+        ];
+        let functions: Vec<Function> = texts.iter().map(|t| parse_function(t).unwrap()).collect();
+        let serial = superoptimize_batch(&functions, 1);
+        let parallel = superoptimize_batch(&functions, 2);
+        assert_eq!(serial.len(), functions.len());
+        for (s, p) in serial.iter().zip(&parallel) {
+            assert_eq!(s.outcome, p.outcome);
+            assert_eq!(s.modeled, p.modeled);
+        }
+    }
 
     #[test]
     fn finds_its_simd_and_mask_templates() {

@@ -278,12 +278,11 @@ pub fn known_bits_simplify(func: &mut Function, id: InstId, _b: BlockId, _p: usi
                 return replace_with(func, id, const_int_of(&ty, 0));
             }
         }
-        BinOp::Or => {
+        BinOp::Or
             // Or-ing in bits that are already known set changes nothing.
-            if c.zext_value() & !kb.ones == 0 {
+            if c.zext_value() & !kb.ones == 0 => {
                 return replace_with(func, id, lhs);
             }
-        }
         _ => {}
     }
     false

@@ -152,6 +152,51 @@ fn modeled_seconds_per_candidate(enum_depth: u32) -> f64 {
     }
 }
 
+/// Runs the superoptimizer over a batch of sequences on `jobs` worker
+/// threads (`0` = available parallelism), returning results in input order.
+///
+/// Each case is a pure function of `(func, config)`, so the output is
+/// bit-identical for every worker count — the same contract as the session
+/// engine in `lpo-core`, which is what lets the Table 4 drivers run the
+/// baselines and LPO side by side in parallel.
+pub fn superoptimize_batch(
+    functions: &[Function],
+    config: &SouperConfig,
+    jobs: usize,
+) -> Vec<SouperResult> {
+    let jobs = if jobs == 0 {
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    } else {
+        jobs
+    }
+    .min(functions.len())
+    .max(1);
+    if jobs == 1 {
+        return functions.iter().map(|f| superoptimize(f, config)).collect();
+    }
+    let cursor = std::sync::atomic::AtomicUsize::new(0);
+    let slots: std::sync::Mutex<Vec<Option<SouperResult>>> =
+        std::sync::Mutex::new(vec![None; functions.len()]);
+    std::thread::scope(|scope| {
+        for _ in 0..jobs {
+            scope.spawn(|| loop {
+                let index = cursor.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if index >= functions.len() {
+                    break;
+                }
+                let result = superoptimize(&functions[index], config);
+                slots.lock().expect("result store poisoned")[index] = Some(result);
+            });
+        }
+    });
+    slots
+        .into_inner()
+        .expect("result store poisoned")
+        .into_iter()
+        .map(|slot| slot.expect("worker pool filled every slot"))
+        .collect()
+}
+
 /// Runs the superoptimizer on one wrapped instruction sequence.
 pub fn superoptimize(func: &Function, config: &SouperConfig) -> SouperResult {
     let start = Instant::now();
@@ -367,6 +412,26 @@ fn icmp_function(original: &Function, pred: ICmpPred, a: Value, b: Value) -> Fun
 mod tests {
     use super::*;
     use lpo_ir::parser::parse_function;
+
+    #[test]
+    fn batch_is_ordered_and_jobs_invariant() {
+        let texts = [
+            "define i32 @a(i32 %x) {\n %r = add i32 %x, 0\n ret i32 %r\n}",
+            "define i1 @b(i8 %x) {\n %a = xor i8 %x, 12\n %c = icmp eq i8 %a, 5\n ret i1 %c\n}",
+            "define i32 @c(i32 %x, i32 %y) {\n %a = add i32 %x, %y\n %b = sub i32 %a, %y\n ret i32 %b\n}",
+        ];
+        let functions: Vec<Function> = texts.iter().map(|t| parse_function(t).unwrap()).collect();
+        let mut config = SouperConfig::with_enum(1);
+        config.candidate_budget = 400;
+        let serial = superoptimize_batch(&functions, &config, 1);
+        let parallel = superoptimize_batch(&functions, &config, 3);
+        assert_eq!(serial.len(), functions.len());
+        for (s, p) in serial.iter().zip(&parallel) {
+            assert_eq!(s.outcome, p.outcome);
+            assert_eq!(s.candidates_tried, p.candidates_tried);
+            assert_eq!(s.modeled, p.modeled);
+        }
+    }
 
     fn run(text: &str, enum_depth: u32) -> SouperResult {
         let f = parse_function(text).unwrap();

@@ -1,5 +1,6 @@
 //! Discover missed optimizations in a synthetic project corpus, end to end:
-//! extraction (Algorithm 2) → LLM proposals → verification (Algorithm 1).
+//! extraction (Algorithm 2) → parallel LLM proposals → verification
+//! (Algorithm 1), on the session-based execution engine.
 //!
 //! ```text
 //! cargo run --release --example discover_missed_optimizations
@@ -8,7 +9,7 @@
 use lpo::prelude::*;
 use lpo_corpus::{generate_corpus, CorpusConfig};
 use lpo_extract::ExtractConfig;
-use lpo_llm::prelude::{o4_mini, SimulatedModel};
+use lpo_llm::prelude::{o4_mini, SimulatedModelFactory};
 
 fn main() {
     let corpus = generate_corpus(&CorpusConfig {
@@ -20,14 +21,22 @@ fn main() {
     println!("generated {} projects", corpus.len());
 
     let lpo = Lpo::new(LpoConfig::default());
-    let mut model = SimulatedModel::new(o4_mini(), 7);
+    let factory = SimulatedModelFactory::new(o4_mini(), 7);
+    // All cores; the engine is bit-identical for any worker count.
+    let exec = ExecConfig::default();
     let mut found = 0usize;
     let mut processed = 0usize;
+    let mut cache_hits = 0usize;
+    let mut workers = 0usize;
+    let mut total_cost = 0.0f64;
 
     for project in &corpus {
-        let (results, summary) =
-            lpo.run_corpus(&mut model, project.modules.iter(), ExtractConfig::default());
+        let (results, summary, stats) =
+            lpo.run_corpus(&factory, 0, project.modules.iter(), ExtractConfig::default(), &exec);
         processed += summary.cases;
+        cache_hits += stats.cache_hits;
+        workers = workers.max(stats.jobs);
+        total_cost += summary.total_cost_usd;
         for (seq, report) in results {
             if let CaseOutcome::Found { candidate } = report.outcome {
                 found += 1;
@@ -43,5 +52,6 @@ fn main() {
         }
     }
     println!("\nprocessed {processed} unique sequences, found {found} potential missed optimizations");
-    println!("total modeled LLM cost so far: ${:.4}", model.total_cost_usd());
+    println!("engine: up to {workers} worker(s) per batch, {cache_hits} dedup cache hit(s)");
+    println!("total modeled LLM cost so far: ${total_cost:.4}");
 }

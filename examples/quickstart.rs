@@ -7,7 +7,7 @@
 use lpo::prelude::*;
 use lpo_ir::parser::parse_function;
 use lpo_ir::printer::print_function;
-use lpo_llm::prelude::{gemini2_0t, LanguageModel, SimulatedModel};
+use lpo_llm::prelude::{gemini2_0t, ModelFactory, SimulatedModelFactory};
 
 fn main() {
     // The suboptimal instruction sequence of Figure 1b: x < 0 ? 0 : umin(x, 255).
@@ -24,12 +24,13 @@ fn main() {
     println!("== original ==\n{}", print_function(&source));
 
     let lpo = Lpo::new(LpoConfig::default());
-    // A simulated stand-in for gemini-2.0-flash-thinking (see DESIGN.md).
-    let mut model = SimulatedModel::new(gemini2_0t(), 2024);
+    // A simulated stand-in for gemini-2.0-flash-thinking (see DESIGN.md). The
+    // factory is the shared description; each round gets its own session.
+    let factory = SimulatedModelFactory::new(gemini2_0t(), 2024);
 
     for round in 0..5 {
-        model.reset(round);
-        let report = lpo.optimize_sequence(&mut model, &source);
+        let mut session = factory.session(round, 0);
+        let report = lpo.optimize_sequence(session.as_mut(), &source);
         match report.outcome {
             CaseOutcome::Found { candidate } => {
                 println!(
@@ -37,7 +38,7 @@ fn main() {
                     report.attempts,
                     print_function(&candidate)
                 );
-                println!("model: {}, modeled time {:.1}s", model.name(), report.modeled_time.as_secs_f64());
+                println!("model: {}, modeled time {:.1}s", factory.name(), report.modeled_time.as_secs_f64());
                 return;
             }
             other => println!("round {round}: {other:?}"),

@@ -7,17 +7,17 @@
 
 use lpo::prelude::*;
 use lpo_corpus::rq1_suite;
-use lpo_llm::prelude::{gemini2_0t, LanguageModel, SimulatedModel};
+use lpo_llm::prelude::{gemini2_0t, ModelFactory, SimulatedModelFactory};
 use lpo_souper::{superoptimize, SouperConfig};
 
 fn main() {
     let lpo = Lpo::new(LpoConfig::default());
     println!("{:<10} {:<22} {:>6} {:>8} {:>9}", "Issue", "Family", "LPO", "Souper", "Minotaur");
     for case in rq1_suite().iter().take(10) {
-        let mut model = SimulatedModel::new(gemini2_0t(), 11);
+        let factory = SimulatedModelFactory::new(gemini2_0t(), 11);
         let lpo_found = (0..3).any(|round| {
-            model.reset(round);
-            lpo.optimize_sequence(&mut model, &case.function).outcome.is_found()
+            let mut session = factory.session(round, 0);
+            lpo.optimize_sequence(session.as_mut(), &case.function).outcome.is_found()
         });
         let mut config = SouperConfig::with_enum(2);
         config.candidate_budget = 1200;

@@ -1,0 +1,68 @@
+//! The execution engine's determinism contract: a run is bit-identical for
+//! every worker count, and the dedup cache replays rather than recomputes.
+//!
+//! This is the `--jobs 1` vs `--jobs 4` acceptance check of the parallel
+//! discovery engine: the per-case [`CaseReport`] stream and the aggregate
+//! [`RunSummary`] must fingerprint identically (fingerprints cover every
+//! deterministic field — outcome, candidate text, attempts, modeled time,
+//! exact cost bits — and exclude only real wall-clock time).
+
+use lpo::prelude::*;
+use lpo_corpus::rq1_suite;
+use lpo_ir::function::Function;
+use lpo_llm::prelude::{gemini2_0t, llama3_3, SimulatedModelFactory};
+
+/// The rq1 suite plus structural duplicates of a few of its cases, so the
+/// dedup cache is exercised by the same run.
+fn suite_with_duplicates() -> Vec<Function> {
+    let mut sequences: Vec<Function> =
+        rq1_suite().into_iter().map(|case| case.function).collect();
+    let copies: Vec<Function> = sequences.iter().take(4).cloned().collect();
+    sequences.extend(copies);
+    sequences
+}
+
+fn fingerprints(batch: &BatchResult) -> (Vec<String>, String) {
+    (batch.reports.iter().map(CaseReport::fingerprint).collect(), batch.summary.fingerprint())
+}
+
+#[test]
+fn jobs_1_and_jobs_4_are_byte_identical_on_the_rq1_suite() {
+    let sequences = suite_with_duplicates();
+    let lpo = Lpo::new(LpoConfig::default());
+
+    for (profile, seed) in [(gemini2_0t(), 42u64), (llama3_3(), 7u64)] {
+        let factory = SimulatedModelFactory::new(profile, seed);
+        for round in 0..2 {
+            let serial = lpo.run_sequences(&factory, round, &sequences, &ExecConfig::with_jobs(1));
+            let parallel = lpo.run_sequences(&factory, round, &sequences, &ExecConfig::with_jobs(4));
+
+            let (serial_reports, serial_summary) = fingerprints(&serial);
+            let (parallel_reports, parallel_summary) = fingerprints(&parallel);
+            assert_eq!(serial_reports, parallel_reports, "per-case streams diverged (round {round})");
+            assert_eq!(serial_summary, parallel_summary, "summaries diverged (round {round})");
+
+            assert_eq!(serial.stats.jobs, 1);
+            assert_eq!(parallel.stats.jobs, 4);
+            assert_eq!(serial.stats.cache_hits, parallel.stats.cache_hits);
+            assert_eq!(serial.stats.cache_hits, 4, "the 4 appended duplicates must replay");
+            assert_eq!(serial.stats.unique_cases, sequences.len() - 4);
+        }
+    }
+}
+
+#[test]
+fn dedup_replay_is_byte_identical_to_its_representative() {
+    let sequences = suite_with_duplicates();
+    let originals = sequences.len() - 4;
+    let lpo = Lpo::new(LpoConfig::default());
+    let factory = SimulatedModelFactory::new(gemini2_0t(), 42);
+    let batch = lpo.run_sequences(&factory, 0, &sequences, &ExecConfig::default());
+    for dup in 0..4 {
+        assert_eq!(
+            batch.reports[originals + dup].fingerprint(),
+            batch.reports[dup].fingerprint(),
+            "duplicate {dup} did not replay its first occurrence"
+        );
+    }
+}

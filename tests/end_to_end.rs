@@ -1,11 +1,12 @@
 //! Cross-crate integration tests: the complete workflow of Figure 2 from a
 //! module, through extraction, the simulated LLM, `opt`, the interestingness
-//! check, and the translation validator.
+//! check, and the translation validator — driven through the session-based
+//! execution engine.
 
 use lpo::prelude::*;
 use lpo_extract::ExtractConfig;
 use lpo_ir::parser::parse_module;
-use lpo_llm::prelude::{gemini2_0t, gemma3, LanguageModel, SimulatedModel};
+use lpo_llm::prelude::{gemini2_0t, gemma3, SimulatedModelFactory};
 use lpo_mca::Target;
 
 const MODULE: &str = "define i8 @clamp_like(i32 %x) {\n\
@@ -23,13 +24,14 @@ const MODULE: &str = "define i8 @clamp_like(i32 %x) {\n\
 fn figure_2_workflow_end_to_end() {
     let module = parse_module(MODULE).unwrap();
     let lpo = Lpo::new(LpoConfig::default());
-    let mut model = SimulatedModel::new(gemini2_0t(), 3);
+    let factory = SimulatedModelFactory::new(gemini2_0t(), 3);
 
     let mut found_any = false;
     for round in 0..8 {
-        model.reset(round);
-        let (results, summary) = lpo.run_corpus(&mut model, [&module], ExtractConfig::default());
+        let (results, summary, stats) =
+            lpo.run_corpus(&factory, round, [&module], ExtractConfig::default(), &ExecConfig::default());
         assert_eq!(results.len(), summary.cases);
+        assert_eq!(stats.cases, summary.cases);
         for (seq, report) in &results {
             if let CaseOutcome::Found { candidate } = &report.outcome {
                 found_any = true;
@@ -49,15 +51,15 @@ fn figure_2_workflow_end_to_end() {
 fn weaker_models_find_no_more_than_stronger_ones() {
     let module = parse_module(MODULE).unwrap();
     let lpo = Lpo::new(LpoConfig::default());
+    let weak = SimulatedModelFactory::new(gemma3(), 5);
+    let strong = SimulatedModelFactory::new(gemini2_0t(), 5);
     let mut weak_total = 0;
     let mut strong_total = 0;
     for round in 0..6 {
-        let mut weak = SimulatedModel::new(gemma3(), 5);
-        let mut strong = SimulatedModel::new(gemini2_0t(), 5);
-        weak.reset(round);
-        strong.reset(round);
-        let (_, w) = lpo.run_corpus(&mut weak, [&module], ExtractConfig::default());
-        let (_, s) = lpo.run_corpus(&mut strong, [&module], ExtractConfig::default());
+        let (_, w, _) =
+            lpo.run_corpus(&weak, round, [&module], ExtractConfig::default(), &ExecConfig::serial());
+        let (_, s, _) =
+            lpo.run_corpus(&strong, round, [&module], ExtractConfig::default(), &ExecConfig::serial());
         weak_total += w.found;
         strong_total += s.found;
     }
