@@ -20,6 +20,8 @@
 //! See `ARCHITECTURE.md` at the repository root for the workspace crate
 //! graph and where this crate sits in the three-stage verification flow.
 
+pub mod results;
+
 use lpo::prelude::*;
 use lpo_corpus::{rq1_suite, rq2_suite, IssueCase, Status};
 use lpo_llm::prelude::*;
@@ -583,6 +585,144 @@ pub fn figure5_experiment(jobs: usize) -> Vec<SpeedupPoint> {
         let geo: f64 = ratios.iter().map(|r| r.ln()).sum::<f64>() / ratios.len().max(1) as f64;
         SpeedupPoint { label: label.clone(), speedup: geo.exp() }
     })
+}
+
+/// One interpreter-throughput measurement: the rendered report plus the
+/// entry recorded in `BENCH_results.json`'s `interp` section.
+#[derive(Clone, Debug)]
+pub struct InterpBenchRun {
+    /// Human-readable report.
+    pub text: String,
+    /// The numbers (evals/sec, steps/sec, reference baseline, speedup).
+    pub entry: results::InterpEntry,
+}
+
+/// Measures concrete-evaluation throughput over the rq1 suite: every case's
+/// full translation-validation input set is evaluated on the register-file
+/// evaluator (compiled once per case per pass, the same shape as the TV hot
+/// path) and on the pre-change reference evaluator, on `jobs` workers each
+/// owning one [`lpo_tv::prelude::EvalArena`].
+///
+/// This is the workload behind `repro bench-interp` and the CI `bench-smoke`
+/// regression gate; measure with `--jobs 1` when comparing across builds.
+pub fn bench_interp(jobs: usize) -> InterpBenchRun {
+    use lpo_interp::prelude::{evaluate_reference, CompiledFunction, EvalArena};
+    use lpo_tv::prelude::{generate_inputs, InputConfig, TestInput};
+
+    const STEP_LIMIT: usize = 1 << 14;
+    /// Minimum measurement time per evaluator pass.
+    const MIN_TIME: Duration = Duration::from_millis(900);
+
+    let suite = rq1_suite();
+    let workloads: Vec<(lpo_ir::function::Function, Vec<TestInput>)> = suite
+        .iter()
+        .map(|case| {
+            let inputs = generate_inputs(&case.function, &InputConfig::default());
+            (case.function.clone(), inputs)
+        })
+        .collect();
+    let jobs = resolve_jobs(jobs, workloads.len());
+
+    /// Accumulated (evaluations, steps, wall) of one evaluator's passes.
+    #[derive(Default)]
+    struct Tally {
+        evals: usize,
+        steps: u64,
+        wall: Duration,
+    }
+
+    impl Tally {
+        fn add(&mut self, pass: &dyn Fn() -> (usize, u64)) {
+            let start = Instant::now();
+            let (e, s) = pass();
+            self.wall += start.elapsed();
+            self.evals += e;
+            self.steps += s;
+        }
+    }
+
+    let compiled_pass = || -> (usize, u64) {
+        parallel_map_ordered_with(&workloads, jobs, EvalArena::new, |arena, _, (func, inputs)| {
+            // Compile once per case per pass: the same amortization shape as
+            // the TV hot path (one compile per candidate, reused across all
+            // of its inputs).
+            let compiled = CompiledFunction::compile(func);
+            let mut steps = 0u64;
+            for input in inputs {
+                if let Ok(out) =
+                    compiled.evaluate_with_limit(arena, &input.args, input.memory.clone(), STEP_LIMIT)
+                {
+                    steps += out.steps as u64;
+                }
+            }
+            (inputs.len(), steps)
+        })
+        .into_iter()
+        .fold((0, 0), |(e, s), (pe, ps)| (e + pe, s + ps))
+    };
+
+    let reference_pass = || -> (usize, u64) {
+        parallel_map_ordered(&workloads, jobs, |_, (func, inputs)| {
+            let mut steps = 0u64;
+            for input in inputs {
+                if let Ok(out) =
+                    evaluate_reference(func, &input.args, input.memory.clone(), STEP_LIMIT)
+                {
+                    steps += out.steps as u64;
+                }
+            }
+            (inputs.len(), steps)
+        })
+        .into_iter()
+        .fold((0, 0), |(e, s), (pe, ps)| (e + pe, s + ps))
+    };
+
+    // Interleave the two evaluators' passes so slow drift in host load hits
+    // both sides equally — the reported speedup is then stable even on noisy
+    // shared machines.
+    let mut fast = Tally::default();
+    let mut slow = Tally::default();
+    let mut passes = 0usize;
+    while passes < 2 || fast.wall + slow.wall < MIN_TIME * 2 {
+        fast.add(&compiled_pass);
+        slow.add(&reference_pass);
+        passes += 1;
+    }
+
+    let (fast_evals, fast_steps, fast_wall) = (fast.evals, fast.steps, fast.wall);
+    let (ref_evals, ref_wall) = (slow.evals, slow.wall);
+
+    let evals_per_second = fast_evals as f64 / fast_wall.as_secs_f64();
+    let steps_per_second = fast_steps as f64 / fast_wall.as_secs_f64();
+    let reference_evals_per_second = ref_evals as f64 / ref_wall.as_secs_f64();
+    let speedup = if reference_evals_per_second > 0.0 {
+        evals_per_second / reference_evals_per_second
+    } else {
+        0.0
+    };
+    let total_inputs: usize = workloads.iter().map(|(_, inputs)| inputs.len()).sum();
+
+    let entry = results::InterpEntry {
+        evals_per_second,
+        steps_per_second,
+        reference_evals_per_second,
+        speedup,
+        cases: workloads.len(),
+        evals: total_inputs,
+        jobs,
+    };
+    let mut text = format!(
+        "Interpreter throughput: rq1 suite ({} cases, {} inputs per pass, jobs: {jobs})\n",
+        entry.cases, entry.evals
+    );
+    let _ = writeln!(
+        text,
+        "  register-file evaluator: {:>12.0} evals/s  {:>14.0} steps/s",
+        evals_per_second, steps_per_second
+    );
+    let _ = writeln!(text, "  reference evaluator:     {reference_evals_per_second:>12.0} evals/s");
+    let _ = writeln!(text, "  speedup:                 {speedup:>11.2}x");
+    InterpBenchRun { text, entry }
 }
 
 /// Renders Figure 5 as text.

@@ -1,0 +1,633 @@
+//! Persistent benchmark results: the `BENCH_results.json` model.
+//!
+//! The `repro` binary used to overwrite `BENCH_results.json` with only the
+//! tables of the current invocation, so running `repro table2` after
+//! `repro all` erased everything but table2 and the perf trajectory never
+//! accumulated. This module makes the file a *merged* store:
+//!
+//! * `tables` holds the **latest** entry per table name (merged by name);
+//! * `interp` holds the latest interpreter microbenchmark
+//!   (`repro bench-interp`);
+//! * `runs` is an append-only history — one record per `repro` invocation
+//!   with the entries that invocation produced — so the trajectory across
+//!   PRs/runs is preserved.
+//!
+//! The container has no crates.io access (no serde), so this file carries a
+//! small hand-rolled JSON reader/writer covering exactly the subset the
+//! schema needs: objects, arrays, strings, numbers, booleans and null.
+
+use std::fmt::Write as _;
+
+/// A parsed JSON value (the minimal subset the results schema uses).
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any number (stored as `f64`; the schema never needs 64-bit ints).
+    Num(f64),
+    /// A string (no escape sequences beyond `\" \\ \n \t` are produced).
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, with insertion order preserved.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Looks up an object field.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as a number, if it is one.
+    pub fn as_num(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The value as a string, if it is one.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as an array, if it is one.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Parses a JSON document.
+    pub fn parse(text: &str) -> Result<Json, String> {
+        let bytes = text.as_bytes();
+        let mut pos = 0;
+        let value = parse_value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(format!("trailing content at byte {pos}"));
+        }
+        Ok(value)
+    }
+
+    /// Serializes with 2-space indentation.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        render_value(self, 0, &mut out);
+        out.push('\n');
+        out
+    }
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && bytes[*pos].is_ascii_whitespace() {
+        *pos += 1;
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        None => Err("unexpected end of input".to_string()),
+        Some(b'{') => {
+            *pos += 1;
+            let mut fields = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Json::Obj(fields));
+            }
+            loop {
+                skip_ws(bytes, pos);
+                let key = match parse_value(bytes, pos)? {
+                    Json::Str(s) => s,
+                    other => return Err(format!("object key must be a string, got {other:?}")),
+                };
+                skip_ws(bytes, pos);
+                if bytes.get(*pos) != Some(&b':') {
+                    return Err(format!("expected ':' at byte {pos}"));
+                }
+                *pos += 1;
+                fields.push((key, parse_value(bytes, pos)?));
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Json::Obj(fields));
+                    }
+                    _ => return Err(format!("expected ',' or '}}' at byte {pos}")),
+                }
+            }
+        }
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            loop {
+                items.push(parse_value(bytes, pos)?);
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Json::Arr(items));
+                    }
+                    _ => return Err(format!("expected ',' or ']' at byte {pos}")),
+                }
+            }
+        }
+        Some(b'"') => {
+            *pos += 1;
+            let mut out = String::new();
+            loop {
+                match bytes.get(*pos) {
+                    None => return Err("unterminated string".to_string()),
+                    Some(b'"') => {
+                        *pos += 1;
+                        return Ok(Json::Str(out));
+                    }
+                    Some(b'\\') => {
+                        *pos += 1;
+                        match bytes.get(*pos) {
+                            Some(b'"') => out.push('"'),
+                            Some(b'\\') => out.push('\\'),
+                            Some(b'/') => out.push('/'),
+                            Some(b'n') => out.push('\n'),
+                            Some(b't') => out.push('\t'),
+                            Some(b'r') => out.push('\r'),
+                            other => return Err(format!("unsupported escape {other:?}")),
+                        }
+                        *pos += 1;
+                    }
+                    Some(&b) => {
+                        // Multi-byte UTF-8 sequences pass through unchanged.
+                        let start = *pos;
+                        let mut end = *pos + 1;
+                        if b >= 0x80 {
+                            while end < bytes.len() && bytes[end] & 0xc0 == 0x80 {
+                                end += 1;
+                            }
+                        }
+                        out.push_str(
+                            std::str::from_utf8(&bytes[start..end])
+                                .map_err(|e| e.to_string())?,
+                        );
+                        *pos = end;
+                    }
+                }
+            }
+        }
+        Some(b't') if bytes[*pos..].starts_with(b"true") => {
+            *pos += 4;
+            Ok(Json::Bool(true))
+        }
+        Some(b'f') if bytes[*pos..].starts_with(b"false") => {
+            *pos += 5;
+            Ok(Json::Bool(false))
+        }
+        Some(b'n') if bytes[*pos..].starts_with(b"null") => {
+            *pos += 4;
+            Ok(Json::Null)
+        }
+        Some(_) => {
+            let start = *pos;
+            while *pos < bytes.len()
+                && matches!(bytes[*pos], b'-' | b'+' | b'.' | b'e' | b'E' | b'0'..=b'9')
+            {
+                *pos += 1;
+            }
+            let text = std::str::from_utf8(&bytes[start..*pos]).map_err(|e| e.to_string())?;
+            text.parse::<f64>().map(Json::Num).map_err(|e| format!("bad number '{text}': {e}"))
+        }
+    }
+}
+
+fn render_value(value: &Json, indent: usize, out: &mut String) {
+    let pad = "  ".repeat(indent);
+    match value {
+        Json::Null => out.push_str("null"),
+        Json::Bool(b) => {
+            let _ = write!(out, "{b}");
+        }
+        Json::Num(n) => {
+            if n.fract() == 0.0 && n.abs() < 1e15 {
+                let _ = write!(out, "{}", *n as i64);
+            } else {
+                let _ = write!(out, "{n:.6}");
+            }
+        }
+        Json::Str(s) => {
+            out.push('"');
+            for c in s.chars() {
+                match c {
+                    '"' => out.push_str("\\\""),
+                    '\\' => out.push_str("\\\\"),
+                    '\n' => out.push_str("\\n"),
+                    '\t' => out.push_str("\\t"),
+                    '\r' => out.push_str("\\r"),
+                    other => out.push(other),
+                }
+            }
+            out.push('"');
+        }
+        Json::Arr(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push_str("[\n");
+            for (i, item) in items.iter().enumerate() {
+                let _ = write!(out, "{pad}  ");
+                render_value(item, indent + 1, out);
+                out.push_str(if i + 1 < items.len() { ",\n" } else { "\n" });
+            }
+            let _ = write!(out, "{pad}]");
+        }
+        Json::Obj(fields) => {
+            if fields.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push_str("{\n");
+            for (i, (key, val)) in fields.iter().enumerate() {
+                let _ = write!(out, "{pad}  \"{key}\": ");
+                render_value(val, indent + 1, out);
+                out.push_str(if i + 1 < fields.len() { ",\n" } else { "\n" });
+            }
+            let _ = write!(out, "{pad}}}");
+        }
+    }
+}
+
+/// One per-table entry (the latest run's numbers for that table).
+#[derive(Clone, Debug, PartialEq)]
+pub struct TableEntry {
+    /// The table/driver name (`table2` … `figure5`).
+    pub name: String,
+    /// Wall-clock seconds of the whole driver.
+    pub wall_seconds: f64,
+    /// Work items processed.
+    pub cases: usize,
+    /// Work items per second.
+    pub cases_per_second: f64,
+    /// Dedup-cache replays.
+    pub cache_hits: usize,
+    /// Worker threads used.
+    pub jobs: usize,
+}
+
+impl TableEntry {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("name".into(), Json::Str(self.name.clone())),
+            ("wall_seconds".into(), Json::Num(self.wall_seconds)),
+            ("cases".into(), Json::Num(self.cases as f64)),
+            ("cases_per_second".into(), Json::Num(self.cases_per_second)),
+            ("cache_hits".into(), Json::Num(self.cache_hits as f64)),
+            ("jobs".into(), Json::Num(self.jobs as f64)),
+        ])
+    }
+
+    fn from_json(value: &Json) -> Option<TableEntry> {
+        Some(TableEntry {
+            name: value.get("name")?.as_str()?.to_string(),
+            wall_seconds: value.get("wall_seconds")?.as_num()?,
+            cases: value.get("cases")?.as_num()? as usize,
+            cases_per_second: value.get("cases_per_second")?.as_num()?,
+            cache_hits: value.get("cache_hits")?.as_num()? as usize,
+            jobs: value.get("jobs")?.as_num()? as usize,
+        })
+    }
+}
+
+/// The interpreter microbenchmark section (`repro bench-interp`).
+#[derive(Clone, Debug, PartialEq)]
+pub struct InterpEntry {
+    /// Concrete evaluations per second on the register-file evaluator.
+    pub evals_per_second: f64,
+    /// Executed instructions per second on the register-file evaluator.
+    pub steps_per_second: f64,
+    /// Evaluations per second on the pre-change reference evaluator.
+    pub reference_evals_per_second: f64,
+    /// `evals_per_second / reference_evals_per_second`.
+    pub speedup: f64,
+    /// Functions evaluated (the rq1 suite).
+    pub cases: usize,
+    /// Total evaluations per pass (Σ inputs over cases × repeats).
+    pub evals: usize,
+    /// Worker threads used.
+    pub jobs: usize,
+}
+
+impl InterpEntry {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("evals_per_second".into(), Json::Num(self.evals_per_second)),
+            ("steps_per_second".into(), Json::Num(self.steps_per_second)),
+            ("reference_evals_per_second".into(), Json::Num(self.reference_evals_per_second)),
+            ("speedup".into(), Json::Num(self.speedup)),
+            ("cases".into(), Json::Num(self.cases as f64)),
+            ("evals".into(), Json::Num(self.evals as f64)),
+            ("jobs".into(), Json::Num(self.jobs as f64)),
+        ])
+    }
+
+    fn from_json(value: &Json) -> Option<InterpEntry> {
+        Some(InterpEntry {
+            evals_per_second: value.get("evals_per_second")?.as_num()?,
+            steps_per_second: value.get("steps_per_second")?.as_num()?,
+            reference_evals_per_second: value.get("reference_evals_per_second")?.as_num()?,
+            speedup: value.get("speedup")?.as_num()?,
+            cases: value.get("cases")?.as_num()? as usize,
+            evals: value.get("evals")?.as_num()? as usize,
+            jobs: value.get("jobs")?.as_num()? as usize,
+        })
+    }
+}
+
+/// One `repro` invocation in the append-only history.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RunRecord {
+    /// 1-based run index (monotonic across the file's lifetime).
+    pub run: usize,
+    /// The subcommand that produced this record (e.g. `table2`, `all`).
+    pub command: String,
+    /// The `--jobs` value requested.
+    pub jobs_requested: usize,
+    /// The tables this invocation produced.
+    pub tables: Vec<TableEntry>,
+    /// The interpreter microbenchmark, when this invocation ran it.
+    pub interp: Option<InterpEntry>,
+}
+
+impl RunRecord {
+    fn to_json(&self) -> Json {
+        let mut fields = vec![
+            ("run".into(), Json::Num(self.run as f64)),
+            ("command".into(), Json::Str(self.command.clone())),
+            ("jobs_requested".into(), Json::Num(self.jobs_requested as f64)),
+            ("tables".into(), Json::Arr(self.tables.iter().map(TableEntry::to_json).collect())),
+        ];
+        if let Some(interp) = &self.interp {
+            fields.push(("interp".into(), interp.to_json()));
+        }
+        Json::Obj(fields)
+    }
+
+    fn from_json(value: &Json) -> Option<RunRecord> {
+        Some(RunRecord {
+            run: value.get("run")?.as_num()? as usize,
+            command: value.get("command")?.as_str()?.to_string(),
+            jobs_requested: value.get("jobs_requested")?.as_num()? as usize,
+            tables: value
+                .get("tables")?
+                .as_arr()?
+                .iter()
+                .filter_map(TableEntry::from_json)
+                .collect(),
+            interp: value.get("interp").and_then(InterpEntry::from_json),
+        })
+    }
+}
+
+/// The whole `BENCH_results.json` store.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct BenchResults {
+    /// Latest entry per table name, in first-recorded order.
+    pub tables: Vec<TableEntry>,
+    /// Latest interpreter microbenchmark.
+    pub interp: Option<InterpEntry>,
+    /// Append-only invocation history.
+    pub runs: Vec<RunRecord>,
+}
+
+/// The schema version written by this build.
+pub const SCHEMA: usize = 2;
+
+impl BenchResults {
+    /// Loads the store from `path`. A missing, unparsable or
+    /// unknown-schema file yields an empty store (the history restarts
+    /// rather than blocking the benchmark run, and a future-schema file is
+    /// not silently half-parsed); a legacy schema-1 file contributes its
+    /// tables.
+    pub fn load(path: &str) -> BenchResults {
+        let Ok(text) = std::fs::read_to_string(path) else {
+            return BenchResults::default();
+        };
+        let Ok(value) = Json::parse(&text) else {
+            return BenchResults::default();
+        };
+        match value.get("schema").and_then(Json::as_num) {
+            Some(schema) if schema == 1.0 || schema == SCHEMA as f64 => {}
+            _ => return BenchResults::default(),
+        }
+        let mut results = BenchResults::default();
+        if let Some(tables) = value.get("tables").and_then(Json::as_arr) {
+            results.tables = tables.iter().filter_map(TableEntry::from_json).collect();
+        }
+        results.interp = value.get("interp").and_then(InterpEntry::from_json);
+        if let Some(runs) = value.get("runs").and_then(Json::as_arr) {
+            results.runs = runs.iter().filter_map(RunRecord::from_json).collect();
+        }
+        results
+    }
+
+    /// Merges one invocation into the store: per-table entries replace the
+    /// previous entry of the same name, the interp section (if present)
+    /// replaces the previous one, and the invocation is appended to `runs`
+    /// with the next run index.
+    pub fn record(
+        &mut self,
+        command: &str,
+        jobs_requested: usize,
+        tables: Vec<TableEntry>,
+        interp: Option<InterpEntry>,
+    ) {
+        for entry in &tables {
+            match self.tables.iter_mut().find(|t| t.name == entry.name) {
+                Some(slot) => *slot = entry.clone(),
+                None => self.tables.push(entry.clone()),
+            }
+        }
+        if interp.is_some() {
+            self.interp = interp.clone();
+        }
+        let run = self.runs.last().map(|r| r.run + 1).unwrap_or(1);
+        self.runs.push(RunRecord {
+            run,
+            command: command.to_string(),
+            jobs_requested,
+            tables,
+            interp,
+        });
+    }
+
+    /// Serializes the store.
+    pub fn render(&self) -> String {
+        let mut fields = vec![
+            ("schema".into(), Json::Num(SCHEMA as f64)),
+            ("tables".into(), Json::Arr(self.tables.iter().map(TableEntry::to_json).collect())),
+        ];
+        if let Some(interp) = &self.interp {
+            fields.push(("interp".into(), interp.to_json()));
+        }
+        fields.push(("runs".into(), Json::Arr(self.runs.iter().map(RunRecord::to_json).collect())));
+        Json::Obj(fields).render()
+    }
+
+    /// Loads, merges and writes back in one step.
+    ///
+    /// # Errors
+    ///
+    /// Returns the I/O error message if the file cannot be written.
+    pub fn merge_into_file(
+        path: &str,
+        command: &str,
+        jobs_requested: usize,
+        tables: Vec<TableEntry>,
+        interp: Option<InterpEntry>,
+    ) -> Result<BenchResults, String> {
+        let mut results = BenchResults::load(path);
+        results.record(command, jobs_requested, tables, interp);
+        std::fs::write(path, results.render()).map_err(|e| e.to_string())?;
+        Ok(results)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_round_trip() {
+        let text = r#"{"a": 1, "b": [true, null, "x\ny"], "c": {"d": -2.5}}"#;
+        let parsed = Json::parse(text).unwrap();
+        assert_eq!(parsed.get("a").unwrap().as_num(), Some(1.0));
+        assert_eq!(parsed.get("b").unwrap().as_arr().unwrap().len(), 3);
+        assert_eq!(parsed.get("c").unwrap().get("d").unwrap().as_num(), Some(-2.5));
+        // Rendered output parses back to the same value.
+        let rendered = parsed.render();
+        assert_eq!(Json::parse(&rendered).unwrap(), parsed);
+    }
+
+    #[test]
+    fn json_errors_are_reported() {
+        assert!(Json::parse("{").is_err());
+        assert!(Json::parse("[1, ]").is_err());
+        assert!(Json::parse("{\"a\" 1}").is_err());
+        assert!(Json::parse("12x").is_err());
+        assert!(Json::parse("\"unterminated").is_err());
+    }
+
+    fn table(name: &str, cps: f64) -> TableEntry {
+        TableEntry {
+            name: name.to_string(),
+            wall_seconds: 1.0,
+            cases: 10,
+            cases_per_second: cps,
+            cache_hits: 0,
+            jobs: 1,
+        }
+    }
+
+    #[test]
+    fn merge_replaces_by_name_and_keeps_history() {
+        let mut results = BenchResults::default();
+        results.record("all", 4, vec![table("table2", 5.0), table("table5", 7.0)], None);
+        results.record("table2", 1, vec![table("table2", 9.0)], None);
+
+        assert_eq!(results.tables.len(), 2, "table5 must survive a table2-only run");
+        assert_eq!(
+            results.tables.iter().find(|t| t.name == "table2").unwrap().cases_per_second,
+            9.0
+        );
+        assert_eq!(results.runs.len(), 2);
+        assert_eq!(results.runs[0].run, 1);
+        assert_eq!(results.runs[1].run, 2);
+        assert_eq!(results.runs[1].command, "table2");
+
+        // Round-trips through the serialized form.
+        let rendered = results.render();
+        let value = Json::parse(&rendered).unwrap();
+        assert_eq!(value.get("schema").unwrap().as_num(), Some(SCHEMA as f64));
+        let reloaded = BenchResults {
+            tables: value
+                .get("tables")
+                .unwrap()
+                .as_arr()
+                .unwrap()
+                .iter()
+                .filter_map(TableEntry::from_json)
+                .collect(),
+            ..Default::default()
+        };
+        assert_eq!(reloaded.tables, results.tables);
+    }
+
+    #[test]
+    fn load_accepts_legacy_schema_1_and_garbage() {
+        let dir = std::env::temp_dir().join("lpo_results_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let legacy = dir.join("legacy.json");
+        std::fs::write(
+            &legacy,
+            "{\n  \"schema\": 1,\n  \"jobs_requested\": 4,\n  \"tables\": [\n    {\"name\": \"table5\", \"wall_seconds\": 0.1, \"cases\": 15, \"cases_per_second\": 119.1, \"cache_hits\": 0, \"jobs\": 4}\n  ]\n}\n",
+        )
+        .unwrap();
+        let results = BenchResults::load(legacy.to_str().unwrap());
+        assert_eq!(results.tables.len(), 1);
+        assert_eq!(results.tables[0].name, "table5");
+        assert!(results.runs.is_empty());
+
+        let garbage = dir.join("garbage.json");
+        std::fs::write(&garbage, "not json").unwrap();
+        assert_eq!(BenchResults::load(garbage.to_str().unwrap()), BenchResults::default());
+        assert_eq!(BenchResults::load("/nonexistent/path.json"), BenchResults::default());
+
+        // A future schema restarts the store instead of half-parsing it.
+        let future = dir.join("future.json");
+        std::fs::write(
+            &future,
+            "{\n  \"schema\": 3,\n  \"tables\": [{\"name\": \"table5\", \"wall_seconds\": 1, \"cases\": 1, \"cases_per_second\": 1, \"cache_hits\": 0, \"jobs\": 1}]\n}\n",
+        )
+        .unwrap();
+        assert_eq!(BenchResults::load(future.to_str().unwrap()), BenchResults::default());
+    }
+
+    #[test]
+    fn interp_section_round_trips() {
+        let interp = InterpEntry {
+            evals_per_second: 1e6,
+            steps_per_second: 5e6,
+            reference_evals_per_second: 2e5,
+            speedup: 5.0,
+            cases: 25,
+            evals: 100_000,
+            jobs: 1,
+        };
+        let mut results = BenchResults::default();
+        results.record("bench-interp", 1, Vec::new(), Some(interp.clone()));
+        let rendered = results.render();
+        let value = Json::parse(&rendered).unwrap();
+        assert_eq!(InterpEntry::from_json(value.get("interp").unwrap()), Some(interp.clone()));
+        assert_eq!(
+            InterpEntry::from_json(value.get("runs").unwrap().as_arr().unwrap()[0].get("interp").unwrap()),
+            Some(interp)
+        );
+    }
+}

@@ -36,6 +36,7 @@ use crate::report::{CaseReport, RunSummary};
 use lpo_ir::function::Function;
 use lpo_ir::hash::{hash_function, Digest};
 use lpo_llm::model::ModelFactory;
+use lpo_tv::prelude::EvalArena;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -167,9 +168,28 @@ where
     R: Send,
     F: Fn(usize, &T) -> R + Sync,
 {
+    parallel_map_ordered_with(items, jobs, || (), |(), index, item| f(index, item))
+}
+
+/// [`parallel_map_ordered`] with per-worker scratch state.
+///
+/// `init` runs once on each worker thread (and once for the serial
+/// short-circuit); the resulting context is passed mutably to every `f` call
+/// that worker executes. This is how each worker owns exactly one reusable
+/// [`lpo_tv::prelude::EvalArena`] for the verification hot path — the scratch
+/// state must not influence results (it is reset per use), or determinism
+/// across `--jobs` values breaks.
+pub fn parallel_map_ordered_with<T, R, C, I, F>(items: &[T], jobs: usize, init: I, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    I: Fn() -> C + Sync,
+    F: Fn(&mut C, usize, &T) -> R + Sync,
+{
     let jobs = jobs.min(items.len()).max(1);
     if jobs == 1 {
-        return items.iter().enumerate().map(|(i, item)| f(i, item)).collect();
+        let mut context = init();
+        return items.iter().enumerate().map(|(i, item)| f(&mut context, i, item)).collect();
     }
 
     // Hand out contiguous chunks so neighbouring (usually similar-sized)
@@ -181,17 +201,21 @@ where
 
     std::thread::scope(|scope| {
         for _ in 0..jobs {
-            scope.spawn(|| loop {
-                let start = cursor.fetch_add(chunk, Ordering::Relaxed);
-                if start >= items.len() {
-                    break;
-                }
-                let end = (start + chunk).min(items.len());
-                let buffered: Vec<R> =
-                    (start..end).map(|index| f(index, &items[index])).collect();
-                let mut locked = slots.lock().expect("result store poisoned");
-                for (index, result) in (start..end).zip(buffered) {
-                    locked[index] = Some(result);
+            scope.spawn(|| {
+                let mut context = init();
+                loop {
+                    let start = cursor.fetch_add(chunk, Ordering::Relaxed);
+                    if start >= items.len() {
+                        break;
+                    }
+                    let end = (start + chunk).min(items.len());
+                    let buffered: Vec<R> = (start..end)
+                        .map(|index| f(&mut context, index, &items[index]))
+                        .collect();
+                    let mut locked = slots.lock().expect("result store poisoned");
+                    for (index, result) in (start..end).zip(buffered) {
+                        locked[index] = Some(result);
+                    }
                 }
             });
         }
@@ -234,11 +258,17 @@ pub fn run_batch(
     let plan = DedupPlan::new(sequences, config.dedup);
     let jobs = config.effective_jobs(plan.unique_indices().len());
 
-    let computed: Vec<CaseReport> =
-        parallel_map_ordered(plan.unique_indices(), jobs, |_, &case_index| {
+    // Each worker thread owns one reusable evaluation arena: the register
+    // file behind every concrete evaluation that case's verification runs.
+    let computed: Vec<CaseReport> = parallel_map_ordered_with(
+        plan.unique_indices(),
+        jobs,
+        EvalArena::new,
+        |arena, _, &case_index| {
             let mut session = factory.session(round, case_index as u64);
-            lpo.optimize_sequence(session.as_mut(), &sequences[case_index])
-        });
+            lpo.optimize_sequence_in(session.as_mut(), &sequences[case_index], arena)
+        },
+    );
 
     // Replay: map each input index to its representative's report. The
     // representative set is exactly `plan.unique_indices()`, in order.

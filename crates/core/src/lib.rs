@@ -36,14 +36,14 @@ pub mod interestingness;
 pub mod pipeline;
 pub mod report;
 
-pub use exec::{parallel_map_ordered, BatchResult, DedupPlan, ExecConfig, ExecStats};
+pub use exec::{parallel_map_ordered, parallel_map_ordered_with, BatchResult, DedupPlan, ExecConfig, ExecStats};
 pub use interestingness::{is_interesting, InterestVerdict};
 pub use pipeline::{Lpo, LpoConfig};
 pub use report::{CaseOutcome, CaseReport, RunSummary};
 
 /// Commonly used items, re-exported for convenience.
 pub mod prelude {
-    pub use crate::exec::{parallel_map_ordered, BatchResult, DedupPlan, ExecConfig, ExecStats};
+    pub use crate::exec::{parallel_map_ordered, parallel_map_ordered_with, BatchResult, DedupPlan, ExecConfig, ExecStats};
     pub use crate::interestingness::{is_interesting, InterestVerdict};
     pub use crate::pipeline::{Lpo, LpoConfig};
     pub use crate::report::{CaseOutcome, CaseReport, RunSummary};

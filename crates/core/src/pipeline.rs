@@ -10,7 +10,8 @@ use lpo_llm::model::{ModelFactory, ModelSession, Prompt};
 use lpo_mca::Target;
 use lpo_opt::pipeline::{optimize_text, OptLevel, Pipeline};
 use crate::exec::{run_batch, BatchResult, ExecConfig, ExecStats};
-use lpo_tv::refine::{verify_refinement_with, TvConfig, Verdict};
+use lpo_tv::prelude::EvalArena;
+use lpo_tv::refine::{SourceCache, TvConfig, Verdict};
 use std::time::{Duration, Instant};
 
 /// Configuration of the LPO pipeline.
@@ -79,7 +80,28 @@ impl Lpo {
 
     /// Runs Algorithm 1's inner loop on one wrapped instruction sequence,
     /// driving one per-case model session.
+    ///
+    /// Convenience wrapper over [`optimize_sequence_in`](Self::optimize_sequence_in)
+    /// with a throwaway evaluation arena; the execution engine gives each
+    /// worker thread one long-lived arena instead.
     pub fn optimize_sequence(&self, model: &mut dyn ModelSession, source: &Function) -> CaseReport {
+        self.optimize_sequence_in(model, source, &mut EvalArena::new())
+    }
+
+    /// [`optimize_sequence`](Self::optimize_sequence) with an explicit
+    /// evaluation arena (the reusable register file every concrete
+    /// evaluation of this case runs on).
+    ///
+    /// The translation-validation stage keeps one [`SourceCache`] for the
+    /// whole case: test inputs are generated once per signature and the
+    /// source function is evaluated once per input, no matter how many
+    /// candidate rewrites the feedback loop verifies.
+    pub fn optimize_sequence_in(
+        &self,
+        model: &mut dyn ModelSession,
+        source: &Function,
+        arena: &mut EvalArena,
+    ) -> CaseReport {
         let start = Instant::now();
         let source_text = print_function(source);
         let mut prompt = Prompt::initial(source_text);
@@ -87,6 +109,9 @@ impl Lpo {
         let mut cost = 0.0;
         let mut attempts = 0;
         let mut last_outcome = CaseOutcome::NotInteresting;
+        // Lazy: cases that never reach step ⑤ (syntax errors, uninteresting
+        // candidates) pay nothing for input generation or source evaluation.
+        let tv_case = SourceCache::new(source, self.config.tv.clone());
 
         while attempts < self.config.attempt_limit {
             attempts += 1;
@@ -115,7 +140,7 @@ impl Lpo {
             }
 
             // Step ⑤: correctness via translation validation.
-            match verify_refinement_with(source, &candidate, &self.config.tv) {
+            match tv_case.verify_with(&candidate, arena) {
                 Verdict::Correct { .. } => {
                     last_outcome = CaseOutcome::Found { candidate };
                     break;

@@ -16,23 +16,28 @@ use crate::memory::Memory;
 use crate::value::{EvalValue, PtrValue};
 use lpo_ir::apint::ApInt;
 use lpo_ir::constant::Constant;
-use lpo_ir::flags::IntFlags;
+use lpo_ir::flags::{FastMathFlags, IntFlags};
 use lpo_ir::function::Function;
 use lpo_ir::instruction::{
     BinOp, BlockId, CastOp, FBinOp, FCmpPred, ICmpPred, InstId, InstKind, Intrinsic, Value,
 };
 use lpo_ir::types::{FloatKind, Type};
+use std::borrow::Cow;
 use std::collections::HashMap;
 
 /// Immediate undefined behaviour encountered during evaluation.
+///
+/// The message is a [`Cow`] so the fixed diagnostics on the interpreter's hot
+/// path (`division by zero`, flag violations, …) are `&'static str`s — a
+/// UB-heavy fuzzing run no longer allocates a `String` per failing input.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Ub {
     /// What went wrong, e.g. `division by zero`.
-    pub message: String,
+    pub message: Cow<'static, str>,
 }
 
 impl Ub {
-    fn new(message: impl Into<String>) -> Self {
+    pub(crate) fn new(message: impl Into<Cow<'static, str>>) -> Self {
         Self { message: message.into() }
     }
 }
@@ -52,12 +57,20 @@ pub struct EvalOutcome {
     pub result: Option<EvalValue>,
     /// The final memory state.
     pub memory: Memory,
+    /// How many instructions were executed (for throughput accounting).
+    pub steps: usize,
 }
 
 /// Default limit on executed instructions, to bound loops.
 pub const DEFAULT_STEP_LIMIT: usize = 4096;
 
 /// Evaluates `func` on `args` with the given initial memory.
+///
+/// This compiles the function once (see
+/// [`CompiledFunction`](crate::compiled::CompiledFunction)) and runs it on a
+/// fresh register file. Callers that evaluate the same function on many
+/// inputs should compile once and reuse an
+/// [`EvalArena`](crate::compiled::EvalArena) instead.
 ///
 /// # Errors
 ///
@@ -69,7 +82,12 @@ pub fn evaluate(
     memory: Memory,
     step_limit: usize,
 ) -> Result<EvalOutcome, Ub> {
-    Evaluator { func, args, memory, env: HashMap::new(), steps: 0, step_limit }.run()
+    crate::compiled::CompiledFunction::compile(func).evaluate_with_limit(
+        &mut crate::compiled::EvalArena::new(),
+        args,
+        memory,
+        step_limit,
+    )
 }
 
 /// Evaluates with [`DEFAULT_STEP_LIMIT`].
@@ -79,6 +97,26 @@ pub fn evaluate(
 /// See [`evaluate`].
 pub fn evaluate_default(func: &Function, args: &[EvalValue], memory: Memory) -> Result<EvalOutcome, Ub> {
     evaluate(func, args, memory, DEFAULT_STEP_LIMIT)
+}
+
+/// The straightforward walk-the-IR evaluator: one `HashMap` environment,
+/// instructions re-decoded on every executed step.
+///
+/// This is the pre-register-file implementation, kept verbatim as the
+/// semantic ground truth: the differential test suite checks the compiled
+/// evaluator against it over the whole corpus, and `repro bench-interp` uses
+/// it as the baseline its speedup is measured against.
+///
+/// # Errors
+///
+/// See [`evaluate`].
+pub fn evaluate_reference(
+    func: &Function,
+    args: &[EvalValue],
+    memory: Memory,
+    step_limit: usize,
+) -> Result<EvalOutcome, Ub> {
+    Evaluator { func, args, memory, env: HashMap::new(), steps: 0, step_limit }.run()
 }
 
 struct Evaluator<'a> {
@@ -110,7 +148,7 @@ impl<'a> Evaluator<'a> {
         loop {
             match self.run_block(current, previous)? {
                 Control::Return(v) => {
-                    return Ok(EvalOutcome { result: v, memory: self.memory });
+                    return Ok(EvalOutcome { result: v, memory: self.memory, steps: self.steps });
                 }
                 Control::Jump(next) => {
                     previous = Some(current);
@@ -207,32 +245,7 @@ impl<'a> Evaluator<'a> {
             InstKind::FBinary { op, lhs, rhs, fmf } => {
                 let a = self.value(lhs)?;
                 let b = self.value(rhs)?;
-                elementwise2(&a, &b, &mut |x, y| {
-                    let (xa, ya) = match (x.as_float(), y.as_float()) {
-                        (Some(xa), Some(ya)) => (xa, ya),
-                        _ => return Ok(EvalValue::Poison),
-                    };
-                    if (fmf.nnan && (xa.is_nan() || ya.is_nan()))
-                        || (fmf.ninf && (xa.is_infinite() || ya.is_infinite()))
-                    {
-                        return Ok(EvalValue::Poison);
-                    }
-                    let r = match op {
-                        FBinOp::FAdd => xa + ya,
-                        FBinOp::FSub => xa - ya,
-                        FBinOp::FMul => xa * ya,
-                        FBinOp::FDiv => xa / ya,
-                        FBinOp::FRem => xa % ya,
-                    };
-                    if (fmf.nnan && r.is_nan()) || (fmf.ninf && r.is_infinite()) {
-                        return Ok(EvalValue::Poison);
-                    }
-                    let kind = match x {
-                        EvalValue::Float(k, _) => *k,
-                        _ => FloatKind::Double,
-                    };
-                    Ok(EvalValue::Float(kind, round_to(kind, r)))
-                })
+                elementwise2(&a, &b, &mut |x, y| eval_fbinop(*op, fmf, x, y))
             }
             InstKind::ICmp { pred, lhs, rhs } => {
                 let a = self.value(lhs)?;
@@ -253,7 +266,7 @@ impl<'a> Evaluator<'a> {
                 let c = self.value(cond)?;
                 let t = self.value(on_true)?;
                 let f = self.value(on_false)?;
-                self.eval_select(&c, &t, &f)
+                eval_select(&c, &t, &f)
             }
             InstKind::Cast { op, value, flags } => {
                 let v = self.value(value)?;
@@ -267,59 +280,18 @@ impl<'a> Evaluator<'a> {
             }
             InstKind::Load { ptr, .. } => {
                 let p = self.value(ptr)?;
-                let p = match p {
-                    EvalValue::Ptr(p) => p,
-                    EvalValue::Poison | EvalValue::Undef => {
-                        return Err(Ub::new("load through a poison or undef pointer"))
-                    }
-                    _ => return Err(Ub::new("load through a non-pointer value")),
-                };
-                self.memory.load(p, &inst.ty).map_err(|e| Ub::new(e.message))
+                eval_load(&p, &inst.ty, &self.memory)
             }
             InstKind::Store { value, ptr, .. } => {
                 let v = self.value(value)?;
                 let p = self.value(ptr)?;
-                let p = match p {
-                    EvalValue::Ptr(p) => p,
-                    EvalValue::Poison | EvalValue::Undef => {
-                        return Err(Ub::new("store through a poison or undef pointer"))
-                    }
-                    _ => return Err(Ub::new("store through a non-pointer value")),
-                };
                 let vty = self.func.value_type(value);
-                self.memory.store(p, &v, &vty).map_err(|e| Ub::new(e.message))?;
-                Ok(EvalValue::Undef) // store has no result; the slot is never read
+                eval_store(&v, &p, &vty, &mut self.memory)
             }
             InstKind::Gep { elem_ty, base, index, inbounds, nuw } => {
                 let b = self.value(base)?;
                 let i = self.value(index)?;
-                if b.is_poison() || i.is_poison() {
-                    return Ok(EvalValue::Poison);
-                }
-                let base_ptr = match b {
-                    EvalValue::Ptr(p) => p,
-                    _ => return Ok(EvalValue::Poison),
-                };
-                let idx = match i.as_int() {
-                    Some(v) => v.sext_value() as i64,
-                    None => return Ok(EvalValue::Poison),
-                };
-                if *nuw && idx < 0 {
-                    return Ok(EvalValue::Poison);
-                }
-                let size = elem_ty.size_in_bytes() as i64;
-                let offset = base_ptr.offset.wrapping_add(idx.wrapping_mul(size));
-                if *inbounds {
-                    let alloc_size = self
-                        .memory
-                        .allocation(base_ptr.alloc)
-                        .map(|a| a.size() as i64)
-                        .unwrap_or(0);
-                    if offset < 0 || offset > alloc_size {
-                        return Ok(EvalValue::Poison);
-                    }
-                }
-                Ok(EvalValue::Ptr(PtrValue { alloc: base_ptr.alloc, offset }))
+                eval_gep(&b, &i, elem_ty.size_in_bytes() as i64, *inbounds, *nuw, &self.memory)
             }
             InstKind::Alloca { ty } => {
                 let id = self.memory.allocate_zeroed(ty.size_in_bytes() as usize);
@@ -328,54 +300,18 @@ impl<'a> Evaluator<'a> {
             InstKind::ExtractElement { vector, index } => {
                 let v = self.value(vector)?;
                 let i = self.value(index)?;
-                if v.is_poison() && !matches!(v, EvalValue::Vector(_)) {
-                    return Ok(EvalValue::Poison);
-                }
-                let idx = match i.as_int() {
-                    Some(x) => x.zext_value() as usize,
-                    None => return Ok(EvalValue::Poison),
-                };
-                match v.lanes() {
-                    Some(lanes) => Ok(lanes.get(idx).cloned().unwrap_or(EvalValue::Poison)),
-                    None => Ok(EvalValue::Poison),
-                }
+                eval_extractelement(&v, &i)
             }
             InstKind::InsertElement { vector, element, index } => {
                 let v = self.value(vector)?;
                 let e = self.value(element)?;
                 let i = self.value(index)?;
-                let lanes_count = inst.ty.lanes().unwrap_or(1) as usize;
-                let mut lanes: Vec<EvalValue> = match v.lanes() {
-                    Some(l) => l.to_vec(),
-                    None => vec![if v.is_poison() { EvalValue::Poison } else { EvalValue::Undef }; lanes_count],
-                };
-                let idx = match i.as_int() {
-                    Some(x) => x.zext_value() as usize,
-                    None => return Ok(EvalValue::Poison),
-                };
-                if idx >= lanes.len() {
-                    return Ok(EvalValue::Poison);
-                }
-                lanes[idx] = e;
-                Ok(EvalValue::Vector(lanes))
+                eval_insertelement(&v, e, &i, inst.ty.lanes().unwrap_or(1) as usize)
             }
             InstKind::ShuffleVector { a, b, mask } => {
                 let av = self.value(a)?;
                 let bv = self.value(b)?;
-                let lanes_a = av.lanes().map(<[EvalValue]>::to_vec).unwrap_or_default();
-                let lanes_b = bv.lanes().map(<[EvalValue]>::to_vec).unwrap_or_default();
-                let n = lanes_a.len();
-                let mut out = Vec::with_capacity(mask.len());
-                for &m in mask {
-                    if m < 0 {
-                        out.push(EvalValue::Poison);
-                    } else if (m as usize) < n {
-                        out.push(lanes_a.get(m as usize).cloned().unwrap_or(EvalValue::Poison));
-                    } else {
-                        out.push(lanes_b.get(m as usize - n).cloned().unwrap_or(EvalValue::Poison));
-                    }
-                }
-                Ok(EvalValue::Vector(out))
+                eval_shufflevector(&av, &bv, mask)
             }
             InstKind::Freeze { value } => {
                 let v = self.value(value)?;
@@ -387,35 +323,204 @@ impl<'a> Evaluator<'a> {
         }
     }
 
-    fn eval_select(&self, c: &EvalValue, t: &EvalValue, f: &EvalValue) -> Result<EvalValue, Ub> {
-        match c {
-            EvalValue::Poison => Ok(EvalValue::Poison),
-            EvalValue::Undef => Ok(EvalValue::Undef),
-            EvalValue::Int(v) if v.width() == 1 => Ok(if v.as_bool() { t.clone() } else { f.clone() }),
-            EvalValue::Vector(conds) => {
-                let tl = t.lanes().map(<[EvalValue]>::to_vec).unwrap_or_default();
-                let fl = f.lanes().map(<[EvalValue]>::to_vec).unwrap_or_default();
-                let mut out = Vec::with_capacity(conds.len());
-                for (i, cl) in conds.iter().enumerate() {
-                    let tv = tl.get(i).cloned().unwrap_or(EvalValue::Poison);
-                    let fv = fl.get(i).cloned().unwrap_or(EvalValue::Poison);
-                    out.push(match cl.as_bool() {
-                        Some(true) => tv,
-                        Some(false) => fv,
-                        None => {
-                            if cl.is_poison() {
-                                EvalValue::Poison
-                            } else {
-                                EvalValue::Undef
-                            }
+}
+
+/// Evaluates a `select` over already-evaluated operands (shared by the
+/// reference and the compiled evaluator).
+pub(crate) fn eval_select(c: &EvalValue, t: &EvalValue, f: &EvalValue) -> Result<EvalValue, Ub> {
+    match c {
+        EvalValue::Poison => Ok(EvalValue::Poison),
+        EvalValue::Undef => Ok(EvalValue::Undef),
+        EvalValue::Int(v) if v.width() == 1 => Ok(if v.as_bool() { t.clone() } else { f.clone() }),
+        EvalValue::Vector(conds) => {
+            let tl = t.lanes().map(<[EvalValue]>::to_vec).unwrap_or_default();
+            let fl = f.lanes().map(<[EvalValue]>::to_vec).unwrap_or_default();
+            let mut out = Vec::with_capacity(conds.len());
+            for (i, cl) in conds.iter().enumerate() {
+                let tv = tl.get(i).cloned().unwrap_or(EvalValue::Poison);
+                let fv = fl.get(i).cloned().unwrap_or(EvalValue::Poison);
+                out.push(match cl.as_bool() {
+                    Some(true) => tv,
+                    Some(false) => fv,
+                    None => {
+                        if cl.is_poison() {
+                            EvalValue::Poison
+                        } else {
+                            EvalValue::Undef
                         }
-                    });
-                }
-                Ok(EvalValue::Vector(out))
+                    }
+                });
             }
-            _ => Err(Ub::new("select condition is not i1")),
+            Ok(EvalValue::Vector(out))
+        }
+        _ => Err(Ub::new("select condition is not i1")),
+    }
+}
+
+/// Evaluates a floating-point binop with fast-math poison semantics (shared
+/// by the reference and the compiled evaluator).
+pub(crate) fn eval_fbinop(
+    op: FBinOp,
+    fmf: &FastMathFlags,
+    x: &EvalValue,
+    y: &EvalValue,
+) -> Result<EvalValue, Ub> {
+    let (xa, ya) = match (x.as_float(), y.as_float()) {
+        (Some(xa), Some(ya)) => (xa, ya),
+        _ => return Ok(EvalValue::Poison),
+    };
+    if (fmf.nnan && (xa.is_nan() || ya.is_nan()))
+        || (fmf.ninf && (xa.is_infinite() || ya.is_infinite()))
+    {
+        return Ok(EvalValue::Poison);
+    }
+    let r = match op {
+        FBinOp::FAdd => xa + ya,
+        FBinOp::FSub => xa - ya,
+        FBinOp::FMul => xa * ya,
+        FBinOp::FDiv => xa / ya,
+        FBinOp::FRem => xa % ya,
+    };
+    if (fmf.nnan && r.is_nan()) || (fmf.ninf && r.is_infinite()) {
+        return Ok(EvalValue::Poison);
+    }
+    let kind = match x {
+        EvalValue::Float(k, _) => *k,
+        _ => FloatKind::Double,
+    };
+    Ok(EvalValue::Float(kind, round_to(kind, r)))
+}
+
+/// Evaluates a `load` over an already-evaluated pointer (shared by the
+/// reference and the compiled evaluator).
+pub(crate) fn eval_load(p: &EvalValue, ty: &Type, memory: &Memory) -> Result<EvalValue, Ub> {
+    let p = match p {
+        EvalValue::Ptr(p) => *p,
+        EvalValue::Poison | EvalValue::Undef => {
+            return Err(Ub::new("load through a poison or undef pointer"))
+        }
+        _ => return Err(Ub::new("load through a non-pointer value")),
+    };
+    memory.load(p, ty).map_err(|e| Ub::new(e.message))
+}
+
+/// Evaluates a `store` over already-evaluated operands; `vty` is the stored
+/// value's type (shared by the reference and the compiled evaluator).
+pub(crate) fn eval_store(
+    v: &EvalValue,
+    p: &EvalValue,
+    vty: &Type,
+    memory: &mut Memory,
+) -> Result<EvalValue, Ub> {
+    let p = match p {
+        EvalValue::Ptr(p) => *p,
+        EvalValue::Poison | EvalValue::Undef => {
+            return Err(Ub::new("store through a poison or undef pointer"))
+        }
+        _ => return Err(Ub::new("store through a non-pointer value")),
+    };
+    memory.store(p, v, vty).map_err(|e| Ub::new(e.message))?;
+    Ok(EvalValue::Undef) // store has no result; the slot is never read
+}
+
+/// Evaluates a `getelementptr` over already-evaluated operands; `elem_size`
+/// is the element type's size in bytes (shared by the reference and the
+/// compiled evaluator).
+pub(crate) fn eval_gep(
+    b: &EvalValue,
+    i: &EvalValue,
+    elem_size: i64,
+    inbounds: bool,
+    nuw: bool,
+    memory: &Memory,
+) -> Result<EvalValue, Ub> {
+    if b.is_poison() || i.is_poison() {
+        return Ok(EvalValue::Poison);
+    }
+    let base_ptr = match b {
+        EvalValue::Ptr(p) => *p,
+        _ => return Ok(EvalValue::Poison),
+    };
+    let idx = match i.as_int() {
+        Some(v) => v.sext_value() as i64,
+        None => return Ok(EvalValue::Poison),
+    };
+    if nuw && idx < 0 {
+        return Ok(EvalValue::Poison);
+    }
+    let offset = base_ptr.offset.wrapping_add(idx.wrapping_mul(elem_size));
+    if inbounds {
+        let alloc_size = memory.allocation(base_ptr.alloc).map(|a| a.size() as i64).unwrap_or(0);
+        if offset < 0 || offset > alloc_size {
+            return Ok(EvalValue::Poison);
         }
     }
+    Ok(EvalValue::Ptr(PtrValue { alloc: base_ptr.alloc, offset }))
+}
+
+/// Evaluates an `extractelement` over already-evaluated operands (shared by
+/// the reference and the compiled evaluator).
+pub(crate) fn eval_extractelement(v: &EvalValue, i: &EvalValue) -> Result<EvalValue, Ub> {
+    if v.is_poison() && !matches!(v, EvalValue::Vector(_)) {
+        return Ok(EvalValue::Poison);
+    }
+    let idx = match i.as_int() {
+        Some(x) => x.zext_value() as usize,
+        None => return Ok(EvalValue::Poison),
+    };
+    match v.lanes() {
+        Some(lanes) => Ok(lanes.get(idx).cloned().unwrap_or(EvalValue::Poison)),
+        None => Ok(EvalValue::Poison),
+    }
+}
+
+/// Evaluates an `insertelement` over already-evaluated operands;
+/// `lanes_count` is the result type's lane count (shared by the reference
+/// and the compiled evaluator).
+pub(crate) fn eval_insertelement(
+    v: &EvalValue,
+    e: EvalValue,
+    i: &EvalValue,
+    lanes_count: usize,
+) -> Result<EvalValue, Ub> {
+    let mut lanes: Vec<EvalValue> = match v.lanes() {
+        Some(l) => l.to_vec(),
+        None => {
+            vec![if v.is_poison() { EvalValue::Poison } else { EvalValue::Undef }; lanes_count]
+        }
+    };
+    let idx = match i.as_int() {
+        Some(x) => x.zext_value() as usize,
+        None => return Ok(EvalValue::Poison),
+    };
+    if idx >= lanes.len() {
+        return Ok(EvalValue::Poison);
+    }
+    lanes[idx] = e;
+    Ok(EvalValue::Vector(lanes))
+}
+
+/// Evaluates a `shufflevector` over already-evaluated operands (shared by
+/// the reference and the compiled evaluator).
+pub(crate) fn eval_shufflevector(
+    a: &EvalValue,
+    b: &EvalValue,
+    mask: &[i32],
+) -> Result<EvalValue, Ub> {
+    let lanes_a = a.lanes().map(<[EvalValue]>::to_vec).unwrap_or_default();
+    let lanes_b = b.lanes().map(<[EvalValue]>::to_vec).unwrap_or_default();
+    let n = lanes_a.len();
+    let mut out = Vec::with_capacity(mask.len());
+    for &m in mask {
+        if m < 0 {
+            out.push(EvalValue::Poison);
+        } else if (m as usize) < n {
+            out.push(lanes_a.get(m as usize).cloned().unwrap_or(EvalValue::Poison));
+        } else {
+            out.push(lanes_b.get(m as usize - n).cloned().unwrap_or(EvalValue::Poison));
+        }
+    }
+    Ok(EvalValue::Vector(out))
 }
 
 /// Folds a single side-effect-free instruction over already-evaluated operand
@@ -512,14 +617,14 @@ pub fn to_constant(value: &EvalValue, ty: &Type) -> Option<Constant> {
     }
 }
 
-fn round_to(kind: FloatKind, v: f64) -> f64 {
+pub(crate) fn round_to(kind: FloatKind, v: f64) -> f64 {
     match kind {
         FloatKind::Float | FloatKind::Half => v as f32 as f64,
         FloatKind::Double => v,
     }
 }
 
-fn freeze(v: &EvalValue, ty: &Type) -> EvalValue {
+pub(crate) fn freeze(v: &EvalValue, ty: &Type) -> EvalValue {
     match v {
         EvalValue::Poison | EvalValue::Undef => match ty.scalar_type() {
             Type::Int(w) => EvalValue::Int(ApInt::zero(*w)),
@@ -534,11 +639,57 @@ fn freeze(v: &EvalValue, ty: &Type) -> EvalValue {
     }
 }
 
-type ScalarOp2<'f> = dyn FnMut(&EvalValue, &EvalValue) -> Result<EvalValue, Ub> + 'f;
-type ScalarOp1<'f> = dyn FnMut(&EvalValue) -> Result<EvalValue, Ub> + 'f;
+pub(crate) type ScalarOp2<'f> = dyn FnMut(&EvalValue, &EvalValue) -> Result<EvalValue, Ub> + 'f;
+pub(crate) type ScalarOp1<'f> = dyn FnMut(&EvalValue) -> Result<EvalValue, Ub> + 'f;
+
+/// Statically-dispatched [`elementwise2`]: the generic `F` lets the scalar
+/// kernels inline into the compiled evaluator's dispatch loop (the `dyn`
+/// variants above cost an indirect call per lane, which dominates scalar
+/// workloads).
+#[inline(always)]
+pub(crate) fn elementwise2_static<F>(
+    a: &EvalValue,
+    b: &EvalValue,
+    mut f: F,
+) -> Result<EvalValue, Ub>
+where
+    F: FnMut(&EvalValue, &EvalValue) -> Result<EvalValue, Ub>,
+{
+    if let (EvalValue::Vector(_), _) | (_, EvalValue::Vector(_)) = (a, b) {
+        return elementwise2(a, b, &mut f);
+    }
+    // Scalar fast path: apply2 inlined with a static call. Both operands are
+    // known non-vectors here, so the poison/undef tests are plain
+    // discriminant compares.
+    if matches!(a, EvalValue::Poison) || matches!(b, EvalValue::Poison) {
+        return Ok(EvalValue::Poison);
+    }
+    if matches!(a, EvalValue::Undef) || matches!(b, EvalValue::Undef) {
+        return Ok(EvalValue::Undef);
+    }
+    f(a, b)
+}
+
+/// Statically-dispatched [`elementwise1`]; see [`elementwise2_static`].
+#[inline(always)]
+pub(crate) fn elementwise1_static<F>(a: &EvalValue, mut f: F) -> Result<EvalValue, Ub>
+where
+    F: FnMut(&EvalValue) -> Result<EvalValue, Ub>,
+{
+    if let EvalValue::Vector(_) = a {
+        return elementwise1(a, &mut f);
+    }
+    if matches!(a, EvalValue::Poison) {
+        return Ok(EvalValue::Poison);
+    }
+    if matches!(a, EvalValue::Undef) {
+        return Ok(EvalValue::Undef);
+    }
+    f(a)
+}
 
 /// Applies a scalar operation lane-wise, broadcasting poison/undef operands.
-fn elementwise2(a: &EvalValue, b: &EvalValue, f: &mut ScalarOp2<'_>) -> Result<EvalValue, Ub> {
+pub(crate) fn elementwise2(a: &EvalValue, b: &EvalValue, f: &mut ScalarOp2<'_>) -> Result<EvalValue, Ub> {
     match (a, b) {
         (EvalValue::Vector(la), EvalValue::Vector(lb)) => {
             let mut out = Vec::with_capacity(la.len());
@@ -575,7 +726,7 @@ fn apply2(x: &EvalValue, y: &EvalValue, f: &mut ScalarOp2<'_>) -> Result<EvalVal
     f(x, y)
 }
 
-fn elementwise1(a: &EvalValue, f: &mut ScalarOp1<'_>) -> Result<EvalValue, Ub> {
+pub(crate) fn elementwise1(a: &EvalValue, f: &mut ScalarOp1<'_>) -> Result<EvalValue, Ub> {
     match a {
         EvalValue::Vector(lanes) => {
             let mut out = Vec::with_capacity(lanes.len());
@@ -598,7 +749,7 @@ fn apply1(x: &EvalValue, f: &mut ScalarOp1<'_>) -> Result<EvalValue, Ub> {
     f(x)
 }
 
-fn eval_binop(op: BinOp, x: &EvalValue, y: &EvalValue, flags: &IntFlags) -> Result<EvalValue, Ub> {
+pub(crate) fn eval_binop(op: BinOp, x: &EvalValue, y: &EvalValue, flags: &IntFlags) -> Result<EvalValue, Ub> {
     let (a, b) = match (x.as_int(), y.as_int()) {
         (Some(a), Some(b)) => (*a, *b),
         _ => return Ok(EvalValue::Poison),
@@ -606,7 +757,13 @@ fn eval_binop(op: BinOp, x: &EvalValue, y: &EvalValue, flags: &IntFlags) -> Resu
     let poison = Ok(EvalValue::Poison);
     let ok = |v: ApInt| Ok(EvalValue::Int(v));
     match op {
+        // The overflow analyses only matter when a wrap flag is set; the
+        // unflagged forms (the common case on the hot path) take the plain
+        // wrapping operation directly.
         BinOp::Add => {
+            if !flags.nuw && !flags.nsw {
+                return ok(a.add(&b));
+            }
             let (r, uo) = a.uadd_overflow(&b);
             let (_, so) = a.sadd_overflow(&b);
             if (flags.nuw && uo) || (flags.nsw && so) {
@@ -615,6 +772,9 @@ fn eval_binop(op: BinOp, x: &EvalValue, y: &EvalValue, flags: &IntFlags) -> Resu
             ok(r)
         }
         BinOp::Sub => {
+            if !flags.nuw && !flags.nsw {
+                return ok(a.sub(&b));
+            }
             let (r, uo) = a.usub_overflow(&b);
             let (_, so) = a.ssub_overflow(&b);
             if (flags.nuw && uo) || (flags.nsw && so) {
@@ -623,6 +783,9 @@ fn eval_binop(op: BinOp, x: &EvalValue, y: &EvalValue, flags: &IntFlags) -> Resu
             ok(r)
         }
         BinOp::Mul => {
+            if !flags.nuw && !flags.nsw {
+                return ok(a.mul(&b));
+            }
             let (r, uo) = a.umul_overflow(&b);
             let (_, so) = a.smul_overflow(&b);
             if (flags.nuw && uo) || (flags.nsw && so) {
@@ -706,7 +869,7 @@ fn eval_binop(op: BinOp, x: &EvalValue, y: &EvalValue, flags: &IntFlags) -> Resu
     }
 }
 
-fn eval_icmp(pred: ICmpPred, x: &EvalValue, y: &EvalValue) -> Result<EvalValue, Ub> {
+pub(crate) fn eval_icmp(pred: ICmpPred, x: &EvalValue, y: &EvalValue) -> Result<EvalValue, Ub> {
     if let (EvalValue::Ptr(a), EvalValue::Ptr(b)) = (x, y) {
         let result = match pred {
             ICmpPred::Eq => a == b,
@@ -743,7 +906,7 @@ fn eval_icmp(pred: ICmpPred, x: &EvalValue, y: &EvalValue) -> Result<EvalValue, 
     Ok(EvalValue::bool(r))
 }
 
-fn eval_fcmp(pred: FCmpPred, a: f64, b: f64) -> bool {
+pub(crate) fn eval_fcmp(pred: FCmpPred, a: f64, b: f64) -> bool {
     let unordered = a.is_nan() || b.is_nan();
     match pred {
         FCmpPred::False => false,
@@ -765,7 +928,7 @@ fn eval_fcmp(pred: FCmpPred, a: f64, b: f64) -> bool {
     }
 }
 
-fn eval_cast(op: CastOp, x: &EvalValue, to: &Type, flags: &IntFlags) -> Result<EvalValue, Ub> {
+pub(crate) fn eval_cast(op: CastOp, x: &EvalValue, to: &Type, flags: &IntFlags) -> Result<EvalValue, Ub> {
     let poison = Ok(EvalValue::Poison);
     match op {
         CastOp::Trunc => {
@@ -871,12 +1034,12 @@ fn eval_cast(op: CastOp, x: &EvalValue, to: &Type, flags: &IntFlags) -> Result<E
     }
 }
 
-fn eval_intrinsic(intrinsic: Intrinsic, args: &[EvalValue]) -> Result<EvalValue, Ub> {
+pub(crate) fn eval_intrinsic(intrinsic: Intrinsic, args: &[EvalValue]) -> Result<EvalValue, Ub> {
     // Integer two-operand intrinsics and float intrinsics are elementwise.
     match intrinsic {
         Intrinsic::Umin | Intrinsic::Umax | Intrinsic::Smin | Intrinsic::Smax
         | Intrinsic::UaddSat | Intrinsic::SaddSat | Intrinsic::UsubSat | Intrinsic::SsubSat => {
-            elementwise2(&args[0], &args[1], &mut |x, y| {
+            elementwise2_static(&args[0], &args[1], |x, y| {
                 let (a, b) = match (x.as_int(), y.as_int()) {
                     (Some(a), Some(b)) => (a, b),
                     _ => return Ok(EvalValue::Poison),
@@ -897,7 +1060,7 @@ fn eval_intrinsic(intrinsic: Intrinsic, args: &[EvalValue]) -> Result<EvalValue,
         }
         Intrinsic::Abs => {
             let poison_on_min = args[1].as_bool().unwrap_or(false);
-            elementwise1(&args[0], &mut |x| match x.as_int() {
+            elementwise1_static(&args[0], |x| match x.as_int() {
                 Some(v) => {
                     if poison_on_min && *v == ApInt::signed_min(v.width()) {
                         Ok(EvalValue::Poison)
@@ -909,7 +1072,7 @@ fn eval_intrinsic(intrinsic: Intrinsic, args: &[EvalValue]) -> Result<EvalValue,
             })
         }
         Intrinsic::Ctpop | Intrinsic::Bswap | Intrinsic::Bitreverse => {
-            elementwise1(&args[0], &mut |x| match x.as_int() {
+            elementwise1_static(&args[0], |x| match x.as_int() {
                 Some(v) => Ok(EvalValue::Int(match intrinsic {
                     Intrinsic::Ctpop => ApInt::new(v.width(), v.count_ones() as u128),
                     Intrinsic::Bswap => v.bswap(),
@@ -920,7 +1083,7 @@ fn eval_intrinsic(intrinsic: Intrinsic, args: &[EvalValue]) -> Result<EvalValue,
         }
         Intrinsic::Ctlz | Intrinsic::Cttz => {
             let poison_on_zero = args[1].as_bool().unwrap_or(false);
-            elementwise1(&args[0], &mut |x| match x.as_int() {
+            elementwise1_static(&args[0], |x| match x.as_int() {
                 Some(v) => {
                     if poison_on_zero && v.is_zero() {
                         Ok(EvalValue::Poison)
@@ -953,7 +1116,7 @@ fn eval_intrinsic(intrinsic: Intrinsic, args: &[EvalValue]) -> Result<EvalValue,
                 None => Ok(funnel_shift(intrinsic, &args[0], &args[1], &args[2])),
             }
         }
-        Intrinsic::Fabs | Intrinsic::Sqrt => elementwise1(&args[0], &mut |x| match x {
+        Intrinsic::Fabs | Intrinsic::Sqrt => elementwise1_static(&args[0], |x| match x {
             EvalValue::Float(k, v) => Ok(EvalValue::Float(
                 *k,
                 round_to(*k, if intrinsic == Intrinsic::Fabs { v.abs() } else { v.sqrt() }),
@@ -961,7 +1124,7 @@ fn eval_intrinsic(intrinsic: Intrinsic, args: &[EvalValue]) -> Result<EvalValue,
             _ => Ok(EvalValue::Poison),
         }),
         Intrinsic::Minnum | Intrinsic::Maxnum | Intrinsic::Copysign => {
-            elementwise2(&args[0], &args[1], &mut |x, y| match (x, y) {
+            elementwise2_static(&args[0], &args[1], |x, y| match (x, y) {
                 (EvalValue::Float(k, a), EvalValue::Float(_, b)) => {
                     let r = match intrinsic {
                         Intrinsic::Minnum => {

@@ -18,15 +18,17 @@
 //! See `ARCHITECTURE.md` at the repository root for the workspace crate
 //! graph and where this crate sits in the three-stage verification flow.
 
+pub mod compiled;
 pub mod eval;
 pub mod memory;
 pub mod value;
 
 /// Commonly used items, re-exported for convenience.
 pub mod prelude {
+    pub use crate::compiled::{CompiledFunction, EvalArena};
     pub use crate::eval::{
-        evaluate, evaluate_default, fold_instruction, to_constant, EvalOutcome, Ub,
-        DEFAULT_STEP_LIMIT,
+        evaluate, evaluate_default, evaluate_reference, fold_instruction, to_constant,
+        EvalOutcome, Ub, DEFAULT_STEP_LIMIT,
     };
     pub use crate::memory::{Allocation, MemError, Memory, DEFAULT_ALLOC_SIZE};
     pub use crate::value::{EvalValue, PtrValue};

@@ -12,6 +12,7 @@
 use crate::value::{EvalValue, PtrValue};
 use lpo_ir::apint::ApInt;
 use lpo_ir::types::{FloatKind, Type};
+use std::sync::Arc;
 
 /// The default size of the allocation backing each pointer argument.
 pub const DEFAULT_ALLOC_SIZE: usize = 64;
@@ -52,9 +53,16 @@ impl Allocation {
 }
 
 /// The evaluation memory: a set of allocations.
+///
+/// Allocations are held behind [`Arc`]s with copy-on-write mutation, so
+/// cloning a `Memory` — which the verification hot path does once per
+/// evaluated input — is a refcount bump per allocation instead of copying
+/// every byte buffer and poison shadow. The bytes are only copied when an
+/// evaluation actually stores into a shared allocation. Equality still
+/// compares contents.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct Memory {
-    allocations: Vec<Allocation>,
+    allocations: Vec<Arc<Allocation>>,
 }
 
 /// An out-of-bounds or null-pointer access.
@@ -72,7 +80,7 @@ impl Memory {
 
     /// Adds an allocation and returns its id.
     pub fn allocate(&mut self, alloc: Allocation) -> usize {
-        self.allocations.push(alloc);
+        self.allocations.push(Arc::new(alloc));
         self.allocations.len() - 1
     }
 
@@ -88,7 +96,7 @@ impl Memory {
 
     /// Access an allocation by id.
     pub fn allocation(&self, id: usize) -> Option<&Allocation> {
-        self.allocations.get(id)
+        self.allocations.get(id).map(AsRef::as_ref)
     }
 
     fn check_range(&self, ptr: PtrValue, size: usize) -> Result<(usize, usize), MemError> {
@@ -191,7 +199,9 @@ impl Memory {
             _ => {
                 let size = ty.size_in_bytes() as usize;
                 let (aid, start) = self.check_range(ptr, size)?;
-                let alloc = &mut self.allocations[aid];
+                // Copy-on-write: the byte buffer is only duplicated when the
+                // allocation is still shared with another Memory clone.
+                let alloc = Arc::make_mut(&mut self.allocations[aid]);
                 let raw: u128 = match value {
                     EvalValue::Int(v) => v.zext_value(),
                     EvalValue::Float(FloatKind::Float, v) => (*v as f32).to_bits() as u128,

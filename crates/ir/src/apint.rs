@@ -40,12 +40,14 @@ impl ApInt {
     /// # Panics
     ///
     /// Panics if `width` is zero or greater than [`ApInt::MAX_WIDTH`].
+    #[inline]
     pub fn new(width: u32, value: u128) -> Self {
         assert!((1..=Self::MAX_WIDTH).contains(&width), "invalid integer width {width}");
         Self { width, bits: value & Self::mask(width) }
     }
 
     /// Creates a value from a signed integer, truncating to `width` bits.
+    #[inline]
     pub fn from_i128(width: u32, value: i128) -> Self {
         Self::new(width, value as u128)
     }
@@ -80,21 +82,54 @@ impl ApInt {
         Self::new(width, 1u128 << (width - 1).min(127))
     }
 
+    #[inline]
     fn mask(width: u32) -> u128 {
         if width >= 128 { u128::MAX } else { (1u128 << width) - 1 }
     }
 
+    /// The small-integer fast path: the value as a `u64` when the width fits
+    /// in one machine word. The interpreter's binop/cast kernels use this to
+    /// run 64-bit-and-narrower arithmetic on native `u64`/`i64` operations
+    /// instead of double-word `u128` ones.
+    #[inline]
+    fn small(&self) -> Option<u64> {
+        if self.width <= 64 { Some(self.bits as u64) } else { None }
+    }
+
+    /// Rebuilds a value of `width <= 64` from a raw `u64`, masking to width.
+    #[inline]
+    fn from_small(width: u32, bits: u64) -> Self {
+        debug_assert!(width <= 64);
+        Self { width, bits: (bits as u128) & Self::mask(width) }
+    }
+
+    /// The value as a sign-extended `i64` (fast path for `width <= 64`).
+    #[inline]
+    fn small_signed(&self) -> Option<i64> {
+        let v = self.small()?;
+        Some(if self.width == 64 {
+            v as i64
+        } else if (v >> (self.width - 1)) & 1 == 1 {
+            (v | !((1u64 << self.width) - 1)) as i64
+        } else {
+            v as i64
+        })
+    }
+
     /// The bit width of this value.
+    #[inline]
     pub fn width(&self) -> u32 {
         self.width
     }
 
     /// The raw, zero-extended value.
+    #[inline]
     pub fn zext_value(&self) -> u128 {
         self.bits
     }
 
     /// The value interpreted as a signed (sign-extended) integer.
+    #[inline]
     pub fn sext_value(&self) -> i128 {
         if self.width >= 128 {
             self.bits as i128
@@ -106,6 +141,7 @@ impl ApInt {
     }
 
     /// Returns `true` if the value is zero.
+    #[inline]
     pub fn is_zero(&self) -> bool {
         self.bits == 0
     }
@@ -143,44 +179,80 @@ impl ApInt {
     // --- wrapping arithmetic -------------------------------------------------
 
     /// Wrapping addition modulo `2^width`.
+    #[inline]
     pub fn add(&self, rhs: &Self) -> Self {
+        if let Some(a) = self.small() {
+            return Self::from_small(self.width, a.wrapping_add(rhs.bits as u64));
+        }
         Self::new(self.width, self.bits.wrapping_add(rhs.bits))
     }
 
     /// Wrapping subtraction modulo `2^width`.
+    #[inline]
     pub fn sub(&self, rhs: &Self) -> Self {
+        if let Some(a) = self.small() {
+            return Self::from_small(self.width, a.wrapping_sub(rhs.bits as u64));
+        }
         Self::new(self.width, self.bits.wrapping_sub(rhs.bits))
     }
 
     /// Wrapping multiplication modulo `2^width`.
+    #[inline]
     pub fn mul(&self, rhs: &Self) -> Self {
+        if let Some(a) = self.small() {
+            return Self::from_small(self.width, a.wrapping_mul(rhs.bits as u64));
+        }
         Self::new(self.width, self.bits.wrapping_mul(rhs.bits))
     }
 
     /// Two's-complement negation.
+    #[inline]
     pub fn neg(&self) -> Self {
         Self::new(self.width, self.bits.wrapping_neg())
     }
 
     /// Bitwise complement.
+    #[inline]
     pub fn not(&self) -> Self {
         Self::new(self.width, !self.bits)
     }
 
     /// Unsigned division. Returns `None` when dividing by zero.
+    #[inline]
     pub fn udiv(&self, rhs: &Self) -> Option<Self> {
-        if rhs.is_zero() { None } else { Some(Self::new(self.width, self.bits / rhs.bits)) }
+        if rhs.is_zero() {
+            return None;
+        }
+        if let (Some(a), Some(b)) = (self.small(), rhs.small()) {
+            return Some(Self::from_small(self.width, a / b));
+        }
+        Some(Self::new(self.width, self.bits / rhs.bits))
     }
 
     /// Unsigned remainder. Returns `None` when dividing by zero.
+    #[inline]
     pub fn urem(&self, rhs: &Self) -> Option<Self> {
-        if rhs.is_zero() { None } else { Some(Self::new(self.width, self.bits % rhs.bits)) }
+        if rhs.is_zero() {
+            return None;
+        }
+        if let (Some(a), Some(b)) = (self.small(), rhs.small()) {
+            return Some(Self::from_small(self.width, a % b));
+        }
+        Some(Self::new(self.width, self.bits % rhs.bits))
     }
 
     /// Signed division. Returns `None` on division by zero or `INT_MIN / -1` overflow.
+    #[inline]
     pub fn sdiv(&self, rhs: &Self) -> Option<Self> {
         if rhs.is_zero() {
             return None;
+        }
+        if let (Some(a), Some(b)) = (self.small_signed(), rhs.small_signed()) {
+            let min = if self.width == 64 { i64::MIN } else { -(1i64 << (self.width - 1)) };
+            if a == min && b == -1 {
+                return None;
+            }
+            return Some(Self::from_small(self.width, a.wrapping_div(b) as u64));
         }
         let (a, b) = (self.sext_value(), rhs.sext_value());
         if a == Self::signed_min(self.width).sext_value() && b == -1 {
@@ -190,9 +262,17 @@ impl ApInt {
     }
 
     /// Signed remainder. Returns `None` on division by zero or `INT_MIN % -1` overflow.
+    #[inline]
     pub fn srem(&self, rhs: &Self) -> Option<Self> {
         if rhs.is_zero() {
             return None;
+        }
+        if let (Some(a), Some(b)) = (self.small_signed(), rhs.small_signed()) {
+            let min = if self.width == 64 { i64::MIN } else { -(1i64 << (self.width - 1)) };
+            if a == min && b == -1 {
+                return None;
+            }
+            return Some(Self::from_small(self.width, a.wrapping_rem(b) as u64));
         }
         let (a, b) = (self.sext_value(), rhs.sext_value());
         if a == Self::signed_min(self.width).sext_value() && b == -1 {
@@ -204,22 +284,31 @@ impl ApInt {
     // --- overflow-aware arithmetic ------------------------------------------
 
     /// Addition with unsigned-overflow detection.
+    #[inline]
     pub fn uadd_overflow(&self, rhs: &Self) -> (Self, bool) {
-        let wide = self.bits;
-        let result = self.add(rhs);
-        let overflow = if self.width == 128 {
-            wide.checked_add(rhs.bits).is_none()
-        } else {
-            self.bits + rhs.bits > Self::mask(self.width)
-        };
-        (result, overflow)
+        if self.width < 128 {
+            let result = self.add(rhs);
+            return (result, self.bits + rhs.bits > Self::mask(self.width));
+        }
+        (self.add(rhs), self.bits.checked_add(rhs.bits).is_none())
     }
 
     /// Addition with signed-overflow detection.
+    #[inline]
     pub fn sadd_overflow(&self, rhs: &Self) -> (Self, bool) {
+        if let (Some(a), Some(b)) = (self.small_signed(), rhs.small_signed()) {
+            let result = self.add(rhs);
+            // `i64` holds the exact sum of two `width <= 64` values iff it
+            // does not overflow `i64` itself; either way overflow at *width*
+            // is "exact sum != wrapped result".
+            let overflow = match a.checked_add(b) {
+                Some(v) => v != result.small_signed().expect("same width"),
+                None => true,
+            };
+            return (result, overflow);
+        }
         let result = self.add(rhs);
-        let exact = self.sext_value().checked_add(rhs.sext_value());
-        let overflow = match exact {
+        let overflow = match self.sext_value().checked_add(rhs.sext_value()) {
             Some(v) => v != result.sext_value(),
             None => true,
         };
@@ -227,15 +316,24 @@ impl ApInt {
     }
 
     /// Subtraction with unsigned-overflow (borrow) detection.
+    #[inline]
     pub fn usub_overflow(&self, rhs: &Self) -> (Self, bool) {
         (self.sub(rhs), self.bits < rhs.bits)
     }
 
     /// Subtraction with signed-overflow detection.
+    #[inline]
     pub fn ssub_overflow(&self, rhs: &Self) -> (Self, bool) {
+        if let (Some(a), Some(b)) = (self.small_signed(), rhs.small_signed()) {
+            let result = self.sub(rhs);
+            let overflow = match a.checked_sub(b) {
+                Some(v) => v != result.small_signed().expect("same width"),
+                None => true,
+            };
+            return (result, overflow);
+        }
         let result = self.sub(rhs);
-        let exact = self.sext_value().checked_sub(rhs.sext_value());
-        let overflow = match exact {
+        let overflow = match self.sext_value().checked_sub(rhs.sext_value()) {
             Some(v) => v != result.sext_value(),
             None => true,
         };
@@ -243,7 +341,13 @@ impl ApInt {
     }
 
     /// Multiplication with unsigned-overflow detection.
+    #[inline]
     pub fn umul_overflow(&self, rhs: &Self) -> (Self, bool) {
+        if self.width <= 64 {
+            let result = self.mul(rhs);
+            let wide = (self.bits as u64 as u128) * (rhs.bits as u64 as u128);
+            return (result, wide > Self::mask(self.width));
+        }
         let result = self.mul(rhs);
         let overflow = match self.bits.checked_mul(rhs.bits) {
             Some(v) => v > Self::mask(self.width),
@@ -253,7 +357,13 @@ impl ApInt {
     }
 
     /// Multiplication with signed-overflow detection.
+    #[inline]
     pub fn smul_overflow(&self, rhs: &Self) -> (Self, bool) {
+        if let (Some(a), Some(b)) = (self.small_signed(), rhs.small_signed()) {
+            let result = self.mul(rhs);
+            let wide = (a as i128) * (b as i128);
+            return (result, wide != result.small_signed().expect("same width") as i128);
+        }
         let result = self.mul(rhs);
         let overflow = match self.sext_value().checked_mul(rhs.sext_value()) {
             Some(v) => v != result.sext_value(),
@@ -266,6 +376,7 @@ impl ApInt {
 
     /// Logical left shift. Returns `None` when the shift amount is `>= width`
     /// (poison in LLVM semantics).
+    #[inline]
     pub fn shl(&self, amount: &Self) -> Option<Self> {
         let amt = amount.zext_value();
         if amt >= self.width as u128 {
@@ -276,6 +387,7 @@ impl ApInt {
     }
 
     /// Logical right shift. Returns `None` when the shift amount is `>= width`.
+    #[inline]
     pub fn lshr(&self, amount: &Self) -> Option<Self> {
         let amt = amount.zext_value();
         if amt >= self.width as u128 {
@@ -286,6 +398,7 @@ impl ApInt {
     }
 
     /// Arithmetic right shift. Returns `None` when the shift amount is `>= width`.
+    #[inline]
     pub fn ashr(&self, amount: &Self) -> Option<Self> {
         let amt = amount.zext_value();
         if amt >= self.width as u128 {
@@ -298,16 +411,19 @@ impl ApInt {
     // --- bitwise -------------------------------------------------------------
 
     /// Bitwise AND.
+    #[inline]
     pub fn and(&self, rhs: &Self) -> Self {
         Self::new(self.width, self.bits & rhs.bits)
     }
 
     /// Bitwise OR.
+    #[inline]
     pub fn or(&self, rhs: &Self) -> Self {
         Self::new(self.width, self.bits | rhs.bits)
     }
 
     /// Bitwise XOR.
+    #[inline]
     pub fn xor(&self, rhs: &Self) -> Self {
         Self::new(self.width, self.bits ^ rhs.bits)
     }
@@ -357,22 +473,32 @@ impl ApInt {
     // --- comparisons ---------------------------------------------------------
 
     /// Unsigned less-than.
+    #[inline]
     pub fn ult(&self, rhs: &Self) -> bool {
         self.bits < rhs.bits
     }
 
     /// Unsigned less-or-equal.
+    #[inline]
     pub fn ule(&self, rhs: &Self) -> bool {
         self.bits <= rhs.bits
     }
 
     /// Signed less-than.
+    #[inline]
     pub fn slt(&self, rhs: &Self) -> bool {
+        if let (Some(a), Some(b)) = (self.small_signed(), rhs.small_signed()) {
+            return a < b;
+        }
         self.sext_value() < rhs.sext_value()
     }
 
     /// Signed less-or-equal.
+    #[inline]
     pub fn sle(&self, rhs: &Self) -> bool {
+        if let (Some(a), Some(b)) = (self.small_signed(), rhs.small_signed()) {
+            return a <= b;
+        }
         self.sext_value() <= rhs.sext_value()
     }
 

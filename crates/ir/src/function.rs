@@ -129,6 +129,13 @@ impl Function {
         &self.insts[id.0 as usize]
     }
 
+    /// The size of the instruction arena (one more than the largest valid
+    /// [`InstId`]), including unplaced slots. Dense per-instruction side
+    /// tables — e.g. the interpreter's register file — are sized by this.
+    pub fn inst_arena_len(&self) -> usize {
+        self.insts.len()
+    }
+
     /// Looks up an instruction mutably by id.
     pub fn inst_mut(&mut self, id: InstId) -> &mut Instruction {
         &mut self.insts[id.0 as usize]

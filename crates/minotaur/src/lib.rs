@@ -15,7 +15,8 @@ use lpo_ir::function::Function;
 use lpo_ir::instruction::InstKind;
 use lpo_llm::strategies::{apply_strategy, Strategy};
 use lpo_tv::inputs::InputConfig;
-use lpo_tv::refine::{verify_refinement_with, TvConfig};
+use lpo_tv::prelude::EvalArena;
+use lpo_tv::refine::{SourceCache, TvConfig};
 use std::time::{Duration, Instant};
 
 /// The result category of one Minotaur run.
@@ -131,12 +132,16 @@ pub fn superoptimize(func: &Function) -> MinotaurResult {
         };
     }
     let tv = TvConfig { inputs: InputConfig { exhaustive_bits: 10, random_samples: 48, seed: 0x3140 } };
+    // All templates verify against the same source: cache its per-input
+    // outcomes and reuse one evaluation arena across the whole scan.
+    let case = SourceCache::new(func, tv);
+    let mut arena = EvalArena::new();
     let mut templates_tried = 0usize;
     for template in templates() {
         templates_tried += 1;
         if let Some(candidate) = apply_strategy(&template, func) {
             if candidate.instruction_count() <= func.instruction_count()
-                && verify_refinement_with(func, &candidate, &tv).is_correct()
+                && case.verify_with(&candidate, &mut arena).is_correct()
             {
                 return MinotaurResult {
                     outcome: Outcome::Found(candidate),

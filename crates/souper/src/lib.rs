@@ -29,7 +29,8 @@ use lpo_ir::function::Function;
 use lpo_ir::instruction::{BinOp, ICmpPred, InstKind, Instruction, Value};
 use lpo_ir::types::Type;
 use lpo_tv::inputs::InputConfig;
-use lpo_tv::refine::{verify_refinement_with, TvConfig};
+use lpo_tv::prelude::EvalArena;
+use lpo_tv::refine::{SourceCache, TvConfig};
 use std::time::{Duration, Instant};
 
 /// Configuration of a Souper run.
@@ -208,7 +209,12 @@ pub fn superoptimize(func: &Function, config: &SouperConfig) -> SouperResult {
             candidates_tried: 0,
         };
     }
-    let tv = quick_tv();
+    // One cached case per source: the enumerative search verifies up to
+    // `candidate_budget` candidates against the same function, so the test
+    // inputs and the source's per-input outcomes are computed exactly once,
+    // and every evaluation reuses one register-file arena.
+    let case = SourceCache::new(func, quick_tv());
+    let mut arena = EvalArena::new();
     let original_cost = func.instruction_count();
     let mut tried = 0usize;
 
@@ -259,7 +265,7 @@ pub fn superoptimize(func: &Function, config: &SouperConfig) -> SouperResult {
             continue;
         }
         let replacement = leaf_function(func, candidate.clone());
-        if verify_refinement_with(func, &replacement, &tv).is_correct() {
+        if case.verify_with(&replacement, &mut arena).is_correct() {
             return finish(start, Outcome::Found(replacement), tried, config);
         }
     }
@@ -287,7 +293,7 @@ pub fn superoptimize(func: &Function, config: &SouperConfig) -> SouperResult {
                         }
                         let candidate = icmp_function(func, pred, a.clone(), b.clone());
                         if candidate.instruction_count() < original_cost
-                            && verify_refinement_with(func, &candidate, &tv).is_correct()
+                            && case.verify_with(&candidate, &mut arena).is_correct()
                         {
                             return finish(start, Outcome::Found(candidate), tried, config);
                         }
@@ -314,7 +320,7 @@ pub fn superoptimize(func: &Function, config: &SouperConfig) -> SouperResult {
                                 return finish(start, Outcome::Timeout, tried, config);
                             }
                             if candidate.instruction_count() < original_cost
-                                && verify_refinement_with(func, &candidate, &tv).is_correct()
+                                && case.verify_with(&candidate, &mut arena).is_correct()
                             {
                                 return finish(start, Outcome::Found(candidate), tried, config);
                             }

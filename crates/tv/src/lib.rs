@@ -26,6 +26,8 @@ pub mod refine;
 pub mod prelude {
     pub use crate::inputs::{corner_values, generate_inputs, InputConfig, TestInput};
     pub use crate::refine::{
-        verify_refinement, verify_refinement_with, Counterexample, TvConfig, Validator, Verdict,
+        verify_refinement, verify_refinement_with, Counterexample, SourceCache, TvConfig,
+        Validator, Verdict,
     };
+    pub use lpo_interp::compiled::EvalArena;
 }

@@ -17,11 +17,13 @@
 //! pipeline feeds back to the LLM.
 
 use crate::inputs::{generate_inputs, InputConfig, TestInput};
-use lpo_interp::eval::{evaluate, Ub};
+use lpo_interp::compiled::{CompiledFunction, EvalArena};
+use lpo_interp::eval::Ub;
 use lpo_interp::memory::Memory;
 use lpo_interp::value::EvalValue;
 use lpo_ir::function::Function;
 use lpo_ir::printer;
+use std::cell::{Cell, OnceCell, RefCell};
 use std::fmt;
 
 /// How many instructions a single evaluation may execute.
@@ -120,6 +122,13 @@ impl Validator {
         verify_refinement_with(src, tgt, &self.config)
     }
 
+    /// Prepares a cached per-case checker for `src`: the generated test
+    /// inputs and the source's per-input outcomes are computed once and
+    /// shared by every candidate verified against it.
+    pub fn case<'a>(&self, src: &'a Function) -> SourceCache<'a> {
+        SourceCache::new(src, self.config.clone())
+    }
+
     /// Checks refinement in both directions; `true` means the two functions
     /// are observationally equivalent on every tested input.
     pub fn equivalent(&self, a: &Function, b: &Function) -> bool {
@@ -133,38 +142,137 @@ pub fn verify_refinement(src: &Function, tgt: &Function) -> Verdict {
 }
 
 /// Checks refinement with an explicit configuration.
+///
+/// One-shot convenience: callers that verify several candidate rewrites of
+/// the same source (the LPO loop, the superoptimizer baselines) should build
+/// a [`SourceCache`] instead, so the source's per-input outcomes and the
+/// generated inputs are computed once per case instead of once per candidate.
 pub fn verify_refinement_with(src: &Function, tgt: &Function, config: &TvConfig) -> Verdict {
-    // Signature compatibility: same parameter types (names may differ) and the
-    // same return type. A mismatch is a *fixable* error reported as feedback.
-    if src.params.len() != tgt.params.len()
-        || src
-            .params
-            .iter()
-            .zip(&tgt.params)
-            .any(|(a, b)| a.ty != b.ty)
-    {
-        return Verdict::Error(format!(
-            "ERROR: program doesn't type check!\nsource signature:  {}\ntarget signature:  {}\nthe target function must take exactly the same parameters as the source",
-            printer::signature(src),
-            printer::signature(tgt)
-        ));
-    }
-    if src.ret_ty != tgt.ret_ty {
-        return Verdict::Error(format!(
-            "ERROR: program doesn't type check!\nsource returns {} but target returns {}",
-            src.ret_ty, tgt.ret_ty
-        ));
-    }
+    SourceCache::new(src, config.clone()).verify(tgt)
+}
 
-    let inputs = generate_inputs(src, &config.inputs);
-    let exhaustive = is_exhaustive(src, &config.inputs);
-    let total = inputs.len();
-    for input in &inputs {
-        if let Some(cex) = check_one(src, tgt, input) {
-            return Verdict::Incorrect(cex);
+/// The outcome of evaluating the source function on one input: the returned
+/// value and final memory, or the UB it exhibited.
+type SourceOutcome = Result<(Option<EvalValue>, Memory), Ub>;
+
+/// Per-case verification state, cached across candidate rewrites.
+///
+/// The refinement check's cost model is `candidates × inputs × (src eval +
+/// tgt eval)`. For one extracted sequence the LPO loop verifies up to
+/// `attempt_limit` candidates and the Souper baseline hundreds — but the
+/// *source* side of every one of those checks is identical. `SourceCache`
+/// computes, once per case and lazily on first use:
+///
+/// * the [`TestInput`]s for the source signature (exhaustive or sampled);
+/// * the source's outcome per input — result, final memory and UB/poison
+///   classification — via a pre-compiled [`CompiledFunction`], filled
+///   **per input as the check walks them**, so a candidate rejected on the
+///   third input costs three source evaluations, not the whole sweep;
+///
+/// so verifying the k-th candidate only evaluates the *target* (plus any
+/// source inputs no earlier candidate reached). Each source input is
+/// evaluated at most once per case, and verdicts are bit-identical to the
+/// uncached [`verify_refinement_with`] path.
+pub struct SourceCache<'a> {
+    src: &'a Function,
+    config: TvConfig,
+    inputs: OnceCell<(Vec<TestInput>, bool)>,
+    compiled_src: OnceCell<CompiledFunction>,
+    outcomes: RefCell<Vec<Option<SourceOutcome>>>,
+    source_evals: Cell<usize>,
+}
+
+impl<'a> SourceCache<'a> {
+    /// Creates the cache for one source function. No inputs are generated and
+    /// nothing is evaluated until the first [`verify`](Self::verify) call.
+    pub fn new(src: &'a Function, config: TvConfig) -> Self {
+        Self {
+            src,
+            config,
+            inputs: OnceCell::new(),
+            compiled_src: OnceCell::new(),
+            outcomes: RefCell::new(Vec::new()),
+            source_evals: Cell::new(0),
         }
     }
-    Verdict::Correct { inputs_checked: total, exhaustive }
+
+    /// The source function this cache verifies candidates against.
+    pub fn source(&self) -> &'a Function {
+        self.src
+    }
+
+    /// How many times the source function has been concretely evaluated.
+    ///
+    /// At most one evaluation per (case, input), independent of the candidate
+    /// count; once any candidate has passed every input, this equals the
+    /// input count exactly. Tests use this as the cache-hit oracle.
+    pub fn source_eval_count(&self) -> usize {
+        self.source_evals.get()
+    }
+
+    fn inputs(&self) -> &(Vec<TestInput>, bool) {
+        self.inputs.get_or_init(|| {
+            (generate_inputs(self.src, &self.config.inputs), is_exhaustive(self.src, &self.config.inputs))
+        })
+    }
+
+    /// Fills the source outcome for input `index` if no earlier candidate
+    /// reached it.
+    fn ensure_outcome(&self, index: usize, total: usize, input: &TestInput, arena: &mut EvalArena) {
+        let mut outcomes = self.outcomes.borrow_mut();
+        if outcomes.len() != total {
+            outcomes.resize_with(total, || None);
+        }
+        if outcomes[index].is_none() {
+            let compiled = self.compiled_src.get_or_init(|| CompiledFunction::compile(self.src));
+            self.source_evals.set(self.source_evals.get() + 1);
+            outcomes[index] = Some(
+                compiled
+                    .evaluate_with_limit(arena, &input.args, input.memory.clone(), STEP_LIMIT)
+                    .map(|o| (o.result, o.memory)),
+            );
+        }
+    }
+
+    /// Checks whether `tgt` refines the cached source, reusing `arena`'s
+    /// register file for every evaluation.
+    pub fn verify_with(&self, tgt: &Function, arena: &mut EvalArena) -> Verdict {
+        // Signature compatibility: same parameter types (names may differ) and
+        // the same return type. A mismatch is a *fixable* error reported as
+        // feedback.
+        if self.src.params.len() != tgt.params.len()
+            || self.src.params.iter().zip(&tgt.params).any(|(a, b)| a.ty != b.ty)
+        {
+            return Verdict::Error(format!(
+                "ERROR: program doesn't type check!\nsource signature:  {}\ntarget signature:  {}\nthe target function must take exactly the same parameters as the source",
+                printer::signature(self.src),
+                printer::signature(tgt)
+            ));
+        }
+        if self.src.ret_ty != tgt.ret_ty {
+            return Verdict::Error(format!(
+                "ERROR: program doesn't type check!\nsource returns {} but target returns {}",
+                self.src.ret_ty, tgt.ret_ty
+            ));
+        }
+
+        let (inputs, exhaustive) = self.inputs();
+        let compiled_tgt = CompiledFunction::compile(tgt);
+        for (index, input) in inputs.iter().enumerate() {
+            self.ensure_outcome(index, inputs.len(), input, arena);
+            let outcomes = self.outcomes.borrow();
+            let src_out = outcomes[index].as_ref().expect("outcome just ensured");
+            if let Some(cex) = check_one(self.src, &compiled_tgt, input, src_out, arena) {
+                return Verdict::Incorrect(cex);
+            }
+        }
+        Verdict::Correct { inputs_checked: inputs.len(), exhaustive: *exhaustive }
+    }
+
+    /// [`verify_with`](Self::verify_with) on a fresh throwaway arena.
+    pub fn verify(&self, tgt: &Function) -> Verdict {
+        self.verify_with(tgt, &mut EvalArena::new())
+    }
 }
 
 fn is_exhaustive(func: &Function, config: &InputConfig) -> bool {
@@ -207,7 +315,7 @@ fn describe_args(func: &Function, input: &TestInput) -> Vec<(String, String)> {
         .collect()
 }
 
-fn describe_outcome(result: &Result<(Option<EvalValue>, Memory), Ub>) -> String {
+fn describe_outcome(result: &SourceOutcome) -> String {
     match result {
         Err(ub) => format!("function exhibits undefined behaviour: {}", ub.message),
         Ok((None, _)) => "returns void".to_string(),
@@ -215,22 +323,28 @@ fn describe_outcome(result: &Result<(Option<EvalValue>, Memory), Ub>) -> String 
     }
 }
 
-/// Checks a single input; returns a counterexample on refinement failure.
-fn check_one(src: &Function, tgt: &Function, input: &TestInput) -> Option<Counterexample> {
-    let src_out = evaluate(src, &input.args, input.memory.clone(), STEP_LIMIT)
-        .map(|o| (o.result, o.memory));
+/// Checks a single input against the cached source outcome; returns a
+/// counterexample on refinement failure.
+fn check_one(
+    src: &Function,
+    compiled_tgt: &CompiledFunction,
+    input: &TestInput,
+    src_out: &SourceOutcome,
+    arena: &mut EvalArena,
+) -> Option<Counterexample> {
     // Source UB ⇒ any target behaviour is fine.
-    let (src_ret, src_mem) = match &src_out {
+    let (src_ret, src_mem) = match src_out {
         Err(_) => return None,
-        Ok(pair) => pair.clone(),
+        Ok(pair) => pair,
     };
 
-    let tgt_out = evaluate(tgt, &input.args, input.memory.clone(), STEP_LIMIT)
+    let tgt_out = compiled_tgt
+        .evaluate_with_limit(arena, &input.args, input.memory.clone(), STEP_LIMIT)
         .map(|o| (o.result, o.memory));
     let cex = |reason: &str, tgt_desc: String| Counterexample {
         reason: reason.to_string(),
         args: describe_args(src, input),
-        src_behaviour: describe_outcome(&src_out),
+        src_behaviour: describe_outcome(src_out),
         tgt_behaviour: tgt_desc,
     };
 
@@ -245,7 +359,7 @@ fn check_one(src: &Function, tgt: &Function, input: &TestInput) -> Option<Counte
     };
 
     // Return value refinement.
-    match (&src_ret, &tgt_ret) {
+    match (src_ret, &tgt_ret) {
         (None, None) => {}
         (Some(s), Some(t)) => {
             if let Some(reason) = value_refinement_failure(s, t) {
@@ -531,6 +645,65 @@ mod tests {
         // c is a refinement target of neither direction being equal: a ⇒ c adds poison.
         assert!(!v.equivalent(&a, &c));
         assert!(v.verify(&c, &a).is_correct());
+    }
+
+    #[test]
+    fn source_cache_evaluates_the_source_once_per_input() {
+        let src = parse_function(
+            "define i8 @src(i8 %x) {\n %r = add i8 %x, 1\n ret i8 %r\n}",
+        )
+        .unwrap();
+        let candidates = [
+            "define i8 @tgt(i8 %x) {\n %r = sub i8 %x, -1\n ret i8 %r\n}",
+            "define i8 @tgt(i8 %x) {\n %r = add i8 %x, 2\n ret i8 %r\n}", // wrong
+            "define i8 @tgt(i8 %x) {\n %r = add nuw i8 %x, 1\n ret i8 %r\n}", // more poisonous
+            "define i8 @tgt(i8 %x) {\n %r = add i8 %x, 1\n ret i8 %r\n}",
+        ];
+        let cache = SourceCache::new(&src, TvConfig::default());
+        assert_eq!(cache.source_eval_count(), 0, "lazy until the first verify");
+        let mut arena = EvalArena::new();
+
+        // Outcomes fill lazily per input: a candidate rejected on the very
+        // first input (src(0) = 1, this tgt(0) = 2) costs one source
+        // evaluation, not the whole 256-input sweep.
+        let early = parse_function("define i8 @tgt(i8 %x) {\n %r = add i8 %x, 2\n ret i8 %r\n}").unwrap();
+        assert!(!cache.verify_with(&early, &mut arena).is_correct());
+        assert_eq!(cache.source_eval_count(), 1);
+        let cached: Vec<Verdict> = candidates
+            .iter()
+            .map(|t| cache.verify_with(&parse_function(t).unwrap(), &mut arena))
+            .collect();
+        // i8 signature → 256 exhaustive inputs, each evaluated exactly once on
+        // the source side no matter how many candidates were checked.
+        assert_eq!(cache.source_eval_count(), 256);
+
+        // Cached verdicts are identical to the uncached one-shot path.
+        for (text, verdict) in candidates.iter().zip(&cached) {
+            let uncached = verify_refinement(&src, &parse_function(text).unwrap());
+            assert_eq!(*verdict, uncached, "cached verdict diverged for {text}");
+        }
+        assert!(cached[0].is_correct());
+        assert_eq!(cached[1].counterexample().unwrap().reason, "Value mismatch");
+        assert_eq!(
+            cached[2].counterexample().unwrap().reason,
+            "Target is more poisonous than source"
+        );
+        assert!(cached[3].is_correct());
+
+        // A signature mismatch is rejected before any evaluation happens.
+        let other = parse_function("define i8 @tgt(i16 %x) {\n %r = trunc i16 %x to i8\n ret i8 %r\n}").unwrap();
+        assert!(matches!(cache.verify_with(&other, &mut arena), Verdict::Error(_)));
+        assert_eq!(cache.source_eval_count(), 256);
+    }
+
+    #[test]
+    fn validator_case_builder_matches_direct_verify() {
+        let v = Validator::new();
+        let src = parse_function("define i32 @a(i32 %x) {\n %r = mul i32 %x, 2\n ret i32 %r\n}").unwrap();
+        let tgt = parse_function("define i32 @b(i32 %x) {\n %r = shl i32 %x, 1\n ret i32 %r\n}").unwrap();
+        let case = v.case(&src);
+        assert_eq!(case.source().name, "a");
+        assert_eq!(case.verify(&tgt), v.verify(&src, &tgt));
     }
 
     #[test]

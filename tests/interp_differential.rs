@@ -1,0 +1,127 @@
+//! Differential testing of the register-file evaluator.
+//!
+//! The compiled evaluator ([`CompiledFunction`]) must be **outcome-identical**
+//! to the straightforward reference evaluator ([`evaluate_reference`]) —
+//! same returned value, same poison/undef classification, same UB (including
+//! the exact message), same final memory state, same step count — on:
+//!
+//! * every function of the rq1 and rq2 corpora, over the full
+//!   translation-validation input set of each (exhaustive or corner+random);
+//! * randomly synthesized functions from the corpus generator (seeded via
+//!   the vendored `rand`, so failures reproduce);
+//! * one shared [`EvalArena`] across all of it, proving arena reuse leaks no
+//!   state between evaluations of different functions.
+
+use lpo_interp::prelude::*;
+use lpo_ir::function::Function;
+use lpo_tv::prelude::{generate_inputs, InputConfig};
+
+/// Step limit matching the translation validator's.
+const STEP_LIMIT: usize = 1 << 14;
+
+/// Bounded input generation: exhaustive up to 12 bits keeps the whole-corpus
+/// sweep fast while still covering every i8-style signature completely.
+fn input_config(seed: u64) -> InputConfig {
+    InputConfig { exhaustive_bits: 12, random_samples: 64, seed }
+}
+
+/// Asserts reference ≡ compiled on every generated input of `func`, reusing
+/// the shared arena. Returns how many inputs were checked.
+fn check_function(func: &Function, arena: &mut EvalArena, seed: u64) -> usize {
+    let inputs = generate_inputs(func, &input_config(seed));
+    let compiled = CompiledFunction::compile(func);
+    for (index, input) in inputs.iter().enumerate() {
+        let fast =
+            compiled.evaluate_with_limit(arena, &input.args, input.memory.clone(), STEP_LIMIT);
+        let slow = evaluate_reference(func, &input.args, input.memory.clone(), STEP_LIMIT);
+        assert_eq!(
+            fast, slow,
+            "evaluators diverged on @{} input #{index} (args {:?})",
+            func.name, input.args
+        );
+    }
+    inputs.len()
+}
+
+#[test]
+fn compiled_evaluator_matches_reference_on_rq1_corpus() {
+    let mut arena = EvalArena::new();
+    let mut checked = 0;
+    for case in lpo_corpus::rq1_suite() {
+        checked += check_function(&case.function, &mut arena, u64::from(case.issue_id));
+    }
+    assert!(checked > 2_000, "rq1 sweep looks too small: {checked} inputs");
+}
+
+#[test]
+fn compiled_evaluator_matches_reference_on_rq2_corpus() {
+    let mut arena = EvalArena::new();
+    let mut checked = 0;
+    for case in lpo_corpus::rq2_suite() {
+        checked += check_function(&case.function, &mut arena, u64::from(case.issue_id));
+    }
+    assert!(checked > 2_000, "rq2 sweep looks too small: {checked} inputs");
+}
+
+#[test]
+fn compiled_evaluator_matches_reference_on_synthesized_functions() {
+    let corpus = lpo_corpus::generate_corpus(&lpo_corpus::CorpusConfig {
+        modules_per_project: 1,
+        functions_per_module: 4,
+        ..Default::default()
+    });
+    let mut arena = EvalArena::new();
+    let mut functions = 0;
+    for (pi, project) in corpus.iter().enumerate().take(6) {
+        for (mi, module) in project.modules.iter().enumerate() {
+            for func in &module.functions {
+                functions += 1;
+                check_function(func, &mut arena, (pi * 31 + mi) as u64);
+            }
+        }
+    }
+    assert!(functions >= 24, "synthesized sweep looks too small: {functions} functions");
+}
+
+#[test]
+fn ub_classification_and_step_limits_match() {
+    // Functions engineered to hit each UB class, checked under several step
+    // limits so limit-exceeded errors trigger at identical points.
+    let texts = [
+        // Division by zero and signed overflow.
+        "define i32 @div(i32 %x, i32 %y) {\n %r = sdiv i32 %x, %y\n ret i32 %r\n}",
+        // Branch on poison.
+        "define i32 @brp(i32 %x) {\n\
+         %p = add nuw i32 %x, 1\n\
+         %c = icmp eq i32 %p, 0\n\
+         br i1 %c, label %a, label %b\n\
+         a:\n  ret i32 1\n\
+         b:\n  ret i32 2\n}",
+        // Out-of-bounds store.
+        "define void @oob(ptr %p) {\n\
+         %q = getelementptr i32, ptr %p, i64 100\n\
+         store i32 1, ptr %q, align 4\n\
+         ret void\n}",
+        // Unbounded-ish loop for step limits.
+        "define i32 @spin(i32 %n) {\n\
+         entry:\n  br label %h\n\
+         h:\n  %i = phi i32 [ 0, %entry ], [ %j, %h ]\n\
+             %j = add i32 %i, 1\n\
+             %c = icmp ult i32 %j, %n\n\
+             br i1 %c, label %h, label %x\n\
+         x:\n  ret i32 %j\n}",
+    ];
+    let mut arena = EvalArena::new();
+    for text in texts {
+        let func = lpo_ir::parser::parse_function(text).unwrap();
+        let compiled = CompiledFunction::compile(&func);
+        for input in generate_inputs(&func, &input_config(7)) {
+            for limit in [4, 64, STEP_LIMIT] {
+                let fast =
+                    compiled.evaluate_with_limit(&mut arena, &input.args, input.memory.clone(), limit);
+                let slow = evaluate_reference(&func, &input.args, input.memory.clone(), limit);
+                assert_eq!(fast, slow, "diverged on @{} at limit {limit}", func.name);
+            }
+        }
+    }
+}
