@@ -6,6 +6,7 @@
 //! cargo run -p lpo-bench --release --bin repro -- table2 --rounds 5 --jobs 8
 //! cargo run -p lpo-bench --release --bin repro -- table4 --samples 500 --jobs 0
 //! cargo run -p lpo-bench --release --bin repro -- bench-interp --jobs 1
+//! cargo run -p lpo-bench --release --bin repro -- bench-opt --jobs 1
 //! ```
 //!
 //! `--jobs N` sets the worker count for every driver (`0`, the default, uses
@@ -20,11 +21,13 @@
 //! overwritten.
 //!
 //! `bench-interp` measures the concrete-evaluation hot path (register-file
-//! evaluator vs the reference evaluator) and fills the `interp` section.
-//! With `--check-baseline <file>` it exits non-zero when evals/sec falls more
-//! than 30% below the checked-in baseline — the CI `bench-smoke` gate.
+//! evaluator vs the reference evaluator) and fills the `interp` section;
+//! `bench-opt` measures Stage 1 canonicalization (worklist engine vs the
+//! rescan reference) and fills the `opt` section. With
+//! `--check-baseline <file>` each exits non-zero when its throughput falls
+//! more than 30% below the checked-in baseline — the CI `bench-smoke` gate.
 
-use lpo_bench::results::{BenchResults, InterpEntry, Json, TableEntry};
+use lpo_bench::results::{BenchResults, InterpEntry, Json, OptEntry, TableEntry};
 use lpo_bench::{self as harness, TableRun};
 use lpo_llm::prelude::rq1_models;
 
@@ -43,59 +46,90 @@ fn arg_text<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
 /// Allowed relative regression vs the baseline.
 const REGRESSION_TOLERANCE: f64 = 0.30;
 
-/// Compares a fresh interp measurement against a checked-in baseline file
-/// (`{"interp_evals_per_second": N, "interp_speedup": S}`).
+/// One throughput gate's wiring: which baseline keys to read and how to
+/// describe the measurement in messages.
+struct Gate {
+    /// Baseline key for the absolute-throughput floor.
+    throughput_key: &'static str,
+    /// Baseline key for the machine-independent speedup fallback.
+    speedup_key: &'static str,
+    /// Unit shown in messages, e.g. `evals/s`.
+    unit: &'static str,
+    /// Subject shown in the failure message, e.g. `interpreter throughput`.
+    subject: &'static str,
+}
+
+/// Compares a fresh measurement against a checked-in baseline file.
 ///
-/// The primary gate is absolute evals/sec (within 30% of the baseline). CI
+/// The primary gate is absolute throughput (within 30% of the baseline). CI
 /// runners span hardware generations, so a slower host is exonerated by the
-/// machine-independent fallback: the speedup over the reference evaluator —
-/// measured in the same process, on the same hardware — must then be within
-/// 30% of the baseline speedup. A regression fails both.
+/// machine-independent fallback: the speedup over the in-process reference
+/// implementation — measured on the same hardware in the same run — must
+/// then be within 30% of the baseline speedup. A regression fails both.
 ///
-/// Known limitation: a regression in code *shared* by both evaluators (the
-/// ApInt kernels, `Memory` cloning, the release profile) slows them
-/// proportionally and is indistinguishable from a slower host by any
-/// in-process measurement, so only the absolute gate can catch it — and only
-/// when CI hardware is comparable to the recorded baseline host. Treat a
-/// "slower host" pass that coincides with a hot-path change as a prompt to
-/// re-baseline and compare absolute numbers by hand.
-fn check_baseline(entry: &InterpEntry, path: &str) -> Result<String, String> {
+/// Known limitation: a regression in code *shared* by the measured and
+/// reference implementations slows them proportionally and is
+/// indistinguishable from a slower host by any in-process measurement, so
+/// only the absolute gate can catch it — and only when CI hardware is
+/// comparable to the recorded baseline host. Treat a "slower host" pass that
+/// coincides with a hot-path change as a prompt to re-baseline and compare
+/// absolute numbers by hand.
+fn check_gate(gate: &Gate, throughput: f64, speedup: f64, path: &str) -> Result<String, String> {
     let text = std::fs::read_to_string(path)
         .map_err(|e| format!("cannot read baseline '{path}': {e}"))?;
     let value = Json::parse(&text).map_err(|e| format!("cannot parse baseline '{path}': {e}"))?;
     let baseline = value
-        .get("interp_evals_per_second")
+        .get(gate.throughput_key)
         .and_then(Json::as_num)
-        .ok_or_else(|| format!("baseline '{path}' has no 'interp_evals_per_second' number"))?;
+        .ok_or_else(|| format!("baseline '{path}' has no '{}' number", gate.throughput_key))?;
     let floor = baseline * (1.0 - REGRESSION_TOLERANCE);
-    if entry.evals_per_second >= floor {
+    if throughput >= floor {
         return Ok(format!(
-            "baseline check ok: {:.0} evals/s vs baseline {:.0} (floor {:.0})",
-            entry.evals_per_second, baseline, floor
+            "baseline check ok: {throughput:.0} {unit} vs baseline {baseline:.0} (floor {floor:.0})",
+            unit = gate.unit
         ));
     }
-    let shortfall = (1.0 - entry.evals_per_second / baseline) * 100.0;
-    if let Some(speedup_baseline) = value.get("interp_speedup").and_then(Json::as_num) {
+    let shortfall = (1.0 - throughput / baseline) * 100.0;
+    if let Some(speedup_baseline) = value.get(gate.speedup_key).and_then(Json::as_num) {
         let speedup_floor = speedup_baseline * (1.0 - REGRESSION_TOLERANCE);
-        if entry.speedup >= speedup_floor {
+        if speedup >= speedup_floor {
             return Ok(format!(
-                "baseline check ok (slower host): {:.0} evals/s is {:.0}% under baseline \
-                 {:.0}, but the speedup {:.2}x holds vs baseline {:.2}x (floor {:.2}x)",
-                entry.evals_per_second,
-                shortfall,
-                baseline,
-                entry.speedup,
-                speedup_baseline,
-                speedup_floor
+                "baseline check ok (slower host): {throughput:.0} {unit} is {shortfall:.0}% under \
+                 baseline {baseline:.0}, but the speedup {speedup:.2}x holds vs baseline \
+                 {speedup_baseline:.2}x (floor {speedup_floor:.2}x)",
+                unit = gate.unit
             ));
         }
     }
     Err(format!(
-        "interpreter throughput regressed: {:.0} evals/s is below the floor {:.0} \
-         ({:.0}% under baseline {:.0}), and the speedup {:.2}x does not clear the \
-         machine-independent fallback",
-        entry.evals_per_second, floor, shortfall, baseline, entry.speedup
+        "{subject} regressed: {throughput:.0} {unit} is below the floor {floor:.0} \
+         ({shortfall:.0}% under baseline {baseline:.0}), and the speedup {speedup:.2}x does not \
+         clear the machine-independent fallback",
+        subject = gate.subject,
+        unit = gate.unit
     ))
+}
+
+/// The interpreter gate (`repro bench-interp --check-baseline`).
+fn check_baseline(entry: &InterpEntry, path: &str) -> Result<String, String> {
+    let gate = Gate {
+        throughput_key: "interp_evals_per_second",
+        speedup_key: "interp_speedup",
+        unit: "evals/s",
+        subject: "interpreter throughput",
+    };
+    check_gate(&gate, entry.evals_per_second, entry.speedup, path)
+}
+
+/// The canonicalization gate (`repro bench-opt --check-baseline`).
+fn check_opt_baseline(entry: &OptEntry, path: &str) -> Result<String, String> {
+    let gate = Gate {
+        throughput_key: "opt_canon_per_second",
+        speedup_key: "opt_speedup",
+        unit: "canon/s",
+        subject: "canonicalization throughput",
+    };
+    check_gate(&gate, entry.canon_per_second, entry.speedup, path)
 }
 
 fn main() {
@@ -119,6 +153,7 @@ fn main() {
 
     let mut tables: Vec<TableEntry> = Vec::new();
     let mut interp: Option<InterpEntry> = None;
+    let mut opt: Option<OptEntry> = None;
     let mut show = |name: &str, run: TableRun| {
         println!("{}", run.text);
         tables.push(TableEntry {
@@ -143,6 +178,11 @@ fn main() {
             println!("{}", run.text);
             interp = Some(run.entry);
         }
+        "bench-opt" => {
+            let run = harness::bench_opt(jobs);
+            println!("{}", run.text);
+            opt = Some(run.entry);
+        }
         "all" => {
             println!("{}", harness::table1());
             show("table2", harness::table2(rounds, &quick_models(), jobs));
@@ -153,18 +193,21 @@ fn main() {
             let run = harness::bench_interp(jobs);
             println!("{}", run.text);
             interp = Some(run.entry);
+            let run = harness::bench_opt(jobs);
+            println!("{}", run.text);
+            opt = Some(run.entry);
         }
         other => {
             eprintln!(
-                "unknown experiment '{other}'; expected table1..table5, figure5, bench-interp or all"
+                "unknown experiment '{other}'; expected table1..table5, figure5, bench-interp, bench-opt or all"
             );
             std::process::exit(2);
         }
     }
 
-    if !tables.is_empty() || interp.is_some() {
+    if !tables.is_empty() || interp.is_some() || opt.is_some() {
         let path = "BENCH_results.json";
-        match BenchResults::merge_into_file(path, what, jobs, tables, interp.clone()) {
+        match BenchResults::merge_into_file(path, what, jobs, tables, interp.clone(), opt.clone()) {
             Ok(merged) => eprintln!(
                 "merged into {path} ({} tables, {} runs recorded)",
                 merged.tables.len(),
@@ -175,16 +218,31 @@ fn main() {
     }
 
     if let Some(baseline_path) = arg_text(&args, "--check-baseline") {
-        let Some(entry) = &interp else {
-            eprintln!("--check-baseline requires the bench-interp (or all) subcommand");
+        if interp.is_none() && opt.is_none() {
+            eprintln!("--check-baseline requires the bench-interp, bench-opt (or all) subcommand");
             std::process::exit(2);
-        };
-        match check_baseline(entry, baseline_path) {
-            Ok(message) => eprintln!("{message}"),
-            Err(message) => {
-                eprintln!("{message}");
-                std::process::exit(1);
+        }
+        let mut failed = false;
+        if let Some(entry) = &interp {
+            match check_baseline(entry, baseline_path) {
+                Ok(message) => eprintln!("{message}"),
+                Err(message) => {
+                    eprintln!("{message}");
+                    failed = true;
+                }
             }
+        }
+        if let Some(entry) = &opt {
+            match check_opt_baseline(entry, baseline_path) {
+                Ok(message) => eprintln!("{message}"),
+                Err(message) => {
+                    eprintln!("{message}");
+                    failed = true;
+                }
+            }
+        }
+        if failed {
+            std::process::exit(1);
         }
     }
 }

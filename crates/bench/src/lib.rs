@@ -493,7 +493,7 @@ pub fn table5_experiment(jobs: usize) -> Vec<PatchImpactRow> {
                 let t1 = std::time::Instant::now();
                 let stats = patched.run_module(&mut m2);
                 patched_time += t1.elapsed();
-                if stats.rule_hits.iter().any(|(name, _)| name == patch.rule.name) {
+                if stats.hits_of(patch.rule.name) > 0 {
                     impacted_files += 1;
                     project_hit = true;
                 }
@@ -723,6 +723,198 @@ pub fn bench_interp(jobs: usize) -> InterpBenchRun {
     let _ = writeln!(text, "  reference evaluator:     {reference_evals_per_second:>12.0} evals/s");
     let _ = writeln!(text, "  speedup:                 {speedup:>11.2}x");
     InterpBenchRun { text, entry }
+}
+
+/// One canonicalization-throughput measurement: the rendered report plus the
+/// entry recorded in `BENCH_results.json`'s `opt` section.
+#[derive(Clone, Debug)]
+pub struct OptBenchRun {
+    /// Human-readable report.
+    pub text: String,
+    /// The numbers (canonicalizations/sec at both scales, speedups).
+    pub entry: results::OptEntry,
+}
+
+/// Composes `copies` renamed copies of a case body into one straight-line
+/// function (results combined by an xor chain so every copy stays live) and
+/// injects one foldable redundancy per copy — the translation-unit-scale
+/// canonicalization workload. Returns `None` for non-scalar-int returns.
+fn compose_module_scale(func: &lpo_ir::function::Function, copies: usize) -> Option<lpo_ir::function::Function> {
+    use lpo_ir::function::Function;
+    use lpo_ir::instruction::{BinOp, InstId, InstKind, Instruction, Value};
+    use lpo_ir::types::Type;
+    let width = match func.ret_ty {
+        Type::Int(w) => w,
+        _ => return None,
+    };
+    let ret_val = func.return_value()?.clone();
+    let mut out = Function::new(format!("{}.x{copies}", func.name), func.ret_ty.clone());
+    out.params = func.params.clone();
+    let entry = out.entry();
+    let mut results: Vec<Value> = Vec::new();
+    for copy in 0..copies {
+        let mut map: std::collections::HashMap<InstId, Value> = std::collections::HashMap::new();
+        for (id, inst) in func.iter_insts() {
+            if inst.is_terminator() {
+                continue;
+            }
+            let mut kind = inst.kind.clone();
+            for op in kind.operands_mut() {
+                if let Value::Inst(dep) = op {
+                    *op = map.get(dep).cloned()?;
+                }
+            }
+            let new_id = out.append_inst(
+                entry,
+                Instruction::new(kind, inst.ty.clone(), format!("c{copy}.{}", inst.name)),
+            );
+            map.insert(id, Value::Inst(new_id));
+        }
+        let result = match &ret_val {
+            Value::Inst(id) => map.get(id).cloned()?,
+            other => other.clone(),
+        };
+        // One foldable redundancy per copy: the sparse-rewrite shape the
+        // worklist engine is built for.
+        let redundant = out.append_inst(
+            entry,
+            Instruction::new(
+                InstKind::Binary {
+                    op: BinOp::Add,
+                    lhs: result,
+                    rhs: Value::int(width, 0),
+                    flags: Default::default(),
+                },
+                func.ret_ty.clone(),
+                format!("r{copy}"),
+            ),
+        );
+        results.push(Value::Inst(redundant));
+    }
+    let mut acc = results.first()?.clone();
+    for r in results.iter().skip(1) {
+        let id = out.append_inst(
+            entry,
+            Instruction::new(
+                InstKind::Binary { op: BinOp::Xor, lhs: acc, rhs: r.clone(), flags: Default::default() },
+                func.ret_ty.clone(),
+                format!("acc{}", out.inst_arena_len()),
+            ),
+        );
+        acc = Value::Inst(id);
+    }
+    out.append_inst(entry, Instruction::new(InstKind::Ret { value: Some(acc) }, Type::Void, ""));
+    lpo_ir::verifier::verify_function(&out).ok()?;
+    Some(out)
+}
+
+/// Copies of each case body composed into one module-scale function.
+const COMPOSE_COPIES: usize = 8;
+
+/// Measures Stage 1 canonicalization throughput over the rq1 suite at two
+/// scales, on the worklist engine and on [`Pipeline::optimize_reference`]
+/// (the retained rescan engine with the seed's rescan-based DCE):
+///
+/// * **per-candidate scale** — each raw rq1 case, the shape of verifying one
+///   LLM candidate (already canonical, so this is the confirmation pass);
+/// * **module scale** — eight renamed copies of each case body composed into
+///   one straight-line function with one foldable redundancy per copy, the
+///   translation-unit shape the ROADMAP's production-scale north star cares
+///   about, where clean-position skipping pays off.
+///
+/// This is the workload behind `repro bench-opt` and the CI `bench-smoke`
+/// regression gate; measure with `--jobs 1` when comparing across builds.
+pub fn bench_opt(jobs: usize) -> OptBenchRun {
+    use lpo_ir::function::Function;
+    use lpo_opt::pipeline::{OptLevel, Pipeline};
+
+    /// Minimum measurement time per engine per scale.
+    const MIN_TIME: Duration = Duration::from_millis(500);
+
+    let suite = rq1_suite();
+    let cases: Vec<Function> = suite.iter().map(|case| case.function.clone()).collect();
+    let composed: Vec<Function> =
+        cases.iter().filter_map(|f| compose_module_scale(f, COMPOSE_COPIES)).collect();
+    let jobs = resolve_jobs(jobs, cases.len());
+    let pipeline = Pipeline::new(OptLevel::O2);
+
+    /// Accumulated (canonicalizations, wall) of one engine's passes.
+    #[derive(Default)]
+    struct Tally {
+        canon: usize,
+        wall: Duration,
+    }
+
+    impl Tally {
+        fn add(&mut self, pass: &dyn Fn() -> usize) {
+            let start = Instant::now();
+            self.canon += pass();
+            self.wall += start.elapsed();
+        }
+    }
+
+    let run_pass = |functions: &[Function], reference: bool| -> usize {
+        parallel_map_ordered(functions, jobs, |_, func| {
+            let mut scratch = func.clone();
+            if reference {
+                pipeline.optimize_reference(&mut scratch);
+            } else {
+                pipeline.run(&mut scratch);
+            }
+        })
+        .len()
+    };
+
+    let measure = |functions: &[Function]| -> (Tally, Tally) {
+        let mut fast = Tally::default();
+        let mut slow = Tally::default();
+        let mut passes = 0usize;
+        // Interleave the two engines' passes so slow drift in host load hits
+        // both sides equally.
+        while passes < 2 || fast.wall + slow.wall < MIN_TIME * 2 {
+            fast.add(&|| run_pass(functions, false));
+            slow.add(&|| run_pass(functions, true));
+            passes += 1;
+        }
+        (fast, slow)
+    };
+
+    let (case_fast, case_slow) = measure(&cases);
+    let (module_fast, module_slow) = measure(&composed);
+
+    let per_second = |tally: &Tally| tally.canon as f64 / tally.wall.as_secs_f64();
+    let canon_per_second = per_second(&module_fast);
+    let reference_canon_per_second = per_second(&module_slow);
+    let case_canon_per_second = per_second(&case_fast);
+    let case_reference_canon_per_second = per_second(&case_slow);
+    let ratio = |fast: f64, slow: f64| if slow > 0.0 { fast / slow } else { 0.0 };
+
+    let entry = results::OptEntry {
+        canon_per_second,
+        reference_canon_per_second,
+        speedup: ratio(canon_per_second, reference_canon_per_second),
+        case_canon_per_second,
+        case_reference_canon_per_second,
+        case_speedup: ratio(case_canon_per_second, case_reference_canon_per_second),
+        cases: cases.len(),
+        functions: composed.len(),
+        jobs,
+    };
+    let mut text = format!(
+        "Canonicalization throughput: rq1 suite ({} cases; {} module-scale compositions of {} copies, jobs: {jobs})\n",
+        entry.cases, entry.functions, COMPOSE_COPIES
+    );
+    let _ = writeln!(
+        text,
+        "  module scale   worklist: {:>9.0} canon/s   reference: {:>9.0} canon/s   speedup: {:.2}x",
+        canon_per_second, reference_canon_per_second, entry.speedup
+    );
+    let _ = writeln!(
+        text,
+        "  per-candidate  worklist: {:>9.0} canon/s   reference: {:>9.0} canon/s   speedup: {:.2}x",
+        case_canon_per_second, case_reference_canon_per_second, entry.case_speedup
+    );
+    OptBenchRun { text, entry }
 }
 
 /// Renders Figure 5 as text.

@@ -360,6 +360,64 @@ impl InterpEntry {
     }
 }
 
+/// The canonicalization microbenchmark section (`repro bench-opt`).
+#[derive(Clone, Debug, PartialEq)]
+pub struct OptEntry {
+    /// Module-scale canonicalizations per second on the worklist engine.
+    pub canon_per_second: f64,
+    /// Module-scale canonicalizations per second on the rescan reference.
+    pub reference_canon_per_second: f64,
+    /// `canon_per_second / reference_canon_per_second`.
+    pub speedup: f64,
+    /// Per-candidate-scale (raw rq1 case) canonicalizations per second.
+    pub case_canon_per_second: f64,
+    /// Per-candidate-scale reference canonicalizations per second.
+    pub case_reference_canon_per_second: f64,
+    /// `case_canon_per_second / case_reference_canon_per_second`.
+    pub case_speedup: f64,
+    /// rq1 cases feeding the workload.
+    pub cases: usize,
+    /// Module-scale functions composed from them.
+    pub functions: usize,
+    /// Worker threads used.
+    pub jobs: usize,
+}
+
+impl OptEntry {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("canon_per_second".into(), Json::Num(self.canon_per_second)),
+            ("reference_canon_per_second".into(), Json::Num(self.reference_canon_per_second)),
+            ("speedup".into(), Json::Num(self.speedup)),
+            ("case_canon_per_second".into(), Json::Num(self.case_canon_per_second)),
+            (
+                "case_reference_canon_per_second".into(),
+                Json::Num(self.case_reference_canon_per_second),
+            ),
+            ("case_speedup".into(), Json::Num(self.case_speedup)),
+            ("cases".into(), Json::Num(self.cases as f64)),
+            ("functions".into(), Json::Num(self.functions as f64)),
+            ("jobs".into(), Json::Num(self.jobs as f64)),
+        ])
+    }
+
+    fn from_json(value: &Json) -> Option<OptEntry> {
+        Some(OptEntry {
+            canon_per_second: value.get("canon_per_second")?.as_num()?,
+            reference_canon_per_second: value.get("reference_canon_per_second")?.as_num()?,
+            speedup: value.get("speedup")?.as_num()?,
+            case_canon_per_second: value.get("case_canon_per_second")?.as_num()?,
+            case_reference_canon_per_second: value
+                .get("case_reference_canon_per_second")?
+                .as_num()?,
+            case_speedup: value.get("case_speedup")?.as_num()?,
+            cases: value.get("cases")?.as_num()? as usize,
+            functions: value.get("functions")?.as_num()? as usize,
+            jobs: value.get("jobs")?.as_num()? as usize,
+        })
+    }
+}
+
 /// One `repro` invocation in the append-only history.
 #[derive(Clone, Debug, PartialEq)]
 pub struct RunRecord {
@@ -373,6 +431,8 @@ pub struct RunRecord {
     pub tables: Vec<TableEntry>,
     /// The interpreter microbenchmark, when this invocation ran it.
     pub interp: Option<InterpEntry>,
+    /// The canonicalization microbenchmark, when this invocation ran it.
+    pub opt: Option<OptEntry>,
 }
 
 impl RunRecord {
@@ -385,6 +445,9 @@ impl RunRecord {
         ];
         if let Some(interp) = &self.interp {
             fields.push(("interp".into(), interp.to_json()));
+        }
+        if let Some(opt) = &self.opt {
+            fields.push(("opt".into(), opt.to_json()));
         }
         Json::Obj(fields)
     }
@@ -401,6 +464,7 @@ impl RunRecord {
                 .filter_map(TableEntry::from_json)
                 .collect(),
             interp: value.get("interp").and_then(InterpEntry::from_json),
+            opt: value.get("opt").and_then(OptEntry::from_json),
         })
     }
 }
@@ -412,6 +476,8 @@ pub struct BenchResults {
     pub tables: Vec<TableEntry>,
     /// Latest interpreter microbenchmark.
     pub interp: Option<InterpEntry>,
+    /// Latest canonicalization microbenchmark.
+    pub opt: Option<OptEntry>,
     /// Append-only invocation history.
     pub runs: Vec<RunRecord>,
 }
@@ -441,6 +507,7 @@ impl BenchResults {
             results.tables = tables.iter().filter_map(TableEntry::from_json).collect();
         }
         results.interp = value.get("interp").and_then(InterpEntry::from_json);
+        results.opt = value.get("opt").and_then(OptEntry::from_json);
         if let Some(runs) = value.get("runs").and_then(Json::as_arr) {
             results.runs = runs.iter().filter_map(RunRecord::from_json).collect();
         }
@@ -457,6 +524,7 @@ impl BenchResults {
         jobs_requested: usize,
         tables: Vec<TableEntry>,
         interp: Option<InterpEntry>,
+        opt: Option<OptEntry>,
     ) {
         for entry in &tables {
             match self.tables.iter_mut().find(|t| t.name == entry.name) {
@@ -467,6 +535,9 @@ impl BenchResults {
         if interp.is_some() {
             self.interp = interp.clone();
         }
+        if opt.is_some() {
+            self.opt = opt.clone();
+        }
         let run = self.runs.last().map(|r| r.run + 1).unwrap_or(1);
         self.runs.push(RunRecord {
             run,
@@ -474,6 +545,7 @@ impl BenchResults {
             jobs_requested,
             tables,
             interp,
+            opt,
         });
     }
 
@@ -485,6 +557,9 @@ impl BenchResults {
         ];
         if let Some(interp) = &self.interp {
             fields.push(("interp".into(), interp.to_json()));
+        }
+        if let Some(opt) = &self.opt {
+            fields.push(("opt".into(), opt.to_json()));
         }
         fields.push(("runs".into(), Json::Arr(self.runs.iter().map(RunRecord::to_json).collect())));
         Json::Obj(fields).render()
@@ -501,9 +576,10 @@ impl BenchResults {
         jobs_requested: usize,
         tables: Vec<TableEntry>,
         interp: Option<InterpEntry>,
+        opt: Option<OptEntry>,
     ) -> Result<BenchResults, String> {
         let mut results = BenchResults::load(path);
-        results.record(command, jobs_requested, tables, interp);
+        results.record(command, jobs_requested, tables, interp, opt);
         std::fs::write(path, results.render()).map_err(|e| e.to_string())?;
         Ok(results)
     }
@@ -548,8 +624,8 @@ mod tests {
     #[test]
     fn merge_replaces_by_name_and_keeps_history() {
         let mut results = BenchResults::default();
-        results.record("all", 4, vec![table("table2", 5.0), table("table5", 7.0)], None);
-        results.record("table2", 1, vec![table("table2", 9.0)], None);
+        results.record("all", 4, vec![table("table2", 5.0), table("table5", 7.0)], None, None);
+        results.record("table2", 1, vec![table("table2", 9.0)], None, None);
 
         assert_eq!(results.tables.len(), 2, "table5 must survive a table2-only run");
         assert_eq!(
@@ -621,7 +697,7 @@ mod tests {
             jobs: 1,
         };
         let mut results = BenchResults::default();
-        results.record("bench-interp", 1, Vec::new(), Some(interp.clone()));
+        results.record("bench-interp", 1, Vec::new(), Some(interp.clone()), None);
         let rendered = results.render();
         let value = Json::parse(&rendered).unwrap();
         assert_eq!(InterpEntry::from_json(value.get("interp").unwrap()), Some(interp.clone()));

@@ -35,26 +35,64 @@ impl InterestVerdict {
     }
 }
 
-/// Classifies a candidate against the original on the given target.
-pub fn classify(original: &Function, candidate: &Function, target: Target) -> InterestVerdict {
-    let model = CostModel::new(target);
-    let before = model.estimate(original);
-    let after = model.estimate(candidate);
-    if after.instructions < before.instructions {
-        return InterestVerdict::FewerInstructions;
-    }
-    if after.total_cycles < before.total_cycles {
-        return InterestVerdict::FewerCycles;
-    }
-    if after.instructions == before.instructions && after.total_cycles == before.total_cycles {
-        if hash_function(original) == hash_function(candidate) {
-            InterestVerdict::Identical
-        } else {
-            InterestVerdict::DifferentForm
+/// The cached source side of the interestingness check: the cost-model
+/// estimate and structural hash of the original sequence, computed **once per
+/// case** so that verifying k candidate rewrites of one sequence estimates
+/// the source exactly once (the same caching shape as the translation
+/// validator's `SourceCache`).
+#[derive(Clone, Debug)]
+pub struct SourceCost {
+    model: CostModel,
+    instructions: usize,
+    total_cycles: f64,
+    digest: lpo_ir::hash::Digest,
+}
+
+impl SourceCost {
+    /// Estimates and hashes the original once.
+    pub fn new(original: &Function, target: Target) -> Self {
+        let model = CostModel::new(target);
+        let estimate = model.estimate(original);
+        Self {
+            model,
+            instructions: estimate.instructions,
+            total_cycles: estimate.total_cycles,
+            digest: hash_function(original),
         }
-    } else {
-        InterestVerdict::Worse
     }
+
+    /// Classifies a candidate against the cached source estimate.
+    pub fn classify(&self, candidate: &Function) -> InterestVerdict {
+        let after = self.model.estimate(candidate);
+        if after.instructions < self.instructions {
+            return InterestVerdict::FewerInstructions;
+        }
+        if after.total_cycles < self.total_cycles {
+            return InterestVerdict::FewerCycles;
+        }
+        if after.instructions == self.instructions && after.total_cycles == self.total_cycles {
+            if self.digest == hash_function(candidate) {
+                InterestVerdict::Identical
+            } else {
+                InterestVerdict::DifferentForm
+            }
+        } else {
+            InterestVerdict::Worse
+        }
+    }
+
+    /// Convenience wrapper: `true` iff the candidate passes the check.
+    pub fn is_interesting(&self, candidate: &Function) -> bool {
+        self.classify(candidate).is_interesting()
+    }
+}
+
+/// Classifies a candidate against the original on the given target.
+///
+/// One-shot convenience over [`SourceCost`]; callers checking several
+/// candidates of the same original should build the cache once.
+pub fn classify(original: &Function, candidate: &Function, target: Target) -> InterestVerdict {
+    SourceCost::new(original, target).classify(candidate)
 }
 
 /// Convenience wrapper: `true` iff the candidate passes the check.

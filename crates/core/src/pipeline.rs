@@ -1,14 +1,21 @@
 //! Algorithm 1: the closed-loop optimize–verify–feedback workflow.
+//!
+//! Stage 1 here is **text-free**: the LLM boundary is the only place text
+//! crosses (the prompt out, the completion in). The source side of each case
+//! is canonicalized once per case; each candidate is parsed once and then
+//! verified/canonicalized as a [`Function`] value via
+//! [`lpo_opt::pipeline::optimize_function`] — no per-candidate re-printing.
 
-use crate::interestingness::is_interesting;
+use crate::interestingness::SourceCost;
 use crate::report::{CaseOutcome, CaseReport, RunSummary};
 use lpo_extract::{ExtractConfig, ExtractedSequence, Extractor};
 use lpo_ir::function::Function;
 use lpo_ir::module::Module;
+use lpo_ir::parser::parse_function;
 use lpo_ir::printer::print_function;
 use lpo_llm::model::{ModelFactory, ModelSession, Prompt};
 use lpo_mca::Target;
-use lpo_opt::pipeline::{optimize_text, OptLevel, Pipeline};
+use lpo_opt::pipeline::{optimize_function, OptLevel, Pipeline};
 use crate::exec::{run_batch, BatchResult, ExecConfig, ExecStats};
 use lpo_tv::prelude::EvalArena;
 use lpo_tv::refine::{SourceCache, TvConfig, Verdict};
@@ -103,6 +110,16 @@ impl Lpo {
         arena: &mut EvalArena,
     ) -> CaseReport {
         let start = Instant::now();
+        // Stage 1, source side, **once per case**: canonicalize the sequence
+        // the way `opt` would before anything downstream sees it. Extracted
+        // corpus sequences are pre-filtered to canonical fixpoints, so this
+        // is a cheap confirmation pass there; it guarantees the prompt, the
+        // interestingness baseline and the TV source cache all agree on one
+        // canonical source, no matter how many candidates the loop verifies.
+        let mut canonical = source.clone();
+        self.opt.run(&mut canonical);
+        let source = &canonical;
+        let source_cost = SourceCost::new(source, self.config.target);
         let source_text = print_function(source);
         let mut prompt = Prompt::initial(source_text);
         let mut modeled = Duration::ZERO;
@@ -119,8 +136,13 @@ impl Lpo {
             modeled += completion.latency + self.config.verification_overhead;
             cost += completion.cost_usd;
 
-            // Step ③: the `opt` preprocessing — syntax check + canonicalization.
-            let candidate = match optimize_text(&completion.text, &self.opt) {
+            // Step ③: the `opt` preprocessing — parse once at the LLM text
+            // boundary, then verify + canonicalize the `Function` value
+            // directly (no re-print round-trip).
+            let candidate = match parse_function(&completion.text)
+                .map_err(|e| e.to_string())
+                .and_then(|mut func| optimize_function(&mut func, &self.opt).map(|_| func))
+            {
                 Err(error_message) => {
                     last_outcome = CaseOutcome::SyntaxError;
                     if self.config.feedback && attempts < self.config.attempt_limit {
@@ -129,12 +151,13 @@ impl Lpo {
                     }
                     break;
                 }
-                Ok(result) => result.function,
+                Ok(func) => func,
             };
 
-            // Step ④: interestingness. An uninteresting candidate abandons the
-            // sequence (no retry), as in Algorithm 1 line 16.
-            if !is_interesting(source, &candidate, self.config.target) {
+            // Step ④: interestingness against the cached source estimate. An
+            // uninteresting candidate abandons the sequence (no retry), as in
+            // Algorithm 1 line 16.
+            if !source_cost.is_interesting(&candidate) {
                 last_outcome = CaseOutcome::NotInteresting;
                 break;
             }

@@ -6,6 +6,26 @@
 //! before — cheap and simple while keeping the IR a plain owned value that can
 //! be cloned, hashed and compared.
 //!
+//! # Def–use information
+//!
+//! Every function maintains a **use list** per arena slot: for each
+//! instruction result, the ids of the placed instructions that use it (one
+//! entry per use, so an instruction using a value twice appears twice,
+//! including uses by block terminators and phi nodes). The lists are kept
+//! coherent by the mutation API — [`append_inst`](Function::append_inst),
+//! [`insert_inst`](Function::insert_inst),
+//! [`insert_before`](Function::insert_before),
+//! [`erase_inst`](Function::erase_inst),
+//! [`replace_all_uses_with`](Function::replace_all_uses_with),
+//! [`set_operand`](Function::set_operand) and
+//! [`set_inst_kind`](Function::set_inst_kind) — which is what makes the
+//! worklist-driven optimizer's "who uses this value" queries O(uses) instead
+//! of a whole-arena scan. Code that edits operands behind the API's back
+//! (e.g. through [`inst_mut`](Function::inst_mut)) must call
+//! [`rebuild_use_lists`](Function::rebuild_use_lists) afterwards; the
+//! verifier's coherence check ([`verify_use_lists`](Function::verify_use_lists))
+//! rejects functions whose stored lists have gone stale.
+//!
 //! # Examples
 //!
 //! ```
@@ -51,8 +71,78 @@ impl BasicBlock {
     }
 }
 
+/// One value's use list with inline capacity: most instruction results have
+/// one or two uses, so the common case is a plain memcpy on clone and never
+/// touches the heap; lists longer than the inline capacity spill to a `Vec`.
+#[derive(Clone, Debug)]
+enum UseList {
+    /// Up to [`USE_INLINE`] uses stored in place.
+    Inline { len: u8, slots: [InstId; USE_INLINE] },
+    /// The spilled representation.
+    Heap(Vec<InstId>),
+}
+
+/// Inline capacity of a [`UseList`].
+const USE_INLINE: usize = 3;
+
+impl Default for UseList {
+    fn default() -> Self {
+        UseList::Inline { len: 0, slots: [InstId(0); USE_INLINE] }
+    }
+}
+
+impl UseList {
+    fn as_slice(&self) -> &[InstId] {
+        match self {
+            UseList::Inline { len, slots } => &slots[..*len as usize],
+            UseList::Heap(list) => list,
+        }
+    }
+
+    fn push(&mut self, user: InstId) {
+        match self {
+            UseList::Inline { len, slots } => {
+                if (*len as usize) < USE_INLINE {
+                    slots[*len as usize] = user;
+                    *len += 1;
+                } else {
+                    let mut spilled = Vec::with_capacity(USE_INLINE * 2);
+                    spilled.extend_from_slice(&slots[..]);
+                    spilled.push(user);
+                    *self = UseList::Heap(spilled);
+                }
+            }
+            UseList::Heap(list) => list.push(user),
+        }
+    }
+
+    /// Removes one occurrence of `user` (order is not preserved).
+    fn remove_one(&mut self, user: InstId) {
+        match self {
+            UseList::Inline { len, slots } => {
+                if let Some(index) = slots[..*len as usize].iter().position(|&u| u == user) {
+                    slots[index] = slots[*len as usize - 1];
+                    *len -= 1;
+                }
+            }
+            UseList::Heap(list) => {
+                if let Some(index) = list.iter().position(|&u| u == user) {
+                    list.swap_remove(index);
+                }
+            }
+        }
+    }
+
+    fn is_empty(&self) -> bool {
+        match self {
+            UseList::Inline { len, .. } => *len == 0,
+            UseList::Heap(list) => list.is_empty(),
+        }
+    }
+}
+
 /// An IR function.
-#[derive(Clone, Debug, PartialEq)]
+#[derive(Clone, Debug)]
 pub struct Function {
     /// The function name without the leading `@`.
     pub name: String,
@@ -62,6 +152,27 @@ pub struct Function {
     pub ret_ty: Type,
     blocks: Vec<BasicBlock>,
     insts: Vec<Instruction>,
+    /// Per-arena-slot use lists: `users[d]` holds one entry per use of
+    /// `Value::Inst(d)` by a *placed* instruction, in recording order.
+    /// Maintained by the mutation API; excluded from structural equality
+    /// because two structurally equal functions can reach the same state
+    /// through different mutation histories (and thus list orders).
+    users: Vec<UseList>,
+    /// Per-arena-slot placement flags, maintained alongside the use lists so
+    /// "is this id still in a block" is O(1) for the optimizer's worklist.
+    placed: Vec<bool>,
+}
+
+/// Structural equality: name, signature, blocks and arena contents. The
+/// maintained use lists are derived data and deliberately not compared.
+impl PartialEq for Function {
+    fn eq(&self, other: &Self) -> bool {
+        self.name == other.name
+            && self.params == other.params
+            && self.ret_ty == other.ret_ty
+            && self.blocks == other.blocks
+            && self.insts == other.insts
+    }
 }
 
 impl Function {
@@ -73,12 +184,22 @@ impl Function {
             ret_ty,
             blocks: vec![BasicBlock::new("entry")],
             insts: Vec::new(),
+            users: Vec::new(),
+            placed: Vec::new(),
         }
     }
 
     /// Creates a function with no blocks at all (the parser uses this).
     pub fn empty(name: impl Into<String>, ret_ty: Type) -> Self {
-        Self { name: name.into(), params: Vec::new(), ret_ty, blocks: Vec::new(), insts: Vec::new() }
+        Self {
+            name: name.into(),
+            params: Vec::new(),
+            ret_ty,
+            blocks: Vec::new(),
+            insts: Vec::new(),
+            users: Vec::new(),
+            placed: Vec::new(),
+        }
     }
 
     // --- structural access ----------------------------------------------------
@@ -155,8 +276,13 @@ impl Function {
     }
 
     /// Adds an instruction to the arena (not yet placed in any block).
+    ///
+    /// Unplaced instructions contribute no uses; their operands are recorded
+    /// in the use lists when the instruction is placed.
     pub fn alloc_inst(&mut self, inst: Instruction) -> InstId {
         self.insts.push(inst);
+        self.users.resize_with(self.insts.len(), UseList::default);
+        self.placed.resize(self.insts.len(), false);
         InstId(self.insts.len() as u32 - 1)
     }
 
@@ -164,6 +290,8 @@ impl Function {
     pub fn append_inst(&mut self, block: BlockId, inst: Instruction) -> InstId {
         let id = self.alloc_inst(inst);
         self.block_mut(block).insts.push(id);
+        self.placed[id.0 as usize] = true;
+        self.note_uses(id);
         id
     }
 
@@ -172,7 +300,35 @@ impl Function {
     pub fn insert_inst(&mut self, block: BlockId, position: usize, inst: Instruction) -> InstId {
         let id = self.alloc_inst(inst);
         self.block_mut(block).insts.insert(position, id);
+        self.placed[id.0 as usize] = true;
+        self.note_uses(id);
         id
+    }
+
+    /// Inserts an instruction immediately before an already-placed one and
+    /// returns the new id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `before` is not placed in any block.
+    pub fn insert_before(&mut self, before: InstId, inst: Instruction) -> InstId {
+        let (block, position) = self
+            .position_of(before)
+            .expect("insert_before target must be placed in a block");
+        self.insert_inst(block, position, inst)
+    }
+
+    /// The `(block, index-within-block)` of a placed instruction.
+    pub fn position_of(&self, id: InstId) -> Option<(BlockId, usize)> {
+        self.iter_blocks().find_map(|(block_id, block)| {
+            block.insts.iter().position(|&i| i == id).map(|pos| (block_id, pos))
+        })
+    }
+
+    /// Returns `true` if `id` is currently placed in some block (O(1) via
+    /// the maintained placement flags).
+    pub fn is_placed(&self, id: InstId) -> bool {
+        self.placed.get(id.0 as usize).copied().unwrap_or(false)
     }
 
     /// Iterates over every instruction id currently placed in a block, in
@@ -201,45 +357,223 @@ impl Function {
 
     // --- use-def manipulation --------------------------------------------------
 
-    /// Replaces every use of `from` (an instruction result) with `to`.
-    pub fn replace_all_uses(&mut self, from: InstId, to: &Value) {
-        for inst in &mut self.insts {
-            for op in inst.kind.operands_mut() {
+    /// Records `user` in the use list of each of its instruction operands
+    /// (one entry per use). Called when `user` is placed or its kind changes.
+    fn note_uses(&mut self, user: InstId) {
+        let Self { insts, users, .. } = self;
+        insts[user.0 as usize].kind.for_each_operand(|op| {
+            if let Value::Inst(def) = op {
+                let slot = def.0 as usize;
+                if slot >= users.len() {
+                    users.resize_with(slot + 1, UseList::default);
+                }
+                users[slot].push(user);
+            }
+        });
+    }
+
+    /// Removes one use-list entry per instruction operand of `user`. Called
+    /// when `user` is erased or its kind is about to change.
+    fn forget_uses(&mut self, user: InstId) {
+        let Self { insts, users, .. } = self;
+        insts[user.0 as usize].kind.for_each_operand(|op| {
+            if let Value::Inst(def) = op {
+                users[def.0 as usize].remove_one(user);
+            }
+        });
+    }
+
+    /// Replaces every use of `from` (an instruction result) by placed
+    /// instructions with `to`, keeping the use lists coherent.
+    pub fn replace_all_uses_with(&mut self, from: InstId, to: &Value) {
+        let uses = std::mem::take(&mut self.users[from.0 as usize]);
+        for &user in uses.as_slice() {
+            let mut replaced = 0usize;
+            for op in self.insts[user.0 as usize].kind.operands_mut() {
                 if matches!(op, Value::Inst(id) if *id == from) {
                     *op = to.clone();
+                    replaced += 1;
+                }
+            }
+            // A user appears in the list once per use but we rewrite all of
+            // its matching operands on first encounter; only record the first
+            // occurrence's worth of new uses and skip later duplicates.
+            if replaced > 0 {
+                if let Value::Inst(to_id) = to {
+                    for _ in 0..replaced {
+                        self.users[to_id.0 as usize].push(user);
+                    }
                 }
             }
         }
     }
 
-    /// Removes an instruction from its block (the arena slot becomes dead).
+    /// Deprecated spelling of [`replace_all_uses_with`](Self::replace_all_uses_with).
+    pub fn replace_all_uses(&mut self, from: InstId, to: &Value) {
+        self.replace_all_uses_with(from, to);
+    }
+
+    /// Removes an instruction from its block (the arena slot becomes dead)
+    /// and drops its operands' use-list entries.
     ///
-    /// Uses of the instruction are left dangling; callers should
-    /// [`replace_all_uses`](Self::replace_all_uses) first.
+    /// Uses *of* the instruction are left dangling; callers should
+    /// [`replace_all_uses_with`](Self::replace_all_uses_with) first.
     pub fn erase_inst(&mut self, id: InstId) {
+        let mut was_placed = false;
         for block in &mut self.blocks {
+            let before = block.insts.len();
             block.insts.retain(|i| *i != id);
+            was_placed |= block.insts.len() != before;
+        }
+        if was_placed {
+            self.placed[id.0 as usize] = false;
+            self.forget_uses(id);
         }
     }
 
-    /// Returns the ids of placed instructions that use the result of `id`.
-    pub fn users_of(&self, id: InstId) -> Vec<InstId> {
-        self.iter_insts()
-            .filter(|(_, inst)| {
-                inst.kind.operands().iter().any(|op| matches!(op, Value::Inst(i) if *i == id))
-            })
-            .map(|(uid, _)| uid)
-            .collect()
+    /// Replaces operand `index` (in [`InstKind::operands`] order) of a placed
+    /// instruction, keeping the use lists coherent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range for the instruction's operand list.
+    pub fn set_operand(&mut self, user: InstId, index: usize, value: Value) {
+        let old = self.insts[user.0 as usize]
+            .kind
+            .operands()
+            .get(index)
+            .map(|op| (*op).clone())
+            .unwrap_or_else(|| panic!("operand index {index} out of range for %{}", self.inst(user).name));
+        if let Value::Inst(old_def) = old {
+            self.users[old_def.0 as usize].remove_one(user);
+        }
+        if let Value::Inst(new_def) = &value {
+            if new_def.0 as usize >= self.users.len() {
+                self.users.resize_with(new_def.0 as usize + 1, UseList::default);
+            }
+            self.users[new_def.0 as usize].push(user);
+        }
+        *self.insts[user.0 as usize].kind.operands_mut()[index] = value;
     }
 
-    /// Returns how many placed instructions use the result of `id`.
+    /// Rewrites a placed instruction's operation and result type in place,
+    /// keeping its name, position and the use lists coherent.
+    pub fn set_inst_kind(&mut self, id: InstId, kind: InstKind, ty: Type) {
+        self.forget_uses(id);
+        let inst = &mut self.insts[id.0 as usize];
+        inst.kind = kind;
+        inst.ty = ty;
+        self.note_uses(id);
+    }
+
+    /// Rebuilds every use list from a scan of the placed instructions. Needed
+    /// only after operand edits that bypassed the mutation API (e.g. direct
+    /// [`inst_mut`](Self::inst_mut) surgery).
+    pub fn rebuild_use_lists(&mut self) {
+        self.users.clear();
+        self.users.resize_with(self.insts.len(), UseList::default);
+        self.placed.clear();
+        self.placed.resize(self.insts.len(), false);
+        let placed: Vec<InstId> = self.iter_inst_ids().collect();
+        for id in placed {
+            self.placed[id.0 as usize] = true;
+            self.note_uses(id);
+        }
+    }
+
+    /// Checks the stored use lists against a fresh scan of the placed
+    /// instructions. Runs on every [`verify_function`](crate::verifier::verify_function),
+    /// so it is written to cost one counter allocation: per-slot totals must
+    /// match, and each (user, def) pair's multiplicity in the stored list
+    /// must equal its operand multiplicity — together that is exact multiset
+    /// equality without materializing or sorting the expected lists.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first incoherent list: a recorded use
+    /// that no placed instruction has, or a real use missing from the lists.
+    pub fn verify_use_lists(&self) -> Result<(), String> {
+        let mut expected_counts: Vec<u32> = vec![0; self.insts.len()];
+        for (_, inst) in self.iter_insts() {
+            for op in inst.kind.operands() {
+                if let Value::Inst(def) = op {
+                    if def.0 as usize >= expected_counts.len() {
+                        return Err(format!(
+                            "instruction '%{}' references arena slot {} beyond the arena",
+                            inst.name, def.0
+                        ));
+                    }
+                    expected_counts[def.0 as usize] += 1;
+                }
+            }
+        }
+        for (slot, &want) in expected_counts.iter().enumerate() {
+            let got = self.users.get(slot).map(|list| list.as_slice().len()).unwrap_or(0);
+            if got != want as usize {
+                return Err(format!(
+                    "use list of '%{}' is stale: {} recorded use(s), {} actual",
+                    self.insts[slot].name, got, want
+                ));
+            }
+        }
+        for (user, inst) in self.iter_insts() {
+            let operands = inst.kind.operands();
+            for (index, op) in operands.iter().enumerate() {
+                if let Value::Inst(def) = op {
+                    // Check each (user, def) pair once, at its first operand
+                    // occurrence.
+                    if operands[..index]
+                        .iter()
+                        .any(|prior| matches!(prior, Value::Inst(d) if d == def))
+                    {
+                        continue;
+                    }
+                    let multiplicity = operands
+                        .iter()
+                        .filter(|o| matches!(o, Value::Inst(d) if d == def))
+                        .count();
+                    let recorded =
+                        self.uses_of(*def).iter().filter(|&&u| u == user).count();
+                    if recorded != multiplicity {
+                        return Err(format!(
+                            "use list of '%{}' is stale: user '%{}' recorded {} time(s), used {} time(s)",
+                            self.inst(*def).name, inst.name, recorded, multiplicity
+                        ));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Raw use-list access: one entry per use of `id` by a placed
+    /// instruction, in recording order (an instruction using the value
+    /// twice appears twice).
+    pub fn uses_of(&self, id: InstId) -> &[InstId] {
+        self.users.get(id.0 as usize).map(UseList::as_slice).unwrap_or(&[])
+    }
+
+    /// Returns the ids of placed instructions that use the result of `id`
+    /// (each user once, in first-use recording order).
+    pub fn users_of(&self, id: InstId) -> Vec<InstId> {
+        let mut out: Vec<InstId> = Vec::new();
+        for &user in self.uses_of(id) {
+            if !out.contains(&user) {
+                out.push(user);
+            }
+        }
+        out
+    }
+
+    /// Returns how many placed instructions use the result of `id` (distinct
+    /// users, matching the historical whole-arena scan).
     pub fn num_users(&self, id: InstId) -> usize {
         self.users_of(id).len()
     }
 
     /// Returns `true` if the result of `id` has no users among placed instructions.
     pub fn is_unused(&self, id: InstId) -> bool {
-        self.num_users(id) == 0
+        self.users.get(id.0 as usize).map(UseList::is_empty).unwrap_or(true)
     }
 
     /// Rebuilds the arena, dropping unplaced instructions and renumbering ids.
@@ -268,6 +602,7 @@ impl Function {
             }
         }
         self.insts = new_insts;
+        self.rebuild_use_lists();
         mapping
     }
 

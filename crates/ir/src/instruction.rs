@@ -722,6 +722,54 @@ impl InstKind {
         }
     }
 
+    /// Visits every operand value in order without allocating (the hot-path
+    /// companion of [`operands`](Self::operands), used by use-list
+    /// maintenance and the worklist driver).
+    pub fn for_each_operand(&self, mut f: impl FnMut(&Value)) {
+        match self {
+            InstKind::Binary { lhs, rhs, .. }
+            | InstKind::FBinary { lhs, rhs, .. }
+            | InstKind::ICmp { lhs, rhs, .. }
+            | InstKind::FCmp { lhs, rhs, .. } => {
+                f(lhs);
+                f(rhs);
+            }
+            InstKind::Select { cond, on_true, on_false } => {
+                f(cond);
+                f(on_true);
+                f(on_false);
+            }
+            InstKind::Cast { value, .. } | InstKind::Freeze { value } => f(value),
+            InstKind::Call { args, .. } => args.iter().for_each(f),
+            InstKind::Load { ptr, .. } => f(ptr),
+            InstKind::Store { value, ptr, .. } => {
+                f(value);
+                f(ptr);
+            }
+            InstKind::Gep { base, index, .. } => {
+                f(base);
+                f(index);
+            }
+            InstKind::Alloca { .. } | InstKind::Unreachable => {}
+            InstKind::ExtractElement { vector, index } => {
+                f(vector);
+                f(index);
+            }
+            InstKind::InsertElement { vector, element, index } => {
+                f(vector);
+                f(element);
+                f(index);
+            }
+            InstKind::ShuffleVector { a, b, .. } => {
+                f(a);
+                f(b);
+            }
+            InstKind::Phi { incoming } => incoming.iter().for_each(|(v, _)| f(v)),
+            InstKind::Ret { value } => value.iter().for_each(f),
+            InstKind::Br { cond, .. } => cond.iter().for_each(f),
+        }
+    }
+
     /// Mutable references to the operand values of this instruction, in order.
     pub fn operands_mut(&mut self) -> Vec<&mut Value> {
         match self {

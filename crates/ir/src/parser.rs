@@ -1064,10 +1064,13 @@ impl<'a, 'b> FunctionParser<'a, 'b> {
                     self.p.lexer.line_text(line),
                 )
             })?;
-            if let InstKind::Phi { incoming } = &mut self.func.inst_mut(inst_id).kind {
-                if let Some(entry) = incoming.get_mut(operand_idx) {
-                    entry.0 = value;
-                }
+            // Phi incoming values are exactly the phi's operand list, so the
+            // pending operand index addresses them directly; `set_operand`
+            // keeps the function's use lists coherent with the patched value.
+            if matches!(self.func.inst(inst_id).kind, InstKind::Phi { .. })
+                && operand_idx < self.func.inst(inst_id).kind.operands().len()
+            {
+                self.func.set_operand(inst_id, operand_idx, value);
             }
         }
         Ok(())

@@ -58,6 +58,12 @@ pub fn verify_function(func: &Function) -> Result<(), VerifyError> {
         return Err(err("function has no basic blocks".into()));
     }
 
+    // The maintained def–use lists must agree with a fresh scan; a stale list
+    // means some transformation edited operands behind the mutation API.
+    if let Err(message) = func.verify_use_lists() {
+        return Err(err(format!("use-list incoherence: {message}")));
+    }
+
     // Collect placed instruction ids for def checking.
     let placed: std::collections::HashSet<_> = func.iter_inst_ids().collect();
 

@@ -1,0 +1,290 @@
+//! Coverage for the use-list-maintaining mutation API of [`Function`]:
+//! coherence after `replace_all_uses_with` / `erase_inst` / `insert_before` /
+//! `set_operand` / `set_inst_kind` (including phi and terminator operands),
+//! verifier rejection of stale lists, and a randomized mutate-then-verify
+//! loop driven by the vendored `rand`.
+
+use lpo_ir::builder::FunctionBuilder;
+use lpo_ir::constant::Constant;
+use lpo_ir::function::Function;
+use lpo_ir::instruction::{BinOp, ICmpPred, InstId, InstKind, Instruction, Value};
+use lpo_ir::parser::parse_function;
+use lpo_ir::types::Type;
+use lpo_ir::verifier::verify_function;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn chain(n: usize) -> Function {
+    let mut b = FunctionBuilder::new("chain", Type::i32());
+    let x = b.add_param("x", Type::i32());
+    let mut value = x;
+    for i in 0..n {
+        value = b.add(value, Value::int(32, i as u128 + 1));
+    }
+    b.ret(Some(value));
+    b.build()
+}
+
+#[test]
+fn use_lists_track_terminator_and_repeated_uses() {
+    let mut b = FunctionBuilder::new("f", Type::i32());
+    let x = b.add_param("x", Type::i32());
+    let a = b.add(x.clone(), Value::int(32, 1));
+    let doubled = b.add(a.clone(), a.clone()); // two uses by one instruction
+    b.ret(Some(doubled.clone()));
+    let f = b.build();
+    let a_id = a.as_inst().unwrap();
+    let d_id = doubled.as_inst().unwrap();
+    assert_eq!(f.uses_of(a_id).len(), 2, "one entry per use");
+    assert_eq!(f.users_of(a_id), vec![d_id], "distinct users deduplicated");
+    assert_eq!(f.num_users(a_id), 1);
+    // The `ret` terminator is a user like any other.
+    assert_eq!(f.num_users(d_id), 1);
+    assert!(!f.is_unused(d_id));
+    f.verify_use_lists().unwrap();
+}
+
+#[test]
+fn replace_all_uses_with_keeps_lists_coherent() {
+    let mut func = chain(4);
+    let first = func.block(func.entry()).insts[0];
+    let second = func.block(func.entry()).insts[1];
+    func.replace_all_uses_with(first, &Value::Const(Constant::int(32, 9)));
+    assert!(func.is_unused(first));
+    func.verify_use_lists().unwrap();
+    verify_function(&func).unwrap();
+
+    // Replacing with another instruction's result moves the use entries.
+    let third = func.block(func.entry()).insts[2];
+    func.replace_all_uses_with(third, &Value::Inst(second));
+    assert!(func.is_unused(third));
+    assert!(func.uses_of(second).len() >= 2);
+    func.erase_inst(third);
+    func.verify_use_lists().unwrap();
+    verify_function(&func).unwrap();
+}
+
+#[test]
+fn erase_inst_drops_operand_uses_and_tolerates_unplaced_ids() {
+    let mut func = chain(3);
+    let first = func.block(func.entry()).insts[0];
+    let second = func.block(func.entry()).insts[1];
+    func.replace_all_uses_with(second, &Value::Const(Constant::int(32, 5)));
+    func.erase_inst(second);
+    // `second` no longer uses `first`.
+    assert!(func.is_unused(first));
+    // Erasing an already-erased id is a no-op, not a double-forget.
+    func.erase_inst(second);
+    func.verify_use_lists().unwrap();
+}
+
+#[test]
+fn insert_before_and_set_operand_update_lists() {
+    let mut func = chain(2);
+    let first = func.block(func.entry()).insts[0];
+    let second = func.block(func.entry()).insts[1];
+    let mul = func.insert_before(
+        second,
+        Instruction::new(
+            InstKind::Binary {
+                op: BinOp::Mul,
+                lhs: Value::Inst(first),
+                rhs: Value::int(32, 3),
+                flags: Default::default(),
+            },
+            Type::i32(),
+            "m",
+        ),
+    );
+    assert_eq!(func.block(func.entry()).insts[1], mul);
+    assert_eq!(func.num_users(first), 2);
+    func.verify_use_lists().unwrap();
+
+    // Point the second add at the new mul instead of the first add.
+    func.set_operand(second, 0, Value::Inst(mul));
+    assert_eq!(func.num_users(first), 1, "use moved off the first add");
+    assert_eq!(func.num_users(mul), 1);
+    func.verify_use_lists().unwrap();
+    verify_function(&func).unwrap();
+}
+
+#[test]
+fn set_inst_kind_swaps_operand_uses() {
+    let mut func = chain(3);
+    let entry = func.entry();
+    let first = func.block(entry).insts[0];
+    let third = func.block(entry).insts[2];
+    // Rewrite the third add to consume the first add directly.
+    func.set_inst_kind(
+        third,
+        InstKind::Binary {
+            op: BinOp::Xor,
+            lhs: Value::Inst(first),
+            rhs: Value::int(32, 7),
+            flags: Default::default(),
+        },
+        Type::i32(),
+    );
+    let second = func.block(entry).insts[1];
+    assert!(func.is_unused(second));
+    assert_eq!(func.num_users(first), 2);
+    func.verify_use_lists().unwrap();
+    verify_function(&func).unwrap();
+}
+
+#[test]
+fn phi_operands_are_tracked_through_parse_and_mutation() {
+    let mut func = parse_function(
+        "define i32 @sum(i32 %n) {\n\
+         entry:\n  br label %header\n\
+         header:\n\
+           %i = phi i32 [ 0, %entry ], [ %j, %header ]\n\
+           %j = add i32 %i, 1\n\
+           %c = icmp ult i32 %j, %n\n\
+           br i1 %c, label %header, label %exit\n\
+         exit:\n  ret i32 %j\n}",
+    )
+    .unwrap();
+    func.verify_use_lists().unwrap();
+    let phi = func.inst_by_name("i").unwrap();
+    let j = func.inst_by_name("j").unwrap();
+    // The phi's back-edge value is a use of %j recorded by the parser's
+    // pending-phi resolution.
+    assert!(func.uses_of(j).contains(&phi));
+    // Redirect the back edge through set_operand and re-check coherence.
+    func.set_operand(phi, 1, Value::int(32, 0));
+    assert!(!func.uses_of(j).contains(&phi));
+    func.verify_use_lists().unwrap();
+    verify_function(&func).unwrap();
+}
+
+#[test]
+fn verifier_rejects_stale_use_lists() {
+    let mut func = chain(2);
+    let first = func.block(func.entry()).insts[0];
+    // Bypass the mutation API: edit an operand through `inst_mut`.
+    let second = func.block(func.entry()).insts[1];
+    for op in func.inst_mut(second).kind.operands_mut() {
+        if matches!(op, Value::Inst(id) if *id == first) {
+            *op = Value::int(32, 1);
+        }
+    }
+    let err = verify_function(&func).unwrap_err();
+    assert!(
+        err.message.contains("use-list incoherence"),
+        "unexpected error: {}",
+        err.message
+    );
+    // `rebuild_use_lists` repairs the damage.
+    func.rebuild_use_lists();
+    verify_function(&func).unwrap();
+}
+
+/// Proptest-style randomized loop: apply a random sequence of API mutations
+/// and re-check use-list coherence plus full verification after each step.
+#[test]
+fn randomized_mutate_then_verify() {
+    for seed in 0..24u64 {
+        let mut rng = StdRng::seed_from_u64(0x1f00d + seed);
+        let mut func = chain(6);
+        for step in 0..40 {
+            let placed: Vec<InstId> =
+                func.iter_inst_ids().filter(|id| !func.inst(*id).is_terminator()).collect();
+            if placed.is_empty() {
+                break;
+            }
+            let victim = placed[rng.gen_range(0..placed.len())];
+            match rng.gen_range(0..5u32) {
+                0 => {
+                    // RAUW with a constant, then erase when dead.
+                    func.replace_all_uses_with(victim, &Value::int(32, rng.gen_range(0..64u32) as u128));
+                    if func.is_unused(victim) {
+                        func.erase_inst(victim);
+                    }
+                }
+                1 => {
+                    // RAUW with another placed instruction of the same type.
+                    let same_ty: Vec<InstId> = placed
+                        .iter()
+                        .copied()
+                        .filter(|&other| other != victim && func.inst(other).ty == func.inst(victim).ty)
+                        .collect();
+                    if let Some(&other) = same_ty.first() {
+                        func.replace_all_uses_with(victim, &Value::Inst(other));
+                        if func.is_unused(victim) {
+                            func.erase_inst(victim);
+                        }
+                    }
+                }
+                2 => {
+                    // Insert a helper immediately before the victim and wire
+                    // the victim's first operand through it.
+                    let operand = func.inst(victim).kind.operands().first().map(|op| (*op).clone());
+                    if let Some(operand) = operand {
+                        if func.value_type(&operand) == Type::i32() {
+                            let helper = func.insert_before(
+                                victim,
+                                Instruction::new(
+                                    InstKind::Binary {
+                                        op: BinOp::Xor,
+                                        lhs: operand,
+                                        rhs: Value::int(32, step as u128 + 1),
+                                        flags: Default::default(),
+                                    },
+                                    Type::i32(),
+                                    format!("h{seed}.{step}"),
+                                ),
+                            );
+                            func.set_operand(victim, 0, Value::Inst(helper));
+                        }
+                    }
+                }
+                3 => {
+                    // Mutate the kind in place.
+                    let ops: Vec<Value> =
+                        func.inst(victim).kind.operands().iter().map(|op| (*op).clone()).collect();
+                    if func.inst(victim).ty == Type::i32() && !ops.is_empty() {
+                        let lhs = ops[0].clone();
+                        func.set_inst_kind(
+                            victim,
+                            InstKind::Binary {
+                                op: if rng.gen_bool(0.5) { BinOp::Or } else { BinOp::And },
+                                lhs,
+                                rhs: Value::int(32, 0xff),
+                                flags: Default::default(),
+                            },
+                            Type::i32(),
+                        );
+                    }
+                }
+                _ => {
+                    // Compare against an icmp consumer wired via set_operand.
+                    if func.inst(victim).ty == Type::i32() {
+                        let cmp = func.insert_before(
+                            *func.block(func.entry()).insts.last().unwrap(),
+                            Instruction::new(
+                                InstKind::ICmp {
+                                    pred: ICmpPred::Ult,
+                                    lhs: Value::Inst(victim),
+                                    rhs: Value::int(32, 100),
+                                },
+                                Type::i1(),
+                                format!("c{seed}.{step}"),
+                            ),
+                        );
+                        assert!(func.uses_of(victim).contains(&cmp));
+                    }
+                }
+            }
+            func.verify_use_lists().unwrap_or_else(|e| {
+                panic!("seed {seed} step {step}: incoherent use lists: {e}")
+            });
+            verify_function(&func)
+                .unwrap_or_else(|e| panic!("seed {seed} step {step}: verifier rejected: {e}"));
+        }
+        // Compaction preserves coherence and verification.
+        func.compact();
+        func.verify_use_lists().unwrap();
+        verify_function(&func).unwrap();
+    }
+}

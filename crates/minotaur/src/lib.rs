@@ -131,6 +131,13 @@ pub fn superoptimize(func: &Function) -> MinotaurResult {
             modeled: Duration::from_secs(2),
         };
     }
+    // Stage 1, source side, **once per case** and text-free: the template
+    // scan and the verifier both work on the canonical `Function` value, the
+    // same form `opt` would hand the real tool. Extracted corpus sequences
+    // are canonical fixpoints already, so table outcomes are unchanged.
+    let mut canonical = func.clone();
+    let _ = lpo_opt::pipeline::Pipeline::default().run(&mut canonical);
+    let func = &canonical;
     let tv = TvConfig { inputs: InputConfig { exhaustive_bits: 10, random_samples: 48, seed: 0x3140 } };
     // All templates verify against the same source: cache its per-input
     // outcomes and reuse one evaluation arena across the whole scan.

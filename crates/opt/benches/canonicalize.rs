@@ -1,0 +1,133 @@
+//! Microbenchmarks for the canonicalization hot path: the worklist-driven
+//! `-O2` engine against the retained rescan-to-fixpoint reference, on the
+//! workload shapes Stage 1 sees (following `crates/interp/benches/eval.rs`).
+//!
+//! * `worklist_straight` / `reference_straight` — a straight-line integer
+//!   chain with sparse foldable redundancies, the extracted-sequence shape;
+//! * `worklist_branchy` / `reference_branchy` — a multi-block diamond with
+//!   per-arm redundancies, exercising the RPO sweep;
+//! * `worklist_phi` / `reference_phi` — a phi-heavy counted loop, the shape
+//!   where use lists must track phi and terminator operands;
+//! * `worklist_fixpoint` / `reference_fixpoint` — the Figure 1 clamp, an
+//!   already-canonical input (the per-candidate confirmation pass).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lpo_ir::function::Function;
+use lpo_ir::parser::parse_function;
+use lpo_opt::pipeline::{OptLevel, Pipeline};
+
+fn straight_line() -> Function {
+    // 4 live multiply-accumulate steps, each followed by a foldable identity.
+    let mut text = String::from("define i32 @straight(i32 %x, i32 %y) {\n");
+    let mut prev = "%x".to_string();
+    for i in 0..4 {
+        text.push_str(&format!(" %m{i} = mul i32 {prev}, 3\n"));
+        text.push_str(&format!(" %r{i} = add i32 %m{i}, 0\n"));
+        text.push_str(&format!(" %a{i} = add i32 %r{i}, %y\n"));
+        prev = format!("%a{i}");
+    }
+    text.push_str(&format!(" ret i32 {prev}\n}}"));
+    parse_function(&text).unwrap()
+}
+
+fn branchy() -> Function {
+    parse_function(
+        "define i32 @branchy(i32 %x, i32 %y) {\n\
+         entry:\n\
+           %c = icmp slt i32 %x, 0\n\
+           br i1 %c, label %neg, label %pos\n\
+         neg:\n\
+           %n1 = sub i32 0, %x\n\
+           %n2 = add i32 %n1, 0\n\
+           %n3 = mul i32 %n2, 4\n\
+           br label %join\n\
+         pos:\n\
+           %p1 = mul i32 %x, 1\n\
+           %p2 = shl i32 %p1, 2\n\
+           br label %join\n\
+         join:\n\
+           %v = phi i32 [ %n3, %neg ], [ %p2, %pos ]\n\
+           %w = xor i32 %v, 0\n\
+           %out = add i32 %w, %y\n\
+           ret i32 %out\n}",
+    )
+    .unwrap()
+}
+
+fn phi_heavy() -> Function {
+    parse_function(
+        "define i32 @phis(i32 %n) {\n\
+         entry:\n  br label %header\n\
+         header:\n\
+           %i = phi i32 [ 0, %entry ], [ %i.next, %body ]\n\
+           %acc = phi i32 [ 0, %entry ], [ %acc.next, %body ]\n\
+           %aux = phi i32 [ 1, %entry ], [ %aux.next, %body ]\n\
+           %cmp = icmp slt i32 %i, %n\n\
+           br i1 %cmp, label %body, label %exit\n\
+         body:\n\
+           %t = add i32 %acc, 0\n\
+           %acc.next = add i32 %t, %i\n\
+           %aux.next = mul i32 %aux, 1\n\
+           %i.next = add i32 %i, 1\n\
+           br label %header\n\
+         exit:\n  ret i32 %acc\n}",
+    )
+    .unwrap()
+}
+
+fn fixpoint() -> Function {
+    parse_function(
+        "define i8 @clamp(i32 %0) {\n\
+         %2 = icmp slt i32 %0, 0\n\
+         %3 = call i32 @llvm.umin.i32(i32 %0, i32 255)\n\
+         %4 = trunc nuw i32 %3 to i8\n\
+         %5 = select i1 %2, i8 0, i8 %4\n\
+         ret i8 %5\n}",
+    )
+    .unwrap()
+}
+
+fn bench_shape(c: &mut Criterion, name: &str, func: &Function) {
+    let pipeline = Pipeline::new(OptLevel::O2);
+    // The two engines must agree before we time them.
+    let mut a = func.clone();
+    let mut b = func.clone();
+    pipeline.run(&mut a);
+    pipeline.optimize_reference(&mut b);
+    assert_eq!(
+        lpo_ir::printer::print_function(&a),
+        lpo_ir::printer::print_function(&b),
+        "engines diverged on {name}"
+    );
+    c.bench_function(&format!("worklist_{name}"), |bench| {
+        bench.iter(|| {
+            let mut scratch = func.clone();
+            pipeline.run(&mut scratch).total_hits()
+        })
+    });
+    c.bench_function(&format!("reference_{name}"), |bench| {
+        bench.iter(|| {
+            let mut scratch = func.clone();
+            pipeline.optimize_reference(&mut scratch).total_hits()
+        })
+    });
+}
+
+fn bench_straight(c: &mut Criterion) {
+    bench_shape(c, "straight", &straight_line());
+}
+
+fn bench_branchy(c: &mut Criterion) {
+    bench_shape(c, "branchy", &branchy());
+}
+
+fn bench_phi(c: &mut Criterion) {
+    bench_shape(c, "phi", &phi_heavy());
+}
+
+fn bench_fixpoint(c: &mut Criterion) {
+    bench_shape(c, "fixpoint", &fixpoint());
+}
+
+criterion_group!(benches, bench_straight, bench_branchy, bench_phi, bench_fixpoint);
+criterion_main!(benches);

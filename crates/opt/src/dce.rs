@@ -1,16 +1,64 @@
 //! Dead code elimination: removes side-effect-free instructions whose results
-//! are never used, iterating until no more can be removed.
+//! are never used.
+//!
+//! The worklist engine sweeps dead instructions incrementally — it calls
+//! [`is_trivially_dead`] on pop, driven by the use counts `lpo-ir` maintains.
+//! [`eliminate_dead_code`] remains the whole-function pass the reference
+//! rescan pipeline runs at the end of each iteration.
 
 use lpo_ir::function::Function;
+use lpo_ir::instruction::InstId;
 
-/// Removes dead instructions. Returns `true` if anything was removed.
+/// Returns `true` when removing the instruction cannot change behaviour:
+/// it produces a value, has no side effects, and no placed instruction uses
+/// it. O(1) thanks to the function's maintained use lists.
+pub fn is_trivially_dead(func: &Function, id: InstId) -> bool {
+    let inst = func.inst(id);
+    inst.produces_value() && !inst.kind.has_side_effects() && func.is_unused(id)
+}
+
+/// Removes dead instructions, iterating until no more can be removed.
+/// Returns `true` if anything was removed.
 pub fn eliminate_dead_code(func: &mut Function) -> bool {
     let mut changed = false;
     loop {
         let dead: Vec<_> = func
             .iter_insts()
+            .filter(|(id, _)| is_trivially_dead(func, *id))
+            .map(|(id, _)| id)
+            .collect();
+        if dead.is_empty() {
+            return changed;
+        }
+        for id in dead {
+            func.erase_inst(id);
+        }
+        changed = true;
+    }
+}
+
+/// The pre-use-list DCE, kept verbatim for
+/// [`Pipeline::optimize_reference`](crate::pipeline::Pipeline::optimize_reference):
+/// every "is this value unused" query rescans the whole arena, the way the
+/// seed architecture answered it before `lpo-ir` maintained use lists. The
+/// results are identical to [`eliminate_dead_code`]; only the cost model
+/// differs (O(n²) per sweep vs O(n)), which is exactly what
+/// `repro bench-opt` measures the worklist engine against.
+pub fn eliminate_dead_code_reference(func: &mut Function) -> bool {
+    fn is_unused_scan(func: &Function, id: InstId) -> bool {
+        !func.iter_insts().any(|(_, inst)| {
+            inst.kind
+                .operands()
+                .iter()
+                .any(|op| matches!(op, lpo_ir::instruction::Value::Inst(i) if *i == id))
+        })
+    }
+    let mut changed = false;
+    loop {
+        let dead: Vec<_> = func
+            .iter_insts()
             .filter(|(id, inst)| {
-                inst.produces_value() && !inst.kind.has_side_effects() && func.is_unused(*id)
+                inst.produces_value() && !inst.kind.has_side_effects() && is_unused_scan(func, *id)
             })
             .map(|(id, _)| id)
             .collect();

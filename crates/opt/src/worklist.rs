@@ -1,0 +1,240 @@
+//! The worklist behind the canonicalization engine.
+//!
+//! LLVM's InstCombine is worklist-driven because rescanning the whole
+//! function to a fixpoint does not scale: most rule applications only affect
+//! a small neighbourhood of the rewritten instruction. [`Worklist`] tracks
+//! which instructions still need a visit as a dense dirty set over the
+//! instruction arena, deduplicated by construction (an instruction is dirty
+//! or not — queueing it twice is one visit).
+//!
+//! The driver in [`crate::pipeline::Pipeline::run`] seeds every placed
+//! instruction, then sweeps block positions in layout order, visiting only
+//! dirty instructions: a clean position costs one bit check instead of a
+//! full rule scan, and the sweep repeats only while rewrites re-dirty
+//! instructions behind the cursor. Because the sweep follows the same
+//! positional order as the retained rescan engine — the same block order,
+//! including re-examining the current position after a hit — the two print
+//! byte-identical results;
+//! the worklist engine just skips the (vast majority of) clean positions and
+//! replaces the whole-function DCE pass with a trivially-dead check on
+//! visit, driven by the use counts `lpo-ir` maintains.
+
+use lpo_ir::function::Function;
+use lpo_ir::instruction::{BlockId, InstId, InstKind};
+
+/// A dense dirty set of instruction ids awaiting a visit.
+#[derive(Debug, Default)]
+pub struct Worklist {
+    dirty: Vec<bool>,
+    pending: usize,
+}
+
+impl Worklist {
+    /// An empty worklist sized for a function's arena.
+    pub fn with_capacity(arena_len: usize) -> Self {
+        Self { dirty: vec![false; arena_len], pending: 0 }
+    }
+
+    /// A worklist with every placed non-terminator instruction of `func`
+    /// marked. Terminators are never seeded: no rewrite rule matches one and
+    /// they are never trivially dead, so visiting them is pure overhead (the
+    /// rescan engine pays a full rule scan per terminator per iteration).
+    pub fn seeded(func: &Function) -> Self {
+        let mut list = Self::with_capacity(func.inst_arena_len());
+        for (id, inst) in func.iter_insts() {
+            if !inst.is_terminator() {
+                list.mark(id);
+            }
+        }
+        list
+    }
+
+    /// Marks an instruction as needing a visit. Returns `true` if it was not
+    /// already marked.
+    pub fn mark(&mut self, id: InstId) -> bool {
+        let slot = id.0 as usize;
+        if slot >= self.dirty.len() {
+            self.dirty.resize(slot + 1, false);
+        }
+        if self.dirty[slot] {
+            return false;
+        }
+        self.dirty[slot] = true;
+        self.pending += 1;
+        true
+    }
+
+    /// Claims a visit: clears the mark and returns whether it was set.
+    pub fn take(&mut self, id: InstId) -> bool {
+        match self.dirty.get_mut(id.0 as usize) {
+            Some(flag) if *flag => {
+                *flag = false;
+                self.pending -= 1;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Returns `true` if the instruction is currently marked.
+    pub fn is_marked(&self, id: InstId) -> bool {
+        self.dirty.get(id.0 as usize).copied().unwrap_or(false)
+    }
+
+    /// Number of marked instructions.
+    pub fn pending(&self) -> usize {
+        self.pending
+    }
+
+    /// Returns `true` when nothing is marked.
+    pub fn is_empty(&self) -> bool {
+        self.pending == 0
+    }
+}
+
+/// The blocks of `func` in reverse post-order of the control-flow graph,
+/// starting from the entry block; unreachable blocks are appended in layout
+/// order so every block appears exactly once. A CFG utility for analyses —
+/// the pipeline driver deliberately sweeps in *layout* order instead, to
+/// stay byte-identical with the rescan reference (helper names from
+/// expanding rules depend on visit order).
+pub fn block_rpo(func: &Function) -> Vec<BlockId> {
+    let block_count = func.blocks().len();
+    if block_count == 0 {
+        return Vec::new();
+    }
+    if block_count == 1 {
+        // Single-block fast path: the overwhelmingly common shape for
+        // extracted peephole sequences.
+        return vec![func.entry()];
+    }
+    let mut visited = vec![false; block_count];
+    let mut postorder: Vec<BlockId> = Vec::with_capacity(block_count);
+    // Iterative DFS with an explicit (block, next-successor) stack.
+    let mut stack: Vec<(BlockId, usize)> = vec![(func.entry(), 0)];
+    visited[func.entry().0 as usize] = true;
+    while let Some(top) = stack.last_mut() {
+        let block = top.0;
+        let succs = block_successors(func, block);
+        if top.1 < succs.len() {
+            let succ = succs[top.1];
+            top.1 += 1;
+            if !visited[succ.0 as usize] {
+                visited[succ.0 as usize] = true;
+                stack.push((succ, 0));
+            }
+        } else {
+            postorder.push(block);
+            stack.pop();
+        }
+    }
+    let mut rpo: Vec<BlockId> = postorder.into_iter().rev().collect();
+    for (idx, seen) in visited.iter().enumerate() {
+        if !seen {
+            rpo.push(BlockId(idx as u32));
+        }
+    }
+    rpo
+}
+
+/// The successor blocks of `block`, from its terminator.
+fn block_successors(func: &Function, block: BlockId) -> Vec<BlockId> {
+    match func.block(block).insts.last() {
+        Some(&last) => match &func.inst(last).kind {
+            InstKind::Br { then_block, else_block, .. } => {
+                let mut out = vec![*then_block];
+                if let Some(else_block) = else_block {
+                    if else_block != then_block {
+                        out.push(*else_block);
+                    }
+                }
+                out
+            }
+            _ => Vec::new(),
+        },
+        None => Vec::new(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lpo_ir::parser::parse_function;
+
+    #[test]
+    fn mark_take_dedup() {
+        let mut list = Worklist::with_capacity(4);
+        assert!(list.mark(InstId(0)));
+        assert!(!list.mark(InstId(0)), "double mark is one visit");
+        assert!(list.mark(InstId(1)));
+        assert_eq!(list.pending(), 2);
+        assert!(list.is_marked(InstId(0)));
+        assert!(list.take(InstId(0)));
+        assert!(!list.take(InstId(0)), "a visit can only be claimed once");
+        assert!(!list.is_marked(InstId(0)));
+        assert!(list.take(InstId(1)));
+        assert!(list.is_empty());
+        // Re-marking after a take works (the revisit case).
+        assert!(list.mark(InstId(1)));
+        assert_eq!(list.pending(), 1);
+    }
+
+    #[test]
+    fn grows_past_initial_capacity() {
+        let mut list = Worklist::with_capacity(1);
+        assert!(list.mark(InstId(40)));
+        assert!(!list.mark(InstId(40)));
+        assert_eq!(list.pending(), 1);
+        assert!(list.take(InstId(40)));
+        assert!(!list.take(InstId(77)), "unknown ids are never marked");
+    }
+
+    #[test]
+    fn seeding_covers_every_placed_instruction() {
+        let func = parse_function(
+            "define i32 @sum(i32 %n) {\n\
+             entry:\n  br label %header\n\
+             header:\n\
+               %i = phi i32 [ 0, %entry ], [ %j, %header ]\n\
+               %j = add i32 %i, 1\n\
+               %c = icmp ult i32 %j, %n\n\
+               br i1 %c, label %header, label %exit\n\
+             exit:\n  ret i32 %j\n}",
+        )
+        .unwrap();
+        let mut list = Worklist::seeded(&func);
+        // Every placed instruction except the terminators (no rule can
+        // match one, so seeding them would be pure overhead).
+        assert_eq!(list.pending(), func.instruction_count());
+        let mut seen = 0;
+        for id in func.iter_inst_ids() {
+            if list.take(id) {
+                seen += 1;
+            }
+        }
+        assert_eq!(seen, func.instruction_count());
+        assert!(list.is_empty());
+    }
+
+    #[test]
+    fn rpo_of_a_diamond() {
+        let func = parse_function(
+            "define i32 @f(i32 %x) {\n\
+             entry:\n  %c = icmp eq i32 %x, 0\n  br i1 %c, label %a, label %b\n\
+             a:\n  br label %exit\n\
+             b:\n  br label %exit\n\
+             exit:\n  ret i32 %x\n}",
+        )
+        .unwrap();
+        let rpo = block_rpo(&func);
+        assert_eq!(rpo.len(), 4);
+        assert_eq!(rpo[0], func.entry());
+        // `exit` must come after both of its predecessors.
+        let pos = |name: &str| {
+            let id = func.block_by_name(name).unwrap();
+            rpo.iter().position(|b| *b == id).unwrap()
+        };
+        assert!(pos("exit") > pos("a"));
+        assert!(pos("exit") > pos("b"));
+    }
+}

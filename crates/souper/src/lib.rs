@@ -209,6 +209,14 @@ pub fn superoptimize(func: &Function, config: &SouperConfig) -> SouperResult {
             candidates_tried: 0,
         };
     }
+    // Stage 1, source side, **once per case** and text-free: the search sees
+    // the sequence as `opt` would hand it over, as a `Function` value.
+    // Corpus sequences are extracted as canonical fixpoints, so this is a
+    // cheap confirmation pass there; it replaces nothing per candidate —
+    // enumerated candidates are built canonical by construction.
+    let mut canonical = func.clone();
+    let _ = lpo_opt::pipeline::Pipeline::default().run(&mut canonical);
+    let func = &canonical;
     // One cached case per source: the enumerative search verifies up to
     // `candidate_budget` candidates against the same function, so the test
     // inputs and the source's per-input outcomes are computed exactly once,
@@ -252,21 +260,32 @@ pub fn superoptimize(func: &Function, config: &SouperConfig) -> SouperResult {
         }
     }
 
-    // Depth 0: the replacement must be an existing value or a constant.
+    // Depth 0: the replacement must be an existing value or a constant. One
+    // scratch function is built on first use and re-pointed per candidate
+    // with `set_operand` — the use-list-maintaining mutation API makes a
+    // candidate cost one operand swap instead of a whole-function build.
     let mut leaf_candidates: Vec<Value> = pool.clone();
     for c in &constants {
         if Some(c.width()) == ret_ty.int_width() {
             leaf_candidates.push(Value::Const(lpo_ir::constant::Constant::Int(*c)));
         }
     }
+    let mut leaf_scratch: Option<Function> = None;
     for candidate in &leaf_candidates {
         tried += 1;
         if func.value_type(candidate) != ret_ty || original_cost == 0 {
             continue;
         }
-        let replacement = leaf_function(func, candidate.clone());
-        if case.verify_with(&replacement, &mut arena).is_correct() {
-            return finish(start, Outcome::Found(replacement), tried, config);
+        let replacement = match &mut leaf_scratch {
+            slot @ None => slot.insert(leaf_function(func, candidate.clone())),
+            Some(scratch) => {
+                let ret_id = *scratch.block(scratch.entry()).insts.last().expect("leaf has a ret");
+                scratch.set_operand(ret_id, 0, candidate.clone());
+                scratch
+            }
+        };
+        if case.verify_with(replacement, &mut arena).is_correct() {
+            return finish(start, Outcome::Found(replacement.clone()), tried, config);
         }
     }
 
@@ -281,6 +300,8 @@ pub fn superoptimize(func: &Function, config: &SouperConfig) -> SouperResult {
         // Comparison-shaped results first when the function returns i1: this is
         // the cheapest part of the space and where boolean sources usually land.
         if ret_ty == Type::i1() {
+            // One scratch comparison, rewritten in place per (pred, a, b).
+            let mut icmp_scratch: Option<Function> = None;
             for pred in ICmpPred::ALL {
                 for a in &widths {
                     for b in widths.iter().chain(const_values.iter()) {
@@ -291,20 +312,40 @@ pub fn superoptimize(func: &Function, config: &SouperConfig) -> SouperResult {
                         if func.value_type(a) != func.value_type(b) || !func.value_type(a).is_int() {
                             continue;
                         }
-                        let candidate = icmp_function(func, pred, a.clone(), b.clone());
+                        let candidate = match &mut icmp_scratch {
+                            slot @ None => slot.insert(icmp_function(func, pred, a.clone(), b.clone())),
+                            Some(scratch) => {
+                                let cmp_id = scratch.block(scratch.entry()).insts[0];
+                                scratch.set_inst_kind(
+                                    cmp_id,
+                                    InstKind::ICmp { pred, lhs: a.clone(), rhs: b.clone() },
+                                    Type::i1(),
+                                );
+                                scratch
+                            }
+                        };
                         if candidate.instruction_count() < original_cost
-                            && case.verify_with(&candidate, &mut arena).is_correct()
+                            && case.verify_with(candidate, &mut arena).is_correct()
                         {
-                            return finish(start, Outcome::Found(candidate), tried, config);
+                            return finish(start, Outcome::Found(candidate.clone()), tried, config);
                         }
                     }
                 }
             }
         }
+        /// Frontier cap per level (real Souper prunes aggressively).
+        const FRONTIER_CAP: usize = 256;
         let mut frontier: Vec<Function> = vec![skeleton(func)];
         for _level in 0..config.enum_depth {
             let mut next = Vec::new();
             for base in &frontier {
+                // One scratch per base: the base body plus a synthesized
+                // instruction slot and a `ret` of it, built once; each
+                // enumerated candidate is one `set_inst_kind` on the slot
+                // instead of a clone–erase–append round (the mutation API
+                // keeps the use lists coherent through the rewrites).
+                let (mut scratch, synth_id) = extension_scratch(base, &ret_ty);
+                let scratch_cost = scratch.instruction_count();
                 for op in BinOp::ALL {
                     let synthesized = synth_values(base);
                     for a in widths.iter().chain(const_values.iter()).chain(synthesized.iter()) {
@@ -312,25 +353,36 @@ pub fn superoptimize(func: &Function, config: &SouperConfig) -> SouperResult {
                             if tried >= config.candidate_budget {
                                 return finish(start, Outcome::Timeout, tried, config);
                             }
-                            let Some(candidate) = extend(base, op, a, b, &ret_ty) else {
+                            let a_ty = base.value_type(a);
+                            if a_ty != base.value_type(b) || !a_ty.is_int() || a_ty != ret_ty {
                                 continue;
-                            };
+                            }
                             tried += 1;
                             if modeled_time(tried, config) > config.timeout {
                                 return finish(start, Outcome::Timeout, tried, config);
                             }
-                            if candidate.instruction_count() < original_cost
-                                && case.verify_with(&candidate, &mut arena).is_correct()
+                            scratch.set_inst_kind(
+                                synth_id,
+                                InstKind::Binary {
+                                    op,
+                                    lhs: a.clone(),
+                                    rhs: b.clone(),
+                                    flags: IntFlags::none(),
+                                },
+                                a_ty,
+                            );
+                            if scratch_cost < original_cost
+                                && case.verify_with(&scratch, &mut arena).is_correct()
                             {
-                                return finish(start, Outcome::Found(candidate), tried, config);
+                                return finish(start, Outcome::Found(scratch.clone()), tried, config);
                             }
-                            next.push(candidate);
+                            if next.len() < FRONTIER_CAP {
+                                next.push(scratch.clone());
+                            }
                         }
                     }
                 }
             }
-            // Only keep a slice of the frontier: real Souper prunes aggressively.
-            next.truncate(256);
             frontier = next;
         }
     }
@@ -374,32 +426,37 @@ fn synth_values(base: &Function) -> Vec<Value> {
         .collect()
 }
 
-/// Extends a partial candidate with one more binary instruction and returns it
-/// as a complete function whose return value is the new instruction.
-fn extend(base: &Function, op: BinOp, a: &Value, b: &Value, ret_ty: &Type) -> Option<Function> {
-    let a_ty = base.value_type(a);
-    if a_ty != base.value_type(b) || !a_ty.is_int() || &a_ty != ret_ty {
-        return None;
-    }
+/// Builds the per-base enumeration scratch: the base body with one
+/// synthesized binary-instruction slot (a placeholder immediately rewritten
+/// by `set_inst_kind` per candidate) and a `ret` of that slot. Any `ret`
+/// left by a previous extension level is dropped first, exactly as the old
+/// per-candidate `extend` did.
+fn extension_scratch(base: &Function, ret_ty: &Type) -> (Function, lpo_ir::instruction::InstId) {
     let mut f = base.clone();
     let entry = f.entry();
-    // Drop any ret left by a previous extension so the new value terminates the body.
     if let Some(&last) = f.block(entry).insts.last() {
         if f.inst(last).is_terminator() {
             f.erase_inst(last);
         }
     }
     let name = format!("s{}", f.total_instruction_count());
+    let width = ret_ty.int_width().unwrap_or(32);
+    let placeholder = Value::int(width, 0);
     let id = f.append_inst(
         entry,
         Instruction::new(
-            InstKind::Binary { op, lhs: a.clone(), rhs: b.clone(), flags: IntFlags::none() },
-            a_ty.clone(),
+            InstKind::Binary {
+                op: BinOp::Add,
+                lhs: placeholder.clone(),
+                rhs: placeholder,
+                flags: IntFlags::none(),
+            },
+            ret_ty.clone(),
             name,
         ),
     );
     f.append_inst(entry, Instruction::new(InstKind::Ret { value: Some(Value::Inst(id)) }, Type::Void, ""));
-    Some(f)
+    (f, id)
 }
 
 /// A single-icmp candidate for boolean-returning sources.
