@@ -7,6 +7,7 @@
 //! cargo run -p lpo-bench --release --bin repro -- table4 --samples 500 --jobs 0
 //! cargo run -p lpo-bench --release --bin repro -- bench-interp --jobs 1
 //! cargo run -p lpo-bench --release --bin repro -- bench-opt --jobs 1
+//! cargo run -p lpo-bench --release --bin repro -- bench-tv --jobs 1
 //! ```
 //!
 //! `--jobs N` sets the worker count for every driver (`0`, the default, uses
@@ -23,11 +24,13 @@
 //! `bench-interp` measures the concrete-evaluation hot path (register-file
 //! evaluator vs the reference evaluator) and fills the `interp` section;
 //! `bench-opt` measures Stage 1 canonicalization (worklist engine vs the
-//! rescan reference) and fills the `opt` section. With
+//! rescan reference) and fills the `opt` section; `bench-tv` measures Stage 3
+//! translation validation (staged checker vs the pre-staging reference) and
+//! fills the `tv` section. With
 //! `--check-baseline <file>` each exits non-zero when its throughput falls
 //! more than 30% below the checked-in baseline — the CI `bench-smoke` gate.
 
-use lpo_bench::results::{BenchResults, InterpEntry, Json, OptEntry, TableEntry};
+use lpo_bench::results::{BenchResults, InterpEntry, Json, OptEntry, RunEntries, TableEntry, TvEntry};
 use lpo_bench::{self as harness, TableRun};
 use lpo_llm::prelude::rq1_models;
 
@@ -132,6 +135,33 @@ fn check_opt_baseline(entry: &OptEntry, path: &str) -> Result<String, String> {
     check_gate(&gate, entry.canon_per_second, entry.speedup, path)
 }
 
+/// The translation-validation gates (`repro bench-tv --check-baseline`):
+/// the refuted-candidate shape (the cost the staged checker exists to
+/// reduce) and the survivor shape (currently ≈ parity with the reference —
+/// gated so it cannot silently fall further behind).
+fn check_tv_baseline(entry: &TvEntry, path: &str) -> Result<String, String> {
+    let refuted_gate = Gate {
+        throughput_key: "tv_refuted_per_second",
+        speedup_key: "tv_refuted_speedup",
+        unit: "checks/s",
+        subject: "refuted-candidate translation-validation throughput",
+    };
+    let survivor_gate = Gate {
+        throughput_key: "tv_survivor_per_second",
+        speedup_key: "tv_survivor_speedup",
+        unit: "checks/s",
+        subject: "survivor translation-validation throughput",
+    };
+    let refuted = check_gate(&refuted_gate, entry.refuted_per_second, entry.refuted_speedup, path);
+    let survivor =
+        check_gate(&survivor_gate, entry.survivor_per_second, entry.survivor_speedup, path);
+    match (refuted, survivor) {
+        (Ok(a), Ok(b)) => Ok(format!("{a}\n{b}")),
+        (Err(a), Ok(b)) | (Ok(b), Err(a)) => Err(format!("{a}\n{b}")),
+        (Err(a), Err(b)) => Err(format!("{a}\n{b}")),
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let what = args.first().map(String::as_str).unwrap_or("all");
@@ -154,6 +184,7 @@ fn main() {
     let mut tables: Vec<TableEntry> = Vec::new();
     let mut interp: Option<InterpEntry> = None;
     let mut opt: Option<OptEntry> = None;
+    let mut tv: Option<TvEntry> = None;
     let mut show = |name: &str, run: TableRun| {
         println!("{}", run.text);
         tables.push(TableEntry {
@@ -183,6 +214,11 @@ fn main() {
             println!("{}", run.text);
             opt = Some(run.entry);
         }
+        "bench-tv" => {
+            let run = harness::bench_tv(jobs);
+            println!("{}", run.text);
+            tv = Some(run.entry);
+        }
         "all" => {
             println!("{}", harness::table1());
             show("table2", harness::table2(rounds, &quick_models(), jobs));
@@ -196,18 +232,27 @@ fn main() {
             let run = harness::bench_opt(jobs);
             println!("{}", run.text);
             opt = Some(run.entry);
+            let run = harness::bench_tv(jobs);
+            println!("{}", run.text);
+            tv = Some(run.entry);
         }
         other => {
             eprintln!(
-                "unknown experiment '{other}'; expected table1..table5, figure5, bench-interp, bench-opt or all"
+                "unknown experiment '{other}'; expected table1..table5, figure5, bench-interp, bench-opt, bench-tv or all"
             );
             std::process::exit(2);
         }
     }
 
-    if !tables.is_empty() || interp.is_some() || opt.is_some() {
+    let entries = RunEntries {
+        tables,
+        interp: interp.clone(),
+        opt: opt.clone(),
+        tv: tv.clone(),
+    };
+    if !entries.is_empty() {
         let path = "BENCH_results.json";
-        match BenchResults::merge_into_file(path, what, jobs, tables, interp.clone(), opt.clone()) {
+        match BenchResults::merge_into_file(path, what, jobs, entries) {
             Ok(merged) => eprintln!(
                 "merged into {path} ({} tables, {} runs recorded)",
                 merged.tables.len(),
@@ -218,8 +263,8 @@ fn main() {
     }
 
     if let Some(baseline_path) = arg_text(&args, "--check-baseline") {
-        if interp.is_none() && opt.is_none() {
-            eprintln!("--check-baseline requires the bench-interp, bench-opt (or all) subcommand");
+        if interp.is_none() && opt.is_none() && tv.is_none() {
+            eprintln!("--check-baseline requires the bench-interp, bench-opt, bench-tv (or all) subcommand");
             std::process::exit(2);
         }
         let mut failed = false;
@@ -234,6 +279,15 @@ fn main() {
         }
         if let Some(entry) = &opt {
             match check_opt_baseline(entry, baseline_path) {
+                Ok(message) => eprintln!("{message}"),
+                Err(message) => {
+                    eprintln!("{message}");
+                    failed = true;
+                }
+            }
+        }
+        if let Some(entry) = &tv {
+            match check_tv_baseline(entry, baseline_path) {
                 Ok(message) => eprintln!("{message}"),
                 Err(message) => {
                     eprintln!("{message}");

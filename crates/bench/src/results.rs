@@ -6,8 +6,8 @@
 //! accumulated. This module makes the file a *merged* store:
 //!
 //! * `tables` holds the **latest** entry per table name (merged by name);
-//! * `interp` holds the latest interpreter microbenchmark
-//!   (`repro bench-interp`);
+//! * `interp` / `opt` / `tv` hold the latest microbenchmark of each hot
+//!   path (`repro bench-interp` / `bench-opt` / `bench-tv`);
 //! * `runs` is an append-only history — one record per `repro` invocation
 //!   with the entries that invocation produced — so the trajectory across
 //!   PRs/runs is preserved.
@@ -418,6 +418,73 @@ impl OptEntry {
     }
 }
 
+/// The translation-validation microbenchmark section (`repro bench-tv`).
+///
+/// `refuted_*` measures the dominant real-world shape — a wrong candidate
+/// refuted on its earliest concrete input — where the staged checker's probe
+/// avoids `CompiledFunction::compile` entirely; `survivor_*` measures the
+/// full-input-sweep cost every accepted candidate pays (currently ≈ parity
+/// with the reference: the batched sweep's per-input gain roughly offsets
+/// the probe's direct evaluations on tiny functions — gated so it cannot
+/// silently regress).
+#[derive(Clone, Debug, PartialEq)]
+pub struct TvEntry {
+    /// Refuted-candidate verifications per second on the staged checker.
+    pub refuted_per_second: f64,
+    /// Refuted-candidate verifications per second on the reference checker.
+    pub reference_refuted_per_second: f64,
+    /// `refuted_per_second / reference_refuted_per_second`.
+    pub refuted_speedup: f64,
+    /// Surviving-candidate verifications per second on the staged checker.
+    pub survivor_per_second: f64,
+    /// Surviving-candidate verifications per second on the reference checker.
+    pub reference_survivor_per_second: f64,
+    /// `survivor_per_second / reference_survivor_per_second`.
+    pub survivor_speedup: f64,
+    /// rq1 cases in the workload (scalar-int returns only).
+    pub cases: usize,
+    /// Worker threads used.
+    pub jobs: usize,
+}
+
+impl TvEntry {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("refuted_per_second".into(), Json::Num(self.refuted_per_second)),
+            (
+                "reference_refuted_per_second".into(),
+                Json::Num(self.reference_refuted_per_second),
+            ),
+            ("refuted_speedup".into(), Json::Num(self.refuted_speedup)),
+            ("survivor_per_second".into(), Json::Num(self.survivor_per_second)),
+            (
+                "reference_survivor_per_second".into(),
+                Json::Num(self.reference_survivor_per_second),
+            ),
+            ("survivor_speedup".into(), Json::Num(self.survivor_speedup)),
+            ("cases".into(), Json::Num(self.cases as f64)),
+            ("jobs".into(), Json::Num(self.jobs as f64)),
+        ])
+    }
+
+    fn from_json(value: &Json) -> Option<TvEntry> {
+        Some(TvEntry {
+            refuted_per_second: value.get("refuted_per_second")?.as_num()?,
+            reference_refuted_per_second: value
+                .get("reference_refuted_per_second")?
+                .as_num()?,
+            refuted_speedup: value.get("refuted_speedup")?.as_num()?,
+            survivor_per_second: value.get("survivor_per_second")?.as_num()?,
+            reference_survivor_per_second: value
+                .get("reference_survivor_per_second")?
+                .as_num()?,
+            survivor_speedup: value.get("survivor_speedup")?.as_num()?,
+            cases: value.get("cases")?.as_num()? as usize,
+            jobs: value.get("jobs")?.as_num()? as usize,
+        })
+    }
+}
+
 /// One `repro` invocation in the append-only history.
 #[derive(Clone, Debug, PartialEq)]
 pub struct RunRecord {
@@ -433,6 +500,8 @@ pub struct RunRecord {
     pub interp: Option<InterpEntry>,
     /// The canonicalization microbenchmark, when this invocation ran it.
     pub opt: Option<OptEntry>,
+    /// The translation-validation microbenchmark, when this invocation ran it.
+    pub tv: Option<TvEntry>,
 }
 
 impl RunRecord {
@@ -448,6 +517,9 @@ impl RunRecord {
         }
         if let Some(opt) = &self.opt {
             fields.push(("opt".into(), opt.to_json()));
+        }
+        if let Some(tv) = &self.tv {
+            fields.push(("tv".into(), tv.to_json()));
         }
         Json::Obj(fields)
     }
@@ -465,7 +537,30 @@ impl RunRecord {
                 .collect(),
             interp: value.get("interp").and_then(InterpEntry::from_json),
             opt: value.get("opt").and_then(OptEntry::from_json),
+            tv: value.get("tv").and_then(TvEntry::from_json),
         })
+    }
+}
+
+/// The measurement sections one `repro` invocation produced — the unit
+/// [`BenchResults::record`] merges. A future section is added here (plus its
+/// entry type and `RunRecord` field) without touching any call site.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct RunEntries {
+    /// Table drivers this invocation ran.
+    pub tables: Vec<TableEntry>,
+    /// The interpreter microbenchmark (`bench-interp`), if run.
+    pub interp: Option<InterpEntry>,
+    /// The canonicalization microbenchmark (`bench-opt`), if run.
+    pub opt: Option<OptEntry>,
+    /// The translation-validation microbenchmark (`bench-tv`), if run.
+    pub tv: Option<TvEntry>,
+}
+
+impl RunEntries {
+    /// Whether the invocation produced anything worth persisting.
+    pub fn is_empty(&self) -> bool {
+        self.tables.is_empty() && self.interp.is_none() && self.opt.is_none() && self.tv.is_none()
     }
 }
 
@@ -478,6 +573,8 @@ pub struct BenchResults {
     pub interp: Option<InterpEntry>,
     /// Latest canonicalization microbenchmark.
     pub opt: Option<OptEntry>,
+    /// Latest translation-validation microbenchmark.
+    pub tv: Option<TvEntry>,
     /// Append-only invocation history.
     pub runs: Vec<RunRecord>,
 }
@@ -508,6 +605,7 @@ impl BenchResults {
         }
         results.interp = value.get("interp").and_then(InterpEntry::from_json);
         results.opt = value.get("opt").and_then(OptEntry::from_json);
+        results.tv = value.get("tv").and_then(TvEntry::from_json);
         if let Some(runs) = value.get("runs").and_then(Json::as_arr) {
             results.runs = runs.iter().filter_map(RunRecord::from_json).collect();
         }
@@ -515,17 +613,11 @@ impl BenchResults {
     }
 
     /// Merges one invocation into the store: per-table entries replace the
-    /// previous entry of the same name, the interp section (if present)
-    /// replaces the previous one, and the invocation is appended to `runs`
-    /// with the next run index.
-    pub fn record(
-        &mut self,
-        command: &str,
-        jobs_requested: usize,
-        tables: Vec<TableEntry>,
-        interp: Option<InterpEntry>,
-        opt: Option<OptEntry>,
-    ) {
+    /// previous entry of the same name, the microbenchmark sections (when
+    /// present) replace the previous ones, and the invocation is appended to
+    /// `runs` with the next run index.
+    pub fn record(&mut self, command: &str, jobs_requested: usize, entries: RunEntries) {
+        let RunEntries { tables, interp, opt, tv } = entries;
         for entry in &tables {
             match self.tables.iter_mut().find(|t| t.name == entry.name) {
                 Some(slot) => *slot = entry.clone(),
@@ -538,6 +630,9 @@ impl BenchResults {
         if opt.is_some() {
             self.opt = opt.clone();
         }
+        if tv.is_some() {
+            self.tv = tv.clone();
+        }
         let run = self.runs.last().map(|r| r.run + 1).unwrap_or(1);
         self.runs.push(RunRecord {
             run,
@@ -546,6 +641,7 @@ impl BenchResults {
             tables,
             interp,
             opt,
+            tv,
         });
     }
 
@@ -561,6 +657,9 @@ impl BenchResults {
         if let Some(opt) = &self.opt {
             fields.push(("opt".into(), opt.to_json()));
         }
+        if let Some(tv) = &self.tv {
+            fields.push(("tv".into(), tv.to_json()));
+        }
         fields.push(("runs".into(), Json::Arr(self.runs.iter().map(RunRecord::to_json).collect())));
         Json::Obj(fields).render()
     }
@@ -574,12 +673,10 @@ impl BenchResults {
         path: &str,
         command: &str,
         jobs_requested: usize,
-        tables: Vec<TableEntry>,
-        interp: Option<InterpEntry>,
-        opt: Option<OptEntry>,
+        entries: RunEntries,
     ) -> Result<BenchResults, String> {
         let mut results = BenchResults::load(path);
-        results.record(command, jobs_requested, tables, interp, opt);
+        results.record(command, jobs_requested, entries);
         std::fs::write(path, results.render()).map_err(|e| e.to_string())?;
         Ok(results)
     }
@@ -624,8 +721,8 @@ mod tests {
     #[test]
     fn merge_replaces_by_name_and_keeps_history() {
         let mut results = BenchResults::default();
-        results.record("all", 4, vec![table("table2", 5.0), table("table5", 7.0)], None, None);
-        results.record("table2", 1, vec![table("table2", 9.0)], None, None);
+        results.record("all", 4, RunEntries { tables: vec![table("table2", 5.0), table("table5", 7.0)], ..Default::default() });
+        results.record("table2", 1, RunEntries { tables: vec![table("table2", 9.0)], ..Default::default() });
 
         assert_eq!(results.tables.len(), 2, "table5 must survive a table2-only run");
         assert_eq!(
@@ -697,7 +794,7 @@ mod tests {
             jobs: 1,
         };
         let mut results = BenchResults::default();
-        results.record("bench-interp", 1, Vec::new(), Some(interp.clone()), None);
+        results.record("bench-interp", 1, RunEntries { interp: Some(interp.clone()), ..Default::default() });
         let rendered = results.render();
         let value = Json::parse(&rendered).unwrap();
         assert_eq!(InterpEntry::from_json(value.get("interp").unwrap()), Some(interp.clone()));
@@ -705,5 +802,38 @@ mod tests {
             InterpEntry::from_json(value.get("runs").unwrap().as_arr().unwrap()[0].get("interp").unwrap()),
             Some(interp)
         );
+    }
+
+    #[test]
+    fn tv_section_round_trips_and_merges() {
+        let tv = TvEntry {
+            refuted_per_second: 5e5,
+            reference_refuted_per_second: 1e5,
+            refuted_speedup: 5.0,
+            survivor_per_second: 900.0,
+            reference_survivor_per_second: 720.0,
+            survivor_speedup: 1.25,
+            cases: 20,
+            jobs: 1,
+        };
+        let mut results = BenchResults::default();
+        results.record("bench-tv", 1, RunEntries { tv: Some(tv.clone()), ..Default::default() });
+        // A later tables-only run must not erase the tv section.
+        results.record("table2", 1, RunEntries { tables: vec![table("table2", 9.0)], ..Default::default() });
+        let rendered = results.render();
+        let value = Json::parse(&rendered).unwrap();
+        assert_eq!(TvEntry::from_json(value.get("tv").unwrap()), Some(tv.clone()));
+        assert_eq!(
+            TvEntry::from_json(value.get("runs").unwrap().as_arr().unwrap()[0].get("tv").unwrap()),
+            Some(tv.clone())
+        );
+        // And the full loader sees it.
+        let dir = std::env::temp_dir().join("lpo_results_tv_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("results.json");
+        std::fs::write(&path, rendered).unwrap();
+        let reloaded = BenchResults::load(path.to_str().unwrap());
+        assert_eq!(reloaded.tv, Some(tv));
+        assert_eq!(reloaded.runs.len(), 2);
     }
 }

@@ -31,7 +31,7 @@
 //! [`CaseReport::fingerprint`](crate::report::CaseReport::fingerprint) for
 //! comparisons.
 
-use crate::pipeline::Lpo;
+use crate::pipeline::{Lpo, TvSnapshot};
 use crate::report::{CaseReport, RunSummary};
 use lpo_ir::function::Function;
 use lpo_ir::hash::{hash_function, Digest};
@@ -93,6 +93,11 @@ pub struct ExecStats {
     pub cache_hits: usize,
     /// Real wall-clock time of the batch.
     pub wall_time: Duration,
+    /// Stage 3 (translation validation) accounting for this batch: probe
+    /// rejects vs compiled survivor sweeps, plus compiled-function cache
+    /// traffic. The probe/survivor split is deterministic; the cache traffic
+    /// is scheduling-dependent (see [`TvSnapshot`]).
+    pub tv: TvSnapshot,
 }
 
 impl ExecStats {
@@ -257,6 +262,7 @@ pub fn run_batch(
     let start = Instant::now();
     let plan = DedupPlan::new(sequences, config.dedup);
     let jobs = config.effective_jobs(plan.unique_indices().len());
+    let tv_before = lpo.tv_snapshot();
 
     // Each worker thread owns one reusable evaluation arena: the register
     // file behind every concrete evaluation that case's verification runs.
@@ -285,6 +291,7 @@ pub fn run_batch(
         unique_cases: plan.unique_indices().len(),
         cache_hits: plan.cache_hits(),
         wall_time: start.elapsed(),
+        tv: lpo.tv_snapshot().since(tv_before),
     };
     BatchResult { reports, summary, stats }
 }
@@ -419,6 +426,7 @@ mod tests {
             unique_cases: 8,
             cache_hits: 2,
             wall_time: Duration::from_secs(2),
+            tv: TvSnapshot::default(),
         };
         assert!((stats.cases_per_second() - 5.0).abs() < 1e-9);
         assert_eq!(ExecStats::default().cases_per_second(), 0.0);

@@ -38,13 +38,13 @@ pub mod report;
 
 pub use exec::{parallel_map_ordered, parallel_map_ordered_with, BatchResult, DedupPlan, ExecConfig, ExecStats};
 pub use interestingness::{is_interesting, InterestVerdict};
-pub use pipeline::{Lpo, LpoConfig};
+pub use pipeline::{Lpo, LpoConfig, TvSnapshot};
 pub use report::{CaseOutcome, CaseReport, RunSummary};
 
 /// Commonly used items, re-exported for convenience.
 pub mod prelude {
     pub use crate::exec::{parallel_map_ordered, parallel_map_ordered_with, BatchResult, DedupPlan, ExecConfig, ExecStats};
     pub use crate::interestingness::{is_interesting, InterestVerdict};
-    pub use crate::pipeline::{Lpo, LpoConfig};
+    pub use crate::pipeline::{Lpo, LpoConfig, TvSnapshot};
     pub use crate::report::{CaseOutcome, CaseReport, RunSummary};
 }

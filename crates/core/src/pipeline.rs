@@ -18,7 +18,9 @@ use lpo_mca::Target;
 use lpo_opt::pipeline::{optimize_function, OptLevel, Pipeline};
 use crate::exec::{run_batch, BatchResult, ExecConfig, ExecStats};
 use lpo_tv::prelude::EvalArena;
-use lpo_tv::refine::{SourceCache, TvConfig, Verdict};
+use lpo_tv::refine::{CompileCache, SourceCache, TvConfig, Verdict};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Configuration of the LPO pipeline.
@@ -60,11 +62,71 @@ impl LpoConfig {
     }
 }
 
+/// Shared Stage 3 accounting, aggregated across the worker pool.
+#[derive(Debug, Default)]
+struct TvCounters {
+    candidates: AtomicUsize,
+    probe_rejects: AtomicUsize,
+    survivors: AtomicUsize,
+}
+
+/// A snapshot of Stage 3 (translation validation) accounting: how the
+/// staged checker's work split between the cheap probe and the compiled
+/// survivor sweep, and what the shared compiled-function cache did.
+///
+/// `candidates`, `probe_rejects` and `survivors` are deterministic for a
+/// given batch (they are per-case counts, independent of scheduling);
+/// `compile_cache_hits` / `compiles` depend on worker interleaving (two
+/// workers can race to compile the same digest) and on what earlier batches
+/// already cached — report them, never compare them across `--jobs` values.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TvSnapshot {
+    /// Candidates Stage 3 fully checked (signature errors excluded).
+    pub candidates: usize,
+    /// Candidates refuted inside the probe window — no compile paid.
+    pub probe_rejects: usize,
+    /// Candidates that survived the probe into compile + batched sweep.
+    pub survivors: usize,
+    /// Compiled-function cache hits.
+    pub compile_cache_hits: usize,
+    /// Compiles performed (cache misses).
+    pub compiles: usize,
+}
+
+impl TvSnapshot {
+    /// The counters accumulated since `earlier` was taken.
+    pub fn since(self, earlier: TvSnapshot) -> TvSnapshot {
+        TvSnapshot {
+            candidates: self.candidates - earlier.candidates,
+            probe_rejects: self.probe_rejects - earlier.probe_rejects,
+            survivors: self.survivors - earlier.survivors,
+            compile_cache_hits: self.compile_cache_hits - earlier.compile_cache_hits,
+            compiles: self.compiles - earlier.compiles,
+        }
+    }
+
+    /// Folds another snapshot's counts into this one (drivers aggregating
+    /// several batches).
+    pub fn absorb(&mut self, other: TvSnapshot) {
+        self.candidates += other.candidates;
+        self.probe_rejects += other.probe_rejects;
+        self.survivors += other.survivors;
+        self.compile_cache_hits += other.compile_cache_hits;
+        self.compiles += other.compiles;
+    }
+}
+
 /// The LPO pipeline.
+///
+/// Cloning an `Lpo` shares its Stage 3 compiled-function cache and counters
+/// (they live behind `Arc`s), so a cloned pipeline keeps benefitting from
+/// candidates the original already compiled.
 #[derive(Clone, Debug)]
 pub struct Lpo {
     config: LpoConfig,
     opt: Pipeline,
+    tv_cache: Arc<CompileCache>,
+    tv_counters: Arc<TvCounters>,
 }
 
 impl Default for Lpo {
@@ -77,12 +139,36 @@ impl Lpo {
     /// Creates a pipeline with the given configuration.
     pub fn new(config: LpoConfig) -> Self {
         let opt = Pipeline::new(config.opt_level);
-        Self { config, opt }
+        Self {
+            config,
+            opt,
+            tv_cache: Arc::new(CompileCache::new()),
+            tv_counters: Arc::new(TvCounters::default()),
+        }
     }
 
     /// The active configuration.
     pub fn config(&self) -> &LpoConfig {
         &self.config
+    }
+
+    /// The shared Stage 3 compiled-function cache (one per pipeline,
+    /// shared by every worker and every batch this pipeline runs).
+    pub fn compile_cache(&self) -> &CompileCache {
+        &self.tv_cache
+    }
+
+    /// The Stage 3 accounting accumulated by this pipeline so far. Batch
+    /// drivers take a snapshot before and after a run and report the
+    /// [`TvSnapshot::since`] delta.
+    pub fn tv_snapshot(&self) -> TvSnapshot {
+        TvSnapshot {
+            candidates: self.tv_counters.candidates.load(Ordering::Relaxed),
+            probe_rejects: self.tv_counters.probe_rejects.load(Ordering::Relaxed),
+            survivors: self.tv_counters.survivors.load(Ordering::Relaxed),
+            compile_cache_hits: self.tv_cache.hits(),
+            compiles: self.tv_cache.misses(),
+        }
     }
 
     /// Runs Algorithm 1's inner loop on one wrapped instruction sequence,
@@ -128,7 +214,11 @@ impl Lpo {
         let mut last_outcome = CaseOutcome::NotInteresting;
         // Lazy: cases that never reach step ⑤ (syntax errors, uninteresting
         // candidates) pay nothing for input generation or source evaluation.
-        let tv_case = SourceCache::new(source, self.config.tv.clone());
+        // Probe survivors compile through the pipeline-wide cache, so a
+        // candidate structurally identical to one verified anywhere else on
+        // this pipeline (any case, any worker, any batch) compiles once.
+        let tv_case =
+            SourceCache::new(source, self.config.tv.clone()).with_compile_cache(&self.tv_cache);
 
         while attempts < self.config.attempt_limit {
             attempts += 1;
@@ -186,6 +276,10 @@ impl Lpo {
                 }
             }
         }
+
+        self.tv_counters.candidates.fetch_add(tv_case.candidates_checked(), Ordering::Relaxed);
+        self.tv_counters.probe_rejects.fetch_add(tv_case.probe_rejects(), Ordering::Relaxed);
+        self.tv_counters.survivors.fetch_add(tv_case.survivors(), Ordering::Relaxed);
 
         CaseReport {
             outcome: last_outcome,

@@ -106,14 +106,18 @@ struct CBlock {
     steps: Vec<CStep>,
 }
 
-/// Reusable evaluation state: the dense register file and the phi staging
-/// buffer. Create one per worker thread and pass it to every
-/// [`CompiledFunction::evaluate`] call; steady-state evaluation then
-/// allocates nothing.
+/// Reusable evaluation state: the dense register file, the phi staging
+/// buffer, and the register matrix used by batched sweeps. Create one per
+/// worker thread and pass it to every [`CompiledFunction::evaluate`] call;
+/// steady-state evaluation then allocates nothing.
 #[derive(Debug, Default)]
 pub struct EvalArena {
     regs: Vec<Option<EvalValue>>,
     phi_buf: Vec<(u32, EvalValue)>,
+    /// Flat `num_regs × lanes` register matrix for
+    /// [`CompiledFunction::evaluate_batch_with_limit`]; lane `m`'s register
+    /// file is the contiguous slice `[m * num_regs .. (m + 1) * num_regs]`.
+    batch_regs: Vec<Option<EvalValue>>,
 }
 
 impl EvalArena {
@@ -161,6 +165,10 @@ pub struct CompiledFunction {
     blocks: Vec<CBlock>,
     num_regs: usize,
     num_params: usize,
+    /// One block, no phis, no branches: the shape
+    /// [`evaluate_batch_with_limit`](Self::evaluate_batch_with_limit) can
+    /// drive lane-by-lane through a single walk of the step list.
+    straightline: bool,
 }
 
 impl CompiledFunction {
@@ -178,8 +186,12 @@ impl CompiledFunction {
                 }
             }
         }
-        let blocks = func.blocks().iter().map(|b| compile_block(func, &b.insts)).collect();
-        Self { blocks, num_regs, num_params: func.params.len() }
+        let blocks: Vec<CBlock> =
+            func.blocks().iter().map(|b| compile_block(func, &b.insts)).collect();
+        let straightline = blocks.len() == 1
+            && blocks[0].phis.is_empty()
+            && blocks[0].steps.iter().all(|s| !matches!(s, CStep::Br { .. } | CStep::Phi));
+        Self { blocks, num_regs, num_params: func.params.len(), straightline }
     }
 
     /// Evaluates on `args` with the given initial memory and
@@ -224,7 +236,7 @@ impl CompiledFunction {
         }
         assert!(!self.blocks.is_empty(), "function has no blocks");
         arena.reset(self.num_regs);
-        let EvalArena { regs, phi_buf } = arena;
+        let EvalArena { regs, phi_buf, .. } = arena;
 
         let mut current = 0u32;
         let mut previous: Option<u32> = None;
@@ -301,6 +313,426 @@ impl CompiledFunction {
     /// How many registers one evaluation of this function uses.
     pub fn register_count(&self) -> usize {
         self.num_regs
+    }
+
+    /// Evaluates `lanes` independent inputs through **one walk of the decoded
+    /// step list** — the survivor-sweep shape of staged translation
+    /// validation, where one compiled candidate is checked against thousands
+    /// of inputs.
+    ///
+    /// Each lane is `(argument values, initial memory)`; the result vector is
+    /// in lane order and every entry is exactly what
+    /// [`evaluate_with_limit`](Self::evaluate_with_limit) returns for that
+    /// lane — same values, same UB messages, same step counts, same final
+    /// memory.
+    ///
+    /// For straight-line functions (one block, no phis or branches — the
+    /// overwhelmingly common shape of extracted peephole sequences) the lanes
+    /// advance *together*, step by step: the arena holds a flat
+    /// `num_regs × lanes` register matrix and the inner loop runs each decoded
+    /// step across all live lanes before moving to the next step, so the step
+    /// decode, the match dispatch and the per-step metadata are touched once
+    /// per step instead of once per `(step, input)`. Functions with control
+    /// flow fall back to a per-lane loop over the same decoded step lists
+    /// (still compiled once).
+    pub fn evaluate_batch_with_limit(
+        &self,
+        arena: &mut EvalArena,
+        lanes: Vec<(&[EvalValue], Memory)>,
+        step_limit: usize,
+    ) -> Vec<Result<EvalOutcome, Ub>> {
+        if !self.straightline {
+            return lanes
+                .into_iter()
+                .map(|(args, memory)| self.evaluate_with_limit(arena, args, memory, step_limit))
+                .collect();
+        }
+
+        let lane_count = lanes.len();
+        let mut outcomes: Vec<Option<Result<EvalOutcome, Ub>>> = Vec::with_capacity(lane_count);
+        let mut memories: Vec<Memory> = Vec::with_capacity(lane_count);
+        let mut args_of: Vec<&[EvalValue]> = Vec::with_capacity(lane_count);
+        for (args, memory) in lanes {
+            outcomes.push(if args.len() == self.num_params {
+                None
+            } else {
+                Some(Err(Ub::new(format!(
+                    "called with {} arguments but the function has {} parameters",
+                    args.len(),
+                    self.num_params
+                ))))
+            });
+            memories.push(memory);
+            args_of.push(args);
+        }
+
+        arena.batch_regs.clear();
+        arena.batch_regs.resize(self.num_regs * lane_count, None);
+        let regs_matrix = &mut arena.batch_regs;
+
+        // The step list is walked ONCE: each step is decoded and dispatched
+        // a single time, and its arm loops over the live lanes — so the
+        // dispatch cost and the step metadata amortize over the batch, and
+        // the op match inside `eval_op` hits the same arm for every lane.
+        let mut remaining = outcomes.iter().filter(|slot| slot.is_none()).count();
+        let mut steps = 0usize;
+        for step in &self.blocks[0].steps {
+            if remaining == 0 {
+                break;
+            }
+            steps += 1;
+            if steps > step_limit {
+                for slot in outcomes.iter_mut().filter(|slot| slot.is_none()) {
+                    *slot = Some(Err(Ub::new("execution step limit exceeded")));
+                }
+                break;
+            }
+            match step {
+                // `straightline` excludes Phi and Br steps.
+                CStep::Phi | CStep::Br { .. } => unreachable!("excluded by straightline"),
+                CStep::Ret(value) => {
+                    // A Ret (like Unreachable) finishes every live lane: the
+                    // lanes advance in lockstep, so they all reach it here.
+                    for m in 0..lane_count {
+                        if outcomes[m].is_some() {
+                            continue;
+                        }
+                        let regs = &regs_matrix[m * self.num_regs..(m + 1) * self.num_regs];
+                        let result = match value {
+                            Some(v) => match read(v, args_of[m], regs) {
+                                Ok(v) => Some(v),
+                                Err(ub) => {
+                                    outcomes[m] = Some(Err(ub));
+                                    continue;
+                                }
+                            },
+                            None => None,
+                        };
+                        let memory = std::mem::replace(&mut memories[m], Memory::new());
+                        outcomes[m] = Some(Ok(EvalOutcome { result, memory, steps }));
+                    }
+                    break;
+                }
+                CStep::Unreachable => {
+                    for slot in outcomes.iter_mut().filter(|slot| slot.is_none()) {
+                        *slot = Some(Err(Ub::new("executed an unreachable instruction")));
+                    }
+                    break;
+                }
+                CStep::Inst { dst, op } => {
+                    for m in 0..lane_count {
+                        if outcomes[m].is_some() {
+                            continue;
+                        }
+                        let regs = &regs_matrix[m * self.num_regs..(m + 1) * self.num_regs];
+                        match eval_op(op, args_of[m], regs, &mut memories[m]) {
+                            Ok(v) => {
+                                regs_matrix[m * self.num_regs + *dst as usize] = Some(v);
+                            }
+                            Err(ub) => {
+                                outcomes[m] = Some(Err(ub));
+                                remaining -= 1;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        outcomes
+            .into_iter()
+            .map(|slot| {
+                slot.unwrap_or_else(|| {
+                    Err(Ub::new("basic block fell through without a terminator"))
+                })
+            })
+            .collect()
+    }
+}
+
+/// Evaluates `func` **directly**, with no [`CompiledFunction::compile`] step:
+/// the register-file execution model of the compiled evaluator (dense
+/// registers indexed by `InstId`, parallel phi staging, identical step
+/// counting) applied to the raw [`Function`], resolving operands and
+/// per-instruction metadata as it walks.
+///
+/// This is the *probe* evaluator of staged translation validation: a
+/// candidate refuted by one of its first few inputs should cost a handful of
+/// interpreter steps, not a full pre-decode of a function that is about to be
+/// thrown away. Per-step operand resolution makes each evaluation somewhat
+/// slower than a compiled one, so callers that sweep many inputs over the
+/// same function should compile instead — the break-even point is a few
+/// dozen evaluations.
+///
+/// # Errors
+///
+/// Returns [`Ub`] exactly when [`CompiledFunction::evaluate_with_limit`] (and
+/// therefore the reference evaluator) would, with identical messages and
+/// step counts.
+///
+/// # Panics
+///
+/// Panics if the function has no blocks, like the other evaluators.
+pub fn evaluate_direct(
+    func: &Function,
+    arena: &mut EvalArena,
+    args: &[EvalValue],
+    mut memory: Memory,
+    step_limit: usize,
+) -> Result<EvalOutcome, Ub> {
+    if args.len() != func.params.len() {
+        return Err(Ub::new(format!(
+            "called with {} arguments but the function has {} parameters",
+            args.len(),
+            func.params.len()
+        )));
+    }
+    assert!(!func.blocks().is_empty(), "function has no blocks");
+    // No defensive register-sizing scan here: out-of-arena InstIds (which
+    // `CompiledFunction::compile` gives extra slots) are handled by the
+    // bounds-checked register read in `read_raw`, which reports the same
+    // "use before defined" UB an unwritten extra slot would.
+    arena.reset(func.inst_arena_len());
+    let EvalArena { regs, phi_buf, .. } = arena;
+
+    let mut current = 0u32;
+    let mut previous: Option<u32> = None;
+    let mut steps = 0usize;
+    'blocks: loop {
+        let block = &func.blocks()[current as usize];
+
+        // Parallel phi staging on block entry, exactly as the compiled
+        // evaluator does with its pre-split phi list.
+        let mut staged_phis = false;
+        for &inst_id in &block.insts {
+            if let InstKind::Phi { incoming } = &func.inst(inst_id).kind {
+                let prev = previous.ok_or_else(|| Ub::new("phi executed in the entry block"))?;
+                let entry = incoming
+                    .iter()
+                    .find(|(_, bb)| bb.0 == prev)
+                    .ok_or_else(|| Ub::new("phi has no entry for the executed predecessor"))?;
+                phi_buf.push((inst_id.0, read_raw(&entry.0, args, regs)?));
+                staged_phis = true;
+            }
+        }
+        if staged_phis {
+            for (dst, v) in phi_buf.drain(..) {
+                regs[dst as usize] = Some(v);
+            }
+        }
+
+        for &inst_id in &block.insts {
+            steps += 1;
+            if steps > step_limit {
+                return Err(Ub::new("execution step limit exceeded"));
+            }
+            let inst = func.inst(inst_id);
+            match &inst.kind {
+                InstKind::Phi { .. } => {}
+                InstKind::Ret { value } => {
+                    let v = match value {
+                        Some(v) => Some(read_raw(v, args, regs)?),
+                        None => None,
+                    };
+                    return Ok(EvalOutcome { result: v, memory, steps });
+                }
+                InstKind::Br { cond, then_block, else_block } => {
+                    let next = match cond {
+                        None => then_block.0,
+                        Some(c) => {
+                            let cv = read_raw(c, args, regs)?;
+                            match cv.as_bool() {
+                                Some(true) => then_block.0,
+                                Some(false) => else_block.expect("verified").0,
+                                None => {
+                                    return Err(Ub::new(
+                                        "branch on a poison or undef condition",
+                                    ))
+                                }
+                            }
+                        }
+                    };
+                    previous = Some(current);
+                    current = next;
+                    continue 'blocks;
+                }
+                InstKind::Unreachable => {
+                    return Err(Ub::new("executed an unreachable instruction"));
+                }
+                kind => {
+                    let v = eval_raw_op(func, inst, kind, args, regs, &mut memory)?;
+                    regs[inst_id.0 as usize] = Some(v);
+                }
+            }
+        }
+        return Err(Ub::new("basic block fell through without a terminator"));
+    }
+}
+
+/// A resolved raw operand: borrowed straight from the register file or the
+/// argument list, or owned when a constant had to be converted. Keeps the
+/// direct evaluator's hot arms clone-free for the common register/argument
+/// operands.
+enum RawVal<'v> {
+    Borrowed(&'v EvalValue),
+    Owned(EvalValue),
+}
+
+impl RawVal<'_> {
+    #[inline(always)]
+    fn get(&self) -> &EvalValue {
+        match self {
+            RawVal::Borrowed(v) => v,
+            RawVal::Owned(v) => v,
+        }
+    }
+
+    #[inline(always)]
+    fn into_owned(self) -> EvalValue {
+        match self {
+            RawVal::Borrowed(v) => v.clone(),
+            RawVal::Owned(v) => v,
+        }
+    }
+}
+
+/// Resolves a raw [`Value`] operand against the register file. Constants are
+/// converted per read — the cost [`evaluate_direct`] pays for skipping the
+/// compile step. Register reads are bounds-checked, so out-of-arena InstIds
+/// report the same "use before defined" UB the compiled evaluator's extra
+/// defensive slots produce.
+#[inline(always)]
+fn read_raw_ref<'v>(
+    v: &'v Value,
+    args: &'v [EvalValue],
+    regs: &'v [Option<EvalValue>],
+) -> Result<RawVal<'v>, Ub> {
+    match v {
+        Value::Arg(i) => match args.get(*i) {
+            Some(v) => Ok(RawVal::Borrowed(v)),
+            None => Err(Ub::new(format!("argument #{i} out of range"))),
+        },
+        Value::Inst(id) => match regs.get(id.0 as usize) {
+            Some(Some(v)) => Ok(RawVal::Borrowed(v)),
+            _ => Err(Ub::new("use of a value before it is defined")),
+        },
+        Value::Const(c) => Ok(RawVal::Owned(EvalValue::from_constant(c))),
+    }
+}
+
+/// [`read_raw_ref`] for the places that need ownership (phi staging,
+/// returns, intrinsic argument buffers, inserted elements).
+#[inline(always)]
+fn read_raw(
+    v: &Value,
+    args: &[EvalValue],
+    regs: &[Option<EvalValue>],
+) -> Result<EvalValue, Ub> {
+    Ok(read_raw_ref(v, args, regs)?.into_owned())
+}
+
+/// Executes one non-terminator instruction straight from its [`InstKind`],
+/// resolving the metadata [`compile_op`] would have pre-computed.
+fn eval_raw_op(
+    func: &Function,
+    inst: &lpo_ir::instruction::Instruction,
+    kind: &InstKind,
+    args: &[EvalValue],
+    regs: &[Option<EvalValue>],
+    memory: &mut Memory,
+) -> Result<EvalValue, Ub> {
+    match kind {
+        InstKind::Binary { op, lhs, rhs, flags } => {
+            let a = read_raw_ref(lhs, args, regs)?;
+            let b = read_raw_ref(rhs, args, regs)?;
+            elementwise2_static(a.get(), b.get(), |x, y| eval_binop(*op, x, y, flags))
+        }
+        InstKind::FBinary { op, lhs, rhs, fmf } => {
+            let a = read_raw_ref(lhs, args, regs)?;
+            let b = read_raw_ref(rhs, args, regs)?;
+            elementwise2_static(a.get(), b.get(), |x, y| eval_fbinop(*op, fmf, x, y))
+        }
+        InstKind::ICmp { pred, lhs, rhs } => {
+            let a = read_raw_ref(lhs, args, regs)?;
+            let b = read_raw_ref(rhs, args, regs)?;
+            elementwise2_static(a.get(), b.get(), |x, y| eval_icmp(*pred, x, y))
+        }
+        InstKind::FCmp { pred, lhs, rhs } => {
+            let a = read_raw_ref(lhs, args, regs)?;
+            let b = read_raw_ref(rhs, args, regs)?;
+            elementwise2_static(a.get(), b.get(), |x, y| match (x.as_float(), y.as_float()) {
+                (Some(xa), Some(ya)) => Ok(EvalValue::bool(eval_fcmp(*pred, xa, ya))),
+                _ => Ok(EvalValue::Poison),
+            })
+        }
+        InstKind::Select { cond, on_true, on_false } => {
+            let c = read_raw_ref(cond, args, regs)?;
+            let t = read_raw_ref(on_true, args, regs)?;
+            let f = read_raw_ref(on_false, args, regs)?;
+            eval_select(c.get(), t.get(), f.get())
+        }
+        InstKind::Cast { op, value, flags } => {
+            let v = read_raw_ref(value, args, regs)?;
+            let to_scalar = inst.ty.scalar_type();
+            elementwise1_static(v.get(), |x| eval_cast(*op, x, to_scalar, flags))
+        }
+        InstKind::Call { intrinsic, args: call_args, .. } => {
+            if call_args.len() <= 3 {
+                let mut vals: [EvalValue; 3] =
+                    [EvalValue::Undef, EvalValue::Undef, EvalValue::Undef];
+                for (slot, a) in vals.iter_mut().zip(call_args) {
+                    *slot = read_raw(a, args, regs)?;
+                }
+                eval_intrinsic(*intrinsic, &vals[..call_args.len()])
+            } else {
+                let vals: Vec<EvalValue> = call_args
+                    .iter()
+                    .map(|a| read_raw(a, args, regs))
+                    .collect::<Result<_, _>>()?;
+                eval_intrinsic(*intrinsic, &vals)
+            }
+        }
+        InstKind::Load { ptr, .. } => {
+            let p = read_raw_ref(ptr, args, regs)?;
+            eval_load(p.get(), &inst.ty, memory)
+        }
+        InstKind::Store { value, ptr, .. } => {
+            let v = read_raw_ref(value, args, regs)?;
+            let p = read_raw_ref(ptr, args, regs)?;
+            eval_store(v.get(), p.get(), &operand_type(func, value), memory)
+        }
+        InstKind::Gep { elem_ty, base, index, inbounds, nuw } => {
+            let b = read_raw_ref(base, args, regs)?;
+            let i = read_raw_ref(index, args, regs)?;
+            eval_gep(b.get(), i.get(), elem_ty.size_in_bytes() as i64, *inbounds, *nuw, memory)
+        }
+        InstKind::Alloca { ty } => {
+            let id = memory.allocate_zeroed(ty.size_in_bytes() as usize);
+            Ok(EvalValue::Ptr(PtrValue { alloc: id, offset: 0 }))
+        }
+        InstKind::ExtractElement { vector, index } => {
+            let v = read_raw_ref(vector, args, regs)?;
+            let i = read_raw_ref(index, args, regs)?;
+            eval_extractelement(v.get(), i.get())
+        }
+        InstKind::InsertElement { vector, element, index } => {
+            let v = read_raw_ref(vector, args, regs)?;
+            let e = read_raw(element, args, regs)?;
+            let i = read_raw_ref(index, args, regs)?;
+            eval_insertelement(v.get(), e, i.get(), inst.ty.lanes().unwrap_or(1) as usize)
+        }
+        InstKind::ShuffleVector { a, b, mask } => {
+            let av = read_raw_ref(a, args, regs)?;
+            let bv = read_raw_ref(b, args, regs)?;
+            eval_shufflevector(av.get(), bv.get(), mask)
+        }
+        InstKind::Freeze { value } => {
+            let v = read_raw_ref(value, args, regs)?;
+            Ok(freeze(v.get(), &inst.ty))
+        }
+        InstKind::Phi { .. } | InstKind::Ret { .. } | InstKind::Br { .. } | InstKind::Unreachable => {
+            unreachable!("terminators and phis handled by evaluate_direct")
+        }
     }
 }
 
@@ -667,6 +1099,169 @@ mod tests {
             assert_eq!(ra.result, Some(EvalValue::int(32, (i + 1) & 0xffff_ffff)));
             let rb = cb.evaluate(&mut arena, &[EvalValue::int(32, i)], Memory::new()).unwrap();
             assert_eq!(rb.result, Some(EvalValue::int(32, (i * 4) & 0xffff_ffff)));
+        }
+    }
+
+    /// Shapes covering every evaluator feature: straight-line int/intrinsic
+    /// code, loops + phis, memory traffic, vectors, UB, and arity errors.
+    const SHAPES: [&str; 4] = [
+        "define i8 @clamp(i8 %0) {\n\
+         %2 = icmp slt i8 %0, 0\n\
+         %3 = call i8 @llvm.umin.i8(i8 %0, i8 63)\n\
+         %4 = select i1 %2, i8 0, i8 %3\n\
+         ret i8 %4\n}",
+        "define i32 @sum(i32 %n) {\n\
+         entry:\n  br label %header\n\
+         header:\n\
+           %i = phi i32 [ 0, %entry ], [ %i.next, %body ]\n\
+           %acc = phi i32 [ 0, %entry ], [ %acc.next, %body ]\n\
+           %cmp = icmp slt i32 %i, %n\n\
+           br i1 %cmp, label %body, label %exit\n\
+         body:\n\
+           %acc.next = add i32 %acc, %i\n\
+           %i.next = add i32 %i, 1\n\
+           br label %header\n\
+         exit:\n  ret i32 %acc\n}",
+        "define i32 @mem(ptr %p, i32 %x) {\n\
+         %q = getelementptr i32, ptr %p, i64 1\n\
+         store i32 %x, ptr %q, align 4\n\
+         %v = load i32, ptr %q, align 4\n\
+         %d = udiv i32 %v, %x\n\
+         ret i32 %d\n}",
+        "define <4 x i8> @vec(<4 x i8> %x) {\n\
+         %s = shl <4 x i8> %x, splat (i8 1)\n\
+         %f = freeze <4 x i8> %s\n\
+         ret <4 x i8> %f\n}",
+    ];
+
+    fn shape_inputs(text: &str) -> Vec<(Vec<EvalValue>, Memory)> {
+        let mut inputs = Vec::new();
+        match text {
+            t if t.contains("@clamp") => {
+                for x in [0u128, 1, 5, 63, 64, 127, 128, 200, 255] {
+                    inputs.push((vec![EvalValue::int(8, x)], Memory::new()));
+                }
+            }
+            t if t.contains("@sum") => {
+                for n in [0i128, 1, 7, 50, -3] {
+                    inputs.push((vec![EvalValue::int_signed(32, n)], Memory::new()));
+                }
+            }
+            t if t.contains("@mem") => {
+                for x in [0u128, 1, 77] {
+                    let mut mem = Memory::new();
+                    let alloc = mem.allocate_zeroed(64);
+                    inputs.push((
+                        vec![EvalValue::Ptr(PtrValue { alloc, offset: 0 }), EvalValue::int(32, x)],
+                        mem,
+                    ));
+                }
+            }
+            _ => {
+                inputs.push((
+                    vec![EvalValue::Vector(vec![
+                        EvalValue::int(8, 1),
+                        EvalValue::int(8, 200),
+                        EvalValue::Poison,
+                        EvalValue::Undef,
+                    ])],
+                    Memory::new(),
+                ));
+            }
+        }
+        inputs
+    }
+
+    #[test]
+    fn direct_evaluator_matches_compiled_everywhere() {
+        let mut arena = EvalArena::new();
+        for text in SHAPES {
+            let func = parse_function(text).unwrap();
+            let compiled = CompiledFunction::compile(&func);
+            for limit in [6, DEFAULT_STEP_LIMIT] {
+                for (args, memory) in shape_inputs(text) {
+                    let fast =
+                        compiled.evaluate_with_limit(&mut arena, &args, memory.clone(), limit);
+                    let direct = evaluate_direct(&func, &mut arena, &args, memory, limit);
+                    assert_eq!(fast, direct, "diverged on {text} (limit {limit})");
+                }
+            }
+            // Arity error, same message.
+            let fast = compiled.evaluate_with_limit(&mut arena, &[], Memory::new(), 100);
+            let direct = evaluate_direct(&func, &mut arena, &[], Memory::new(), 100);
+            assert_eq!(fast, direct);
+            assert!(direct.is_err());
+        }
+    }
+
+    #[test]
+    fn batched_sweep_matches_serial_everywhere() {
+        let mut arena = EvalArena::new();
+        for text in SHAPES {
+            let func = parse_function(text).unwrap();
+            let compiled = CompiledFunction::compile(&func);
+            for limit in [4, DEFAULT_STEP_LIMIT] {
+                let inputs = shape_inputs(text);
+                let serial: Vec<_> = inputs
+                    .iter()
+                    .map(|(args, memory)| {
+                        compiled.evaluate_with_limit(&mut arena, args, memory.clone(), limit)
+                    })
+                    .collect();
+                let lanes: Vec<(&[EvalValue], Memory)> =
+                    inputs.iter().map(|(args, memory)| (args.as_slice(), memory.clone())).collect();
+                let batched = compiled.evaluate_batch_with_limit(&mut arena, lanes, limit);
+                assert_eq!(serial, batched, "batch diverged on {text} (limit {limit})");
+            }
+        }
+        // Empty batch and wrong-arity lanes.
+        let func = parse_function("define i32 @f(i32 %x) {\n ret i32 %x\n}").unwrap();
+        let compiled = CompiledFunction::compile(&func);
+        assert!(compiled
+            .evaluate_batch_with_limit(&mut arena, Vec::new(), DEFAULT_STEP_LIMIT)
+            .is_empty());
+        let bad: Vec<(&[EvalValue], Memory)> = vec![(&[], Memory::new())];
+        let out = compiled.evaluate_batch_with_limit(&mut arena, bad, DEFAULT_STEP_LIMIT);
+        assert!(out[0].is_err());
+    }
+
+    #[test]
+    fn batched_sweep_isolates_lanes() {
+        // Memory and registers must not leak between lanes: every lane
+        // stores a different value through the same code.
+        let func = parse_function(
+            "define i32 @f(ptr %p, i32 %x) {\n\
+             store i32 %x, ptr %p, align 4\n\
+             %v = load i32, ptr %p, align 4\n\
+             ret i32 %v\n}",
+        )
+        .unwrap();
+        let compiled = CompiledFunction::compile(&func);
+        let mut arena = EvalArena::new();
+        let args: Vec<Vec<EvalValue>> = (0..10u128)
+            .map(|i| {
+                let mut mem = Memory::new();
+                let alloc = mem.allocate_zeroed(16);
+                let _ = mem;
+                vec![EvalValue::Ptr(PtrValue { alloc, offset: 0 }), EvalValue::int(32, i * 11)]
+            })
+            .collect();
+        let lanes: Vec<(&[EvalValue], Memory)> = args
+            .iter()
+            .map(|a| {
+                let mut mem = Memory::new();
+                mem.allocate_zeroed(16);
+                (a.as_slice(), mem)
+            })
+            .collect();
+        let out = compiled.evaluate_batch_with_limit(&mut arena, lanes, DEFAULT_STEP_LIMIT);
+        for (i, lane) in out.into_iter().enumerate() {
+            let outcome = lane.unwrap();
+            assert_eq!(outcome.result, Some(EvalValue::int(32, (i as u128) * 11)));
+            assert_eq!(outcome.steps, 3);
+            // Each lane's final memory holds its own stored value.
+            let bytes = outcome.memory.allocation(0).unwrap().bytes().to_vec();
+            assert_eq!(bytes[0] as u128, (i as u128 * 11) & 0xff);
         }
     }
 

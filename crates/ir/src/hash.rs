@@ -88,10 +88,18 @@ fn hash_constant(c: &Constant, h: &mut Fnv) {
 
 /// Computes the structural digest of a function.
 ///
-/// The digest covers: the signature types, and for every placed instruction in
-/// layout order its opcode, result type, flags, and operands (constants by
-/// value, instruction operands by their position in layout order, arguments by
-/// index). Names never influence the digest.
+/// The digest covers: the signature types; the block structure (block count
+/// and per-block instruction counts, so the same instruction stream split
+/// across blocks differently hashes differently); and for every placed
+/// instruction in layout order its opcode, result type, flags, control-flow
+/// targets (branch successors, phi incoming-block ids) and operands
+/// (constants by value, instruction operands by their position in layout
+/// order, arguments by index). Names never influence the digest.
+///
+/// Two functions with equal digests are behaviourally interchangeable —
+/// modulo hash collision — which is what lets the digest key both the
+/// execution engine's dedup cache and the translation validator's
+/// compiled-function cache.
 pub fn hash_function(func: &Function) -> Digest {
     let mut numbering = HashMap::new();
     for (pos, id) in func.iter_inst_ids().enumerate() {
@@ -103,6 +111,10 @@ pub fn hash_function(func: &Function) -> Digest {
     for p in &func.params {
         p.ty.to_string().hash(&mut h);
     }
+    func.blocks().len().hash(&mut h);
+    for block in func.blocks() {
+        block.insts.len().hash(&mut h);
+    }
     for (_, inst) in func.iter_insts() {
         inst.kind.opcode_name().hash(&mut h);
         inst.ty.to_string().hash(&mut h);
@@ -110,6 +122,8 @@ pub fn hash_function(func: &Function) -> Digest {
             InstKind::Binary { flags, .. } | InstKind::Cast { flags, .. } => {
                 flags.to_string().hash(&mut h);
             }
+            InstKind::FBinary { fmf, .. } => fmf.to_string().hash(&mut h),
+            InstKind::Alloca { ty } => ty.to_string().hash(&mut h),
             InstKind::ICmp { pred, .. } => pred.mnemonic().hash(&mut h),
             InstKind::FCmp { pred, .. } => pred.mnemonic().hash(&mut h),
             InstKind::Gep { inbounds, nuw, elem_ty, .. } => {
@@ -118,6 +132,15 @@ pub fn hash_function(func: &Function) -> Digest {
                 elem_ty.to_string().hash(&mut h);
             }
             InstKind::ShuffleVector { mask, .. } => mask.hash(&mut h),
+            InstKind::Br { then_block, else_block, .. } => {
+                then_block.0.hash(&mut h);
+                else_block.map(|b| b.0).hash(&mut h);
+            }
+            InstKind::Phi { incoming } => {
+                for (_, bb) in incoming {
+                    bb.0.hash(&mut h);
+                }
+            }
             _ => {}
         }
         for op in inst.kind.operands() {
@@ -167,6 +190,30 @@ mod tests {
         let flagged = parse_function("define i32 @f(i32 %x) {\n %r = add nsw i32 %x, 4\n ret i32 %r\n}").unwrap();
         assert_ne!(hash_function(&base), hash_function(&flagged));
 
+        // Fast-math flags are execution-relevant (nnan turns NaN operands
+        // into poison) and must change the digest.
+        let plain_fadd = parse_function(
+            "define double @f(double %x, double %y) {\n %r = fadd double %x, %y\n ret double %r\n}",
+        )
+        .unwrap();
+        let nnan_fadd = parse_function(
+            "define double @f(double %x, double %y) {\n %r = fadd nnan double %x, %y\n ret double %r\n}",
+        )
+        .unwrap();
+        assert_ne!(hash_function(&plain_fadd), hash_function(&nnan_fadd));
+
+        // The allocated type decides the allocation size (and therefore
+        // which accesses are UB): it must change the digest too.
+        let small_alloca = parse_function(
+            "define void @f() {\n %p = alloca i8\n ret void\n}",
+        )
+        .unwrap();
+        let big_alloca = parse_function(
+            "define void @f() {\n %p = alloca i64\n ret void\n}",
+        )
+        .unwrap();
+        assert_ne!(hash_function(&small_alloca), hash_function(&big_alloca));
+
         // Different argument types change the digest.
         let wide = parse_function("define i64 @f(i64 %x) {\n %r = add i64 %x, 4\n ret i64 %r\n}").unwrap();
         assert_ne!(hash_function(&base), hash_function(&wide));
@@ -189,6 +236,55 @@ mod tests {
         b.ret(Some(v));
         let xy = b.build();
         assert_ne!(hash_function(&xx), hash_function(&xy));
+    }
+
+    #[test]
+    fn control_flow_shape_matters() {
+        // Same instruction stream, opposite branch targets.
+        let t1 = parse_function(
+            "define i32 @f(i1 %c) {\n\
+             entry:\n  br i1 %c, label %a, label %b\n\
+             a:\n  ret i32 1\n\
+             b:\n  ret i32 2\n}",
+        )
+        .unwrap();
+        let t2 = parse_function(
+            "define i32 @f(i1 %c) {\n\
+             entry:\n  br i1 %c, label %b, label %a\n\
+             a:\n  ret i32 1\n\
+             b:\n  ret i32 2\n}",
+        )
+        .unwrap();
+        assert_ne!(hash_function(&t1), hash_function(&t2));
+
+        // Renaming the successor blocks (same shape) keeps the digest.
+        let t3 = parse_function(
+            "define i32 @f(i1 %c) {\n\
+             entry:\n  br i1 %c, label %x, label %y\n\
+             x:\n  ret i32 1\n\
+             y:\n  ret i32 2\n}",
+        )
+        .unwrap();
+        assert_eq!(hash_function(&t1), hash_function(&t3));
+
+        // Phi incoming-block swap changes the digest.
+        let p1 = parse_function(
+            "define i32 @f(i1 %c) {\n\
+             entry:\n  br i1 %c, label %a, label %b\n\
+             a:\n  br label %join\n\
+             b:\n  br label %join\n\
+             join:\n  %r = phi i32 [ 1, %a ], [ 2, %b ]\n  ret i32 %r\n}",
+        )
+        .unwrap();
+        let p2 = parse_function(
+            "define i32 @f(i1 %c) {\n\
+             entry:\n  br i1 %c, label %a, label %b\n\
+             a:\n  br label %join\n\
+             b:\n  br label %join\n\
+             join:\n  %r = phi i32 [ 1, %b ], [ 2, %a ]\n  ret i32 %r\n}",
+        )
+        .unwrap();
+        assert_ne!(hash_function(&p1), hash_function(&p2));
     }
 
     #[test]

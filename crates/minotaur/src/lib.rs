@@ -16,7 +16,7 @@ use lpo_ir::instruction::InstKind;
 use lpo_llm::strategies::{apply_strategy, Strategy};
 use lpo_tv::inputs::InputConfig;
 use lpo_tv::prelude::EvalArena;
-use lpo_tv::refine::{SourceCache, TvConfig};
+use lpo_tv::refine::{CompileCache, SourceCache, TvConfig};
 use std::time::{Duration, Instant};
 
 /// The result category of one Minotaur run.
@@ -95,8 +95,12 @@ pub fn superoptimize_batch(functions: &[Function], jobs: usize) -> Vec<MinotaurR
     }
     .min(functions.len())
     .max(1);
+    // One compiled-function cache per batch (template instantiations repeat
+    // structurally across similar cases); hits only save wall-clock time,
+    // never change outcomes, so jobs-invariance holds.
+    let cache = CompileCache::new();
     if jobs == 1 {
-        return functions.iter().map(superoptimize).collect();
+        return functions.iter().map(|f| superoptimize_with_cache(f, &cache)).collect();
     }
     let cursor = std::sync::atomic::AtomicUsize::new(0);
     let slots: std::sync::Mutex<Vec<Option<MinotaurResult>>> =
@@ -108,7 +112,7 @@ pub fn superoptimize_batch(functions: &[Function], jobs: usize) -> Vec<MinotaurR
                 if index >= functions.len() {
                     break;
                 }
-                let result = superoptimize(&functions[index]);
+                let result = superoptimize_with_cache(&functions[index], &cache);
                 slots.lock().expect("result store poisoned")[index] = Some(result);
             });
         }
@@ -123,6 +127,13 @@ pub fn superoptimize_batch(functions: &[Function], jobs: usize) -> Vec<MinotaurR
 
 /// Runs the Minotaur baseline on one wrapped instruction sequence.
 pub fn superoptimize(func: &Function) -> MinotaurResult {
+    superoptimize_with_cache(func, &CompileCache::new())
+}
+
+/// [`superoptimize`] with an explicit compiled-function cache, shared across
+/// a batch by [`superoptimize_batch`]. The cache only affects wall-clock
+/// time, never outcomes.
+pub fn superoptimize_with_cache(func: &Function, compile_cache: &CompileCache) -> MinotaurResult {
     let start = Instant::now();
     if let Some(reason) = crashes_on(func) {
         return MinotaurResult {
@@ -138,17 +149,20 @@ pub fn superoptimize(func: &Function) -> MinotaurResult {
     let mut canonical = func.clone();
     let _ = lpo_opt::pipeline::Pipeline::default().run(&mut canonical);
     let func = &canonical;
-    let tv = TvConfig { inputs: InputConfig { exhaustive_bits: 10, random_samples: 48, seed: 0x3140 } };
+    let tv = TvConfig {
+        inputs: InputConfig { exhaustive_bits: 10, random_samples: 48, seed: 0x3140 },
+        ..TvConfig::default()
+    };
     // All templates verify against the same source: cache its per-input
     // outcomes and reuse one evaluation arena across the whole scan.
-    let case = SourceCache::new(func, tv);
+    let case = SourceCache::new(func, tv).with_compile_cache(compile_cache);
     let mut arena = EvalArena::new();
     let mut templates_tried = 0usize;
     for template in templates() {
         templates_tried += 1;
         if let Some(candidate) = apply_strategy(&template, func) {
             if candidate.instruction_count() <= func.instruction_count()
-                && case.verify_with(&candidate, &mut arena).is_correct()
+                && case.verify_outcome_only(&candidate, &mut arena)
             {
                 return MinotaurResult {
                     outcome: Outcome::Found(candidate),

@@ -30,7 +30,7 @@ use lpo_ir::instruction::{BinOp, ICmpPred, InstKind, Instruction, Value};
 use lpo_ir::types::Type;
 use lpo_tv::inputs::InputConfig;
 use lpo_tv::prelude::EvalArena;
-use lpo_tv::refine::{SourceCache, TvConfig};
+use lpo_tv::refine::{CompileCache, SourceCache, TvConfig};
 use std::time::{Duration, Instant};
 
 /// Configuration of a Souper run.
@@ -88,6 +88,16 @@ pub struct SouperResult {
     pub modeled: Duration,
     /// How many candidates were enumerated and checked.
     pub candidates_tried: usize,
+    /// The search phase that produced a [`Outcome::Found`]: `Some(0)` for the
+    /// depth-0 leaf scan, `Some(d)` for a replacement with `d` synthesized
+    /// instructions, `None` otherwise.
+    ///
+    /// Because a run at `enum_depth = d` explores exactly the same candidates
+    /// in the same order as the depth-`d` prefix of a deeper run (same budget
+    /// counter, same pruning), `found_at_depth <= d` on a deep run tells you
+    /// precisely what a shallower run would have concluded — the drivers use
+    /// one `Enum = 2` search per case instead of re-running every level.
+    pub found_at_depth: Option<u32>,
 }
 
 impl SouperResult {
@@ -137,7 +147,10 @@ pub fn unsupported_reason(func: &Function) -> Option<String> {
 }
 
 fn quick_tv() -> TvConfig {
-    TvConfig { inputs: InputConfig { exhaustive_bits: 10, random_samples: 48, seed: 0x50f4 } }
+    TvConfig {
+        inputs: InputConfig { exhaustive_bits: 10, random_samples: 48, seed: 0x50f4 },
+        ..TvConfig::default()
+    }
 }
 
 /// Per-candidate modelled synthesis cost in seconds, by `Enum` value. The
@@ -172,8 +185,13 @@ pub fn superoptimize_batch(
     }
     .min(functions.len())
     .max(1);
+    // One compiled-function cache per batch: candidates that survive the
+    // verifier's probe (leaf replacements like `ret %x` recur across every
+    // case of a matching signature) compile once for the whole pool. Cache
+    // hits cannot change outcomes, so the jobs-invariance contract holds.
+    let cache = CompileCache::new();
     if jobs == 1 {
-        return functions.iter().map(|f| superoptimize(f, config)).collect();
+        return functions.iter().map(|f| superoptimize_with_cache(f, config, &cache)).collect();
     }
     let cursor = std::sync::atomic::AtomicUsize::new(0);
     let slots: std::sync::Mutex<Vec<Option<SouperResult>>> =
@@ -185,7 +203,7 @@ pub fn superoptimize_batch(
                 if index >= functions.len() {
                     break;
                 }
-                let result = superoptimize(&functions[index], config);
+                let result = superoptimize_with_cache(&functions[index], config, &cache);
                 slots.lock().expect("result store poisoned")[index] = Some(result);
             });
         }
@@ -200,6 +218,17 @@ pub fn superoptimize_batch(
 
 /// Runs the superoptimizer on one wrapped instruction sequence.
 pub fn superoptimize(func: &Function, config: &SouperConfig) -> SouperResult {
+    superoptimize_with_cache(func, config, &CompileCache::new())
+}
+
+/// [`superoptimize`] with an explicit compiled-function cache, shared across
+/// a batch by [`superoptimize_batch`]. The cache only affects wall-clock
+/// time, never outcomes.
+pub fn superoptimize_with_cache(
+    func: &Function,
+    config: &SouperConfig,
+    compile_cache: &CompileCache,
+) -> SouperResult {
     let start = Instant::now();
     if let Some(reason) = unsupported_reason(func) {
         return SouperResult {
@@ -207,6 +236,7 @@ pub fn superoptimize(func: &Function, config: &SouperConfig) -> SouperResult {
             elapsed: start.elapsed(),
             modeled: Duration::from_millis(400),
             candidates_tried: 0,
+            found_at_depth: None,
         };
     }
     // Stage 1, source side, **once per case** and text-free: the search sees
@@ -221,7 +251,7 @@ pub fn superoptimize(func: &Function, config: &SouperConfig) -> SouperResult {
     // `candidate_budget` candidates against the same function, so the test
     // inputs and the source's per-input outcomes are computed exactly once,
     // and every evaluation reuses one register-file arena.
-    let case = SourceCache::new(func, quick_tv());
+    let case = SourceCache::new(func, quick_tv()).with_compile_cache(compile_cache);
     let mut arena = EvalArena::new();
     let original_cost = func.instruction_count();
     let mut tried = 0usize;
@@ -284,8 +314,8 @@ pub fn superoptimize(func: &Function, config: &SouperConfig) -> SouperResult {
                 scratch
             }
         };
-        if case.verify_with(replacement, &mut arena).is_correct() {
-            return finish(start, Outcome::Found(replacement.clone()), tried, config);
+        if case.verify_outcome_only(replacement, &mut arena) {
+            return finish(start, Outcome::Found(replacement.clone()), tried, config, Some(0));
         }
     }
 
@@ -307,7 +337,7 @@ pub fn superoptimize(func: &Function, config: &SouperConfig) -> SouperResult {
                     for b in widths.iter().chain(const_values.iter()) {
                         tried += 1;
                         if tried >= config.candidate_budget || modeled_time(tried, config) > config.timeout {
-                            return finish(start, Outcome::Timeout, tried, config);
+                            return finish(start, Outcome::Timeout, tried, config, None);
                         }
                         if func.value_type(a) != func.value_type(b) || !func.value_type(a).is_int() {
                             continue;
@@ -325,9 +355,9 @@ pub fn superoptimize(func: &Function, config: &SouperConfig) -> SouperResult {
                             }
                         };
                         if candidate.instruction_count() < original_cost
-                            && case.verify_with(candidate, &mut arena).is_correct()
+                            && case.verify_outcome_only(candidate, &mut arena)
                         {
-                            return finish(start, Outcome::Found(candidate.clone()), tried, config);
+                            return finish(start, Outcome::Found(candidate.clone()), tried, config, Some(1));
                         }
                     }
                 }
@@ -336,7 +366,7 @@ pub fn superoptimize(func: &Function, config: &SouperConfig) -> SouperResult {
         /// Frontier cap per level (real Souper prunes aggressively).
         const FRONTIER_CAP: usize = 256;
         let mut frontier: Vec<Function> = vec![skeleton(func)];
-        for _level in 0..config.enum_depth {
+        for level in 0..config.enum_depth {
             let mut next = Vec::new();
             for base in &frontier {
                 // One scratch per base: the base body plus a synthesized
@@ -351,7 +381,7 @@ pub fn superoptimize(func: &Function, config: &SouperConfig) -> SouperResult {
                     for a in widths.iter().chain(const_values.iter()).chain(synthesized.iter()) {
                         for b in widths.iter().chain(const_values.iter()) {
                             if tried >= config.candidate_budget {
-                                return finish(start, Outcome::Timeout, tried, config);
+                                return finish(start, Outcome::Timeout, tried, config, None);
                             }
                             let a_ty = base.value_type(a);
                             if a_ty != base.value_type(b) || !a_ty.is_int() || a_ty != ret_ty {
@@ -359,7 +389,7 @@ pub fn superoptimize(func: &Function, config: &SouperConfig) -> SouperResult {
                             }
                             tried += 1;
                             if modeled_time(tried, config) > config.timeout {
-                                return finish(start, Outcome::Timeout, tried, config);
+                                return finish(start, Outcome::Timeout, tried, config, None);
                             }
                             scratch.set_inst_kind(
                                 synth_id,
@@ -372,9 +402,9 @@ pub fn superoptimize(func: &Function, config: &SouperConfig) -> SouperResult {
                                 a_ty,
                             );
                             if scratch_cost < original_cost
-                                && case.verify_with(&scratch, &mut arena).is_correct()
+                                && case.verify_outcome_only(&scratch, &mut arena)
                             {
-                                return finish(start, Outcome::Found(scratch.clone()), tried, config);
+                                return finish(start, Outcome::Found(scratch.clone()), tried, config, Some(level + 1));
                             }
                             if next.len() < FRONTIER_CAP {
                                 next.push(scratch.clone());
@@ -387,19 +417,25 @@ pub fn superoptimize(func: &Function, config: &SouperConfig) -> SouperResult {
         }
     }
 
-    finish(start, Outcome::NotFound, tried, config)
+    finish(start, Outcome::NotFound, tried, config, None)
 }
 
 fn modeled_time(tried: usize, config: &SouperConfig) -> Duration {
     Duration::from_secs_f64(0.4 + tried as f64 * modeled_seconds_per_candidate(config.enum_depth))
 }
 
-fn finish(start: Instant, outcome: Outcome, tried: usize, config: &SouperConfig) -> SouperResult {
+fn finish(
+    start: Instant,
+    outcome: Outcome,
+    tried: usize,
+    config: &SouperConfig,
+    found_at_depth: Option<u32>,
+) -> SouperResult {
     let modeled = match outcome {
         Outcome::Timeout => config.timeout,
         _ => modeled_time(tried, config).min(config.timeout),
     };
-    SouperResult { outcome, elapsed: start.elapsed(), modeled, candidates_tried: tried }
+    SouperResult { outcome, elapsed: start.elapsed(), modeled, candidates_tried: tried, found_at_depth }
 }
 
 /// A function that just returns `value`.

@@ -6,6 +6,14 @@
 //! domain; for larger signatures it combines corner values with seeded random
 //! samples — the same engineering trade-off bounded translation validators
 //! make, scaled to the tiny functions the LPO pipeline works with.
+//!
+//! The *order* of the generated inputs matters to the staged checker (see
+//! [`crate::refine`]): its probe phase runs only the leading
+//! `TvConfig::probe_inputs` inputs, so the front of the list should be the
+//! most refutation-dense. Exhaustive sets lead with the small patterns
+//! (0, 1, 2, …) and sampled sets lead with the corner-value diagonal
+//! (zero/one/all-ones/signed extremes) — exactly the inputs that kill
+//! almost every wrong candidate — before the random tail.
 
 use lpo_interp::memory::{Allocation, Memory};
 use lpo_interp::value::{EvalValue, PtrValue};

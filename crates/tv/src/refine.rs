@@ -15,19 +15,52 @@
 //! [`generate_inputs`]; a failure yields a
 //! [`Counterexample`] formatted the way Alive2 reports them, which the LPO
 //! pipeline feeds back to the LLM.
+//!
+//! # Staged verification
+//!
+//! Almost every candidate the discovery loop proposes is *wrong*, and wrong
+//! candidates are usually refuted by one of the very first inputs. The
+//! checker therefore runs in three stages (see `ARCHITECTURE.md`
+//! § Translation validation hot path):
+//!
+//! 1. **Probe** — the first [`TvConfig::probe_inputs`] inputs are evaluated
+//!    with [`lpo_interp::compiled::evaluate_direct`], straight off the raw
+//!    [`Function`]: a candidate refuted here never pays
+//!    [`CompiledFunction::compile`].
+//! 2. **Lazy compile** — only probe survivors are compiled, through the
+//!    structural-hash-keyed [`CompileCache`] when one is attached, so
+//!    syntactically distinct but structurally identical candidates compile
+//!    once per worker pool.
+//! 3. **Batched sweep** — the remaining inputs run through
+//!    [`CompiledFunction::evaluate_batch_with_limit`], which drives a chunk
+//!    of lanes through one walk of the decoded step list.
+//!
+//! The staged path is **outcome-identical** to the retained single-stage
+//! path ([`verify_refinement_reference`] /
+//! [`SourceCache::verify_reference`]): same verdicts, same counterexamples,
+//! same UB messages, and the same number of source-side evaluations
+//! ([`SourceCache::source_eval_count`]). `tests/tv_differential.rs` checks
+//! this differentially over the rq1/rq2 corpora.
 
 use crate::inputs::{generate_inputs, InputConfig, TestInput};
-use lpo_interp::compiled::{CompiledFunction, EvalArena};
+use lpo_interp::compiled::{evaluate_direct, CompiledFunction, EvalArena};
 use lpo_interp::eval::Ub;
 use lpo_interp::memory::Memory;
 use lpo_interp::value::EvalValue;
 use lpo_ir::function::Function;
+use lpo_ir::hash::{hash_function, Digest};
 use lpo_ir::printer;
 use std::cell::{Cell, OnceCell, RefCell};
+use std::collections::HashMap;
 use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 
 /// How many instructions a single evaluation may execute.
 const STEP_LIMIT: usize = 1 << 14;
+
+/// How many inputs one batched survivor-sweep call covers.
+const SWEEP_LANES: usize = 32;
 
 /// The result of checking one candidate transformation.
 #[derive(Clone, Debug, PartialEq)]
@@ -94,10 +127,119 @@ impl fmt::Display for Counterexample {
 }
 
 /// Configuration of the translation validator.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug)]
 pub struct TvConfig {
     /// Input generation parameters.
     pub inputs: InputConfig,
+    /// How many leading inputs the staged checker probes with the direct
+    /// (uncompiled) evaluator before paying `CompiledFunction::compile` for
+    /// the candidate. `0` compiles immediately; a value at or above the
+    /// input-set size means the whole check runs on the probe evaluator.
+    pub probe_inputs: usize,
+}
+
+impl Default for TvConfig {
+    fn default() -> Self {
+        Self { inputs: InputConfig::default(), probe_inputs: 16 }
+    }
+}
+
+/// A shared, sharded cache of compiled candidate functions, keyed by
+/// [`lpo_ir::hash::hash_function`].
+///
+/// Structurally identical candidates — different value names, same dataflow —
+/// show up constantly across a case's feedback attempts, across the dedup
+/// groups of a corpus batch, and across `table4`'s model profiles. The digest
+/// covers everything that influences execution (opcodes, flags, types,
+/// constants, operand shape, block structure and branch targets), so a cached
+/// [`CompiledFunction`] is behaviourally interchangeable with recompiling the
+/// candidate, and cache hits cannot change verdicts.
+///
+/// The cache is `Send + Sync` (digest-sharded `Mutex`es) and is shared by all
+/// workers of an execution pool; hit/miss totals are scheduling-dependent
+/// (two workers can race to compile the same digest), but verdicts are not.
+/// Each shard is capped at [`CompileCache::SHARD_CAP`] entries; once full,
+/// new digests are compiled but not retained.
+pub struct CompileCache {
+    shards: Vec<Mutex<HashMap<Digest, Arc<CompiledFunction>>>>,
+    hits: AtomicUsize,
+    misses: AtomicUsize,
+}
+
+impl Default for CompileCache {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl fmt::Debug for CompileCache {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("CompileCache")
+            .field("entries", &self.len())
+            .field("hits", &self.hits())
+            .field("misses", &self.misses())
+            .finish()
+    }
+}
+
+impl CompileCache {
+    /// Entries held per shard before new digests stop being retained.
+    pub const SHARD_CAP: usize = 1024;
+    /// Number of shards (a power of two, so digest → shard is a mask).
+    const SHARDS: usize = 8;
+
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        Self {
+            shards: (0..Self::SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+            hits: AtomicUsize::new(0),
+            misses: AtomicUsize::new(0),
+        }
+    }
+
+    /// Returns the compiled form of `func`, compiling (and retaining) it on
+    /// first sight of its structural digest.
+    pub fn get_or_compile(&self, func: &Function) -> Arc<CompiledFunction> {
+        let digest = hash_function(func);
+        let shard = &self.shards[(digest.0 as usize) & (Self::SHARDS - 1)];
+        if let Some(hit) = shard.lock().expect("compile cache poisoned").get(&digest) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return hit.clone();
+        }
+        // Compile outside the lock; a concurrent miss on the same digest
+        // costs one duplicate compile, never a wrong result.
+        let compiled = Arc::new(CompiledFunction::compile(func));
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let mut map = shard.lock().expect("compile cache poisoned");
+        if let Some(existing) = map.get(&digest) {
+            return existing.clone();
+        }
+        if map.len() < Self::SHARD_CAP {
+            map.insert(digest, compiled.clone());
+        }
+        compiled
+    }
+
+    /// Lookups served from the cache so far.
+    pub fn hits(&self) -> usize {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Compiles performed (first sight of a digest, plus rare races). The
+    /// compile-once tests use this as their oracle.
+    pub fn misses(&self) -> usize {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Compiled functions currently retained.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().expect("compile cache poisoned").len()).sum()
+    }
+
+    /// Whether the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
 }
 
 /// The translation validator (this reproduction's stand-in for Alive2).
@@ -136,12 +278,13 @@ impl Validator {
     }
 }
 
-/// Checks refinement with the default configuration.
+/// Checks refinement with the default configuration (staged).
 pub fn verify_refinement(src: &Function, tgt: &Function) -> Verdict {
     verify_refinement_with(src, tgt, &TvConfig::default())
 }
 
-/// Checks refinement with an explicit configuration.
+/// Checks refinement with an explicit configuration, on the staged
+/// (probe → lazy compile → batched sweep) checker.
 ///
 /// One-shot convenience: callers that verify several candidate rewrites of
 /// the same source (the LPO loop, the superoptimizer baselines) should build
@@ -151,9 +294,34 @@ pub fn verify_refinement_with(src: &Function, tgt: &Function, config: &TvConfig)
     SourceCache::new(src, config.clone()).verify(tgt)
 }
 
+/// Checks refinement on the retained pre-staging path: the candidate is
+/// compiled unconditionally and the inputs are swept one at a time from the
+/// first.
+///
+/// This is the differential oracle for the staged checker — verdicts,
+/// counterexamples and UB messages are bit-identical between the two — and
+/// the baseline `repro bench-tv` measures the staged path against.
+pub fn verify_refinement_reference(src: &Function, tgt: &Function, config: &TvConfig) -> Verdict {
+    let cache = SourceCache::new(src, config.clone());
+    let mut arena = EvalArena::new();
+    cache.verify_reference(tgt, &mut arena)
+}
+
 /// The outcome of evaluating the source function on one input: the returned
 /// value and final memory, or the UB it exhibited.
 type SourceOutcome = Result<(Option<EvalValue>, Memory), Ub>;
+
+/// The same shape for the target side (probe, batched or compiled-serial —
+/// all three evaluators produce identical outcomes).
+type TargetOutcome = Result<(Option<EvalValue>, Memory), Ub>;
+
+/// What the staged walk concluded, before any diagnostic rendering.
+enum StagedVerdict {
+    /// Every input refined.
+    Correct { inputs_checked: usize, exhaustive: bool },
+    /// Input `index` refutes the candidate.
+    Refuted { index: usize, tgt_out: TargetOutcome, refutation: Refutation },
+}
 
 /// Per-case verification state, cached across candidate rewrites.
 ///
@@ -172,14 +340,25 @@ type SourceOutcome = Result<(Option<EvalValue>, Memory), Ub>;
 /// so verifying the k-th candidate only evaluates the *target* (plus any
 /// source inputs no earlier candidate reached). Each source input is
 /// evaluated at most once per case, and verdicts are bit-identical to the
-/// uncached [`verify_refinement_with`] path.
+/// retained [`verify_refinement_reference`] path.
+///
+/// Candidate verification itself is *staged* (see the module docs): a probe
+/// over the first [`TvConfig::probe_inputs`] inputs on the uncompiled
+/// evaluator, then lazy compilation — through an attached [`CompileCache`],
+/// if any — and a batched sweep for the survivors.
+/// [`probe_rejects`](Self::probe_rejects) / [`survivors`](Self::survivors)
+/// count how candidates split between the two stages.
 pub struct SourceCache<'a> {
     src: &'a Function,
     config: TvConfig,
+    compile_cache: Option<&'a CompileCache>,
     inputs: OnceCell<(Vec<TestInput>, bool)>,
     compiled_src: OnceCell<CompiledFunction>,
     outcomes: RefCell<Vec<Option<SourceOutcome>>>,
     source_evals: Cell<usize>,
+    candidates: Cell<usize>,
+    probe_rejects: Cell<usize>,
+    survivors: Cell<usize>,
 }
 
 impl<'a> SourceCache<'a> {
@@ -189,16 +368,45 @@ impl<'a> SourceCache<'a> {
         Self {
             src,
             config,
+            compile_cache: None,
             inputs: OnceCell::new(),
             compiled_src: OnceCell::new(),
             outcomes: RefCell::new(Vec::new()),
             source_evals: Cell::new(0),
+            candidates: Cell::new(0),
+            probe_rejects: Cell::new(0),
+            survivors: Cell::new(0),
         }
+    }
+
+    /// Attaches a shared compiled-function cache: probe survivors are then
+    /// compiled through it, so structurally identical candidates compile once
+    /// per pool instead of once per verification.
+    pub fn with_compile_cache(mut self, cache: &'a CompileCache) -> Self {
+        self.compile_cache = Some(cache);
+        self
     }
 
     /// The source function this cache verifies candidates against.
     pub fn source(&self) -> &'a Function {
         self.src
+    }
+
+    /// How many candidates were fully checked (signature errors excluded).
+    pub fn candidates_checked(&self) -> usize {
+        self.candidates.get()
+    }
+
+    /// Candidates refuted inside the probe window — they never paid a
+    /// `CompiledFunction::compile`.
+    pub fn probe_rejects(&self) -> usize {
+        self.probe_rejects.get()
+    }
+
+    /// Candidates that survived the probe and went through compile (or a
+    /// compile-cache hit) plus the batched sweep.
+    pub fn survivors(&self) -> usize {
+        self.survivors.get()
     }
 
     /// How many times the source function has been concretely evaluated.
@@ -234,28 +442,173 @@ impl<'a> SourceCache<'a> {
         }
     }
 
-    /// Checks whether `tgt` refines the cached source, reusing `arena`'s
-    /// register file for every evaluation.
-    pub fn verify_with(&self, tgt: &Function, arena: &mut EvalArena) -> Verdict {
-        // Signature compatibility: same parameter types (names may differ) and
-        // the same return type. A mismatch is a *fixable* error reported as
-        // feedback.
+    /// Signature compatibility: same parameter types (names may differ) and
+    /// the same return type. A mismatch is a *fixable* error reported as
+    /// feedback.
+    fn signature_error(&self, tgt: &Function) -> Option<Verdict> {
         if self.src.params.len() != tgt.params.len()
             || self.src.params.iter().zip(&tgt.params).any(|(a, b)| a.ty != b.ty)
         {
-            return Verdict::Error(format!(
+            return Some(Verdict::Error(format!(
                 "ERROR: program doesn't type check!\nsource signature:  {}\ntarget signature:  {}\nthe target function must take exactly the same parameters as the source",
                 printer::signature(self.src),
                 printer::signature(tgt)
-            ));
+            )));
         }
         if self.src.ret_ty != tgt.ret_ty {
-            return Verdict::Error(format!(
+            return Some(Verdict::Error(format!(
                 "ERROR: program doesn't type check!\nsource returns {} but target returns {}",
                 self.src.ret_ty, tgt.ret_ty
-            ));
+            )));
+        }
+        None
+    }
+
+    /// Compares one input's cached source outcome against a freshly computed
+    /// target outcome, returning the cheap refutation descriptor.
+    fn check_input(
+        &self,
+        index: usize,
+        input: &TestInput,
+        tgt_out: &TargetOutcome,
+        arena: &mut EvalArena,
+    ) -> Option<Refutation> {
+        let total = self.inputs().0.len();
+        self.ensure_outcome(index, total, input, arena);
+        let outcomes = self.outcomes.borrow();
+        let src_out = outcomes[index].as_ref().expect("outcome just ensured");
+        refutation(input, src_out, tgt_out)
+    }
+
+    /// The staged walk shared by [`verify_with`](Self::verify_with) and
+    /// [`verify_outcome_only`](Self::verify_outcome_only): probe → lazy
+    /// (cached) compile → batched sweep. On refutation it returns the failing
+    /// input index, the target outcome and the refutation descriptor —
+    /// everything needed to render the counterexample, without rendering it.
+    fn verify_staged(&self, tgt: &Function, arena: &mut EvalArena) -> Result<StagedVerdict, Verdict> {
+        if let Some(error) = self.signature_error(tgt) {
+            return Err(error);
+        }
+        self.candidates.set(self.candidates.get() + 1);
+
+        let probe_n = {
+            let (inputs, _) = self.inputs();
+            self.config.probe_inputs.min(inputs.len())
+        };
+
+        // Stage 1: probe, no compile. Inputs are walked in the same order as
+        // the reference path, so the refuting input (and the number of
+        // source-side evaluations) is identical.
+        for index in 0..probe_n {
+            let input = &self.inputs().0[index];
+            let tgt_out = evaluate_direct(tgt, arena, &input.args, input.memory.clone(), STEP_LIMIT)
+                .map(|o| (o.result, o.memory));
+            if let Some(refutation) = self.check_input(index, input, &tgt_out, arena) {
+                self.probe_rejects.set(self.probe_rejects.get() + 1);
+                return Ok(StagedVerdict::Refuted { index, tgt_out, refutation });
+            }
         }
 
+        let (inputs, exhaustive) = self.inputs();
+        let (total, exhaustive) = (inputs.len(), *exhaustive);
+        if probe_n == total {
+            return Ok(StagedVerdict::Correct { inputs_checked: total, exhaustive });
+        }
+
+        // Stage 2: the candidate survived the probe — compile it (once per
+        // structural digest when a cache is attached).
+        self.survivors.set(self.survivors.get() + 1);
+        let cached;
+        let owned;
+        let compiled_tgt: &CompiledFunction = match self.compile_cache {
+            Some(cache) => {
+                cached = cache.get_or_compile(tgt);
+                &cached
+            }
+            None => {
+                owned = CompiledFunction::compile(tgt);
+                &owned
+            }
+        };
+
+        // Stage 3: batched sweep over the remaining inputs. Target lanes are
+        // evaluated a chunk at a time, but source outcomes are still filled
+        // (and compared) strictly in input order, stopping at the first
+        // failure — so `source_eval_count` matches the reference path even
+        // for candidates refuted mid-sweep.
+        let mut index = probe_n;
+        while index < total {
+            let end = (index + SWEEP_LANES).min(total);
+            let lanes: Vec<(&[EvalValue], Memory)> = self.inputs().0[index..end]
+                .iter()
+                .map(|input| (input.args.as_slice(), input.memory.clone()))
+                .collect();
+            let lane_outs = compiled_tgt.evaluate_batch_with_limit(arena, lanes, STEP_LIMIT);
+            for (offset, lane_out) in lane_outs.into_iter().enumerate() {
+                let input = &self.inputs().0[index + offset];
+                let tgt_out = lane_out.map(|o| (o.result, o.memory));
+                if let Some(refutation) = self.check_input(index + offset, input, &tgt_out, arena)
+                {
+                    return Ok(StagedVerdict::Refuted { index: index + offset, tgt_out, refutation });
+                }
+            }
+            index = end;
+        }
+        Ok(StagedVerdict::Correct { inputs_checked: total, exhaustive })
+    }
+
+    /// Checks whether `tgt` refines the cached source on the **staged**
+    /// checker, reusing `arena`'s register file for every evaluation:
+    ///
+    /// 1. the first [`TvConfig::probe_inputs`] inputs run on the direct
+    ///    (uncompiled) evaluator — most wrong candidates die here for the
+    ///    cost of a few interpreter calls;
+    /// 2. survivors are compiled, through the attached [`CompileCache`] when
+    ///    present;
+    /// 3. the remaining inputs are swept in 32-input batches through one
+    ///    walk of the decoded step list.
+    ///
+    /// Verdicts are bit-identical to [`verify_reference`](Self::verify_reference),
+    /// and the source side is still evaluated at most once per input, in
+    /// input order, stopping at the first counterexample.
+    pub fn verify_with(&self, tgt: &Function, arena: &mut EvalArena) -> Verdict {
+        match self.verify_staged(tgt, arena) {
+            Err(error) => error,
+            Ok(StagedVerdict::Correct { inputs_checked, exhaustive }) => {
+                Verdict::Correct { inputs_checked, exhaustive }
+            }
+            Ok(StagedVerdict::Refuted { index, tgt_out, refutation }) => {
+                let input = &self.inputs().0[index];
+                let outcomes = self.outcomes.borrow();
+                let src_out = outcomes[index].as_ref().expect("refuting input was ensured");
+                Verdict::Incorrect(build_counterexample(
+                    self.src, input, src_out, &tgt_out, refutation,
+                ))
+            }
+        }
+    }
+
+    /// [`verify_with`](Self::verify_with) minus the diagnostic: returns
+    /// exactly `verify_with(tgt, arena).is_correct()` but never renders a
+    /// counterexample — signature errors and refutations are both `false`.
+    ///
+    /// Refuted candidates are the bulk of verification traffic, and for
+    /// enumerative callers (the Souper baseline explores up to
+    /// `candidate_budget` candidates per case, Minotaur its template set)
+    /// the counterexample is discarded; on tiny peephole functions its
+    /// rendering costs more than the refuting evaluation itself, so this
+    /// entry point is the hot path for accept/reject-only verification.
+    pub fn verify_outcome_only(&self, tgt: &Function, arena: &mut EvalArena) -> bool {
+        matches!(self.verify_staged(tgt, arena), Ok(StagedVerdict::Correct { .. }))
+    }
+
+    /// Checks `tgt` on the retained pre-staging path: unconditional compile,
+    /// serial sweep from the first input. The staged checker is proven
+    /// outcome-identical against this.
+    pub fn verify_reference(&self, tgt: &Function, arena: &mut EvalArena) -> Verdict {
+        if let Some(error) = self.signature_error(tgt) {
+            return error;
+        }
         let (inputs, exhaustive) = self.inputs();
         let compiled_tgt = CompiledFunction::compile(tgt);
         for (index, input) in inputs.iter().enumerate() {
@@ -323,8 +676,8 @@ fn describe_outcome(result: &SourceOutcome) -> String {
     }
 }
 
-/// Checks a single input against the cached source outcome; returns a
-/// counterexample on refinement failure.
+/// Checks a single input against the cached source outcome on the reference
+/// path: evaluate the compiled target serially, then compare.
 fn check_one(
     src: &Function,
     compiled_tgt: &CompiledFunction,
@@ -332,46 +685,59 @@ fn check_one(
     src_out: &SourceOutcome,
     arena: &mut EvalArena,
 ) -> Option<Counterexample> {
+    let tgt_out = compiled_tgt
+        .evaluate_with_limit(arena, &input.args, input.memory.clone(), STEP_LIMIT)
+        .map(|o| (o.result, o.memory));
+    refinement_failure(src, input, src_out, &tgt_out)
+}
+
+/// Why a target outcome fails to refine the source outcome on one input —
+/// the *detection* half of a refutation, cheap to produce (no formatting, no
+/// allocation). [`build_counterexample`] renders it into the Alive2-style
+/// [`Counterexample`] when a caller actually wants the diagnostic; hot
+/// callers that only need the verdict bit
+/// ([`SourceCache::verify_outcome_only`]) skip the rendering entirely.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Refutation {
+    /// Target exhibits UB where the source is defined.
+    TargetUb,
+    /// One side returns a value, the other `void`.
+    ReturnShapeMismatch,
+    /// Return-value refinement failed, with the reason label.
+    Value(&'static str),
+    /// A target memory byte is poison where the source byte is concrete.
+    MemoryPoison { alloc: usize, byte: usize },
+    /// A target memory byte differs from the source byte.
+    MemoryByte { alloc: usize, byte: usize, src: u8, tgt: u8 },
+}
+
+/// The refinement comparison itself: one input's cached source outcome
+/// against a target outcome from any of the three evaluators. Returns the
+/// cheap refutation descriptor on failure.
+fn refutation(
+    input: &TestInput,
+    src_out: &SourceOutcome,
+    tgt_out: &TargetOutcome,
+) -> Option<Refutation> {
     // Source UB ⇒ any target behaviour is fine.
     let (src_ret, src_mem) = match src_out {
         Err(_) => return None,
         Ok(pair) => pair,
     };
-
-    let tgt_out = compiled_tgt
-        .evaluate_with_limit(arena, &input.args, input.memory.clone(), STEP_LIMIT)
-        .map(|o| (o.result, o.memory));
-    let cex = |reason: &str, tgt_desc: String| Counterexample {
-        reason: reason.to_string(),
-        args: describe_args(src, input),
-        src_behaviour: describe_outcome(src_out),
-        tgt_behaviour: tgt_desc,
-    };
-
     let (tgt_ret, tgt_mem) = match tgt_out {
-        Err(ub) => {
-            return Some(cex(
-                "Source is guaranteed to be defined, but target is not",
-                format!("function exhibits undefined behaviour: {}", ub.message),
-            ))
-        }
+        Err(_) => return Some(Refutation::TargetUb),
         Ok(pair) => pair,
     };
 
     // Return value refinement.
-    match (src_ret, &tgt_ret) {
+    match (src_ret, tgt_ret) {
         (None, None) => {}
         (Some(s), Some(t)) => {
             if let Some(reason) = value_refinement_failure(s, t) {
-                return Some(cex(&reason, format!("ret {t}")));
+                return Some(Refutation::Value(reason));
             }
         }
-        _ => {
-            return Some(cex(
-                "Value mismatch",
-                format!("returns {}", tgt_ret.map(|v| v.to_string()).unwrap_or_else(|| "void".into())),
-            ))
-        }
+        _ => return Some(Refutation::ReturnShapeMismatch),
     }
 
     // Memory refinement over the allocations that existed before execution
@@ -394,30 +760,94 @@ fn check_one(
                 continue; // source byte is poison: anything refines it
             }
             if t_poison {
-                return Some(cex(
-                    "Mismatch in memory",
-                    format!("memory byte {i} of allocation #{alloc_id} is poison in the target"),
-                ));
+                return Some(Refutation::MemoryPoison { alloc: alloc_id, byte: i });
             }
             if s_byte != t_byte {
-                return Some(cex(
-                    "Mismatch in memory",
-                    format!(
-                        "memory byte {i} of allocation #{alloc_id}: source wrote {s_byte:#04x}, target wrote {t_byte:#04x}"
-                    ),
-                ));
+                return Some(Refutation::MemoryByte {
+                    alloc: alloc_id,
+                    byte: i,
+                    src: s_byte,
+                    tgt: t_byte,
+                });
             }
         }
     }
     None
 }
 
+/// Renders a [`Refutation`] into the Alive2-style counterexample the LPO
+/// feedback loop sends back to the model.
+fn build_counterexample(
+    src: &Function,
+    input: &TestInput,
+    src_out: &SourceOutcome,
+    tgt_out: &TargetOutcome,
+    refutation: Refutation,
+) -> Counterexample {
+    let cex = |reason: &str, tgt_desc: String| Counterexample {
+        reason: reason.to_string(),
+        args: describe_args(src, input),
+        src_behaviour: describe_outcome(src_out),
+        tgt_behaviour: tgt_desc,
+    };
+    match refutation {
+        Refutation::TargetUb => {
+            let message = match tgt_out {
+                Err(ub) => &ub.message,
+                Ok(_) => unreachable!("TargetUb refutation from a defined target"),
+            };
+            cex(
+                "Source is guaranteed to be defined, but target is not",
+                format!("function exhibits undefined behaviour: {message}"),
+            )
+        }
+        Refutation::ReturnShapeMismatch => {
+            let tgt_ret = tgt_out.as_ref().ok().and_then(|(v, _)| v.as_ref());
+            cex(
+                "Value mismatch",
+                format!(
+                    "returns {}",
+                    tgt_ret.map(|v| v.to_string()).unwrap_or_else(|| "void".into())
+                ),
+            )
+        }
+        Refutation::Value(reason) => {
+            let tgt_ret = tgt_out.as_ref().ok().and_then(|(v, _)| v.as_ref());
+            cex(
+                reason,
+                format!("ret {}", tgt_ret.expect("value refutation implies a returned value")),
+            )
+        }
+        Refutation::MemoryPoison { alloc, byte } => cex(
+            "Mismatch in memory",
+            format!("memory byte {byte} of allocation #{alloc} is poison in the target"),
+        ),
+        Refutation::MemoryByte { alloc, byte, src: s_byte, tgt: t_byte } => cex(
+            "Mismatch in memory",
+            format!(
+                "memory byte {byte} of allocation #{alloc}: source wrote {s_byte:#04x}, target wrote {t_byte:#04x}"
+            ),
+        ),
+    }
+}
+
+/// Detection + rendering in one step, for the reference path.
+fn refinement_failure(
+    src: &Function,
+    input: &TestInput,
+    src_out: &SourceOutcome,
+    tgt_out: &TargetOutcome,
+) -> Option<Counterexample> {
+    refutation(input, src_out, tgt_out)
+        .map(|r| build_counterexample(src, input, src_out, tgt_out, r))
+}
+
 /// Returns a failure reason if `tgt` does not refine `src` as a value.
-fn value_refinement_failure(src: &EvalValue, tgt: &EvalValue) -> Option<String> {
+fn value_refinement_failure(src: &EvalValue, tgt: &EvalValue) -> Option<&'static str> {
     match (src, tgt) {
         (EvalValue::Vector(s), EvalValue::Vector(t)) => {
             if s.len() != t.len() {
-                return Some("Value mismatch".to_string());
+                return Some("Value mismatch");
             }
             for (a, b) in s.iter().zip(t) {
                 if let Some(r) = value_refinement_failure(a, b) {
@@ -427,17 +857,15 @@ fn value_refinement_failure(src: &EvalValue, tgt: &EvalValue) -> Option<String> 
             None
         }
         (EvalValue::Poison, _) => None,
-        (EvalValue::Undef, EvalValue::Poison) => {
-            Some("Target is more poisonous than source".to_string())
-        }
+        (EvalValue::Undef, EvalValue::Poison) => Some("Target is more poisonous than source"),
         (EvalValue::Undef, _) => None,
-        (_, EvalValue::Poison) => Some("Target is more poisonous than source".to_string()),
-        (_, EvalValue::Undef) => Some("Target is more undefined than source".to_string()),
+        (_, EvalValue::Poison) => Some("Target is more poisonous than source"),
+        (_, EvalValue::Undef) => Some("Target is more undefined than source"),
         (s, t) => {
             if s.same_as(t) {
                 None
             } else {
-                Some("Value mismatch".to_string())
+                Some("Value mismatch")
             }
         }
     }
@@ -694,6 +1122,67 @@ mod tests {
         let other = parse_function("define i8 @tgt(i16 %x) {\n %r = trunc i16 %x to i8\n ret i8 %r\n}").unwrap();
         assert!(matches!(cache.verify_with(&other, &mut arena), Verdict::Error(_)));
         assert_eq!(cache.source_eval_count(), 256);
+    }
+
+    #[test]
+    fn staged_counters_split_probe_rejects_from_survivors() {
+        let src = parse_function("define i8 @s(i8 %x) {\n %r = add i8 %x, 1\n ret i8 %r\n}").unwrap();
+        let wrong = parse_function("define i8 @t(i8 %x) {\n %r = add i8 %x, 2\n ret i8 %r\n}").unwrap();
+        let right = parse_function("define i8 @t(i8 %x) {\n %r = sub i8 %x, -1\n ret i8 %r\n}").unwrap();
+        let case = SourceCache::new(&src, TvConfig::default());
+        let mut arena = EvalArena::new();
+
+        assert!(!case.verify_with(&wrong, &mut arena).is_correct());
+        assert_eq!((case.probe_rejects(), case.survivors()), (1, 0));
+        // The wrong candidate died on input 0: one source eval, no compile.
+        assert_eq!(case.source_eval_count(), 1);
+
+        assert!(case.verify_with(&right, &mut arena).is_correct());
+        assert_eq!((case.probe_rejects(), case.survivors()), (1, 1));
+        assert_eq!(case.candidates_checked(), 2);
+        assert_eq!(case.source_eval_count(), 256);
+
+        // Signature errors never count as checked candidates.
+        let other = parse_function("define i8 @t(i16 %x) {\n %r = trunc i16 %x to i8\n ret i8 %r\n}").unwrap();
+        assert!(matches!(case.verify_with(&other, &mut arena), Verdict::Error(_)));
+        assert_eq!(case.candidates_checked(), 2);
+    }
+
+    #[test]
+    fn probe_window_extremes_agree_with_the_reference() {
+        let src = parse_function("define i8 @s(i8 %x) {\n %r = mul i8 %x, 2\n ret i8 %r\n}").unwrap();
+        let candidates = [
+            "define i8 @t(i8 %x) {\n %r = shl i8 %x, 1\n ret i8 %r\n}",
+            "define i8 @t(i8 %x) {\n %r = shl i8 %x, 2\n ret i8 %r\n}",
+        ];
+        for text in candidates {
+            let tgt = parse_function(text).unwrap();
+            let reference = verify_refinement_reference(&src, &tgt, &TvConfig::default());
+            for probe in [0usize, 1, 255, 256, usize::MAX] {
+                let config = TvConfig { probe_inputs: probe, ..TvConfig::default() };
+                assert_eq!(
+                    verify_refinement_with(&src, &tgt, &config),
+                    reference,
+                    "probe {probe} diverged for {text}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn compile_cache_serves_structural_twins() {
+        let cache = CompileCache::new();
+        assert!(cache.is_empty());
+        let a = parse_function("define i8 @a(i8 %x) {\n %r = add i8 %x, 1\n ret i8 %r\n}").unwrap();
+        let b = parse_function("define i8 @b(i8 %y) {\n %q = add i8 %y, 1\n ret i8 %q\n}").unwrap();
+        let c = parse_function("define i8 @c(i8 %x) {\n %r = add i8 %x, 3\n ret i8 %r\n}").unwrap();
+        let first = cache.get_or_compile(&a);
+        let twin = cache.get_or_compile(&b);
+        assert!(Arc::ptr_eq(&first, &twin), "structural twins must share one compile");
+        let other = cache.get_or_compile(&c);
+        assert!(!Arc::ptr_eq(&first, &other));
+        assert_eq!((cache.hits(), cache.misses(), cache.len()), (1, 2, 2));
+        assert!(format!("{cache:?}").contains("hits"));
     }
 
     #[test]

@@ -1,0 +1,263 @@
+//! Differential acceptance tests for the staged translation validator.
+//!
+//! PR 3 proved the compiled evaluator outcome-identical to the reference
+//! evaluator; PR 4 proved the worklist canonicalizer byte-identical to the
+//! rescan engine. This file does the same for Stage 3: the staged checker
+//! (probe → lazy compile → batched sweep, `SourceCache::verify_with`) must
+//! produce **bit-identical verdicts** — including counterexample text, UB
+//! messages and exhaustiveness flags — to the retained pre-staging path
+//! (`verify_refinement_reference` / `SourceCache::verify_reference`), over
+//! the rq1/rq2 corpora and synthesized UB/memory/control-flow cases, for
+//! every probe-window size. It also proves the compile-once contract of the
+//! structural-hash compiled-function cache and that staging keeps the
+//! engine's `--jobs` determinism.
+
+use lpo::prelude::*;
+use lpo_bench::twist_return;
+use lpo_corpus::{rq1_suite, rq2_suite};
+use lpo_ir::function::Function;
+use lpo_ir::parser::parse_function;
+use lpo_llm::strategies::{apply_strategy, library};
+use lpo_llm::prelude::{gemini2_0t, SimulatedModelFactory};
+use lpo_tv::inputs::InputConfig;
+use lpo_tv::prelude::{CompileCache, EvalArena, SourceCache, TvConfig};
+use lpo_tv::refine::{verify_refinement_reference, verify_refinement_with};
+
+/// A compact input set so sweeping the whole corpus stays fast in debug
+/// builds while still covering exhaustive, corner and random inputs.
+fn quick_inputs() -> InputConfig {
+    InputConfig { exhaustive_bits: 8, random_samples: 24, seed: 0xd1ff }
+}
+
+fn config_with_probe(probe_inputs: usize) -> TvConfig {
+    TvConfig { inputs: quick_inputs(), probe_inputs }
+}
+
+/// Candidate rewrites for one corpus case: the source itself (a guaranteed
+/// survivor), the twisted source (refuted on the earliest concrete input),
+/// and every applicable strategy from the rewrite library (a mix of correct,
+/// incorrect and uninteresting shapes — the realistic candidate traffic).
+fn candidates_for(src: &Function) -> Vec<Function> {
+    let mut out = vec![src.clone()];
+    out.extend(twist_return(src));
+    for strategy in library() {
+        if let Some(candidate) = apply_strategy(&strategy, src) {
+            out.push(candidate);
+        }
+    }
+    out
+}
+
+#[test]
+fn staged_matches_reference_over_the_corpora() {
+    let mut checked = 0usize;
+    for case in rq1_suite().iter().chain(rq2_suite().iter()) {
+        let src = &case.function;
+        for candidate in candidates_for(src) {
+            // Window edges: straight to compile (0), mid-probe refutations
+            // (1/4), the default-ish window (16), and everything-in-probe.
+            for probe in [0usize, 1, 4, 16, usize::MAX] {
+                let config = config_with_probe(probe);
+                let staged = verify_refinement_with(src, &candidate, &config);
+                let reference = verify_refinement_reference(src, &candidate, &config);
+                assert_eq!(
+                    staged, reference,
+                    "issue {} diverged (probe {probe})",
+                    case.issue_id
+                );
+                // The diagnostic-free entry must agree bit-for-bit on the
+                // verdict.
+                let source_cache = SourceCache::new(src, config.clone());
+                let mut arena = EvalArena::new();
+                assert_eq!(
+                    source_cache.verify_outcome_only(&candidate, &mut arena),
+                    staged.is_correct(),
+                    "issue {} outcome-only diverged (probe {probe})",
+                    case.issue_id
+                );
+                checked += 1;
+            }
+        }
+    }
+    assert!(checked > 1000, "expected a real corpus sweep, got {checked} comparisons");
+}
+
+#[test]
+fn staged_matches_reference_on_ub_memory_and_control_flow() {
+    // (src, tgt) pairs hitting the refinement rules the corpora underexercise:
+    // UB introduction/removal, memory mismatches, poison, infinite loops
+    // (step-limit UB) and multi-block targets (the batched sweep's fallback).
+    let pairs = [
+        // Target introduces UB (udiv by a parameter).
+        (
+            "define i32 @s(i32 %x, i32 %y) {\n %r = add i32 %x, %y\n ret i32 %r\n}",
+            "define i32 @t(i32 %x, i32 %y) {\n %d = udiv i32 %x, %y\n %r = add i32 %x, %y\n ret i32 %r\n}",
+        ),
+        // Source UB excuses anything.
+        (
+            "define i32 @s(i32 %x) {\n %r = udiv i32 %x, %x\n ret i32 %r\n}",
+            "define i32 @t(i32 %x) {\n ret i32 1\n}",
+        ),
+        // Memory: wrong stored value.
+        (
+            "define void @s(ptr %p) {\n store i32 1, ptr %p, align 4\n ret void\n}",
+            "define void @t(ptr %p) {\n store i32 2, ptr %p, align 4\n ret void\n}",
+        ),
+        // Memory: equivalent store through a computation.
+        (
+            "define void @s(ptr %p) {\n store i32 1, ptr %p, align 4\n ret void\n}",
+            "define void @t(ptr %p) {\n %v = add i32 0, 1\n store i32 %v, ptr %p, align 4\n ret void\n}",
+        ),
+        // Load widening (case study 1).
+        (
+            "define i32 @s(ptr %0) {\n\
+             %2 = load i16, ptr %0, align 2\n\
+             %3 = getelementptr i8, ptr %0, i64 2\n\
+             %4 = load i16, ptr %3, align 1\n\
+             %5 = zext i16 %4 to i32\n\
+             %6 = shl nuw i32 %5, 16\n\
+             %7 = zext i16 %2 to i32\n\
+             %8 = or disjoint i32 %6, %7\n\
+             ret i32 %8\n}",
+            "define i32 @t(ptr %0) {\n %2 = load i32, ptr %0, align 2\n ret i32 %2\n}",
+        ),
+        // Added poison via a wrongly claimed flag.
+        (
+            "define i8 @s(i8 %x) {\n %r = add i8 %x, 1\n ret i8 %r\n}",
+            "define i8 @t(i8 %x) {\n %r = add nuw i8 %x, 1\n ret i8 %r\n}",
+        ),
+        // Target loops forever: step-limit UB on every input.
+        (
+            "define i32 @s(i32 %x) {\n ret i32 %x\n}",
+            "define i32 @t(i32 %x) {\n\
+             entry:\n  br label %loop\n\
+             loop:\n  br label %loop\n}",
+        ),
+        // Multi-block, phi-carrying target (batched sweep falls back to the
+        // per-lane path) that is nevertheless correct.
+        (
+            "define i32 @s(i32 %x) {\n %r = add i32 %x, 1\n ret i32 %r\n}",
+            "define i32 @t(i32 %x) {\n\
+             entry:\n  %c = icmp eq i32 %x, 0\n  br i1 %c, label %zero, label %other\n\
+             zero:\n  br label %join\n\
+             other:\n  %a = add i32 %x, 1\n  br label %join\n\
+             join:\n  %r = phi i32 [ 1, %zero ], [ %a, %other ]\n  ret i32 %r\n}",
+        ),
+        // Signature mismatch: rejected before any evaluation.
+        (
+            "define i32 @s(i32 %x) {\n ret i32 %x\n}",
+            "define i32 @t(i32 %x, i32 %y) {\n ret i32 %x\n}",
+        ),
+    ];
+    for (src_text, tgt_text) in pairs {
+        let src = parse_function(src_text).unwrap();
+        let tgt = parse_function(tgt_text).unwrap();
+        for probe in [0usize, 1, 3, 16, usize::MAX] {
+            let config = TvConfig { probe_inputs: probe, ..TvConfig::default() };
+            let staged = verify_refinement_with(&src, &tgt, &config);
+            let reference = verify_refinement_reference(&src, &tgt, &config);
+            assert_eq!(staged, reference, "pair diverged (probe {probe}):\n{src_text}\n→\n{tgt_text}");
+        }
+    }
+}
+
+#[test]
+fn staged_source_eval_counts_match_the_reference() {
+    // The lazy per-input source-outcome fill must behave identically under
+    // staging: a candidate refuted at input k costs exactly k+1 source
+    // evaluations on both paths, including refutations inside the batched
+    // sweep (where target lanes run ahead of the comparisons).
+    let src = parse_function("define i8 @s(i8 %x) {\n %r = add i8 %x, 1\n ret i8 %r\n}").unwrap();
+    // Wrong only for x >= 100: refuted mid-sweep, well past the probe window.
+    let late_wrong = parse_function(
+        "define i8 @t(i8 %x) {\n\
+         %c = icmp ult i8 %x, 100\n\
+         %r = add i8 %x, 1\n\
+         %w = add i8 %x, 2\n\
+         %s = select i1 %c, i8 %r, i8 %w\n\
+         ret i8 %s\n}",
+    )
+    .unwrap();
+    let early_wrong = parse_function("define i8 @t(i8 %x) {\n %r = add i8 %x, 2\n ret i8 %r\n}").unwrap();
+    let correct = parse_function("define i8 @t(i8 %x) {\n %r = sub i8 %x, -1\n ret i8 %r\n}").unwrap();
+
+    for candidate in [&early_wrong, &late_wrong, &correct] {
+        let staged_case = SourceCache::new(&src, TvConfig::default());
+        let reference_case = SourceCache::new(&src, TvConfig::default());
+        let mut arena = EvalArena::new();
+        let staged = staged_case.verify_with(candidate, &mut arena);
+        let reference = reference_case.verify_reference(candidate, &mut arena);
+        assert_eq!(staged, reference);
+        assert_eq!(
+            staged_case.source_eval_count(),
+            reference_case.source_eval_count(),
+            "source-side evaluation counts diverged"
+        );
+    }
+}
+
+#[test]
+fn compile_cache_compiles_each_structural_digest_once() {
+    let src = parse_function("define i8 @s(i8 %x) {\n %r = add i8 %x, 1\n ret i8 %r\n}").unwrap();
+    // Textually different, structurally identical survivors.
+    let a = parse_function("define i8 @t(i8 %v) {\n %out = sub i8 %v, -1\n ret i8 %out\n}").unwrap();
+    let b = parse_function("define i8 @q(i8 %w) {\n %z = sub i8 %w, -1\n ret i8 %z\n}").unwrap();
+    // A structurally distinct survivor.
+    let c = parse_function("define i8 @u(i8 %x) {\n %r = add i8 %x, 1\n ret i8 %r\n}").unwrap();
+
+    let cache = CompileCache::new();
+    let case = SourceCache::new(&src, TvConfig::default()).with_compile_cache(&cache);
+    let mut arena = EvalArena::new();
+
+    for _ in 0..3 {
+        assert!(case.verify_with(&a, &mut arena).is_correct());
+    }
+    assert_eq!(cache.misses(), 1, "the same candidate must compile exactly once");
+    assert_eq!(cache.hits(), 2);
+
+    assert!(case.verify_with(&b, &mut arena).is_correct());
+    assert_eq!(cache.misses(), 1, "a renamed twin must reuse the compiled function");
+    assert_eq!(cache.hits(), 3);
+
+    assert!(case.verify_with(&c, &mut arena).is_correct());
+    assert_eq!(cache.misses(), 2, "a structurally new candidate must compile");
+    assert_eq!(case.survivors(), 5);
+    assert_eq!(case.probe_rejects(), 0);
+
+    // A probe-refuted candidate never touches the cache.
+    let wrong = parse_function("define i8 @t(i8 %x) {\n %r = add i8 %x, 2\n ret i8 %r\n}").unwrap();
+    assert!(!case.verify_with(&wrong, &mut arena).is_correct());
+    assert_eq!(cache.misses(), 2);
+    assert_eq!(case.probe_rejects(), 1);
+}
+
+#[test]
+fn staging_and_cache_keep_jobs_determinism() {
+    // The LPO engine now verifies through the staged checker with a shared
+    // compile cache; reports must stay byte-identical across worker counts,
+    // and the probe/survivor split (a per-case count) must too. Only the
+    // compile-cache traffic may differ with scheduling.
+    let sequences: Vec<Function> =
+        rq1_suite().into_iter().take(8).map(|case| case.function).collect();
+    let factory = SimulatedModelFactory::new(gemini2_0t(), 11);
+
+    let serial_lpo = Lpo::new(LpoConfig::default());
+    let parallel_lpo = Lpo::new(LpoConfig::default());
+    let serial = serial_lpo.run_sequences(&factory, 0, &sequences, &ExecConfig::with_jobs(1));
+    let parallel = parallel_lpo.run_sequences(&factory, 0, &sequences, &ExecConfig::with_jobs(4));
+
+    let serial_prints: Vec<String> = serial.reports.iter().map(CaseReport::fingerprint).collect();
+    let parallel_prints: Vec<String> =
+        parallel.reports.iter().map(CaseReport::fingerprint).collect();
+    assert_eq!(serial_prints, parallel_prints);
+    assert_eq!(serial.stats.tv.candidates, parallel.stats.tv.candidates);
+    assert_eq!(serial.stats.tv.probe_rejects, parallel.stats.tv.probe_rejects);
+    assert_eq!(serial.stats.tv.survivors, parallel.stats.tv.survivors);
+    // Every checked candidate is probe-rejected, swept as a survivor, or —
+    // for signatures whose whole input set fits in the probe window —
+    // accepted inside the probe.
+    assert!(
+        serial.stats.tv.probe_rejects + serial.stats.tv.survivors <= serial.stats.tv.candidates
+    );
+    assert!(serial.stats.tv.candidates > 0);
+}
