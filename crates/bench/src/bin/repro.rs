@@ -137,8 +137,8 @@ fn check_opt_baseline(entry: &OptEntry, path: &str) -> Result<String, String> {
 
 /// The translation-validation gates (`repro bench-tv --check-baseline`):
 /// the refuted-candidate shape (the cost the staged checker exists to
-/// reduce) and the survivor shape (currently ≈ parity with the reference —
-/// gated so it cannot silently fall further behind).
+/// reduce) and the survivor shape (the plane-compiled sweep — gated so it
+/// cannot silently regress toward the pre-plane parity numbers).
 fn check_tv_baseline(entry: &TvEntry, path: &str) -> Result<String, String> {
     let refuted_gate = Gate {
         throughput_key: "tv_refuted_per_second",

@@ -73,10 +73,11 @@ impl DriverStats {
         if self.tv.candidates > 0 {
             let _ = writeln!(
                 out,
-                "[stage3] candidates: {}  probe rejects: {}  survivors: {}  compiles: {}  compile-cache hits: {}",
+                "[stage3] candidates: {}  probe rejects: {}  survivors: {}  plane sweeps: {}  compiles: {}  compile-cache hits: {}",
                 self.tv.candidates,
                 self.tv.probe_rejects,
                 self.tv.survivors,
+                self.tv.plane_sweeps,
                 self.tv.compiles,
                 self.tv.compile_cache_hits
             );
@@ -1068,6 +1069,13 @@ pub fn bench_tv(jobs: usize) -> TvBenchRun {
         !workloads.is_empty(),
         "bench-tv workload is empty: no rq1 case has a twistable, refutable return"
     );
+    // How many cases the type-specialized plane tier covers: the survivor
+    // pass verifies the source against itself, so eligibility is the
+    // source's own compiled form carrying a plane plan.
+    let plane_cases = workloads
+        .iter()
+        .filter(|(src, _)| lpo_interp::compiled::CompiledFunction::compile(src).plane().is_some())
+        .count();
     let jobs = resolve_jobs(jobs, workloads.len());
 
     /// Accumulated (verifications, wall) of one checker's passes. Only the
@@ -1171,11 +1179,12 @@ pub fn bench_tv(jobs: usize) -> TvBenchRun {
         reference_survivor_per_second,
         survivor_speedup: ratio(survivor_per_second, reference_survivor_per_second),
         cases: workloads.len(),
+        plane_cases,
         jobs,
     };
     let mut text = format!(
-        "Translation-validation throughput: rq1 suite ({} twistable cases, jobs: {jobs})\n",
-        entry.cases
+        "Translation-validation throughput: rq1 suite ({} twistable cases, {} plane-eligible, jobs: {jobs})\n",
+        entry.cases, entry.plane_cases
     );
     let _ = writeln!(
         text,

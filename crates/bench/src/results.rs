@@ -443,6 +443,9 @@ pub struct TvEntry {
     pub survivor_speedup: f64,
     /// rq1 cases in the workload (scalar-int returns only).
     pub cases: usize,
+    /// Workload cases whose compiled form carries a plane plan — i.e. how
+    /// many survivor sweeps ran on the type-specialized plane tier.
+    pub plane_cases: usize,
     /// Worker threads used.
     pub jobs: usize,
 }
@@ -463,6 +466,7 @@ impl TvEntry {
             ),
             ("survivor_speedup".into(), Json::Num(self.survivor_speedup)),
             ("cases".into(), Json::Num(self.cases as f64)),
+            ("plane_cases".into(), Json::Num(self.plane_cases as f64)),
             ("jobs".into(), Json::Num(self.jobs as f64)),
         ])
     }
@@ -480,6 +484,12 @@ impl TvEntry {
                 .as_num()?,
             survivor_speedup: value.get("survivor_speedup")?.as_num()?,
             cases: value.get("cases")?.as_num()? as usize,
+            // Absent in records written before the plane tier existed.
+            plane_cases: value
+                .get("plane_cases")
+                .and_then(|v| v.as_num())
+                .map(|n| n as usize)
+                .unwrap_or(0),
             jobs: value.get("jobs")?.as_num()? as usize,
         })
     }
@@ -814,6 +824,7 @@ mod tests {
             reference_survivor_per_second: 720.0,
             survivor_speedup: 1.25,
             cases: 20,
+            plane_cases: 18,
             jobs: 1,
         };
         let mut results = BenchResults::default();

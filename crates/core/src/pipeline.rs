@@ -68,14 +68,16 @@ struct TvCounters {
     candidates: AtomicUsize,
     probe_rejects: AtomicUsize,
     survivors: AtomicUsize,
+    plane_sweeps: AtomicUsize,
 }
 
 /// A snapshot of Stage 3 (translation validation) accounting: how the
 /// staged checker's work split between the cheap probe and the compiled
 /// survivor sweep, and what the shared compiled-function cache did.
 ///
-/// `candidates`, `probe_rejects` and `survivors` are deterministic for a
-/// given batch (they are per-case counts, independent of scheduling);
+/// `candidates`, `probe_rejects`, `survivors` and `plane_sweeps` are
+/// deterministic for a given batch (they are per-case counts, independent
+/// of scheduling);
 /// `compile_cache_hits` / `compiles` depend on worker interleaving (two
 /// workers can race to compile the same digest) and on what earlier batches
 /// already cached — report them, never compare them across `--jobs` values.
@@ -87,6 +89,9 @@ pub struct TvSnapshot {
     pub probe_rejects: usize,
     /// Candidates that survived the probe into compile + batched sweep.
     pub survivors: usize,
+    /// Survivors whose post-probe sweep ran on the type-specialized plane
+    /// evaluator (straight-line scalar-integer candidates).
+    pub plane_sweeps: usize,
     /// Compiled-function cache hits.
     pub compile_cache_hits: usize,
     /// Compiles performed (cache misses).
@@ -100,6 +105,7 @@ impl TvSnapshot {
             candidates: self.candidates - earlier.candidates,
             probe_rejects: self.probe_rejects - earlier.probe_rejects,
             survivors: self.survivors - earlier.survivors,
+            plane_sweeps: self.plane_sweeps - earlier.plane_sweeps,
             compile_cache_hits: self.compile_cache_hits - earlier.compile_cache_hits,
             compiles: self.compiles - earlier.compiles,
         }
@@ -111,6 +117,7 @@ impl TvSnapshot {
         self.candidates += other.candidates;
         self.probe_rejects += other.probe_rejects;
         self.survivors += other.survivors;
+        self.plane_sweeps += other.plane_sweeps;
         self.compile_cache_hits += other.compile_cache_hits;
         self.compiles += other.compiles;
     }
@@ -166,6 +173,7 @@ impl Lpo {
             candidates: self.tv_counters.candidates.load(Ordering::Relaxed),
             probe_rejects: self.tv_counters.probe_rejects.load(Ordering::Relaxed),
             survivors: self.tv_counters.survivors.load(Ordering::Relaxed),
+            plane_sweeps: self.tv_counters.plane_sweeps.load(Ordering::Relaxed),
             compile_cache_hits: self.tv_cache.hits(),
             compiles: self.tv_cache.misses(),
         }
@@ -280,6 +288,7 @@ impl Lpo {
         self.tv_counters.candidates.fetch_add(tv_case.candidates_checked(), Ordering::Relaxed);
         self.tv_counters.probe_rejects.fetch_add(tv_case.probe_rejects(), Ordering::Relaxed);
         self.tv_counters.survivors.fetch_add(tv_case.survivors(), Ordering::Relaxed);
+        self.tv_counters.plane_sweeps.fetch_add(tv_case.plane_sweeps(), Ordering::Relaxed);
 
         CaseReport {
             outcome: last_outcome,

@@ -118,6 +118,13 @@ pub struct EvalArena {
     /// [`CompiledFunction::evaluate_batch_with_limit`]; lane `m`'s register
     /// file is the contiguous slice `[m * num_regs .. (m + 1) * num_regs]`.
     batch_regs: Vec<Option<EvalValue>>,
+    /// Flat `num_planes × lanes` value planes for the plane evaluator
+    /// (see [`crate::plane`]); plane `p` occupies `[p * lanes .. (p + 1) * lanes]`.
+    pub(crate) plane_vals: Vec<u64>,
+    /// Per-lane state bytes parallel to `plane_vals` (bit 0 poison, bit 1 undef).
+    pub(crate) plane_states: Vec<u8>,
+    /// Per-lane UB codes for the plane evaluator (`0` = live).
+    pub(crate) plane_ub: Vec<u8>,
 }
 
 impl EvalArena {
@@ -169,6 +176,9 @@ pub struct CompiledFunction {
     /// [`evaluate_batch_with_limit`](Self::evaluate_batch_with_limit) can
     /// drive lane-by-lane through a single walk of the step list.
     straightline: bool,
+    /// The plane-form lowering, present iff the function is straight-line
+    /// scalar-integer and memory-free (see [`crate::plane::PlanePlan`]).
+    plane: Option<crate::plane::PlanePlan>,
 }
 
 impl CompiledFunction {
@@ -191,7 +201,18 @@ impl CompiledFunction {
         let straightline = blocks.len() == 1
             && blocks[0].phis.is_empty()
             && blocks[0].steps.iter().all(|s| !matches!(s, CStep::Br { .. } | CStep::Phi));
-        Self { blocks, num_regs, num_params: func.params.len(), straightline }
+        let plane = crate::plane::PlanePlan::compile(func);
+        Self { blocks, num_regs, num_params: func.params.len(), straightline, plane }
+    }
+
+    /// The plane-form lowering of this function, if it is eligible (see
+    /// [`PlanePlan::compile`](crate::plane::PlanePlan::compile) for the
+    /// eligibility rules). Callers sweeping many scalar-integer inputs
+    /// should prefer [`PlanePlan::evaluate_lanes`](crate::plane::PlanePlan::evaluate_lanes)
+    /// and fall back to [`evaluate_batch_with_limit`](Self::evaluate_batch_with_limit)
+    /// when this returns `None`.
+    pub fn plane(&self) -> Option<&crate::plane::PlanePlan> {
+        self.plane.as_ref()
     }
 
     /// Evaluates on `args` with the given initial memory and

@@ -31,21 +31,29 @@
 //!    structural-hash-keyed [`CompileCache`] when one is attached, so
 //!    syntactically distinct but structurally identical candidates compile
 //!    once per worker pool.
-//! 3. **Batched sweep** — the remaining inputs run through
-//!    [`CompiledFunction::evaluate_batch_with_limit`], which drives a chunk
-//!    of lanes through one walk of the decoded step list.
+//! 3. **Sweep** — the remaining inputs run in chunks. Straight-line
+//!    scalar-integer candidates, whose compiled form carries a
+//!    [`lpo_interp::plane::PlanePlan`], sweep 256 inputs at a
+//!    time over native `u64` register planes; everything else (memory,
+//!    vectors, control flow) falls back to
+//!    [`CompiledFunction::evaluate_batch_with_limit`], which drives
+//!    32 lanes through one walk of the decoded step list. The
+//!    plane tier can be switched off with [`TvConfig::plane_sweep`].
 //!
 //! The staged path is **outcome-identical** to the retained single-stage
 //! path ([`verify_refinement_reference`] /
 //! [`SourceCache::verify_reference`]): same verdicts, same counterexamples,
 //! same UB messages, and the same number of source-side evaluations
 //! ([`SourceCache::source_eval_count`]). `tests/tv_differential.rs` checks
-//! this differentially over the rq1/rq2 corpora.
+//! this differentially over the rq1/rq2 corpora, and
+//! `tests/plane_differential.rs` fuzzes the plane tier against both
+//! retained evaluators over randomly generated functions.
 
 use crate::inputs::{generate_inputs, InputConfig, TestInput};
 use lpo_interp::compiled::{evaluate_direct, CompiledFunction, EvalArena};
 use lpo_interp::eval::Ub;
 use lpo_interp::memory::Memory;
+use lpo_interp::plane::{PlanePlan, PlaneResult};
 use lpo_interp::value::EvalValue;
 use lpo_ir::function::Function;
 use lpo_ir::hash::{hash_function, Digest};
@@ -53,6 +61,7 @@ use lpo_ir::printer;
 use std::cell::{Cell, OnceCell, RefCell};
 use std::collections::HashMap;
 use std::fmt;
+use std::rc::Rc;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 
@@ -61,6 +70,12 @@ const STEP_LIMIT: usize = 1 << 14;
 
 /// How many inputs one batched survivor-sweep call covers.
 const SWEEP_LANES: usize = 32;
+
+/// How many inputs one plane survivor-sweep call covers. Planes are flat
+/// `u64` slices, so wider chunks amortize the per-step loop overhead and
+/// keep the auto-vectorized kernels fed; 256 lanes × a few dozen planes
+/// stays comfortably inside L2.
+const PLANE_LANES: usize = 256;
 
 /// The result of checking one candidate transformation.
 #[derive(Clone, Debug, PartialEq)]
@@ -136,11 +151,16 @@ pub struct TvConfig {
     /// the candidate. `0` compiles immediately; a value at or above the
     /// input-set size means the whole check runs on the probe evaluator.
     pub probe_inputs: usize,
+    /// Whether probe survivors whose compiled form carries a
+    /// [`PlanePlan`] sweep the remaining inputs on the type-specialized
+    /// plane evaluator. Off, every survivor takes the general batched
+    /// sweep; verdicts are identical either way.
+    pub plane_sweep: bool,
 }
 
 impl Default for TvConfig {
     fn default() -> Self {
-        Self { inputs: InputConfig::default(), probe_inputs: 16 }
+        Self { inputs: InputConfig::default(), probe_inputs: 16, plane_sweep: true }
     }
 }
 
@@ -359,6 +379,63 @@ pub struct SourceCache<'a> {
     candidates: Cell<usize>,
     probe_rejects: Cell<usize>,
     survivors: Cell<usize>,
+    plane_sweeps: Cell<usize>,
+    dense: RefCell<DenseState>,
+}
+
+/// Lazily built cache of [`DenseOutcomes`] for one case.
+enum DenseState {
+    /// Not yet attempted — the source outcomes aren't fully populated.
+    NotBuilt,
+    /// Attempted and not representable (a non-scalar or void return);
+    /// permanent, since cached outcomes never change shape.
+    Unavailable,
+    /// Built; shared with the plane sweep.
+    Built(Rc<DenseOutcomes>),
+}
+
+/// Source outcome tag: the source exhibited UB on this input.
+const DENSE_SRC_UB: u8 = 0;
+/// Source outcome tag: the source returned `poison`.
+const DENSE_POISON: u8 = 1;
+/// Source outcome tag: the source returned `undef`.
+const DENSE_UNDEF: u8 = 2;
+/// Source outcome tag: the source returned the concrete value in `vals`.
+const DENSE_CONCRETE: u8 = 3;
+
+/// The source's per-input outcome table flattened into dense arrays — one
+/// tag byte plus one canonical `u64` per input — so the plane sweep compares
+/// a survivor lane without materializing an [`EvalValue`].
+///
+/// Only built for cases in the plane domain (scalar-integer signature, no
+/// input allocations), where the memory half of the refinement check is
+/// vacuous: inputs carry no observable allocations, so value refinement is
+/// the whole comparison.
+struct DenseOutcomes {
+    tags: Vec<u8>,
+    vals: Vec<u64>,
+}
+
+impl DenseOutcomes {
+    /// Whether plane lane `offset` of `result` provably refines input
+    /// `index`'s cached source outcome. The tag order mirrors
+    /// [`refutation`]: source UB admits anything, then target UB refutes,
+    /// then the value-refinement lattice. `false` means *suspect* — the
+    /// caller re-runs the lane through the full comparison, which stays
+    /// authoritative for the verdict and the refutation descriptor.
+    fn lane_refines(&self, index: usize, result: &PlaneResult, offset: usize) -> bool {
+        match self.tags[index] {
+            DENSE_SRC_UB => true,
+            _ if result.is_ub(offset) => false,
+            DENSE_POISON => true,
+            DENSE_UNDEF => !result.is_poison(offset),
+            _ => {
+                !result.is_poison(offset)
+                    && !result.is_undef(offset)
+                    && result.raw(offset) == self.vals[index]
+            }
+        }
+    }
 }
 
 impl<'a> SourceCache<'a> {
@@ -376,6 +453,8 @@ impl<'a> SourceCache<'a> {
             candidates: Cell::new(0),
             probe_rejects: Cell::new(0),
             survivors: Cell::new(0),
+            plane_sweeps: Cell::new(0),
+            dense: RefCell::new(DenseState::NotBuilt),
         }
     }
 
@@ -409,6 +488,14 @@ impl<'a> SourceCache<'a> {
         self.survivors.get()
     }
 
+    /// Survivors whose post-probe sweep ran on the type-specialized plane
+    /// evaluator rather than the general batched interpreter. A subset of
+    /// [`survivors`](Self::survivors); deterministic for a given case and
+    /// candidate sequence.
+    pub fn plane_sweeps(&self) -> usize {
+        self.plane_sweeps.get()
+    }
+
     /// How many times the source function has been concretely evaluated.
     ///
     /// At most one evaluation per (case, input), independent of the candidate
@@ -440,6 +527,109 @@ impl<'a> SourceCache<'a> {
                     .map(|o| (o.result, o.memory)),
             );
         }
+    }
+
+    /// The dense source-outcome table for plane-mode comparison, built the
+    /// first time a plane sweep runs after every source outcome has been
+    /// filled (one full survivor pass does that). Until then — and for
+    /// shapes the dense form can't carry — returns `None` and the sweep
+    /// materializes each lane through [`check_input`](Self::check_input),
+    /// which keeps `source_eval_count` filling strictly in input order.
+    fn dense_outcomes(&self) -> Option<Rc<DenseOutcomes>> {
+        match &*self.dense.borrow() {
+            DenseState::Built(table) => return Some(table.clone()),
+            DenseState::Unavailable => return None,
+            DenseState::NotBuilt => {}
+        }
+        let (inputs, _) = self.inputs();
+        let total = inputs.len();
+        // Each input is evaluated at most once, so the count hitting the
+        // input total means every outcome slot is filled.
+        if self.source_evals.get() != total {
+            return None;
+        }
+        if inputs.iter().any(|input| input.memory.allocation_count() != 0) {
+            // Unreachable for plane-eligible signatures (scalar-integer
+            // params generate no allocations), but the dense compare skips
+            // memory refinement, so gate on it explicitly.
+            *self.dense.borrow_mut() = DenseState::Unavailable;
+            return None;
+        }
+        let outcomes = self.outcomes.borrow();
+        let mut tags = Vec::with_capacity(total);
+        let mut vals = Vec::with_capacity(total);
+        for outcome in outcomes.iter() {
+            let (tag, val) = match outcome {
+                Some(Err(_)) => (DENSE_SRC_UB, 0),
+                Some(Ok((Some(EvalValue::Poison), _))) => (DENSE_POISON, 0),
+                Some(Ok((Some(EvalValue::Undef), _))) => (DENSE_UNDEF, 0),
+                Some(Ok((Some(EvalValue::Int(v)), _))) if v.width() <= 64 => {
+                    (DENSE_CONCRETE, v.zext_value() as u64)
+                }
+                _ => {
+                    *self.dense.borrow_mut() = DenseState::Unavailable;
+                    return None;
+                }
+            };
+            tags.push(tag);
+            vals.push(val);
+        }
+        drop(outcomes);
+        let table = Rc::new(DenseOutcomes { tags, vals });
+        *self.dense.borrow_mut() = DenseState::Built(table.clone());
+        Some(table)
+    }
+
+    /// Stage 3 on the plane evaluator: sweeps inputs `*index..total` in
+    /// [`PLANE_LANES`] chunks through `plan`. Returns the verdict, or
+    /// `None` if a chunk's inputs fall outside the plane domain — `*index`
+    /// is then the first unswept input and the caller finishes on the
+    /// batched path.
+    fn sweep_planes(
+        &self,
+        plan: &PlanePlan,
+        index: &mut usize,
+        total: usize,
+        exhaustive: bool,
+        arena: &mut EvalArena,
+    ) -> Option<StagedVerdict> {
+        let dense = self.dense_outcomes();
+        let mut counted = false;
+        while *index < total {
+            let start = *index;
+            let end = (start + PLANE_LANES).min(total);
+            let lanes: Vec<&[EvalValue]> =
+                self.inputs().0[start..end].iter().map(|input| input.args.as_slice()).collect();
+            let result = plan.evaluate_lanes(arena, &lanes, STEP_LIMIT)?;
+            if !counted {
+                counted = true;
+                self.plane_sweeps.set(self.plane_sweeps.get() + 1);
+            }
+            for offset in 0..end - start {
+                let lane_index = start + offset;
+                // The dense table is a cheap pre-filter: a lane it clears is
+                // proven refining; a lane it suspects goes through the full
+                // comparison below, which stays authoritative for both the
+                // verdict and the refutation descriptor.
+                if let Some(table) = &dense {
+                    if table.lane_refines(lane_index, &result, offset) {
+                        continue;
+                    }
+                }
+                let input = &self.inputs().0[lane_index];
+                let tgt_out =
+                    result.outcome(offset, input.memory.clone()).map(|o| (o.result, o.memory));
+                if let Some(refutation) = self.check_input(lane_index, input, &tgt_out, arena) {
+                    return Some(StagedVerdict::Refuted {
+                        index: lane_index,
+                        tgt_out,
+                        refutation,
+                    });
+                }
+            }
+            *index = end;
+        }
+        Some(StagedVerdict::Correct { inputs_checked: total, exhaustive })
     }
 
     /// Signature compatibility: same parameter types (names may differ) and
@@ -531,12 +721,28 @@ impl<'a> SourceCache<'a> {
             }
         };
 
-        // Stage 3: batched sweep over the remaining inputs. Target lanes are
-        // evaluated a chunk at a time, but source outcomes are still filled
-        // (and compared) strictly in input order, stopping at the first
-        // failure — so `source_eval_count` matches the reference path even
-        // for candidates refuted mid-sweep.
+        // Stage 3: sweep the remaining inputs. Target lanes are evaluated a
+        // chunk at a time, but source outcomes are still filled (and
+        // compared) strictly in input order, stopping at the first failure —
+        // so `source_eval_count` matches the reference path even for
+        // candidates refuted mid-sweep.
         let mut index = probe_n;
+
+        // Stage 3a: candidates whose compiled form carries a `PlanePlan`
+        // (straight-line, scalar-integer, memory-free) sweep over native
+        // `u64` register planes. Any input outside the plane domain drops
+        // to the batched path below at the first unswept chunk.
+        if self.config.plane_sweep {
+            if let Some(plan) = compiled_tgt.plane() {
+                if let Some(verdict) =
+                    self.sweep_planes(plan, &mut index, total, exhaustive, arena)
+                {
+                    return Ok(verdict);
+                }
+            }
+        }
+
+        // Stage 3b: general batched sweep.
         while index < total {
             let end = (index + SWEEP_LANES).min(total);
             let lanes: Vec<(&[EvalValue], Memory)> = self.inputs().0[index..end]

@@ -1,0 +1,285 @@
+//! Randomized differential proof of the plane evaluator tier.
+//!
+//! PR 3 proved the compiled evaluator outcome-identical to the reference
+//! interpreter, and `tests/tv_differential.rs` proves the staged checker
+//! verdict-identical to the retained single-stage path over the curated
+//! corpora. This file closes the remaining gap with *generated* coverage:
+//! [`lpo_interp::fuzz`] builds random straight-line scalar-integer functions
+//! — the exact domain the [`PlanePlan`] tier claims — and every one is
+//! checked three ways:
+//!
+//! * **plane ≡ batch ≡ reference** on full outcomes (values, poison/undef,
+//!   UB messages, step counts), including tiny step limits;
+//! * **lane isolation**: a batched plane sweep is bit-identical to running
+//!   each lane alone, so a trapping lane cannot contaminate a neighbour;
+//! * **TV parity**: `SourceCache` verdicts and source-eval counts are
+//!   identical with the plane tier on and off, and a survivor only falls
+//!   back to the batched sweep when its compiled form really has no plan;
+//! * **digest sanity**: structurally distinct fuzz functions never share a
+//!   [`hash_function`] digest (the compile cache's correctness assumption).
+//!
+//! Every test walks a fixed seed block (deterministic in CI and locally) and
+//! appends a rotating block derived from `LPO_FUZZ_SEED` when that variable
+//! is set — the CI fuzz-smoke step derives it from the commit hash and logs
+//! it, so any failure is replayable with
+//! `LPO_FUZZ_SEED=<seed> cargo test --test plane_differential`.
+
+use lpo_bench::twist_return;
+use lpo_interp::compiled::{CompiledFunction, EvalArena};
+use lpo_interp::eval::evaluate_reference;
+use lpo_interp::fuzz::random_function;
+use lpo_interp::memory::Memory;
+use lpo_interp::value::EvalValue;
+use lpo_ir::hash::hash_function;
+use lpo_ir::printer::print_function;
+use lpo_tv::inputs::{generate_inputs, InputConfig};
+use lpo_tv::prelude::{SourceCache, TvConfig};
+use std::collections::hash_map::Entry;
+use std::collections::HashMap;
+
+/// Step budget for the evaluator-level sweeps; far above any fuzz function's
+/// instruction count, matching how the verifier runs them.
+const STEP_LIMIT: usize = 1 << 14;
+
+/// The base seed block every test walks. Golden-ratio striding keeps the
+/// seeds spread over the space instead of clustered near zero.
+fn seed_block(count: usize, salt: u64) -> Vec<u64> {
+    let mut seeds: Vec<u64> =
+        (0..count as u64).map(|i| i.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(salt)).collect();
+    if let Some(rotating) = rotating_seed() {
+        // One extra block per run, derived from the environment; logged so
+        // a CI failure is replayable locally.
+        eprintln!(
+            "plane fuzz: appending {} rotating seeds from LPO_FUZZ_SEED={rotating:#x}",
+            count / 4
+        );
+        seeds.extend(
+            (0..count as u64 / 4)
+                .map(|i| rotating.wrapping_add(salt).wrapping_add(i.wrapping_mul(0x9e37_79b9))),
+        );
+    }
+    seeds
+}
+
+/// The rotating seed from the environment, accepting decimal or `0x` hex.
+fn rotating_seed() -> Option<u64> {
+    let raw = std::env::var("LPO_FUZZ_SEED").ok()?;
+    let raw = raw.trim();
+    let parsed = match raw.strip_prefix("0x").or_else(|| raw.strip_prefix("0X")) {
+        Some(hex) => u64::from_str_radix(hex, 16),
+        None => raw.parse(),
+    };
+    match parsed {
+        Ok(seed) => Some(seed),
+        Err(_) => panic!("LPO_FUZZ_SEED must be a u64 (decimal or 0x hex), got {raw:?}"),
+    }
+}
+
+/// A compact input set per function: corner values plus a few samples keep
+/// the sweep fast in debug builds; the seed ties inputs to the function.
+fn input_config(seed: u64) -> InputConfig {
+    InputConfig { exhaustive_bits: 8, random_samples: 24, seed }
+}
+
+/// All three evaluators on the same function and inputs; asserts full
+/// outcome equality (result, memory, steps, UB message) per lane.
+fn check_three_ways(seed: u64, arena: &mut EvalArena, step_limit: usize) -> usize {
+    let func = random_function(seed);
+    let compiled = CompiledFunction::compile(&func);
+    let plan = compiled
+        .plane()
+        .unwrap_or_else(|| panic!("fuzz function from seed {seed:#x} must be plane-eligible"));
+    let inputs = generate_inputs(&func, &input_config(seed));
+    let take = inputs.len().min(64);
+    let lanes: Vec<&[EvalValue]> = inputs[..take].iter().map(|i| i.args.as_slice()).collect();
+    let result = plan
+        .evaluate_lanes(arena, &lanes, step_limit)
+        .expect("generated inputs always fit the plan's own signature");
+    let batch_lanes: Vec<(&[EvalValue], Memory)> =
+        inputs[..take].iter().map(|i| (i.args.as_slice(), i.memory.clone())).collect();
+    let batch = compiled.evaluate_batch_with_limit(arena, batch_lanes, step_limit);
+    for (lane, (input, batch_out)) in inputs[..take].iter().zip(&batch).enumerate() {
+        let plane_out = result.outcome(lane, input.memory.clone());
+        assert_eq!(
+            &plane_out,
+            batch_out,
+            "plane vs batch diverged: seed {seed:#x} lane {lane} limit {step_limit} args {:?}\n{}",
+            input.args,
+            print_function(&func)
+        );
+        let reference = evaluate_reference(&func, &input.args, input.memory.clone(), step_limit);
+        assert_eq!(
+            plane_out,
+            reference,
+            "plane vs reference diverged: seed {seed:#x} lane {lane} limit {step_limit} args {:?}\n{}",
+            input.args,
+            print_function(&func)
+        );
+    }
+    take
+}
+
+#[test]
+fn plane_matches_batch_and_reference_on_random_functions() {
+    let mut arena = EvalArena::new();
+    let mut checked = 0usize;
+    for seed in seed_block(2_000, 0x51de_5eed) {
+        checked += check_three_ways(seed, &mut arena, STEP_LIMIT);
+    }
+    assert!(checked >= 2_000 * 16, "fuzz sweep looks too small: {checked} lane checks");
+}
+
+#[test]
+fn plane_matches_batch_and_reference_at_tiny_step_limits() {
+    // The step-limit boundary is where the three evaluators are most likely
+    // to disagree (which instruction "counts", whether `ret` is a step), so
+    // sweep every limit from 0 to past the longest fuzz function.
+    let mut arena = EvalArena::new();
+    for seed in seed_block(150, 0x5e11_1111) {
+        for limit in 0..=13 {
+            check_three_ways(seed, &mut arena, limit);
+        }
+    }
+}
+
+#[test]
+fn batched_lanes_match_isolated_lanes() {
+    // A full-width sweep must be bit-identical to evaluating every lane on
+    // its own — UB, poison or a step-limit hit in one lane cannot leak into
+    // a neighbour's planes.
+    let mut arena = EvalArena::new();
+    let mut solo_arena = EvalArena::new();
+    for seed in seed_block(200, 0x1a9e_1501) {
+        let func = random_function(seed);
+        let compiled = CompiledFunction::compile(&func);
+        let plan = compiled.plane().expect("fuzz functions are plane-eligible");
+        let inputs = generate_inputs(&func, &input_config(seed));
+        let take = inputs.len().min(48);
+        let lanes: Vec<&[EvalValue]> = inputs[..take].iter().map(|i| i.args.as_slice()).collect();
+        let together = plan.evaluate_lanes(&mut arena, &lanes, STEP_LIMIT).unwrap();
+        for (lane, input) in inputs[..take].iter().enumerate() {
+            let alone = plan
+                .evaluate_lanes(&mut solo_arena, &lanes[lane..=lane], STEP_LIMIT)
+                .unwrap();
+            assert_eq!(
+                together.outcome(lane, input.memory.clone()),
+                alone.outcome(0, input.memory.clone()),
+                "lane {lane} differs batched vs alone: seed {seed:#x}\n{}",
+                print_function(&func)
+            );
+        }
+    }
+}
+
+/// Quick TV configuration with the plane tier on or off; everything else
+/// (inputs, probe window) identical.
+fn tv_config(plane_sweep: bool, seed: u64) -> TvConfig {
+    TvConfig {
+        inputs: InputConfig { exhaustive_bits: 8, random_samples: 24, seed },
+        plane_sweep,
+        ..TvConfig::default()
+    }
+}
+
+#[test]
+fn tv_verdicts_identical_with_plane_tier_on_and_off() {
+    let mut arena = EvalArena::new();
+    let mut plane_survivors = 0usize;
+    for seed in seed_block(250, 0x7ea0_0f0f) {
+        let src = random_function(seed);
+        // The source itself (a guaranteed survivor) plus its twisted return
+        // (refuted mid-sweep) exercise both verdict paths.
+        let mut candidates = vec![src.clone()];
+        candidates.extend(twist_return(&src));
+        let with_plane = SourceCache::new(&src, tv_config(true, seed));
+        let without = SourceCache::new(&src, tv_config(false, seed));
+        for candidate in &candidates {
+            let on = with_plane.verify_with(candidate, &mut arena);
+            let off = without.verify_with(candidate, &mut arena);
+            assert_eq!(
+                on,
+                off,
+                "plane tier changed a verdict: seed {seed:#x}\n{}",
+                print_function(candidate)
+            );
+        }
+        assert_eq!(
+            with_plane.source_eval_count(),
+            without.source_eval_count(),
+            "plane tier changed the source evaluation count: seed {seed:#x}"
+        );
+        plane_survivors += with_plane.plane_sweeps();
+    }
+    assert!(plane_survivors > 200, "plane tier barely engaged: {plane_survivors} sweeps");
+}
+
+#[test]
+fn survivors_fall_back_only_when_really_ineligible() {
+    // For every corpus case and candidate: if the candidate survives the
+    // probe, the plane tier handles it exactly when its compiled form
+    // carries a plan — fallback is never triggered by an input the plan
+    // spuriously rejects.
+    let mut arena = EvalArena::new();
+    let mut plane = 0usize;
+    let mut fallback = 0usize;
+    for case in lpo_corpus::rq1_suite().iter().chain(lpo_corpus::rq2_suite().iter()) {
+        let src = &case.function;
+        let mut candidates = vec![src.clone()];
+        candidates.extend(twist_return(src));
+        let cache = SourceCache::new(src, tv_config(true, u64::from(case.issue_id)));
+        for candidate in &candidates {
+            let survivors_before = cache.survivors();
+            let sweeps_before = cache.plane_sweeps();
+            let _ = cache.verify_with(candidate, &mut arena);
+            let survived = cache.survivors() > survivors_before;
+            let planed = cache.plane_sweeps() > sweeps_before;
+            let has_plan = CompiledFunction::compile(candidate).plane().is_some();
+            if !survived {
+                assert!(!planed, "non-survivor counted a plane sweep: @{}", candidate.name);
+                continue;
+            }
+            assert_eq!(
+                planed, has_plan,
+                "survivor @{} fell back with a plan present (or planed without one)",
+                candidate.name
+            );
+            if planed {
+                plane += 1;
+            } else {
+                fallback += 1;
+            }
+        }
+    }
+    // The corpora contain both populations: the plane tier must be covering
+    // the scalar-int bulk while memory/vector/control-flow cases fall back.
+    assert!(plane > 20, "too few plane-swept survivors: {plane}");
+    assert!(fallback > 0, "no fallback survivors — the eligibility test lost its teeth");
+}
+
+#[test]
+fn structural_digests_separate_distinct_fuzz_functions() {
+    // The compile cache keys on `hash_function` alone, so a digest collision
+    // between behaviourally different functions would silently reuse the
+    // wrong compiled code. Names are not hashed; normalize them so printed
+    // text equality mirrors structural equality.
+    let mut by_digest: HashMap<u64, String> = HashMap::new();
+    let mut distinct = 0usize;
+    for seed in seed_block(10_000, 0xd165_7a5b) {
+        let mut func = random_function(seed);
+        func.name = "f".into();
+        let digest = hash_function(&func).0;
+        let text = print_function(&func);
+        match by_digest.entry(digest) {
+            Entry::Occupied(entry) => assert_eq!(
+                entry.get(),
+                &text,
+                "digest collision between distinct functions at seed {seed:#x}"
+            ),
+            Entry::Vacant(slot) => {
+                slot.insert(text);
+                distinct += 1;
+            }
+        }
+    }
+    assert!(distinct > 9_000, "fuzz generator produced too few distinct shapes: {distinct}");
+}

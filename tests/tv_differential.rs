@@ -30,7 +30,7 @@ fn quick_inputs() -> InputConfig {
 }
 
 fn config_with_probe(probe_inputs: usize) -> TvConfig {
-    TvConfig { inputs: quick_inputs(), probe_inputs }
+    TvConfig { inputs: quick_inputs(), probe_inputs, ..TvConfig::default() }
 }
 
 /// Candidate rewrites for one corpus case: the source itself (a guaranteed
