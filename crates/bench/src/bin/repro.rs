@@ -8,10 +8,13 @@
 //! cargo run -p lpo-bench --release --bin repro -- bench-interp --jobs 1
 //! cargo run -p lpo-bench --release --bin repro -- bench-opt --jobs 1
 //! cargo run -p lpo-bench --release --bin repro -- bench-tv --jobs 1
+//! cargo run -p lpo-bench --release --bin repro -- bench-exec --jobs 4 --shard-size 256
 //! ```
 //!
 //! `--jobs N` sets the worker count for every driver (`0`, the default, uses
-//! all available cores). Any value produces bit-identical results; only
+//! all available cores) and `--shard-size M` the Stage-3 input-sweep /
+//! enumeration-frontier shard width (`inf` = one shard per survivor sweep;
+//! default 256). Any combination produces bit-identical results; only
 //! wall-clock measurements change (the `[engine]` footers and Table 5's
 //! measured compile-time-delta column).
 //!
@@ -26,11 +29,17 @@
 //! `bench-opt` measures Stage 1 canonicalization (worklist engine vs the
 //! rescan reference) and fills the `opt` section; `bench-tv` measures Stage 3
 //! translation validation (staged checker vs the pre-staging reference) and
-//! fills the `tv` section. With
+//! fills the `tv` section; `bench-exec` measures the shard engine's
+//! single-case scaling and overhead and fills the `exec` section. With
 //! `--check-baseline <file>` each exits non-zero when its throughput falls
-//! more than 30% below the checked-in baseline — the CI `bench-smoke` gate.
+//! more than 30% below the checked-in baseline — the CI `bench-smoke` and
+//! `shard-smoke` gates (`bench-exec`'s parallel-scaling check applies only on
+//! hosts with ≥ 4 cores; its overhead ratios are gated everywhere).
 
-use lpo_bench::results::{BenchResults, InterpEntry, Json, OptEntry, RunEntries, TableEntry, TvEntry};
+use lpo::prelude::DEFAULT_SHARD_SIZE;
+use lpo_bench::results::{
+    BenchResults, ExecEntry, InterpEntry, Json, OptEntry, RunEntries, TableEntry, TvEntry,
+};
 use lpo_bench::{self as harness, TableRun};
 use lpo_llm::prelude::rq1_models;
 
@@ -44,6 +53,21 @@ fn arg_value(args: &[String], name: &str, default: u64) -> u64 {
 
 fn arg_text<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
     args.iter().position(|a| a == name).and_then(|i| args.get(i + 1)).map(String::as_str)
+}
+
+/// `--shard-size N` (`inf` = one shard per survivor sweep / frontier).
+fn arg_shard_size(args: &[String]) -> usize {
+    match arg_text(args, "--shard-size") {
+        None => DEFAULT_SHARD_SIZE,
+        Some("inf") => usize::MAX,
+        Some(text) => match text.parse::<usize>() {
+            Ok(n) if n > 0 => n,
+            _ => {
+                eprintln!("--shard-size expects a positive integer or 'inf', got '{text}'");
+                std::process::exit(2);
+            }
+        },
+    }
 }
 
 /// Allowed relative regression vs the baseline.
@@ -162,12 +186,81 @@ fn check_tv_baseline(entry: &TvEntry, path: &str) -> Result<String, String> {
     }
 }
 
+/// The sharded-execution gates (`repro bench-exec --check-baseline`): the
+/// machine-independent overhead ratios everywhere (sharding at one worker
+/// must stay within tolerance of the case-granular engine), plus the
+/// parallel-scaling floor on hosts where parallelism is actually available.
+fn check_exec_baseline(entry: &ExecEntry, path: &str) -> Result<String, String> {
+    let sweep_gate = Gate {
+        throughput_key: "exec_sweep_per_second",
+        speedup_key: "exec_sweep_overhead_ratio",
+        unit: "sweeps/s",
+        subject: "sharded input-sweep throughput",
+    };
+    let enum_gate = Gate {
+        throughput_key: "exec_enum_per_second",
+        speedup_key: "exec_enum_overhead_ratio",
+        unit: "candidates/s",
+        subject: "sharded enumeration throughput",
+    };
+    let checks = [
+        check_gate(&sweep_gate, entry.sweep_serial_per_second, entry.sweep_overhead_ratio, path),
+        check_gate(&enum_gate, entry.enum_serial_per_second, entry.enum_overhead_ratio, path),
+        check_exec_scaling(entry, path),
+    ];
+    let failed = checks.iter().any(Result::is_err);
+    let combined = checks
+        .into_iter()
+        .map(|check| check.unwrap_or_else(|message| message))
+        .collect::<Vec<_>>()
+        .join("\n");
+    if failed {
+        Err(combined)
+    } else {
+        Ok(combined)
+    }
+}
+
+/// The single-case parallel-scaling floor: on a host with ≥ 4 cores, a
+/// `--jobs ≥ 4` sweep must speed up within 30% of the baseline speedup.
+/// Single-core hosts (and `--jobs 1` runs) cannot measure scaling, so the
+/// check is skipped — the overhead gates still apply there.
+fn check_exec_scaling(entry: &ExecEntry, path: &str) -> Result<String, String> {
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    if entry.jobs < 4 || cores < 4 {
+        return Ok(format!(
+            "parallel-scaling check skipped: jobs {} on a {cores}-core host (needs >= 4 of each)",
+            entry.jobs
+        ));
+    }
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read baseline '{path}': {e}"))?;
+    let value = Json::parse(&text).map_err(|e| format!("cannot parse baseline '{path}': {e}"))?;
+    let Some(baseline) = value.get("exec_sweep_speedup").and_then(Json::as_num) else {
+        return Ok(format!("baseline '{path}' has no 'exec_sweep_speedup' — scaling check skipped"));
+    };
+    let floor = baseline * (1.0 - REGRESSION_TOLERANCE);
+    if entry.sweep_speedup >= floor {
+        Ok(format!(
+            "parallel-scaling check ok: {:.2}x at jobs {} vs baseline {baseline:.2}x (floor {floor:.2}x)",
+            entry.sweep_speedup, entry.jobs
+        ))
+    } else {
+        Err(format!(
+            "single-case scaling regressed: {:.2}x at jobs {} on a {cores}-core host is below \
+             the floor {floor:.2}x (baseline {baseline:.2}x)",
+            entry.sweep_speedup, entry.jobs
+        ))
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let what = args.first().map(String::as_str).unwrap_or("all");
     let rounds = arg_value(&args, "--rounds", 2);
     let samples = arg_value(&args, "--samples", 60) as usize;
     let jobs = arg_value(&args, "--jobs", 0) as usize;
+    let shard_size = arg_shard_size(&args);
     let quick_models = || {
         if args.iter().any(|a| a == "--all-models") {
             rq1_models()
@@ -185,6 +278,7 @@ fn main() {
     let mut interp: Option<InterpEntry> = None;
     let mut opt: Option<OptEntry> = None;
     let mut tv: Option<TvEntry> = None;
+    let mut exec: Option<ExecEntry> = None;
     let mut show = |name: &str, run: TableRun| {
         println!("{}", run.text);
         tables.push(TableEntry {
@@ -199,9 +293,9 @@ fn main() {
 
     match what {
         "table1" => println!("{}", harness::table1()),
-        "table2" => show("table2", harness::table2(rounds, &quick_models(), jobs)),
+        "table2" => show("table2", harness::table2(rounds, &quick_models(), jobs, shard_size)),
         "table3" => show("table3", harness::table3(jobs)),
-        "table4" => show("table4", harness::table4(samples, jobs)),
+        "table4" => show("table4", harness::table4(samples, jobs, shard_size)),
         "table5" => show("table5", harness::table5(jobs)),
         "figure5" => show("figure5", harness::figure5(jobs)),
         "bench-interp" => {
@@ -219,11 +313,16 @@ fn main() {
             println!("{}", run.text);
             tv = Some(run.entry);
         }
+        "bench-exec" => {
+            let run = harness::bench_exec(jobs, shard_size);
+            println!("{}", run.text);
+            exec = Some(run.entry);
+        }
         "all" => {
             println!("{}", harness::table1());
-            show("table2", harness::table2(rounds, &quick_models(), jobs));
+            show("table2", harness::table2(rounds, &quick_models(), jobs, shard_size));
             show("table3", harness::table3(jobs));
-            show("table4", harness::table4(samples, jobs));
+            show("table4", harness::table4(samples, jobs, shard_size));
             show("table5", harness::table5(jobs));
             show("figure5", harness::figure5(jobs));
             let run = harness::bench_interp(jobs);
@@ -235,10 +334,13 @@ fn main() {
             let run = harness::bench_tv(jobs);
             println!("{}", run.text);
             tv = Some(run.entry);
+            let run = harness::bench_exec(jobs, shard_size);
+            println!("{}", run.text);
+            exec = Some(run.entry);
         }
         other => {
             eprintln!(
-                "unknown experiment '{other}'; expected table1..table5, figure5, bench-interp, bench-opt, bench-tv or all"
+                "unknown experiment '{other}'; expected table1..table5, figure5, bench-interp, bench-opt, bench-tv, bench-exec or all"
             );
             std::process::exit(2);
         }
@@ -249,6 +351,7 @@ fn main() {
         interp: interp.clone(),
         opt: opt.clone(),
         tv: tv.clone(),
+        exec: exec.clone(),
     };
     if !entries.is_empty() {
         let path = "BENCH_results.json";
@@ -263,8 +366,10 @@ fn main() {
     }
 
     if let Some(baseline_path) = arg_text(&args, "--check-baseline") {
-        if interp.is_none() && opt.is_none() && tv.is_none() {
-            eprintln!("--check-baseline requires the bench-interp, bench-opt, bench-tv (or all) subcommand");
+        if interp.is_none() && opt.is_none() && tv.is_none() && exec.is_none() {
+            eprintln!(
+                "--check-baseline requires the bench-interp, bench-opt, bench-tv, bench-exec (or all) subcommand"
+            );
             std::process::exit(2);
         }
         let mut failed = false;
@@ -288,6 +393,15 @@ fn main() {
         }
         if let Some(entry) = &tv {
             match check_tv_baseline(entry, baseline_path) {
+                Ok(message) => eprintln!("{message}"),
+                Err(message) => {
+                    eprintln!("{message}");
+                    failed = true;
+                }
+            }
+        }
+        if let Some(entry) = &exec {
+            match check_exec_baseline(entry, baseline_path) {
                 Ok(message) => eprintln!("{message}"),
                 Err(message) => {
                     eprintln!("{message}");

@@ -82,7 +82,26 @@ impl DriverStats {
                 self.tv.compile_cache_hits
             );
         }
+        if self.tv.shards_executed > 0 {
+            // Scheduling-dependent observability (`stolen` especially):
+            // report, never compare across runs.
+            let _ = writeln!(
+                out,
+                "[shards] executed: {}  stolen: {}  cancelled: {}",
+                self.tv.shards_executed, self.tv.shards_stolen, self.tv.shard_cancellations
+            );
+        }
         out
+    }
+}
+
+impl DriverStats {
+    /// Accounting for a driver that never runs an engine batch (souper /
+    /// minotaur baselines, pass-pipeline timings): no dedup cache or Stage 3
+    /// state is in play, so those counters are structurally zero — not
+    /// unplumbed placeholders.
+    fn engineless(jobs: usize, cases: usize, wall: Duration) -> Self {
+        Self { jobs, cases, wall, ..Self::default() }
     }
 }
 
@@ -152,6 +171,10 @@ pub struct Rq1Result {
     pub models: Vec<String>,
     /// Stage 3 accounting aggregated over every LPO run of the experiment.
     pub tv: TvSnapshot,
+    /// Dedup-cache replays summed over every engine batch the experiment ran
+    /// (single-case batches, so this stays 0 unless batching changes — but it
+    /// is measured, not assumed).
+    pub cache_hits: usize,
 }
 
 impl Rq1Result {
@@ -198,18 +221,27 @@ impl Rq1Result {
 /// cases (its Stage 3 compile cache then serves every case of the
 /// experiment); outcomes depend only on the factory seeding, so sharing is
 /// invisible to the calibrated numbers.
-fn detect_with_lpo(case: &IssueCase, lpo: &Lpo, profile: &ModelProfile, rounds: u64, seed: u64) -> usize {
+fn detect_with_lpo(
+    case: &IssueCase,
+    lpo: &Lpo,
+    profile: &ModelProfile,
+    rounds: u64,
+    seed: u64,
+    config: &ExecConfig,
+) -> (usize, usize) {
     // One factory per (case, model): sessions at case index 0 reproduce the
     // historical per-issue seeding, so the calibrated Table 2 numbers hold.
     let factory = SimulatedModelFactory::new(profile.clone(), seed);
     let sequence = std::slice::from_ref(&case.function);
-    (0..rounds)
+    let mut cache_hits = 0;
+    let detections = (0..rounds)
         .filter(|&round| {
-            lpo.run_sequences(&factory, round, sequence, &ExecConfig::serial()).reports[0]
-                .outcome
-                .is_found()
+            let batch = lpo.run_sequences(&factory, round, sequence, config);
+            cache_hits += batch.stats.cache_hits;
+            batch.reports[0].outcome.is_found()
         })
-        .count()
+        .count();
+    (detections, cache_hits)
 }
 
 /// One shared enumerative search per case, replacing the old
@@ -241,7 +273,12 @@ fn minotaur_detects(case: &IssueCase) -> bool {
 /// Runs the RQ1 detection experiment (Table 2) with the given number of rounds
 /// per model (the paper uses 5) over the selected model profiles, fanning the
 /// 25 issues out over `jobs` workers (`0` = available parallelism).
-pub fn rq1_experiment(rounds: u64, models: &[ModelProfile], jobs: usize) -> Rq1Result {
+pub fn rq1_experiment(
+    rounds: u64,
+    models: &[ModelProfile],
+    jobs: usize,
+    shard_size: usize,
+) -> Rq1Result {
     let suite = rq1_suite();
     let jobs = resolve_jobs(jobs, suite.len());
     // Two shared pipelines (LPO / LPO⁻), so the Stage 3 compile cache spans
@@ -249,7 +286,11 @@ pub fn rq1_experiment(rounds: u64, models: &[ModelProfile], jobs: usize) -> Rq1R
     // accounting can be reported in one snapshot.
     let lpo_plus = Lpo::new(LpoConfig::default());
     let lpo_minus = Lpo::new(LpoConfig::without_feedback());
-    let rows = parallel_map_ordered(&suite, jobs, |_, case| {
+    // The detection cells stay one-case-per-batch (the calibrated seeding),
+    // so each inner run is serial — but its Stage 3 sweeps still go through
+    // the shard engine at the requested shard size.
+    let detect_config = ExecConfig { shard_size, ..ExecConfig::serial() };
+    let cells = parallel_map_ordered(&suite, jobs, |_, case| {
         let (souper_default, souper_enum) = souper_detects_shared(case);
         let mut row = Rq1Row {
             issue: case.issue_id,
@@ -258,22 +299,34 @@ pub fn rq1_experiment(rounds: u64, models: &[ModelProfile], jobs: usize) -> Rq1R
             minotaur: minotaur_detects(case),
             ..Default::default()
         };
+        let mut hits = 0;
         for profile in models {
-            let minus = detect_with_lpo(case, &lpo_minus, profile, rounds, case.issue_id as u64);
-            let plus = detect_with_lpo(case, &lpo_plus, profile, rounds, case.issue_id as u64);
+            let (minus, minus_hits) =
+                detect_with_lpo(case, &lpo_minus, profile, rounds, case.issue_id as u64, &detect_config);
+            let (plus, plus_hits) =
+                detect_with_lpo(case, &lpo_plus, profile, rounds, case.issue_id as u64, &detect_config);
+            hits += minus_hits + plus_hits;
             row.per_model.push((profile.name.to_string(), minus, plus));
         }
-        row
+        (row, hits)
     });
+    let cache_hits = cells.iter().map(|(_, hits)| hits).sum();
+    let rows = cells.into_iter().map(|(row, _)| row).collect();
     let mut tv = lpo_plus.tv_snapshot();
     tv.absorb(lpo_minus.tv_snapshot());
-    Rq1Result { rows, rounds, models: models.iter().map(|m| m.name.to_string()).collect(), tv }
+    Rq1Result {
+        rows,
+        rounds,
+        models: models.iter().map(|m| m.name.to_string()).collect(),
+        tv,
+        cache_hits,
+    }
 }
 
 /// Renders Table 2.
-pub fn table2(rounds: u64, models: &[ModelProfile], jobs: usize) -> TableRun {
+pub fn table2(rounds: u64, models: &[ModelProfile], jobs: usize, shard_size: usize) -> TableRun {
     let start = Instant::now();
-    let result = rq1_experiment(rounds, models, jobs);
+    let result = rq1_experiment(rounds, models, jobs, shard_size);
     let mut out = format!("Table 2: RQ1 detection of 25 previously reported missed optimizations ({rounds} rounds)\n");
     let _ = write!(out, "{:<10}", "Issue");
     for m in &result.models {
@@ -309,7 +362,7 @@ pub fn table2(rounds: u64, models: &[ModelProfile], jobs: usize) -> TableRun {
     let stats = DriverStats {
         jobs: resolve_jobs(jobs, result.rows.len()),
         cases: result.rows.len(),
-        cache_hits: 0, // 25 structurally distinct issues — nothing to replay
+        cache_hits: result.cache_hits,
         wall: start.elapsed(),
         tv: result.tv,
     };
@@ -376,13 +429,8 @@ pub fn table3(jobs: usize) -> TableRun {
     let _ = writeln!(out, "\nStatus counts: {:?}", result.status_counts());
     let (d, e, m) = result.baseline_counts();
     let _ = writeln!(out, "Detected by Souper-Default: {d}, Souper-Enum: {e}, Minotaur: {m} (out of 62)");
-    let stats = DriverStats {
-        jobs: resolve_jobs(jobs, result.rows.len()),
-        cases: result.rows.len(),
-        cache_hits: 0,
-        wall: start.elapsed(),
-        tv: TvSnapshot::default(),
-    };
+    let stats =
+        DriverStats::engineless(resolve_jobs(jobs, result.rows.len()), result.rows.len(), start.elapsed());
     out.push_str(&stats.footer());
     TableRun { text: out, stats }
 }
@@ -408,7 +456,7 @@ pub struct ThroughputRow {
 /// per translation unit), so cross-module duplicate sequences reach the
 /// engine and exercise its structural-hash dedup cache; the LPO rows and the
 /// Souper baselines all fan out over `jobs` workers.
-pub fn rq3_experiment(samples: usize, jobs: usize) -> (Vec<ThroughputRow>, DriverStats) {
+pub fn rq3_experiment(samples: usize, jobs: usize, shard_size: usize) -> (Vec<ThroughputRow>, DriverStats) {
     use lpo_extract::{ExtractConfig, Extractor};
     let start = Instant::now();
     let corpus = lpo_corpus::generate_corpus(&lpo_corpus::CorpusConfig {
@@ -437,9 +485,10 @@ pub fn rq3_experiment(samples: usize, jobs: usize) -> (Vec<ThroughputRow>, Drive
     // same sequence list, so the second profile's probe survivors hit the
     // compiled-function cache the first profile populated.
     let lpo = Lpo::new(LpoConfig::default());
+    let exec_config = ExecConfig { shard_size, ..ExecConfig::with_jobs(jobs) };
     for profile in [llama3_3(), gemini2_5()] {
         let factory = SimulatedModelFactory::new(profile.clone(), 0xbeef);
-        let batch = lpo.run_sequences(&factory, 0, &sequences, &ExecConfig::with_jobs(jobs));
+        let batch = lpo.run_sequences(&factory, 0, &sequences, &exec_config);
         // Both model runs share one sequence list, so their hit counts are
         // equal — report the per-list count, not the sum over runs.
         cache_hits = batch.stats.cache_hits;
@@ -485,8 +534,8 @@ pub fn rq3_experiment(samples: usize, jobs: usize) -> (Vec<ThroughputRow>, Drive
 }
 
 /// Renders Table 4.
-pub fn table4(samples: usize, jobs: usize) -> TableRun {
-    let (rows, stats) = rq3_experiment(samples, jobs);
+pub fn table4(samples: usize, jobs: usize, shard_size: usize) -> TableRun {
+    let (rows, stats) = rq3_experiment(samples, jobs, shard_size);
     let mut out = format!("Table 4: throughput and cost over {} sampled instruction sequences\n", stats.cases);
     let _ = writeln!(out, "{:<20} {:>14} {:>10} {:>12}", "Tool", "Time/case (s)", "Timeouts", "Cost (USD)");
     for row in &rows {
@@ -581,13 +630,7 @@ pub fn table5(jobs: usize) -> TableRun {
             row.id, row.impacted_files, row.impacted_projects, row.compile_time_delta_pct
         );
     }
-    let stats = DriverStats {
-        jobs: resolve_jobs(jobs, rows.len()),
-        cases: rows.len(),
-        cache_hits: 0,
-        wall: start.elapsed(),
-        tv: TvSnapshot::default(),
-    };
+    let stats = DriverStats::engineless(resolve_jobs(jobs, rows.len()), rows.len(), start.elapsed());
     out.push_str(&stats.footer());
     TableRun { text: out, stats }
 }
@@ -1199,6 +1242,237 @@ pub fn bench_tv(jobs: usize) -> TvBenchRun {
     TvBenchRun { text, entry }
 }
 
+/// One sharded-execution measurement: the rendered report plus the entry
+/// recorded in `BENCH_results.json`'s `exec` section.
+#[derive(Clone, Debug)]
+pub struct ExecBenchRun {
+    /// Human-readable report.
+    pub text: String,
+    /// The numbers (single-case scaling + sharding overhead + counters).
+    pub entry: results::ExecEntry,
+}
+
+/// Measures the shard engine's reason to exist: **single-case** scaling.
+/// Case-granular scheduling cannot use more workers than cases, so both
+/// workloads here are one case whose internal work is the whole batch:
+///
+/// * **input sweep** — one survivor verification over a 65,536-input
+///   exhaustive sweep (`i16` argument), split into [`SweepShard`]s of
+///   `shard_size` inputs. Measured on the case-granular checker (the
+///   `shard_inputs = false` path), on the sharded path at one worker (the
+///   machine-independent overhead ratio — the shard machinery must stay
+///   within a few percent of free), and on the sharded path at `jobs`
+///   workers (the speedup an idle machine gets on one huge case).
+/// * **enumeration** — one Souper `Enum=2` search over a 1,500-candidate
+///   budget, its frontier split into `shard_size`-candidate chunks
+///   ([`lpo_souper::superoptimize_batch_sharded`]), against the serial walk.
+///
+/// Parallel speedups are wall-clock and only meaningful on multi-core hosts;
+/// the `repro bench-exec --check-baseline` gate applies the scaling check
+/// only when the host has ≥ 4 cores, and gates the (machine-independent)
+/// overhead ratios everywhere. This is the workload behind the CI
+/// `shard-smoke` job; measure with `--jobs 1` when comparing across builds.
+///
+/// [`SweepShard`]: lpo_tv::frozen::SweepShard
+pub fn bench_exec(jobs: usize, shard_size: usize) -> ExecBenchRun {
+    use lpo_ir::parser::parse_function;
+    use lpo_tv::prelude::{EvalArena, SourceCache, TvConfig};
+    use std::sync::Arc;
+
+    /// Minimum measurement time per variant per shape.
+    const MIN_TIME: Duration = Duration::from_millis(300);
+    /// Survivor sweeps per pass.
+    const SWEEP_REPEATS: usize = 4;
+
+    let shard_size = shard_size.max(1);
+    let parallel_jobs = if jobs == 0 {
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    } else {
+        jobs
+    };
+
+    // One survivor case with a 65,536-input exhaustive sweep: wide enough
+    // that shard-granular stealing matters, cheap enough per input that the
+    // scheduler overhead would show if it were there.
+    let sweep_src = parse_function(
+        "define i16 @sweep(i16 %x) {\n %a = mul i16 %x, 3\n %b = xor i16 %a, 85\n %r = add i16 %b, 1\n ret i16 %r\n}",
+    )
+    .expect("bench-exec sweep function parses");
+    let sweep_tv = {
+        let mut config = TvConfig::default();
+        config.inputs.exhaustive_bits = 16;
+        config
+    };
+
+    // (verifications, wall) on the case-granular checker — the
+    // `shard_inputs = false` reference.
+    let sweep_reference_pass = || -> (usize, Duration) {
+        let mut arena = EvalArena::new();
+        let case = SourceCache::new(&sweep_src, sweep_tv.clone());
+        // Warm the source-side sweep untimed (amortized per case in
+        // production); the timed loop is the candidate-side cost.
+        std::hint::black_box(case.verify_with(&sweep_src, &mut arena).is_correct());
+        let start = Instant::now();
+        for _ in 0..SWEEP_REPEATS {
+            std::hint::black_box(case.verify_with(&sweep_src, &mut arena).is_correct());
+        }
+        (SWEEP_REPEATS, start.elapsed())
+    };
+
+    // (verifications, wall, shard accounting) on the sharded checker. A
+    // fresh runtime per pass: `run_cases` shuts its helpers down when the
+    // case list drains, so runtimes are per-batch, as in the engine.
+    let sweep_sharded_pass = |pass_jobs: usize| -> (usize, Duration, ShardStats) {
+        let runtime = ShardRuntime::new(pass_jobs, Arc::new(ShardCounters::new()));
+        let driver = RuntimeSweepDriver::new(runtime.clone());
+        let timed = runtime.run_cases(1, |_, arena| {
+            let case = SourceCache::new(&sweep_src, sweep_tv.clone());
+            std::hint::black_box(
+                case.verify_with_driver(&sweep_src, arena, &driver, shard_size).is_correct(),
+            );
+            let start = Instant::now();
+            for _ in 0..SWEEP_REPEATS {
+                std::hint::black_box(
+                    case.verify_with_driver(&sweep_src, arena, &driver, shard_size).is_correct(),
+                );
+            }
+            start.elapsed()
+        });
+        (SWEEP_REPEATS, timed[0], runtime.stats())
+    };
+
+    // One enumeration case that exhausts its 1,500-candidate budget without
+    // finding a replacement, so every run verifies the same frontier.
+    let enum_func = parse_function(
+        "define i32 @walk(i32 %x, i32 %y) {\n %a = mul i32 %x, %y\n %b = xor i32 %a, %x\n %r = add i32 %b, %y\n ret i32 %r\n}",
+    )
+    .expect("bench-exec enumeration function parses");
+    let enum_config = {
+        let mut config = SouperConfig::with_enum(2);
+        config.candidate_budget = 1_500;
+        config
+    };
+
+    let enum_reference_pass = || -> (usize, Duration) {
+        let start = Instant::now();
+        let results = souper_batch(std::slice::from_ref(&enum_func), &enum_config, 1);
+        (results[0].candidates_tried, start.elapsed())
+    };
+
+    let enum_sharded_pass = |pass_jobs: usize| -> (usize, Duration, ShardStats) {
+        let start = Instant::now();
+        let (results, stats) = lpo_souper::superoptimize_batch_sharded(
+            std::slice::from_ref(&enum_func),
+            &enum_config,
+            pass_jobs,
+            shard_size,
+        );
+        (results[0].candidates_tried, start.elapsed(), stats)
+    };
+
+    /// Accumulated (work items, wall, shard accounting) of one variant.
+    #[derive(Default)]
+    struct Tally {
+        items: usize,
+        wall: Duration,
+        shards: ShardStats,
+    }
+
+    impl Tally {
+        fn add(&mut self, (items, wall, shards): (usize, Duration, ShardStats)) {
+            self.items += items;
+            self.wall += wall;
+            self.shards.absorb(shards);
+        }
+
+        fn per_second(&self) -> f64 {
+            let secs = self.wall.as_secs_f64();
+            if secs > 0.0 {
+                self.items as f64 / secs
+            } else {
+                0.0
+            }
+        }
+    }
+
+    let flat = |(items, wall): (usize, Duration)| (items, wall, ShardStats::default());
+
+    // Interleave the three variants' passes so slow drift in host load hits
+    // all of them equally.
+    let measure = |reference_pass: &dyn Fn() -> (usize, Duration),
+                   sharded_pass: &dyn Fn(usize) -> (usize, Duration, ShardStats)|
+     -> (Tally, Tally, Tally) {
+        let mut reference = Tally::default();
+        let mut serial = Tally::default();
+        let mut parallel = Tally::default();
+        let mut passes = 0usize;
+        while passes < 2 || reference.wall + serial.wall + parallel.wall < MIN_TIME * 3 {
+            reference.add(flat(reference_pass()));
+            serial.add(sharded_pass(1));
+            parallel.add(sharded_pass(parallel_jobs));
+            passes += 1;
+        }
+        (reference, serial, parallel)
+    };
+
+    let (sweep_reference, sweep_serial, sweep_parallel) =
+        measure(&sweep_reference_pass, &sweep_sharded_pass);
+    let (enum_reference, enum_serial, enum_parallel) =
+        measure(&enum_reference_pass, &enum_sharded_pass);
+
+    let ratio = |fast: f64, slow: f64| if slow > 0.0 { fast / slow } else { 0.0 };
+    // The counters come from the parallel runs only — the serial runs would
+    // double-count `executed` without ever being able to steal.
+    let mut shards = sweep_parallel.shards;
+    shards.absorb(enum_parallel.shards);
+
+    let entry = results::ExecEntry {
+        sweep_reference_per_second: sweep_reference.per_second(),
+        sweep_serial_per_second: sweep_serial.per_second(),
+        sweep_overhead_ratio: ratio(sweep_serial.per_second(), sweep_reference.per_second()),
+        sweep_parallel_per_second: sweep_parallel.per_second(),
+        sweep_speedup: ratio(sweep_parallel.per_second(), sweep_serial.per_second()),
+        enum_reference_per_second: enum_reference.per_second(),
+        enum_serial_per_second: enum_serial.per_second(),
+        enum_overhead_ratio: ratio(enum_serial.per_second(), enum_reference.per_second()),
+        enum_parallel_per_second: enum_parallel.per_second(),
+        enum_speedup: ratio(enum_parallel.per_second(), enum_serial.per_second()),
+        shards_executed: shards.executed,
+        shards_stolen: shards.stolen,
+        shard_cancellations: shards.cancellations,
+        jobs: parallel_jobs,
+        shard_size,
+    };
+    let mut text = format!(
+        "Sharded-execution throughput: one 65,536-input survivor sweep + one {}-candidate enumeration (shard size {shard_size}, jobs {parallel_jobs})\n",
+        enum_config.candidate_budget
+    );
+    let _ = writeln!(
+        text,
+        "  input sweep   case-granular: {:>7.1} sweeps/s   sharded @1: {:>7.1} (overhead {:.2}x)   sharded @{parallel_jobs}: {:>7.1} (speedup {:.2}x)",
+        entry.sweep_reference_per_second,
+        entry.sweep_serial_per_second,
+        entry.sweep_overhead_ratio,
+        entry.sweep_parallel_per_second,
+        entry.sweep_speedup
+    );
+    let _ = writeln!(
+        text,
+        "  enumeration   serial walk:   {:>7.0} cand/s    sharded @1: {:>7.0} (overhead {:.2}x)   sharded @{parallel_jobs}: {:>7.0} (speedup {:.2}x)",
+        entry.enum_reference_per_second,
+        entry.enum_serial_per_second,
+        entry.enum_overhead_ratio,
+        entry.enum_parallel_per_second,
+        entry.enum_speedup
+    );
+    let _ = writeln!(
+        text,
+        "  [shards] executed: {}  stolen: {}  cancelled: {}  (parallel runs; scheduling-dependent)",
+        entry.shards_executed, entry.shards_stolen, entry.shard_cancellations
+    );
+    ExecBenchRun { text, entry }
+}
+
 /// Renders Figure 5 as text.
 pub fn figure5(jobs: usize) -> TableRun {
     let start = Instant::now();
@@ -1208,13 +1482,7 @@ pub fn figure5(jobs: usize) -> TableRun {
         let bar = "#".repeat(((p.speedup - 0.90).max(0.0) * 200.0) as usize);
         let _ = writeln!(out, "{:<14} {:>6.3}x {}", p.label, p.speedup, bar);
     }
-    let stats = DriverStats {
-        jobs: resolve_jobs(jobs, points.len()),
-        cases: points.len(),
-        cache_hits: 0,
-        wall: start.elapsed(),
-        tv: TvSnapshot::default(),
-    };
+    let stats = DriverStats::engineless(resolve_jobs(jobs, points.len()), points.len(), start.elapsed());
     out.push_str(&stats.footer());
     TableRun { text: out, stats }
 }
@@ -1236,7 +1504,7 @@ mod tests {
         // A scaled-down RQ1: 2 rounds, strongest vs weakest model. The *shape*
         // must hold: the reasoning model detects far more than Gemma3, Souper
         // lands in between, Minotaur detects only a few.
-        let result = rq1_experiment(2, &[gemma3(), gemini2_0t()], 4);
+        let result = rq1_experiment(2, &[gemma3(), gemini2_0t()], 4, DEFAULT_SHARD_SIZE);
         assert_eq!(result.rows.len(), 25);
         let weak = result.total_detected("Gemma3");
         let strong = result.total_detected("Gemini2.0T");

@@ -495,6 +495,94 @@ impl TvEntry {
     }
 }
 
+/// The sharded-execution microbenchmark section (`repro bench-exec`).
+///
+/// `sweep_*` measures one survivor case whose input sweep is split into
+/// shards (the single-case scaling the shard engine exists for);
+/// `enum_*` measures one enumeration case whose candidate frontier is
+/// split into shards. For each shape the reference is the case-granular
+/// engine at one worker, `serial` is the sharded path at one worker (the
+/// overhead the sharding machinery itself costs), and `parallel` is the
+/// sharded path at [`ExecEntry::jobs`] workers. The shard counters are
+/// scheduling-dependent (especially `shards_stolen`) — report them, never
+/// compare them across runs.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ExecEntry {
+    /// Survivor sweeps per second, case-granular engine, one worker.
+    pub sweep_reference_per_second: f64,
+    /// Survivor sweeps per second, sharded engine, one worker.
+    pub sweep_serial_per_second: f64,
+    /// `sweep_serial / sweep_reference` — sharding overhead at one worker
+    /// (machine-independent; ≈1.0 means the shard machinery is free).
+    pub sweep_overhead_ratio: f64,
+    /// Survivor sweeps per second, sharded engine, `jobs` workers.
+    pub sweep_parallel_per_second: f64,
+    /// `sweep_parallel / sweep_serial` — single-case scaling at `jobs`.
+    pub sweep_speedup: f64,
+    /// Enumeration candidates per second, serial walk, one worker.
+    pub enum_reference_per_second: f64,
+    /// Enumeration candidates per second, sharded frontier, one worker.
+    pub enum_serial_per_second: f64,
+    /// `enum_serial / enum_reference` (machine-independent overhead).
+    pub enum_overhead_ratio: f64,
+    /// Enumeration candidates per second, sharded frontier, `jobs` workers.
+    pub enum_parallel_per_second: f64,
+    /// `enum_parallel / enum_serial` — single-case scaling at `jobs`.
+    pub enum_speedup: f64,
+    /// Shards executed across the parallel runs.
+    pub shards_executed: usize,
+    /// Shards executed by a worker other than the case's owner.
+    pub shards_stolen: usize,
+    /// Shards skipped because an earlier shard already refuted.
+    pub shard_cancellations: usize,
+    /// Worker threads of the parallel measurements.
+    pub jobs: usize,
+    /// Inputs (or candidates) per shard.
+    pub shard_size: usize,
+}
+
+impl ExecEntry {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("sweep_reference_per_second".into(), Json::Num(self.sweep_reference_per_second)),
+            ("sweep_serial_per_second".into(), Json::Num(self.sweep_serial_per_second)),
+            ("sweep_overhead_ratio".into(), Json::Num(self.sweep_overhead_ratio)),
+            ("sweep_parallel_per_second".into(), Json::Num(self.sweep_parallel_per_second)),
+            ("sweep_speedup".into(), Json::Num(self.sweep_speedup)),
+            ("enum_reference_per_second".into(), Json::Num(self.enum_reference_per_second)),
+            ("enum_serial_per_second".into(), Json::Num(self.enum_serial_per_second)),
+            ("enum_overhead_ratio".into(), Json::Num(self.enum_overhead_ratio)),
+            ("enum_parallel_per_second".into(), Json::Num(self.enum_parallel_per_second)),
+            ("enum_speedup".into(), Json::Num(self.enum_speedup)),
+            ("shards_executed".into(), Json::Num(self.shards_executed as f64)),
+            ("shards_stolen".into(), Json::Num(self.shards_stolen as f64)),
+            ("shard_cancellations".into(), Json::Num(self.shard_cancellations as f64)),
+            ("jobs".into(), Json::Num(self.jobs as f64)),
+            ("shard_size".into(), Json::Num(self.shard_size as f64)),
+        ])
+    }
+
+    fn from_json(value: &Json) -> Option<ExecEntry> {
+        Some(ExecEntry {
+            sweep_reference_per_second: value.get("sweep_reference_per_second")?.as_num()?,
+            sweep_serial_per_second: value.get("sweep_serial_per_second")?.as_num()?,
+            sweep_overhead_ratio: value.get("sweep_overhead_ratio")?.as_num()?,
+            sweep_parallel_per_second: value.get("sweep_parallel_per_second")?.as_num()?,
+            sweep_speedup: value.get("sweep_speedup")?.as_num()?,
+            enum_reference_per_second: value.get("enum_reference_per_second")?.as_num()?,
+            enum_serial_per_second: value.get("enum_serial_per_second")?.as_num()?,
+            enum_overhead_ratio: value.get("enum_overhead_ratio")?.as_num()?,
+            enum_parallel_per_second: value.get("enum_parallel_per_second")?.as_num()?,
+            enum_speedup: value.get("enum_speedup")?.as_num()?,
+            shards_executed: value.get("shards_executed")?.as_num()? as usize,
+            shards_stolen: value.get("shards_stolen")?.as_num()? as usize,
+            shard_cancellations: value.get("shard_cancellations")?.as_num()? as usize,
+            jobs: value.get("jobs")?.as_num()? as usize,
+            shard_size: value.get("shard_size")?.as_num()? as usize,
+        })
+    }
+}
+
 /// One `repro` invocation in the append-only history.
 #[derive(Clone, Debug, PartialEq)]
 pub struct RunRecord {
@@ -512,6 +600,8 @@ pub struct RunRecord {
     pub opt: Option<OptEntry>,
     /// The translation-validation microbenchmark, when this invocation ran it.
     pub tv: Option<TvEntry>,
+    /// The sharded-execution microbenchmark, when this invocation ran it.
+    pub exec: Option<ExecEntry>,
 }
 
 impl RunRecord {
@@ -531,6 +621,9 @@ impl RunRecord {
         if let Some(tv) = &self.tv {
             fields.push(("tv".into(), tv.to_json()));
         }
+        if let Some(exec) = &self.exec {
+            fields.push(("exec".into(), exec.to_json()));
+        }
         Json::Obj(fields)
     }
 
@@ -548,6 +641,7 @@ impl RunRecord {
             interp: value.get("interp").and_then(InterpEntry::from_json),
             opt: value.get("opt").and_then(OptEntry::from_json),
             tv: value.get("tv").and_then(TvEntry::from_json),
+            exec: value.get("exec").and_then(ExecEntry::from_json),
         })
     }
 }
@@ -565,12 +659,18 @@ pub struct RunEntries {
     pub opt: Option<OptEntry>,
     /// The translation-validation microbenchmark (`bench-tv`), if run.
     pub tv: Option<TvEntry>,
+    /// The sharded-execution microbenchmark (`bench-exec`), if run.
+    pub exec: Option<ExecEntry>,
 }
 
 impl RunEntries {
     /// Whether the invocation produced anything worth persisting.
     pub fn is_empty(&self) -> bool {
-        self.tables.is_empty() && self.interp.is_none() && self.opt.is_none() && self.tv.is_none()
+        self.tables.is_empty()
+            && self.interp.is_none()
+            && self.opt.is_none()
+            && self.tv.is_none()
+            && self.exec.is_none()
     }
 }
 
@@ -585,6 +685,8 @@ pub struct BenchResults {
     pub opt: Option<OptEntry>,
     /// Latest translation-validation microbenchmark.
     pub tv: Option<TvEntry>,
+    /// Latest sharded-execution microbenchmark.
+    pub exec: Option<ExecEntry>,
     /// Append-only invocation history.
     pub runs: Vec<RunRecord>,
 }
@@ -616,6 +718,7 @@ impl BenchResults {
         results.interp = value.get("interp").and_then(InterpEntry::from_json);
         results.opt = value.get("opt").and_then(OptEntry::from_json);
         results.tv = value.get("tv").and_then(TvEntry::from_json);
+        results.exec = value.get("exec").and_then(ExecEntry::from_json);
         if let Some(runs) = value.get("runs").and_then(Json::as_arr) {
             results.runs = runs.iter().filter_map(RunRecord::from_json).collect();
         }
@@ -627,7 +730,7 @@ impl BenchResults {
     /// present) replace the previous ones, and the invocation is appended to
     /// `runs` with the next run index.
     pub fn record(&mut self, command: &str, jobs_requested: usize, entries: RunEntries) {
-        let RunEntries { tables, interp, opt, tv } = entries;
+        let RunEntries { tables, interp, opt, tv, exec } = entries;
         for entry in &tables {
             match self.tables.iter_mut().find(|t| t.name == entry.name) {
                 Some(slot) => *slot = entry.clone(),
@@ -643,6 +746,9 @@ impl BenchResults {
         if tv.is_some() {
             self.tv = tv.clone();
         }
+        if exec.is_some() {
+            self.exec = exec.clone();
+        }
         let run = self.runs.last().map(|r| r.run + 1).unwrap_or(1);
         self.runs.push(RunRecord {
             run,
@@ -652,6 +758,7 @@ impl BenchResults {
             interp,
             opt,
             tv,
+            exec,
         });
     }
 
@@ -669,6 +776,9 @@ impl BenchResults {
         }
         if let Some(tv) = &self.tv {
             fields.push(("tv".into(), tv.to_json()));
+        }
+        if let Some(exec) = &self.exec {
+            fields.push(("exec".into(), exec.to_json()));
         }
         fields.push(("runs".into(), Json::Arr(self.runs.iter().map(RunRecord::to_json).collect())));
         Json::Obj(fields).render()
@@ -812,6 +922,45 @@ mod tests {
             InterpEntry::from_json(value.get("runs").unwrap().as_arr().unwrap()[0].get("interp").unwrap()),
             Some(interp)
         );
+    }
+
+    #[test]
+    fn exec_section_round_trips_and_merges() {
+        let exec = ExecEntry {
+            sweep_reference_per_second: 210.0,
+            sweep_serial_per_second: 205.0,
+            sweep_overhead_ratio: 0.976,
+            sweep_parallel_per_second: 640.0,
+            sweep_speedup: 3.12,
+            enum_reference_per_second: 9_000.0,
+            enum_serial_per_second: 8_800.0,
+            enum_overhead_ratio: 0.978,
+            enum_parallel_per_second: 26_000.0,
+            enum_speedup: 2.95,
+            shards_executed: 4_096,
+            shards_stolen: 1_201,
+            shard_cancellations: 0,
+            jobs: 4,
+            shard_size: 256,
+        };
+        let mut results = BenchResults::default();
+        results.record("bench-exec", 4, RunEntries { exec: Some(exec.clone()), ..Default::default() });
+        // A later tables-only run must not erase the exec section.
+        results.record("table2", 1, RunEntries { tables: vec![table("table2", 9.0)], ..Default::default() });
+        let rendered = results.render();
+        let value = Json::parse(&rendered).unwrap();
+        assert_eq!(ExecEntry::from_json(value.get("exec").unwrap()), Some(exec.clone()));
+        assert_eq!(
+            ExecEntry::from_json(value.get("runs").unwrap().as_arr().unwrap()[0].get("exec").unwrap()),
+            Some(exec.clone())
+        );
+        let dir = std::env::temp_dir().join("lpo_results_exec_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("results.json");
+        std::fs::write(&path, rendered).unwrap();
+        let reloaded = BenchResults::load(path.to_str().unwrap());
+        assert_eq!(reloaded.exec, Some(exec));
+        assert_eq!(reloaded.runs.len(), 2);
     }
 
     #[test]

@@ -7,6 +7,11 @@
 //! * a [`std::thread::scope`]-based worker pool ([`parallel_map_ordered`])
 //!   that fans work items out over a chunked queue and reassembles results in
 //!   input order — no extra dependencies, no unsafe code;
+//! * shard-granular scheduling ([`ExecConfig::shard_inputs`], on by
+//!   default): each case decomposes into stealable Stage-3 sweep shards of
+//!   [`ExecConfig::shard_size`] inputs on the work-stealing
+//!   [`crate::shard::ShardRuntime`], so a batch dominated by one huge case
+//!   still scales with `--jobs` (idle workers steal that case's shards);
 //! * a structural-hash dedup cache ([`DedupPlan`], keyed on
 //!   [`lpo_ir::hash::hash_function`]) so a sequence that appears several times
 //!   in a corpus is prompted and verified exactly once, with every duplicate
@@ -33,14 +38,19 @@
 
 use crate::pipeline::{Lpo, TvSnapshot};
 use crate::report::{CaseReport, RunSummary};
+use crate::shard::{RuntimeSweepDriver, ShardRuntime};
 use lpo_ir::function::Function;
 use lpo_ir::hash::{hash_function, Digest};
 use lpo_llm::model::ModelFactory;
-use lpo_tv::prelude::EvalArena;
+use lpo_tv::prelude::{input_count, EvalArena};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
+
+/// The default Stage-3 sweep shard size, in inputs. Matches the plane
+/// evaluator's lane width so a shard is never smaller than one plane chunk.
+pub const DEFAULT_SHARD_SIZE: usize = 256;
 
 /// How a batch run is executed.
 #[derive(Clone, Debug)]
@@ -50,18 +60,25 @@ pub struct ExecConfig {
     /// Whether structurally identical sequences are collapsed into one
     /// prompted/verified case plus cache replays. On by default.
     pub dedup: bool,
+    /// Whether cases decompose into stealable input-sweep shards (the
+    /// work-stealing scheduler of [`crate::shard`]). On by default; off
+    /// reverts to the case-granular chunked pool.
+    pub shard_inputs: bool,
+    /// Inputs per Stage-3 sweep shard ([`usize::MAX`] = one shard per
+    /// survivor, i.e. sharding without splitting). Clamped to at least 1.
+    pub shard_size: usize,
 }
 
 impl Default for ExecConfig {
     fn default() -> Self {
-        Self { jobs: 0, dedup: true }
+        Self { jobs: 0, dedup: true, shard_inputs: true, shard_size: DEFAULT_SHARD_SIZE }
     }
 }
 
 impl ExecConfig {
     /// One worker: the serial-compatible configuration.
     pub fn serial() -> Self {
-        Self { jobs: 1, dedup: true }
+        Self { jobs: 1, ..Self::default() }
     }
 
     /// A configuration with an explicit worker count (`0` = auto).
@@ -70,6 +87,11 @@ impl ExecConfig {
     }
 
     /// Resolves `jobs` to a concrete worker count for `work` items.
+    ///
+    /// The engine counts *work units*, not cases: with sharding on, a case
+    /// contributes its estimated shard count ([`shard_work_units`]), so a
+    /// batch of one huge case still resolves to a full pool whose extra
+    /// workers steal that case's shards.
     pub fn effective_jobs(&self, work: usize) -> usize {
         let requested = if self.jobs == 0 {
             std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
@@ -78,6 +100,27 @@ impl ExecConfig {
         };
         requested.min(work).max(1)
     }
+}
+
+/// Estimates the schedulable work units of a batch: the summed shard counts
+/// of the computed cases.
+///
+/// Each case counts `1` (its prompt/parse/probe spine) plus one unit per
+/// `shard_size` post-probe sweep inputs — the shards an eventual survivor
+/// sweep of that case would fork. It is an upper-bound *estimate* (cases
+/// with no survivor never fork), used only to resolve the worker count;
+/// results never depend on it.
+pub fn shard_work_units(lpo: &Lpo, sequences: &[Function], unique: &[usize], shard_size: usize) -> usize {
+    let tv = &lpo.config().tv;
+    let shard_size = shard_size.max(1);
+    unique
+        .iter()
+        .map(|&index| {
+            let total = input_count(&sequences[index], &tv.inputs);
+            let swept = total - tv.probe_inputs.min(total);
+            1 + swept.div_ceil(shard_size)
+        })
+        .sum()
 }
 
 /// What a batch run actually did, for `--jobs`/cache reporting.
@@ -251,7 +294,10 @@ pub struct BatchResult {
 ///
 /// Each unique sequence gets a fresh session from `factory` (seeded by
 /// `(round, first_occurrence_index)`); duplicates are replayed from the dedup
-/// cache.
+/// cache. With [`ExecConfig::shard_inputs`] on, the unit of scheduling is a
+/// *shard*: workers pull whole cases off a cursor, each case's survivor
+/// sweeps fork into stealable input-range shards, and workers out of cases
+/// drain the shard deque for the cases still in flight (see [`crate::shard`]).
 pub fn run_batch(
     lpo: &Lpo,
     factory: &dyn ModelFactory,
@@ -261,20 +307,43 @@ pub fn run_batch(
 ) -> BatchResult {
     let start = Instant::now();
     let plan = DedupPlan::new(sequences, config.dedup);
-    let jobs = config.effective_jobs(plan.unique_indices().len());
+    let shard_size = config.shard_size.max(1);
+    let work = if config.shard_inputs {
+        shard_work_units(lpo, sequences, plan.unique_indices(), shard_size)
+    } else {
+        plan.unique_indices().len()
+    };
+    let jobs = config.effective_jobs(work);
     let tv_before = lpo.tv_snapshot();
 
     // Each worker thread owns one reusable evaluation arena: the register
     // file behind every concrete evaluation that case's verification runs.
-    let computed: Vec<CaseReport> = parallel_map_ordered_with(
-        plan.unique_indices(),
-        jobs,
-        EvalArena::new,
-        |arena, _, &case_index| {
+    let computed: Vec<CaseReport> = if config.shard_inputs {
+        let runtime = ShardRuntime::new(jobs, lpo.shard_counters().clone());
+        let driver = RuntimeSweepDriver::new(runtime.clone());
+        let unique = plan.unique_indices();
+        runtime.run_cases(unique.len(), |slot, arena| {
+            let case_index = unique[slot];
             let mut session = factory.session(round, case_index as u64);
-            lpo.optimize_sequence_in(session.as_mut(), &sequences[case_index], arena)
-        },
-    );
+            lpo.optimize_sequence_sharded(
+                session.as_mut(),
+                &sequences[case_index],
+                arena,
+                &driver,
+                shard_size,
+            )
+        })
+    } else {
+        parallel_map_ordered_with(
+            plan.unique_indices(),
+            jobs,
+            EvalArena::new,
+            |arena, _, &case_index| {
+                let mut session = factory.session(round, case_index as u64);
+                lpo.optimize_sequence_in(session.as_mut(), &sequences[case_index], arena)
+            },
+        )
+    };
 
     // Replay: map each input index to its representative's report. The
     // representative set is exactly `plan.unique_indices()`, in order.
@@ -411,7 +480,50 @@ mod tests {
         assert_eq!(serial_prints, parallel_prints);
         assert_eq!(serial.summary.fingerprint(), parallel.summary.fingerprint());
         assert_eq!(serial.stats.cache_hits, parallel.stats.cache_hits);
-        assert_eq!(parallel.stats.jobs, 4.min(parallel.stats.unique_cases).max(1));
+        // Jobs resolve against shard work units, not unique cases: the two
+        // unique cases decompose into enough sweep shards to keep all four
+        // workers schedulable.
+        assert!(parallel.stats.jobs > parallel.stats.unique_cases.min(4));
+        assert_eq!(parallel.stats.jobs, 4);
+
+        // The case-granular engine (sharding off) stays bit-identical too.
+        let unsharded = ExecConfig { shard_inputs: false, ..ExecConfig::with_jobs(4) };
+        let legacy = run_batch(&lpo, &factory, 1, &suite, &unsharded);
+        let legacy_prints: Vec<String> =
+            legacy.reports.iter().map(CaseReport::fingerprint).collect();
+        assert_eq!(legacy_prints, parallel_prints);
+        assert_eq!(legacy.stats.jobs, 2, "2 unique cases bound the case-granular pool");
+    }
+
+    #[test]
+    fn one_case_with_many_shards_resolves_to_a_full_pool() {
+        // A batch of ONE case used to pin `--jobs N` to one worker. With
+        // sharding, the single case's sweep decomposes into enough shards to
+        // occupy the whole pool, and the resolved job count must say so.
+        let wide = parse_function(
+            "define i16 @w(i16 %x) {\n %r = add i16 %x, 1\n ret i16 %r\n}",
+        )
+        .unwrap();
+        let mut config = LpoConfig::default();
+        config.tv.inputs.exhaustive_bits = 16;
+        let lpo = Lpo::new(config);
+        let suite = vec![wide];
+        let plan = DedupPlan::new(&suite, true);
+
+        // 65536 exhaustive inputs, 16 probed, 256-input shards → 1 + 256 units.
+        let units = shard_work_units(&lpo, &suite, plan.unique_indices(), 256);
+        assert_eq!(units, 1 + (65536usize - 16).div_ceil(256));
+        assert_eq!(ExecConfig::with_jobs(8).effective_jobs(units), 8);
+        // Sharding off: the same batch is a single work unit.
+        assert_eq!(ExecConfig::with_jobs(8).effective_jobs(plan.unique_indices().len()), 1);
+        // An ∞ shard size degenerates to one spine + one sweep unit per case.
+        assert_eq!(shard_work_units(&lpo, &suite, plan.unique_indices(), usize::MAX), 2);
+
+        // And a real run resolves accordingly.
+        let factory = SimulatedModelFactory::new(gemini2_0t(), 7);
+        let batch = run_batch(&lpo, &factory, 0, &suite, &ExecConfig::with_jobs(4));
+        assert_eq!(batch.stats.jobs, 4);
+        assert_eq!(batch.stats.cases, 1);
     }
 
     #[test]

@@ -35,16 +35,19 @@ pub mod exec;
 pub mod interestingness;
 pub mod pipeline;
 pub mod report;
+pub mod shard;
 
-pub use exec::{parallel_map_ordered, parallel_map_ordered_with, BatchResult, DedupPlan, ExecConfig, ExecStats};
+pub use exec::{parallel_map_ordered, parallel_map_ordered_with, shard_work_units, BatchResult, DedupPlan, ExecConfig, ExecStats, DEFAULT_SHARD_SIZE};
 pub use interestingness::{is_interesting, InterestVerdict};
 pub use pipeline::{Lpo, LpoConfig, TvSnapshot};
 pub use report::{CaseOutcome, CaseReport, RunSummary};
+pub use shard::{RuntimeSweepDriver, ShardCounters, ShardRuntime, ShardSlot, ShardStats};
 
 /// Commonly used items, re-exported for convenience.
 pub mod prelude {
-    pub use crate::exec::{parallel_map_ordered, parallel_map_ordered_with, BatchResult, DedupPlan, ExecConfig, ExecStats};
+    pub use crate::exec::{parallel_map_ordered, parallel_map_ordered_with, shard_work_units, BatchResult, DedupPlan, ExecConfig, ExecStats, DEFAULT_SHARD_SIZE};
     pub use crate::interestingness::{is_interesting, InterestVerdict};
     pub use crate::pipeline::{Lpo, LpoConfig, TvSnapshot};
     pub use crate::report::{CaseOutcome, CaseReport, RunSummary};
+    pub use crate::shard::{RuntimeSweepDriver, ShardCounters, ShardRuntime, ShardSlot, ShardStats};
 }

@@ -17,6 +17,8 @@ use lpo_llm::model::{ModelFactory, ModelSession, Prompt};
 use lpo_mca::Target;
 use lpo_opt::pipeline::{optimize_function, OptLevel, Pipeline};
 use crate::exec::{run_batch, BatchResult, ExecConfig, ExecStats};
+use crate::shard::ShardCounters;
+use lpo_tv::frozen::SweepDriver;
 use lpo_tv::prelude::EvalArena;
 use lpo_tv::refine::{CompileCache, SourceCache, TvConfig, Verdict};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -80,7 +82,10 @@ struct TvCounters {
 /// of scheduling);
 /// `compile_cache_hits` / `compiles` depend on worker interleaving (two
 /// workers can race to compile the same digest) and on what earlier batches
-/// already cached — report them, never compare them across `--jobs` values.
+/// already cached, and the `shards_*` counters depend on how the
+/// work-stealing scheduler interleaved (which worker ran a shard, how far
+/// the deque drained before a cut landed) — report them, never compare
+/// them across `--jobs` values.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct TvSnapshot {
     /// Candidates Stage 3 fully checked (signature errors excluded).
@@ -96,6 +101,12 @@ pub struct TvSnapshot {
     pub compile_cache_hits: usize,
     /// Compiles performed (cache misses).
     pub compiles: usize,
+    /// Sweep/enumeration shards executed by the work-stealing scheduler.
+    pub shards_executed: usize,
+    /// Executed shards that ran on a worker other than their forker.
+    pub shards_stolen: usize,
+    /// Shards skipped because an earlier sibling shard already refuted.
+    pub shard_cancellations: usize,
 }
 
 impl TvSnapshot {
@@ -108,6 +119,9 @@ impl TvSnapshot {
             plane_sweeps: self.plane_sweeps - earlier.plane_sweeps,
             compile_cache_hits: self.compile_cache_hits - earlier.compile_cache_hits,
             compiles: self.compiles - earlier.compiles,
+            shards_executed: self.shards_executed - earlier.shards_executed,
+            shards_stolen: self.shards_stolen - earlier.shards_stolen,
+            shard_cancellations: self.shard_cancellations - earlier.shard_cancellations,
         }
     }
 
@@ -120,6 +134,9 @@ impl TvSnapshot {
         self.plane_sweeps += other.plane_sweeps;
         self.compile_cache_hits += other.compile_cache_hits;
         self.compiles += other.compiles;
+        self.shards_executed += other.shards_executed;
+        self.shards_stolen += other.shards_stolen;
+        self.shard_cancellations += other.shard_cancellations;
     }
 }
 
@@ -134,6 +151,7 @@ pub struct Lpo {
     opt: Pipeline,
     tv_cache: Arc<CompileCache>,
     tv_counters: Arc<TvCounters>,
+    shard_counters: Arc<ShardCounters>,
 }
 
 impl Default for Lpo {
@@ -151,6 +169,7 @@ impl Lpo {
             opt,
             tv_cache: Arc::new(CompileCache::new()),
             tv_counters: Arc::new(TvCounters::default()),
+            shard_counters: Arc::new(ShardCounters::new()),
         }
     }
 
@@ -169,6 +188,7 @@ impl Lpo {
     /// drivers take a snapshot before and after a run and report the
     /// [`TvSnapshot::since`] delta.
     pub fn tv_snapshot(&self) -> TvSnapshot {
+        let shards = self.shard_counters.snapshot();
         TvSnapshot {
             candidates: self.tv_counters.candidates.load(Ordering::Relaxed),
             probe_rejects: self.tv_counters.probe_rejects.load(Ordering::Relaxed),
@@ -176,7 +196,17 @@ impl Lpo {
             plane_sweeps: self.tv_counters.plane_sweeps.load(Ordering::Relaxed),
             compile_cache_hits: self.tv_cache.hits(),
             compiles: self.tv_cache.misses(),
+            shards_executed: shards.executed,
+            shards_stolen: shards.stolen,
+            shard_cancellations: shards.cancellations,
         }
+    }
+
+    /// The pipeline-wide shard-scheduler counters. The execution engine's
+    /// [`crate::shard::ShardRuntime`]s accumulate into these so that
+    /// [`tv_snapshot`](Self::tv_snapshot) deltas cover shard accounting too.
+    pub fn shard_counters(&self) -> &Arc<ShardCounters> {
+        &self.shard_counters
     }
 
     /// Runs Algorithm 1's inner loop on one wrapped instruction sequence,
@@ -202,6 +232,37 @@ impl Lpo {
         model: &mut dyn ModelSession,
         source: &Function,
         arena: &mut EvalArena,
+    ) -> CaseReport {
+        self.optimize_sequence_impl(model, source, arena, None)
+    }
+
+    /// [`optimize_sequence_in`](Self::optimize_sequence_in) with the Stage-3
+    /// survivor sweep decomposed into shards of `shard_size` inputs driven
+    /// through `driver` (the execution engine passes a
+    /// [`crate::shard::RuntimeSweepDriver`] so idle workers steal them).
+    ///
+    /// Verdicts, counterexamples and the per-case TV counters other than
+    /// `plane_sweeps` are identical to the unsharded path for every driver
+    /// and shard size; under sharding `plane_sweeps` deterministically
+    /// counts survivors whose *first* post-probe shard used the plane
+    /// evaluator.
+    pub fn optimize_sequence_sharded(
+        &self,
+        model: &mut dyn ModelSession,
+        source: &Function,
+        arena: &mut EvalArena,
+        driver: &dyn SweepDriver,
+        shard_size: usize,
+    ) -> CaseReport {
+        self.optimize_sequence_impl(model, source, arena, Some((driver, shard_size)))
+    }
+
+    fn optimize_sequence_impl(
+        &self,
+        model: &mut dyn ModelSession,
+        source: &Function,
+        arena: &mut EvalArena,
+        sharding: Option<(&dyn SweepDriver, usize)>,
     ) -> CaseReport {
         let start = Instant::now();
         // Stage 1, source side, **once per case**: canonicalize the sequence
@@ -261,7 +322,13 @@ impl Lpo {
             }
 
             // Step ⑤: correctness via translation validation.
-            match tv_case.verify_with(&candidate, arena) {
+            let verdict = match sharding {
+                Some((driver, shard_size)) => {
+                    tv_case.verify_with_driver(&candidate, arena, driver, shard_size)
+                }
+                None => tv_case.verify_with(&candidate, arena),
+            };
+            match verdict {
                 Verdict::Correct { .. } => {
                     last_outcome = CaseOutcome::Found { candidate };
                     break;

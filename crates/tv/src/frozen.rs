@@ -1,0 +1,428 @@
+//! Thread-shareable snapshots of a verification case, and the shard
+//! decomposition of the Stage-3 survivor sweep.
+//!
+//! The per-case [`SourceCache`] is deliberately
+//! single-threaded (`Cell`/`RefCell`/`Rc` state, lazily filled): it lives on
+//! one worker and fills source outcomes in input order as candidates walk
+//! them. That layout is what makes the *per-case* engine fast — but it also
+//! pins one case to one worker. A [`FrozenCase`] is the bridge to intra-case
+//! parallelism: an immutable, `Arc`-shared snapshot of everything the sweep
+//! needs (the generated inputs, the source's outcome on every one of them,
+//! and the dense plane-comparison table), cheap to clone across threads.
+//!
+//! On top of it, a [`SweepShard`] is one stealable unit of Stage-3 work: the
+//! half-open input range `[start, end)` of one candidate's survivor sweep.
+//! [`SweepShard::run`] reproduces the staged sweep exactly — plane chunks of
+//! 256 lanes while the inputs stay in the plane domain, then 32-lane batched
+//! chunks — and stops at the shard's first refuting input.
+//!
+//! # Ordered merge and cancellation
+//!
+//! Shards are scheduled by a [`SweepDriver`]. The contract that keeps
+//! `--jobs N` bit-identical for every `N`:
+//!
+//! * the driver returns one [`SweepSlot`] per shard, **in shard order**;
+//! * a shard may be [`Cancelled`](SweepSlot::Cancelled) only if some
+//!   earlier shard's outcome [`refutes`](SweepOutcome::refutes);
+//! * the merge takes the **first** executed slot with a finding.
+//!
+//! Because the serial-first refuting input lives in some shard *k*, shards
+//! `< k` contain no refuting inputs at all — whether they run before, after
+//! or concurrently with shard *k*, they report no finding. So the first
+//! finding in shard order is always the first refuting input in input order,
+//! exactly what the serial sweep reports, independent of scheduling.
+
+use crate::inputs::TestInput;
+use crate::refine::{
+    dense_table, refutation, CompileCache, DenseOutcomes, Refutation, SourceCache, SourceOutcome,
+    TargetOutcome, TvConfig, PLANE_LANES, STEP_LIMIT, SWEEP_LANES,
+};
+use lpo_interp::compiled::{evaluate_direct, CompiledFunction, EvalArena};
+use lpo_interp::value::EvalValue;
+use lpo_ir::function::Function;
+use std::sync::Arc;
+
+/// An immutable, `Send + Sync` snapshot of one verification case: the source
+/// function, its generated test inputs, and the source's outcome on **every**
+/// input (fully materialized, unlike the lazily filled
+/// [`SourceCache`]). Cloning is an `Arc` bump.
+///
+/// Freezing evaluates any source inputs no candidate has reached yet, in
+/// input order — so a frozen case front-loads the source sweep that the lazy
+/// cache would have paid across candidates. Only probe survivors are worth
+/// freezing; probe rejects never get here.
+#[derive(Clone)]
+pub struct FrozenCase {
+    inner: Arc<FrozenInner>,
+}
+
+struct FrozenInner {
+    src: Function,
+    inputs: Vec<TestInput>,
+    exhaustive: bool,
+    outcomes: Vec<SourceOutcome>,
+    /// Dense comparison table for plane-mode lanes; `None` when the case's
+    /// shape can't carry it (memory, vectors, wide/void returns).
+    dense: Option<DenseOutcomes>,
+    plane_sweep: bool,
+    probe_inputs: usize,
+}
+
+fn _frozen_is_send_sync() {
+    fn check<T: Send + Sync>() {}
+    check::<FrozenCase>();
+    check::<SweepShard>();
+}
+
+impl FrozenCase {
+    /// Freezes a standalone case: generates inputs, evaluates the source on
+    /// all of them, and snapshots the result. Convenience for enumerative
+    /// callers (the superoptimizer baselines) that don't hold a
+    /// [`SourceCache`]; the engine path freezes through
+    /// [`SourceCache::frozen_case`] so the lazy cache and the snapshot share
+    /// one source sweep.
+    pub fn freeze(src: &Function, config: &TvConfig, arena: &mut EvalArena) -> FrozenCase {
+        SourceCache::new(src, config.clone()).frozen_case(arena)
+    }
+
+    pub(crate) fn from_parts(
+        src: Function,
+        inputs: Vec<TestInput>,
+        exhaustive: bool,
+        outcomes: Vec<SourceOutcome>,
+        plane_sweep: bool,
+        probe_inputs: usize,
+    ) -> FrozenCase {
+        let dense = dense_table(&inputs, outcomes.iter());
+        FrozenCase {
+            inner: Arc::new(FrozenInner {
+                src,
+                inputs,
+                exhaustive,
+                outcomes,
+                dense,
+                plane_sweep,
+                probe_inputs,
+            }),
+        }
+    }
+
+    /// The frozen source function.
+    pub fn source(&self) -> &Function {
+        &self.inner.src
+    }
+
+    /// How many test inputs the case covers.
+    pub fn input_count(&self) -> usize {
+        self.inner.inputs.len()
+    }
+
+    /// Whether the inputs enumerate the whole input space.
+    pub fn exhaustive(&self) -> bool {
+        self.inner.exhaustive
+    }
+
+    fn signature_matches(&self, tgt: &Function) -> bool {
+        let src = &self.inner.src;
+        src.params.len() == tgt.params.len()
+            && src.params.iter().zip(&tgt.params).all(|(a, b)| a.ty == b.ty)
+            && src.ret_ty == tgt.ret_ty
+    }
+
+    /// Accept/reject verification of one candidate against the frozen case:
+    /// the staged probe → compile → full-range sweep, with the same verdict
+    /// bit as [`SourceCache::verify_outcome_only`]. Runs entirely on
+    /// immutable shared state, so enumeration shards can verify planned
+    /// candidates from any worker thread.
+    pub fn verify_outcome_only(
+        &self,
+        tgt: &Function,
+        cache: Option<&CompileCache>,
+        arena: &mut EvalArena,
+    ) -> bool {
+        if !self.signature_matches(tgt) {
+            return false;
+        }
+        let total = self.inner.inputs.len();
+        let probe_n = self.inner.probe_inputs.min(total);
+        for index in 0..probe_n {
+            let input = &self.inner.inputs[index];
+            let tgt_out =
+                evaluate_direct(tgt, arena, &input.args, input.memory.clone(), STEP_LIMIT)
+                    .map(|o| (o.result, o.memory));
+            if refutation(input, &self.inner.outcomes[index], &tgt_out).is_some() {
+                return false;
+            }
+        }
+        if probe_n == total {
+            return true;
+        }
+        let compiled: Arc<CompiledFunction> = match cache {
+            Some(cache) => cache.get_or_compile(tgt),
+            None => Arc::new(CompiledFunction::compile(tgt)),
+        };
+        let shard = SweepShard::new(self.clone(), compiled, probe_n, total);
+        shard.run(arena).finding.is_none()
+    }
+}
+
+/// One stealable unit of Stage-3 work: inputs `[start, end)` of one
+/// candidate's survivor sweep against a frozen case.
+#[derive(Clone)]
+pub struct SweepShard {
+    case: FrozenCase,
+    tgt: Arc<CompiledFunction>,
+    start: usize,
+    end: usize,
+}
+
+impl SweepShard {
+    /// Builds the shard for inputs `[start, end)` of `case`.
+    pub fn new(case: FrozenCase, tgt: Arc<CompiledFunction>, start: usize, end: usize) -> Self {
+        Self { case, tgt, start, end }
+    }
+
+    /// The input range this shard covers.
+    pub fn range(&self) -> (usize, usize) {
+        (self.start, self.end)
+    }
+
+    /// Sweeps the shard's input range, mirroring the serial staged sweep:
+    /// plane chunks of `PLANE_LANES` while the candidate has a plane form
+    /// and the inputs stay in the plane domain, then `SWEEP_LANES` batched
+    /// chunks. Stops at the shard's first refuting input.
+    ///
+    /// A chunk outside the plane domain drops this shard to the batched tier
+    /// for its own remainder only; later shards retry the plane. The serial
+    /// path instead abandons the plane for the whole rest of the sweep —
+    /// the tiers produce identical outcomes (proven by
+    /// `tests/plane_differential.rs`), so the verdict and the refuting input
+    /// are unaffected; only which evaluator ran a lane can differ.
+    pub fn run(&self, arena: &mut EvalArena) -> SweepOutcome {
+        let inner = &*self.case.inner;
+        let mut index = self.start;
+        let mut used_plane = false;
+        if inner.plane_sweep {
+            if let Some(plan) = self.tgt.plane() {
+                while index < self.end {
+                    let chunk_end = (index + PLANE_LANES).min(self.end);
+                    let lanes: Vec<&[EvalValue]> = inner.inputs[index..chunk_end]
+                        .iter()
+                        .map(|input| input.args.as_slice())
+                        .collect();
+                    let Some(result) = plan.evaluate_lanes(arena, &lanes, STEP_LIMIT) else {
+                        break;
+                    };
+                    used_plane = true;
+                    for offset in 0..chunk_end - index {
+                        let lane_index = index + offset;
+                        // Dense pre-filter, then the authoritative comparison
+                        // for suspect lanes — same split as the serial sweep.
+                        if let Some(table) = &inner.dense {
+                            if table.lane_refines(lane_index, &result, offset) {
+                                continue;
+                            }
+                        }
+                        let input = &inner.inputs[lane_index];
+                        let tgt_out = result
+                            .outcome(offset, input.memory.clone())
+                            .map(|o| (o.result, o.memory));
+                        if let Some(refutation) =
+                            refutation(input, &inner.outcomes[lane_index], &tgt_out)
+                        {
+                            return SweepOutcome {
+                                finding: Some(SweepFinding { index: lane_index, tgt_out, refutation }),
+                                used_plane,
+                            };
+                        }
+                    }
+                    index = chunk_end;
+                }
+            }
+        }
+        while index < self.end {
+            let chunk_end = (index + SWEEP_LANES).min(self.end);
+            let lanes: Vec<(&[EvalValue], lpo_interp::memory::Memory)> = inner.inputs
+                [index..chunk_end]
+                .iter()
+                .map(|input| (input.args.as_slice(), input.memory.clone()))
+                .collect();
+            let lane_outs = self.tgt.evaluate_batch_with_limit(arena, lanes, STEP_LIMIT);
+            for (offset, lane_out) in lane_outs.into_iter().enumerate() {
+                let lane_index = index + offset;
+                let input = &inner.inputs[lane_index];
+                let tgt_out = lane_out.map(|o| (o.result, o.memory));
+                if let Some(refutation) = refutation(input, &inner.outcomes[lane_index], &tgt_out)
+                {
+                    return SweepOutcome {
+                        finding: Some(SweepFinding { index: lane_index, tgt_out, refutation }),
+                        used_plane,
+                    };
+                }
+            }
+            index = chunk_end;
+        }
+        SweepOutcome { finding: None, used_plane }
+    }
+}
+
+/// What one executed shard concluded.
+pub struct SweepOutcome {
+    pub(crate) finding: Option<SweepFinding>,
+    /// Whether at least one chunk of this shard ran on the plane evaluator.
+    pub(crate) used_plane: bool,
+}
+
+impl SweepOutcome {
+    /// Whether this shard found a refuting input. A driver may cancel all
+    /// shards *after* one whose outcome refutes.
+    pub fn refutes(&self) -> bool {
+        self.finding.is_some()
+    }
+}
+
+/// A refuting input found by a shard, carrying everything the renderer needs
+/// (the input index, the target outcome, the refutation descriptor) without
+/// rendering anything on the hot path.
+pub(crate) struct SweepFinding {
+    pub(crate) index: usize,
+    pub(crate) tgt_out: TargetOutcome,
+    pub(crate) refutation: Refutation,
+}
+
+/// One slot of a driver's result, in shard order.
+pub enum SweepSlot {
+    /// The shard ran to its first refutation or its end.
+    Executed(SweepOutcome),
+    /// The shard was skipped because an earlier shard refuted.
+    Cancelled,
+}
+
+/// Schedules a candidate's sweep shards and returns one [`SweepSlot`] per
+/// shard, in shard order. See the module docs for the cancellation contract
+/// that keeps the merged verdict scheduling-independent.
+pub trait SweepDriver {
+    /// Runs `shards`, cancelling later shards once an earlier one refutes.
+    fn drive(&self, shards: Vec<SweepShard>, arena: &mut EvalArena) -> Vec<SweepSlot>;
+}
+
+/// The in-order reference driver: runs each shard on the caller's thread and
+/// cancels everything after the first refuting shard. The work-stealing
+/// driver in `lpo-core` is proven slot-equivalent to this by the shard
+/// determinism tests.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SerialDriver;
+
+impl SweepDriver for SerialDriver {
+    fn drive(&self, shards: Vec<SweepShard>, arena: &mut EvalArena) -> Vec<SweepSlot> {
+        let mut slots = Vec::with_capacity(shards.len());
+        let mut cut = false;
+        for shard in shards {
+            if cut {
+                slots.push(SweepSlot::Cancelled);
+                continue;
+            }
+            let outcome = shard.run(arena);
+            cut = outcome.refutes();
+            slots.push(SweepSlot::Executed(outcome));
+        }
+        slots
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::refine::Verdict;
+    use lpo_ir::parser::parse_function;
+
+    fn freeze(src: &str) -> (FrozenCase, EvalArena) {
+        let src = parse_function(src).unwrap();
+        let mut arena = EvalArena::new();
+        let case = FrozenCase::freeze(&src, &TvConfig::default(), &mut arena);
+        (case, arena)
+    }
+
+    #[test]
+    fn frozen_case_materializes_every_outcome() {
+        let (case, _) = freeze("define i8 @s(i8 %x) {\n %r = add i8 %x, 1\n ret i8 %r\n}");
+        assert_eq!(case.input_count(), 256);
+        assert!(case.exhaustive());
+        assert_eq!(case.source().name, "s");
+    }
+
+    #[test]
+    fn frozen_outcome_only_matches_the_source_cache() {
+        let src =
+            parse_function("define i8 @s(i8 %x) {\n %r = mul i8 %x, 2\n ret i8 %r\n}").unwrap();
+        let candidates = [
+            "define i8 @t(i8 %x) {\n %r = shl i8 %x, 1\n ret i8 %r\n}",
+            "define i8 @t(i8 %x) {\n %r = shl i8 %x, 2\n ret i8 %r\n}",
+            "define i8 @t(i8 %x) {\n %r = shl nuw i8 %x, 1\n ret i8 %r\n}",
+            "define i8 @t(i16 %x) {\n %r = trunc i16 %x to i8\n ret i8 %r\n}",
+        ];
+        let mut arena = EvalArena::new();
+        let frozen = FrozenCase::freeze(&src, &TvConfig::default(), &mut arena);
+        let cache = SourceCache::new(&src, TvConfig::default());
+        let shared = CompileCache::new();
+        for text in candidates {
+            let tgt = parse_function(text).unwrap();
+            assert_eq!(
+                frozen.verify_outcome_only(&tgt, Some(&shared), &mut arena),
+                cache.verify_outcome_only(&tgt, &mut arena),
+                "frozen disagreed with the lazy cache on {text}"
+            );
+        }
+    }
+
+    #[test]
+    fn serial_driver_cancels_after_the_first_refuting_shard() {
+        let src =
+            parse_function("define i8 @s(i8 %x) {\n %r = add i8 %x, 1\n ret i8 %r\n}").unwrap();
+        // Wrong only for inputs >= 128 (the sign bit changes srem behaviour),
+        // so early shards execute cleanly and a later shard refutes.
+        let tgt =
+            parse_function("define i8 @t(i8 %x) {\n %c = icmp slt i8 %x, 0\n %a = add i8 %x, 1\n %b = add i8 %x, 2\n %r = select i1 %c, i8 %b, i8 %a\n ret i8 %r\n}")
+                .unwrap();
+        let mut arena = EvalArena::new();
+        let frozen = FrozenCase::freeze(&src, &TvConfig::default(), &mut arena);
+        let compiled = Arc::new(CompiledFunction::compile(&tgt));
+        let shard_size = 16;
+        let total = frozen.input_count();
+        let shards: Vec<SweepShard> = (0..total)
+            .step_by(shard_size)
+            .map(|start| {
+                SweepShard::new(
+                    frozen.clone(),
+                    compiled.clone(),
+                    start,
+                    (start + shard_size).min(total),
+                )
+            })
+            .collect();
+        let slots = SerialDriver.drive(shards, &mut arena);
+        // Inputs 0..128 refine; input 128 (shard 8) is the first refutation.
+        let first_refuting = slots
+            .iter()
+            .position(|slot| matches!(slot, SweepSlot::Executed(out) if out.refutes()))
+            .expect("one shard must refute");
+        assert_eq!(first_refuting, 128 / shard_size);
+        for (i, slot) in slots.iter().enumerate() {
+            match slot {
+                SweepSlot::Executed(out) if i < first_refuting => assert!(!out.refutes()),
+                SweepSlot::Executed(out) if i == first_refuting => {
+                    assert_eq!(out.finding.as_ref().unwrap().index, 128)
+                }
+                SweepSlot::Cancelled if i > first_refuting => {}
+                _ => panic!("slot {i} violates the cancellation contract"),
+            }
+        }
+        // And the full driver-based verdict pinpoints input 128, exactly as
+        // the serial checker does.
+        let case = SourceCache::new(&src, TvConfig::default());
+        let serial = case.verify_with(&tgt, &mut arena);
+        let sharded = case.verify_with_driver(&tgt, &mut arena, &SerialDriver, shard_size);
+        assert_eq!(sharded, serial);
+        assert!(matches!(sharded, Verdict::Incorrect(_)));
+    }
+}

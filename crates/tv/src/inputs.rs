@@ -94,7 +94,25 @@ pub fn generate_inputs(func: &Function, config: &InputConfig) -> Vec<TestInput> 
     inputs
 }
 
-fn try_exhaustive(func: &Function, config: &InputConfig) -> Option<Vec<TestInput>> {
+/// The number of inputs [`generate_inputs`] produces for `func`, computed
+/// without materializing (or evaluating) anything. The execution engine uses
+/// this to estimate a case's Stage-3 shard count before verification runs;
+/// it is pinned equal to `generate_inputs(func, config).len()` by a test.
+pub fn input_count(func: &Function, config: &InputConfig) -> usize {
+    if let Some(bits) = exhaustive_bits(func, config) {
+        return 1usize << bits;
+    }
+    let corner_lens: Vec<usize> = func.params.iter().map(|p| corner_values(&p.ty).len()).collect();
+    let mut count = corner_lens.iter().copied().max().unwrap_or(0);
+    if corner_lens.len() >= 2 {
+        count += corner_lens[0].min(6) * corner_lens[1].min(6);
+    }
+    count + config.random_samples
+}
+
+/// Total input bits when the signature is exhaustively enumerable within
+/// `config.exhaustive_bits`, else `None`.
+fn exhaustive_bits(func: &Function, config: &InputConfig) -> Option<u32> {
     let mut total_bits: u32 = 0;
     for p in &func.params {
         match &p.ty {
@@ -109,6 +127,11 @@ fn try_exhaustive(func: &Function, config: &InputConfig) -> Option<Vec<TestInput
             return None;
         }
     }
+    Some(total_bits)
+}
+
+fn try_exhaustive(func: &Function, config: &InputConfig) -> Option<Vec<TestInput>> {
+    let total_bits = exhaustive_bits(func, config)?;
     let count: u128 = 1u128 << total_bits;
     let mut inputs = Vec::with_capacity(count as usize);
     for pattern in 0..count {
@@ -284,6 +307,34 @@ mod tests {
         let f = parse_function("define <4 x i2> @f(<4 x i2> %x) {\n ret <4 x i2> %x\n}").unwrap();
         let inputs = generate_inputs(&f, &InputConfig::default());
         assert_eq!(inputs.len(), 256); // 4 lanes × 2 bits = 8 bits
+    }
+
+    #[test]
+    fn input_count_matches_generate_inputs() {
+        let signatures = [
+            "define i8 @f(i8 %x) {\n ret i8 %x\n}",
+            "define i8 @f(i8 %x, i8 %y) {\n ret i8 %x\n}",
+            "define i32 @f(i32 %x) {\n ret i32 %x\n}",
+            "define i32 @f(i32 %x, i32 %y) {\n ret i32 %x\n}",
+            "define i64 @f(i64 %x, i64 %y, i64 %z) {\n ret i64 %x\n}",
+            "define i1 @f(double %x) {\n %r = fcmp oeq double %x, 1.0\n ret i1 %r\n}",
+            "define i32 @f(ptr %p) {\n %v = load i32, ptr %p, align 4\n ret i32 %v\n}",
+            "define <4 x i2> @f(<4 x i2> %x) {\n ret <4 x i2> %x\n}",
+            "define <4 x i8> @f(<4 x i8> %x, i32 %y) {\n ret <4 x i8> %x\n}",
+        ];
+        for text in signatures {
+            let f = parse_function(text).unwrap();
+            for config in [
+                InputConfig::default(),
+                InputConfig { exhaustive_bits: 10, random_samples: 48, seed: 1 },
+            ] {
+                assert_eq!(
+                    input_count(&f, &config),
+                    generate_inputs(&f, &config).len(),
+                    "input_count diverged for {text}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -51,12 +51,16 @@
 //! the "Translation validation hot path" section for the staged checker's
 //! design and invariants.
 
+pub mod frozen;
 pub mod inputs;
 pub mod refine;
 
 /// Commonly used items, re-exported for convenience.
 pub mod prelude {
-    pub use crate::inputs::{corner_values, generate_inputs, InputConfig, TestInput};
+    pub use crate::frozen::{
+        FrozenCase, SerialDriver, SweepDriver, SweepOutcome, SweepShard, SweepSlot,
+    };
+    pub use crate::inputs::{corner_values, generate_inputs, input_count, InputConfig, TestInput};
     pub use crate::refine::{
         verify_refinement, verify_refinement_reference, verify_refinement_with, CompileCache,
         Counterexample, SourceCache, TvConfig, Validator, Verdict,

@@ -49,6 +49,7 @@
 //! `tests/plane_differential.rs` fuzzes the plane tier against both
 //! retained evaluators over randomly generated functions.
 
+use crate::frozen::{FrozenCase, SweepDriver, SweepShard, SweepSlot};
 use crate::inputs::{generate_inputs, InputConfig, TestInput};
 use lpo_interp::compiled::{evaluate_direct, CompiledFunction, EvalArena};
 use lpo_interp::eval::Ub;
@@ -66,16 +67,16 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 
 /// How many instructions a single evaluation may execute.
-const STEP_LIMIT: usize = 1 << 14;
+pub(crate) const STEP_LIMIT: usize = 1 << 14;
 
 /// How many inputs one batched survivor-sweep call covers.
-const SWEEP_LANES: usize = 32;
+pub(crate) const SWEEP_LANES: usize = 32;
 
 /// How many inputs one plane survivor-sweep call covers. Planes are flat
 /// `u64` slices, so wider chunks amortize the per-step loop overhead and
 /// keep the auto-vectorized kernels fed; 256 lanes × a few dozen planes
 /// stays comfortably inside L2.
-const PLANE_LANES: usize = 256;
+pub(crate) const PLANE_LANES: usize = 256;
 
 /// The result of checking one candidate transformation.
 #[derive(Clone, Debug, PartialEq)]
@@ -329,11 +330,11 @@ pub fn verify_refinement_reference(src: &Function, tgt: &Function, config: &TvCo
 
 /// The outcome of evaluating the source function on one input: the returned
 /// value and final memory, or the UB it exhibited.
-type SourceOutcome = Result<(Option<EvalValue>, Memory), Ub>;
+pub(crate) type SourceOutcome = Result<(Option<EvalValue>, Memory), Ub>;
 
 /// The same shape for the target side (probe, batched or compiled-serial —
 /// all three evaluators produce identical outcomes).
-type TargetOutcome = Result<(Option<EvalValue>, Memory), Ub>;
+pub(crate) type TargetOutcome = Result<(Option<EvalValue>, Memory), Ub>;
 
 /// What the staged walk concluded, before any diagnostic rendering.
 enum StagedVerdict {
@@ -381,6 +382,7 @@ pub struct SourceCache<'a> {
     survivors: Cell<usize>,
     plane_sweeps: Cell<usize>,
     dense: RefCell<DenseState>,
+    frozen: OnceCell<crate::frozen::FrozenCase>,
 }
 
 /// Lazily built cache of [`DenseOutcomes`] for one case.
@@ -411,7 +413,7 @@ const DENSE_CONCRETE: u8 = 3;
 /// input allocations), where the memory half of the refinement check is
 /// vacuous: inputs carry no observable allocations, so value refinement is
 /// the whole comparison.
-struct DenseOutcomes {
+pub(crate) struct DenseOutcomes {
     tags: Vec<u8>,
     vals: Vec<u64>,
 }
@@ -423,7 +425,7 @@ impl DenseOutcomes {
     /// then the value-refinement lattice. `false` means *suspect* — the
     /// caller re-runs the lane through the full comparison, which stays
     /// authoritative for the verdict and the refutation descriptor.
-    fn lane_refines(&self, index: usize, result: &PlaneResult, offset: usize) -> bool {
+    pub(crate) fn lane_refines(&self, index: usize, result: &PlaneResult, offset: usize) -> bool {
         match self.tags[index] {
             DENSE_SRC_UB => true,
             _ if result.is_ub(offset) => false,
@@ -436,6 +438,39 @@ impl DenseOutcomes {
             }
         }
     }
+}
+
+/// Flattens fully materialized source outcomes into a [`DenseOutcomes`]
+/// table, or `None` when the case's shape can't carry it (observable
+/// allocations, non-scalar or void returns, integers wider than 64 bits).
+/// Shared by the lazy [`SourceCache`] and the frozen snapshot so the two
+/// plane tiers compare lanes identically.
+pub(crate) fn dense_table<'o>(
+    inputs: &[TestInput],
+    outcomes: impl Iterator<Item = &'o SourceOutcome>,
+) -> Option<DenseOutcomes> {
+    if inputs.iter().any(|input| input.memory.allocation_count() != 0) {
+        // Unreachable for plane-eligible signatures (scalar-integer params
+        // generate no allocations), but the dense compare skips memory
+        // refinement, so gate on it explicitly.
+        return None;
+    }
+    let mut tags = Vec::with_capacity(inputs.len());
+    let mut vals = Vec::with_capacity(inputs.len());
+    for outcome in outcomes {
+        let (tag, val) = match outcome {
+            Err(_) => (DENSE_SRC_UB, 0),
+            Ok((Some(EvalValue::Poison), _)) => (DENSE_POISON, 0),
+            Ok((Some(EvalValue::Undef), _)) => (DENSE_UNDEF, 0),
+            Ok((Some(EvalValue::Int(v)), _)) if v.width() <= 64 => {
+                (DENSE_CONCRETE, v.zext_value() as u64)
+            }
+            _ => return None,
+        };
+        tags.push(tag);
+        vals.push(val);
+    }
+    Some(DenseOutcomes { tags, vals })
 }
 
 impl<'a> SourceCache<'a> {
@@ -455,6 +490,7 @@ impl<'a> SourceCache<'a> {
             survivors: Cell::new(0),
             plane_sweeps: Cell::new(0),
             dense: RefCell::new(DenseState::NotBuilt),
+            frozen: OnceCell::new(),
         }
     }
 
@@ -548,36 +584,21 @@ impl<'a> SourceCache<'a> {
         if self.source_evals.get() != total {
             return None;
         }
-        if inputs.iter().any(|input| input.memory.allocation_count() != 0) {
-            // Unreachable for plane-eligible signatures (scalar-integer
-            // params generate no allocations), but the dense compare skips
-            // memory refinement, so gate on it explicitly.
-            *self.dense.borrow_mut() = DenseState::Unavailable;
-            return None;
-        }
         let outcomes = self.outcomes.borrow();
-        let mut tags = Vec::with_capacity(total);
-        let mut vals = Vec::with_capacity(total);
-        for outcome in outcomes.iter() {
-            let (tag, val) = match outcome {
-                Some(Err(_)) => (DENSE_SRC_UB, 0),
-                Some(Ok((Some(EvalValue::Poison), _))) => (DENSE_POISON, 0),
-                Some(Ok((Some(EvalValue::Undef), _))) => (DENSE_UNDEF, 0),
-                Some(Ok((Some(EvalValue::Int(v)), _))) if v.width() <= 64 => {
-                    (DENSE_CONCRETE, v.zext_value() as u64)
-                }
-                _ => {
-                    *self.dense.borrow_mut() = DenseState::Unavailable;
-                    return None;
-                }
-            };
-            tags.push(tag);
-            vals.push(val);
-        }
+        let table =
+            dense_table(inputs, outcomes.iter().map(|o| o.as_ref().expect("all outcomes filled")));
         drop(outcomes);
-        let table = Rc::new(DenseOutcomes { tags, vals });
-        *self.dense.borrow_mut() = DenseState::Built(table.clone());
-        Some(table)
+        match table {
+            Some(table) => {
+                let table = Rc::new(table);
+                *self.dense.borrow_mut() = DenseState::Built(table.clone());
+                Some(table)
+            }
+            None => {
+                *self.dense.borrow_mut() = DenseState::Unavailable;
+                None
+            }
+        }
     }
 
     /// Stage 3 on the plane evaluator: sweeps inputs `*index..total` in
@@ -778,7 +799,17 @@ impl<'a> SourceCache<'a> {
     /// and the source side is still evaluated at most once per input, in
     /// input order, stopping at the first counterexample.
     pub fn verify_with(&self, tgt: &Function, arena: &mut EvalArena) -> Verdict {
-        match self.verify_staged(tgt, arena) {
+        let staged = self.verify_staged(tgt, arena);
+        self.render_staged(staged)
+    }
+
+    /// Renders a staged conclusion into the public [`Verdict`], building the
+    /// Alive2-style counterexample only when a candidate was actually
+    /// refuted. The refuting input's source outcome is always present: the
+    /// probe ensures it lazily, and the sharded sweep runs against a frozen
+    /// case whose construction filled every outcome.
+    fn render_staged(&self, staged: Result<StagedVerdict, Verdict>) -> Verdict {
+        match staged {
             Err(error) => error,
             Ok(StagedVerdict::Correct { inputs_checked, exhaustive }) => {
                 Verdict::Correct { inputs_checked, exhaustive }
@@ -792,6 +823,153 @@ impl<'a> SourceCache<'a> {
                 ))
             }
         }
+    }
+
+    /// The frozen, `Arc`-shared snapshot of this case (see
+    /// [`FrozenCase`]), built once on first use: any source inputs no
+    /// candidate has reached yet are evaluated **in input order** to fill the
+    /// outcome table, so after this call [`source_eval_count`](Self::source_eval_count)
+    /// equals the input count.
+    pub fn frozen_case(&self, arena: &mut EvalArena) -> FrozenCase {
+        if let Some(frozen) = self.frozen.get() {
+            return frozen.clone();
+        }
+        let (inputs, exhaustive) = self.inputs();
+        let total = inputs.len();
+        for (index, input) in inputs.iter().enumerate() {
+            self.ensure_outcome(index, total, input, arena);
+        }
+        let outcomes: Vec<SourceOutcome> =
+            self.outcomes.borrow().iter().map(|o| o.clone().expect("just filled")).collect();
+        let frozen = FrozenCase::from_parts(
+            self.src.clone(),
+            inputs.clone(),
+            *exhaustive,
+            outcomes,
+            self.config.plane_sweep,
+            self.config.probe_inputs,
+        );
+        self.frozen.get_or_init(|| frozen).clone()
+    }
+
+    /// The staged walk with a *sharded* Stage 3: probe and lazy compile
+    /// exactly as [`verify_staged`](Self::verify_staged), then the survivor
+    /// sweep is split into `shard_size`-input [`SweepShard`]s handed to
+    /// `driver`. The ordered merge takes the first executed shard with a
+    /// finding, which the cancellation contract (see [`crate::frozen`])
+    /// proves is the serial-first refuting input — verdicts and
+    /// counterexamples are identical to the serial sweep for every driver,
+    /// shard size and worker count.
+    ///
+    /// Two counters diverge from the lazy path, deterministically so:
+    /// freezing the case fills **all** source outcomes up front (so
+    /// `source_eval_count` jumps to the input total on the first survivor),
+    /// and `plane_sweeps` reflects whether the survivor's *first* shard used
+    /// the plane evaluator (the serial path's flag covers the whole sweep).
+    fn verify_staged_sharded(
+        &self,
+        tgt: &Function,
+        arena: &mut EvalArena,
+        driver: &dyn SweepDriver,
+        shard_size: usize,
+    ) -> Result<StagedVerdict, Verdict> {
+        if let Some(error) = self.signature_error(tgt) {
+            return Err(error);
+        }
+        self.candidates.set(self.candidates.get() + 1);
+
+        let probe_n = {
+            let (inputs, _) = self.inputs();
+            self.config.probe_inputs.min(inputs.len())
+        };
+        // Stage 1: probe, identical to the serial path (lazy outcomes, input
+        // order), so probe rejects cost the same few source evaluations.
+        for index in 0..probe_n {
+            let input = &self.inputs().0[index];
+            let tgt_out = evaluate_direct(tgt, arena, &input.args, input.memory.clone(), STEP_LIMIT)
+                .map(|o| (o.result, o.memory));
+            if let Some(refutation) = self.check_input(index, input, &tgt_out, arena) {
+                self.probe_rejects.set(self.probe_rejects.get() + 1);
+                return Ok(StagedVerdict::Refuted { index, tgt_out, refutation });
+            }
+        }
+
+        let (inputs, exhaustive) = self.inputs();
+        let (total, exhaustive) = (inputs.len(), *exhaustive);
+        if probe_n == total {
+            return Ok(StagedVerdict::Correct { inputs_checked: total, exhaustive });
+        }
+
+        // Stage 2: compile the survivor (shared cache when attached).
+        self.survivors.set(self.survivors.get() + 1);
+        let compiled_tgt: Arc<CompiledFunction> = match self.compile_cache {
+            Some(cache) => cache.get_or_compile(tgt),
+            None => Arc::new(CompiledFunction::compile(tgt)),
+        };
+
+        // Stage 3: decompose `[probe_n, total)` into shards and let the
+        // driver schedule them.
+        let frozen = self.frozen_case(arena);
+        let shard_size = shard_size.max(1);
+        let mut shards = Vec::with_capacity((total - probe_n).div_ceil(shard_size));
+        let mut start = probe_n;
+        while start < total {
+            let end = total.min(start.saturating_add(shard_size));
+            shards.push(SweepShard::new(frozen.clone(), compiled_tgt.clone(), start, end));
+            start = end;
+        }
+        let slots = driver.drive(shards, arena);
+
+        // Shard 0 is never cancelled (cancellation needs an earlier refuting
+        // shard), so this flag is deterministic for a given shard size.
+        if let Some(SweepSlot::Executed(out)) = slots.first() {
+            if out.used_plane {
+                self.plane_sweeps.set(self.plane_sweeps.get() + 1);
+            }
+        }
+        for slot in slots {
+            if let SweepSlot::Executed(out) = slot {
+                if let Some(finding) = out.finding {
+                    return Ok(StagedVerdict::Refuted {
+                        index: finding.index,
+                        tgt_out: finding.tgt_out,
+                        refutation: finding.refutation,
+                    });
+                }
+            }
+        }
+        Ok(StagedVerdict::Correct { inputs_checked: total, exhaustive })
+    }
+
+    /// [`verify_with`](Self::verify_with) with the survivor sweep sharded
+    /// across `driver` in `shard_size`-input units. Verdicts and
+    /// counterexamples are bit-identical to [`verify_with`](Self::verify_with)
+    /// for every driver, shard size and worker count.
+    pub fn verify_with_driver(
+        &self,
+        tgt: &Function,
+        arena: &mut EvalArena,
+        driver: &dyn SweepDriver,
+        shard_size: usize,
+    ) -> Verdict {
+        let staged = self.verify_staged_sharded(tgt, arena, driver, shard_size);
+        self.render_staged(staged)
+    }
+
+    /// [`verify_outcome_only`](Self::verify_outcome_only) with a sharded
+    /// survivor sweep: the accept/reject bit without any counterexample
+    /// rendering.
+    pub fn verify_outcome_only_driver(
+        &self,
+        tgt: &Function,
+        arena: &mut EvalArena,
+        driver: &dyn SweepDriver,
+        shard_size: usize,
+    ) -> bool {
+        matches!(
+            self.verify_staged_sharded(tgt, arena, driver, shard_size),
+            Ok(StagedVerdict::Correct { .. })
+        )
     }
 
     /// [`verify_with`](Self::verify_with) minus the diagnostic: returns
@@ -904,7 +1082,7 @@ fn check_one(
 /// callers that only need the verdict bit
 /// ([`SourceCache::verify_outcome_only`]) skip the rendering entirely.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
-enum Refutation {
+pub(crate) enum Refutation {
     /// Target exhibits UB where the source is defined.
     TargetUb,
     /// One side returns a value, the other `void`.
@@ -920,7 +1098,7 @@ enum Refutation {
 /// The refinement comparison itself: one input's cached source outcome
 /// against a target outcome from any of the three evaluators. Returns the
 /// cheap refutation descriptor on failure.
-fn refutation(
+pub(crate) fn refutation(
     input: &TestInput,
     src_out: &SourceOutcome,
     tgt_out: &TargetOutcome,
@@ -983,7 +1161,7 @@ fn refutation(
 
 /// Renders a [`Refutation`] into the Alive2-style counterexample the LPO
 /// feedback loop sends back to the model.
-fn build_counterexample(
+pub(crate) fn build_counterexample(
     src: &Function,
     input: &TestInput,
     src_out: &SourceOutcome,
@@ -1371,6 +1549,47 @@ mod tests {
                     reference,
                     "probe {probe} diverged for {text}"
                 );
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_sweep_matches_serial_for_every_shard_size() {
+        use crate::frozen::SerialDriver;
+        let src = parse_function("define i8 @s(i8 %x) {\n %r = add i8 %x, 1\n ret i8 %r\n}").unwrap();
+        let candidates = [
+            // Correct (full sweep, no finding).
+            "define i8 @t(i8 %x) {\n %r = sub i8 %x, -1\n ret i8 %r\n}",
+            // Refuted inside the probe window.
+            "define i8 @t(i8 %x) {\n %r = add i8 %x, 2\n ret i8 %r\n}",
+            // Refuted mid-sweep: wrong only for negative inputs (index 128+).
+            "define i8 @t(i8 %x) {\n %c = icmp slt i8 %x, 0\n %a = add i8 %x, 1\n %b = add i8 %x, 2\n %r = select i1 %c, i8 %b, i8 %a\n ret i8 %r\n}",
+            // More poisonous survivor.
+            "define i8 @t(i8 %x) {\n %r = add nuw i8 %x, 1\n ret i8 %r\n}",
+            // Signature error.
+            "define i8 @t(i16 %x) {\n %r = trunc i16 %x to i8\n ret i8 %r\n}",
+        ];
+        let mut arena = EvalArena::new();
+        for plane_sweep in [true, false] {
+            let config = TvConfig { plane_sweep, ..TvConfig::default() };
+            for text in candidates {
+                let tgt = parse_function(text).unwrap();
+                let serial_case = SourceCache::new(&src, config.clone());
+                let serial = serial_case.verify_with(&tgt, &mut arena);
+                for shard_size in [1usize, 7, 256, usize::MAX] {
+                    let case = SourceCache::new(&src, config.clone());
+                    let sharded =
+                        case.verify_with_driver(&tgt, &mut arena, &SerialDriver, shard_size);
+                    assert_eq!(
+                        sharded, serial,
+                        "shard size {shard_size} (plane {plane_sweep}) diverged for {text}"
+                    );
+                    assert_eq!(
+                        case.verify_outcome_only_driver(&tgt, &mut arena, &SerialDriver, shard_size),
+                        serial.is_correct(),
+                        "outcome-only diverged at shard size {shard_size} for {text}"
+                    );
+                }
             }
         }
     }

@@ -52,6 +52,82 @@ fn jobs_1_and_jobs_4_are_byte_identical_on_the_rq1_suite() {
 }
 
 #[test]
+fn shard_boundary_matrix_is_byte_identical() {
+    // The sharded engine's contract: every (--shard-size, --jobs) cell —
+    // including degenerate 1-input shards and ∞ (one shard per survivor) —
+    // produces the same byte-identical run, and all of them match the
+    // case-granular engine with sharding disabled.
+    let sequences = suite_with_duplicates();
+    let lpo = Lpo::new(LpoConfig::default());
+    let factory = SimulatedModelFactory::new(gemini2_0t(), 42);
+
+    let mut unsharded = ExecConfig::with_jobs(1);
+    unsharded.shard_inputs = false;
+    let reference = lpo.run_sequences(&factory, 0, &sequences, &unsharded);
+    let (reference_reports, reference_summary) = fingerprints(&reference);
+
+    for shard_size in [1usize, 7, 256, usize::MAX] {
+        for jobs in [1usize, 4] {
+            let mut config = ExecConfig::with_jobs(jobs);
+            config.shard_size = shard_size;
+            let batch = lpo.run_sequences(&factory, 0, &sequences, &config);
+            let (reports, summary) = fingerprints(&batch);
+            assert_eq!(
+                reports, reference_reports,
+                "per-case streams diverged (shard size {shard_size}, jobs {jobs})"
+            );
+            assert_eq!(
+                summary, reference_summary,
+                "summaries diverged (shard size {shard_size}, jobs {jobs})"
+            );
+        }
+    }
+}
+
+#[test]
+fn cancellation_never_changes_the_reported_counterexample() {
+    use lpo_ir::parser::parse_function;
+    use lpo_tv::prelude::{EvalArena, SourceCache, TvConfig, Verdict};
+    use std::sync::Arc;
+
+    // A candidate wrong for *every* negative i8 input: with 4-input shards,
+    // dozens of shards past the first refuting one also refute, and under 4
+    // workers any of them can finish first and cut the group. The merge must
+    // still report the first refuting input in input order — the same
+    // counterexample the serial sweep finds.
+    let src = parse_function("define i8 @s(i8 %x) {\n %r = add i8 %x, 1\n ret i8 %r\n}").unwrap();
+    let wrong = parse_function(
+        "define i8 @t(i8 %x) {\n\
+         %c = icmp slt i8 %x, 0\n\
+         %bad = add i8 %x, 2\n\
+         %good = add i8 %x, 1\n\
+         %r = select i1 %c, i8 %bad, i8 %good\n\
+         ret i8 %r\n}",
+    )
+    .unwrap();
+
+    fn cex_text(verdict: &Verdict) -> String {
+        match verdict {
+            Verdict::Incorrect(cex) => cex.to_string(),
+            other => panic!("expected a refutation, got {other:?}"),
+        }
+    }
+
+    let serial_case = SourceCache::new(&src, TvConfig::default());
+    let expected = cex_text(&serial_case.verify_with(&wrong, &mut EvalArena::new()));
+
+    for _ in 0..10 {
+        let runtime = ShardRuntime::new(4, Arc::new(ShardCounters::new()));
+        let driver = RuntimeSweepDriver::new(runtime.clone());
+        let verdicts = runtime.run_cases(1, |_, arena| {
+            let case = SourceCache::new(&src, TvConfig::default());
+            cex_text(&case.verify_with_driver(&wrong, arena, &driver, 4))
+        });
+        assert_eq!(verdicts[0], expected, "a racing cut changed the reported counterexample");
+    }
+}
+
+#[test]
 fn dedup_replay_is_byte_identical_to_its_representative() {
     let sequences = suite_with_duplicates();
     let originals = sequences.len() - 4;
