@@ -36,19 +36,29 @@
 //! `shard-smoke` gates (`bench-exec`'s parallel-scaling check applies only on
 //! hosts with ≥ 4 cores; its overhead ratios are gated everywhere).
 
-use lpo::prelude::DEFAULT_SHARD_SIZE;
+use lpo::prelude::{VerdictStore, DEFAULT_SHARD_SIZE};
 use lpo_bench::results::{
     BenchResults, ExecEntry, InterpEntry, Json, OptEntry, RunEntries, TableEntry, TvEntry,
 };
-use lpo_bench::{self as harness, TableRun};
+use lpo_bench::{self as harness, StoreOptions, TableRun};
 use lpo_llm::prelude::rq1_models;
+use std::sync::Arc;
 
+/// `<name> N`, strict: a present flag with a missing, negative or otherwise
+/// unparsable value is a hard usage error, never a silent fall-back to the
+/// default (that silence once hid `--jobs abc` running on every core).
 fn arg_value(args: &[String], name: &str, default: u64) -> u64 {
-    args.iter()
-        .position(|a| a == name)
-        .and_then(|i| args.get(i + 1))
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(default)
+    let Some(position) = args.iter().position(|a| a == name) else {
+        return default;
+    };
+    let value = args.get(position + 1).map(String::as_str).unwrap_or("");
+    match value.parse() {
+        Ok(n) => n,
+        Err(_) => {
+            eprintln!("{name} expects a non-negative integer, got '{value}'");
+            std::process::exit(2);
+        }
+    }
 }
 
 fn arg_text<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
@@ -254,6 +264,27 @@ fn check_exec_scaling(entry: &ExecEntry, path: &str) -> Result<String, String> {
     }
 }
 
+/// `--store PATH` / `--resume`: opens (or creates) the durable verdict and
+/// checkpoint store. `--resume` without `--store` is a usage error — there is
+/// nothing to resume from.
+fn arg_store(args: &[String]) -> Option<StoreOptions> {
+    let resume = args.iter().any(|a| a == "--resume");
+    let Some(path) = arg_text(args, "--store") else {
+        if resume {
+            eprintln!("--resume requires --store PATH (the store the previous run wrote)");
+            std::process::exit(2);
+        }
+        return None;
+    };
+    match VerdictStore::open(path) {
+        Ok(store) => Some(StoreOptions { store: Arc::new(store), resume }),
+        Err(error) => {
+            eprintln!("cannot open store '{path}': {error}");
+            std::process::exit(2);
+        }
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let what = args.first().map(String::as_str).unwrap_or("all");
@@ -261,6 +292,8 @@ fn main() {
     let samples = arg_value(&args, "--samples", 60) as usize;
     let jobs = arg_value(&args, "--jobs", 0) as usize;
     let shard_size = arg_shard_size(&args);
+    let store = arg_store(&args);
+    let store = store.as_ref();
     let quick_models = || {
         if args.iter().any(|a| a == "--all-models") {
             rq1_models()
@@ -287,16 +320,20 @@ fn main() {
             cases: run.stats.cases,
             cases_per_second: run.stats.cases_per_second(),
             cache_hits: run.stats.cache_hits,
+            failed: run.stats.failed,
+            resumed: run.stats.resumed,
             jobs: run.stats.jobs,
         });
     };
 
     match what {
         "table1" => println!("{}", harness::table1()),
-        "table2" => show("table2", harness::table2(rounds, &quick_models(), jobs, shard_size)),
-        "table3" => show("table3", harness::table3(jobs)),
-        "table4" => show("table4", harness::table4(samples, jobs, shard_size)),
-        "table5" => show("table5", harness::table5(jobs)),
+        "table2" => {
+            show("table2", harness::table2_with_store(rounds, &quick_models(), jobs, shard_size, store))
+        }
+        "table3" => show("table3", harness::table3_with_store(jobs, store)),
+        "table4" => show("table4", harness::table4_with_store(samples, jobs, shard_size, store)),
+        "table5" => show("table5", harness::table5_with_store(jobs, store)),
         "figure5" => show("figure5", harness::figure5(jobs)),
         "bench-interp" => {
             let run = harness::bench_interp(jobs);
@@ -320,10 +357,10 @@ fn main() {
         }
         "all" => {
             println!("{}", harness::table1());
-            show("table2", harness::table2(rounds, &quick_models(), jobs, shard_size));
-            show("table3", harness::table3(jobs));
-            show("table4", harness::table4(samples, jobs, shard_size));
-            show("table5", harness::table5(jobs));
+            show("table2", harness::table2_with_store(rounds, &quick_models(), jobs, shard_size, store));
+            show("table3", harness::table3_with_store(jobs, store));
+            show("table4", harness::table4_with_store(samples, jobs, shard_size, store));
+            show("table5", harness::table5_with_store(jobs, store));
             show("figure5", harness::figure5(jobs));
             let run = harness::bench_interp(jobs);
             println!("{}", run.text);

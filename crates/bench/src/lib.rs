@@ -31,7 +31,20 @@ use lpo_opt::pipeline::{OptLevel, Pipeline};
 use lpo_souper::{superoptimize_batch as souper_batch, SouperConfig};
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+/// A driver's durable-store context: the open [`VerdictStore`] plus whether
+/// cases already checkpointed in it should be replayed (`--resume`). Every
+/// `*_with_store` driver takes an `Option<&StoreOptions>`; the plain-named
+/// variants delegate with `None`.
+#[derive(Clone, Debug)]
+pub struct StoreOptions {
+    /// The open store, shared by every batch of the run.
+    pub store: Arc<VerdictStore>,
+    /// Replay checkpointed cases instead of recomputing them.
+    pub resume: bool,
+}
 
 /// Worker/cache/wall-clock accounting for one experiment driver run — the
 /// numbers `BENCH_results.json` tracks from PR to PR.
@@ -43,6 +56,15 @@ pub struct DriverStats {
     pub cases: usize,
     /// Sequences replayed from the engine's structural-hash dedup cache.
     pub cache_hits: usize,
+    /// Cases that ended `Failed` (typed session errors / contained panics)
+    /// instead of completing. Zero on healthy runs.
+    pub failed: usize,
+    /// Cases replayed from the checkpoint store instead of computed
+    /// (`--resume`).
+    pub resumed: usize,
+    /// Durable verdict/checkpoint store traffic during the driver (all zero
+    /// without `--store`).
+    pub store: StoreStats,
     /// Real wall-clock time of the whole driver.
     pub wall: Duration,
     /// Stage 3 accounting for drivers that run the LPO engine (zeroed for
@@ -91,6 +113,19 @@ impl DriverStats {
                 self.tv.shards_executed, self.tv.shards_stolen, self.tv.shard_cancellations
             );
         }
+        if self.failed > 0 {
+            let _ = writeln!(out, "[failures] failed cases: {}", self.failed);
+        }
+        if self.resumed > 0 || !self.store.is_empty() {
+            let _ = writeln!(
+                out,
+                "[store] verdict hits: {}  verdict misses: {}  case replays: {}  resumed cases: {}",
+                self.store.verdict_hits,
+                self.store.verdict_misses,
+                self.store.case_replays,
+                self.resumed
+            );
+        }
         out
     }
 }
@@ -111,6 +146,9 @@ impl From<ExecStats> for DriverStats {
             jobs: stats.jobs,
             cases: stats.cases,
             cache_hits: stats.cache_hits,
+            failed: stats.failed_cases,
+            resumed: stats.resumed_cases,
+            store: stats.store,
             wall: stats.wall_time,
             tv: stats.tv,
         }
@@ -175,6 +213,12 @@ pub struct Rq1Result {
     /// (single-case batches, so this stays 0 unless batching changes — but it
     /// is measured, not assumed).
     pub cache_hits: usize,
+    /// Cases that ended `Failed` across every batch.
+    pub failed: usize,
+    /// Cases replayed from the checkpoint store (`--resume`).
+    pub resumed: usize,
+    /// Verdict/checkpoint store traffic over the whole experiment.
+    pub store: StoreStats,
 }
 
 impl Rq1Result {
@@ -228,20 +272,38 @@ fn detect_with_lpo(
     rounds: u64,
     seed: u64,
     config: &ExecConfig,
-) -> (usize, usize) {
+    persist: Option<(&StoreOptions, &str)>,
+) -> DetectCell {
     // One factory per (case, model): sessions at case index 0 reproduce the
     // historical per-issue seeding, so the calibrated Table 2 numbers hold.
     let factory = SimulatedModelFactory::new(profile.clone(), seed);
     let sequence = std::slice::from_ref(&case.function);
-    let mut cache_hits = 0;
-    let detections = (0..rounds)
+    let mut cell = DetectCell::default();
+    cell.detections = (0..rounds)
         .filter(|&round| {
-            let batch = lpo.run_sequences(&factory, round, sequence, config);
-            cache_hits += batch.stats.cache_hits;
+            let persist = persist.map(|(opts, run_key)| Persist {
+                store: opts.store.as_ref(),
+                run_key,
+                resume: opts.resume,
+            });
+            let batch =
+                lpo.run_sequences_persisted(&factory, round, sequence, config, persist.as_ref());
+            cell.cache_hits += batch.stats.cache_hits;
+            cell.failed += batch.stats.failed_cases;
+            cell.resumed += batch.stats.resumed_cases;
             batch.reports[0].outcome.is_found()
         })
         .count();
-    (detections, cache_hits)
+    cell
+}
+
+/// Accounting of one Table 2 detection cell (one case × model × pipeline).
+#[derive(Clone, Copy, Debug, Default)]
+struct DetectCell {
+    detections: usize,
+    cache_hits: usize,
+    failed: usize,
+    resumed: usize,
 }
 
 /// One shared enumerative search per case, replacing the old
@@ -279,13 +341,33 @@ pub fn rq1_experiment(
     jobs: usize,
     shard_size: usize,
 ) -> Rq1Result {
+    rq1_experiment_with_store(rounds, models, jobs, shard_size, None)
+}
+
+/// [`rq1_experiment`] with an optional durable store: Stage-3 verdicts are
+/// recorded/replayed pipeline-wide, every completed detection cell is
+/// checkpointed under a `table2/…` run key, and with
+/// [`StoreOptions::resume`] already-checkpointed cells replay instead of
+/// recomputing.
+pub fn rq1_experiment_with_store(
+    rounds: u64,
+    models: &[ModelProfile],
+    jobs: usize,
+    shard_size: usize,
+    store: Option<&StoreOptions>,
+) -> Rq1Result {
     let suite = rq1_suite();
     let jobs = resolve_jobs(jobs, suite.len());
+    let store_before = store.map(|opts| opts.store.stats()).unwrap_or_default();
     // Two shared pipelines (LPO / LPO⁻), so the Stage 3 compile cache spans
     // every (case, model, round) cell and the experiment's probe/survivor
     // accounting can be reported in one snapshot.
-    let lpo_plus = Lpo::new(LpoConfig::default());
-    let lpo_minus = Lpo::new(LpoConfig::without_feedback());
+    let attach = |lpo: Lpo| match store {
+        Some(opts) => lpo.with_verdict_store(opts.store.clone()),
+        None => lpo,
+    };
+    let lpo_plus = attach(Lpo::new(LpoConfig::default()));
+    let lpo_minus = attach(Lpo::new(LpoConfig::without_feedback()));
     // The detection cells stay one-case-per-batch (the calibrated seeding),
     // so each inner run is serial — but its Stage 3 sweeps still go through
     // the shard engine at the requested shard size.
@@ -299,18 +381,30 @@ pub fn rq1_experiment(
             minotaur: minotaur_detects(case),
             ..Default::default()
         };
-        let mut hits = 0;
+        let mut tally = DetectCell::default();
         for profile in models {
-            let (minus, minus_hits) =
-                detect_with_lpo(case, &lpo_minus, profile, rounds, case.issue_id as u64, &detect_config);
-            let (plus, plus_hits) =
-                detect_with_lpo(case, &lpo_plus, profile, rounds, case.issue_id as u64, &detect_config);
-            hits += minus_hits + plus_hits;
-            row.per_model.push((profile.name.to_string(), minus, plus));
+            // Distinct run keys per (pipeline, model, issue): checkpoints of
+            // one cell must never be replayed by another.
+            let minus_key = format!("table2/lpo-/{}/issue{}", profile.name, case.issue_id);
+            let plus_key = format!("table2/lpo/{}/issue{}", profile.name, case.issue_id);
+            let minus = detect_with_lpo(
+                case, &lpo_minus, profile, rounds, case.issue_id as u64, &detect_config,
+                store.map(|opts| (opts, minus_key.as_str())),
+            );
+            let plus = detect_with_lpo(
+                case, &lpo_plus, profile, rounds, case.issue_id as u64, &detect_config,
+                store.map(|opts| (opts, plus_key.as_str())),
+            );
+            tally.cache_hits += minus.cache_hits + plus.cache_hits;
+            tally.failed += minus.failed + plus.failed;
+            tally.resumed += minus.resumed + plus.resumed;
+            row.per_model.push((profile.name.to_string(), minus.detections, plus.detections));
         }
-        (row, hits)
+        (row, tally)
     });
-    let cache_hits = cells.iter().map(|(_, hits)| hits).sum();
+    let cache_hits = cells.iter().map(|(_, tally)| tally.cache_hits).sum();
+    let failed = cells.iter().map(|(_, tally)| tally.failed).sum();
+    let resumed = cells.iter().map(|(_, tally)| tally.resumed).sum();
     let rows = cells.into_iter().map(|(row, _)| row).collect();
     let mut tv = lpo_plus.tv_snapshot();
     tv.absorb(lpo_minus.tv_snapshot());
@@ -320,13 +414,28 @@ pub fn rq1_experiment(
         models: models.iter().map(|m| m.name.to_string()).collect(),
         tv,
         cache_hits,
+        failed,
+        resumed,
+        store: store.map(|opts| opts.store.stats().since(store_before)).unwrap_or_default(),
     }
 }
 
 /// Renders Table 2.
 pub fn table2(rounds: u64, models: &[ModelProfile], jobs: usize, shard_size: usize) -> TableRun {
+    table2_with_store(rounds, models, jobs, shard_size, None)
+}
+
+/// [`table2`] with an optional durable store (see
+/// [`rq1_experiment_with_store`]).
+pub fn table2_with_store(
+    rounds: u64,
+    models: &[ModelProfile],
+    jobs: usize,
+    shard_size: usize,
+    store: Option<&StoreOptions>,
+) -> TableRun {
     let start = Instant::now();
-    let result = rq1_experiment(rounds, models, jobs, shard_size);
+    let result = rq1_experiment_with_store(rounds, models, jobs, shard_size, store);
     let mut out = format!("Table 2: RQ1 detection of 25 previously reported missed optimizations ({rounds} rounds)\n");
     let _ = write!(out, "{:<10}", "Issue");
     for m in &result.models {
@@ -363,6 +472,9 @@ pub fn table2(rounds: u64, models: &[ModelProfile], jobs: usize, shard_size: usi
         jobs: resolve_jobs(jobs, result.rows.len()),
         cases: result.rows.len(),
         cache_hits: result.cache_hits,
+        failed: result.failed,
+        resumed: result.resumed,
+        store: result.store,
         wall: start.elapsed(),
         tv: result.tv,
     };
@@ -375,6 +487,10 @@ pub fn table2(rounds: u64, models: &[ModelProfile], jobs: usize, shard_size: usi
 pub struct Rq2Result {
     /// `(issue, status, souper_default, souper_enum, minotaur)` per case.
     pub rows: Vec<(u32, Status, bool, bool, bool)>,
+    /// Rows replayed from the checkpoint store (`--resume`).
+    pub resumed: usize,
+    /// Checkpoint-store traffic over the experiment.
+    pub store: StoreStats,
 }
 
 impl Rq2Result {
@@ -399,20 +515,73 @@ impl Rq2Result {
 /// Runs the RQ2 baseline-comparison experiment over the 62 found
 /// optimizations, one case per work item on `jobs` workers.
 pub fn rq2_experiment(jobs: usize) -> Rq2Result {
+    rq2_experiment_with_store(jobs, None)
+}
+
+/// [`rq2_experiment`] with optional per-case checkpointing: each completed
+/// row's baseline bits are recorded under the `table3` run key, and with
+/// [`StoreOptions::resume`] recorded rows skip the (expensive) baseline
+/// searches entirely.
+pub fn rq2_experiment_with_store(jobs: usize, store: Option<&StoreOptions>) -> Rq2Result {
     let suite = rq2_suite();
     let jobs = resolve_jobs(jobs, suite.len());
+    let store_before = store.map(|opts| opts.store.stats()).unwrap_or_default();
     let rows = parallel_map_ordered(&suite, jobs, |_, case| {
+        let key = format!("issue{}", case.issue_id);
+        if let Some(opts) = store.filter(|opts| opts.resume) {
+            if let Some((d, e, m)) =
+                opts.store.case("table3", &key).and_then(|blob| decode_baseline_bits(&blob))
+            {
+                return ((case.issue_id, case.status, d, e, m), true);
+            }
+        }
         let (souper_default, souper_enum) = souper_detects_shared(case);
         let minotaur = minotaur_detects(case);
-        (case.issue_id, case.status, souper_default, souper_enum, minotaur)
+        if let Some(opts) = store {
+            let blob = encode_baseline_bits(souper_default, souper_enum, minotaur);
+            opts.store.record_case("table3", &key, &blob);
+        }
+        ((case.issue_id, case.status, souper_default, souper_enum, minotaur), false)
     });
-    Rq2Result { rows }
+    let resumed = rows.iter().filter(|(_, resumed)| *resumed).count();
+    Rq2Result {
+        rows: rows.into_iter().map(|(row, _)| row).collect(),
+        resumed,
+        store: store.map(|opts| opts.store.stats().since(store_before)).unwrap_or_default(),
+    }
+}
+
+/// `(souper_default, souper_enum, minotaur)` → a three-bit checkpoint blob.
+fn encode_baseline_bits(d: bool, e: bool, m: bool) -> String {
+    [d, e, m].iter().map(|&bit| if bit { '1' } else { '0' }).collect()
+}
+
+/// Parses [`encode_baseline_bits`]; `None` (= recompute) on anything else.
+fn decode_baseline_bits(blob: &str) -> Option<(bool, bool, bool)> {
+    let bits: Vec<bool> = blob
+        .chars()
+        .map(|c| match c {
+            '0' => Some(false),
+            '1' => Some(true),
+            _ => None,
+        })
+        .collect::<Option<_>>()?;
+    match bits[..] {
+        [d, e, m] => Some((d, e, m)),
+        _ => None,
+    }
 }
 
 /// Renders Table 3.
 pub fn table3(jobs: usize) -> TableRun {
+    table3_with_store(jobs, None)
+}
+
+/// [`table3`] with optional per-case checkpointing (see
+/// [`rq2_experiment_with_store`]).
+pub fn table3_with_store(jobs: usize, store: Option<&StoreOptions>) -> TableRun {
     let start = Instant::now();
-    let result = rq2_experiment(jobs);
+    let result = rq2_experiment_with_store(jobs, store);
     let mut out = String::from("Table 3: the 62 missed optimizations found by LPO\n");
     let _ = writeln!(out, "{:<10} {:<14} {:>8} {:>8} {:>9}", "Issue", "Status", "SouperD", "SouperE", "Minotaur");
     for (issue, status, d, e, m) in &result.rows {
@@ -429,8 +598,15 @@ pub fn table3(jobs: usize) -> TableRun {
     let _ = writeln!(out, "\nStatus counts: {:?}", result.status_counts());
     let (d, e, m) = result.baseline_counts();
     let _ = writeln!(out, "Detected by Souper-Default: {d}, Souper-Enum: {e}, Minotaur: {m} (out of 62)");
-    let stats =
-        DriverStats::engineless(resolve_jobs(jobs, result.rows.len()), result.rows.len(), start.elapsed());
+    let stats = DriverStats {
+        resumed: result.resumed,
+        store: result.store,
+        ..DriverStats::engineless(
+            resolve_jobs(jobs, result.rows.len()),
+            result.rows.len(),
+            start.elapsed(),
+        )
+    };
     out.push_str(&stats.footer());
     TableRun { text: out, stats }
 }
@@ -457,8 +633,21 @@ pub struct ThroughputRow {
 /// engine and exercise its structural-hash dedup cache; the LPO rows and the
 /// Souper baselines all fan out over `jobs` workers.
 pub fn rq3_experiment(samples: usize, jobs: usize, shard_size: usize) -> (Vec<ThroughputRow>, DriverStats) {
+    rq3_experiment_with_store(samples, jobs, shard_size, None)
+}
+
+/// [`rq3_experiment`] with an optional durable store: each model profile's
+/// batch runs under its own `table4/…` run key, so a killed run resumes with
+/// the completed cases replayed from their checkpoints.
+pub fn rq3_experiment_with_store(
+    samples: usize,
+    jobs: usize,
+    shard_size: usize,
+    store: Option<&StoreOptions>,
+) -> (Vec<ThroughputRow>, DriverStats) {
     use lpo_extract::{ExtractConfig, Extractor};
     let start = Instant::now();
+    let store_before = store.map(|opts| opts.store.stats()).unwrap_or_default();
     let corpus = lpo_corpus::generate_corpus(&lpo_corpus::CorpusConfig {
         modules_per_project: 4,
         functions_per_module: 4,
@@ -479,19 +668,32 @@ pub fn rq3_experiment(samples: usize, jobs: usize, shard_size: usize) -> (Vec<Th
     }
 
     let mut cache_hits = 0;
+    let mut failed = 0;
+    let mut resumed = 0;
     let mut tv = TvSnapshot::default();
     let mut rows = Vec::new();
     // One pipeline for both model profiles: they verify candidates over the
     // same sequence list, so the second profile's probe survivors hit the
     // compiled-function cache the first profile populated.
-    let lpo = Lpo::new(LpoConfig::default());
+    let lpo = match store {
+        Some(opts) => Lpo::new(LpoConfig::default()).with_verdict_store(opts.store.clone()),
+        None => Lpo::new(LpoConfig::default()),
+    };
     let exec_config = ExecConfig { shard_size, ..ExecConfig::with_jobs(jobs) };
     for profile in [llama3_3(), gemini2_5()] {
         let factory = SimulatedModelFactory::new(profile.clone(), 0xbeef);
-        let batch = lpo.run_sequences(&factory, 0, &sequences, &exec_config);
+        let run_key = format!("table4/{}", profile.name);
+        let persist = store.map(|opts| Persist {
+            store: opts.store.as_ref(),
+            run_key: &run_key,
+            resume: opts.resume,
+        });
+        let batch = lpo.run_sequences_persisted(&factory, 0, &sequences, &exec_config, persist.as_ref());
         // Both model runs share one sequence list, so their hit counts are
         // equal — report the per-list count, not the sum over runs.
         cache_hits = batch.stats.cache_hits;
+        failed += batch.stats.failed_cases;
+        resumed += batch.stats.resumed_cases;
         tv.absorb(batch.stats.tv);
         rows.push(ThroughputRow {
             tool: format!("LPO ({})", profile.name),
@@ -527,6 +729,9 @@ pub fn rq3_experiment(samples: usize, jobs: usize, shard_size: usize) -> (Vec<Th
         jobs: resolve_jobs(jobs, sequences.len()),
         cases: sequences.len(),
         cache_hits,
+        failed,
+        resumed,
+        store: store.map(|opts| opts.store.stats().since(store_before)).unwrap_or_default(),
         wall: start.elapsed(),
         tv,
     };
@@ -535,7 +740,18 @@ pub fn rq3_experiment(samples: usize, jobs: usize, shard_size: usize) -> (Vec<Th
 
 /// Renders Table 4.
 pub fn table4(samples: usize, jobs: usize, shard_size: usize) -> TableRun {
-    let (rows, stats) = rq3_experiment(samples, jobs, shard_size);
+    table4_with_store(samples, jobs, shard_size, None)
+}
+
+/// [`table4`] with an optional durable store (see
+/// [`rq3_experiment_with_store`]).
+pub fn table4_with_store(
+    samples: usize,
+    jobs: usize,
+    shard_size: usize,
+    store: Option<&StoreOptions>,
+) -> TableRun {
+    let (rows, stats) = rq3_experiment_with_store(samples, jobs, shard_size, store);
     let mut out = format!("Table 4: throughput and cost over {} sampled instruction sequences\n", stats.cases);
     let _ = writeln!(out, "{:<20} {:>14} {:>10} {:>12}", "Tool", "Time/case (s)", "Timeouts", "Cost (USD)");
     for row in &rows {
@@ -567,6 +783,17 @@ pub struct PatchImpactRow {
 /// patched pipelines are timed on the same worker, so the relative
 /// compile-time delta stays an apples-to-apples comparison).
 pub fn table5_experiment(jobs: usize) -> Vec<PatchImpactRow> {
+    table5_experiment_with_store(jobs, None).0
+}
+
+/// [`table5_experiment`] with optional per-patch checkpointing under the
+/// `table5` run key; returns `(rows, resumed_rows)`. A replayed row carries
+/// the *recorded* compile-time delta (a measurement of the checkpointed run,
+/// not of this one) — prevalence counts are deterministic either way.
+pub fn table5_experiment_with_store(
+    jobs: usize,
+    store: Option<&StoreOptions>,
+) -> (Vec<PatchImpactRow>, usize) {
     let corpus = lpo_corpus::generate_corpus(&lpo_corpus::CorpusConfig {
         modules_per_project: 8,
         functions_per_module: 4,
@@ -575,14 +802,59 @@ pub fn table5_experiment(jobs: usize) -> Vec<PatchImpactRow> {
     });
     let patches = all_patches();
     let jobs = resolve_jobs(jobs, patches.len());
-    parallel_map_ordered(&patches, jobs, |_, &patch| {
+    let rows = parallel_map_ordered(&patches, jobs, |_, &patch| {
+        if let Some(opts) = store.filter(|opts| opts.resume) {
+            if let Some(row) =
+                opts.store.case("table5", patch.id).and_then(|blob| decode_patch_row(patch.id, &blob))
+            {
+                return (row, true);
+            }
+        }
+        let row = patch_impact(&corpus, patch);
+        if let Some(opts) = store {
+            opts.store.record_case("table5", patch.id, &encode_patch_row(&row));
+        }
+        (row, false)
+    });
+    let resumed = rows.iter().filter(|(_, resumed)| *resumed).count();
+    (rows.into_iter().map(|(row, _)| row).collect(), resumed)
+}
+
+/// Serializes one Table 5 row for checkpointing (delta exact via
+/// [`f64::to_bits`]).
+fn encode_patch_row(row: &PatchImpactRow) -> String {
+    format!(
+        "{}\t{}\t{:#018x}",
+        row.impacted_files,
+        row.impacted_projects,
+        row.compile_time_delta_pct.to_bits()
+    )
+}
+
+/// Parses [`encode_patch_row`]; `None` (= recompute) on anything malformed.
+fn decode_patch_row(id: &str, blob: &str) -> Option<PatchImpactRow> {
+    let mut fields = blob.split('\t');
+    let impacted_files = fields.next()?.parse::<usize>().ok()?;
+    let impacted_projects = fields.next()?.parse::<usize>().ok()?;
+    let delta_bits = u64::from_str_radix(fields.next()?.strip_prefix("0x")?, 16).ok()?;
+    fields.next().is_none().then(|| PatchImpactRow {
+        id: id.to_string(),
+        impacted_files,
+        impacted_projects,
+        compile_time_delta_pct: f64::from_bits(delta_bits),
+    })
+}
+
+/// Measures one patch's prevalence and compile-time impact over the corpus.
+fn patch_impact(corpus: &[lpo_corpus::Project], patch: lpo_opt::patches::Patch) -> PatchImpactRow {
+    {
         let base = Pipeline::new(OptLevel::O2);
         let patched = Pipeline::new(OptLevel::O2).with_patches(vec![patch]);
         let mut impacted_files = 0;
         let mut impacted_projects = 0;
         let mut base_time = Duration::ZERO;
         let mut patched_time = Duration::ZERO;
-        for project in &corpus {
+        for project in corpus {
             let mut project_hit = false;
             for module in &project.modules {
                 let mut m1 = module.clone();
@@ -614,13 +886,20 @@ pub fn table5_experiment(jobs: usize) -> Vec<PatchImpactRow> {
             impacted_projects,
             compile_time_delta_pct: delta,
         }
-    })
+    }
 }
 
 /// Renders Table 5.
 pub fn table5(jobs: usize) -> TableRun {
+    table5_with_store(jobs, None)
+}
+
+/// [`table5`] with optional per-patch checkpointing (see
+/// [`table5_experiment_with_store`]).
+pub fn table5_with_store(jobs: usize, store: Option<&StoreOptions>) -> TableRun {
     let start = Instant::now();
-    let rows = table5_experiment(jobs);
+    let store_before = store.map(|opts| opts.store.stats()).unwrap_or_default();
+    let (rows, resumed) = table5_experiment_with_store(jobs, store);
     let mut out = String::from("Table 5: prevalence and compile-time impact of the accepted patches\n");
     let _ = writeln!(out, "{:<14} {:>9} {:>10} {:>20}", "Patch", "#IR files", "#Projects", "d Compile time (%)");
     for row in &rows {
@@ -630,7 +909,11 @@ pub fn table5(jobs: usize) -> TableRun {
             row.id, row.impacted_files, row.impacted_projects, row.compile_time_delta_pct
         );
     }
-    let stats = DriverStats::engineless(resolve_jobs(jobs, rows.len()), rows.len(), start.elapsed());
+    let stats = DriverStats {
+        resumed,
+        store: store.map(|opts| opts.store.stats().since(store_before)).unwrap_or_default(),
+        ..DriverStats::engineless(resolve_jobs(jobs, rows.len()), rows.len(), start.elapsed())
+    };
     out.push_str(&stats.footer());
     TableRun { text: out, stats }
 }

@@ -287,6 +287,12 @@ pub struct TableEntry {
     pub cases_per_second: f64,
     /// Dedup-cache replays.
     pub cache_hits: usize,
+    /// Cases that ended `Failed` (session errors / contained panics). Zero on
+    /// every healthy run; nonzero values flag fault-injection or live-model
+    /// trouble in the recorded history.
+    pub failed: usize,
+    /// Unique cases replayed from a checkpoint store (`--resume`).
+    pub resumed: usize,
     /// Worker threads used.
     pub jobs: usize,
 }
@@ -299,6 +305,8 @@ impl TableEntry {
             ("cases".into(), Json::Num(self.cases as f64)),
             ("cases_per_second".into(), Json::Num(self.cases_per_second)),
             ("cache_hits".into(), Json::Num(self.cache_hits as f64)),
+            ("failed".into(), Json::Num(self.failed as f64)),
+            ("resumed".into(), Json::Num(self.resumed as f64)),
             ("jobs".into(), Json::Num(self.jobs as f64)),
         ])
     }
@@ -310,6 +318,9 @@ impl TableEntry {
             cases: value.get("cases")?.as_num()? as usize,
             cases_per_second: value.get("cases_per_second")?.as_num()?,
             cache_hits: value.get("cache_hits")?.as_num()? as usize,
+            // Absent in files written before failure accounting existed.
+            failed: value.get("failed").and_then(Json::as_num).unwrap_or(0.0) as usize,
+            resumed: value.get("resumed").and_then(Json::as_num).unwrap_or(0.0) as usize,
             jobs: value.get("jobs")?.as_num()? as usize,
         })
     }
@@ -834,6 +845,8 @@ mod tests {
             cases: 10,
             cases_per_second: cps,
             cache_hits: 0,
+            failed: 0,
+            resumed: 0,
             jobs: 1,
         }
     }

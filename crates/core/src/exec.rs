@@ -36,14 +36,18 @@
 //! [`CaseReport::fingerprint`](crate::report::CaseReport::fingerprint) for
 //! comparisons.
 
+use crate::persist::case_key;
 use crate::pipeline::{Lpo, TvSnapshot};
 use crate::report::{CaseReport, RunSummary};
 use crate::shard::{RuntimeSweepDriver, ShardRuntime};
 use lpo_ir::function::Function;
 use lpo_ir::hash::{hash_function, Digest};
 use lpo_llm::model::ModelFactory;
+use lpo_store::{StoreStats, VerdictStore};
 use lpo_tv::prelude::{input_count, EvalArena};
+use std::any::Any;
 use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
@@ -134,6 +138,16 @@ pub struct ExecStats {
     pub unique_cases: usize,
     /// Cases replayed from the dedup cache (`cases - unique_cases`).
     pub cache_hits: usize,
+    /// Cases (after dedup replay) that ended `Failed`: their model session
+    /// gave up with a typed error, or they panicked and the per-case
+    /// `catch_unwind` contained it. The failure texts live in the reports.
+    pub failed_cases: usize,
+    /// Unique cases replayed from a checkpoint store instead of computed
+    /// (`--resume`).
+    pub resumed_cases: usize,
+    /// Durable verdict/checkpoint store traffic during this batch (all zero
+    /// when no store is attached).
+    pub store: StoreStats,
     /// Real wall-clock time of the batch.
     pub wall_time: Duration,
     /// Stage 3 (translation validation) accounting for this batch: probe
@@ -289,6 +303,23 @@ pub struct BatchResult {
     pub stats: ExecStats,
 }
 
+/// Checkpointing context for a persisted batch run: the durable store, the
+/// run key that namespaces this run's case records, and whether records
+/// already present under that key should be replayed (`--resume`).
+#[derive(Clone, Copy, Debug)]
+pub struct Persist<'a> {
+    /// The durable store case checkpoints are written to / replayed from.
+    pub store: &'a VerdictStore,
+    /// Namespace for this run's case records — two runs that must not see
+    /// each other's checkpoints (different tables, different configurations)
+    /// use different keys.
+    pub run_key: &'a str,
+    /// Replay already-checkpointed cases instead of recomputing them. Off,
+    /// the batch recomputes (and re-records) everything; completed work is
+    /// still checkpointed either way, so a crashed run can be resumed.
+    pub resume: bool,
+}
+
 /// Fans `Lpo::optimize_sequence` out over `sequences`: the core of
 /// [`Lpo::run_sequences`](crate::Lpo::run_sequences).
 ///
@@ -305,44 +336,122 @@ pub fn run_batch(
     sequences: &[Function],
     config: &ExecConfig,
 ) -> BatchResult {
+    run_batch_persisted(lpo, factory, round, sequences, config, None)
+}
+
+/// [`run_batch`] with fault tolerance at the case boundary:
+///
+/// * every computed case runs under `catch_unwind`, so a panicking model
+///   session (or any bug confined to one case) yields a
+///   [`CaseOutcome::Failed`](crate::report::CaseOutcome::Failed) report
+///   instead of tearing down the batch — the other cases are unaffected,
+///   byte-for-byte;
+/// * with `persist` set, each completed non-`Failed` unique case is
+///   checkpointed into the store as it finishes (crash-safe: the store's
+///   records are atomic), and [`Persist::resume`] replays checkpointed
+///   cases instead of recomputing them. `Failed` cases are *not*
+///   checkpointed — a resumed run retries them.
+pub fn run_batch_persisted(
+    lpo: &Lpo,
+    factory: &dyn ModelFactory,
+    round: u64,
+    sequences: &[Function],
+    config: &ExecConfig,
+    persist: Option<&Persist<'_>>,
+) -> BatchResult {
     let start = Instant::now();
     let plan = DedupPlan::new(sequences, config.dedup);
     let shard_size = config.shard_size.max(1);
+    let store_before = persist.map(|p| p.store.stats()).unwrap_or_default();
+
+    // Resume: pull checkpointed reports for the unique cases before any
+    // worker starts, so scheduling never observes the store mid-flight.
+    let unique = plan.unique_indices();
+    let loaded: Vec<Option<CaseReport>> = unique
+        .iter()
+        .map(|&case_index| -> Option<CaseReport> {
+            let p = persist?;
+            if !p.resume {
+                return None;
+            }
+            let digest = hash_function(&sequences[case_index]).0;
+            let blob = p.store.case(p.run_key, &case_key(round, case_index, digest))?;
+            // A malformed blob is a miss: recompute, never trust it.
+            CaseReport::from_checkpoint_blob(&blob)
+        })
+        .collect();
+    let resumed_cases = loaded.iter().filter(|slot| slot.is_some()).count();
+
+    // Only the cases actually computed count as schedulable work.
+    let pending: Vec<usize> = unique
+        .iter()
+        .zip(&loaded)
+        .filter(|(_, loaded)| loaded.is_none())
+        .map(|(&case_index, _)| case_index)
+        .collect();
     let work = if config.shard_inputs {
-        shard_work_units(lpo, sequences, plan.unique_indices(), shard_size)
+        shard_work_units(lpo, sequences, &pending, shard_size)
     } else {
-        plan.unique_indices().len()
+        pending.len()
     };
     let jobs = config.effective_jobs(work);
     let tv_before = lpo.tv_snapshot();
+
+    // One computed case, fault-isolated: the session spawn and the whole
+    // optimize–verify loop run under `catch_unwind`, and the finished report
+    // is checkpointed before the slot is filled.
+    let run_case = |slot: usize, arena: &mut EvalArena, report_fn: &dyn Fn(&mut EvalArena) -> CaseReport| -> CaseReport {
+        if let Some(report) = &loaded[slot] {
+            return report.clone();
+        }
+        let case_start = Instant::now();
+        let report = match catch_unwind(AssertUnwindSafe(|| report_fn(arena))) {
+            Ok(report) => report,
+            Err(payload) => CaseReport::failed(
+                format!("case panicked: {}", panic_message(payload.as_ref())),
+                0,
+                case_start.elapsed(),
+            ),
+        };
+        if let Some(p) = persist {
+            if !report.outcome.is_failed() {
+                let case_index = unique[slot];
+                let digest = hash_function(&sequences[case_index]).0;
+                p.store.record_case(
+                    p.run_key,
+                    &case_key(round, case_index, digest),
+                    &report.checkpoint_blob(),
+                );
+            }
+        }
+        report
+    };
 
     // Each worker thread owns one reusable evaluation arena: the register
     // file behind every concrete evaluation that case's verification runs.
     let computed: Vec<CaseReport> = if config.shard_inputs {
         let runtime = ShardRuntime::new(jobs, lpo.shard_counters().clone());
         let driver = RuntimeSweepDriver::new(runtime.clone());
-        let unique = plan.unique_indices();
         runtime.run_cases(unique.len(), |slot, arena| {
-            let case_index = unique[slot];
-            let mut session = factory.session(round, case_index as u64);
-            lpo.optimize_sequence_sharded(
-                session.as_mut(),
-                &sequences[case_index],
-                arena,
-                &driver,
-                shard_size,
-            )
+            run_case(slot, arena, &|arena| {
+                let case_index = unique[slot];
+                let mut session = factory.session(round, case_index as u64);
+                lpo.optimize_sequence_sharded(
+                    session.as_mut(),
+                    &sequences[case_index],
+                    arena,
+                    &driver,
+                    shard_size,
+                )
+            })
         })
     } else {
-        parallel_map_ordered_with(
-            plan.unique_indices(),
-            jobs,
-            EvalArena::new,
-            |arena, _, &case_index| {
+        parallel_map_ordered_with(unique, jobs, EvalArena::new, |arena, slot, &case_index| {
+            run_case(slot, arena, &|arena| {
                 let mut session = factory.session(round, case_index as u64);
                 lpo.optimize_sequence_in(session.as_mut(), &sequences[case_index], arena)
-            },
-        )
+            })
+        })
     };
 
     // Replay: map each input index to its representative's report. The
@@ -359,10 +468,25 @@ pub fn run_batch(
         cases: sequences.len(),
         unique_cases: plan.unique_indices().len(),
         cache_hits: plan.cache_hits(),
+        failed_cases: summary.failed,
+        resumed_cases,
+        store: persist.map(|p| p.store.stats().since(store_before)).unwrap_or_default(),
         wall_time: start.elapsed(),
         tv: lpo.tv_snapshot().since(tv_before),
     };
     BatchResult { reports, summary, stats }
+}
+
+/// Renders a `catch_unwind` payload: the panic message when it is a string
+/// (the overwhelmingly common case), a placeholder otherwise.
+fn panic_message(payload: &(dyn Any + Send)) -> String {
+    if let Some(text) = payload.downcast_ref::<&str>() {
+        (*text).to_string()
+    } else if let Some(text) = payload.downcast_ref::<String>() {
+        text.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
 }
 
 #[cfg(test)]
@@ -537,6 +661,9 @@ mod tests {
             cases: 10,
             unique_cases: 8,
             cache_hits: 2,
+            failed_cases: 0,
+            resumed_cases: 0,
+            store: StoreStats::default(),
             wall_time: Duration::from_secs(2),
             tv: TvSnapshot::default(),
         };

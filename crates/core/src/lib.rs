@@ -33,21 +33,26 @@
 
 pub mod exec;
 pub mod interestingness;
+pub mod persist;
 pub mod pipeline;
 pub mod report;
 pub mod shard;
 
-pub use exec::{parallel_map_ordered, parallel_map_ordered_with, shard_work_units, BatchResult, DedupPlan, ExecConfig, ExecStats, DEFAULT_SHARD_SIZE};
+pub use exec::{parallel_map_ordered, parallel_map_ordered_with, shard_work_units, BatchResult, DedupPlan, ExecConfig, ExecStats, Persist, DEFAULT_SHARD_SIZE};
 pub use interestingness::{is_interesting, InterestVerdict};
+pub use persist::{case_key, store_version, PIPELINE_REVISION};
 pub use pipeline::{Lpo, LpoConfig, TvSnapshot};
 pub use report::{CaseOutcome, CaseReport, RunSummary};
 pub use shard::{RuntimeSweepDriver, ShardCounters, ShardRuntime, ShardSlot, ShardStats};
+pub use lpo_store::{StoreError, StoreStats, VerdictStore};
 
 /// Commonly used items, re-exported for convenience.
 pub mod prelude {
-    pub use crate::exec::{parallel_map_ordered, parallel_map_ordered_with, shard_work_units, BatchResult, DedupPlan, ExecConfig, ExecStats, DEFAULT_SHARD_SIZE};
+    pub use crate::exec::{parallel_map_ordered, parallel_map_ordered_with, shard_work_units, BatchResult, DedupPlan, ExecConfig, ExecStats, Persist, DEFAULT_SHARD_SIZE};
     pub use crate::interestingness::{is_interesting, InterestVerdict};
+    pub use crate::persist::{case_key, store_version, PIPELINE_REVISION};
     pub use crate::pipeline::{Lpo, LpoConfig, TvSnapshot};
     pub use crate::report::{CaseOutcome, CaseReport, RunSummary};
     pub use crate::shard::{RuntimeSweepDriver, ShardCounters, ShardRuntime, ShardSlot, ShardStats};
+    pub use lpo_store::{StoreError, StoreStats, VerdictStore};
 }

@@ -1,0 +1,169 @@
+//! Persistence glue between the pipeline and the durable
+//! [`lpo_store::VerdictStore`]: version strings, verdict serialization, and
+//! checkpoint keys.
+//!
+//! The store itself is content-agnostic (it moves opaque blobs); this module
+//! owns the two blob formats —
+//! [`lpo_tv::refine::Verdict`] records for the verified-once-ever
+//! cache, and [`CaseReport`](crate::report::CaseReport) checkpoint records
+//! (see [`CaseReport::checkpoint_blob`](crate::report::CaseReport::checkpoint_blob))
+//! for `--resume` — plus the versioning that keeps stale records from ever
+//! being replayed.
+//!
+//! # Versioning
+//!
+//! A stored verdict is replayed only under the exact
+//! `(pipeline revision, model profile)` it was recorded under:
+//!
+//! * [`PIPELINE_REVISION`] must be bumped by any change that can alter a
+//!   Stage-3 verdict or a case report (verifier semantics, input generation,
+//!   canonicalization, prompt construction, ...). Old records then simply
+//!   stop matching — they are never migrated, never trusted.
+//! * the model profile is part of the key so one store file can serve
+//!   many-model experiments without cross-talk. Verdicts are in principle
+//!   model-independent (they relate a source/candidate digest pair), but
+//!   sharing them across profiles buys little and versioning them per
+//!   profile keeps the replay path trivially byte-identical per run key.
+//!
+//! # Determinism
+//!
+//! Every blob round-trips exactly: a replayed verdict reproduces the same
+//! `Verdict` value (including the full counterexample text fed back to the
+//! model), so a run with a warm store is byte-identical to a cold one —
+//! `tests/determinism.rs` pins this.
+
+use lpo_tv::refine::{Counterexample, Verdict};
+
+/// The pipeline revision stamped into every store record. Bump on any change
+/// that can alter a verdict or case report (see the module docs).
+pub const PIPELINE_REVISION: u32 = 1;
+
+/// The version string store records carry: pipeline revision + model profile.
+pub fn store_version(model_profile: &str) -> String {
+    format!("r{PIPELINE_REVISION}/{model_profile}")
+}
+
+/// The store key of one case inside one run: round, input position, and the
+/// input's structural digest (so a changed input misses instead of replaying
+/// a stale report).
+pub fn case_key(round: u64, case_index: usize, digest: u64) -> String {
+    format!("round{round}/case{case_index}/{digest:016x}")
+}
+
+/// Unit separator between verdict-blob fields. The joined fields are all
+/// text this codebase renders itself (reasons, behaviour descriptions) and
+/// never contain control characters; a blob that fails to parse is treated
+/// as a miss, never trusted.
+const SEP: char = '\x1f';
+
+/// Serializes a [`Verdict`] into a store blob.
+pub fn encode_verdict(verdict: &Verdict) -> String {
+    match verdict {
+        Verdict::Correct { inputs_checked, exhaustive } => {
+            format!("correct{SEP}{inputs_checked}{SEP}{exhaustive}")
+        }
+        Verdict::Incorrect(cex) => {
+            let mut blob = format!(
+                "incorrect{SEP}{}{SEP}{}{SEP}{}",
+                cex.reason, cex.src_behaviour, cex.tgt_behaviour
+            );
+            for (name, value) in &cex.args {
+                blob.push(SEP);
+                blob.push_str(name);
+                blob.push(SEP);
+                blob.push_str(value);
+            }
+            blob
+        }
+        Verdict::Error(message) => format!("error{SEP}{message}"),
+    }
+}
+
+/// Parses a blob produced by [`encode_verdict`]. `None` = malformed; the
+/// caller recomputes.
+pub fn decode_verdict(blob: &str) -> Option<Verdict> {
+    let mut fields = blob.split(SEP);
+    match fields.next()? {
+        "correct" => {
+            let inputs_checked = fields.next()?.parse::<usize>().ok()?;
+            let exhaustive = fields.next()?.parse::<bool>().ok()?;
+            fields
+                .next()
+                .is_none()
+                .then_some(Verdict::Correct { inputs_checked, exhaustive })
+        }
+        "incorrect" => {
+            let reason = fields.next()?.to_string();
+            let src_behaviour = fields.next()?.to_string();
+            let tgt_behaviour = fields.next()?.to_string();
+            let rest: Vec<&str> = fields.collect();
+            if !rest.len().is_multiple_of(2) {
+                return None;
+            }
+            let args = rest
+                .chunks(2)
+                .map(|pair| (pair[0].to_string(), pair[1].to_string()))
+                .collect();
+            Some(Verdict::Incorrect(Counterexample {
+                reason,
+                args,
+                src_behaviour,
+                tgt_behaviour,
+            }))
+        }
+        "error" => {
+            let message = fields.next()?.to_string();
+            fields.next().is_none().then_some(Verdict::Error(message))
+        }
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn verdict_blobs_round_trip() {
+        let verdicts = [
+            Verdict::Correct { inputs_checked: 10752, exhaustive: false },
+            Verdict::Correct { inputs_checked: 65536, exhaustive: true },
+            Verdict::Error("signature mismatch: i8 vs i32".to_string()),
+            Verdict::Incorrect(Counterexample {
+                reason: "Value mismatch".to_string(),
+                args: vec![
+                    ("%x".to_string(), "i32 7".to_string()),
+                    ("%y".to_string(), "i32 poison".to_string()),
+                ],
+                src_behaviour: "returns i8 3".to_string(),
+                tgt_behaviour: "returns i8 5".to_string(),
+            }),
+            Verdict::Incorrect(Counterexample {
+                reason: "Target is more poisonous than source".to_string(),
+                args: Vec::new(),
+                src_behaviour: "UB".to_string(),
+                tgt_behaviour: "poison".to_string(),
+            }),
+        ];
+        for verdict in verdicts {
+            let blob = encode_verdict(&verdict);
+            assert_eq!(decode_verdict(&blob).as_ref(), Some(&verdict), "blob: {blob:?}");
+        }
+    }
+
+    #[test]
+    fn malformed_blobs_are_misses() {
+        for blob in ["", "corrupt", "correct\u{1f}x\u{1f}true", "correct\u{1f}5", "incorrect\u{1f}a"] {
+            assert_eq!(decode_verdict(blob), None, "blob: {blob:?}");
+        }
+    }
+
+    #[test]
+    fn versioning_covers_revision_and_profile() {
+        let v = store_version("Gemini2.0T");
+        assert!(v.starts_with(&format!("r{PIPELINE_REVISION}/")));
+        assert!(v.ends_with("Gemini2.0T"));
+        assert_ne!(store_version("A"), store_version("B"));
+        assert_eq!(case_key(2, 17, 0xabcd), "round2/case17/000000000000abcd");
+    }
+}

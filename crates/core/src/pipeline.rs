@@ -7,17 +7,20 @@
 //! [`lpo_opt::pipeline::optimize_function`] — no per-candidate re-printing.
 
 use crate::interestingness::SourceCost;
+use crate::persist::{decode_verdict, encode_verdict, store_version};
 use crate::report::{CaseOutcome, CaseReport, RunSummary};
 use lpo_extract::{ExtractConfig, ExtractedSequence, Extractor};
 use lpo_ir::function::Function;
+use lpo_ir::hash::hash_function;
 use lpo_ir::module::Module;
 use lpo_ir::parser::parse_function;
 use lpo_ir::printer::print_function;
 use lpo_llm::model::{ModelFactory, ModelSession, Prompt};
 use lpo_mca::Target;
 use lpo_opt::pipeline::{optimize_function, OptLevel, Pipeline};
-use crate::exec::{run_batch, BatchResult, ExecConfig, ExecStats};
+use crate::exec::{run_batch, run_batch_persisted, BatchResult, ExecConfig, ExecStats, Persist};
 use crate::shard::ShardCounters;
+use lpo_store::VerdictStore;
 use lpo_tv::frozen::SweepDriver;
 use lpo_tv::prelude::EvalArena;
 use lpo_tv::refine::{CompileCache, SourceCache, TvConfig, Verdict};
@@ -71,6 +74,26 @@ struct TvCounters {
     probe_rejects: AtomicUsize,
     survivors: AtomicUsize,
     plane_sweeps: AtomicUsize,
+}
+
+/// Drop guard that folds one case's [`SourceCache`] accounting into the
+/// pipeline-wide [`TvCounters`]. Running on `Drop` — not as straight-line
+/// code after the attempt loop — is what keeps the counters complete when a
+/// case unwinds mid-batch (a panicking model session contained by the
+/// engine's per-case `catch_unwind`): the partially-checked candidates are
+/// still counted instead of silently dropped.
+struct AbsorbTvCounters<'a, 'b> {
+    counters: &'a TvCounters,
+    case: &'a SourceCache<'b>,
+}
+
+impl Drop for AbsorbTvCounters<'_, '_> {
+    fn drop(&mut self) {
+        self.counters.candidates.fetch_add(self.case.candidates_checked(), Ordering::Relaxed);
+        self.counters.probe_rejects.fetch_add(self.case.probe_rejects(), Ordering::Relaxed);
+        self.counters.survivors.fetch_add(self.case.survivors(), Ordering::Relaxed);
+        self.counters.plane_sweeps.fetch_add(self.case.plane_sweeps(), Ordering::Relaxed);
+    }
 }
 
 /// A snapshot of Stage 3 (translation validation) accounting: how the
@@ -152,6 +175,10 @@ pub struct Lpo {
     tv_cache: Arc<CompileCache>,
     tv_counters: Arc<TvCounters>,
     shard_counters: Arc<ShardCounters>,
+    /// Durable verdict store, when attached: Stage-3 verdicts are replayed
+    /// from it (keyed by source/candidate digests, versioned by pipeline
+    /// revision + model profile) and fresh verdicts are recorded into it.
+    store: Option<Arc<VerdictStore>>,
 }
 
 impl Default for Lpo {
@@ -170,7 +197,25 @@ impl Lpo {
             tv_cache: Arc::new(CompileCache::new()),
             tv_counters: Arc::new(TvCounters::default()),
             shard_counters: Arc::new(ShardCounters::new()),
+            store: None,
         }
+    }
+
+    /// Attaches a durable [`VerdictStore`]: every Stage-3 verdict this
+    /// pipeline computes is recorded, and a candidate whose verdict is
+    /// already stored (same digests, same pipeline revision, same model
+    /// profile) replays it without re-sweeping. Replayed verdicts are
+    /// byte-identical to fresh ones — including counterexample feedback —
+    /// so results do not depend on the store being warm, cold, or absent
+    /// (`tests/determinism.rs` pins this).
+    pub fn with_verdict_store(mut self, store: Arc<VerdictStore>) -> Self {
+        self.store = Some(store);
+        self
+    }
+
+    /// The attached verdict store, if any.
+    pub fn verdict_store(&self) -> Option<&Arc<VerdictStore>> {
+        self.store.as_ref()
     }
 
     /// The active configuration.
@@ -288,10 +333,31 @@ impl Lpo {
         // this pipeline (any case, any worker, any batch) compiles once.
         let tv_case =
             SourceCache::new(source, self.config.tv.clone()).with_compile_cache(&self.tv_cache);
+        // Absorb the case's TV accounting into the pipeline-wide counters on
+        // every exit path — normal returns, early `break`s, and unwinds from
+        // a panicking model session (the engine's per-case `catch_unwind`
+        // catches those *outside* this frame, so only a drop guard runs).
+        let _absorb = AbsorbTvCounters { counters: &self.tv_counters, case: &tv_case };
+        // With a store attached: verdicts replay by (version, source digest,
+        // candidate digest). The version pins pipeline revision + model
+        // profile, so records from older code or other models never match.
+        let store = self
+            .store
+            .as_deref()
+            .map(|store| (store, store_version(model.name()), hash_function(source).0));
 
         while attempts < self.config.attempt_limit {
             attempts += 1;
-            let completion = model.propose(&prompt);
+            let completion = match model.try_propose(&prompt) {
+                Ok(completion) => completion,
+                Err(fault) => {
+                    // The session's failure model gave up on this case (its
+                    // retry budget is inside `try_propose`). Fail the case,
+                    // keep the run alive.
+                    last_outcome = CaseOutcome::Failed { error: fault.to_string() };
+                    break;
+                }
+            };
             modeled += completion.latency + self.config.verification_overhead;
             cost += completion.cost_usd;
 
@@ -321,12 +387,38 @@ impl Lpo {
                 break;
             }
 
-            // Step ⑤: correctness via translation validation.
-            let verdict = match sharding {
+            // Step ⑤: correctness via translation validation — replayed from
+            // the verdict store when it already holds this (source, candidate)
+            // pair under the current version, recorded into it when not.
+            // Stored verdicts round-trip exactly (counterexamples included),
+            // so the feedback loop below cannot tell a replay from a sweep.
+            let verify = |arena: &mut EvalArena| match sharding {
                 Some((driver, shard_size)) => {
                     tv_case.verify_with_driver(&candidate, arena, driver, shard_size)
                 }
                 None => tv_case.verify_with(&candidate, arena),
+            };
+            let verdict = match &store {
+                Some((store, version, src_digest)) => {
+                    let tgt_digest = hash_function(&candidate).0;
+                    match store
+                        .verdict(version, *src_digest, tgt_digest)
+                        .and_then(|blob| decode_verdict(&blob))
+                    {
+                        Some(stored) => stored,
+                        None => {
+                            let fresh = verify(arena);
+                            store.record_verdict(
+                                version,
+                                *src_digest,
+                                tgt_digest,
+                                &encode_verdict(&fresh),
+                            );
+                            fresh
+                        }
+                    }
+                }
+                None => verify(arena),
             };
             match verdict {
                 Verdict::Correct { .. } => {
@@ -352,11 +444,6 @@ impl Lpo {
             }
         }
 
-        self.tv_counters.candidates.fetch_add(tv_case.candidates_checked(), Ordering::Relaxed);
-        self.tv_counters.probe_rejects.fetch_add(tv_case.probe_rejects(), Ordering::Relaxed);
-        self.tv_counters.survivors.fetch_add(tv_case.survivors(), Ordering::Relaxed);
-        self.tv_counters.plane_sweeps.fetch_add(tv_case.plane_sweeps(), Ordering::Relaxed);
-
         CaseReport {
             outcome: last_outcome,
             attempts,
@@ -381,6 +468,22 @@ impl Lpo {
         exec: &ExecConfig,
     ) -> BatchResult {
         run_batch(self, factory, round, sequences, exec)
+    }
+
+    /// [`run_sequences`](Self::run_sequences) with checkpoint/resume: every
+    /// completed case is recorded into `persist.store` under
+    /// `(run key, round, case index, input digest)`, and with
+    /// [`Persist::resume`] set, already-recorded cases replay their
+    /// checkpointed report instead of recomputing (see [`crate::exec`]).
+    pub fn run_sequences_persisted(
+        &self,
+        factory: &dyn ModelFactory,
+        round: u64,
+        sequences: &[Function],
+        exec: &ExecConfig,
+        persist: Option<&Persist<'_>>,
+    ) -> BatchResult {
+        run_batch_persisted(self, factory, round, sequences, exec, persist)
     }
 
     /// Serial-compatible wrapper: runs a batch through one shared session,

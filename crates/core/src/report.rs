@@ -17,12 +17,26 @@ pub enum CaseOutcome {
     Rejected,
     /// Every attempt failed to parse / verify syntactically.
     SyntaxError,
+    /// The case did not complete: its model session failed (typed
+    /// [`SessionError`](lpo_llm::model::SessionError)) or the case panicked
+    /// and was contained by the engine's per-case `catch_unwind`. The run
+    /// carries on; the error text says why this case did not.
+    Failed {
+        /// Rendering of the session error or panic payload.
+        error: String,
+    },
 }
 
 impl CaseOutcome {
     /// Returns `true` when a potential missed optimization was recorded.
     pub fn is_found(&self) -> bool {
         matches!(self, CaseOutcome::Found { .. })
+    }
+
+    /// Returns `true` when the case failed (session error or contained
+    /// panic) rather than completing with a verdict.
+    pub fn is_failed(&self) -> bool {
+        matches!(self, CaseOutcome::Failed { .. })
     }
 }
 
@@ -58,6 +72,7 @@ impl CaseReport {
             CaseOutcome::NotInteresting => "not-interesting".to_string(),
             CaseOutcome::Rejected => "rejected".to_string(),
             CaseOutcome::SyntaxError => "syntax-error".to_string(),
+            CaseOutcome::Failed { error } => format!("failed:{error}"),
         };
         format!(
             "outcome={outcome};attempts={};modeled_ns={};cost_bits={:#018x}",
@@ -65,6 +80,69 @@ impl CaseReport {
             self.modeled_time.as_nanos(),
             self.cost_usd.to_bits()
         )
+    }
+
+    /// A `Failed` report for a case that did not complete.
+    pub fn failed(error: String, attempts: usize, wall_time: Duration) -> Self {
+        Self {
+            outcome: CaseOutcome::Failed { error },
+            attempts,
+            wall_time,
+            modeled_time: Duration::ZERO,
+            cost_usd: 0.0,
+        }
+    }
+
+    /// Serializes every deterministic field into the blob format the
+    /// checkpoint store persists.
+    /// [`from_checkpoint_blob`](Self::from_checkpoint_blob) round-trips it;
+    /// `wall_time` is not persisted (a replayed case did no work).
+    pub fn checkpoint_blob(&self) -> String {
+        let (kind, detail) = match &self.outcome {
+            CaseOutcome::Found { candidate } => {
+                ("found", lpo_ir::printer::print_function(candidate))
+            }
+            CaseOutcome::NotInteresting => ("not-interesting", String::new()),
+            CaseOutcome::Rejected => ("rejected", String::new()),
+            CaseOutcome::SyntaxError => ("syntax-error", String::new()),
+            CaseOutcome::Failed { error } => ("failed", error.clone()),
+        };
+        format!(
+            "attempts={}\nmodeled_ns={}\ncost_bits={:#018x}\noutcome={kind}\n{detail}",
+            self.attempts,
+            self.modeled_time.as_nanos(),
+            self.cost_usd.to_bits(),
+        )
+    }
+
+    /// Parses a [`checkpoint_blob`](Self::checkpoint_blob). Returns `None`
+    /// for any malformed blob — callers treat that as a cache miss and
+    /// recompute, never trusting a corrupt record.
+    pub fn from_checkpoint_blob(blob: &str) -> Option<Self> {
+        let mut lines = blob.splitn(5, '\n');
+        let attempts = lines.next()?.strip_prefix("attempts=")?.parse::<usize>().ok()?;
+        let modeled_ns = lines.next()?.strip_prefix("modeled_ns=")?.parse::<u64>().ok()?;
+        let cost_hex = lines.next()?.strip_prefix("cost_bits=")?.strip_prefix("0x")?;
+        let cost_usd = f64::from_bits(u64::from_str_radix(cost_hex, 16).ok()?);
+        let kind = lines.next()?.strip_prefix("outcome=")?;
+        let detail = lines.next().unwrap_or("");
+        let outcome = match kind {
+            "found" => CaseOutcome::Found {
+                candidate: lpo_ir::parser::parse_function(detail).ok()?,
+            },
+            "not-interesting" => CaseOutcome::NotInteresting,
+            "rejected" => CaseOutcome::Rejected,
+            "syntax-error" => CaseOutcome::SyntaxError,
+            "failed" => CaseOutcome::Failed { error: detail.to_string() },
+            _ => return None,
+        };
+        Some(Self {
+            outcome,
+            attempts,
+            wall_time: Duration::ZERO,
+            modeled_time: Duration::from_nanos(modeled_ns),
+            cost_usd,
+        })
     }
 }
 
@@ -81,6 +159,9 @@ pub struct RunSummary {
     pub rejected: usize,
     /// Number that never parsed.
     pub syntax_errors: usize,
+    /// Number that failed (session error or contained panic) instead of
+    /// completing.
+    pub failed: usize,
     /// Sum of modelled per-case times.
     pub total_modeled_time: Duration,
     /// Sum of modelled per-case costs.
@@ -96,6 +177,7 @@ impl RunSummary {
             CaseOutcome::NotInteresting => self.not_interesting += 1,
             CaseOutcome::Rejected => self.rejected += 1,
             CaseOutcome::SyntaxError => self.syntax_errors += 1,
+            CaseOutcome::Failed { .. } => self.failed += 1,
         }
         self.total_modeled_time += report.modeled_time;
         self.total_cost_usd += report.cost_usd;
@@ -123,12 +205,13 @@ impl RunSummary {
     /// aggregate counterpart of [`CaseReport::fingerprint`].
     pub fn fingerprint(&self) -> String {
         format!(
-            "cases={};found={};not_interesting={};rejected={};syntax_errors={};modeled_ns={};cost_bits={:#018x}",
+            "cases={};found={};not_interesting={};rejected={};syntax_errors={};failed={};modeled_ns={};cost_bits={:#018x}",
             self.cases,
             self.found,
             self.not_interesting,
             self.rejected,
             self.syntax_errors,
+            self.failed,
             self.total_modeled_time.as_nanos(),
             self.total_cost_usd.to_bits()
         )

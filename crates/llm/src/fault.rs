@@ -1,0 +1,541 @@
+//! The failure model for model sessions: a retry/deadline policy wrapper and
+//! a fault-injecting decorator.
+//!
+//! Real LLM transports fail partially and nondeterministically — calls hang,
+//! backends 5xx, models emit garbage, client code panics. This module gives
+//! the reproduction both halves of that story:
+//!
+//! * [`FaultPolicy`] / [`FaultPolicyFactory`] wrap any [`ModelFactory`] with
+//!   a per-call deadline, bounded retries and deterministic *seeded* backoff
+//!   (never wall-clock randomness — runs must stay reproducible), surfacing
+//!   a typed [`SessionError`] when the budget is exhausted;
+//! * [`FaultyModelFactory`] decorates a factory with seeded injection of
+//!   timeouts, garbage output, backend errors and panics at configurable
+//!   [`FaultRates`] — the chaos half that `tests/fault_injection.rs` and the
+//!   CI `chaos-smoke` job drive to prove the engine degrades gracefully.
+//!
+//! # Determinism contract
+//!
+//! Every decision both wrappers make is a pure function of their seed and
+//! `(round, case_index)`: which calls fault, what the backoff costs, what the
+//! garbage text is. Two runs with the same seeds fault identically at any
+//! `--jobs` / `--shard-size`, and cases that drew no fault produce reports
+//! byte-identical to an entirely fault-free run. Backoff is *modelled* (it
+//! feeds the completion's latency accounting) rather than slept — the same
+//! treatment the simulated models give inference latency.
+
+use crate::model::{Completion, ModelFactory, ModelSession, Prompt, SessionError, TokenUsage};
+use crate::profiles::ModelProfile;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeSet;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// Mixes `(seed, round, case_index)` into one session seed.
+fn session_seed(seed: u64, round: u64, case_index: u64) -> u64 {
+    seed ^ round.wrapping_mul(0xa24b_aed4_963e_e407)
+        ^ case_index.wrapping_mul(0x9e37_79b9_7f4a_7c15)
+}
+
+// ---------------------------------------------------------------------------
+// FaultPolicy: deadline + bounded retries + deterministic backoff
+// ---------------------------------------------------------------------------
+
+/// How a [`FaultPolicyFactory`] session treats failures of the session it
+/// wraps.
+#[derive(Clone, Copy, Debug)]
+pub struct FaultPolicy {
+    /// Per-call deadline on the *modelled* latency: a completion slower than
+    /// this counts as a timeout (retryable), mirroring a client-side request
+    /// deadline.
+    pub deadline: Duration,
+    /// Retries allowed after the first call (`0` = fail fast).
+    pub max_retries: u32,
+    /// Base of the exponential backoff charged (to modelled latency) before
+    /// retry `n`: `backoff_base * 2^(n-1)`, jittered.
+    pub backoff_base: Duration,
+    /// Seed of the backoff jitter. Deterministic by design: the jitter for
+    /// retry `n` of case `c` in round `r` depends only on `(seed, r, c, n)`.
+    pub seed: u64,
+}
+
+impl Default for FaultPolicy {
+    fn default() -> Self {
+        Self {
+            deadline: Duration::from_secs(120),
+            max_retries: 2,
+            backoff_base: Duration::from_millis(250),
+            seed: 0x5eed_bac0_ff5e_e7e5,
+        }
+    }
+}
+
+/// Counters a [`FaultPolicyFactory`] accumulates across all its sessions.
+#[derive(Debug, Default)]
+pub struct PolicyCounters {
+    timeouts: AtomicUsize,
+    backend_errors: AtomicUsize,
+    retries: AtomicUsize,
+    exhausted: AtomicUsize,
+}
+
+/// A copyable snapshot of [`PolicyCounters`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PolicySnapshot {
+    /// Calls that exceeded the deadline (or surfaced `Timeout` themselves).
+    pub timeouts: usize,
+    /// Calls that surfaced a backend error.
+    pub backend_errors: usize,
+    /// Retries performed.
+    pub retries: usize,
+    /// Sessions whose whole retry budget failed.
+    pub exhausted: usize,
+}
+
+impl PolicyCounters {
+    fn snapshot(&self) -> PolicySnapshot {
+        PolicySnapshot {
+            timeouts: self.timeouts.load(Ordering::Relaxed),
+            backend_errors: self.backend_errors.load(Ordering::Relaxed),
+            retries: self.retries.load(Ordering::Relaxed),
+            exhausted: self.exhausted.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Wraps a [`ModelFactory`] so every spawned session enforces a
+/// [`FaultPolicy`]. Composes outside a [`FaultyModelFactory`] to retry its
+/// injected (retryable) faults.
+pub struct FaultPolicyFactory<F> {
+    inner: F,
+    policy: FaultPolicy,
+    counters: Arc<PolicyCounters>,
+}
+
+impl<F: ModelFactory> FaultPolicyFactory<F> {
+    /// Decorates `inner` with `policy`.
+    pub fn new(inner: F, policy: FaultPolicy) -> Self {
+        Self { inner, policy, counters: Arc::new(PolicyCounters::default()) }
+    }
+
+    /// Failure accounting across every session spawned so far.
+    pub fn counters(&self) -> PolicySnapshot {
+        self.counters.snapshot()
+    }
+}
+
+impl<F: ModelFactory> ModelFactory for FaultPolicyFactory<F> {
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+
+    fn profile(&self) -> Option<&ModelProfile> {
+        self.inner.profile()
+    }
+
+    fn session(&self, round: u64, case_index: u64) -> Box<dyn ModelSession> {
+        Box::new(PolicySession {
+            inner: self.inner.session(round, case_index),
+            policy: self.policy,
+            rng: StdRng::seed_from_u64(session_seed(self.policy.seed, round, case_index)),
+            counters: self.counters.clone(),
+        })
+    }
+}
+
+/// The per-case session a [`FaultPolicyFactory`] spawns.
+pub struct PolicySession {
+    inner: Box<dyn ModelSession>,
+    policy: FaultPolicy,
+    rng: StdRng,
+    counters: Arc<PolicyCounters>,
+}
+
+impl PolicySession {
+    /// The jittered exponential backoff charged before retry `n` (1-based).
+    fn backoff(&mut self, retry: u32) -> Duration {
+        let exp = 1u32 << (retry - 1).min(16);
+        let jitter: f64 = self.rng.gen();
+        Duration::from_secs_f64(self.policy.backoff_base.as_secs_f64() * exp as f64 * (1.0 + jitter))
+    }
+}
+
+impl ModelSession for PolicySession {
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+
+    /// Infallible entry point; panics when the policy exhausts its retries.
+    /// The pipeline drives sessions through
+    /// [`try_propose`](ModelSession::try_propose) instead, and the execution
+    /// engine's per-case `catch_unwind` contains this panic if something else
+    /// calls it.
+    fn propose(&mut self, prompt: &Prompt) -> Completion {
+        match self.try_propose(prompt) {
+            Ok(completion) => completion,
+            Err(error) => panic!("PolicySession::propose: {error}"),
+        }
+    }
+
+    fn try_propose(&mut self, prompt: &Prompt) -> Result<Completion, SessionError> {
+        let attempts = 1 + self.policy.max_retries;
+        // Modelled time spent waiting between retries; charged to the
+        // successful completion's latency so cost accounting stays honest.
+        let mut penalty = Duration::ZERO;
+        let mut last: Option<SessionError> = None;
+        for attempt in 0..attempts {
+            if attempt > 0 {
+                self.counters.retries.fetch_add(1, Ordering::Relaxed);
+                penalty += self.backoff(attempt);
+            }
+            match self.inner.try_propose(prompt) {
+                Ok(mut completion) => {
+                    if completion.latency > self.policy.deadline {
+                        self.counters.timeouts.fetch_add(1, Ordering::Relaxed);
+                        last = Some(SessionError::Timeout { elapsed: completion.latency });
+                        continue;
+                    }
+                    completion.latency += penalty;
+                    return Ok(completion);
+                }
+                Err(error) => {
+                    match &error {
+                        SessionError::Timeout { .. } => {
+                            self.counters.timeouts.fetch_add(1, Ordering::Relaxed)
+                        }
+                        _ => self.counters.backend_errors.fetch_add(1, Ordering::Relaxed),
+                    };
+                    last = Some(error);
+                }
+            }
+        }
+        self.counters.exhausted.fetch_add(1, Ordering::Relaxed);
+        let last = last.map(|e| e.to_string()).unwrap_or_else(|| "no attempt ran".to_string());
+        Err(SessionError::RetriesExhausted { attempts, last })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// FaultyModelFactory: seeded chaos injection
+// ---------------------------------------------------------------------------
+
+/// Per-call fault probabilities of a [`FaultyModelFactory`]. Independent
+/// rates; their sum is the total per-call fault probability (keep it < 1).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FaultRates {
+    /// Probability the call times out ([`SessionError::Timeout`]).
+    pub timeout: f64,
+    /// Probability the call returns unparseable garbage text.
+    pub garbage: f64,
+    /// Probability the call fails with a backend error
+    /// ([`SessionError::Backend`]).
+    pub error: f64,
+    /// Probability the call panics (exercising the engine's per-case
+    /// `catch_unwind`).
+    pub panic: f64,
+}
+
+impl FaultRates {
+    /// An even split of `total` across the four fault kinds.
+    pub fn uniform(total: f64) -> Self {
+        let quarter = total / 4.0;
+        Self { timeout: quarter, garbage: quarter, error: quarter, panic: quarter }
+    }
+
+    /// The total per-call fault probability.
+    pub fn total(&self) -> f64 {
+        self.timeout + self.garbage + self.error + self.panic
+    }
+}
+
+/// Counters of faults actually injected.
+#[derive(Debug, Default)]
+struct FaultCounters {
+    timeouts: AtomicUsize,
+    garbage: AtomicUsize,
+    errors: AtomicUsize,
+    panics: AtomicUsize,
+}
+
+/// A copyable snapshot of the faults a [`FaultyModelFactory`] injected.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FaultSnapshot {
+    /// Injected timeouts.
+    pub timeouts: usize,
+    /// Injected garbage completions.
+    pub garbage: usize,
+    /// Injected backend errors.
+    pub errors: usize,
+    /// Injected panics.
+    pub panics: usize,
+}
+
+impl FaultSnapshot {
+    /// Total faults injected.
+    pub fn total(&self) -> usize {
+        self.timeouts + self.garbage + self.errors + self.panics
+    }
+}
+
+/// Decorates a [`ModelFactory`] with seeded fault injection: the chaos half
+/// of the fault-injection harness.
+///
+/// Which calls fault is a pure function of `(fault seed, round, case_index,
+/// call number)`, so a chaotic run is exactly reproducible and the set of
+/// *unfaulted* cases — which [`faulted_cases`](Self::faulted_cases) exposes —
+/// behaves byte-identically to a run with no decorator at all.
+pub struct FaultyModelFactory<F> {
+    inner: F,
+    rates: FaultRates,
+    seed: u64,
+    counters: Arc<FaultCounters>,
+    faulted: Arc<Mutex<BTreeSet<(u64, u64)>>>,
+}
+
+impl<F: ModelFactory> FaultyModelFactory<F> {
+    /// Decorates `inner`, injecting faults at `rates`, seeded by `seed`.
+    pub fn new(inner: F, rates: FaultRates, seed: u64) -> Self {
+        Self {
+            inner,
+            rates,
+            seed,
+            counters: Arc::new(FaultCounters::default()),
+            faulted: Arc::new(Mutex::new(BTreeSet::new())),
+        }
+    }
+
+    /// The `(round, case_index)` pairs whose session injected at least one
+    /// fault so far. Cases *not* in this set saw a pristine model and must
+    /// report byte-identically to a fault-free run.
+    pub fn faulted_cases(&self) -> Vec<(u64, u64)> {
+        self.faulted.lock().expect("fault set poisoned").iter().copied().collect()
+    }
+
+    /// What was injected so far.
+    pub fn injected(&self) -> FaultSnapshot {
+        FaultSnapshot {
+            timeouts: self.counters.timeouts.load(Ordering::Relaxed),
+            garbage: self.counters.garbage.load(Ordering::Relaxed),
+            errors: self.counters.errors.load(Ordering::Relaxed),
+            panics: self.counters.panics.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl<F: ModelFactory> ModelFactory for FaultyModelFactory<F> {
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+
+    fn profile(&self) -> Option<&ModelProfile> {
+        self.inner.profile()
+    }
+
+    fn session(&self, round: u64, case_index: u64) -> Box<dyn ModelSession> {
+        Box::new(FaultySession {
+            inner: self.inner.session(round, case_index),
+            rates: self.rates,
+            rng: StdRng::seed_from_u64(session_seed(self.seed, round, case_index)),
+            round,
+            case_index,
+            counters: self.counters.clone(),
+            faulted: self.faulted.clone(),
+        })
+    }
+}
+
+/// The per-case session a [`FaultyModelFactory`] spawns.
+pub struct FaultySession {
+    inner: Box<dyn ModelSession>,
+    rates: FaultRates,
+    rng: StdRng,
+    round: u64,
+    case_index: u64,
+    counters: Arc<FaultCounters>,
+    faulted: Arc<Mutex<BTreeSet<(u64, u64)>>>,
+}
+
+impl FaultySession {
+    fn mark_faulted(&self) {
+        self.faulted.lock().expect("fault set poisoned").insert((self.round, self.case_index));
+    }
+}
+
+impl ModelSession for FaultySession {
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+
+    /// Infallible entry point; injected errors surface as panics here (the
+    /// engine's per-case `catch_unwind` contains them). The pipeline drives
+    /// sessions through [`try_propose`](ModelSession::try_propose).
+    fn propose(&mut self, prompt: &Prompt) -> Completion {
+        match self.try_propose(prompt) {
+            Ok(completion) => completion,
+            Err(error) => panic!("FaultySession::propose: {error}"),
+        }
+    }
+
+    fn try_propose(&mut self, prompt: &Prompt) -> Result<Completion, SessionError> {
+        let draw: f64 = self.rng.gen();
+        let r = self.rates;
+        if draw < r.panic {
+            self.mark_faulted();
+            self.counters.panics.fetch_add(1, Ordering::Relaxed);
+            panic!(
+                "injected model fault: panic (round {}, case {})",
+                self.round, self.case_index
+            );
+        }
+        if draw < r.panic + r.timeout {
+            self.mark_faulted();
+            self.counters.timeouts.fetch_add(1, Ordering::Relaxed);
+            return Err(SessionError::Timeout { elapsed: Duration::from_secs(30) });
+        }
+        if draw < r.panic + r.timeout + r.error {
+            self.mark_faulted();
+            self.counters.errors.fetch_add(1, Ordering::Relaxed);
+            return Err(SessionError::Backend {
+                message: format!(
+                    "injected backend error (round {}, case {})",
+                    self.round, self.case_index
+                ),
+            });
+        }
+        if draw < r.total() {
+            self.mark_faulted();
+            self.counters.garbage.fetch_add(1, Ordering::Relaxed);
+            // Deterministic junk that can never parse as IR.
+            let junk: u64 = self.rng.gen();
+            return Ok(Completion {
+                text: format!("<<injected garbage {junk:016x}>>"),
+                usage: TokenUsage { input: prompt.input_tokens(), output: 4, reasoning: 0 },
+                latency: Duration::from_millis(300),
+                cost_usd: 0.0,
+            });
+        }
+        self.inner.try_propose(prompt)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prelude::{gemini2_0t, SimulatedModelFactory};
+
+    fn prompt() -> Prompt {
+        Prompt::initial(
+            "define i8 @src(i32 %0) {\n\
+             %2 = icmp slt i32 %0, 0\n\
+             %3 = call i32 @llvm.umin.i32(i32 %0, i32 255)\n\
+             %4 = trunc nuw i32 %3 to i8\n\
+             %5 = select i1 %2, i8 0, i8 %4\n\
+             ret i8 %5\n}",
+        )
+    }
+
+    #[test]
+    fn policy_passes_clean_calls_through_unchanged() {
+        let plain = SimulatedModelFactory::new(gemini2_0t(), 42);
+        let wrapped = FaultPolicyFactory::new(
+            SimulatedModelFactory::new(gemini2_0t(), 42),
+            FaultPolicy::default(),
+        );
+        let p = prompt();
+        let a = plain.session(0, 0).try_propose(&p).unwrap();
+        let b = wrapped.session(0, 0).try_propose(&p).unwrap();
+        assert_eq!(a, b, "a clean call pays no policy tax");
+        assert_eq!(wrapped.counters(), PolicySnapshot::default());
+    }
+
+    #[test]
+    fn policy_retries_injected_faults_and_charges_backoff() {
+        // Inject errors on (almost) every call; the policy's budget exhausts.
+        let always_err = FaultyModelFactory::new(
+            SimulatedModelFactory::new(gemini2_0t(), 42),
+            FaultRates { error: 1.0, ..FaultRates::default() },
+            7,
+        );
+        let policy = FaultPolicy { max_retries: 2, ..FaultPolicy::default() };
+        let wrapped = FaultPolicyFactory::new(always_err, policy);
+        let err = wrapped.session(0, 0).try_propose(&prompt()).unwrap_err();
+        match err {
+            SessionError::RetriesExhausted { attempts, last } => {
+                assert_eq!(attempts, 3);
+                assert!(last.contains("injected backend error"), "last: {last}");
+            }
+            other => panic!("expected RetriesExhausted, got {other}"),
+        }
+        let counters = wrapped.counters();
+        assert_eq!(counters.retries, 2);
+        assert_eq!(counters.backend_errors, 3);
+        assert_eq!(counters.exhausted, 1);
+    }
+
+    #[test]
+    fn policy_deadline_turns_slow_calls_into_timeouts() {
+        let policy = FaultPolicy { deadline: Duration::from_nanos(1), ..FaultPolicy::default() };
+        let wrapped =
+            FaultPolicyFactory::new(SimulatedModelFactory::new(gemini2_0t(), 42), policy);
+        let err = wrapped.session(0, 0).try_propose(&prompt()).unwrap_err();
+        assert!(matches!(err, SessionError::RetriesExhausted { .. }), "got {err}");
+        assert!(wrapped.counters().timeouts >= 1);
+    }
+
+    #[test]
+    fn backoff_is_deterministic_for_a_session_seed() {
+        let make = || {
+            let always_err = FaultyModelFactory::new(
+                SimulatedModelFactory::new(gemini2_0t(), 42),
+                FaultRates { error: 1.0, ..FaultRates::default() },
+                7,
+            );
+            FaultPolicyFactory::new(always_err, FaultPolicy::default())
+        };
+        let a = make().session(3, 5).try_propose(&prompt()).unwrap_err();
+        let b = make().session(3, 5).try_propose(&prompt()).unwrap_err();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn faulty_factory_is_transparent_for_unfaulted_cases() {
+        let plain = SimulatedModelFactory::new(gemini2_0t(), 42);
+        let chaotic =
+            FaultyModelFactory::new(SimulatedModelFactory::new(gemini2_0t(), 42), FaultRates::uniform(0.4), 0xc4a05);
+        let p = prompt();
+        for case in 0..32u64 {
+            let chaos_result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                chaotic.session(0, case).try_propose(&p)
+            }));
+            if chaotic.faulted_cases().contains(&(0, case)) {
+                continue;
+            }
+            let clean = plain.session(0, case).try_propose(&p).unwrap();
+            let chaos = chaos_result.expect("unfaulted call cannot panic").unwrap();
+            assert_eq!(clean, chaos, "case {case} drew no fault but diverged");
+        }
+        assert!(chaotic.injected().total() > 0, "0.4 fault rate over 32 calls injected nothing");
+    }
+
+    #[test]
+    fn injected_garbage_never_parses() {
+        let chaotic = FaultyModelFactory::new(
+            SimulatedModelFactory::new(gemini2_0t(), 42),
+            FaultRates { garbage: 1.0, ..FaultRates::default() },
+            1,
+        );
+        let completion = chaotic.session(0, 0).try_propose(&prompt()).unwrap();
+        assert!(lpo_ir::parser::parse_function(&completion.text).is_err());
+        assert_eq!(chaotic.injected().garbage, 1);
+    }
+
+    #[test]
+    fn fault_rate_helpers() {
+        let rates = FaultRates::uniform(0.1);
+        assert!((rates.total() - 0.1).abs() < 1e-12);
+        assert!((rates.panic - 0.025).abs() < 1e-12);
+        assert_eq!(FaultRates::default().total(), 0.0);
+    }
+}

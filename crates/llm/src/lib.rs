@@ -35,6 +35,7 @@
 //! graph and where this crate sits in the three-stage verification flow.
 
 pub mod corruption;
+pub mod fault;
 pub mod model;
 pub mod profiles;
 pub mod simulated;
@@ -43,7 +44,13 @@ pub mod strategies;
 /// Commonly used items, re-exported for convenience.
 pub mod prelude {
     pub use crate::corruption::{corrupt_semantics, corrupt_syntax, SyntaxCorruption};
-    pub use crate::model::{Completion, ModelFactory, ModelSession, Prompt, TokenUsage, SYSTEM_PROMPT};
+    pub use crate::fault::{
+        FaultPolicy, FaultPolicyFactory, FaultRates, FaultSnapshot, FaultyModelFactory,
+        PolicySnapshot,
+    };
+    pub use crate::model::{
+        Completion, ModelFactory, ModelSession, Prompt, SessionError, TokenUsage, SYSTEM_PROMPT,
+    };
     pub use crate::profiles::{
         all_models, by_name, gemini2_0, gemini2_0t, gemini2_5, gemma3, gpt4_1, llama3_3, o4_mini,
         rq1_models, Deployment, ModelProfile,

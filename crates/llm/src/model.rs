@@ -102,6 +102,50 @@ pub struct Completion {
     pub cost_usd: f64,
 }
 
+/// A typed model-session failure: what a call can do *other* than complete.
+///
+/// Raw sessions (a live API transport, or the [`crate::fault`] injectors)
+/// surface `Timeout`/`Backend`; the [`crate::fault::FaultPolicy`] wrapper
+/// retries those and surfaces `RetriesExhausted` when the budget runs out.
+/// The pipeline maps whatever arrives to a `Failed` case outcome — one bad
+/// session never takes down a run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SessionError {
+    /// The call exceeded its (modelled) deadline.
+    Timeout {
+        /// How long the call took before being abandoned.
+        elapsed: Duration,
+    },
+    /// The backend failed outright (transport error, refusal, 5xx, ...).
+    Backend {
+        /// The backend's error message.
+        message: String,
+    },
+    /// Every retry the [`crate::fault::FaultPolicy`] allowed also failed.
+    RetriesExhausted {
+        /// Total calls attempted (first try + retries).
+        attempts: u32,
+        /// Rendering of the last underlying error.
+        last: String,
+    },
+}
+
+impl std::fmt::Display for SessionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SessionError::Timeout { elapsed } => {
+                write!(f, "model call timed out after {:.3}s", elapsed.as_secs_f64())
+            }
+            SessionError::Backend { message } => write!(f, "model backend error: {message}"),
+            SessionError::RetriesExhausted { attempts, last } => {
+                write!(f, "model call failed after {attempts} attempt(s); last error: {last}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SessionError {}
+
 /// One conversation between the pipeline and a model about one instruction
 /// sequence: the initial proposal plus any feedback-driven retries.
 ///
@@ -114,6 +158,14 @@ pub trait ModelSession {
 
     /// Proposes a candidate for the prompt.
     fn propose(&mut self, prompt: &Prompt) -> Completion;
+
+    /// Fallible variant of [`propose`](Self::propose): the call the pipeline
+    /// actually makes. Sessions with a failure mode (live transports, the
+    /// [`crate::fault`] wrappers) override this; infallible sessions get this
+    /// default.
+    fn try_propose(&mut self, prompt: &Prompt) -> Result<Completion, SessionError> {
+        Ok(self.propose(prompt))
+    }
 }
 
 /// The shared, thread-safe description of a model: everything needed to spawn

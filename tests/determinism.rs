@@ -85,6 +85,58 @@ fn shard_boundary_matrix_is_byte_identical() {
 }
 
 #[test]
+fn store_backed_matrix_is_byte_identical_to_the_storeless_reference() {
+    use std::fs;
+    use std::sync::Arc;
+
+    // The verdict store is a pure memo: every (--jobs, --shard-size) cell
+    // run against one shared store — cold on the first pass, fully warm on
+    // the second — must fingerprint identically to a storeless serial run.
+    let sequences = suite_with_duplicates();
+    let factory = SimulatedModelFactory::new(gemini2_0t(), 42);
+    let (reference_reports, reference_summary) = {
+        let lpo = Lpo::new(LpoConfig::default());
+        fingerprints(&lpo.run_sequences(&factory, 0, &sequences, &ExecConfig::with_jobs(1)))
+    };
+
+    let dir = std::env::temp_dir().join(format!("lpo-determinism-test-{}", std::process::id()));
+    fs::create_dir_all(&dir).expect("create scratch dir");
+    let path = dir.join("matrix.log");
+    let mut lock = path.as_os_str().to_os_string();
+    lock.push(".lock");
+    let lock = std::path::PathBuf::from(lock);
+    let _ = fs::remove_file(&path);
+    let _ = fs::remove_file(&lock);
+
+    {
+        let store = Arc::new(VerdictStore::open(&path).expect("open scratch store"));
+        let lpo = Lpo::new(LpoConfig::default()).with_verdict_store(Arc::clone(&store));
+        for pass in ["cold", "warm"] {
+            for jobs in [1usize, 4] {
+                for shard_size in [7usize, usize::MAX] {
+                    let mut config = ExecConfig::with_jobs(jobs);
+                    config.shard_size = shard_size;
+                    let batch = lpo.run_sequences(&factory, 0, &sequences, &config);
+                    let (reports, summary) = fingerprints(&batch);
+                    assert_eq!(
+                        reports, reference_reports,
+                        "per-case streams diverged ({pass} store, jobs {jobs}, shard size {shard_size})"
+                    );
+                    assert_eq!(
+                        summary, reference_summary,
+                        "summaries diverged ({pass} store, jobs {jobs}, shard size {shard_size})"
+                    );
+                }
+            }
+        }
+        assert!(store.stats().verdict_hits > 0, "warm passes must replay stored verdicts");
+        assert!(store.warnings().is_empty(), "a clean store reported recovery warnings");
+    }
+    let _ = fs::remove_file(&path);
+    let _ = fs::remove_file(&lock);
+}
+
+#[test]
 fn cancellation_never_changes_the_reported_counterexample() {
     use lpo_ir::parser::parse_function;
     use lpo_tv::prelude::{EvalArena, SourceCache, TvConfig, Verdict};

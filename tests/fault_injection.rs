@@ -1,0 +1,312 @@
+//! The fault-injection harness: chaos for the discovery engine's failure
+//! model.
+//!
+//! A [`FaultyModelFactory`] injects seeded timeouts, backend errors, garbage
+//! completions and panics into otherwise-deterministic simulated model
+//! sessions. These tests pin the three robustness contracts of the engine:
+//!
+//! - **Containment** — a case the chaos never touched reports byte-identically
+//!   to a fault-free run; a case it did touch fails *alone*, as a
+//!   [`CaseOutcome::Failed`] report in the ordinary stream, never by aborting
+//!   the run.
+//! - **Reproducibility** — which calls fault is a pure function of the chaos
+//!   seed, so a chaotic run itself fingerprints identically across `--jobs`.
+//! - **Crash-safe resume** — every byte prefix of the verdict store is a
+//!   valid crash image: reopening after a mid-run kill and rerunning with
+//!   resume recovers the torn tail and converges to the uninterrupted
+//!   fingerprints.
+//!
+//! Every test walks a fixed chaos-seed block and appends a rotating seed from
+//! `LPO_CHAOS_SEED` when set — the CI chaos-smoke step derives it from the
+//! commit hash and logs it, so any failure is replayable with
+//! `LPO_CHAOS_SEED=<seed> cargo test --test fault_injection`.
+
+use lpo::prelude::*;
+use lpo_corpus::rq1_suite;
+use lpo_ir::function::Function;
+use lpo_llm::prelude::{gemini2_0t, FaultRates, FaultyModelFactory, SimulatedModelFactory};
+use std::collections::BTreeSet;
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+/// The acceptance fault rate: ~10% of model calls fault, split evenly over
+/// the four fault kinds.
+const CHAOS_RATE: f64 = 0.10;
+
+fn suite() -> Vec<Function> {
+    rq1_suite().into_iter().map(|case| case.function).collect()
+}
+
+fn fingerprints(batch: &BatchResult) -> (Vec<String>, String) {
+    (batch.reports.iter().map(CaseReport::fingerprint).collect(), batch.summary.fingerprint())
+}
+
+/// The fixed chaos seeds every test walks, plus (flagged `true`) a rotating
+/// seed from the environment. Assertions about *how much* chaos a seed causes
+/// only apply to the fixed block — a commit-derived seed may legitimately
+/// draw few faults, and must not fail CI for it.
+fn chaos_seeds() -> Vec<(u64, bool)> {
+    let mut seeds = vec![
+        (0x04a0_5eed_0000_0001, false),
+        (0x9e37_79b9_7f4a_7c15, false),
+        (0xbf58_476d_1ce4_e5b9, false),
+    ];
+    if let Some(rotating) = rotating_seed() {
+        eprintln!("chaos: appending rotating seed LPO_CHAOS_SEED={rotating:#x}");
+        seeds.push((rotating, true));
+    }
+    seeds
+}
+
+/// The rotating seed from the environment, accepting decimal or `0x` hex.
+fn rotating_seed() -> Option<u64> {
+    let raw = std::env::var("LPO_CHAOS_SEED").ok()?;
+    let raw = raw.trim();
+    let parsed = match raw.strip_prefix("0x").or_else(|| raw.strip_prefix("0X")) {
+        Some(hex) => u64::from_str_radix(hex, 16),
+        None => raw.parse(),
+    };
+    match parsed {
+        Ok(seed) => Some(seed),
+        Err(_) => panic!("LPO_CHAOS_SEED must be a u64 (decimal or 0x hex), got {raw:?}"),
+    }
+}
+
+/// A scratch store path unique to this test process.
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("lpo-fault-test-{}", std::process::id()));
+    fs::create_dir_all(&dir).expect("create scratch dir");
+    dir.join(format!("{tag}.log"))
+}
+
+/// Removes a scratch store file and its lock sibling.
+fn clean(path: &Path) {
+    let _ = fs::remove_file(path);
+    let mut lock = path.as_os_str().to_os_string();
+    lock.push(".lock");
+    let _ = fs::remove_file(PathBuf::from(lock));
+}
+
+#[test]
+fn injected_faults_never_change_unfaulted_case_reports() {
+    let sequences = suite();
+    let lpo = Lpo::new(LpoConfig::default());
+    let plain = SimulatedModelFactory::new(gemini2_0t(), 42);
+    let config = ExecConfig::with_jobs(4);
+
+    for (chaos_seed, rotating) in chaos_seeds() {
+        let faulty = FaultyModelFactory::new(
+            SimulatedModelFactory::new(gemini2_0t(), 42),
+            FaultRates::uniform(CHAOS_RATE),
+            chaos_seed,
+        );
+        for round in 0..3u64 {
+            let reference = lpo.run_sequences(&plain, round, &sequences, &config);
+            let chaotic = lpo.run_sequences(&faulty, round, &sequences, &config);
+            assert_eq!(
+                chaotic.reports.len(),
+                reference.reports.len(),
+                "chaos dropped a case from the report stream (seed {chaos_seed:#x})"
+            );
+
+            let faulted: BTreeSet<(u64, u64)> = faulty.faulted_cases().into_iter().collect();
+            let mut compared = 0usize;
+            for (index, (chaos, clean)) in
+                chaotic.reports.iter().zip(&reference.reports).enumerate()
+            {
+                if faulted.contains(&(round, index as u64)) {
+                    continue;
+                }
+                compared += 1;
+                assert_eq!(
+                    chaos.fingerprint(),
+                    clean.fingerprint(),
+                    "unfaulted case {index} diverged (seed {chaos_seed:#x}, round {round})"
+                );
+            }
+            assert!(
+                compared > 0,
+                "every case faulted at a {CHAOS_RATE} rate — suspicious (seed {chaos_seed:#x})"
+            );
+        }
+        if !rotating {
+            assert!(
+                faulty.injected().total() > 0,
+                "fixed chaos seed {chaos_seed:#x} injected nothing over 3 rounds"
+            );
+        }
+    }
+}
+
+#[test]
+fn chaotic_runs_complete_with_failures_contained() {
+    // A panic-heavy storm: the engine must contain every blast in its case's
+    // catch_unwind, keep the other workers going, and report the failure as
+    // an ordinary CaseReport — never abort or deadlock the batch.
+    let sequences = suite();
+    let lpo = Lpo::new(LpoConfig::default());
+    let rates = FaultRates { timeout: 0.05, garbage: 0.05, error: 0.05, panic: 0.30 };
+
+    let faulty = FaultyModelFactory::new(
+        SimulatedModelFactory::new(gemini2_0t(), 42),
+        rates,
+        0xabad_5eed_0dd5_0c1a,
+    );
+    let batch = lpo.run_sequences(&faulty, 0, &sequences, &ExecConfig::with_jobs(4));
+
+    assert_eq!(batch.reports.len(), sequences.len(), "a fault dropped a case from the stream");
+    assert!(faulty.injected().panics > 0, "a 0.3 panic rate must inject at least one panic");
+    assert!(batch.summary.failed > 0, "injected panics must surface as failed cases");
+    assert_eq!(batch.stats.failed_cases, batch.summary.failed);
+    let failures = batch.reports.iter().filter(|r| r.outcome.is_failed()).count();
+    assert_eq!(failures, batch.summary.failed, "summary.failed disagrees with the stream");
+    for report in &batch.reports {
+        if let CaseOutcome::Failed { error } = &report.outcome {
+            assert!(!error.is_empty(), "a failed case must record why");
+        }
+    }
+
+    // The storm itself is seeded: an identical factory on a different worker
+    // count reproduces the chaotic run byte-for-byte.
+    let replay = FaultyModelFactory::new(
+        SimulatedModelFactory::new(gemini2_0t(), 42),
+        rates,
+        0xabad_5eed_0dd5_0c1a,
+    );
+    let serial = lpo.run_sequences(&replay, 0, &sequences, &ExecConfig::with_jobs(1));
+    assert_eq!(
+        fingerprints(&serial),
+        fingerprints(&batch),
+        "a seeded chaotic run is not deterministic across --jobs"
+    );
+}
+
+#[test]
+fn resume_after_a_kill_reproduces_the_uninterrupted_fingerprint() {
+    let sequences = suite();
+    let factory = SimulatedModelFactory::new(gemini2_0t(), 42);
+    let config = ExecConfig::with_jobs(2);
+
+    // The uninterrupted, storeless reference.
+    let reference = {
+        let lpo = Lpo::new(LpoConfig::default());
+        fingerprints(&lpo.run_sequences(&factory, 0, &sequences, &config))
+    };
+
+    // A complete persisted run captures the full log image this run would
+    // have written had it never been killed.
+    let path = scratch("kill-resume");
+    clean(&path);
+    {
+        let store = Arc::new(VerdictStore::open(&path).expect("open scratch store"));
+        let lpo = Lpo::new(LpoConfig::default()).with_verdict_store(Arc::clone(&store));
+        let persist = Persist { store: &store, run_key: "chaos/kill", resume: false };
+        let batch = lpo.run_sequences_persisted(&factory, 0, &sequences, &config, Some(&persist));
+        assert_eq!(fingerprints(&batch), reference, "store-backed run diverged from reference");
+    }
+    let full_image = fs::read(&path).expect("read full store image");
+    assert!(!full_image.is_empty(), "a persisted run must write the store");
+
+    // Every byte prefix of an append-only log is a valid crash image: a
+    // SIGKILL can land anywhere, recovery truncates the torn tail, and the
+    // resumed run must converge to the reference fingerprints.
+    let cuts = [
+        0,
+        1,
+        full_image.len() / 3,
+        full_image.len() / 2,
+        full_image.len() - 3,
+        full_image.len(),
+    ];
+    for cut in cuts {
+        clean(&path);
+        fs::write(&path, &full_image[..cut]).expect("write crash image");
+        let store = Arc::new(
+            VerdictStore::open(&path)
+                .unwrap_or_else(|error| panic!("reopen after cut {cut} failed: {error}")),
+        );
+        let lpo = Lpo::new(LpoConfig::default()).with_verdict_store(Arc::clone(&store));
+        let persist = Persist { store: &store, run_key: "chaos/kill", resume: true };
+        let batch = lpo.run_sequences_persisted(&factory, 0, &sequences, &config, Some(&persist));
+        assert_eq!(fingerprints(&batch), reference, "resume from a cut at byte {cut} diverged");
+        assert!(
+            batch.stats.resumed_cases <= sequences.len(),
+            "resumed more cases than exist (cut {cut})"
+        );
+        if cut == full_image.len() {
+            // The intact log replays every case without recomputing any.
+            assert_eq!(
+                batch.stats.resumed_cases,
+                sequences.len(),
+                "an intact log must resume every case"
+            );
+        }
+    }
+    clean(&path);
+}
+
+#[test]
+fn failed_cases_are_retried_on_resume_and_converge_to_the_reference() {
+    // Chaos during a checkpointed run must never poison the store: failed
+    // cases are not checkpointed, so once the model is healthy again a
+    // resume retries exactly those and lands on the fault-free fingerprints.
+    // (Garbage completions are excluded here: a case that swallows junk and
+    // still succeeds legitimately reports more attempts than the fault-free
+    // run — it is marked faulted, not failed.)
+    let sequences = suite();
+    let config = ExecConfig::with_jobs(2);
+    let plain = SimulatedModelFactory::new(gemini2_0t(), 42);
+    let reference = {
+        let lpo = Lpo::new(LpoConfig::default());
+        fingerprints(&lpo.run_sequences(&plain, 0, &sequences, &config))
+    };
+    let rates = FaultRates { timeout: 0.1, garbage: 0.0, error: 0.1, panic: 0.1 };
+
+    for (chaos_seed, rotating) in chaos_seeds() {
+        let path = scratch(&format!("chaos-retry-{chaos_seed:016x}"));
+        clean(&path);
+
+        // Pass 1: the chaotic, checkpointed run.
+        let failed_under_chaos = {
+            let faulty = FaultyModelFactory::new(
+                SimulatedModelFactory::new(gemini2_0t(), 42),
+                rates,
+                chaos_seed,
+            );
+            let store = Arc::new(VerdictStore::open(&path).expect("open scratch store"));
+            let lpo = Lpo::new(LpoConfig::default()).with_verdict_store(Arc::clone(&store));
+            let persist = Persist { store: &store, run_key: "chaos/retry", resume: false };
+            let batch =
+                lpo.run_sequences_persisted(&faulty, 0, &sequences, &config, Some(&persist));
+            batch.summary.failed
+        };
+        if !rotating {
+            assert!(
+                failed_under_chaos > 0,
+                "fixed chaos seed {chaos_seed:#x} failed nothing; the retry path is untested"
+            );
+        }
+
+        // Pass 2: the model is healthy again; resume replays the clean
+        // checkpoints and retries only what failed.
+        {
+            let store = Arc::new(VerdictStore::open(&path).expect("reopen scratch store"));
+            let lpo = Lpo::new(LpoConfig::default()).with_verdict_store(Arc::clone(&store));
+            let persist = Persist { store: &store, run_key: "chaos/retry", resume: true };
+            let batch = lpo.run_sequences_persisted(&plain, 0, &sequences, &config, Some(&persist));
+            assert_eq!(
+                fingerprints(&batch),
+                reference,
+                "seed {chaos_seed:#x}: resumed run diverged from the fault-free reference"
+            );
+            assert_eq!(batch.summary.failed, 0, "a healthy resume must clear every failure");
+            assert_eq!(
+                batch.stats.resumed_cases,
+                sequences.len() - failed_under_chaos,
+                "resume must replay exactly the non-failed checkpoints"
+            );
+        }
+        clean(&path);
+    }
+}
