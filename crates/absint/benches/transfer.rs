@@ -1,0 +1,67 @@
+//! Microbenchmarks for the abstract-interpretation tier: raw transfer
+//! functions, whole-function analysis throughput (the cost a candidate pays
+//! before any concrete eval), and the memoized known-bits context against a
+//! pathologically shared def chain.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use lpo_absint::{certificate, AbsValue, FunctionAnalysis, KnownBitsCtx};
+use lpo_ir::parser::parse_function;
+
+fn transfer_functions(c: &mut Criterion) {
+    let src = parse_function(
+        "define i8 @src(i8 %x) {\nentry:\n  %m = and i8 %x, -2\n  %s = shl i8 %m, 1\n  %r = or i8 %s, 4\n  ret i8 %r\n}",
+    )
+    .expect("parse");
+    let tgt = parse_function(
+        "define i8 @tgt(i8 %x) {\nentry:\n  %m = or i8 %x, 1\n  %s = add i8 %m, %m\n  %r = or i8 %s, 1\n  ret i8 %r\n}",
+    )
+    .expect("parse");
+
+    c.bench_function("absint/analyze_function", |b| {
+        let mut analysis = FunctionAnalysis::default();
+        b.iter(|| {
+            assert!(analysis.run(black_box(&src)));
+            black_box(analysis.ret_abs());
+        })
+    });
+
+    c.bench_function("absint/certificate_refuted", |b| {
+        let src_abs = FunctionAnalysis::analyze(&src).expect("fragment");
+        let mut tgt_abs = FunctionAnalysis::default();
+        b.iter(|| {
+            assert!(tgt_abs.run(black_box(&tgt)));
+            black_box(certificate(&src, &src_abs, &tgt, &tgt_abs))
+        })
+    });
+
+    c.bench_function("absint/join", |b| {
+        let x = AbsValue::constant(64, 0x1234_5678_9abc_def0);
+        let y = AbsValue::top(64);
+        b.iter(|| black_box(lpo_absint::join(black_box(&x), black_box(&y))))
+    });
+}
+
+/// A ladder where every rung uses the previous one twice: the old recursive
+/// query re-walked both subtrees per step (exponential paths under its depth
+/// cap); the memoized context visits each instruction once.
+fn shared_chain(depth: usize) -> String {
+    let mut body = String::from("  %v0 = and i64 %x, 255\n");
+    for i in 1..=depth {
+        body.push_str(&format!("  %v{i} = add i64 %v{}, %v{}\n", i - 1, i - 1));
+    }
+    format!("define i64 @chain(i64 %x) {{\nentry:\n{body}  ret i64 %v{depth}\n}}")
+}
+
+fn memoized_known_bits(c: &mut Criterion) {
+    let func = parse_function(&shared_chain(64)).expect("parse");
+    let ret = func.return_value().expect("ret").clone();
+    c.bench_function("absint/known_bits_memoized_chain64", |b| {
+        b.iter(|| {
+            let ctx = KnownBitsCtx::new(black_box(&func));
+            black_box(ctx.known_bits(&ret))
+        })
+    });
+}
+
+criterion_group!(benches, transfer_functions, memoized_known_bits);
+criterion_main!(benches);

@@ -171,8 +171,9 @@ fn check_opt_baseline(entry: &OptEntry, path: &str) -> Result<String, String> {
 
 /// The translation-validation gates (`repro bench-tv --check-baseline`):
 /// the refuted-candidate shape (the cost the staged checker exists to
-/// reduce) and the survivor shape (the plane-compiled sweep — gated so it
-/// cannot silently regress toward the pre-plane parity numbers).
+/// reduce), the survivor shape (the plane-compiled sweep — gated so it
+/// cannot silently regress toward the pre-plane parity numbers), the
+/// abstract-refutation tier's throughput, and the proved-survivor floor.
 fn check_tv_baseline(entry: &TvEntry, path: &str) -> Result<String, String> {
     let refuted_gate = Gate {
         throughput_key: "tv_refuted_per_second",
@@ -186,13 +187,56 @@ fn check_tv_baseline(entry: &TvEntry, path: &str) -> Result<String, String> {
         unit: "checks/s",
         subject: "survivor translation-validation throughput",
     };
-    let refuted = check_gate(&refuted_gate, entry.refuted_per_second, entry.refuted_speedup, path);
-    let survivor =
-        check_gate(&survivor_gate, entry.survivor_per_second, entry.survivor_speedup, path);
-    match (refuted, survivor) {
-        (Ok(a), Ok(b)) => Ok(format!("{a}\n{b}")),
-        (Err(a), Ok(b)) | (Ok(b), Err(a)) => Err(format!("{a}\n{b}")),
-        (Err(a), Err(b)) => Err(format!("{a}\n{b}")),
+    let absint_gate = Gate {
+        throughput_key: "tv_absint_refuted_per_second",
+        speedup_key: "tv_absint_speedup",
+        unit: "checks/s",
+        subject: "abstract-refutation throughput",
+    };
+    let checks = [
+        check_gate(&refuted_gate, entry.refuted_per_second, entry.refuted_speedup, path),
+        check_gate(&survivor_gate, entry.survivor_per_second, entry.survivor_speedup, path),
+        check_gate(&absint_gate, entry.absint_refuted_per_second, entry.absint_speedup, path),
+        check_tv_proved_fraction(entry, path),
+    ];
+    let failed = checks.iter().any(Result::is_err);
+    let combined = checks
+        .into_iter()
+        .map(|check| check.unwrap_or_else(|message| message))
+        .collect::<Vec<_>>()
+        .join("\n");
+    if failed {
+        Err(combined)
+    } else {
+        Ok(combined)
+    }
+}
+
+/// The proved-survivor floor: the fraction of self-verification survivors
+/// the abstract tier proves is deterministic (a property of the tier and the
+/// rq1 suite, not of the host), so the baseline value is itself the floor —
+/// no regression tolerance applies. A baseline without the key (written
+/// before the tier existed) skips the check.
+fn check_tv_proved_fraction(entry: &TvEntry, path: &str) -> Result<String, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read baseline '{path}': {e}"))?;
+    let value = Json::parse(&text).map_err(|e| format!("cannot parse baseline '{path}': {e}"))?;
+    let Some(floor) = value.get("tv_proved_fraction").and_then(Json::as_num) else {
+        return Ok(format!(
+            "baseline '{path}' has no 'tv_proved_fraction' — proved-survivor check skipped"
+        ));
+    };
+    if entry.proved_fraction >= floor {
+        Ok(format!(
+            "proved-survivor check ok: {:.2} of survivor sweeps skipped (floor {floor:.2})",
+            entry.proved_fraction
+        ))
+    } else {
+        Err(format!(
+            "proved-survivor fraction regressed: {:.2} is below the deterministic floor {floor:.2} \
+             ({}/{} survivors proved abstractly)",
+            entry.proved_fraction, entry.proved_survivors, entry.cases
+        ))
     }
 }
 
@@ -322,6 +366,8 @@ fn main() {
             cache_hits: run.stats.cache_hits,
             failed: run.stats.failed,
             resumed: run.stats.resumed,
+            proved: run.stats.tv.proved,
+            absint_refuted: run.stats.tv.absint_refuted,
             jobs: run.stats.jobs,
         });
     };

@@ -293,6 +293,12 @@ pub struct TableEntry {
     pub failed: usize,
     /// Unique cases replayed from a checkpoint store (`--resume`).
     pub resumed: usize,
+    /// Stage-3 candidates settled by the abstract pre-verification tier as
+    /// proved (full concrete sweeps skipped). Zero for engineless drivers.
+    pub proved: usize,
+    /// Stage-3 candidates refuted abstractly (certified wrong before any
+    /// concrete evaluation). Zero for engineless drivers.
+    pub absint_refuted: usize,
     /// Worker threads used.
     pub jobs: usize,
 }
@@ -307,6 +313,8 @@ impl TableEntry {
             ("cache_hits".into(), Json::Num(self.cache_hits as f64)),
             ("failed".into(), Json::Num(self.failed as f64)),
             ("resumed".into(), Json::Num(self.resumed as f64)),
+            ("proved".into(), Json::Num(self.proved as f64)),
+            ("absint_refuted".into(), Json::Num(self.absint_refuted as f64)),
             ("jobs".into(), Json::Num(self.jobs as f64)),
         ])
     }
@@ -321,6 +329,10 @@ impl TableEntry {
             // Absent in files written before failure accounting existed.
             failed: value.get("failed").and_then(Json::as_num).unwrap_or(0.0) as usize,
             resumed: value.get("resumed").and_then(Json::as_num).unwrap_or(0.0) as usize,
+            // Absent in files written before the abstract tier existed.
+            proved: value.get("proved").and_then(Json::as_num).unwrap_or(0.0) as usize,
+            absint_refuted: value.get("absint_refuted").and_then(Json::as_num).unwrap_or(0.0)
+                as usize,
             jobs: value.get("jobs")?.as_num()? as usize,
         })
     }
@@ -452,6 +464,21 @@ pub struct TvEntry {
     pub reference_survivor_per_second: f64,
     /// `survivor_per_second / reference_survivor_per_second`.
     pub survivor_speedup: f64,
+    /// Abstract refutations per second on the Stage 3a₀ tier (bit-pinned
+    /// pairs certified with zero concrete evaluations).
+    pub absint_refuted_per_second: f64,
+    /// The same pairs refuted concretely with the tier disabled — the
+    /// in-run reference for the machine-independent fallback.
+    pub absint_reference_per_second: f64,
+    /// `absint_refuted_per_second / absint_reference_per_second`.
+    pub absint_speedup: f64,
+    /// Pairs in the abstract-refutation workload.
+    pub absint_cases: usize,
+    /// Self-verification survivors the abstract tier proved structurally —
+    /// i.e. full concrete sweeps skipped.
+    pub proved_survivors: usize,
+    /// `proved_survivors / cases` (deterministic; gated as a floor).
+    pub proved_fraction: f64,
     /// rq1 cases in the workload (scalar-int returns only).
     pub cases: usize,
     /// Workload cases whose compiled form carries a plane plan — i.e. how
@@ -476,6 +503,12 @@ impl TvEntry {
                 Json::Num(self.reference_survivor_per_second),
             ),
             ("survivor_speedup".into(), Json::Num(self.survivor_speedup)),
+            ("absint_refuted_per_second".into(), Json::Num(self.absint_refuted_per_second)),
+            ("absint_reference_per_second".into(), Json::Num(self.absint_reference_per_second)),
+            ("absint_speedup".into(), Json::Num(self.absint_speedup)),
+            ("absint_cases".into(), Json::Num(self.absint_cases as f64)),
+            ("proved_survivors".into(), Json::Num(self.proved_survivors as f64)),
+            ("proved_fraction".into(), Json::Num(self.proved_fraction)),
             ("cases".into(), Json::Num(self.cases as f64)),
             ("plane_cases".into(), Json::Num(self.plane_cases as f64)),
             ("jobs".into(), Json::Num(self.jobs as f64)),
@@ -494,6 +527,27 @@ impl TvEntry {
                 .get("reference_survivor_per_second")?
                 .as_num()?,
             survivor_speedup: value.get("survivor_speedup")?.as_num()?,
+            // Absent in records written before the abstract tier existed.
+            absint_refuted_per_second: value
+                .get("absint_refuted_per_second")
+                .and_then(Json::as_num)
+                .unwrap_or(0.0),
+            absint_reference_per_second: value
+                .get("absint_reference_per_second")
+                .and_then(Json::as_num)
+                .unwrap_or(0.0),
+            absint_speedup: value.get("absint_speedup").and_then(Json::as_num).unwrap_or(0.0),
+            absint_cases: value
+                .get("absint_cases")
+                .and_then(Json::as_num)
+                .map(|n| n as usize)
+                .unwrap_or(0),
+            proved_survivors: value
+                .get("proved_survivors")
+                .and_then(Json::as_num)
+                .map(|n| n as usize)
+                .unwrap_or(0),
+            proved_fraction: value.get("proved_fraction").and_then(Json::as_num).unwrap_or(0.0),
             cases: value.get("cases")?.as_num()? as usize,
             // Absent in records written before the plane tier existed.
             plane_cases: value
@@ -847,6 +901,8 @@ mod tests {
             cache_hits: 0,
             failed: 0,
             resumed: 0,
+            proved: 0,
+            absint_refuted: 0,
             jobs: 1,
         }
     }
@@ -985,6 +1041,12 @@ mod tests {
             survivor_per_second: 900.0,
             reference_survivor_per_second: 720.0,
             survivor_speedup: 1.25,
+            absint_refuted_per_second: 4.2e6,
+            absint_reference_per_second: 5e5,
+            absint_speedup: 8.4,
+            absint_cases: 19,
+            proved_survivors: 17,
+            proved_fraction: 0.85,
             cases: 20,
             plane_cases: 18,
             jobs: 1,

@@ -32,11 +32,14 @@
 //! model), so a run with a warm store is byte-identical to a cold one —
 //! `tests/determinism.rs` pins this.
 
-use lpo_tv::refine::{Counterexample, Verdict};
+use lpo_tv::refine::{Counterexample, Verdict, VerdictTier};
 
 /// The pipeline revision stamped into every store record. Bump on any change
 /// that can alter a verdict or case report (see the module docs).
-pub const PIPELINE_REVISION: u32 = 1;
+///
+/// r2: verdict blobs and checkpoint records carry the deciding
+/// [`VerdictTier`] (abstract pre-verification tier).
+pub const PIPELINE_REVISION: u32 = 2;
 
 /// The version string store records carry: pipeline revision + model profile.
 pub fn store_version(model_profile: &str) -> String {
@@ -56,9 +59,14 @@ pub fn case_key(round: u64, case_index: usize, digest: u64) -> String {
 /// as a miss, never trusted.
 const SEP: char = '\x1f';
 
-/// Serializes a [`Verdict`] into a store blob.
-pub fn encode_verdict(verdict: &Verdict) -> String {
-    match verdict {
+/// Prefix of the optional trailing tier field.
+const TIER_PREFIX: &str = "tier=";
+
+/// Serializes a [`Verdict`] plus the [`VerdictTier`] that decided it into a
+/// store blob. The tier rides as an optional trailing `tier=<name>` field so
+/// the decoder stays tolerant of records written without one.
+pub fn encode_verdict(verdict: &Verdict, tier: Option<VerdictTier>) -> String {
+    let mut blob = match verdict {
         Verdict::Correct { inputs_checked, exhaustive } => {
             format!("correct{SEP}{inputs_checked}{SEP}{exhaustive}")
         }
@@ -76,21 +84,44 @@ pub fn encode_verdict(verdict: &Verdict) -> String {
             blob
         }
         Verdict::Error(message) => format!("error{SEP}{message}"),
+    };
+    if let Some(tier) = tier {
+        blob.push(SEP);
+        blob.push_str(TIER_PREFIX);
+        blob.push_str(tier.as_str());
+    }
+    blob
+}
+
+/// Splits an optional trailing `tier=<name>` field off a field list. A last
+/// field that carries the prefix but not a known tier name is malformed.
+fn split_tier(fields: &mut Vec<&str>) -> Result<Option<VerdictTier>, ()> {
+    match fields.last().and_then(|f| f.strip_prefix(TIER_PREFIX)) {
+        Some(name) => {
+            let tier = VerdictTier::parse(name).ok_or(())?;
+            fields.pop();
+            Ok(Some(tier))
+        }
+        None => Ok(None),
     }
 }
 
 /// Parses a blob produced by [`encode_verdict`]. `None` = malformed; the
-/// caller recomputes.
-pub fn decode_verdict(blob: &str) -> Option<Verdict> {
-    let mut fields = blob.split(SEP);
-    match fields.next()? {
+/// caller recomputes. The tier half is `None` for records that predate it
+/// (argument names and values never contain `tier=`, they are rendered
+/// `%name = <value>` pairs, so the trailing field is unambiguous).
+pub fn decode_verdict(blob: &str) -> Option<(Verdict, Option<VerdictTier>)> {
+    let mut fields: Vec<&str> = blob.split(SEP).collect();
+    let tier = split_tier(&mut fields).ok()?;
+    let mut fields = fields.into_iter();
+    let verdict = match fields.next()? {
         "correct" => {
             let inputs_checked = fields.next()?.parse::<usize>().ok()?;
             let exhaustive = fields.next()?.parse::<bool>().ok()?;
             fields
                 .next()
                 .is_none()
-                .then_some(Verdict::Correct { inputs_checked, exhaustive })
+                .then_some(Verdict::Correct { inputs_checked, exhaustive })?
         }
         "incorrect" => {
             let reason = fields.next()?.to_string();
@@ -104,19 +135,15 @@ pub fn decode_verdict(blob: &str) -> Option<Verdict> {
                 .chunks(2)
                 .map(|pair| (pair[0].to_string(), pair[1].to_string()))
                 .collect();
-            Some(Verdict::Incorrect(Counterexample {
-                reason,
-                args,
-                src_behaviour,
-                tgt_behaviour,
-            }))
+            Verdict::Incorrect(Counterexample { reason, args, src_behaviour, tgt_behaviour })
         }
         "error" => {
             let message = fields.next()?.to_string();
-            fields.next().is_none().then_some(Verdict::Error(message))
+            fields.next().is_none().then_some(Verdict::Error(message))?
         }
-        _ => None,
-    }
+        _ => return None,
+    };
+    Some((verdict, tier))
 }
 
 #[cfg(test)]
@@ -145,15 +172,42 @@ mod tests {
                 tgt_behaviour: "poison".to_string(),
             }),
         ];
+        let tiers = [
+            None,
+            Some(VerdictTier::Proved),
+            Some(VerdictTier::Tested),
+            Some(VerdictTier::RefutedAbstract),
+            Some(VerdictTier::RefutedConcrete),
+        ];
         for verdict in verdicts {
-            let blob = encode_verdict(&verdict);
-            assert_eq!(decode_verdict(&blob).as_ref(), Some(&verdict), "blob: {blob:?}");
+            for tier in tiers {
+                let blob = encode_verdict(&verdict, tier);
+                assert_eq!(decode_verdict(&blob), Some((verdict.clone(), tier)), "blob: {blob:?}");
+            }
         }
     }
 
     #[test]
+    fn tierless_blobs_decode_with_no_tier() {
+        // The exact byte format records carried before the tier field.
+        let legacy = "correct\u{1f}256\u{1f}true";
+        assert_eq!(
+            decode_verdict(legacy),
+            Some((Verdict::Correct { inputs_checked: 256, exhaustive: true }, None))
+        );
+    }
+
+    #[test]
     fn malformed_blobs_are_misses() {
-        for blob in ["", "corrupt", "correct\u{1f}x\u{1f}true", "correct\u{1f}5", "incorrect\u{1f}a"] {
+        for blob in [
+            "",
+            "corrupt",
+            "correct\u{1f}x\u{1f}true",
+            "correct\u{1f}5",
+            "incorrect\u{1f}a",
+            // An unknown tier name is malformed, never silently dropped.
+            "correct\u{1f}5\u{1f}true\u{1f}tier=solved",
+        ] {
             assert_eq!(decode_verdict(blob), None, "blob: {blob:?}");
         }
     }

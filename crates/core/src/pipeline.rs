@@ -74,6 +74,8 @@ struct TvCounters {
     probe_rejects: AtomicUsize,
     survivors: AtomicUsize,
     plane_sweeps: AtomicUsize,
+    proved: AtomicUsize,
+    absint_refuted: AtomicUsize,
 }
 
 /// Drop guard that folds one case's [`SourceCache`] accounting into the
@@ -93,6 +95,8 @@ impl Drop for AbsorbTvCounters<'_, '_> {
         self.counters.probe_rejects.fetch_add(self.case.probe_rejects(), Ordering::Relaxed);
         self.counters.survivors.fetch_add(self.case.survivors(), Ordering::Relaxed);
         self.counters.plane_sweeps.fetch_add(self.case.plane_sweeps(), Ordering::Relaxed);
+        self.counters.proved.fetch_add(self.case.proved(), Ordering::Relaxed);
+        self.counters.absint_refuted.fetch_add(self.case.absint_refuted(), Ordering::Relaxed);
     }
 }
 
@@ -113,6 +117,13 @@ impl Drop for AbsorbTvCounters<'_, '_> {
 pub struct TvSnapshot {
     /// Candidates Stage 3 fully checked (signature errors excluded).
     pub candidates: usize,
+    /// Candidates accepted on an abstract proof certificate (Stage 3a₀):
+    /// no probe, no compile, no sweep.
+    pub proved: usize,
+    /// Candidates rejected on an abstract refutation certificate. Disjoint
+    /// from `probe_rejects` even when the verdict-rendering path let the
+    /// probe materialize the concrete counterexample.
+    pub absint_refuted: usize,
     /// Candidates refuted inside the probe window — no compile paid.
     pub probe_rejects: usize,
     /// Candidates that survived the probe into compile + batched sweep.
@@ -137,6 +148,8 @@ impl TvSnapshot {
     pub fn since(self, earlier: TvSnapshot) -> TvSnapshot {
         TvSnapshot {
             candidates: self.candidates - earlier.candidates,
+            proved: self.proved - earlier.proved,
+            absint_refuted: self.absint_refuted - earlier.absint_refuted,
             probe_rejects: self.probe_rejects - earlier.probe_rejects,
             survivors: self.survivors - earlier.survivors,
             plane_sweeps: self.plane_sweeps - earlier.plane_sweeps,
@@ -152,6 +165,8 @@ impl TvSnapshot {
     /// several batches).
     pub fn absorb(&mut self, other: TvSnapshot) {
         self.candidates += other.candidates;
+        self.proved += other.proved;
+        self.absint_refuted += other.absint_refuted;
         self.probe_rejects += other.probe_rejects;
         self.survivors += other.survivors;
         self.plane_sweeps += other.plane_sweeps;
@@ -236,6 +251,8 @@ impl Lpo {
         let shards = self.shard_counters.snapshot();
         TvSnapshot {
             candidates: self.tv_counters.candidates.load(Ordering::Relaxed),
+            proved: self.tv_counters.proved.load(Ordering::Relaxed),
+            absint_refuted: self.tv_counters.absint_refuted.load(Ordering::Relaxed),
             probe_rejects: self.tv_counters.probe_rejects.load(Ordering::Relaxed),
             survivors: self.tv_counters.survivors.load(Ordering::Relaxed),
             plane_sweeps: self.tv_counters.plane_sweeps.load(Ordering::Relaxed),
@@ -326,6 +343,7 @@ impl Lpo {
         let mut cost = 0.0;
         let mut attempts = 0;
         let mut last_outcome = CaseOutcome::NotInteresting;
+        let mut last_tier = None;
         // Lazy: cases that never reach step ⑤ (syntax errors, uninteresting
         // candidates) pay nothing for input generation or source evaluation.
         // Probe survivors compile through the pipeline-wide cache, so a
@@ -348,6 +366,9 @@ impl Lpo {
 
         while attempts < self.config.attempt_limit {
             attempts += 1;
+            // The report's tier describes the *final* outcome: reset it so a
+            // late syntax error doesn't inherit an earlier attempt's tier.
+            last_tier = None;
             let completion = match model.try_propose(&prompt) {
                 Ok(completion) => completion,
                 Err(fault) => {
@@ -405,20 +426,28 @@ impl Lpo {
                         .verdict(version, *src_digest, tgt_digest)
                         .and_then(|blob| decode_verdict(&blob))
                     {
-                        Some(stored) => stored,
+                        Some((stored, tier)) => {
+                            last_tier = tier;
+                            stored
+                        }
                         None => {
                             let fresh = verify(arena);
+                            last_tier = tv_case.last_tier();
                             store.record_verdict(
                                 version,
                                 *src_digest,
                                 tgt_digest,
-                                &encode_verdict(&fresh),
+                                &encode_verdict(&fresh, last_tier),
                             );
                             fresh
                         }
                     }
                 }
-                None => verify(arena),
+                None => {
+                    let fresh = verify(arena);
+                    last_tier = tv_case.last_tier();
+                    fresh
+                }
             };
             match verdict {
                 Verdict::Correct { .. } => {
@@ -450,6 +479,7 @@ impl Lpo {
             wall_time: start.elapsed(),
             modeled_time: modeled,
             cost_usd: cost,
+            tier: last_tier,
         }
     }
 

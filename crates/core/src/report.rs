@@ -1,6 +1,7 @@
 //! Result types for pipeline runs.
 
 use lpo_ir::function::Function;
+use lpo_tv::refine::VerdictTier;
 use std::time::Duration;
 
 /// What happened to one extracted instruction sequence.
@@ -54,6 +55,14 @@ pub struct CaseReport {
     pub modeled_time: Duration,
     /// Modelled API cost in USD for this case (zero for local models).
     pub cost_usd: f64,
+    /// Which verification tier decided the case's final Stage-3 verdict
+    /// (abstract proof, concrete sweep, abstract or concrete refutation).
+    /// `None` when the case never reached Stage 3 (syntax errors,
+    /// uninteresting candidates, session failures) or the report predates
+    /// tier tracking. Informational — deliberately excluded from
+    /// [`fingerprint`](Self::fingerprint), which pins behaviour, not
+    /// machinery.
+    pub tier: Option<VerdictTier>,
 }
 
 impl CaseReport {
@@ -90,13 +99,16 @@ impl CaseReport {
             wall_time,
             modeled_time: Duration::ZERO,
             cost_usd: 0.0,
+            tier: None,
         }
     }
 
     /// Serializes every deterministic field into the blob format the
     /// checkpoint store persists.
     /// [`from_checkpoint_blob`](Self::from_checkpoint_blob) round-trips it;
-    /// `wall_time` is not persisted (a replayed case did no work).
+    /// `wall_time` is not persisted (a replayed case did no work). The
+    /// `tier=` line is emitted only when a tier was recorded, so reports
+    /// without one serialize exactly as they did before tier tracking.
     pub fn checkpoint_blob(&self) -> String {
         let (kind, detail) = match &self.outcome {
             CaseOutcome::Found { candidate } => {
@@ -107,8 +119,12 @@ impl CaseReport {
             CaseOutcome::SyntaxError => ("syntax-error", String::new()),
             CaseOutcome::Failed { error } => ("failed", error.clone()),
         };
+        let tier = match self.tier {
+            Some(tier) => format!("tier={tier}\n"),
+            None => String::new(),
+        };
         format!(
-            "attempts={}\nmodeled_ns={}\ncost_bits={:#018x}\noutcome={kind}\n{detail}",
+            "attempts={}\nmodeled_ns={}\ncost_bits={:#018x}\n{tier}outcome={kind}\n{detail}",
             self.attempts,
             self.modeled_time.as_nanos(),
             self.cost_usd.to_bits(),
@@ -117,15 +133,25 @@ impl CaseReport {
 
     /// Parses a [`checkpoint_blob`](Self::checkpoint_blob). Returns `None`
     /// for any malformed blob — callers treat that as a cache miss and
-    /// recompute, never trusting a corrupt record.
+    /// recompute, never trusting a corrupt record. Blobs written before tier
+    /// tracking (no `tier=` line) parse with `tier: None`.
     pub fn from_checkpoint_blob(blob: &str) -> Option<Self> {
-        let mut lines = blob.splitn(5, '\n');
-        let attempts = lines.next()?.strip_prefix("attempts=")?.parse::<usize>().ok()?;
-        let modeled_ns = lines.next()?.strip_prefix("modeled_ns=")?.parse::<u64>().ok()?;
-        let cost_hex = lines.next()?.strip_prefix("cost_bits=")?.strip_prefix("0x")?;
+        let (attempts_line, rest) = blob.split_once('\n')?;
+        let (modeled_line, rest) = rest.split_once('\n')?;
+        let (cost_line, rest) = rest.split_once('\n')?;
+        let attempts = attempts_line.strip_prefix("attempts=")?.parse::<usize>().ok()?;
+        let modeled_ns = modeled_line.strip_prefix("modeled_ns=")?.parse::<u64>().ok()?;
+        let cost_hex = cost_line.strip_prefix("cost_bits=")?.strip_prefix("0x")?;
         let cost_usd = f64::from_bits(u64::from_str_radix(cost_hex, 16).ok()?);
-        let kind = lines.next()?.strip_prefix("outcome=")?;
-        let detail = lines.next().unwrap_or("");
+        let (tier, rest) = match rest.strip_prefix("tier=") {
+            Some(tiered) => {
+                let (name, rest) = tiered.split_once('\n')?;
+                (Some(VerdictTier::parse(name)?), rest)
+            }
+            None => (None, rest),
+        };
+        let (kind_line, detail) = rest.split_once('\n').unwrap_or((rest, ""));
+        let kind = kind_line.strip_prefix("outcome=")?;
         let outcome = match kind {
             "found" => CaseOutcome::Found {
                 candidate: lpo_ir::parser::parse_function(detail).ok()?,
@@ -142,6 +168,7 @@ impl CaseReport {
             wall_time: Duration::ZERO,
             modeled_time: Duration::from_nanos(modeled_ns),
             cost_usd,
+            tier,
         })
     }
 }
@@ -229,7 +256,33 @@ mod tests {
             wall_time: Duration::from_millis(1),
             modeled_time: Duration::from_secs_f64(secs),
             cost_usd: 0.001,
+            tier: None,
         }
+    }
+
+    #[test]
+    fn checkpoint_blobs_round_trip_the_tier() {
+        for tier in [
+            None,
+            Some(VerdictTier::Proved),
+            Some(VerdictTier::Tested),
+            Some(VerdictTier::RefutedAbstract),
+            Some(VerdictTier::RefutedConcrete),
+        ] {
+            let original = CaseReport { tier, ..report(CaseOutcome::Rejected, 2.0) };
+            let parsed = CaseReport::from_checkpoint_blob(&original.checkpoint_blob())
+                .expect("round trip");
+            assert_eq!(parsed.tier, tier);
+            assert_eq!(parsed.fingerprint(), original.fingerprint());
+        }
+        // Records written before tier tracking still parse.
+        let legacy = "attempts=1\nmodeled_ns=5\ncost_bits=0x0000000000000000\noutcome=rejected\n";
+        let parsed = CaseReport::from_checkpoint_blob(legacy).expect("legacy blob");
+        assert_eq!(parsed.tier, None);
+        assert_eq!(parsed.attempts, 1);
+        // A tier line with an unknown name is malformed, not ignored.
+        let bad = "attempts=1\nmodeled_ns=5\ncost_bits=0x0000000000000000\ntier=solved\noutcome=rejected\n";
+        assert!(CaseReport::from_checkpoint_blob(bad).is_none());
     }
 
     #[test]

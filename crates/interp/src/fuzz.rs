@@ -25,7 +25,7 @@ use lpo_ir::builder::FunctionBuilder;
 use lpo_ir::constant::Constant;
 use lpo_ir::flags::IntFlags;
 use lpo_ir::function::Function;
-use lpo_ir::instruction::{BinOp, CastOp, ICmpPred, Intrinsic, Value};
+use lpo_ir::instruction::{BinOp, CastOp, ICmpPred, InstId, InstKind, Instruction, Intrinsic, Value};
 use lpo_ir::types::Type;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -299,6 +299,202 @@ impl Generator<'_> {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Source/candidate pair generation.
+// ---------------------------------------------------------------------------
+
+/// Generates a source/candidate pair for differential verification: the
+/// source is [`random_function`] of the seed, the candidate is the source
+/// with one or two seeded mutations stacked on top. The mutation mix is
+/// deliberately split between semantics-preserving rewrites (α-renaming,
+/// adding an identity operation, swapping commutative operands, dropping
+/// poison flags) and semantics-changing ones (twisting the returned value,
+/// nudging a constant, adding poison flags, returning a constant), so a
+/// differential harness sees proved, refuted and inconclusive candidates
+/// from the same stream.
+///
+/// Both functions always share a signature, stay in the straight-line
+/// scalar-int fragment, and are deterministic in the seed.
+pub fn random_pair(seed: u64) -> (Function, Function) {
+    let src = random_function(seed);
+    let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(0x2545_f491_4f6c_dd1d) ^ 0x7061_6972);
+    let mut tgt = src.clone();
+    tgt.name = format!("{}_cand", src.name);
+    for _ in 0..rng.gen_range(1..3) {
+        mutate_once(&mut tgt, &mut rng);
+    }
+    (src, tgt)
+}
+
+/// Applies one random mutation in place. Every arm degrades to a milder
+/// mutation (ultimately an identity insertion, which always applies to the
+/// generator's int-returning output) when its precondition is missing.
+fn mutate_once(f: &mut Function, rng: &mut StdRng) {
+    match rng.gen_range(0..8u32) {
+        0 => alpha_rename(f),
+        1 => insert_identity(f, rng),
+        2 => twist_return_bit(f),
+        3 => mutate_flags(f, rng),
+        4 => swap_commutative(f, rng),
+        5 => nudge_constant(f, rng),
+        6 => replace_ret_with_constant(f, rng),
+        _ => {
+            // A double-width arm for the proof-heavy rewrites, so proved
+            // candidates stay a healthy fraction of the stream.
+            alpha_rename(f);
+            insert_identity(f, rng);
+        }
+    }
+}
+
+/// The id and returned value of the function's `ret`, when it returns one.
+fn ret_site(f: &Function) -> Option<(InstId, Value)> {
+    f.iter_insts().find_map(|(id, inst)| match &inst.kind {
+        InstKind::Ret { value: Some(v) } => Some((id, v.clone())),
+        _ => None,
+    })
+}
+
+/// Renames every named instruction result (semantics-preserving; exercises
+/// the structural, name-blind halves of the pipeline).
+fn alpha_rename(f: &mut Function) {
+    let ids: Vec<InstId> = f.iter_inst_ids().collect();
+    for id in ids {
+        let inst = f.inst_mut(id);
+        if !inst.name.is_empty() {
+            inst.name = format!("m{}", id.0);
+        }
+    }
+}
+
+/// Inserts an identity operation (`add 0`, `or 0` or `xor 0`) between the
+/// returned value and the `ret` (semantics-preserving, including poison
+/// propagation: the identity carries no flags).
+fn insert_identity(f: &mut Function, rng: &mut StdRng) {
+    let Some(w) = f.ret_ty.int_width() else { return };
+    let Some((ret_id, ret_val)) = ret_site(f) else { return };
+    let op = [BinOp::Add, BinOp::Or, BinOp::Xor][rng.gen_range(0..3)];
+    let id = f.insert_before(
+        ret_id,
+        Instruction::new(
+            InstKind::Binary { op, lhs: ret_val, rhs: Value::int(w, 0), flags: IntFlags::none() },
+            Type::Int(w),
+            "idle",
+        ),
+    );
+    f.set_operand(ret_id, 0, Value::Inst(id));
+}
+
+/// Flips the low bit of the returned value (semantics-changing on every
+/// input where the source returns a concrete value).
+fn twist_return_bit(f: &mut Function) {
+    let Some(w) = f.ret_ty.int_width() else { return };
+    let Some((ret_id, ret_val)) = ret_site(f) else { return };
+    let id = f.insert_before(
+        ret_id,
+        Instruction::new(
+            InstKind::Binary {
+                op: BinOp::Xor,
+                lhs: ret_val,
+                rhs: Value::int(w, 1),
+                flags: IntFlags::none(),
+            },
+            Type::Int(w),
+            "twist",
+        ),
+    );
+    f.set_operand(ret_id, 0, Value::Inst(id));
+}
+
+/// Drops or resamples the poison flags of one flag-capable instruction.
+/// Dropping flags is a refinement (strictly less poison); adding them may
+/// introduce poison the source lacks.
+fn mutate_flags(f: &mut Function, rng: &mut StdRng) {
+    let ids: Vec<(InstId, IntFlags)> = f
+        .iter_insts()
+        .filter_map(|(id, inst)| match &inst.kind {
+            InstKind::Binary { op, .. } if !op.allowed_flags().is_empty() => {
+                Some((id, op.allowed_flags()))
+            }
+            InstKind::Cast { op, .. } if !op.allowed_flags().is_empty() => {
+                Some((id, op.allowed_flags()))
+            }
+            _ => None,
+        })
+        .collect();
+    if ids.is_empty() {
+        return insert_identity(f, rng);
+    }
+    let (id, allowed) = ids[rng.gen_range(0..ids.len())];
+    let new = if rng.gen_bool(0.5) {
+        IntFlags::none()
+    } else {
+        IntFlags {
+            nuw: allowed.nuw && rng.gen(),
+            nsw: allowed.nsw && rng.gen(),
+            exact: allowed.exact && rng.gen(),
+            disjoint: allowed.disjoint && rng.gen(),
+            nneg: allowed.nneg && rng.gen(),
+        }
+    };
+    match &mut f.inst_mut(id).kind {
+        InstKind::Binary { flags, .. } | InstKind::Cast { flags, .. } => *flags = new,
+        _ => unreachable!("filtered to flag-capable kinds"),
+    }
+}
+
+/// Swaps the operands of one commutative binary (semantics-preserving).
+fn swap_commutative(f: &mut Function, rng: &mut StdRng) {
+    let ids: Vec<InstId> = f
+        .iter_insts()
+        .filter_map(|(id, inst)| match &inst.kind {
+            InstKind::Binary { op, .. } if op.is_commutative() => Some(id),
+            _ => None,
+        })
+        .collect();
+    if ids.is_empty() {
+        return insert_identity(f, rng);
+    }
+    let id = ids[rng.gen_range(0..ids.len())];
+    let (lhs, rhs) = match &f.inst(id).kind {
+        InstKind::Binary { lhs, rhs, .. } => (lhs.clone(), rhs.clone()),
+        _ => unreachable!("filtered to binaries"),
+    };
+    f.set_operand(id, 0, rhs);
+    f.set_operand(id, 1, lhs);
+}
+
+/// Replaces one integer-constant right operand of a binary with a
+/// different constant (usually semantics-changing).
+fn nudge_constant(f: &mut Function, rng: &mut StdRng) {
+    let sites: Vec<(InstId, u32, u128)> = f
+        .iter_insts()
+        .filter_map(|(id, inst)| match &inst.kind {
+            InstKind::Binary { rhs: Value::Const(Constant::Int(v)), .. } => {
+                Some((id, v.width(), v.zext_value()))
+            }
+            _ => None,
+        })
+        .collect();
+    if sites.is_empty() {
+        return twist_return_bit(f);
+    }
+    let (id, w, old) = sites[rng.gen_range(0..sites.len())];
+    let mask = if w >= 128 { u128::MAX } else { (1u128 << w) - 1 };
+    let new = (old ^ u128::from(rng.gen_range(1..4u32))) & mask;
+    f.set_operand(id, 1, Value::Const(Constant::Int(ApInt::new(w, new))));
+}
+
+/// Replaces the returned value with a constant (refuted unless the source
+/// itself folds to that constant).
+fn replace_ret_with_constant(f: &mut Function, rng: &mut StdRng) {
+    let Some(w) = f.ret_ty.int_width() else { return };
+    let Some((ret_id, _)) = ret_site(f) else { return };
+    let mask = if w >= 128 { u128::MAX } else { (1u128 << w) - 1 };
+    let bits = u128::from(rng.gen::<u64>()) & mask;
+    f.set_operand(ret_id, 0, Value::Const(Constant::Int(ApInt::new(w, bits))));
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -335,5 +531,55 @@ mod tests {
         texts.sort();
         texts.dedup();
         assert!(texts.len() > 90, "only {} distinct functions in 100 seeds", texts.len());
+    }
+
+    #[test]
+    fn pairs_are_deterministic_and_share_signatures() {
+        for seed in 0..100 {
+            let (src, tgt) = random_pair(seed);
+            let (src2, tgt2) = random_pair(seed);
+            assert_eq!(print_function(&src), print_function(&src2));
+            assert_eq!(print_function(&tgt), print_function(&tgt2));
+            assert_eq!(src.ret_ty, tgt.ret_ty, "seed {seed} changed the return type");
+            assert_eq!(
+                src.params.iter().map(|p| p.ty.clone()).collect::<Vec<_>>(),
+                tgt.params.iter().map(|p| p.ty.clone()).collect::<Vec<_>>(),
+                "seed {seed} changed the parameter list"
+            );
+        }
+    }
+
+    #[test]
+    fn pair_candidates_stay_plane_eligible() {
+        // Mutations only rename, insert scalar-int binaries or rewrite
+        // operands in place, so the candidate stays in the same fragment as
+        // the source — the property that lets one stream drive both the
+        // plane and the abstract differential harnesses.
+        for seed in 0..200 {
+            let (_, tgt) = random_pair(seed);
+            assert!(
+                PlanePlan::compile(&tgt).is_some(),
+                "seed {seed} produced an ineligible candidate:\n{}",
+                print_function(&tgt)
+            );
+        }
+    }
+
+    #[test]
+    fn pair_candidates_actually_mutate() {
+        // The candidate must differ from the source for most seeds (an
+        // α-rename alone can collide textually only if names were already
+        // canonical, which the generator's naming makes impossible).
+        let differing = (0..100)
+            .filter(|&seed| {
+                let (src, tgt) = random_pair(seed);
+                let mut s = src.clone();
+                let mut t = tgt.clone();
+                s.name = "f".into();
+                t.name = "f".into();
+                print_function(&s) != print_function(&t)
+            })
+            .count();
+        assert!(differing > 80, "only {differing}/100 pairs differ from their source");
     }
 }

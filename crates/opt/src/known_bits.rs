@@ -1,86 +1,25 @@
 //! A small known-bits analysis used by InstCombine rules.
 //!
-//! For every integer-typed value the analysis computes which bits are known to
-//! be zero and which are known to be one, walking the use-def chain. It is a
-//! conservative forward analysis: bits it cannot prove are reported unknown.
+//! The [`KnownBits`] domain and the memoized per-function analysis now live
+//! in `lpo-absint` (re-exported here); rules query a [`KnownBitsCtx`] so
+//! shared def chains are walked once per function instead of once per use.
+//! The recursive depth-capped query below is kept as a **reference oracle**:
+//! its tests pin the transfer rules, and `memoized_context_is_at_least_as_precise`
+//! checks the context subsumes it on fuzzed functions.
 
 use lpo_ir::apint::ApInt;
 use lpo_ir::constant::Constant;
 use lpo_ir::function::Function;
 use lpo_ir::instruction::{BinOp, CastOp, InstKind, Intrinsic, Value};
 
-/// Known-zero / known-one bit masks for one integer value.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub struct KnownBits {
-    /// Bits known to be zero.
-    pub zeros: u128,
-    /// Bits known to be one.
-    pub ones: u128,
-    /// The value's bit width.
-    pub width: u32,
-}
-
-impl KnownBits {
-    /// Nothing known for a value of the given width.
-    pub fn unknown(width: u32) -> Self {
-        Self { zeros: 0, ones: 0, width }
-    }
-
-    /// Everything known: the value is exactly `v`.
-    pub fn constant(v: &ApInt) -> Self {
-        let mask = mask_of(v.width());
-        Self { zeros: !v.zext_value() & mask, ones: v.zext_value(), width: v.width() }
-    }
-
-    /// Returns the exact value if every bit is known.
-    pub fn as_constant(&self) -> Option<ApInt> {
-        if self.zeros | self.ones == mask_of(self.width) {
-            Some(ApInt::new(self.width, self.ones))
-        } else {
-            None
-        }
-    }
-
-    /// Returns `true` if the sign bit is known to be zero (value is non-negative).
-    pub fn is_non_negative(&self) -> bool {
-        self.zeros >> (self.width - 1) & 1 == 1
-    }
-
-    /// Returns `true` if the sign bit is known to be one (value is negative).
-    pub fn is_negative(&self) -> bool {
-        self.ones >> (self.width - 1) & 1 == 1
-    }
-
-    /// The maximum value the bits allow, interpreted unsigned.
-    pub fn umax(&self) -> u128 {
-        (!self.zeros) & mask_of(self.width)
-    }
-
-    /// The minimum value the bits allow, interpreted unsigned.
-    pub fn umin(&self) -> u128 {
-        self.ones
-    }
-
-    /// Number of consecutive known-zero bits counted from the top.
-    pub fn leading_zeros(&self) -> u32 {
-        let mut count = 0;
-        for i in (0..self.width).rev() {
-            if self.zeros >> i & 1 == 1 {
-                count += 1;
-            } else {
-                break;
-            }
-        }
-        count
-    }
-}
-
-fn mask_of(width: u32) -> u128 {
-    if width >= 128 { u128::MAX } else { (1u128 << width) - 1 }
-}
+pub use lpo_absint::{mask_of, KnownBits, KnownBitsCtx};
 
 /// Computes known bits for `value` inside `func`, recursing up to `depth`
 /// levels through instruction operands.
+///
+/// Reference oracle only: production call sites use the memoized
+/// [`KnownBitsCtx`], which is at least as precise (it shares this function's
+/// transfer rules but walks each instruction once with no depth cap).
 pub fn known_bits(func: &Function, value: &Value, depth: u32) -> KnownBits {
     let ty = func.value_type(value);
     let width = match ty.int_width() {
@@ -336,5 +275,61 @@ mod tests {
         // High nibble known zero from the and, low nibble unknown except where
         // both sides were known.
         assert_eq!(k.zeros & 0xf0, 0xf0);
+    }
+
+    /// The memoized context must claim every bit the recursive oracle claims
+    /// (it shares the transfer rules, walks without a depth cap, and memoizes
+    /// shared chains), over a spread of fuzzed functions.
+    #[test]
+    fn memoized_context_is_at_least_as_precise_as_the_oracle() {
+        for seed in 0..200u64 {
+            let func = lpo_interp::fuzz::random_function(seed);
+            let ctx = KnownBitsCtx::new(&func);
+            for id in func.iter_inst_ids() {
+                let value = Value::Inst(id);
+                let oracle = known_bits(&func, &value, DEFAULT_DEPTH);
+                let memoized = ctx.known_bits(&value);
+                assert_eq!(memoized.width, oracle.width, "seed {seed}");
+                assert_eq!(
+                    memoized.zeros & oracle.zeros,
+                    oracle.zeros,
+                    "seed {seed}: oracle zeros lost on {value:?}"
+                );
+                assert_eq!(
+                    memoized.ones & oracle.ones,
+                    oracle.ones,
+                    "seed {seed}: oracle ones lost on {value:?}"
+                );
+            }
+        }
+    }
+
+    /// Both analyses must be *sound*: every claimed bit matches the concrete
+    /// value on every evaluated input. Checked exhaustively on an i8 chain
+    /// with heavy sharing (the memoized context walks it once).
+    #[test]
+    fn claimed_bits_are_sound_on_a_shared_chain() {
+        let func = parse_function(
+            "define i8 @f(i8 %x) {\n\
+             %a = and i8 %x, 60\n\
+             %b = lshr i8 %a, 2\n\
+             %c = or i8 %b, %b\n\
+             %d = xor i8 %c, %b\n\
+             ret i8 %d\n}",
+        )
+        .unwrap();
+        let ctx = KnownBitsCtx::new(&func);
+        for x in 0..=255u128 {
+            let a = x & 60;
+            let b = a >> 2;
+            let concrete = [("a", a), ("b", b), ("c", b | b), ("d", (b | b) ^ b)];
+            for (name, v) in concrete {
+                let id = func.inst_by_name(name).unwrap();
+                for bits in [ctx.known_bits(&Value::Inst(id)), known_bits(&func, &Value::Inst(id), DEFAULT_DEPTH)] {
+                    assert_eq!(bits.zeros & v, 0, "%{name} claims a zero bit set in {v:#x}");
+                    assert_eq!(bits.ones & !v & 0xff, 0, "%{name} claims a one bit clear in {v:#x}");
+                }
+            }
+        }
     }
 }

@@ -50,7 +50,7 @@ pub mod worklist;
 /// Commonly used items, re-exported for convenience.
 pub mod prelude {
     pub use crate::dce::{eliminate_dead_code, is_trivially_dead};
-    pub use crate::known_bits::{known_bits, KnownBits};
+    pub use crate::known_bits::{known_bits, KnownBits, KnownBitsCtx};
     pub use crate::patches::{all_patches, patches_for_issue, Patch};
     pub use crate::pipeline::{
         optimize_function, optimize_text, OptLevel, OptStats, Pipeline, TextOptResult,

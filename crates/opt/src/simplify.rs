@@ -1,7 +1,7 @@
 //! InstSimplify-style rules: rewrites that replace an instruction with an
 //! existing value or a constant, without creating new instructions.
 
-use crate::known_bits::{known_bits, DEFAULT_DEPTH};
+use crate::known_bits::KnownBitsCtx;
 use crate::rewrite::{
     as_const_int, const_apint_of, const_bool_of, const_int_of, is_all_ones, is_one, is_zero,
     replace_with, same_value,
@@ -166,7 +166,7 @@ pub fn icmp_simplify(func: &mut Function, id: InstId, _b: BlockId, _p: usize) ->
         }
         // Known-bits ranges (scalar only).
         if !operand_ty.is_vector() {
-            let kb = known_bits(func, &lhs, DEFAULT_DEPTH);
+            let kb = KnownBitsCtx::new(func).known_bits(&lhs);
             let umax = kb.umax();
             let umin = kb.umin();
             match pred {
@@ -266,7 +266,7 @@ pub fn known_bits_simplify(func: &mut Function, id: InstId, _b: BlockId, _p: usi
     let Some(c) = as_const_int(&rhs) else {
         return false;
     };
-    let kb = known_bits(func, &lhs, DEFAULT_DEPTH);
+    let kb = KnownBitsCtx::new(func).known_bits(&lhs);
     match op {
         BinOp::And => {
             // Every bit that can possibly be set in lhs is kept by the mask.

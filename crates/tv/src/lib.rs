@@ -63,7 +63,7 @@ pub mod prelude {
     pub use crate::inputs::{corner_values, generate_inputs, input_count, InputConfig, TestInput};
     pub use crate::refine::{
         verify_refinement, verify_refinement_reference, verify_refinement_with, CompileCache,
-        Counterexample, SourceCache, TvConfig, Validator, Verdict,
+        Counterexample, SourceCache, TvConfig, Validator, Verdict, VerdictTier,
     };
     pub use lpo_interp::compiled::EvalArena;
 }

@@ -40,6 +40,20 @@
 //!    32 lanes through one walk of the decoded step list. The
 //!    plane tier can be switched off with [`TvConfig::plane_sweep`].
 //!
+//! Ahead of the probe sits **Stage 3a₀, abstract pre-verification**
+//! ([`TvConfig::absint`]): source and candidate are pushed through
+//! `lpo_absint`'s known-bits × interval product domain. A *refutation*
+//! certificate (source provably concrete, return ranges provably disjoint)
+//! means every input refutes — outcome-only callers reject with **zero**
+//! concrete evaluations, while verdict-rendering callers fall through and
+//! let the probe refute concretely on the first input so counterexamples
+//! stay byte-identical to the reference. A *proof* certificate (same
+//! singleton constant, or structurally equal return DAGs under constant
+//! folding, with no possible UB/poison divergence) accepts without the
+//! sweep. Inconclusive candidates proceed unchanged, so the tier can only
+//! remove work, never change a verdict — `tests/absint_differential.rs`
+//! fuzzes exactly that.
+//!
 //! The staged path is **outcome-identical** to the retained single-stage
 //! path ([`verify_refinement_reference`] /
 //! [`SourceCache::verify_reference`]): same verdicts, same counterexamples,
@@ -51,6 +65,7 @@
 
 use crate::frozen::{FrozenCase, SweepDriver, SweepShard, SweepSlot};
 use crate::inputs::{generate_inputs, InputConfig, TestInput};
+use lpo_absint::{certificate, Certificate, FunctionAnalysis};
 use lpo_interp::compiled::{evaluate_direct, CompiledFunction, EvalArena};
 use lpo_interp::eval::Ub;
 use lpo_interp::memory::Memory;
@@ -157,11 +172,63 @@ pub struct TvConfig {
     /// plane evaluator. Off, every survivor takes the general batched
     /// sweep; verdicts are identical either way.
     pub plane_sweep: bool,
+    /// Whether candidates run through the abstract pre-verification tier
+    /// (Stage 3a₀) before any concrete evaluation: `lpo_absint` certificates
+    /// prove correct candidates without a sweep and refute provably-disjoint
+    /// ones without a single evaluation. Off, every candidate goes straight
+    /// to the probe; verdicts are identical either way.
+    pub absint: bool,
 }
 
 impl Default for TvConfig {
     fn default() -> Self {
-        Self { inputs: InputConfig::default(), probe_inputs: 16, plane_sweep: true }
+        Self { inputs: InputConfig::default(), probe_inputs: 16, plane_sweep: true, absint: true }
+    }
+}
+
+/// Which tier of the staged checker decided a candidate's verdict. Carried
+/// alongside (never inside) [`Verdict`]: the verdict says *what* was decided,
+/// the tier says *how much work* deciding it took.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum VerdictTier {
+    /// Accepted by an abstract proof certificate — no concrete sweep ran.
+    Proved,
+    /// Accepted by the concrete sweep over every generated input.
+    Tested,
+    /// Rejected on an abstract refutation certificate (the verdict-rendering
+    /// paths still materialize the counterexample concretely).
+    RefutedAbstract,
+    /// Rejected by a concrete counterexample with no abstract certificate.
+    RefutedConcrete,
+}
+
+impl VerdictTier {
+    /// Stable lowercase name, used by the persistent store and the drivers'
+    /// `[stage3]` footers.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            VerdictTier::Proved => "proved",
+            VerdictTier::Tested => "tested",
+            VerdictTier::RefutedAbstract => "refuted-abstract",
+            VerdictTier::RefutedConcrete => "refuted-concrete",
+        }
+    }
+
+    /// Inverse of [`as_str`](Self::as_str).
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "proved" => Some(VerdictTier::Proved),
+            "tested" => Some(VerdictTier::Tested),
+            "refuted-abstract" => Some(VerdictTier::RefutedAbstract),
+            "refuted-concrete" => Some(VerdictTier::RefutedConcrete),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for VerdictTier {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
     }
 }
 
@@ -342,6 +409,11 @@ enum StagedVerdict {
     Correct { inputs_checked: usize, exhaustive: bool },
     /// Input `index` refutes the candidate.
     Refuted { index: usize, tgt_out: TargetOutcome, refutation: Refutation },
+    /// An abstract refutation certificate rejected the candidate with zero
+    /// concrete evaluations. Only produced on the outcome-only entry points
+    /// (`abstract_refute_shortcut`); the verdict-rendering paths instead let
+    /// the probe find the concrete counterexample.
+    RefutedAbstract,
 }
 
 /// Per-case verification state, cached across candidate rewrites.
@@ -381,6 +453,11 @@ pub struct SourceCache<'a> {
     probe_rejects: Cell<usize>,
     survivors: Cell<usize>,
     plane_sweeps: Cell<usize>,
+    proved: Cell<usize>,
+    absint_refuted: Cell<usize>,
+    last_tier: Cell<Option<VerdictTier>>,
+    src_abs: OnceCell<Option<FunctionAnalysis>>,
+    tgt_abs: RefCell<FunctionAnalysis>,
     dense: RefCell<DenseState>,
     frozen: OnceCell<crate::frozen::FrozenCase>,
 }
@@ -489,6 +566,11 @@ impl<'a> SourceCache<'a> {
             probe_rejects: Cell::new(0),
             survivors: Cell::new(0),
             plane_sweeps: Cell::new(0),
+            proved: Cell::new(0),
+            absint_refuted: Cell::new(0),
+            last_tier: Cell::new(None),
+            src_abs: OnceCell::new(),
+            tgt_abs: RefCell::new(FunctionAnalysis::default()),
             dense: RefCell::new(DenseState::NotBuilt),
             frozen: OnceCell::new(),
         }
@@ -530,6 +612,30 @@ impl<'a> SourceCache<'a> {
     /// candidate sequence.
     pub fn plane_sweeps(&self) -> usize {
         self.plane_sweeps.get()
+    }
+
+    /// Candidates accepted on an abstract proof certificate — they paid no
+    /// probe, no compile and no sweep, and are *not* counted in
+    /// [`survivors`](Self::survivors).
+    pub fn proved(&self) -> usize {
+        self.proved.get()
+    }
+
+    /// Candidates rejected on an abstract refutation certificate. Counted at
+    /// certificate time on every entry point, so the total is identical
+    /// whether the caller took the zero-evaluation shortcut
+    /// ([`verify_outcome_only`](Self::verify_outcome_only)) or rendered a
+    /// concrete counterexample; these are *not* counted in
+    /// [`probe_rejects`](Self::probe_rejects).
+    pub fn absint_refuted(&self) -> usize {
+        self.absint_refuted.get()
+    }
+
+    /// Which tier decided the most recently verified candidate, or `None` if
+    /// no candidate has been checked yet (or the last one was a signature
+    /// error). Reference-path verifications don't touch it.
+    pub fn last_tier(&self) -> Option<VerdictTier> {
+        self.last_tier.get()
     }
 
     /// How many times the source function has been concretely evaluated.
@@ -691,16 +797,82 @@ impl<'a> SourceCache<'a> {
         refutation(input, src_out, tgt_out)
     }
 
+    /// Runs a candidate through the abstract domains: the source analysis is
+    /// computed once per case (and cached, including "out of fragment"), the
+    /// candidate analyzes into a reusable scratch buffer. `None` when the
+    /// tier is disabled, either side falls outside the straight-line
+    /// scalar-int fragment, or the domains are inconclusive.
+    fn absint_certificate(&self, tgt: &Function) -> Option<Certificate> {
+        if !self.config.absint {
+            return None;
+        }
+        let src_abs = self.src_abs.get_or_init(|| FunctionAnalysis::analyze(self.src)).as_ref()?;
+        let mut tgt_abs = self.tgt_abs.borrow_mut();
+        if !tgt_abs.run(tgt) {
+            return None;
+        }
+        certificate(self.src, src_abs, tgt, &tgt_abs)
+    }
+
+    /// Stage 3a₀: the abstract pre-verification gate shared by both staged
+    /// walks. A proof certificate yields the full-sweep `Correct` verdict
+    /// (every input provably refines, so `inputs_checked` is the input
+    /// total) with zero concrete evaluations. A refutation certificate is
+    /// *counted* here — so the counter is path-independent — and either
+    /// short-circuits (outcome-only callers) or returns `None` so the probe
+    /// can refute concretely on the first input, which an abstract
+    /// refutation guarantees is a counterexample.
+    fn absint_prefilter(
+        &self,
+        tgt: &Function,
+        abstract_refute_shortcut: bool,
+    ) -> Option<StagedVerdict> {
+        match self.absint_certificate(tgt)? {
+            Certificate::Proved => {
+                self.proved.set(self.proved.get() + 1);
+                self.last_tier.set(Some(VerdictTier::Proved));
+                let (inputs, exhaustive) = self.inputs();
+                Some(StagedVerdict::Correct { inputs_checked: inputs.len(), exhaustive: *exhaustive })
+            }
+            Certificate::Refuted => {
+                self.absint_refuted.set(self.absint_refuted.get() + 1);
+                self.last_tier.set(Some(VerdictTier::RefutedAbstract));
+                abstract_refute_shortcut.then_some(StagedVerdict::RefutedAbstract)
+            }
+        }
+    }
+
+    /// Records which tier decided the current candidate, unless the abstract
+    /// gate already tagged it (an abstract refutation that fell through to a
+    /// concrete probe/sweep rejection keeps its `RefutedAbstract` tag).
+    fn settle_tier(&self, tier: VerdictTier) {
+        if self.last_tier.get().is_none() {
+            self.last_tier.set(Some(tier));
+        }
+    }
+
     /// The staged walk shared by [`verify_with`](Self::verify_with) and
-    /// [`verify_outcome_only`](Self::verify_outcome_only): probe → lazy
-    /// (cached) compile → batched sweep. On refutation it returns the failing
-    /// input index, the target outcome and the refutation descriptor —
-    /// everything needed to render the counterexample, without rendering it.
-    fn verify_staged(&self, tgt: &Function, arena: &mut EvalArena) -> Result<StagedVerdict, Verdict> {
+    /// [`verify_outcome_only`](Self::verify_outcome_only): abstract gate →
+    /// probe → lazy (cached) compile → batched sweep. On refutation it
+    /// returns the failing input index, the target outcome and the
+    /// refutation descriptor — everything needed to render the
+    /// counterexample, without rendering it.
+    fn verify_staged(
+        &self,
+        tgt: &Function,
+        arena: &mut EvalArena,
+        abstract_refute_shortcut: bool,
+    ) -> Result<StagedVerdict, Verdict> {
+        self.last_tier.set(None);
         if let Some(error) = self.signature_error(tgt) {
             return Err(error);
         }
         self.candidates.set(self.candidates.get() + 1);
+
+        // Stage 3a₀: abstract pre-verification (see module docs).
+        if let Some(verdict) = self.absint_prefilter(tgt, abstract_refute_shortcut) {
+            return Ok(verdict);
+        }
 
         let probe_n = {
             let (inputs, _) = self.inputs();
@@ -715,7 +887,13 @@ impl<'a> SourceCache<'a> {
             let tgt_out = evaluate_direct(tgt, arena, &input.args, input.memory.clone(), STEP_LIMIT)
                 .map(|o| (o.result, o.memory));
             if let Some(refutation) = self.check_input(index, input, &tgt_out, arena) {
-                self.probe_rejects.set(self.probe_rejects.get() + 1);
+                // Abstractly-refuted candidates keep their certificate tag
+                // and don't count as probe rejects: the probe only supplies
+                // their diagnostic, it didn't decide them.
+                if self.last_tier.get().is_none() {
+                    self.probe_rejects.set(self.probe_rejects.get() + 1);
+                    self.last_tier.set(Some(VerdictTier::RefutedConcrete));
+                }
                 return Ok(StagedVerdict::Refuted { index, tgt_out, refutation });
             }
         }
@@ -723,6 +901,7 @@ impl<'a> SourceCache<'a> {
         let (inputs, exhaustive) = self.inputs();
         let (total, exhaustive) = (inputs.len(), *exhaustive);
         if probe_n == total {
+            self.settle_tier(VerdictTier::Tested);
             return Ok(StagedVerdict::Correct { inputs_checked: total, exhaustive });
         }
 
@@ -758,6 +937,10 @@ impl<'a> SourceCache<'a> {
                 if let Some(verdict) =
                     self.sweep_planes(plan, &mut index, total, exhaustive, arena)
                 {
+                    self.settle_tier(match &verdict {
+                        StagedVerdict::Correct { .. } => VerdictTier::Tested,
+                        _ => VerdictTier::RefutedConcrete,
+                    });
                     return Ok(verdict);
                 }
             }
@@ -776,11 +959,13 @@ impl<'a> SourceCache<'a> {
                 let tgt_out = lane_out.map(|o| (o.result, o.memory));
                 if let Some(refutation) = self.check_input(index + offset, input, &tgt_out, arena)
                 {
+                    self.settle_tier(VerdictTier::RefutedConcrete);
                     return Ok(StagedVerdict::Refuted { index: index + offset, tgt_out, refutation });
                 }
             }
             index = end;
         }
+        self.settle_tier(VerdictTier::Tested);
         Ok(StagedVerdict::Correct { inputs_checked: total, exhaustive })
     }
 
@@ -799,7 +984,7 @@ impl<'a> SourceCache<'a> {
     /// and the source side is still evaluated at most once per input, in
     /// input order, stopping at the first counterexample.
     pub fn verify_with(&self, tgt: &Function, arena: &mut EvalArena) -> Verdict {
-        let staged = self.verify_staged(tgt, arena);
+        let staged = self.verify_staged(tgt, arena, false);
         self.render_staged(staged)
     }
 
@@ -813,6 +998,9 @@ impl<'a> SourceCache<'a> {
             Err(error) => error,
             Ok(StagedVerdict::Correct { inputs_checked, exhaustive }) => {
                 Verdict::Correct { inputs_checked, exhaustive }
+            }
+            Ok(StagedVerdict::RefutedAbstract) => {
+                unreachable!("shortcut verdicts only arise on the outcome-only entry points")
             }
             Ok(StagedVerdict::Refuted { index, tgt_out, refutation }) => {
                 let input = &self.inputs().0[index];
@@ -872,11 +1060,18 @@ impl<'a> SourceCache<'a> {
         arena: &mut EvalArena,
         driver: &dyn SweepDriver,
         shard_size: usize,
+        abstract_refute_shortcut: bool,
     ) -> Result<StagedVerdict, Verdict> {
+        self.last_tier.set(None);
         if let Some(error) = self.signature_error(tgt) {
             return Err(error);
         }
         self.candidates.set(self.candidates.get() + 1);
+
+        // Stage 3a₀: abstract pre-verification, identical to the serial path.
+        if let Some(verdict) = self.absint_prefilter(tgt, abstract_refute_shortcut) {
+            return Ok(verdict);
+        }
 
         let probe_n = {
             let (inputs, _) = self.inputs();
@@ -889,7 +1084,10 @@ impl<'a> SourceCache<'a> {
             let tgt_out = evaluate_direct(tgt, arena, &input.args, input.memory.clone(), STEP_LIMIT)
                 .map(|o| (o.result, o.memory));
             if let Some(refutation) = self.check_input(index, input, &tgt_out, arena) {
-                self.probe_rejects.set(self.probe_rejects.get() + 1);
+                if self.last_tier.get().is_none() {
+                    self.probe_rejects.set(self.probe_rejects.get() + 1);
+                    self.last_tier.set(Some(VerdictTier::RefutedConcrete));
+                }
                 return Ok(StagedVerdict::Refuted { index, tgt_out, refutation });
             }
         }
@@ -897,6 +1095,7 @@ impl<'a> SourceCache<'a> {
         let (inputs, exhaustive) = self.inputs();
         let (total, exhaustive) = (inputs.len(), *exhaustive);
         if probe_n == total {
+            self.settle_tier(VerdictTier::Tested);
             return Ok(StagedVerdict::Correct { inputs_checked: total, exhaustive });
         }
 
@@ -930,6 +1129,7 @@ impl<'a> SourceCache<'a> {
         for slot in slots {
             if let SweepSlot::Executed(out) = slot {
                 if let Some(finding) = out.finding {
+                    self.settle_tier(VerdictTier::RefutedConcrete);
                     return Ok(StagedVerdict::Refuted {
                         index: finding.index,
                         tgt_out: finding.tgt_out,
@@ -938,6 +1138,7 @@ impl<'a> SourceCache<'a> {
                 }
             }
         }
+        self.settle_tier(VerdictTier::Tested);
         Ok(StagedVerdict::Correct { inputs_checked: total, exhaustive })
     }
 
@@ -952,7 +1153,7 @@ impl<'a> SourceCache<'a> {
         driver: &dyn SweepDriver,
         shard_size: usize,
     ) -> Verdict {
-        let staged = self.verify_staged_sharded(tgt, arena, driver, shard_size);
+        let staged = self.verify_staged_sharded(tgt, arena, driver, shard_size, false);
         self.render_staged(staged)
     }
 
@@ -967,7 +1168,7 @@ impl<'a> SourceCache<'a> {
         shard_size: usize,
     ) -> bool {
         matches!(
-            self.verify_staged_sharded(tgt, arena, driver, shard_size),
+            self.verify_staged_sharded(tgt, arena, driver, shard_size, true),
             Ok(StagedVerdict::Correct { .. })
         )
     }
@@ -983,7 +1184,7 @@ impl<'a> SourceCache<'a> {
     /// rendering costs more than the refuting evaluation itself, so this
     /// entry point is the hot path for accept/reject-only verification.
     pub fn verify_outcome_only(&self, tgt: &Function, arena: &mut EvalArena) -> bool {
-        matches!(self.verify_staged(tgt, arena), Ok(StagedVerdict::Correct { .. }))
+        matches!(self.verify_staged(tgt, arena, true), Ok(StagedVerdict::Correct { .. }))
     }
 
     /// Checks `tgt` on the retained pre-staging path: unconditional compile,
@@ -1618,6 +1819,124 @@ mod tests {
         let case = v.case(&src);
         assert_eq!(case.source().name, "a");
         assert_eq!(case.verify(&tgt), v.verify(&src, &tgt));
+    }
+
+    #[test]
+    fn absint_refutes_disjoint_candidates_with_zero_evaluations() {
+        // Source pins bit 0 to zero, candidate pins it to one: the abstract
+        // tier proves the return ranges disjoint, so the outcome-only path
+        // rejects without generating a single concrete evaluation.
+        let src = parse_function("define i8 @s(i8 %x) {\n %r = and i8 %x, -2\n ret i8 %r\n}").unwrap();
+        let tgt = parse_function("define i8 @t(i8 %x) {\n %r = or i8 %x, 1\n ret i8 %r\n}").unwrap();
+        let case = SourceCache::new(&src, TvConfig::default());
+        let mut arena = EvalArena::new();
+        assert!(!case.verify_outcome_only(&tgt, &mut arena));
+        assert_eq!(case.source_eval_count(), 0, "abstract refutation must not evaluate");
+        assert_eq!(case.absint_refuted(), 1);
+        assert_eq!(case.probe_rejects(), 0, "certificate rejections are not probe rejects");
+        assert_eq!(case.survivors(), 0);
+        assert_eq!(case.last_tier(), Some(VerdictTier::RefutedAbstract));
+
+        // The sharded outcome-only entry point takes the same shortcut.
+        use crate::frozen::SerialDriver;
+        let sharded = SourceCache::new(&src, TvConfig::default());
+        assert!(!sharded.verify_outcome_only_driver(&tgt, &mut arena, &SerialDriver, 64));
+        assert_eq!(sharded.source_eval_count(), 0);
+        assert_eq!(sharded.absint_refuted(), 1);
+        assert_eq!(sharded.last_tier(), Some(VerdictTier::RefutedAbstract));
+    }
+
+    #[test]
+    fn absint_refutation_still_renders_the_reference_counterexample() {
+        let src = parse_function("define i8 @s(i8 %x) {\n %r = and i8 %x, -2\n ret i8 %r\n}").unwrap();
+        let tgt = parse_function("define i8 @t(i8 %x) {\n %r = or i8 %x, 1\n ret i8 %r\n}").unwrap();
+        let case = SourceCache::new(&src, TvConfig::default());
+        let mut arena = EvalArena::new();
+        let verdict = case.verify_with(&tgt, &mut arena);
+        assert_eq!(verdict, verify_refinement_reference(&src, &tgt, &TvConfig::default()));
+        assert!(!verdict.is_correct());
+        // The certificate tags the candidate; the probe merely supplies the
+        // concrete diagnostic on the first input.
+        assert_eq!(case.absint_refuted(), 1);
+        assert_eq!(case.probe_rejects(), 0);
+        assert_eq!(case.source_eval_count(), 1);
+        assert_eq!(case.last_tier(), Some(VerdictTier::RefutedAbstract));
+    }
+
+    #[test]
+    fn absint_proves_commuted_twins_without_a_sweep() {
+        let src =
+            parse_function("define i8 @s(i8 %x, i8 %y) {\n %r = add i8 %x, %y\n ret i8 %r\n}").unwrap();
+        let tgt =
+            parse_function("define i8 @t(i8 %a, i8 %b) {\n %q = add i8 %b, %a\n ret i8 %q\n}").unwrap();
+        let case = SourceCache::new(&src, TvConfig::default());
+        let mut arena = EvalArena::new();
+        let verdict = case.verify_with(&tgt, &mut arena);
+        assert_eq!(verdict, verify_refinement_reference(&src, &tgt, &TvConfig::default()));
+        assert!(verdict.is_correct());
+        assert_eq!(case.proved(), 1);
+        assert_eq!(case.survivors(), 0, "a proved candidate never reaches the sweep");
+        assert_eq!(case.source_eval_count(), 0, "a proved candidate costs no evaluation");
+        assert_eq!(case.last_tier(), Some(VerdictTier::Proved));
+    }
+
+    #[test]
+    fn tiers_tag_concrete_outcomes() {
+        let src = parse_function("define i8 @s(i8 %x) {\n %r = mul i8 %x, 2\n ret i8 %r\n}").unwrap();
+        let right = parse_function("define i8 @t(i8 %x) {\n %r = shl i8 %x, 1\n ret i8 %r\n}").unwrap();
+        let wrong = parse_function("define i8 @t(i8 %x) {\n %r = shl i8 %x, 2\n ret i8 %r\n}").unwrap();
+        let case = SourceCache::new(&src, TvConfig::default());
+        let mut arena = EvalArena::new();
+        assert!(case.verify_with(&right, &mut arena).is_correct());
+        assert_eq!(case.last_tier(), Some(VerdictTier::Tested));
+        assert!(!case.verify_with(&wrong, &mut arena).is_correct());
+        assert_eq!(case.last_tier(), Some(VerdictTier::RefutedConcrete));
+        assert_eq!((case.proved(), case.absint_refuted()), (0, 0));
+        assert_eq!((case.probe_rejects(), case.survivors()), (1, 1));
+
+        // Signature errors clear the tag.
+        let other =
+            parse_function("define i8 @t(i16 %x) {\n %r = trunc i16 %x to i8\n ret i8 %r\n}").unwrap();
+        assert!(matches!(case.verify_with(&other, &mut arena), Verdict::Error(_)));
+        assert_eq!(case.last_tier(), None);
+    }
+
+    #[test]
+    fn absint_tier_preserves_verdicts_when_disabled() {
+        let src = parse_function("define i8 @s(i8 %x) {\n %r = and i8 %x, -2\n ret i8 %r\n}").unwrap();
+        let candidates = [
+            "define i8 @t(i8 %x) {\n %r = or i8 %x, 1\n ret i8 %r\n}", // abstractly refutable
+            "define i8 @t(i8 %y) {\n %q = and i8 %y, -2\n ret i8 %q\n}", // provable twin
+            "define i8 @t(i8 %x) {\n %r = and i8 %x, -4\n ret i8 %r\n}", // needs concrete evidence
+        ];
+        let mut arena = EvalArena::new();
+        let off = TvConfig { absint: false, ..TvConfig::default() };
+        for text in candidates {
+            let tgt = parse_function(text).unwrap();
+            let with_absint = SourceCache::new(&src, TvConfig::default());
+            let without = SourceCache::new(&src, off.clone());
+            assert_eq!(
+                with_absint.verify_with(&tgt, &mut arena),
+                without.verify_with(&tgt, &mut arena),
+                "absint on/off diverged for {text}"
+            );
+            assert_eq!((without.proved(), without.absint_refuted()), (0, 0));
+            assert_eq!(without.last_tier().map(|t| t.as_str().contains("abstract")), Some(false));
+        }
+    }
+
+    #[test]
+    fn verdict_tier_names_round_trip() {
+        for tier in [
+            VerdictTier::Proved,
+            VerdictTier::Tested,
+            VerdictTier::RefutedAbstract,
+            VerdictTier::RefutedConcrete,
+        ] {
+            assert_eq!(VerdictTier::parse(tier.as_str()), Some(tier));
+            assert_eq!(tier.to_string(), tier.as_str());
+        }
+        assert_eq!(VerdictTier::parse("solved"), None);
     }
 
     #[test]

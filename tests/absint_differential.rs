@@ -1,0 +1,181 @@
+//! Randomized differential proof of the abstract pre-verification tier.
+//!
+//! The tier (Stage 3a₀, `lpo_absint`) may *prove* a candidate correct or
+//! *refute* it before a single concrete evaluation, so its certificates must
+//! never disagree with the concrete reference. This file closes that claim
+//! with generated coverage, the same way `tests/plane_differential.rs` does
+//! for the plane evaluator: [`lpo_interp::fuzz::random_pair`] derives a
+//! candidate from every fuzz function through a seeded mix of
+//! semantics-preserving rewrites (α-renaming, identity insertion,
+//! commutative swaps, flag drops) and semantics-changing ones (return
+//! twists, constant nudges, flag additions, constant returns), and every
+//! pair is checked three ways:
+//!
+//! * **certificate ≡ reference**: an abstract `Proved` implies the concrete
+//!   sweep's `Correct`, an abstract `Refuted` implies `Incorrect` — over
+//!   thousands of pairs, with engagement floors so the tier can't pass by
+//!   staying silent;
+//! * **tier transparency**: full verdicts (including counterexample text)
+//!   are byte-identical with the tier on and off;
+//! * **jobs determinism**: the engine's reports and tier counters are
+//!   identical across `--jobs` widths with the tier on.
+//!
+//! Every test walks a fixed seed block and appends a rotating block derived
+//! from `LPO_FUZZ_SEED` when set — the CI fuzz-smoke step derives it from
+//! the commit hash and logs it, so any failure is replayable with
+//! `LPO_FUZZ_SEED=<seed> cargo test --test absint_differential`.
+
+use lpo::prelude::*;
+use lpo_absint::{certificate, Certificate, FunctionAnalysis};
+use lpo_corpus::rq1_suite;
+use lpo_interp::fuzz::random_pair;
+use lpo_ir::function::Function;
+use lpo_ir::printer::print_function;
+use lpo_llm::prelude::{gemini2_0t, SimulatedModelFactory};
+use lpo_tv::inputs::InputConfig;
+use lpo_tv::prelude::{EvalArena, SourceCache, TvConfig, Verdict};
+
+/// The base seed block every test walks, plus the rotating block from
+/// `LPO_FUZZ_SEED` (same protocol as `tests/plane_differential.rs`).
+fn seed_block(count: usize, salt: u64) -> Vec<u64> {
+    let mut seeds: Vec<u64> =
+        (0..count as u64).map(|i| i.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(salt)).collect();
+    if let Some(rotating) = rotating_seed() {
+        eprintln!(
+            "absint fuzz: appending {} rotating seeds from LPO_FUZZ_SEED={rotating:#x}",
+            count / 4
+        );
+        seeds.extend(
+            (0..count as u64 / 4)
+                .map(|i| rotating.wrapping_add(salt).wrapping_add(i.wrapping_mul(0x9e37_79b9))),
+        );
+    }
+    seeds
+}
+
+/// The rotating seed from the environment, accepting decimal or `0x` hex.
+fn rotating_seed() -> Option<u64> {
+    let raw = std::env::var("LPO_FUZZ_SEED").ok()?;
+    let raw = raw.trim();
+    let parsed = match raw.strip_prefix("0x").or_else(|| raw.strip_prefix("0X")) {
+        Some(hex) => u64::from_str_radix(hex, 16),
+        None => raw.parse(),
+    };
+    match parsed {
+        Ok(seed) => Some(seed),
+        Err(_) => panic!("LPO_FUZZ_SEED must be a u64 (decimal or 0x hex), got {raw:?}"),
+    }
+}
+
+/// A compact input set per pair keeps the concrete reference sweeps fast in
+/// debug builds; the seed ties inputs to the pair.
+fn tv_config(absint: bool, seed: u64) -> TvConfig {
+    TvConfig {
+        inputs: InputConfig { exhaustive_bits: 8, random_samples: 24, seed },
+        absint,
+        ..TvConfig::default()
+    }
+}
+
+fn pair_text(src: &Function, tgt: &Function) -> String {
+    format!("{}\n{}", print_function(src), print_function(tgt))
+}
+
+#[test]
+fn certificates_never_disagree_with_the_concrete_reference() {
+    let mut arena = EvalArena::new();
+    let (mut pairs, mut analyzed, mut proved, mut refuted) = (0usize, 0usize, 0usize, 0usize);
+    for seed in seed_block(2_000, 0xab5_1de0) {
+        let (src, tgt) = random_pair(seed);
+        pairs += 1;
+        // Both sides are straight-line scalar-int by construction, but some
+        // shapes still fall outside the abstract fragment (e.g. an intrinsic
+        // with no transfer); those are exactly the concrete tier's job.
+        let (Some(src_abs), Some(tgt_abs)) =
+            (FunctionAnalysis::analyze(&src), FunctionAnalysis::analyze(&tgt))
+        else {
+            continue;
+        };
+        analyzed += 1;
+        let Some(cert) = certificate(&src, &src_abs, &tgt, &tgt_abs) else { continue };
+        // The concrete reference: the full staged sweep with the tier off.
+        let case = SourceCache::new(&src, tv_config(false, seed));
+        let verdict = case.verify_with(&tgt, &mut arena);
+        match cert {
+            Certificate::Proved => {
+                proved += 1;
+                assert!(
+                    verdict.is_correct(),
+                    "abstract proof contradicts the concrete sweep: seed {seed:#x}\n\
+                     verdict: {verdict:?}\n{}",
+                    pair_text(&src, &tgt)
+                );
+            }
+            Certificate::Refuted => {
+                refuted += 1;
+                assert!(
+                    matches!(verdict, Verdict::Incorrect(_)),
+                    "abstract refutation contradicts the concrete sweep: seed {seed:#x}\n\
+                     verdict: {verdict:?}\n{}",
+                    pair_text(&src, &tgt)
+                );
+            }
+        }
+    }
+    eprintln!(
+        "absint fuzz: {pairs} pairs, {analyzed} analyzed, {proved} proved, {refuted} refuted"
+    );
+    // Engagement floors: the tier must decide a healthy slice of the stream
+    // in *both* directions, or the agreement above proves nothing.
+    assert!(analyzed * 4 >= pairs * 3, "abstract fragment coverage collapsed: {analyzed}/{pairs}");
+    assert!(proved >= 150, "too few abstract proofs to trust the differential: {proved}");
+    assert!(refuted >= 50, "too few abstract refutations to trust the differential: {refuted}");
+}
+
+#[test]
+fn verdicts_are_byte_identical_with_the_tier_on_and_off() {
+    let mut arena = EvalArena::new();
+    let (mut proved, mut refuted) = (0usize, 0usize);
+    for seed in seed_block(1_500, 0x0a11_7155) {
+        let (src, tgt) = random_pair(seed);
+        let with_tier = SourceCache::new(&src, tv_config(true, seed));
+        let without = SourceCache::new(&src, tv_config(false, seed));
+        let on = with_tier.verify_with(&tgt, &mut arena);
+        let off = without.verify_with(&tgt, &mut arena);
+        assert_eq!(
+            on,
+            off,
+            "abstract tier changed a verdict: seed {seed:#x}\n{}",
+            pair_text(&src, &tgt)
+        );
+        proved += with_tier.proved();
+        refuted += with_tier.absint_refuted();
+    }
+    eprintln!("absint fuzz: tier engaged on {proved} proofs, {refuted} refutations");
+    assert!(proved >= 100, "abstract tier barely proved anything: {proved}");
+    assert!(refuted >= 40, "abstract tier barely refuted anything: {refuted}");
+}
+
+#[test]
+fn tier_counters_and_reports_keep_jobs_determinism() {
+    // The tier runs inside the engine's parallel Stage 3; its verdicts and
+    // the new proved/refuted-abstract counters must not depend on worker
+    // scheduling. (tests/determinism.rs pins the full pipeline; this is the
+    // focused tier-counter check.)
+    let sequences: Vec<Function> =
+        rq1_suite().into_iter().take(8).map(|case| case.function).collect();
+    let factory = SimulatedModelFactory::new(gemini2_0t(), 23);
+
+    let serial_lpo = Lpo::new(LpoConfig::default());
+    let parallel_lpo = Lpo::new(LpoConfig::default());
+    let serial = serial_lpo.run_sequences(&factory, 0, &sequences, &ExecConfig::with_jobs(1));
+    let parallel = parallel_lpo.run_sequences(&factory, 0, &sequences, &ExecConfig::with_jobs(4));
+
+    let serial_prints: Vec<String> = serial.reports.iter().map(CaseReport::fingerprint).collect();
+    let parallel_prints: Vec<String> =
+        parallel.reports.iter().map(CaseReport::fingerprint).collect();
+    assert_eq!(serial_prints, parallel_prints);
+    assert_eq!(serial.stats.tv.proved, parallel.stats.tv.proved);
+    assert_eq!(serial.stats.tv.absint_refuted, parallel.stats.tv.absint_refuted);
+    assert_eq!(serial.stats.tv.survivors, parallel.stats.tv.survivors);
+}
