@@ -1,0 +1,35 @@
+use lpo_absint::{certificate, Certificate, FunctionAnalysis};
+use lpo_ir::parser::parse_function;
+
+#[test]
+fn srem_int_min_divisor_is_sound() {
+    // srem(i64 MAX, i64 MIN) = i64 MAX (q = 0, r = dividend). The abstract
+    // transfer must contain that value.
+    let tgt = parse_function(
+        "define i64 @t() {\nentry:\n  %r = srem i64 9223372036854775807, -9223372036854775808\n  ret i64 %r\n}",
+    )
+    .expect("parse tgt");
+    let tgt_abs = FunctionAnalysis::analyze(&tgt).expect("fragment");
+    let r = tgt_abs.ret_abs().expect("ret");
+    eprintln!("abs = {r:?}, may_ub = {}", tgt_abs.may_ub());
+    assert!(
+        r.contains(i64::MAX as u64),
+        "actual result {} escapes the abstraction {:?}",
+        i64::MAX,
+        r
+    );
+
+    // And the downstream consequence: a false Refuted certificate against a
+    // source that returns exactly that constant.
+    let src = parse_function(
+        "define i64 @s() {\nentry:\n  ret i64 9223372036854775807\n}",
+    )
+    .expect("parse src");
+    let src_abs = FunctionAnalysis::analyze(&src).expect("src fragment");
+    let cert = certificate(&src, &src_abs, &tgt, &tgt_abs);
+    assert_ne!(
+        cert,
+        Some(Certificate::Refuted),
+        "candidate always returns the source's value but was abstractly refuted"
+    );
+}
