@@ -694,12 +694,14 @@ fn binary_transfer(op: BinOp, flags: IntFlags, a: &AbsValue, b: &AbsValue, may_u
             }
         }
         BinOp::SRem => {
-            // |x srem y| < |y| and the sign follows the dividend.
+            // |x srem y| < |y| and the sign follows the dividend. The
+            // magnitude bound |y| - 1 must be computed before clamping to
+            // i64: a divisor of SMIN has magnitude 2^63, whose remainders
+            // reach i64::MAX — clamping first would lose that last value.
             let bmag = i128::from(b.smin)
                 .unsigned_abs()
-                .max(i128::from(b.smax).unsigned_abs())
-                .min(u128::from(u64::MAX >> 1)) as i64;
-            let mag = (bmag - 1).max(0);
+                .max(i128::from(b.smax).unsigned_abs());
+            let mag = bmag.saturating_sub(1).min(u128::from(u64::MAX >> 1)) as i64;
             let lo = if a.smin >= 0 { 0 } else { -mag };
             let hi = if a.smax < 0 { 0 } else { mag.min(a.smax.max(0)) };
             AbsValue::from_srange(w, lo.max(a.smin.min(0)), hi)

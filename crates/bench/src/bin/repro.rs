@@ -9,6 +9,9 @@
 //! cargo run -p lpo-bench --release --bin repro -- bench-opt --jobs 1
 //! cargo run -p lpo-bench --release --bin repro -- bench-tv --jobs 1
 //! cargo run -p lpo-bench --release --bin repro -- bench-exec --jobs 4 --shard-size 256
+//! cargo run -p lpo-bench --release --bin repro -- bench-serve --jobs 4
+//! cargo run -p lpo-bench --release --bin repro -- serve --addr 127.0.0.1:7345 --store run.lpostore
+//! cargo run -p lpo-bench --release --bin repro -- serve-client --addr 127.0.0.1:7345 --corpus rq1 --warm 2 --stats --shutdown
 //! ```
 //!
 //! `--jobs N` sets the worker count for every driver (`0`, the default, uses
@@ -30,19 +33,30 @@
 //! rescan reference) and fills the `opt` section; `bench-tv` measures Stage 3
 //! translation validation (staged checker vs the pre-staging reference) and
 //! fills the `tv` section; `bench-exec` measures the shard engine's
-//! single-case scaling and overhead and fills the `exec` section. With
+//! single-case scaling and overhead and fills the `exec` section;
+//! `bench-serve` measures the serving shell's protocol round-trips and warm
+//! cache-hit rate and fills the `serve` section. With
 //! `--check-baseline <file>` each exits non-zero when its throughput falls
-//! more than 30% below the checked-in baseline — the CI `bench-smoke` and
-//! `shard-smoke` gates (`bench-exec`'s parallel-scaling check applies only on
-//! hosts with ≥ 4 cores; its overhead ratios are gated everywhere).
+//! more than 30% below the checked-in baseline — the CI `bench-smoke`,
+//! `shard-smoke` and `serve-smoke` gates (`bench-exec`'s parallel-scaling
+//! check applies only on hosts with ≥ 4 cores; its overhead ratios are gated
+//! everywhere; `bench-serve`'s cache-hit rate is an exact floor).
+//!
+//! `serve` runs the engine as a long-lived server on `--addr` (job queue,
+//! streaming line-delimited JSON protocol — see `lpo-serve`); `serve-client`
+//! scripts a session against one: a `--corpus`/`--module FILE` submission,
+//! optional `--warm N` resubmissions, `--stats`, `--shutdown`.
 
 use lpo::prelude::{VerdictStore, DEFAULT_SHARD_SIZE};
 use lpo_bench::results::{
-    BenchResults, ExecEntry, InterpEntry, Json, OptEntry, RunEntries, TableEntry, TvEntry,
+    BenchResults, ExecEntry, InterpEntry, Json, OptEntry, RunEntries, ServeEntry, TableEntry,
+    TvEntry,
 };
 use lpo_bench::{self as harness, StoreOptions, TableRun};
 use lpo_llm::prelude::rq1_models;
+use lpo_serve::prelude::{ServeClient, ServeConfig, Server, SubmitOptions};
 use std::sync::Arc;
+use std::time::Duration;
 
 /// `<name> N`, strict: a present flag with a missing, negative or otherwise
 /// unparsable value is a hard usage error, never a silent fall-back to the
@@ -308,6 +322,60 @@ fn check_exec_scaling(entry: &ExecEntry, path: &str) -> Result<String, String> {
     }
 }
 
+/// The serving-shell gates (`repro bench-serve --check-baseline`): protocol
+/// throughput (with the machine-independent warm-speedup fallback) plus the
+/// warm cache-hit floor. The hit rate is a counter delta, not a timing, so
+/// the baseline value is itself the floor — no regression tolerance.
+fn check_serve_baseline(entry: &ServeEntry, path: &str) -> Result<String, String> {
+    let gate = Gate {
+        throughput_key: "serve_requests_per_second",
+        speedup_key: "serve_warm_speedup",
+        unit: "req/s",
+        subject: "serving-shell protocol throughput",
+    };
+    let checks = [
+        check_gate(&gate, entry.requests_per_second, entry.warm_speedup, path),
+        check_serve_cache_hit_rate(entry, path),
+    ];
+    let failed = checks.iter().any(Result::is_err);
+    let combined = checks
+        .into_iter()
+        .map(|check| check.unwrap_or_else(|message| message))
+        .collect::<Vec<_>>()
+        .join("\n");
+    if failed {
+        Err(combined)
+    } else {
+        Ok(combined)
+    }
+}
+
+/// The warm cache-hit floor: warm resubmissions must answer from the shared
+/// verdict store. A baseline without the key (written before the serving
+/// shell existed) skips the check.
+fn check_serve_cache_hit_rate(entry: &ServeEntry, path: &str) -> Result<String, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read baseline '{path}': {e}"))?;
+    let value = Json::parse(&text).map_err(|e| format!("cannot parse baseline '{path}': {e}"))?;
+    let Some(floor) = value.get("serve_cache_hit_rate").and_then(Json::as_num) else {
+        return Ok(format!(
+            "baseline '{path}' has no 'serve_cache_hit_rate' — warm cache-hit check skipped"
+        ));
+    };
+    if entry.cache_hit_rate >= floor {
+        Ok(format!(
+            "warm cache-hit check ok: {:.2} of warm verdict lookups hit the store (floor {floor:.2})",
+            entry.cache_hit_rate
+        ))
+    } else {
+        Err(format!(
+            "warm cache-hit rate regressed: {:.2} is below the floor {floor:.2} \
+             (warm submissions are recomputing Stage-3 verdicts instead of replaying them)",
+            entry.cache_hit_rate
+        ))
+    }
+}
+
 /// `--store PATH` / `--resume`: opens (or creates) the durable verdict and
 /// checkpoint store. `--resume` without `--store` is a usage error — there is
 /// nothing to resume from.
@@ -332,6 +400,11 @@ fn arg_store(args: &[String]) -> Option<StoreOptions> {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let what = args.first().map(String::as_str).unwrap_or("all");
+    match what {
+        "serve" => return run_serve(&args),
+        "serve-client" => return run_serve_client(&args),
+        _ => {}
+    }
     let rounds = arg_value(&args, "--rounds", 2);
     let samples = arg_value(&args, "--samples", 60) as usize;
     let jobs = arg_value(&args, "--jobs", 0) as usize;
@@ -356,6 +429,7 @@ fn main() {
     let mut opt: Option<OptEntry> = None;
     let mut tv: Option<TvEntry> = None;
     let mut exec: Option<ExecEntry> = None;
+    let mut serve: Option<ServeEntry> = None;
     let mut show = |name: &str, run: TableRun| {
         println!("{}", run.text);
         tables.push(TableEntry {
@@ -401,6 +475,11 @@ fn main() {
             println!("{}", run.text);
             exec = Some(run.entry);
         }
+        "bench-serve" => {
+            let run = harness::bench_serve(jobs);
+            println!("{}", run.text);
+            serve = Some(run.entry);
+        }
         "all" => {
             println!("{}", harness::table1());
             show("table2", harness::table2_with_store(rounds, &quick_models(), jobs, shard_size, store));
@@ -420,10 +499,13 @@ fn main() {
             let run = harness::bench_exec(jobs, shard_size);
             println!("{}", run.text);
             exec = Some(run.entry);
+            let run = harness::bench_serve(jobs);
+            println!("{}", run.text);
+            serve = Some(run.entry);
         }
         other => {
             eprintln!(
-                "unknown experiment '{other}'; expected table1..table5, figure5, bench-interp, bench-opt, bench-tv, bench-exec or all"
+                "unknown experiment '{other}'; expected table1..table5, figure5, bench-interp, bench-opt, bench-tv, bench-exec, bench-serve, serve, serve-client or all"
             );
             std::process::exit(2);
         }
@@ -435,6 +517,7 @@ fn main() {
         opt: opt.clone(),
         tv: tv.clone(),
         exec: exec.clone(),
+        serve: serve.clone(),
     };
     if !entries.is_empty() {
         let path = "BENCH_results.json";
@@ -449,9 +532,9 @@ fn main() {
     }
 
     if let Some(baseline_path) = arg_text(&args, "--check-baseline") {
-        if interp.is_none() && opt.is_none() && tv.is_none() && exec.is_none() {
+        if interp.is_none() && opt.is_none() && tv.is_none() && exec.is_none() && serve.is_none() {
             eprintln!(
-                "--check-baseline requires the bench-interp, bench-opt, bench-tv, bench-exec (or all) subcommand"
+                "--check-baseline requires the bench-interp, bench-opt, bench-tv, bench-exec, bench-serve (or all) subcommand"
             );
             std::process::exit(2);
         }
@@ -492,8 +575,150 @@ fn main() {
                 }
             }
         }
+        if let Some(entry) = &serve {
+            match check_serve_baseline(entry, baseline_path) {
+                Ok(message) => eprintln!("{message}"),
+                Err(message) => {
+                    eprintln!("{message}");
+                    failed = true;
+                }
+            }
+        }
         if failed {
             std::process::exit(1);
+        }
+    }
+}
+
+/// `repro serve --addr HOST:PORT [--store PATH] [--jobs N] [--shard-size M]
+/// [--queue K]`: runs the discovery server in the foreground until a client
+/// sends a `shutdown` request. Without `--store` the verdict store is
+/// in-memory — warm resubmissions still hit it, but nothing survives the
+/// process.
+fn run_serve(args: &[String]) {
+    let addr = arg_text(args, "--addr").unwrap_or("127.0.0.1:7345");
+    let jobs = arg_value(args, "--jobs", 0) as usize;
+    let shard_size = arg_shard_size(args);
+    let queue_capacity = arg_value(args, "--queue", 16) as usize;
+    let store = match arg_text(args, "--store") {
+        None => Arc::new(VerdictStore::in_memory()),
+        Some(path) => match VerdictStore::open(path) {
+            Ok(store) => Arc::new(store),
+            Err(error) => {
+                eprintln!("cannot open store '{path}': {error}");
+                std::process::exit(2);
+            }
+        },
+    };
+    let config = ServeConfig { jobs, shard_size, queue_capacity, ..ServeConfig::default() };
+    let server = match Server::bind(addr, config, store) {
+        Ok(server) => server,
+        Err(error) => {
+            eprintln!("cannot bind '{addr}': {error}");
+            std::process::exit(2);
+        }
+    };
+    eprintln!("serving on {} (jobs {jobs}, queue {queue_capacity})", server.local_addr());
+    if let Err(error) = server.run() {
+        eprintln!("server failed: {error}");
+        std::process::exit(1);
+    }
+    eprintln!("server shut down cleanly");
+}
+
+/// `repro serve-client --addr HOST:PORT [--corpus NAME | --module FILE]
+/// [--warm N] [--seed S] [--resume] [--stats] [--shutdown]`: scripts one
+/// client session against a running server — the CI `serve-smoke` driver.
+/// Exits non-zero on any rejected submission or protocol failure.
+fn run_serve_client(args: &[String]) {
+    let addr = arg_text(args, "--addr").unwrap_or("127.0.0.1:7345");
+    let mut client = match ServeClient::connect_retry(addr, 40, Duration::from_millis(250)) {
+        Ok(client) => client,
+        Err(error) => {
+            eprintln!("cannot connect to '{addr}': {error}");
+            std::process::exit(1);
+        }
+    };
+
+    let mut options = match (arg_text(args, "--corpus"), arg_text(args, "--module")) {
+        (Some(_), Some(_)) => {
+            eprintln!("--corpus and --module are mutually exclusive");
+            std::process::exit(2);
+        }
+        (None, None) => None,
+        (Some(name), None) => Some(SubmitOptions::corpus(name)),
+        (None, Some(path)) => match std::fs::read_to_string(path) {
+            Ok(text) => Some(SubmitOptions::module(&text)),
+            Err(error) => {
+                eprintln!("cannot read module '{path}': {error}");
+                std::process::exit(2);
+            }
+        },
+    };
+    if let Some(options) = options.as_mut() {
+        if let Some(model) = arg_text(args, "--model") {
+            options.model = Some(model.to_string());
+        }
+        if args.iter().any(|a| a == "--seed") {
+            options.seed = Some(arg_value(args, "--seed", 42));
+        }
+        options.resume = args.iter().any(|a| a == "--resume");
+    }
+
+    let describe = |label: &str, outcome: &lpo_serve::client::JobOutcome| match outcome {
+        lpo_serve::client::JobOutcome::Rejected(message) => {
+            eprintln!("{label}: rejected: {message}");
+            std::process::exit(1);
+        }
+        lpo_serve::client::JobOutcome::Finished { cases, done, .. } => {
+            eprintln!(
+                "{label}: {} case frames, summary {}, cache hit rate {:.2}",
+                cases.len(),
+                done.get("summary").and_then(Json::as_str).unwrap_or("?"),
+                done.get("cache_hit_rate").and_then(Json::as_num).unwrap_or(0.0)
+            );
+        }
+    };
+
+    let exchange = |label: &str, result: std::io::Result<lpo_serve::client::JobOutcome>| match result
+    {
+        Ok(outcome) => outcome,
+        Err(error) => {
+            eprintln!("{label} failed: {error}");
+            std::process::exit(1);
+        }
+    };
+
+    if let Some(options) = &options {
+        let cold = exchange("submit", client.submit(options));
+        describe("submit", &cold);
+        let warm_passes = arg_value(args, "--warm", 0);
+        for pass in 0..warm_passes {
+            let warm = exchange("warm submit", client.submit(options));
+            describe(&format!("warm submit {}", pass + 1), &warm);
+        }
+    }
+    if args.iter().any(|a| a == "--stats") {
+        match client.stats() {
+            Ok(stats) => eprintln!(
+                "stats: {} requests, queue depth {}, cache hit rate {:.2}",
+                stats.get("requests").and_then(Json::as_num).unwrap_or(0.0),
+                stats.get("queue_depth").and_then(Json::as_num).unwrap_or(0.0),
+                stats.get("cache_hit_rate").and_then(Json::as_num).unwrap_or(0.0)
+            ),
+            Err(error) => {
+                eprintln!("stats failed: {error}");
+                std::process::exit(1);
+            }
+        }
+    }
+    if args.iter().any(|a| a == "--shutdown") {
+        match client.shutdown() {
+            Ok(_) => eprintln!("server acknowledged shutdown"),
+            Err(error) => {
+                eprintln!("shutdown failed: {error}");
+                std::process::exit(1);
+            }
         }
     }
 }

@@ -1933,6 +1933,113 @@ pub fn figure5(jobs: usize) -> TableRun {
     TableRun { text: out, stats }
 }
 
+/// One `repro bench-serve` outcome.
+pub struct ServeBenchRun {
+    /// Human-readable report.
+    pub text: String,
+    /// The numbers (protocol throughput, warm-vs-cold, cache-hit rates).
+    pub entry: results::ServeEntry,
+}
+
+/// Measures the serving shell end to end: a real [`lpo_serve`] server on a
+/// loopback socket with an in-memory store, driven through the wire protocol
+/// by [`lpo_serve::client::ServeClient`]. One cold rq1 submission against
+/// the empty store is timed, then warm resubmissions of the same corpus run
+/// until the measurement window fills — each answered almost entirely from
+/// the shared verdict store, which is what the serving mode exists for.
+///
+/// This is the workload behind `repro bench-serve` and the CI `serve-smoke`
+/// gate. The cache-hit rates come from store counter deltas, not timings, so
+/// they are exact: the `serve_cache_hit_rate` baseline key is a hard floor.
+pub fn bench_serve(jobs: usize) -> ServeBenchRun {
+    use lpo_serve::prelude::{ServeClient, ServeConfig, Server, SubmitOptions};
+
+    /// Minimum time spent on warm submissions.
+    const MIN_TIME: Duration = Duration::from_millis(900);
+
+    let store = Arc::new(VerdictStore::in_memory());
+    let config = ServeConfig { jobs, ..ServeConfig::default() };
+    let server = Server::bind("127.0.0.1:0", config, store).expect("bind loopback server");
+    let addr = server.local_addr().to_string();
+    let server_thread = std::thread::spawn(move || server.run());
+
+    let session_start = Instant::now();
+    let mut client = ServeClient::connect(&addr).expect("connect to loopback server");
+    let mut requests = 0usize;
+
+    let hit_rate = |outcome: &lpo_serve::client::JobOutcome| {
+        outcome
+            .done()
+            .get("cache_hit_rate")
+            .and_then(lpo_serve::json::Json::as_num)
+            .unwrap_or(0.0)
+    };
+    let submit = SubmitOptions::corpus("rq1");
+
+    let cold_start = Instant::now();
+    let cold = client.submit(&submit).expect("cold submission");
+    let cold_seconds = cold_start.elapsed().as_secs_f64();
+    requests += 1;
+    let cases = cold.cases().len();
+    let cold_cache_hit_rate = hit_rate(&cold);
+
+    let mut warm_jobs = 0usize;
+    let mut warm_wall = Duration::ZERO;
+    let mut warm_hit_rate_sum = 0.0;
+    while warm_jobs < 2 || warm_wall < MIN_TIME {
+        let pass_start = Instant::now();
+        let warm = client.submit(&submit).expect("warm submission");
+        warm_wall += pass_start.elapsed();
+        requests += 1;
+        warm_jobs += 1;
+        warm_hit_rate_sum += hit_rate(&warm);
+    }
+    let cache_hit_rate = warm_hit_rate_sum / warm_jobs as f64;
+    let warm_jobs_per_second =
+        if warm_wall.as_secs_f64() > 0.0 { warm_jobs as f64 / warm_wall.as_secs_f64() } else { 0.0 };
+
+    let stats = client.stats().expect("stats round-trip");
+    requests += 1;
+    let reported_jobs =
+        stats.get("jobs").and_then(lpo_serve::json::Json::as_num).unwrap_or(0.0) as usize;
+    client.shutdown().expect("shutdown round-trip");
+    requests += 1;
+    let session_seconds = session_start.elapsed().as_secs_f64();
+    server_thread.join().expect("server thread").expect("server run");
+
+    let entry = results::ServeEntry {
+        requests_per_second: if session_seconds > 0.0 { requests as f64 / session_seconds } else { 0.0 },
+        cold_seconds,
+        warm_jobs_per_second,
+        warm_speedup: warm_jobs_per_second * cold_seconds,
+        cold_cache_hit_rate,
+        cache_hit_rate,
+        cases,
+        warm_jobs,
+        requests,
+        jobs: reported_jobs,
+    };
+    let mut text = format!(
+        "Serving-shell throughput: rq1 over the wire protocol on a loopback socket (jobs {jobs})\n"
+    );
+    let _ = writeln!(
+        text,
+        "  cold submission: {:>6.2}s for {} cases (store hit rate {:.2})",
+        entry.cold_seconds, entry.cases, entry.cold_cache_hit_rate
+    );
+    let _ = writeln!(
+        text,
+        "  warm submissions: {:>6.2} jobs/s over {} jobs (store hit rate {:.2}, {:.1}x one cold job)",
+        entry.warm_jobs_per_second, entry.warm_jobs, entry.cache_hit_rate, entry.warm_speedup
+    );
+    let _ = writeln!(
+        text,
+        "  session: {} requests at {:.2} req/s end to end",
+        entry.requests, entry.requests_per_second
+    );
+    ServeBenchRun { text, entry }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

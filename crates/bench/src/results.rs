@@ -16,263 +16,10 @@
 //! small hand-rolled JSON reader/writer covering exactly the subset the
 //! schema needs: objects, arrays, strings, numbers, booleans and null.
 
-use std::fmt::Write as _;
-
-/// A parsed JSON value (the minimal subset the results schema uses).
-#[derive(Clone, Debug, PartialEq)]
-pub enum Json {
-    /// `null`.
-    Null,
-    /// `true` / `false`.
-    Bool(bool),
-    /// Any number (stored as `f64`; the schema never needs 64-bit ints).
-    Num(f64),
-    /// A string (no escape sequences beyond `\" \\ \n \t` are produced).
-    Str(String),
-    /// An array.
-    Arr(Vec<Json>),
-    /// An object, with insertion order preserved.
-    Obj(Vec<(String, Json)>),
-}
-
-impl Json {
-    /// Looks up an object field.
-    pub fn get(&self, key: &str) -> Option<&Json> {
-        match self {
-            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
-            _ => None,
-        }
-    }
-
-    /// The value as a number, if it is one.
-    pub fn as_num(&self) -> Option<f64> {
-        match self {
-            Json::Num(n) => Some(*n),
-            _ => None,
-        }
-    }
-
-    /// The value as a string, if it is one.
-    pub fn as_str(&self) -> Option<&str> {
-        match self {
-            Json::Str(s) => Some(s),
-            _ => None,
-        }
-    }
-
-    /// The value as an array, if it is one.
-    pub fn as_arr(&self) -> Option<&[Json]> {
-        match self {
-            Json::Arr(items) => Some(items),
-            _ => None,
-        }
-    }
-
-    /// Parses a JSON document.
-    pub fn parse(text: &str) -> Result<Json, String> {
-        let bytes = text.as_bytes();
-        let mut pos = 0;
-        let value = parse_value(bytes, &mut pos)?;
-        skip_ws(bytes, &mut pos);
-        if pos != bytes.len() {
-            return Err(format!("trailing content at byte {pos}"));
-        }
-        Ok(value)
-    }
-
-    /// Serializes with 2-space indentation.
-    pub fn render(&self) -> String {
-        let mut out = String::new();
-        render_value(self, 0, &mut out);
-        out.push('\n');
-        out
-    }
-}
-
-fn skip_ws(bytes: &[u8], pos: &mut usize) {
-    while *pos < bytes.len() && bytes[*pos].is_ascii_whitespace() {
-        *pos += 1;
-    }
-}
-
-fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
-    skip_ws(bytes, pos);
-    match bytes.get(*pos) {
-        None => Err("unexpected end of input".to_string()),
-        Some(b'{') => {
-            *pos += 1;
-            let mut fields = Vec::new();
-            skip_ws(bytes, pos);
-            if bytes.get(*pos) == Some(&b'}') {
-                *pos += 1;
-                return Ok(Json::Obj(fields));
-            }
-            loop {
-                skip_ws(bytes, pos);
-                let key = match parse_value(bytes, pos)? {
-                    Json::Str(s) => s,
-                    other => return Err(format!("object key must be a string, got {other:?}")),
-                };
-                skip_ws(bytes, pos);
-                if bytes.get(*pos) != Some(&b':') {
-                    return Err(format!("expected ':' at byte {pos}"));
-                }
-                *pos += 1;
-                fields.push((key, parse_value(bytes, pos)?));
-                skip_ws(bytes, pos);
-                match bytes.get(*pos) {
-                    Some(b',') => *pos += 1,
-                    Some(b'}') => {
-                        *pos += 1;
-                        return Ok(Json::Obj(fields));
-                    }
-                    _ => return Err(format!("expected ',' or '}}' at byte {pos}")),
-                }
-            }
-        }
-        Some(b'[') => {
-            *pos += 1;
-            let mut items = Vec::new();
-            skip_ws(bytes, pos);
-            if bytes.get(*pos) == Some(&b']') {
-                *pos += 1;
-                return Ok(Json::Arr(items));
-            }
-            loop {
-                items.push(parse_value(bytes, pos)?);
-                skip_ws(bytes, pos);
-                match bytes.get(*pos) {
-                    Some(b',') => *pos += 1,
-                    Some(b']') => {
-                        *pos += 1;
-                        return Ok(Json::Arr(items));
-                    }
-                    _ => return Err(format!("expected ',' or ']' at byte {pos}")),
-                }
-            }
-        }
-        Some(b'"') => {
-            *pos += 1;
-            let mut out = String::new();
-            loop {
-                match bytes.get(*pos) {
-                    None => return Err("unterminated string".to_string()),
-                    Some(b'"') => {
-                        *pos += 1;
-                        return Ok(Json::Str(out));
-                    }
-                    Some(b'\\') => {
-                        *pos += 1;
-                        match bytes.get(*pos) {
-                            Some(b'"') => out.push('"'),
-                            Some(b'\\') => out.push('\\'),
-                            Some(b'/') => out.push('/'),
-                            Some(b'n') => out.push('\n'),
-                            Some(b't') => out.push('\t'),
-                            Some(b'r') => out.push('\r'),
-                            other => return Err(format!("unsupported escape {other:?}")),
-                        }
-                        *pos += 1;
-                    }
-                    Some(&b) => {
-                        // Multi-byte UTF-8 sequences pass through unchanged.
-                        let start = *pos;
-                        let mut end = *pos + 1;
-                        if b >= 0x80 {
-                            while end < bytes.len() && bytes[end] & 0xc0 == 0x80 {
-                                end += 1;
-                            }
-                        }
-                        out.push_str(
-                            std::str::from_utf8(&bytes[start..end])
-                                .map_err(|e| e.to_string())?,
-                        );
-                        *pos = end;
-                    }
-                }
-            }
-        }
-        Some(b't') if bytes[*pos..].starts_with(b"true") => {
-            *pos += 4;
-            Ok(Json::Bool(true))
-        }
-        Some(b'f') if bytes[*pos..].starts_with(b"false") => {
-            *pos += 5;
-            Ok(Json::Bool(false))
-        }
-        Some(b'n') if bytes[*pos..].starts_with(b"null") => {
-            *pos += 4;
-            Ok(Json::Null)
-        }
-        Some(_) => {
-            let start = *pos;
-            while *pos < bytes.len()
-                && matches!(bytes[*pos], b'-' | b'+' | b'.' | b'e' | b'E' | b'0'..=b'9')
-            {
-                *pos += 1;
-            }
-            let text = std::str::from_utf8(&bytes[start..*pos]).map_err(|e| e.to_string())?;
-            text.parse::<f64>().map(Json::Num).map_err(|e| format!("bad number '{text}': {e}"))
-        }
-    }
-}
-
-fn render_value(value: &Json, indent: usize, out: &mut String) {
-    let pad = "  ".repeat(indent);
-    match value {
-        Json::Null => out.push_str("null"),
-        Json::Bool(b) => {
-            let _ = write!(out, "{b}");
-        }
-        Json::Num(n) => {
-            if n.fract() == 0.0 && n.abs() < 1e15 {
-                let _ = write!(out, "{}", *n as i64);
-            } else {
-                let _ = write!(out, "{n:.6}");
-            }
-        }
-        Json::Str(s) => {
-            out.push('"');
-            for c in s.chars() {
-                match c {
-                    '"' => out.push_str("\\\""),
-                    '\\' => out.push_str("\\\\"),
-                    '\n' => out.push_str("\\n"),
-                    '\t' => out.push_str("\\t"),
-                    '\r' => out.push_str("\\r"),
-                    other => out.push(other),
-                }
-            }
-            out.push('"');
-        }
-        Json::Arr(items) => {
-            if items.is_empty() {
-                out.push_str("[]");
-                return;
-            }
-            out.push_str("[\n");
-            for (i, item) in items.iter().enumerate() {
-                let _ = write!(out, "{pad}  ");
-                render_value(item, indent + 1, out);
-                out.push_str(if i + 1 < items.len() { ",\n" } else { "\n" });
-            }
-            let _ = write!(out, "{pad}]");
-        }
-        Json::Obj(fields) => {
-            if fields.is_empty() {
-                out.push_str("{}");
-                return;
-            }
-            out.push_str("{\n");
-            for (i, (key, val)) in fields.iter().enumerate() {
-                let _ = write!(out, "{pad}  \"{key}\": ");
-                render_value(val, indent + 1, out);
-                out.push_str(if i + 1 < fields.len() { ",\n" } else { "\n" });
-            }
-            let _ = write!(out, "{pad}}}");
-        }
-    }
-}
+// The hand-rolled JSON reader/writer that used to live here moved to
+// `lpo-serve`, where the wire protocol shares it; the results schema
+// keeps using it from its old path via this re-export.
+pub use lpo_serve::json::Json;
 
 /// One per-table entry (the latest run's numbers for that table).
 #[derive(Clone, Debug, PartialEq)]
@@ -648,6 +395,72 @@ impl ExecEntry {
     }
 }
 
+/// The serving-shell benchmark section (`repro bench-serve`).
+///
+/// A real server on a loopback socket, measured end to end through the wire
+/// protocol: one cold submission of the rq1 corpus against an empty store,
+/// then warm resubmissions answered from the shared verdict store until the
+/// measurement window fills. `warm_speedup` is warm jobs-per-second times
+/// cold seconds-per-job — machine-independent, like the other speedup
+/// ratios. The cache-hit rates are exact (counter deltas, not timings):
+/// cold ≈ 0 by construction, warm = 1.0 when every Stage-3 verdict replays.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ServeEntry {
+    /// Protocol round-trips per second over the whole scripted session.
+    pub requests_per_second: f64,
+    /// Wall-clock seconds of the cold (empty-store) submission.
+    pub cold_seconds: f64,
+    /// Warm submissions of the same corpus per second.
+    pub warm_jobs_per_second: f64,
+    /// `warm_jobs_per_second * cold_seconds` — how many warm jobs fit in
+    /// one cold job's time (machine-independent).
+    pub warm_speedup: f64,
+    /// Verdict-store hit rate of the cold submission.
+    pub cold_cache_hit_rate: f64,
+    /// Verdict-store hit rate across the warm submissions.
+    pub cache_hit_rate: f64,
+    /// Cases per submission.
+    pub cases: usize,
+    /// Warm submissions measured.
+    pub warm_jobs: usize,
+    /// Protocol requests issued by the session.
+    pub requests: usize,
+    /// Worker threads of the server.
+    pub jobs: usize,
+}
+
+impl ServeEntry {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("requests_per_second".into(), Json::Num(self.requests_per_second)),
+            ("cold_seconds".into(), Json::Num(self.cold_seconds)),
+            ("warm_jobs_per_second".into(), Json::Num(self.warm_jobs_per_second)),
+            ("warm_speedup".into(), Json::Num(self.warm_speedup)),
+            ("cold_cache_hit_rate".into(), Json::Num(self.cold_cache_hit_rate)),
+            ("cache_hit_rate".into(), Json::Num(self.cache_hit_rate)),
+            ("cases".into(), Json::Num(self.cases as f64)),
+            ("warm_jobs".into(), Json::Num(self.warm_jobs as f64)),
+            ("requests".into(), Json::Num(self.requests as f64)),
+            ("jobs".into(), Json::Num(self.jobs as f64)),
+        ])
+    }
+
+    fn from_json(value: &Json) -> Option<ServeEntry> {
+        Some(ServeEntry {
+            requests_per_second: value.get("requests_per_second")?.as_num()?,
+            cold_seconds: value.get("cold_seconds")?.as_num()?,
+            warm_jobs_per_second: value.get("warm_jobs_per_second")?.as_num()?,
+            warm_speedup: value.get("warm_speedup")?.as_num()?,
+            cold_cache_hit_rate: value.get("cold_cache_hit_rate")?.as_num()?,
+            cache_hit_rate: value.get("cache_hit_rate")?.as_num()?,
+            cases: value.get("cases")?.as_num()? as usize,
+            warm_jobs: value.get("warm_jobs")?.as_num()? as usize,
+            requests: value.get("requests")?.as_num()? as usize,
+            jobs: value.get("jobs")?.as_num()? as usize,
+        })
+    }
+}
+
 /// One `repro` invocation in the append-only history.
 #[derive(Clone, Debug, PartialEq)]
 pub struct RunRecord {
@@ -667,6 +480,8 @@ pub struct RunRecord {
     pub tv: Option<TvEntry>,
     /// The sharded-execution microbenchmark, when this invocation ran it.
     pub exec: Option<ExecEntry>,
+    /// The serving-shell benchmark, when this invocation ran it.
+    pub serve: Option<ServeEntry>,
 }
 
 impl RunRecord {
@@ -689,6 +504,9 @@ impl RunRecord {
         if let Some(exec) = &self.exec {
             fields.push(("exec".into(), exec.to_json()));
         }
+        if let Some(serve) = &self.serve {
+            fields.push(("serve".into(), serve.to_json()));
+        }
         Json::Obj(fields)
     }
 
@@ -707,6 +525,7 @@ impl RunRecord {
             opt: value.get("opt").and_then(OptEntry::from_json),
             tv: value.get("tv").and_then(TvEntry::from_json),
             exec: value.get("exec").and_then(ExecEntry::from_json),
+            serve: value.get("serve").and_then(ServeEntry::from_json),
         })
     }
 }
@@ -726,6 +545,8 @@ pub struct RunEntries {
     pub tv: Option<TvEntry>,
     /// The sharded-execution microbenchmark (`bench-exec`), if run.
     pub exec: Option<ExecEntry>,
+    /// The serving-shell benchmark (`bench-serve`), if run.
+    pub serve: Option<ServeEntry>,
 }
 
 impl RunEntries {
@@ -736,6 +557,7 @@ impl RunEntries {
             && self.opt.is_none()
             && self.tv.is_none()
             && self.exec.is_none()
+            && self.serve.is_none()
     }
 }
 
@@ -752,6 +574,8 @@ pub struct BenchResults {
     pub tv: Option<TvEntry>,
     /// Latest sharded-execution microbenchmark.
     pub exec: Option<ExecEntry>,
+    /// Latest serving-shell benchmark.
+    pub serve: Option<ServeEntry>,
     /// Append-only invocation history.
     pub runs: Vec<RunRecord>,
 }
@@ -784,6 +608,7 @@ impl BenchResults {
         results.opt = value.get("opt").and_then(OptEntry::from_json);
         results.tv = value.get("tv").and_then(TvEntry::from_json);
         results.exec = value.get("exec").and_then(ExecEntry::from_json);
+        results.serve = value.get("serve").and_then(ServeEntry::from_json);
         if let Some(runs) = value.get("runs").and_then(Json::as_arr) {
             results.runs = runs.iter().filter_map(RunRecord::from_json).collect();
         }
@@ -795,7 +620,7 @@ impl BenchResults {
     /// present) replace the previous ones, and the invocation is appended to
     /// `runs` with the next run index.
     pub fn record(&mut self, command: &str, jobs_requested: usize, entries: RunEntries) {
-        let RunEntries { tables, interp, opt, tv, exec } = entries;
+        let RunEntries { tables, interp, opt, tv, exec, serve } = entries;
         for entry in &tables {
             match self.tables.iter_mut().find(|t| t.name == entry.name) {
                 Some(slot) => *slot = entry.clone(),
@@ -814,6 +639,9 @@ impl BenchResults {
         if exec.is_some() {
             self.exec = exec.clone();
         }
+        if serve.is_some() {
+            self.serve = serve.clone();
+        }
         let run = self.runs.last().map(|r| r.run + 1).unwrap_or(1);
         self.runs.push(RunRecord {
             run,
@@ -824,6 +652,7 @@ impl BenchResults {
             opt,
             tv,
             exec,
+            serve,
         });
     }
 
@@ -844,6 +673,9 @@ impl BenchResults {
         }
         if let Some(exec) = &self.exec {
             fields.push(("exec".into(), exec.to_json()));
+        }
+        if let Some(serve) = &self.serve {
+            fields.push(("serve".into(), serve.to_json()));
         }
         fields.push(("runs".into(), Json::Arr(self.runs.iter().map(RunRecord::to_json).collect())));
         Json::Obj(fields).render()
@@ -870,27 +702,6 @@ impl BenchResults {
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    #[test]
-    fn json_round_trip() {
-        let text = r#"{"a": 1, "b": [true, null, "x\ny"], "c": {"d": -2.5}}"#;
-        let parsed = Json::parse(text).unwrap();
-        assert_eq!(parsed.get("a").unwrap().as_num(), Some(1.0));
-        assert_eq!(parsed.get("b").unwrap().as_arr().unwrap().len(), 3);
-        assert_eq!(parsed.get("c").unwrap().get("d").unwrap().as_num(), Some(-2.5));
-        // Rendered output parses back to the same value.
-        let rendered = parsed.render();
-        assert_eq!(Json::parse(&rendered).unwrap(), parsed);
-    }
-
-    #[test]
-    fn json_errors_are_reported() {
-        assert!(Json::parse("{").is_err());
-        assert!(Json::parse("[1, ]").is_err());
-        assert!(Json::parse("{\"a\" 1}").is_err());
-        assert!(Json::parse("12x").is_err());
-        assert!(Json::parse("\"unterminated").is_err());
-    }
 
     fn table(name: &str, cps: f64) -> TableEntry {
         TableEntry {

@@ -48,7 +48,7 @@ use lpo_tv::prelude::{input_count, EvalArena};
 use std::any::Any;
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
@@ -320,6 +320,44 @@ pub struct Persist<'a> {
     pub resume: bool,
 }
 
+/// An observer callback: `(input case index, settled report, resumed)`.
+pub type BatchObserver<'a> = &'a (dyn Fn(usize, &CaseReport, bool) + Sync);
+
+/// Observation and control hooks for a batch run — the serving layer's
+/// window into the engine.
+///
+/// Both hooks are scheduling-sensitive in *when* they fire but must never
+/// influence *what* is computed: the observer only reads settled reports, and
+/// cancellation only substitutes `Failed` reports for cases that have not
+/// started (which are never checkpointed, so a resumed or resubmitted run
+/// recomputes them).
+#[derive(Clone, Copy, Default)]
+pub struct BatchHooks<'a> {
+    /// Called once per *unique* case as its report settles, with
+    /// `(input case index, report, resumed)` where `resumed` says the report
+    /// replayed from a checkpoint instead of being computed. Calls arrive in
+    /// completion order (scheduling-dependent); dedup replays do not fire it —
+    /// consumers that need every input index replay duplicates from the
+    /// returned [`BatchResult::reports`].
+    pub observer: Option<BatchObserver<'a>>,
+    /// Cooperative cancellation, checked at the case boundary: once set, every
+    /// not-yet-started case reports
+    /// [`CaseOutcome::Failed`](crate::report::CaseOutcome::Failed) with a
+    /// "job cancelled" error instead of running. In-flight cases complete
+    /// normally.
+    pub cancel: Option<&'a AtomicBool>,
+}
+
+impl BatchHooks<'_> {
+    /// `true` once the cancel flag (if any) has been raised.
+    fn cancelled(&self) -> bool {
+        self.cancel.is_some_and(|flag| flag.load(Ordering::Relaxed))
+    }
+}
+
+/// The error text of a report produced by [`BatchHooks::cancel`].
+pub const CANCELLED_ERROR: &str = "job cancelled before this case started";
+
 /// Fans `Lpo::optimize_sequence` out over `sequences`: the core of
 /// [`Lpo::run_sequences`](crate::Lpo::run_sequences).
 ///
@@ -358,6 +396,20 @@ pub fn run_batch_persisted(
     sequences: &[Function],
     config: &ExecConfig,
     persist: Option<&Persist<'_>>,
+) -> BatchResult {
+    run_batch_hooked(lpo, factory, round, sequences, config, persist, BatchHooks::default())
+}
+
+/// [`run_batch_persisted`] with [`BatchHooks`]: per-case streaming and
+/// cooperative per-job cancellation, the entry point `lpo-serve` drives.
+pub fn run_batch_hooked(
+    lpo: &Lpo,
+    factory: &dyn ModelFactory,
+    round: u64,
+    sequences: &[Function],
+    config: &ExecConfig,
+    persist: Option<&Persist<'_>>,
+    hooks: BatchHooks<'_>,
 ) -> BatchResult {
     let start = Instant::now();
     let plan = DedupPlan::new(sequences, config.dedup);
@@ -402,16 +454,26 @@ pub fn run_batch_persisted(
     // is checkpointed before the slot is filled.
     let run_case = |slot: usize, arena: &mut EvalArena, report_fn: &dyn Fn(&mut EvalArena) -> CaseReport| -> CaseReport {
         if let Some(report) = &loaded[slot] {
+            if let Some(observer) = hooks.observer {
+                observer(unique[slot], report, true);
+            }
             return report.clone();
         }
         let case_start = Instant::now();
-        let report = match catch_unwind(AssertUnwindSafe(|| report_fn(arena))) {
-            Ok(report) => report,
-            Err(payload) => CaseReport::failed(
-                format!("case panicked: {}", panic_message(payload.as_ref())),
-                0,
-                case_start.elapsed(),
-            ),
+        // Cancellation substitutes a `Failed` report for a case that has not
+        // started. Failed reports are never checkpointed, so a resubmission
+        // retries the case.
+        let report = if hooks.cancelled() {
+            CaseReport::failed(CANCELLED_ERROR.to_string(), 0, case_start.elapsed())
+        } else {
+            match catch_unwind(AssertUnwindSafe(|| report_fn(arena))) {
+                Ok(report) => report,
+                Err(payload) => CaseReport::failed(
+                    format!("case panicked: {}", panic_message(payload.as_ref())),
+                    0,
+                    case_start.elapsed(),
+                ),
+            }
         };
         if let Some(p) = persist {
             if !report.outcome.is_failed() {
@@ -423,6 +485,9 @@ pub fn run_batch_persisted(
                     &report.checkpoint_blob(),
                 );
             }
+        }
+        if let Some(observer) = hooks.observer {
+            observer(unique[slot], &report, false);
         }
         report
     };
@@ -582,6 +647,59 @@ mod tests {
         // The replayed reports are byte-identical to their representative.
         assert_eq!(batch.reports[2].fingerprint(), batch.reports[0].fingerprint());
         assert_eq!(batch.reports[3].fingerprint(), batch.reports[0].fingerprint());
+    }
+
+    #[test]
+    fn hooks_observe_unique_cases_and_cancel_cleanly() {
+        let clamp = parse_function(CLAMP).unwrap();
+        let boring = parse_function(BORING).unwrap();
+        let sequences = vec![clamp.clone(), boring, clamp];
+        let lpo = Lpo::new(LpoConfig::default());
+        let factory = SimulatedModelFactory::new(gemini2_0t(), 42);
+
+        // The observer fires once per unique case, with its input index.
+        let seen: Mutex<Vec<(usize, String, bool)>> = Mutex::new(Vec::new());
+        let observer = |index: usize, report: &CaseReport, resumed: bool| {
+            seen.lock().unwrap().push((index, report.fingerprint(), resumed));
+        };
+        let hooks = BatchHooks { observer: Some(&observer), cancel: None };
+        let batch = run_batch_hooked(
+            &lpo,
+            &factory,
+            0,
+            &sequences,
+            &ExecConfig::serial(),
+            None,
+            hooks,
+        );
+        let mut seen = seen.into_inner().unwrap();
+        seen.sort_by_key(|(index, _, _)| *index);
+        assert_eq!(seen.len(), 2, "one observation per unique case");
+        assert_eq!(seen[0].0, 0);
+        assert_eq!(seen[1].0, 1);
+        assert_eq!(seen[0].1, batch.reports[0].fingerprint());
+        assert_eq!(seen[1].1, batch.reports[1].fingerprint());
+        assert!(seen.iter().all(|(_, _, resumed)| !resumed));
+
+        // A pre-raised cancel flag fails every case without running any.
+        let cancel = AtomicBool::new(true);
+        let factory_counting = CountingFactory::new(42);
+        let hooks = BatchHooks { observer: None, cancel: Some(&cancel) };
+        let cancelled = run_batch_hooked(
+            &lpo,
+            &factory_counting,
+            0,
+            &sequences,
+            &ExecConfig::serial(),
+            None,
+            hooks,
+        );
+        assert_eq!(factory_counting.sessions.load(Ordering::Relaxed), 0);
+        assert_eq!(cancelled.summary.failed, 3);
+        assert!(cancelled
+            .reports
+            .iter()
+            .all(|r| r.fingerprint().contains(CANCELLED_ERROR)));
     }
 
     #[test]

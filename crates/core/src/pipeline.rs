@@ -344,6 +344,7 @@ impl Lpo {
         let mut attempts = 0;
         let mut last_outcome = CaseOutcome::NotInteresting;
         let mut last_tier = None;
+        let mut store_hits = 0;
         // Lazy: cases that never reach step ⑤ (syntax errors, uninteresting
         // candidates) pay nothing for input generation or source evaluation.
         // Probe survivors compile through the pipeline-wide cache, so a
@@ -427,6 +428,7 @@ impl Lpo {
                         .and_then(|blob| decode_verdict(&blob))
                     {
                         Some((stored, tier)) => {
+                            store_hits += 1;
                             last_tier = tier;
                             stored
                         }
@@ -480,6 +482,7 @@ impl Lpo {
             modeled_time: modeled,
             cost_usd: cost,
             tier: last_tier,
+            store_hits,
         }
     }
 

@@ -63,6 +63,14 @@ pub struct CaseReport {
     /// [`fingerprint`](Self::fingerprint), which pins behaviour, not
     /// machinery.
     pub tier: Option<VerdictTier>,
+    /// How many of this case's Stage-3 verdicts replayed from the attached
+    /// [`VerdictStore`](lpo_store::VerdictStore) instead of being computed
+    /// (0 without a store, or when every lookup missed). Like `tier` this is
+    /// machinery, not behaviour: excluded from
+    /// [`fingerprint`](Self::fingerprint) and from
+    /// [`checkpoint_blob`](Self::checkpoint_blob) (a replayed checkpoint
+    /// reports 0 — it did no lookups).
+    pub store_hits: usize,
 }
 
 impl CaseReport {
@@ -100,6 +108,7 @@ impl CaseReport {
             modeled_time: Duration::ZERO,
             cost_usd: 0.0,
             tier: None,
+            store_hits: 0,
         }
     }
 
@@ -169,6 +178,7 @@ impl CaseReport {
             modeled_time: Duration::from_nanos(modeled_ns),
             cost_usd,
             tier,
+            store_hits: 0,
         })
     }
 }
@@ -257,6 +267,7 @@ mod tests {
             modeled_time: Duration::from_secs_f64(secs),
             cost_usd: 0.001,
             tier: None,
+            store_hits: 0,
         }
     }
 

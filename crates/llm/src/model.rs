@@ -192,6 +192,25 @@ pub trait ModelFactory: Send + Sync {
     fn session(&self, round: u64, case_index: u64) -> Box<dyn ModelSession>;
 }
 
+/// A shared factory is a factory: lets long-lived drivers (the serving
+/// layer, chaos harnesses) hand the engine an `Arc` while keeping their own
+/// handle to inspect the factory afterwards — e.g. a
+/// [`FaultyModelFactory`](crate::fault::FaultyModelFactory)'s injected-fault
+/// ledger.
+impl<F: ModelFactory + ?Sized> ModelFactory for std::sync::Arc<F> {
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+
+    fn profile(&self) -> Option<&crate::profiles::ModelProfile> {
+        (**self).profile()
+    }
+
+    fn session(&self, round: u64, case_index: u64) -> Box<dyn ModelSession> {
+        (**self).session(round, case_index)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

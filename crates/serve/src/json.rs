@@ -1,0 +1,370 @@
+//! The hand-rolled JSON reader/writer shared by the wire protocol and the
+//! `BENCH_results.json` store.
+//!
+//! This started life inside `lpo-bench`'s results module; the serving layer
+//! moved it here so the wire protocol and the benchmark store parse and
+//! render with the same code (`lpo-bench` re-exports [`Json`] from its old
+//! path). The container has no crates.io access (no serde), so this covers
+//! exactly the subset the two schemas need: objects, arrays, strings,
+//! numbers, booleans and null.
+
+use std::fmt::Write as _;
+
+/// A parsed JSON value (the minimal subset the protocol and results schemas
+/// use).
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any number (stored as `f64`; the schemas never need 64-bit ints).
+    Num(f64),
+    /// A string (no escape sequences beyond `\" \\ \n \t` are produced).
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, with insertion order preserved.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Looks up an object field.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as a number, if it is one.
+    pub fn as_num(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The value as a string, if it is one.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as a bool, if it is one.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The value as an array, if it is one.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Parses a JSON document.
+    pub fn parse(text: &str) -> Result<Json, String> {
+        let bytes = text.as_bytes();
+        let mut pos = 0;
+        let value = parse_value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(format!("trailing content at byte {pos}"));
+        }
+        Ok(value)
+    }
+
+    /// Serializes with 2-space indentation.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        render_value(self, 0, &mut out);
+        out.push('\n');
+        out
+    }
+
+    /// Serializes onto a single line with no whitespace — the wire framing
+    /// of the serve protocol (one value per `\n`-terminated line). Escaped
+    /// strings never contain a raw newline, so the frame boundary is
+    /// unambiguous.
+    pub fn render_compact(&self) -> String {
+        let mut out = String::new();
+        render_compact_value(self, &mut out);
+        out
+    }
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && bytes[*pos].is_ascii_whitespace() {
+        *pos += 1;
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        None => Err("unexpected end of input".to_string()),
+        Some(b'{') => {
+            *pos += 1;
+            let mut fields = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Json::Obj(fields));
+            }
+            loop {
+                skip_ws(bytes, pos);
+                let key = match parse_value(bytes, pos)? {
+                    Json::Str(s) => s,
+                    other => return Err(format!("object key must be a string, got {other:?}")),
+                };
+                skip_ws(bytes, pos);
+                if bytes.get(*pos) != Some(&b':') {
+                    return Err(format!("expected ':' at byte {pos}"));
+                }
+                *pos += 1;
+                fields.push((key, parse_value(bytes, pos)?));
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Json::Obj(fields));
+                    }
+                    _ => return Err(format!("expected ',' or '}}' at byte {pos}")),
+                }
+            }
+        }
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            loop {
+                items.push(parse_value(bytes, pos)?);
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Json::Arr(items));
+                    }
+                    _ => return Err(format!("expected ',' or ']' at byte {pos}")),
+                }
+            }
+        }
+        Some(b'"') => {
+            *pos += 1;
+            let mut out = String::new();
+            loop {
+                match bytes.get(*pos) {
+                    None => return Err("unterminated string".to_string()),
+                    Some(b'"') => {
+                        *pos += 1;
+                        return Ok(Json::Str(out));
+                    }
+                    Some(b'\\') => {
+                        *pos += 1;
+                        match bytes.get(*pos) {
+                            Some(b'"') => out.push('"'),
+                            Some(b'\\') => out.push('\\'),
+                            Some(b'/') => out.push('/'),
+                            Some(b'n') => out.push('\n'),
+                            Some(b't') => out.push('\t'),
+                            Some(b'r') => out.push('\r'),
+                            other => return Err(format!("unsupported escape {other:?}")),
+                        }
+                        *pos += 1;
+                    }
+                    Some(&b) => {
+                        // Multi-byte UTF-8 sequences pass through unchanged.
+                        let start = *pos;
+                        let mut end = *pos + 1;
+                        if b >= 0x80 {
+                            while end < bytes.len() && bytes[end] & 0xc0 == 0x80 {
+                                end += 1;
+                            }
+                        }
+                        out.push_str(
+                            std::str::from_utf8(&bytes[start..end])
+                                .map_err(|e| e.to_string())?,
+                        );
+                        *pos = end;
+                    }
+                }
+            }
+        }
+        Some(b't') if bytes[*pos..].starts_with(b"true") => {
+            *pos += 4;
+            Ok(Json::Bool(true))
+        }
+        Some(b'f') if bytes[*pos..].starts_with(b"false") => {
+            *pos += 5;
+            Ok(Json::Bool(false))
+        }
+        Some(b'n') if bytes[*pos..].starts_with(b"null") => {
+            *pos += 4;
+            Ok(Json::Null)
+        }
+        Some(_) => {
+            let start = *pos;
+            while *pos < bytes.len()
+                && matches!(bytes[*pos], b'-' | b'+' | b'.' | b'e' | b'E' | b'0'..=b'9')
+            {
+                *pos += 1;
+            }
+            let text = std::str::from_utf8(&bytes[start..*pos]).map_err(|e| e.to_string())?;
+            text.parse::<f64>().map(Json::Num).map_err(|e| format!("bad number '{text}': {e}"))
+        }
+    }
+}
+
+fn render_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            other => out.push(other),
+        }
+    }
+    out.push('"');
+}
+
+fn render_number(n: f64, out: &mut String) {
+    if n.fract() == 0.0 && n.abs() < 1e15 {
+        let _ = write!(out, "{}", n as i64);
+    } else {
+        let _ = write!(out, "{n:.6}");
+    }
+}
+
+fn render_value(value: &Json, indent: usize, out: &mut String) {
+    let pad = "  ".repeat(indent);
+    match value {
+        Json::Null => out.push_str("null"),
+        Json::Bool(b) => {
+            let _ = write!(out, "{b}");
+        }
+        Json::Num(n) => render_number(*n, out),
+        Json::Str(s) => render_string(s, out),
+        Json::Arr(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push_str("[\n");
+            for (i, item) in items.iter().enumerate() {
+                let _ = write!(out, "{pad}  ");
+                render_value(item, indent + 1, out);
+                out.push_str(if i + 1 < items.len() { ",\n" } else { "\n" });
+            }
+            let _ = write!(out, "{pad}]");
+        }
+        Json::Obj(fields) => {
+            if fields.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push_str("{\n");
+            for (i, (key, val)) in fields.iter().enumerate() {
+                let _ = write!(out, "{pad}  \"{key}\": ");
+                render_value(val, indent + 1, out);
+                out.push_str(if i + 1 < fields.len() { ",\n" } else { "\n" });
+            }
+            let _ = write!(out, "{pad}}}");
+        }
+    }
+}
+
+fn render_compact_value(value: &Json, out: &mut String) {
+    match value {
+        Json::Null => out.push_str("null"),
+        Json::Bool(b) => {
+            let _ = write!(out, "{b}");
+        }
+        Json::Num(n) => render_number(*n, out),
+        Json::Str(s) => render_string(s, out),
+        Json::Arr(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                render_compact_value(item, out);
+            }
+            out.push(']');
+        }
+        Json::Obj(fields) => {
+            out.push('{');
+            for (i, (key, val)) in fields.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                render_string(key, out);
+                out.push(':');
+                render_compact_value(val, out);
+            }
+            out.push('}');
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_round_trip() {
+        let text = r#"{"a": 1, "b": [true, null, "x\ny"], "c": {"d": -2.5}}"#;
+        let parsed = Json::parse(text).unwrap();
+        assert_eq!(parsed.get("a").unwrap().as_num(), Some(1.0));
+        assert_eq!(parsed.get("b").unwrap().as_arr().unwrap().len(), 3);
+        assert_eq!(parsed.get("c").unwrap().get("d").unwrap().as_num(), Some(-2.5));
+        // Rendered output parses back to the same value.
+        let rendered = parsed.render();
+        assert_eq!(Json::parse(&rendered).unwrap(), parsed);
+    }
+
+    #[test]
+    fn json_errors_are_reported() {
+        assert!(Json::parse("{").is_err());
+        assert!(Json::parse("[1, ]").is_err());
+        assert!(Json::parse("{\"a\" 1}").is_err());
+        assert!(Json::parse("12x").is_err());
+        assert!(Json::parse("\"unterminated").is_err());
+    }
+
+    #[test]
+    fn compact_rendering_is_single_line_and_round_trips() {
+        let value = Json::Obj(vec![
+            ("kind".into(), Json::Str("case".into())),
+            ("text".into(), Json::Str("a\nb\t\"c\"".into())),
+            ("n".into(), Json::Num(2.5)),
+            ("flags".into(), Json::Arr(vec![Json::Bool(true), Json::Null])),
+            ("empty".into(), Json::Obj(Vec::new())),
+        ]);
+        let line = value.render_compact();
+        // The frame invariant: escaped output never contains a raw newline.
+        assert!(!line.contains('\n'));
+        assert_eq!(
+            line,
+            r#"{"kind":"case","text":"a\nb\t\"c\"","n":2.500000,"flags":[true,null],"empty":{}}"#
+        );
+        assert_eq!(Json::parse(&line).unwrap(), value);
+        assert_eq!(value.as_bool(), None);
+        assert_eq!(Json::Bool(true).as_bool(), Some(true));
+    }
+}

@@ -1,0 +1,44 @@
+//! `lpo-serve` — LPO as a long-running service.
+//!
+//! Batch mode (`repro run`) pays the pipeline's warm-up on every invocation
+//! and throws the process — with its compile caches and open verdict store —
+//! away at the end. This crate keeps that process alive: a
+//! [`Server`](server::Server) owns
+//! one shared [`Lpo`](lpo::prelude::Lpo) pipeline and one shared
+//! [`VerdictStore`](lpo::prelude::VerdictStore), accepts line-delimited JSON
+//! requests over TCP ([`protocol`]), and runs each submitted job through the
+//! same deterministic engine as batch mode, streaming per-case results back
+//! as they settle.
+//!
+//! The contract that makes serving trustworthy is *fingerprint identity*: a
+//! served job's per-case [`CaseReport`](lpo::prelude::CaseReport)
+//! fingerprints are byte-identical to a batch `run_batch_persisted` run of
+//! the same corpus, for any worker count and any store temperature. Warm
+//! resubmissions answer almost entirely from the shared store (the
+//! `bench-serve` gate holds the warm cache-hit rate above its baseline
+//! floor), and a restarted server resumes a killed job's checkpointed cases
+//! when the client resubmits with `"resume": true`.
+//!
+//! Module map:
+//!
+//! * [`json`] — the hand-rolled JSON used by both the wire protocol and
+//!   `lpo-bench`'s results store (which re-exports it);
+//! * [`protocol`] — request parsing and response frames;
+//! * [`server`] — the accept loop, bounded FIFO job queue, per-job
+//!   cancellation and result streaming;
+//! * [`client`] — a small blocking client (tests, `repro serve-client`).
+
+pub mod client;
+pub mod json;
+pub mod protocol;
+pub mod server;
+
+/// The crate's working set in one import.
+pub mod prelude {
+    pub use crate::client::{JobOutcome, ServeClient, SubmitOptions};
+    pub use crate::json::Json;
+    pub use crate::protocol::{Request, SubmitRequest, SubmitSource, MAX_FRAME_BYTES};
+    pub use crate::server::{
+        DefaultFactoryProvider, FactoryProvider, ServeConfig, Server,
+    };
+}

@@ -1,0 +1,282 @@
+//! The wire protocol: line-delimited JSON over TCP.
+//!
+//! Every frame is one JSON object on one `\n`-terminated line (strings are
+//! escaped, so a raw newline always ends a frame). Requests carry a `kind`
+//! field — `submit`, `stats` or `shutdown` — and responses echo a `kind` of
+//! `accepted`, `case`, `done`, `stats`, `error` or `bye`. A malformed or
+//! unknown request gets an `error` response and the connection stays usable;
+//! a frame longer than the server's limit is drained and answered with an
+//! `error` too.
+//!
+//! A `submit` names its workload either inline (`"module"`: IR text whose
+//! functions become the job's cases, in order) or by corpus name
+//! (`"corpus"`: `rq1` / `rq2`), plus optional `model` (default
+//! `Gemini2.0T`), `seed` (default 42), `round` (default 0) and `resume`
+//! (default false — replay checkpointed case reports from the store
+//! instead of recomputing them).
+
+use crate::json::Json;
+use lpo::prelude::{CaseOutcome, CaseReport};
+
+/// Default cap on one request frame, in bytes. IR modules are text; 4 MiB
+/// is far beyond any real submission and small enough that a stray
+/// non-protocol client cannot balloon server memory.
+pub const MAX_FRAME_BYTES: usize = 4 << 20;
+
+/// Default model profile for submissions that do not name one.
+pub const DEFAULT_MODEL: &str = "Gemini2.0T";
+
+/// Default model seed for submissions that do not carry one.
+pub const DEFAULT_SEED: u64 = 42;
+
+/// Where a submitted job's cases come from.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SubmitSource {
+    /// Inline IR text; each function in the module is one case.
+    Module(String),
+    /// A named built-in corpus (`rq1`, `rq2`).
+    Corpus(String),
+}
+
+/// A parsed `submit` request.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SubmitRequest {
+    /// The workload.
+    pub source: SubmitSource,
+    /// Model profile name ([`lpo_llm::profiles::by_name`]).
+    pub model: String,
+    /// Model seed.
+    pub seed: u64,
+    /// Experiment round (namespaces sessions and checkpoints).
+    pub round: u64,
+    /// Replay checkpointed case reports recorded under the same content key
+    /// instead of recomputing them (the serving counterpart of `--resume`).
+    pub resume: bool,
+}
+
+/// A parsed request frame.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Request {
+    /// Run a job; results stream back on this connection.
+    Submit(SubmitRequest),
+    /// Report server statistics.
+    Stats,
+    /// Stop the server.
+    Shutdown,
+}
+
+impl Request {
+    /// Parses one request line. The error string is sent back verbatim in an
+    /// `error` response.
+    pub fn parse(line: &str) -> Result<Request, String> {
+        let value = Json::parse(line).map_err(|e| format!("malformed request: {e}"))?;
+        let kind = value
+            .get("kind")
+            .and_then(Json::as_str)
+            .ok_or_else(|| "request has no \"kind\" field".to_string())?;
+        match kind {
+            "stats" => Ok(Request::Stats),
+            "shutdown" => Ok(Request::Shutdown),
+            "submit" => {
+                let module = value.get("module").map(|v| {
+                    v.as_str()
+                        .map(str::to_string)
+                        .ok_or_else(|| "\"module\" must be a string".to_string())
+                });
+                let corpus = value.get("corpus").map(|v| {
+                    v.as_str()
+                        .map(str::to_string)
+                        .ok_or_else(|| "\"corpus\" must be a string".to_string())
+                });
+                let source = match (module, corpus) {
+                    (Some(module), None) => SubmitSource::Module(module?),
+                    (None, Some(corpus)) => SubmitSource::Corpus(corpus?),
+                    (Some(_), Some(_)) => {
+                        return Err("submit carries both \"module\" and \"corpus\"".to_string())
+                    }
+                    (None, None) => {
+                        return Err("submit needs a \"module\" or a \"corpus\"".to_string())
+                    }
+                };
+                Ok(Request::Submit(SubmitRequest {
+                    source,
+                    model: match value.get("model") {
+                        Some(v) => v
+                            .as_str()
+                            .ok_or_else(|| "\"model\" must be a string".to_string())?
+                            .to_string(),
+                        None => DEFAULT_MODEL.to_string(),
+                    },
+                    seed: parse_u64(&value, "seed")?.unwrap_or(DEFAULT_SEED),
+                    round: parse_u64(&value, "round")?.unwrap_or(0),
+                    resume: match value.get("resume") {
+                        Some(v) => v
+                            .as_bool()
+                            .ok_or_else(|| "\"resume\" must be a boolean".to_string())?,
+                        None => false,
+                    },
+                }))
+            }
+            other => Err(format!("unknown request kind {other:?}")),
+        }
+    }
+}
+
+fn parse_u64(value: &Json, key: &str) -> Result<Option<u64>, String> {
+    match value.get(key) {
+        None => Ok(None),
+        Some(v) => {
+            let n = v.as_num().ok_or_else(|| format!("\"{key}\" must be a number"))?;
+            if n < 0.0 || n.fract() != 0.0 {
+                return Err(format!("\"{key}\" must be a non-negative integer"));
+            }
+            Ok(Some(n as u64))
+        }
+    }
+}
+
+/// The protocol's short name for a case outcome.
+pub fn outcome_kind(outcome: &CaseOutcome) -> &'static str {
+    match outcome {
+        CaseOutcome::Found { .. } => "found",
+        CaseOutcome::NotInteresting => "not-interesting",
+        CaseOutcome::Rejected => "rejected",
+        CaseOutcome::SyntaxError => "syntax-error",
+        CaseOutcome::Failed { .. } => "failed",
+    }
+}
+
+/// One `\n`-terminated response frame from a [`Json`] value.
+pub fn frame(value: &Json) -> String {
+    let mut line = value.render_compact();
+    line.push('\n');
+    line
+}
+
+/// The `error` response.
+pub fn error_frame(message: &str) -> String {
+    frame(&Json::Obj(vec![
+        ("kind".into(), Json::Str("error".into())),
+        ("message".into(), Json::Str(message.to_string())),
+    ]))
+}
+
+/// The `accepted` response opening a job's result stream.
+pub fn accepted_frame(job: u64, cases: usize, unique: usize) -> String {
+    frame(&Json::Obj(vec![
+        ("kind".into(), Json::Str("accepted".into())),
+        ("job".into(), Json::Num(job as f64)),
+        ("cases".into(), Json::Num(cases as f64)),
+        ("unique".into(), Json::Num(unique as f64)),
+    ]))
+}
+
+/// One streamed per-case result.
+///
+/// `fingerprint` is the full [`CaseReport::fingerprint`] — the protocol's
+/// determinism contract is that it is byte-identical to a batch-mode run of
+/// the same corpus. `store_hit` tags cases whose Stage-3 verdicts replayed
+/// from the shared verdict store; `resumed` tags checkpoint replays;
+/// `dedup` tags structural duplicates replaying their representative's
+/// report.
+pub fn case_frame(
+    job: u64,
+    case_index: usize,
+    report: &CaseReport,
+    resumed: bool,
+    dedup: bool,
+) -> String {
+    let tier = match report.tier {
+        Some(tier) => Json::Str(tier.as_str().to_string()),
+        None => Json::Null,
+    };
+    frame(&Json::Obj(vec![
+        ("kind".into(), Json::Str("case".into())),
+        ("job".into(), Json::Num(job as f64)),
+        ("case".into(), Json::Num(case_index as f64)),
+        ("outcome".into(), Json::Str(outcome_kind(&report.outcome).into())),
+        ("attempts".into(), Json::Num(report.attempts as f64)),
+        ("tier".into(), tier),
+        ("store_hit".into(), Json::Bool(report.store_hits > 0)),
+        ("resumed".into(), Json::Bool(resumed)),
+        ("dedup".into(), Json::Bool(dedup)),
+        ("fingerprint".into(), Json::Str(report.fingerprint())),
+    ]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn submit_requests_parse_with_defaults() {
+        let req = Request::parse(r#"{"kind":"submit","corpus":"rq1"}"#).unwrap();
+        match req {
+            Request::Submit(submit) => {
+                assert_eq!(submit.source, SubmitSource::Corpus("rq1".into()));
+                assert_eq!(submit.model, DEFAULT_MODEL);
+                assert_eq!(submit.seed, DEFAULT_SEED);
+                assert_eq!(submit.round, 0);
+                assert!(!submit.resume);
+            }
+            other => panic!("not a submit: {other:?}"),
+        }
+
+        let req = Request::parse(
+            r#"{"kind":"submit","module":"define i32 @f() {\n ret i32 0\n}","model":"GPT4.1","seed":7,"round":2,"resume":true}"#,
+        )
+        .unwrap();
+        match req {
+            Request::Submit(submit) => {
+                assert!(matches!(submit.source, SubmitSource::Module(ref m) if m.contains("@f")));
+                assert_eq!(submit.model, "GPT4.1");
+                assert_eq!(submit.seed, 7);
+                assert_eq!(submit.round, 2);
+                assert!(submit.resume);
+            }
+            other => panic!("not a submit: {other:?}"),
+        }
+
+        assert_eq!(Request::parse(r#"{"kind":"stats"}"#), Ok(Request::Stats));
+        assert_eq!(Request::parse(r#"{"kind":"shutdown"}"#), Ok(Request::Shutdown));
+    }
+
+    #[test]
+    fn malformed_requests_are_rejected_with_reasons() {
+        for (line, needle) in [
+            ("not json at all", "malformed request"),
+            (r#"{"no":"kind"}"#, "no \"kind\""),
+            (r#"{"kind":"frobnicate"}"#, "unknown request kind"),
+            (r#"{"kind":"submit"}"#, "needs a \"module\" or a \"corpus\""),
+            (r#"{"kind":"submit","module":"x","corpus":"rq1"}"#, "both"),
+            (r#"{"kind":"submit","corpus":"rq1","seed":-1}"#, "non-negative"),
+            (r#"{"kind":"submit","corpus":"rq1","seed":1.5}"#, "non-negative"),
+            (r#"{"kind":"submit","corpus":"rq1","resume":"yes"}"#, "boolean"),
+            (r#"{"kind":"submit","module":7}"#, "must be a string"),
+        ] {
+            let err = Request::parse(line).unwrap_err();
+            assert!(err.contains(needle), "line {line:?} gave error {err:?}");
+        }
+    }
+
+    #[test]
+    fn response_frames_are_single_lines() {
+        let report = CaseReport::failed("boom".into(), 1, Duration::ZERO);
+        for line in [
+            error_frame("bad"),
+            accepted_frame(3, 25, 24),
+            case_frame(3, 7, &report, false, true),
+        ] {
+            assert!(line.ends_with('\n'));
+            assert_eq!(line.matches('\n').count(), 1, "line: {line:?}");
+            let value = Json::parse(line.trim_end()).unwrap();
+            assert!(value.get("kind").is_some());
+        }
+        let case = Json::parse(case_frame(3, 7, &report, false, true).trim_end()).unwrap();
+        assert_eq!(case.get("outcome").unwrap().as_str(), Some("failed"));
+        assert_eq!(case.get("dedup").unwrap().as_bool(), Some(true));
+        assert_eq!(case.get("store_hit").unwrap().as_bool(), Some(false));
+        assert_eq!(case.get("tier"), Some(&Json::Null));
+    }
+}

@@ -143,6 +143,18 @@ impl StoreStats {
     pub fn is_empty(&self) -> bool {
         *self == StoreStats::default()
     }
+
+    /// Fraction of verdict lookups answered from the store, in `0.0..=1.0`
+    /// (`0.0` when there were no lookups at all). This is the cache-hit rate
+    /// the serving layer reports and `BENCH_baseline.json` gates.
+    pub fn verdict_hit_rate(&self) -> f64 {
+        let lookups = self.verdict_hits + self.verdict_misses;
+        if lookups == 0 {
+            0.0
+        } else {
+            self.verdict_hits as f64 / lookups as f64
+        }
+    }
 }
 
 /// One parsed log record.
@@ -786,5 +798,15 @@ mod tests {
         assert_eq!(acc, a);
         assert!(StoreStats::default().is_empty());
         assert!(!a.is_empty());
+    }
+
+    #[test]
+    fn verdict_hit_rate_is_hits_over_lookups() {
+        let a = StoreStats { verdict_hits: 9, verdict_misses: 1, case_replays: 0 };
+        assert!((a.verdict_hit_rate() - 0.9).abs() < 1e-12);
+        let all_hits = StoreStats { verdict_hits: 4, verdict_misses: 0, case_replays: 7 };
+        assert_eq!(all_hits.verdict_hit_rate(), 1.0);
+        // No lookups at all: 0.0, not NaN.
+        assert_eq!(StoreStats::default().verdict_hit_rate(), 0.0);
     }
 }

@@ -1,0 +1,216 @@
+//! Adversarial-input tests for the serving shell's wire boundary.
+//!
+//! A server on an open socket must treat every byte as hostile: garbage
+//! frames, oversized payloads, invalid IR, unknown request kinds and
+//! abruptly dying clients all have to produce a structured `error` frame or
+//! a clean cancellation — never a panic, a wedged queue, or a poisoned
+//! verdict store. Each test finishes by proving the server still serves a
+//! pristine job whose fingerprints match the batch-mode reference.
+
+use lpo::prelude::*;
+use lpo_corpus::rq1_suite;
+use lpo_ir::function::Function;
+use lpo_llm::prelude::{gemini2_0t, SimulatedModelFactory};
+use lpo_serve::json::Json;
+use lpo_serve::prelude::{JobOutcome, ServeClient, ServeConfig, Server, SubmitOptions};
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// A small frame cap so the oversized-payload path is cheap to exercise.
+const TEST_FRAME_CAP: usize = 4096;
+
+fn suite() -> Vec<Function> {
+    rq1_suite().into_iter().map(|case| case.function).collect()
+}
+
+fn reference() -> Vec<String> {
+    let lpo = Lpo::new(LpoConfig::default());
+    let factory = SimulatedModelFactory::new(gemini2_0t(), 42);
+    let batch = lpo::exec::run_batch_persisted(
+        &lpo,
+        &factory,
+        0,
+        &suite(),
+        &ExecConfig::with_jobs(2),
+        None,
+    );
+    batch.reports.iter().map(CaseReport::fingerprint).collect()
+}
+
+fn start() -> (String, thread::JoinHandle<std::io::Result<()>>) {
+    let config = ServeConfig { jobs: 2, max_frame_bytes: TEST_FRAME_CAP, ..ServeConfig::default() };
+    let store = Arc::new(VerdictStore::in_memory());
+    let server = Server::bind("127.0.0.1:0", config, store).expect("bind ephemeral server");
+    let addr = server.local_addr().to_string();
+    (addr, thread::spawn(move || server.run()))
+}
+
+fn streamed_fingerprints(outcome: &JobOutcome, cases: usize) -> Vec<String> {
+    let mut slots: Vec<Option<String>> = vec![None; cases];
+    for frame in outcome.cases() {
+        let index = frame.get("case").and_then(Json::as_num).expect("case index") as usize;
+        let fingerprint =
+            frame.get("fingerprint").and_then(Json::as_str).expect("fingerprint").to_string();
+        assert!(slots[index].is_none(), "case {index} streamed twice");
+        slots[index] = Some(fingerprint);
+    }
+    slots
+        .into_iter()
+        .enumerate()
+        .map(|(index, slot)| slot.unwrap_or_else(|| panic!("case {index} never streamed")))
+        .collect()
+}
+
+/// Asserts `frame` is an `error` frame whose message contains `needle`.
+fn assert_error(frame: &Json, needle: &str, context: &str) {
+    assert_eq!(
+        frame.get("kind").and_then(Json::as_str),
+        Some("error"),
+        "{context}: expected an error frame, got {frame:?}"
+    );
+    let message = frame.get("message").and_then(Json::as_str).unwrap_or_default();
+    assert!(
+        message.contains(needle),
+        "{context}: error {message:?} does not mention {needle:?}"
+    );
+}
+
+#[test]
+fn malformed_requests_error_without_killing_the_connection() {
+    let (addr, server) = start();
+    let mut client = ServeClient::connect(&addr).expect("connect");
+
+    // Every entry is one hostile line and the substring its structured
+    // error must carry. The same connection absorbs all of them in order:
+    // an error frame must never leave the stream unusable.
+    let hostile: &[(&str, &str)] = &[
+        ("not json at all", "malformed request"),
+        ("{\"jobs\": 4}", "no \"kind\""),
+        ("{\"kind\":\"frobnicate\"}", "unknown request kind"),
+        ("{\"kind\":\"submit\"}", "needs a \"module\" or a \"corpus\""),
+        (
+            "{\"kind\":\"submit\",\"corpus\":\"rq1\",\"module\":\"define\"}",
+            "both \"module\" and \"corpus\"",
+        ),
+        ("{\"kind\":\"submit\",\"corpus\":\"rq9\"}", "unknown corpus"),
+        ("{\"kind\":\"submit\",\"corpus\":\"rq1\",\"model\":\"NotAModel\"}", "unknown model"),
+        ("{\"kind\":\"submit\",\"corpus\":\"rq1\",\"seed\":-7}", "non-negative integer"),
+        ("{\"kind\":\"submit\",\"corpus\":42}", "\"corpus\" must be a string"),
+        ("{\"kind\":\"submit\",\"module\":\"define i32 @broken(\"}", "invalid IR"),
+        ("{\"kind\":\"submit\",\"module\":\"\"}", "no functions"),
+    ];
+    for (line, needle) in hostile {
+        let frame = client.request(line).unwrap_or_else(|e| panic!("request {line:?}: {e}"));
+        assert_error(&frame, needle, line);
+        // The connection must answer an ordinary request right after.
+        let stats = client.stats().expect("stats after hostile frame");
+        assert_eq!(stats.get("kind").and_then(Json::as_str), Some("stats"));
+    }
+
+    // None of the garbage may have queued a job or poisoned the pipeline:
+    // a well-formed submission still runs end to end.
+    let stats = client.stats().expect("stats");
+    assert_eq!(stats.get("jobs_accepted").and_then(Json::as_num), Some(0.0));
+    let expected = reference();
+    let good = client.submit(&SubmitOptions::corpus("rq1")).expect("clean submit");
+    assert_eq!(streamed_fingerprints(&good, expected.len()), expected);
+
+    client.shutdown().expect("shutdown");
+    server.join().expect("server thread").expect("server run");
+}
+
+#[test]
+fn oversized_frames_are_drained_and_rejected_in_bounded_memory() {
+    let (addr, server) = start();
+    let mut client = ServeClient::connect(&addr).expect("connect");
+
+    // One giant line, far past the cap. The server must refuse it without
+    // buffering the whole payload and without desynchronizing the stream.
+    let mut payload = vec![b'x'; TEST_FRAME_CAP * 8];
+    payload.push(b'\n');
+    client.send_raw(&payload).expect("send oversized frame");
+    let frame = client.read_frame().expect("error frame");
+    assert_error(&frame, "exceeds", "oversized frame");
+
+    // A module just under the server's cap but structurally valid must be
+    // parsed, not confused with the drained garbage before it.
+    let expected = reference();
+    let good = client.submit(&SubmitOptions::corpus("rq1")).expect("submit after oversize");
+    assert_eq!(streamed_fingerprints(&good, expected.len()), expected);
+
+    client.shutdown().expect("shutdown");
+    server.join().expect("server thread").expect("server run");
+}
+
+#[test]
+fn truncated_frames_and_abrupt_disconnects_leave_the_server_healthy() {
+    let (addr, server) = start();
+
+    // A client that writes half a request and vanishes mid-frame.
+    {
+        let mut rude = ServeClient::connect(&addr).expect("connect rude client");
+        rude.send_raw(b"{\"kind\":\"submit\",\"corp").expect("send truncated frame");
+        // Dropped here without ever finishing the line.
+    }
+
+    // The server must shrug it off: a fresh client gets full clean service.
+    let expected = reference();
+    let mut client = ServeClient::connect(&addr).expect("connect");
+    let good = client.submit(&SubmitOptions::corpus("rq1")).expect("submit after truncation");
+    assert_eq!(streamed_fingerprints(&good, expected.len()), expected);
+
+    client.shutdown().expect("shutdown");
+    server.join().expect("server thread").expect("server run");
+}
+
+#[test]
+fn mid_job_disconnect_cancels_cleanly_and_never_poisons_the_store() {
+    let (addr, server) = start();
+
+    // Submit, read a couple of streamed cases, then die mid-job.
+    {
+        let mut victim = ServeClient::connect(&addr).expect("connect victim");
+        victim.send_line(&SubmitOptions::corpus("rq1").request_line()).expect("submit");
+        let accepted = victim.read_frame().expect("accepted frame");
+        assert_eq!(accepted.get("kind").and_then(Json::as_str), Some("accepted"));
+        for _ in 0..2 {
+            let frame = victim.read_frame().expect("streamed case");
+            assert_eq!(frame.get("kind").and_then(Json::as_str), Some("case"));
+        }
+    }
+
+    // Wait until the server has settled the abandoned job.
+    let mut client = ServeClient::connect(&addr).expect("connect");
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        let stats = client.stats().expect("stats");
+        let settled = stats.get("jobs_completed").and_then(Json::as_num).unwrap_or(0.0)
+            + stats.get("jobs_cancelled").and_then(Json::as_num).unwrap_or(0.0);
+        if settled >= 1.0 {
+            assert_eq!(
+                stats.get("jobs_accepted").and_then(Json::as_num),
+                Some(1.0),
+                "the abandoned job must be accounted exactly once"
+            );
+            break;
+        }
+        assert!(Instant::now() < deadline, "abandoned job never settled");
+        thread::sleep(Duration::from_millis(25));
+    }
+
+    // Whatever the cancelled job wrote to the shared store must be clean:
+    // the same corpus resubmitted now yields the full batch-mode reference
+    // with no failed cases.
+    let expected = reference();
+    let good = client.submit(&SubmitOptions::corpus("rq1")).expect("resubmit");
+    assert_eq!(
+        streamed_fingerprints(&good, expected.len()),
+        expected,
+        "a cancelled job poisoned the store for its successor"
+    );
+    assert_eq!(good.done().get("failed").and_then(Json::as_num), Some(0.0));
+
+    client.shutdown().expect("shutdown");
+    server.join().expect("server thread").expect("server run");
+}
